@@ -1,0 +1,113 @@
+//! Global-consensus helpers.
+//!
+//! ADM programs execute "global-consensus algorithms at some points so as
+//! to ensure that all processes have entered a certain state" (§2.3) —
+//! e.g., all slaves must finish redistribution before computation resumes.
+//! The pattern is master-coordinated: workers check in, the master releases
+//! them together.
+
+use pvm_rt::{MsgBuf, TaskApi, Tid};
+
+/// Worker → master: "I have reached the consensus point" (carries a round
+/// number so stale check-ins cannot satisfy a later round).
+pub const TAG_ADM_CHECKIN: i32 = -302;
+/// Master → workers: "everyone has; proceed".
+pub const TAG_ADM_GO: i32 = -303;
+
+/// Master side: wait for every worker's check-in for `round`, then release
+/// them all.
+pub fn master_consensus(task: &dyn TaskApi, workers: &[Tid], round: i32) {
+    for _ in 0..workers.len() {
+        let m = task.recv(None, Some(TAG_ADM_CHECKIN));
+        let r = m.reader().upk_int().expect("malformed check-in")[0];
+        assert_eq!(r, round, "check-in from a different consensus round");
+    }
+    for &w in workers {
+        task.send(w, TAG_ADM_GO, MsgBuf::new().pk_int(&[round]));
+    }
+}
+
+/// Worker side: check in for `round` and wait for the release.
+pub fn worker_consensus(task: &dyn TaskApi, master: Tid, round: i32) {
+    task.send(master, TAG_ADM_CHECKIN, MsgBuf::new().pk_int(&[round]));
+    let m = task.recv(Some(master), Some(TAG_ADM_GO));
+    let r = m.reader().upk_int().expect("malformed go")[0];
+    assert_eq!(r, round, "released for a different consensus round");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvm_rt::Pvm;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use worknet::{Calib, Cluster, HostId};
+
+    #[test]
+    fn consensus_synchronizes_master_and_workers() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(2);
+        let pvm = Pvm::new(Arc::new(b.build()));
+        let cluster = Arc::clone(&pvm.cluster);
+        let release_times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            let rt = Arc::clone(&release_times);
+            let (tx, rx) = std::sync::mpsc::channel::<Tid>();
+            let w = pvm.spawn(HostId(i % 2), format!("w{i}"), move |task| {
+                let master = rx.recv().unwrap();
+                // Workers reach the consensus point at different times.
+                task.compute(45.0e6 * (i as f64 + 1.0));
+                worker_consensus(task.as_ref(), master, 1);
+                rt.lock().push(task.now().as_secs_f64());
+            });
+            workers.push((w, tx));
+        }
+        let worker_tids: Vec<Tid> = workers.iter().map(|(w, _)| *w).collect();
+        let master = pvm.spawn(HostId(0), "master", move |task| {
+            master_consensus(task.as_ref(), &worker_tids, 1);
+        });
+        for (_, tx) in workers {
+            tx.send(master).unwrap();
+        }
+        cluster.sim.run().unwrap();
+
+        let times = release_times.lock();
+        assert_eq!(times.len(), 3);
+        // Nobody is released before the slowest (3 s) worker checks in.
+        for t in times.iter() {
+            assert!(*t >= 3.0, "released too early: {t}");
+        }
+        // And release is nearly simultaneous.
+        let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+            - times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.1, "spread {spread}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different consensus round")]
+    fn stale_round_is_detected() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(1);
+        let pvm = Pvm::new(Arc::new(b.build()));
+        let cluster = Arc::clone(&pvm.cluster);
+        let failed = Arc::new(AtomicU64::new(0));
+
+        let (tx, rx) = std::sync::mpsc::channel::<Tid>();
+        let w = pvm.spawn(HostId(0), "w", move |task| {
+            let master = rx.recv().unwrap();
+            // Misbehaving worker checks in for round 0 when master expects 1.
+            task.send(master, TAG_ADM_CHECKIN, MsgBuf::new().pk_int(&[0]));
+        });
+        let f = Arc::clone(&failed);
+        let master = pvm.spawn(HostId(0), "master", move |task| {
+            master_consensus(task.as_ref(), &[w], 1);
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        tx.send(master).unwrap();
+        let err = cluster.sim.run().unwrap_err();
+        assert_eq!(failed.load(Ordering::SeqCst), 0);
+        panic!("{err}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Migration-event delivery and queueing for ADM applications.
+//!
+//! ADM gives up transparency: the application itself must notice migration
+//! events. The GS delivers events asynchronously (the moral equivalent of a
+//! signal handler setting a flag); the application polls the flag inside
+//! its inner compute loop (§2.3). Because events arrive at arbitrary times,
+//! several can be outstanding at once — the tracker queues them and the
+//! test suite proves none are lost or duplicated.
+
+use parking_lot::Mutex;
+use pvm_rt::{Pvm, Tid};
+use simcore::SimCtx;
+use std::collections::VecDeque;
+
+/// An adaptive-load-distribution event, as the application sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmEvent {
+    /// A worker must vacate its machine; its data is redistributed across
+    /// the remaining workers.
+    Withdraw {
+        /// The worker being reclaimed.
+        worker: Tid,
+    },
+    /// Recompute the partition for new capacity weights (one per worker;
+    /// 0 = withdrawn).
+    Weights {
+        /// Per-worker capacity shares.
+        weights: Vec<f64>,
+    },
+    /// A previously withdrawn worker may take work again.
+    Rejoin {
+        /// The returning worker.
+        worker: Tid,
+    },
+}
+
+/// Deliver an event to an ADM task (GS side). The event is queued on the
+/// task's actor like a signal; the task sees it at its next poll.
+pub fn inject_event(ctx: &SimCtx, pvm: &Pvm, to: Tid, ev: AdmEvent) {
+    if let Some(actor) = pvm.actor_of(to) {
+        ctx.post_signal(actor, Box::new(ev));
+    }
+}
+
+/// The application-side event flag + queue.
+///
+/// `poll` drains any signals that arrived since the last check into an
+/// internal FIFO and pops one event. Nothing is ever dropped: events that
+/// arrive while the application is busy redistributing simply wait.
+#[derive(Default)]
+pub struct EventBox {
+    queue: Mutex<VecDeque<AdmEvent>>,
+}
+
+impl EventBox {
+    /// An empty event box.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn drain_signals(&self, ctx: &SimCtx) {
+        while let Some(sig) = ctx.take_signal() {
+            match sig.downcast::<AdmEvent>() {
+                Ok(ev) => self.queue.lock().push_back(*ev),
+                Err(other) => ctx.trace("adm.signal.unknown", format!("{other:?}")),
+            }
+        }
+    }
+
+    /// The inner-loop flag check: has anything arrived? Non-destructive.
+    pub fn flag_set(&self, ctx: &SimCtx) -> bool {
+        self.drain_signals(ctx);
+        !self.queue.lock().is_empty()
+    }
+
+    /// Pop the oldest queued event, if any.
+    pub fn poll(&self, ctx: &SimCtx) -> Option<AdmEvent> {
+        self.drain_signals(ctx);
+        self.queue.lock().pop_front()
+    }
+
+    /// Events currently queued.
+    pub fn len(&self, ctx: &SimCtx) -> usize {
+        self.drain_signals(ctx);
+        self.queue.lock().len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self, ctx: &SimCtx) -> bool {
+        self.len(ctx) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{Sim, SimDuration};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use worknet::HostId;
+
+    fn tid() -> Tid {
+        Tid::new(HostId(0), 1)
+    }
+
+    #[test]
+    fn events_queue_in_arrival_order() {
+        let sim = Sim::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let worker = sim.spawn("worker", move |ctx| {
+            let ebox = EventBox::new();
+            // Busy for 5 s while events pile up.
+            ctx.advance(SimDuration::from_secs(5));
+            while let Some(ev) = ebox.poll(&ctx) {
+                s.lock().push(ev);
+            }
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.post_signal(worker, Box::new(AdmEvent::Withdraw { worker: tid() }));
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.post_signal(
+                worker,
+                Box::new(AdmEvent::Weights {
+                    weights: vec![1.0, 0.0],
+                }),
+            );
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.post_signal(worker, Box::new(AdmEvent::Rejoin { worker: tid() }));
+        });
+        sim.run().unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 3, "no event lost under concurrent arrival");
+        assert!(matches!(seen[0], AdmEvent::Withdraw { .. }));
+        assert!(matches!(seen[1], AdmEvent::Weights { .. }));
+        assert!(matches!(seen[2], AdmEvent::Rejoin { .. }));
+    }
+
+    #[test]
+    fn flag_is_nondestructive() {
+        let sim = Sim::new();
+        let polls = Arc::new(AtomicUsize::new(0));
+        let p = Arc::clone(&polls);
+        let worker = sim.spawn("worker", move |ctx| {
+            let ebox = EventBox::new();
+            ctx.advance(SimDuration::from_secs(2));
+            assert!(ebox.flag_set(&ctx));
+            assert!(ebox.flag_set(&ctx), "flag check must not consume");
+            assert_eq!(ebox.len(&ctx), 1);
+            assert!(ebox.poll(&ctx).is_some());
+            assert!(!ebox.flag_set(&ctx));
+            assert!(ebox.is_empty(&ctx));
+            p.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.post_signal(worker, Box::new(AdmEvent::Withdraw { worker: tid() }));
+        });
+        sim.run().unwrap();
+        assert_eq!(polls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn poll_on_quiet_box_returns_none() {
+        let sim = Sim::new();
+        sim.spawn("worker", |ctx| {
+            let ebox = EventBox::new();
+            assert!(ebox.poll(&ctx).is_none());
+        });
+        sim.run().unwrap();
+    }
+}

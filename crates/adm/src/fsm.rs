@@ -1,0 +1,236 @@
+//! The coarse finite-state-machine program structure (§2.3, figure 4).
+//!
+//! An ADM application is written as an explicit FSM: well-defined states,
+//! declared transitions, and great care that event handling cannot wander
+//! off the diagram. The engine enforces that only declared transitions are
+//! taken and records the path for figure reproduction and debugging.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Requirements on an application's state type.
+pub trait AdmState: Copy + Eq + Hash + Debug + Send {}
+impl<T: Copy + Eq + Hash + Debug + Send> AdmState for T {}
+
+/// Error on an undeclared transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the machine was in.
+    pub from: String,
+    /// State the program attempted to enter.
+    pub to: String,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "undeclared ADM transition {} -> {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// A declared transition with a human-readable label.
+#[derive(Debug, Clone)]
+pub struct Arc<S> {
+    /// Source state.
+    pub from: S,
+    /// Target state.
+    pub to: S,
+    /// Why this arc exists (shown in the figure dump).
+    pub label: &'static str,
+}
+
+/// The finite-state machine engine.
+#[derive(Debug)]
+pub struct Fsm<S: AdmState> {
+    current: S,
+    arcs: Vec<Arc<S>>,
+    allowed: HashSet<(S, S)>,
+    path: Vec<S>,
+}
+
+impl<S: AdmState> Fsm<S> {
+    /// Build a machine from its full transition diagram.
+    pub fn new(initial: S, arcs: Vec<Arc<S>>) -> Fsm<S> {
+        let allowed = arcs.iter().map(|a| (a.from, a.to)).collect();
+        Fsm {
+            current: initial,
+            arcs,
+            allowed,
+            path: vec![initial],
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> S {
+        self.current
+    }
+
+    /// Take a declared transition.
+    pub fn goto(&mut self, next: S) -> Result<(), InvalidTransition> {
+        if !self.allowed.contains(&(self.current, next)) {
+            return Err(InvalidTransition {
+                from: format!("{:?}", self.current),
+                to: format!("{next:?}"),
+            });
+        }
+        self.current = next;
+        self.path.push(next);
+        Ok(())
+    }
+
+    /// Like [`Fsm::goto`] but panics on an undeclared transition — for
+    /// application main loops where an invalid transition is a bug.
+    pub fn must_goto(&mut self, next: S) {
+        if let Err(e) = self.goto(next) {
+            panic!("{e}");
+        }
+    }
+
+    /// Every state the machine has visited, in order.
+    pub fn path(&self) -> &[S] {
+        &self.path
+    }
+
+    /// All states mentioned in the diagram.
+    pub fn states(&self) -> Vec<S> {
+        let mut seen = Vec::new();
+        let mut set = HashSet::new();
+        for a in &self.arcs {
+            for s in [a.from, a.to] {
+                if set.insert(s) {
+                    seen.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render the diagram (states and labelled arcs) — figure 4.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str("states:\n");
+        for s in self.states() {
+            let marker = if s == self.current {
+                " <== current"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  {s:?}{marker}\n"));
+        }
+        out.push_str("transitions:\n");
+        for a in &self.arcs {
+            out.push_str(&format!("  {:?} -> {:?}  [{}]\n", a.from, a.to, a.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum S {
+        Compute,
+        Migrate,
+        Idle,
+        Done,
+    }
+
+    fn machine() -> Fsm<S> {
+        Fsm::new(
+            S::Compute,
+            vec![
+                Arc {
+                    from: S::Compute,
+                    to: S::Migrate,
+                    label: "migration event",
+                },
+                Arc {
+                    from: S::Migrate,
+                    to: S::Compute,
+                    label: "redistributed, has data",
+                },
+                Arc {
+                    from: S::Migrate,
+                    to: S::Idle,
+                    label: "redistributed, no data",
+                },
+                Arc {
+                    from: S::Idle,
+                    to: S::Migrate,
+                    label: "migration event",
+                },
+                Arc {
+                    from: S::Compute,
+                    to: S::Done,
+                    label: "converged",
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn declared_transitions_succeed() {
+        let mut m = machine();
+        m.goto(S::Migrate).unwrap();
+        m.goto(S::Idle).unwrap();
+        m.goto(S::Migrate).unwrap();
+        m.goto(S::Compute).unwrap();
+        m.goto(S::Done).unwrap();
+        assert_eq!(m.state(), S::Done);
+        assert_eq!(
+            m.path(),
+            &[
+                S::Compute,
+                S::Migrate,
+                S::Idle,
+                S::Migrate,
+                S::Compute,
+                S::Done
+            ]
+        );
+    }
+
+    #[test]
+    fn undeclared_transition_is_rejected() {
+        let mut m = machine();
+        let err = m.goto(S::Idle).unwrap_err();
+        assert_eq!(err.from, "Compute");
+        assert_eq!(err.to, "Idle");
+        // State unchanged after a rejected transition.
+        assert_eq!(m.state(), S::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared ADM transition")]
+    fn must_goto_panics_on_invalid() {
+        machine().must_goto(S::Idle);
+    }
+
+    #[test]
+    fn dump_lists_states_and_arcs() {
+        let m = machine();
+        let d = m.dump();
+        assert!(d.contains("Compute <== current"), "{d}");
+        assert!(d.contains("Migrate -> Idle"), "{d}");
+        assert!(d.contains("migration event"), "{d}");
+        assert_eq!(m.states().len(), 4);
+    }
+
+    #[test]
+    fn self_loops_must_be_declared_too() {
+        let mut m = Fsm::new(
+            S::Compute,
+            vec![Arc {
+                from: S::Compute,
+                to: S::Compute,
+                label: "iterate",
+            }],
+        );
+        m.goto(S::Compute).unwrap();
+        assert_eq!(m.path().len(), 2);
+    }
+}

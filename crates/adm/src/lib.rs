@@ -1,0 +1,22 @@
+//! # adm — Adaptive Data Movement
+//!
+//! The paper's third approach (§2.3): instead of migrating virtual
+//! processors, the *application* redistributes its data when the global
+//! scheduler signals a migration event. This crate is the infrastructure
+//! that makes such applications writable: an explicit finite-state-machine
+//! engine (figure 4), an event flag/queue that provably never loses
+//! concurrent migration events, a weighted repartitioner that fragments a
+//! vacating worker's data across the remaining workers, and
+//! master-coordinated global-consensus helpers.
+
+#![warn(missing_docs)]
+
+mod consensus;
+mod events;
+mod fsm;
+mod repart;
+
+pub use consensus::{master_consensus, worker_consensus, TAG_ADM_CHECKIN, TAG_ADM_GO};
+pub use events::{inject_event, AdmEvent, EventBox};
+pub use fsm::{AdmState, Arc, Fsm, InvalidTransition};
+pub use repart::{ideal_counts, plan_redistribution, Plan, Transfer};

@@ -1,0 +1,222 @@
+//! The weighted data repartitioner.
+//!
+//! When an ADM application enters its migration state, "the partitioning of
+//! the data onto processes is completely re-computed in an attempt to
+//! achieve the most accurate load balance possible" (§2.3). The planner
+//! takes the current per-worker item counts and per-worker capacity
+//! weights (0 for a withdrawing worker) and produces a transfer plan.
+//! ADMopt deliberately does *not* preserve exemplar order, so a vacating
+//! worker's data may fragment across several receivers (§4.3).
+
+/// One planned transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending worker index.
+    pub from: usize,
+    /// Receiving worker index.
+    pub to: usize,
+    /// Items to move.
+    pub items: usize,
+}
+
+/// A complete redistribution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Transfers to execute (deterministic order).
+    pub transfers: Vec<Transfer>,
+    /// Item counts after the plan executes.
+    pub new_counts: Vec<usize>,
+}
+
+/// Compute the ideal per-worker counts for `total` items under `weights`
+/// using largest-remainder rounding (deterministic, exactly conserving).
+pub fn ideal_counts(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "no workers");
+    assert!(weights.iter().all(|w| *w >= 0.0), "negative weight");
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "all workers have zero weight");
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / wsum).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    // Largest fractional remainder first; index breaks ties for determinism.
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for i in 0..(total - assigned) {
+        counts[order[i % order.len()]] += 1;
+    }
+    counts
+}
+
+/// Plan the transfers that turn `counts` into the ideal distribution for
+/// `weights`. Surplus workers send to deficit workers greedily in index
+/// order; a single sender may fragment across several receivers.
+pub fn plan_redistribution(counts: &[usize], weights: &[f64]) -> Plan {
+    assert_eq!(
+        counts.len(),
+        weights.len(),
+        "counts/weights length mismatch"
+    );
+    let total: usize = counts.iter().sum();
+    let new_counts = ideal_counts(total, weights);
+    let mut surplus: Vec<(usize, usize)> = Vec::new();
+    let mut deficit: Vec<(usize, usize)> = Vec::new();
+    for i in 0..counts.len() {
+        use std::cmp::Ordering::*;
+        match counts[i].cmp(&new_counts[i]) {
+            Greater => surplus.push((i, counts[i] - new_counts[i])),
+            Less => deficit.push((i, new_counts[i] - counts[i])),
+            Equal => {}
+        }
+    }
+    let mut transfers = Vec::new();
+    let mut di = 0;
+    for (from, mut have) in surplus {
+        while have > 0 {
+            let (to, need) = &mut deficit[di];
+            let n = have.min(*need);
+            transfers.push(Transfer {
+                from,
+                to: *to,
+                items: n,
+            });
+            have -= n;
+            *need -= n;
+            if *need == 0 {
+                di += 1;
+            }
+        }
+    }
+    debug_assert!(
+        deficit[di.min(deficit.len().saturating_sub(1))..]
+            .iter()
+            .all(|(_, n)| *n == 0)
+            || deficit.is_empty()
+            || di >= deficit.len()
+    );
+    Plan {
+        transfers,
+        new_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn withdrawal_fragments_across_receivers() {
+        // Worker 1 withdraws (weight 0); its 90 items split between the
+        // other two in proportion to their weights.
+        let plan = plan_redistribution(&[30, 90, 30], &[1.0, 0.0, 2.0]);
+        assert_eq!(plan.new_counts, vec![50, 0, 100]);
+        assert_eq!(
+            plan.transfers,
+            vec![
+                Transfer {
+                    from: 1,
+                    to: 0,
+                    items: 20
+                },
+                Transfer {
+                    from: 1,
+                    to: 2,
+                    items: 70
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn balanced_input_produces_no_transfers() {
+        let plan = plan_redistribution(&[50, 50], &[1.0, 1.0]);
+        assert!(plan.transfers.is_empty());
+        assert_eq!(plan.new_counts, vec![50, 50]);
+    }
+
+    #[test]
+    fn heterogeneous_weights_balance_proportionally() {
+        // A 2× faster machine gets 2× the data.
+        let plan = plan_redistribution(&[60, 60], &[2.0, 1.0]);
+        assert_eq!(plan.new_counts, vec![80, 40]);
+        assert_eq!(
+            plan.transfers,
+            vec![Transfer {
+                from: 1,
+                to: 0,
+                items: 20
+            }]
+        );
+    }
+
+    #[test]
+    fn remainder_rounding_conserves_items() {
+        let c = ideal_counts(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(c.iter().sum::<usize>(), 10);
+        // Deterministic tie-break: earlier index gets the extra item.
+        assert_eq!(c, vec![4, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all workers have zero weight")]
+    fn all_zero_weights_panic() {
+        let _ = ideal_counts(10, &[0.0, 0.0]);
+    }
+
+    proptest! {
+        /// Items are conserved and the plan reaches exactly the ideal
+        /// distribution, for any workload/weights.
+        #[test]
+        fn plan_conserves_and_converges(
+            counts in prop::collection::vec(0usize..500, 2..8),
+            raw_weights in prop::collection::vec(0u32..5, 2..8),
+        ) {
+            let n = counts.len().min(raw_weights.len());
+            let counts = &counts[..n];
+            let mut weights: Vec<f64> =
+                raw_weights[..n].iter().map(|w| *w as f64).collect();
+            if weights.iter().all(|w| *w == 0.0) {
+                weights[0] = 1.0;
+            }
+            let plan = plan_redistribution(counts, &weights);
+            // Conservation.
+            prop_assert_eq!(
+                plan.new_counts.iter().sum::<usize>(),
+                counts.iter().sum::<usize>()
+            );
+            // Executing the transfers yields new_counts.
+            let mut sim = counts.to_vec();
+            for t in &plan.transfers {
+                prop_assert!(sim[t.from] >= t.items, "sender overdraws");
+                sim[t.from] -= t.items;
+                sim[t.to] += t.items;
+            }
+            prop_assert_eq!(&sim, &plan.new_counts);
+            // Zero-weight workers end with nothing.
+            for (i, w) in weights.iter().enumerate() {
+                if *w == 0.0 {
+                    prop_assert_eq!(plan.new_counts[i], 0);
+                }
+            }
+        }
+
+        /// Ideal counts deviate from the exact proportional share by < 1.
+        #[test]
+        fn ideal_counts_are_proportional(
+            total in 0usize..10_000,
+            raw_weights in prop::collection::vec(1u32..10, 1..6),
+        ) {
+            let weights: Vec<f64> = raw_weights.iter().map(|w| *w as f64).collect();
+            let counts = ideal_counts(total, &weights);
+            let wsum: f64 = weights.iter().sum();
+            for (c, w) in counts.iter().zip(&weights) {
+                let exact = total as f64 * w / wsum;
+                prop_assert!((*c as f64 - exact).abs() < 1.0 + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Criterion micro-benchmarks of the substrate primitives and the design
+//! choices DESIGN.md calls out. These measure the *simulator's* real-time
+//! cost (throughput of the deterministic kernel and the protocol layers),
+//! complementing the table binaries which reproduce the paper's
+//! virtual-time numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvm_rt::{MsgBuf, Pvm, RouteMode, TaskApi};
+use simcore::{Sim, SimDuration};
+use std::hint::black_box;
+use std::sync::Arc;
+use worknet::{Calib, Cluster, HostId};
+
+/// Virtual-time kernel: token hand-off throughput between two actors.
+fn kernel_handoff(c: &mut Criterion) {
+    c.bench_function("simcore/handoff_1000", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.set_trace_enabled(false);
+            for name in ["a", "b"] {
+                sim.spawn(name, |ctx| {
+                    for _ in 0..500 {
+                        ctx.advance(SimDuration::from_micros(10));
+                    }
+                });
+            }
+            black_box(sim.run().unwrap());
+        })
+    });
+}
+
+/// Message pack/unpack round trip at 1 MB.
+fn pack_unpack(c: &mut Criterion) {
+    let payload = vec![0u8; 1 << 20];
+    c.bench_function("msg/pack_unpack_1MB", |b| {
+        b.iter(|| {
+            let buf = MsgBuf::new()
+                .pk_bytes(payload.clone())
+                .pk_int(&[1, 2, 3])
+                .pk_double(&[0.5; 64]);
+            let m = pvm_rt::Message::new(pvm_rt::Tid::new(HostId(0), 1), 1, buf);
+            let mut r = m.reader();
+            black_box(r.upk_bytes().unwrap());
+            black_box(r.upk_int().unwrap());
+            black_box(r.upk_double().unwrap());
+        })
+    });
+}
+
+fn one_way(route: RouteMode, bytes: usize) -> f64 {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(2);
+    let pvm = Pvm::new(Arc::new(b.build()));
+    let cluster = Arc::clone(&pvm.cluster);
+    cluster.sim.set_trace_enabled(false);
+    let rx = pvm.spawn(HostId(1), "rx", move |task| {
+        let _ = task.recv(None, Some(1));
+    });
+    pvm.spawn_with_route(HostId(0), "tx", route, move |task| {
+        task.send(rx, 1, MsgBuf::new().pk_bytes(vec![0u8; bytes]));
+    });
+    cluster.sim.run().unwrap().as_secs_f64()
+}
+
+/// Simulator real-time cost of routing a message (daemon vs direct).
+fn routes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route");
+    for bytes in [4 << 10, 256 << 10] {
+        g.bench_with_input(BenchmarkId::new("daemon", bytes), &bytes, |b, &n| {
+            b.iter(|| black_box(one_way(RouteMode::Daemon, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("direct", bytes), &bytes, |b, &n| {
+            b.iter(|| black_box(one_way(RouteMode::Direct, n)))
+        });
+    }
+    g.finish();
+}
+
+/// ULP scheduler: acquire/release cycles between two cooperating ULPs.
+fn ulp_switches(c: &mut Criterion) {
+    use upvm::{ProcSched, UlpId};
+    c.bench_function("upvm/sched_500_switches", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            sim.set_trace_enabled(false);
+            let sched = ProcSched::new(SimDuration::from_micros(12));
+            for i in 0..2usize {
+                let sched = sched.clone();
+                sim.spawn(format!("u{i}"), move |ctx| {
+                    for _ in 0..250 {
+                        sched.acquire(&ctx, UlpId(i));
+                        ctx.advance(SimDuration::from_micros(5));
+                        sched.release(&ctx, UlpId(i));
+                    }
+                });
+            }
+            black_box(sim.run().unwrap());
+        })
+    });
+}
+
+/// Repartition planning over many workers.
+fn repartition(c: &mut Criterion) {
+    let counts: Vec<usize> = (0..16).map(|i| 500 + i * 37).collect();
+    let mut weights: Vec<f64> = vec![1.0; 16];
+    weights[3] = 0.0;
+    weights[11] = 0.0;
+    c.bench_function("adm/plan_16_workers", |b| {
+        b.iter(|| {
+            black_box(adm::plan_redistribution(
+                black_box(&counts),
+                black_box(&weights),
+            ))
+        })
+    });
+}
+
+/// Real gradient arithmetic throughput (the work the tables charge).
+fn gradient(c: &mut Criterion) {
+    use opt_app::data::TrainingSet;
+    use opt_app::net::{Gradient, Net};
+    let set = TrainingSet::with_count(1000, 64, 32, 1);
+    let net = Net::new(64, 32, 1);
+    c.bench_function("opt/gradient_1000x64x32", |b| {
+        b.iter(|| {
+            let mut g = Gradient::zeros(64, 32);
+            black_box(net.gradient(&set.exemplars, &mut g));
+            black_box(g.loss)
+        })
+    });
+}
+
+/// A full MPVM migration, end to end, in simulator real time.
+fn migration_end_to_end(c: &mut Criterion) {
+    use mpvm::Mpvm;
+    c.bench_function("mpvm/full_migration_sim", |b| {
+        b.iter(|| {
+            let mut bl = Cluster::builder(Calib::hp720_ethernet());
+            bl.quiet_hp720s(2);
+            let mpvm = Mpvm::new(Pvm::new(Arc::new(bl.build())));
+            let cluster = Arc::clone(&mpvm.pvm().cluster);
+            cluster.sim.set_trace_enabled(false);
+            let w = mpvm.spawn_app(HostId(0), "w", |t| {
+                t.set_state_bytes(500_000);
+                t.compute(45.0e6 * 4.0);
+            });
+            mpvm.spawn_app(HostId(1), "p", |t| t.compute(45.0e6 * 5.0));
+            mpvm.seal();
+            let m2 = Arc::clone(&mpvm);
+            cluster.sim.spawn("gs", move |ctx| {
+                ctx.advance(SimDuration::from_secs(1));
+                m2.inject_migration(&ctx, w, HostId(1));
+            });
+            black_box(cluster.sim.run().unwrap());
+        })
+    });
+}
+
+/// MPVM's quiet-case overhead sources (§4.1.1): tid-remap lookups and
+/// send-gate checks, measured per operation.
+fn mpvm_overhead_sources(c: &mut Criterion) {
+    use mpvm::MigShared;
+    use pvm_rt::Tid;
+    let shared = MigShared::new();
+    // A realistic table: a few historical migrations.
+    for i in 0..8u32 {
+        shared.add_remap(Tid::new(HostId(0), 100 + i), Tid::new(HostId(1), 200 + i));
+    }
+    let hot = Tid::new(HostId(0), 104);
+    let cold = Tid::new(HostId(3), 7);
+    c.bench_function("mpvm/tid_remap_hit", |b| {
+        b.iter(|| black_box(shared.remap(black_box(hot))))
+    });
+    c.bench_function("mpvm/tid_remap_miss", |b| {
+        b.iter(|| black_box(shared.remap(black_box(cold))))
+    });
+    c.bench_function("mpvm/send_gate_check", |b| {
+        b.iter(|| black_box(shared.is_gated(black_box(cold))))
+    });
+}
+
+/// ULP address-region allocation/free cycle.
+fn ulp_addr_alloc(c: &mut Criterion) {
+    use upvm::AddrSpace;
+    c.bench_function("upvm/addr_alloc_free_64", |b| {
+        b.iter(|| {
+            let mut a = AddrSpace::default_32bit();
+            let regions: Vec<_> = (0..64)
+                .map(|i| a.alloc(100_000 + i * 4096).unwrap())
+                .collect();
+            for r in regions {
+                a.free(r);
+            }
+            black_box(a.reserved_bytes())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = kernel_handoff, pack_unpack, routes, ulp_switches, repartition, gradient,
+              migration_end_to_end, mpvm_overhead_sources, ulp_addr_alloc
+}
+criterion_main!(benches);

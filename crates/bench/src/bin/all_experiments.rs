@@ -1,0 +1,19 @@
+//! Run every table reproduction and save the JSON records.
+fn main() {
+    for (name, f) in [
+        (
+            "table1",
+            bench_tables::experiments::table1 as fn() -> bench_tables::Reproduction,
+        ),
+        ("table2", bench_tables::experiments::table2),
+        ("table3", bench_tables::experiments::table3),
+        ("table4", bench_tables::experiments::table4),
+        ("table5", bench_tables::experiments::table5),
+        ("table6", bench_tables::experiments::table6),
+    ] {
+        eprintln!("running {name}...");
+        let t = f();
+        t.print();
+        t.save();
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure 1: the MPVM migration protocol, as an annotated virtual-time
+//! trace of migrating a slave VP between hosts.
+fn main() {
+    println!("Figure 1 — MPVM migration protocol (migrating slave1 host1 -> host0)\n");
+    let trace = bench_tables::experiments::figure1();
+    bench_tables::print_trace(&trace, &["mpvm."]);
+    let obtr = bench_tables::span_secs(&trace, "mpvm.cmd.received", "mpvm.offhost");
+    let mig = bench_tables::span_secs(&trace, "mpvm.cmd.received", "mpvm.resumed");
+    println!("\nstages: event -> flush -> skeleton -> state transfer -> restart");
+    println!("obtrusiveness {obtr:.2}s, migration {mig:.2}s");
+}

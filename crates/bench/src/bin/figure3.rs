@@ -1,0 +1,11 @@
+//! Figure 3: the UPVM migration protocol, as an annotated trace of
+//! migrating a slave ULP between hosts.
+fn main() {
+    println!("Figure 3 — UPVM migration protocol (migrating slave ULP host1 -> host0)\n");
+    let trace = bench_tables::experiments::figure3();
+    bench_tables::print_trace(&trace, &["upvm."]);
+    let obtr = bench_tables::span_secs(&trace, "upvm.cmd.received", "upvm.offhost");
+    let mig = bench_tables::span_secs(&trace, "upvm.cmd.received", "upvm.resumed");
+    println!("\nstages: event -> flush (with redirect) -> pkbyte/send state -> accept/enqueue");
+    println!("obtrusiveness {obtr:.2}s, migration {mig:.2}s");
+}

@@ -1,0 +1,9 @@
+//! Figure 4: the ADMopt finite-state machine, plus a run handling two
+//! concurrent migration events.
+fn main() {
+    let (diagram, trace) = bench_tables::experiments::figure4();
+    println!("Figure 4 — the ADMopt finite-state machine\n");
+    println!("{diagram}");
+    println!("trace of a run with two concurrent withdrawals:\n");
+    bench_tables::print_trace(&trace, &["adm."]);
+}

@@ -1,0 +1,54 @@
+//! Quantifying §3.3.3: "heterogeneity is the real strength of ADM".
+//!
+//! A mixed cluster (1.0×, 0.5×, 2.0× CPU speed). Capacity-aware ADM allots
+//! data "to the heterogeneous processors" in proportion to their speed;
+//! the naive equal split leaves the slow machine as the straggler. MPVM,
+//! by contrast, cannot even move a process between architecture classes.
+
+use opt_app::{run_adm_opt_on, OptConfig};
+use std::sync::Arc;
+use worknet::{Arch, Calib, Cluster, HostSpec};
+
+fn mixed_cluster() -> Arc<Cluster> {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("hp720"));
+    b.host(
+        HostSpec::hp720("old-sparc")
+            .with_arch(Arch::SparcSunos)
+            .with_speed(0.5),
+    );
+    b.host(HostSpec::hp720("new-hp735").with_speed(2.0));
+    Arc::new(b.build())
+}
+
+fn main() {
+    let mut cfg = OptConfig::paper(3_000_000, 24).with_adm_overhead();
+    cfg.nslaves = 3;
+    cfg.nhosts = 3;
+
+    println!("cluster: 1.0x HP-UX, 0.5x SunOS, 2.0x HP-UX (3 MB of exemplars)\n");
+
+    let naive = run_adm_opt_on(mixed_cluster(), &cfg, &[], Some(false));
+    let aware = run_adm_opt_on(mixed_cluster(), &cfg, &[], Some(true));
+
+    println!("{:<40} {:>12}", "partitioning", "wall time");
+    println!("{:<40} {:>11.2}s", "equal split (speed-blind)", naive.wall);
+    println!(
+        "{:<40} {:>11.2}s",
+        "capacity-proportional (ADM, §3.4.3)", aware.wall
+    );
+    println!(
+        "\ncapacity-aware ADM is {:.0}% faster: the 0.5x machine stops being\n\
+         the per-iteration straggler.",
+        (1.0 - aware.wall / naive.wall) * 100.0
+    );
+    assert!(
+        (naive.result.final_loss() - aware.result.final_loss()).abs() < 1e-2,
+        "both converge to the same training quality"
+    );
+    println!(
+        "\nMPVM on this cluster can only migrate between the two HP-UX hosts\n\
+         (migration-compatible classes, §3.3.1) — data, not processes, is\n\
+         what crosses the SunOS boundary."
+    );
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 1 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table1();
+    t.print();
+    t.save();
+}

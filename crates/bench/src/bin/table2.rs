@@ -1,0 +1,6 @@
+//! Regenerate Table 2 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table2();
+    t.print();
+    t.save();
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 3 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table3();
+    t.print();
+    t.save();
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 4 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table4();
+    t.print();
+    t.save();
+}

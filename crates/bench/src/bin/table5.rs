@@ -1,0 +1,6 @@
+//! Regenerate Table 5 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table5();
+    t.print();
+    t.save();
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 6 from the paper.
+fn main() {
+    let t = bench_tables::experiments::table6();
+    t.print();
+    t.save();
+}

@@ -1,0 +1,330 @@
+//! The global scheduler (GS).
+//!
+//! "All of our systems assume the presence of a network-wide 'global'
+//! scheduler that embodies decision-making policies for sensibly
+//! scheduling multiple parallel jobs" and initiates migrations by
+//! signalling the daemons (§2.0). The GS here consumes monitor events,
+//! applies a policy, picks destinations, and issues migration commands to
+//! whichever system adapter it drives.
+
+use crate::monitor::{self, MonitorEvent};
+use crate::target::MigrationTarget;
+use parking_lot::Mutex;
+use simcore::{Mailbox, SimCtx, SimDuration};
+use std::collections::HashSet;
+use std::sync::Arc;
+use worknet::{Cluster, HostId};
+
+/// Scheduling policy.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Vacate a host the moment its owner becomes active; return nothing
+    /// automatically when the owner leaves.
+    OwnerReclaim,
+    /// Additionally move work off hosts whose external load exceeds the
+    /// threshold.
+    LoadThreshold {
+        /// External load above which a host is evacuated one unit at a time.
+        threshold: f64,
+    },
+    /// Owner reclamation plus a periodic rebalance sweep: every `period`
+    /// the GS moves one unit from the most-loaded to the least-loaded host
+    /// when their effective loads differ by more than 1 unit.
+    Rebalance {
+        /// Sampling period.
+        period: SimDuration,
+    },
+}
+
+/// A record of one decision, for tests and reports.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// When the decision was made.
+    pub at: simcore::SimTime,
+    /// What prompted it.
+    pub event: MonitorEvent,
+    /// Unit ordered to move.
+    pub unit: pvm_rt::Tid,
+    /// Destination chosen.
+    pub dst: HostId,
+}
+
+/// The running GS handle.
+pub struct Gs {
+    decisions: Arc<Mutex<Vec<Decision>>>,
+}
+
+/// Time the GS spends per placement decision.
+const DECISION_COST: SimDuration = SimDuration::from_millis(2);
+
+impl Gs {
+    /// Spawn the GS actor for a single application.
+    pub fn spawn(cluster: &Arc<Cluster>, target: Arc<dyn MigrationTarget>, policy: Policy) -> Gs {
+        Gs::spawn_multi(cluster, vec![target], policy)
+    }
+
+    /// Spawn the GS over several applications at once ("decision-making
+    /// policies for sensibly scheduling multiple parallel jobs", §2.0).
+    /// The GS shuts down when the *last* application drains.
+    pub fn spawn_multi(
+        cluster: &Arc<Cluster>,
+        targets: Vec<Arc<dyn MigrationTarget>>,
+        policy: Policy,
+    ) -> Gs {
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        monitor::install(cluster, &mb);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        if let Policy::Rebalance { period } = &policy {
+            monitor::install_ticks(cluster, &mb, *period, Arc::clone(&stop));
+        }
+        let decisions = Arc::new(Mutex::new(Vec::new()));
+        // Shut down when the last application finishes.
+        let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(targets.len()));
+        for t in &targets {
+            let mb_close = mb.clone();
+            let remaining = Arc::clone(&remaining);
+            let stop = Arc::clone(&stop);
+            t.on_drain(Box::new(move |ctx| {
+                if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                    mb_close.close(ctx);
+                }
+            }));
+        }
+        let cluster2 = Arc::clone(cluster);
+        let dec = Arc::clone(&decisions);
+        cluster.sim.spawn("global-scheduler", move |ctx| {
+            let mut owner_active: HashSet<HostId> = HashSet::new();
+            while let Some(ev) = mb.recv(&ctx) {
+                ctx.trace("gs.event", format!("{ev:?}"));
+                match &ev {
+                    MonitorEvent::OwnerActive(h) => {
+                        owner_active.insert(*h);
+                        evacuate_all(
+                            &ctx,
+                            &cluster2,
+                            &targets,
+                            *h,
+                            &owner_active,
+                            &ev,
+                            &dec,
+                            None,
+                        );
+                    }
+                    MonitorEvent::OwnerAway(h) => {
+                        owner_active.remove(h);
+                    }
+                    MonitorEvent::LoadChanged(h, load) => {
+                        if let Policy::LoadThreshold { threshold } = &policy {
+                            if load > threshold {
+                                evacuate_all(
+                                    &ctx,
+                                    &cluster2,
+                                    &targets,
+                                    *h,
+                                    &owner_active,
+                                    &ev,
+                                    &dec,
+                                    Some(1),
+                                );
+                            }
+                        }
+                    }
+                    MonitorEvent::Tick => {
+                        rebalance_once(&ctx, &cluster2, &targets, &owner_active, &ev, &dec);
+                    }
+                }
+            }
+        });
+        Gs { decisions }
+    }
+
+    /// Decisions taken so far (or over the whole run, after it ends).
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.decisions.lock().clone()
+    }
+}
+
+/// Units resident on a host across *all* managed applications.
+fn units_everywhere(targets: &[Arc<dyn MigrationTarget>], host: HostId) -> usize {
+    targets.iter().map(|t| t.units_on(host).len()).sum()
+}
+
+/// Pick a destination for one unit: the eligible host with the lowest
+/// effective load — external competing processes plus resident parallel
+/// work units across every managed job (including placements already
+/// planned this round, which have not physically landed yet). Ties break
+/// toward the lower host id.
+#[allow(clippy::too_many_arguments)]
+fn pick_destination(
+    cluster: &Arc<Cluster>,
+    targets: &[Arc<dyn MigrationTarget>],
+    target: &dyn MigrationTarget,
+    unit: pvm_rt::Tid,
+    src: HostId,
+    owner_active: &HashSet<HostId>,
+    planned: &std::collections::HashMap<HostId, usize>,
+    now: simcore::SimTime,
+) -> Option<HostId> {
+    let mut best: Option<(f64, HostId)> = None;
+    for host in cluster.hosts() {
+        let h = host.id;
+        if h == src || owner_active.contains(&h) || !target.can_migrate(unit, h) {
+            continue;
+        }
+        let units = units_everywhere(targets, h) + planned.get(&h).copied().unwrap_or(0);
+        // Effective load plus swap pressure: an overcommitted host slows
+        // every VP on it (§1.0), so weigh it accordingly.
+        let score = host.spec.load.load_at(now) + units as f64 + host.memory_overcommit() * 2.0;
+        let better = match &best {
+            None => true,
+            Some((bs, bh)) => score < *bs || (score == *bs && h.0 < bh.0),
+        };
+        if better {
+            best = Some((score, h));
+        }
+    }
+    best.map(|(_, h)| h)
+}
+
+/// Evacuate a host across every managed application, sharing one
+/// planned-placement overlay so concurrent decisions balance (in-flight
+/// migrations are not yet visible in `units_on`).
+#[allow(clippy::too_many_arguments)]
+fn evacuate_all(
+    ctx: &SimCtx,
+    cluster: &Arc<Cluster>,
+    targets: &[Arc<dyn MigrationTarget>],
+    src: HostId,
+    owner_active: &HashSet<HostId>,
+    event: &MonitorEvent,
+    decisions: &Arc<Mutex<Vec<Decision>>>,
+    limit: Option<usize>,
+) {
+    let mut planned: std::collections::HashMap<HostId, usize> = Default::default();
+    for t in targets {
+        evacuate(
+            ctx,
+            cluster,
+            targets,
+            &**t,
+            src,
+            owner_active,
+            event,
+            decisions,
+            limit,
+            &mut planned,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evacuate(
+    ctx: &SimCtx,
+    cluster: &Arc<Cluster>,
+    targets: &[Arc<dyn MigrationTarget>],
+    target: &dyn MigrationTarget,
+    src: HostId,
+    owner_active: &HashSet<HostId>,
+    event: &MonitorEvent,
+    decisions: &Arc<Mutex<Vec<Decision>>>,
+    limit: Option<usize>,
+    planned: &mut std::collections::HashMap<HostId, usize>,
+) {
+    let units = target.units_on(src);
+    let n = limit.unwrap_or(units.len());
+    for unit in units.into_iter().take(n) {
+        ctx.advance(DECISION_COST);
+        match pick_destination(
+            cluster,
+            targets,
+            target,
+            unit,
+            src,
+            owner_active,
+            planned,
+            ctx.now(),
+        ) {
+            Some(dst) => {
+                *planned.entry(dst).or_default() += 1;
+                ctx.trace(
+                    "gs.migrate",
+                    format!("{} {unit} {src} -> {dst}", target.kind()),
+                );
+                decisions.lock().push(Decision {
+                    at: ctx.now(),
+                    event: event.clone(),
+                    unit,
+                    dst,
+                });
+                target.migrate(ctx, unit, dst);
+            }
+            None => {
+                ctx.trace(
+                    "gs.stuck",
+                    format!("{unit} on {src}: no eligible destination"),
+                );
+            }
+        }
+    }
+}
+
+/// One rebalance sweep: if the most-loaded eligible host exceeds the
+/// least-loaded by more than one unit of effective load, move one unit.
+fn rebalance_once(
+    ctx: &SimCtx,
+    cluster: &Arc<Cluster>,
+    targets: &[Arc<dyn MigrationTarget>],
+    owner_active: &HashSet<HostId>,
+    event: &MonitorEvent,
+    decisions: &Arc<Mutex<Vec<Decision>>>,
+) {
+    ctx.advance(DECISION_COST);
+    let now = ctx.now();
+    let score =
+        |h: HostId| cluster.host(h).spec.load.load_at(now) + units_everywhere(targets, h) as f64;
+    let mut hottest: Option<(f64, HostId)> = None;
+    for host in cluster.hosts() {
+        let h = host.id;
+        if units_everywhere(targets, h) == 0 {
+            continue; // nothing to move from here
+        }
+        let s = score(h);
+        if hottest.is_none_or(|(bs, _)| s > bs) {
+            hottest = Some((s, h));
+        }
+    }
+    let Some((hot_score, hot)) = hottest else {
+        return;
+    };
+    // Find the unit + target that can actually move.
+    for t in targets {
+        if let Some(&unit) = t.units_on(hot).first() {
+            if let Some(dst) = pick_destination(
+                cluster,
+                targets,
+                &**t,
+                unit,
+                hot,
+                owner_active,
+                &Default::default(),
+                now,
+            ) {
+                if hot_score - score(dst) > 1.0 {
+                    ctx.trace(
+                        "gs.rebalance",
+                        format!("{} {unit} {hot} -> {dst}", t.kind()),
+                    );
+                    decisions.lock().push(Decision {
+                        at: ctx.now(),
+                        event: event.clone(),
+                        unit,
+                        dst,
+                    });
+                    t.migrate(ctx, unit, dst);
+                }
+                return;
+            }
+        }
+    }
+}

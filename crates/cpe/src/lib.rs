@@ -1,0 +1,18 @@
+//! # cpe — the Concurrent Processing Environment's global scheduler
+//!
+//! The decision-making layer above the three migration systems (§2.0):
+//! a worknet monitor turns owner-activity and load traces into events, and
+//! the GS applies a policy (owner reclamation, load thresholds) to decide
+//! which work unit moves where — then drives MPVM (process migration),
+//! UPVM (ULP migration), or an ADM application (data withdrawal) through a
+//! common adapter interface.
+
+#![warn(missing_docs)]
+
+mod gs;
+mod monitor;
+mod target;
+
+pub use gs::{Decision, Gs, Policy};
+pub use monitor::{install as install_monitor, MonitorEvent, SENSE_DELAY};
+pub use target::{AdmTarget, MigrationTarget, MpvmTarget, UpvmTarget};

@@ -1,0 +1,139 @@
+//! The worknet monitor: turns per-host owner/load traces into a stream of
+//! events the global scheduler consumes.
+//!
+//! Real CPE daemons sample load averages and keyboard/mouse activity; our
+//! hosts carry deterministic traces, so the monitor installs one kernel
+//! event per trace transition that feeds the GS mailbox at exactly the
+//! transition time (plus a small sensing delay).
+
+use simcore::{Mailbox, SimDuration};
+use std::sync::Arc;
+use worknet::{Cluster, HostId};
+
+/// One observation delivered to the global scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// The owner touched the machine: parallel work must vacate (§1.0).
+    OwnerActive(HostId),
+    /// The owner went away again.
+    OwnerAway(HostId),
+    /// External load changed to this value.
+    LoadChanged(HostId, f64),
+    /// Periodic sampling tick (rebalance policies).
+    Tick,
+}
+
+/// How long after a transition the monitor notices it.
+pub const SENSE_DELAY: SimDuration = SimDuration::from_millis(50);
+
+/// Install monitor events for every host trace transition into `out`.
+/// Call once, before the simulation runs.
+pub fn install(cluster: &Arc<Cluster>, out: &Mailbox<MonitorEvent>) {
+    cluster.sim.with_world(|w| {
+        for host in cluster.hosts() {
+            let h = host.id;
+            for &(at, active) in host.spec.owner.transitions() {
+                let out = out.clone();
+                let ev = if active {
+                    MonitorEvent::OwnerActive(h)
+                } else {
+                    MonitorEvent::OwnerAway(h)
+                };
+                let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                w.schedule_in(delay, move |w| out.send_from_world(w, ev));
+            }
+            for &(at, load) in host.spec.load.change_points() {
+                let out = out.clone();
+                let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                w.schedule_in(delay, move |w| {
+                    out.send_from_world(w, MonitorEvent::LoadChanged(h, load))
+                });
+            }
+        }
+    });
+}
+
+/// Install a periodic tick into `out` every `period`, until `stop` is set
+/// (the GS sets it when the application drains — otherwise the pending
+/// tick event would keep the simulation alive forever).
+pub fn install_ticks(
+    cluster: &Arc<Cluster>,
+    out: &Mailbox<MonitorEvent>,
+    period: SimDuration,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+) {
+    fn tick(
+        w: &mut simcore::World,
+        out: Mailbox<MonitorEvent>,
+        period: SimDuration,
+        stop: Arc<std::sync::atomic::AtomicBool>,
+    ) {
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            return;
+        }
+        out.send_from_world(w, MonitorEvent::Tick);
+        w.schedule_in(period, move |w| tick(w, out, period, stop));
+    }
+    let out = out.clone();
+    cluster.sim.with_world(move |w| {
+        w.schedule_in(period, move |w| tick(w, out, period, stop));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use std::sync::Mutex;
+    use worknet::{Calib, HostSpec, LoadTrace, OwnerTrace};
+
+    #[test]
+    fn monitor_reports_transitions_in_time_order() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.host(
+            HostSpec::hp720("h0")
+                .with_owner(OwnerTrace::events(vec![
+                    (SimTime(10_000_000_000), true),
+                    (SimTime(20_000_000_000), false),
+                ]))
+                .with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 2.0)])),
+        );
+        b.host(HostSpec::hp720("h1"));
+        let cluster = Arc::new(b.build());
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        install(&cluster, &mb);
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let mb2 = mb.clone();
+        cluster.sim.spawn("gs", move |ctx| {
+            for _ in 0..3 {
+                let ev = mb2.recv(&ctx).unwrap();
+                s.lock().unwrap().push((ctx.now().as_secs_f64(), ev));
+            }
+        });
+        cluster.sim.run().unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].1, MonitorEvent::LoadChanged(HostId(0), 2.0));
+        assert!((seen[0].0 - 5.05).abs() < 0.01);
+        assert_eq!(seen[1].1, MonitorEvent::OwnerActive(HostId(0)));
+        assert!((seen[1].0 - 10.05).abs() < 0.01);
+        assert_eq!(seen[2].1, MonitorEvent::OwnerAway(HostId(0)));
+    }
+
+    #[test]
+    fn quiet_cluster_produces_no_events() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(3);
+        let cluster = Arc::new(b.build());
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        install(&cluster, &mb);
+        let mb2 = mb.clone();
+        cluster.sim.spawn("probe", move |ctx| {
+            ctx.advance(SimDuration::from_secs(100));
+            assert!(mb2.try_recv().is_none());
+        });
+        cluster.sim.run().unwrap();
+    }
+}

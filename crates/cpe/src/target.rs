@@ -1,0 +1,139 @@
+//! Adapters that let the global scheduler drive each of the three systems
+//! through one interface.
+
+use adm::AdmEvent;
+use mpvm::Mpvm;
+use parking_lot::Mutex;
+use pvm_rt::{Pvm, Tid};
+use simcore::SimCtx;
+use std::sync::Arc;
+use upvm::Upvm;
+use worknet::HostId;
+
+/// A system the GS can redistribute load on.
+pub trait MigrationTarget: Send + Sync {
+    /// Short name for traces ("mpvm", "upvm", "adm").
+    fn kind(&self) -> &'static str;
+    /// Movable work units (tids) currently on `host`.
+    fn units_on(&self, host: HostId) -> Vec<Tid>;
+    /// Can this unit move to `dst`?
+    fn can_migrate(&self, unit: Tid, dst: HostId) -> bool;
+    /// Order the unit off its host (to `dst` where that is meaningful).
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId);
+    /// Register a shutdown hook run when the application drains.
+    fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>);
+}
+
+/// MPVM adapter: units are migratable processes.
+pub struct MpvmTarget(pub Arc<Mpvm>);
+
+impl MigrationTarget for MpvmTarget {
+    fn kind(&self) -> &'static str {
+        "mpvm"
+    }
+    fn units_on(&self, host: HostId) -> Vec<Tid> {
+        self.0
+            .app_tids()
+            .into_iter()
+            .filter(|t| self.0.pvm().host_of(*t) == Some(host))
+            .collect()
+    }
+    fn can_migrate(&self, unit: Tid, dst: HostId) -> bool {
+        self.0.migration_compatible(unit, dst)
+    }
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) {
+        self.0.inject_migration(ctx, unit, dst);
+    }
+    fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
+        self.0.on_app_drain(f);
+    }
+}
+
+/// UPVM adapter: units are ULPs — finer-grained than whole processes.
+pub struct UpvmTarget(pub Arc<Upvm>);
+
+impl MigrationTarget for UpvmTarget {
+    fn kind(&self) -> &'static str {
+        "upvm"
+    }
+    fn units_on(&self, host: HostId) -> Vec<Tid> {
+        self.0
+            .layout()
+            .into_iter()
+            .filter(|(_, h, _)| *h == host)
+            .map(|(t, _, _)| t)
+            .collect()
+    }
+    fn can_migrate(&self, _unit: Tid, dst: HostId) -> bool {
+        // ULPs share MPVM's compatibility constraint; host classes are
+        // checked against each other per migration.
+        dst.0 < self.0.pvm().nhosts()
+    }
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) {
+        self.0.inject_migration(ctx, unit, dst);
+    }
+    fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
+        self.0.on_app_drain(f);
+    }
+}
+
+/// A deferred shutdown callback.
+type DrainHook = Box<dyn FnOnce(&SimCtx) + Send>;
+
+/// ADM adapter: "migration" is an application-level withdraw event; the
+/// application moves data, not processes. The harness registers the
+/// data-parallel workers and a drain hook.
+pub struct AdmTarget {
+    pvm: Arc<Pvm>,
+    workers: Mutex<Vec<(Tid, HostId)>>,
+    drain_hooks: Mutex<Vec<DrainHook>>,
+}
+
+impl AdmTarget {
+    /// New adapter over the plain PVM the ADM app runs on.
+    pub fn new(pvm: Arc<Pvm>) -> Arc<AdmTarget> {
+        Arc::new(AdmTarget {
+            pvm,
+            workers: Mutex::new(Vec::new()),
+            drain_hooks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register a data-parallel worker and the host it runs on.
+    pub fn register_worker(&self, tid: Tid, host: HostId) {
+        self.workers.lock().push((tid, host));
+    }
+
+    /// The application calls this (from its last task) when it completes.
+    pub fn drain(&self, ctx: &SimCtx) {
+        for f in std::mem::take(&mut *self.drain_hooks.lock()) {
+            f(ctx);
+        }
+    }
+}
+
+impl MigrationTarget for AdmTarget {
+    fn kind(&self) -> &'static str {
+        "adm"
+    }
+    fn units_on(&self, host: HostId) -> Vec<Tid> {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|(_, h)| *h == host)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+    fn can_migrate(&self, _unit: Tid, _dst: HostId) -> bool {
+        // Data moves anywhere — ADM's heterogeneity strength (§3.3.3).
+        true
+    }
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, _dst: HostId) {
+        // The withdraw event goes to the worker itself; the application's
+        // FSM redistributes the data.
+        adm::inject_event(ctx, &self.pvm, unit, AdmEvent::Withdraw { worker: unit });
+    }
+    fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
+        self.drain_hooks.lock().push(f);
+    }
+}

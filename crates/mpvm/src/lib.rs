@@ -1,0 +1,22 @@
+//! # mpvm — Migratable PVM
+//!
+//! Transparent migration of process-based virtual processors (§2.1 of the
+//! paper). A migratable task is an unmodified `TaskApi` program; when the
+//! global scheduler orders a migration, the four-stage protocol runs inside
+//! the library: **migration event** (asynchronous signal) → **message
+//! flushing** (peers gate their sends and ack) → **VP state transfer**
+//! (skeleton process + dedicated TCP connection) → **restart** (re-enroll
+//! under a new tid, broadcast the old→new re-mapping, unblock senders).
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod proto;
+mod shared;
+mod system;
+mod task;
+
+pub use proto::MigrateOrder;
+pub use shared::{MigShared, DEFAULT_STATE_BYTES};
+pub use system::Mpvm;
+pub use task::MigTask;

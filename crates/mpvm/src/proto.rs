@@ -1,0 +1,111 @@
+//! MPVM protocol messages and reserved tags.
+//!
+//! All protocol traffic rides on ordinary PVM messages with reserved
+//! (negative) tags, exactly as MPVM hides its protocol inside the pvmlib.
+
+use pvm_rt::{Message, MsgBuf, Tid};
+use worknet::HostId;
+
+/// GS → mpvmd: migrate a task.
+pub const TAG_MIGRATE_CMD: i32 = -101;
+/// Migrating task → destination mpvmd: start a skeleton process.
+pub const TAG_SKEL_REQ: i32 = -102;
+/// Destination mpvmd → migrating task: skeleton is ready.
+pub const TAG_SKEL_READY: i32 = -103;
+/// Migrating task → every peer's protocol agent: flush.
+pub const TAG_FLUSH: i32 = -104;
+/// Peer agent → migrating task: flush acknowledged.
+pub const TAG_FLUSH_ACK: i32 = -105;
+/// Migrated task → every peer's protocol agent: restart (old tid → new tid).
+pub const TAG_RESTART: i32 = -106;
+/// Shutdown for daemons and agents.
+pub const TAG_QUIT: i32 = -107;
+
+/// The asynchronous migration order delivered to a task's actor as a
+/// simcore signal (the moral equivalent of MPVM's SIGUSR migration signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateOrder {
+    /// Destination host.
+    pub dst: HostId,
+}
+
+/// Build a GS→daemon migrate command.
+pub fn migrate_cmd(task: Tid, dst: HostId) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[task.raw(), dst.0 as u32])
+}
+
+/// Parse a migrate command.
+pub fn parse_migrate_cmd(m: &Message) -> (Tid, HostId) {
+    let v = m.reader().upk_uint().expect("malformed migrate cmd");
+    (Tid::from_raw(v[0]), HostId(v[1] as usize))
+}
+
+/// Build a flush message naming the migrating tid.
+pub fn flush_msg(migrating: Tid) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[migrating.raw()])
+}
+
+/// Parse a flush message.
+pub fn parse_flush(m: &Message) -> Tid {
+    let v = m.reader().upk_uint().expect("malformed flush");
+    Tid::from_raw(v[0])
+}
+
+/// Build a restart message carrying the tid rebinding.
+pub fn restart_msg(old: Tid, new: Tid) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[old.raw(), new.raw()])
+}
+
+/// Parse a restart message.
+pub fn parse_restart(m: &Message) -> (Tid, Tid) {
+    let v = m.reader().upk_uint().expect("malformed restart");
+    (Tid::from_raw(v[0]), Tid::from_raw(v[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: usize, i: u32) -> Tid {
+        Tid::new(HostId(h), i)
+    }
+
+    #[test]
+    fn migrate_cmd_roundtrip() {
+        let m = Message::new(t(0, 0), TAG_MIGRATE_CMD, migrate_cmd(t(1, 5), HostId(3)));
+        let (tid, dst) = parse_migrate_cmd(&m);
+        assert_eq!(tid, t(1, 5));
+        assert_eq!(dst, HostId(3));
+    }
+
+    #[test]
+    fn flush_roundtrip() {
+        let m = Message::new(t(0, 0), TAG_FLUSH, flush_msg(t(2, 9)));
+        assert_eq!(parse_flush(&m), t(2, 9));
+    }
+
+    #[test]
+    fn restart_roundtrip() {
+        let m = Message::new(t(0, 0), TAG_RESTART, restart_msg(t(0, 1), t(1, 7)));
+        assert_eq!(parse_restart(&m), (t(0, 1), t(1, 7)));
+    }
+
+    #[test]
+    fn reserved_tags_are_distinct_and_negative() {
+        let tags = [
+            TAG_MIGRATE_CMD,
+            TAG_SKEL_REQ,
+            TAG_SKEL_READY,
+            TAG_FLUSH,
+            TAG_FLUSH_ACK,
+            TAG_RESTART,
+            TAG_QUIT,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            assert!(*a < 0);
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

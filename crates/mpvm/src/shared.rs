@@ -1,0 +1,183 @@
+//! Per-task migration state shared between a task and its protocol agent.
+//!
+//! Every MPVM task carries a tid re-mapping table (old tid → new tid,
+//! updated when restart messages arrive) and a send-gate set (destinations
+//! currently migrating — sends to them block, §2.1 stage 2). The table is
+//! *per task*, as in the real system: tasks learn about a migration at
+//! different times, when their own agent processes the restart message.
+
+use parking_lot::Mutex;
+use pvm_rt::Tid;
+use simcore::ActorId;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared state between one MPVM task and its agent.
+#[derive(Default)]
+pub struct MigShared {
+    remap: Mutex<HashMap<Tid, Tid>>,
+    gated: Mutex<HashSet<Tid>>,
+    /// If the task is blocked on a gated send: (gated destination, actor).
+    blocked_on: Mutex<Option<(Tid, ActorId)>>,
+    /// Size of the task's migratable state (data + heap + stack), bytes.
+    state_bytes: AtomicUsize,
+}
+
+/// Default process-image size before the application registers its data
+/// (text is shared with the skeleton; this is bss + stack).
+pub const DEFAULT_STATE_BYTES: usize = 256 * 1024;
+
+impl MigShared {
+    /// Fresh state with the default image size.
+    pub fn new() -> Self {
+        let s = MigShared::default();
+        s.state_bytes.store(DEFAULT_STATE_BYTES, Ordering::SeqCst);
+        s
+    }
+
+    /// Follow the re-mapping chain from `t` to the newest known tid,
+    /// shortening the path as it goes.
+    pub fn remap(&self, t: Tid) -> Tid {
+        let mut map = self.remap.lock();
+        let mut cur = t;
+        let mut seen = Vec::new();
+        while let Some(&next) = map.get(&cur) {
+            seen.push(cur);
+            cur = next;
+            assert!(seen.len() < 10_000, "tid remap cycle");
+        }
+        for s in seen {
+            map.insert(s, cur);
+        }
+        cur
+    }
+
+    /// Record that `old` is now `new`.
+    pub fn add_remap(&self, old: Tid, new: Tid) {
+        assert_ne!(old, new, "degenerate remap");
+        self.remap.lock().insert(old, new);
+    }
+
+    /// Number of remap entries (Table 1 overhead accounting / tests).
+    pub fn remap_len(&self) -> usize {
+        self.remap.lock().len()
+    }
+
+    /// Close the send gate towards a migrating tid.
+    pub fn gate(&self, t: Tid) {
+        self.gated.lock().insert(t);
+    }
+
+    /// Open the gate for `t`; returns the task's actor if it was blocked
+    /// sending to `t` and should be woken.
+    pub fn ungate(&self, t: Tid) -> Option<ActorId> {
+        self.gated.lock().remove(&t);
+        let mut b = self.blocked_on.lock();
+        match *b {
+            Some((dst, actor)) if dst == t => {
+                *b = None;
+                Some(actor)
+            }
+            _ => None,
+        }
+    }
+
+    /// Is the destination currently gated?
+    pub fn is_gated(&self, t: Tid) -> bool {
+        self.gated.lock().contains(&t)
+    }
+
+    /// Register the task as blocked on a gated send.
+    pub fn set_blocked(&self, dst: Tid, actor: ActorId) {
+        *self.blocked_on.lock() = Some((dst, actor));
+    }
+
+    /// Clear the blocked-sender registration.
+    pub fn clear_blocked(&self) {
+        *self.blocked_on.lock() = None;
+    }
+
+    /// Migratable state size in bytes.
+    pub fn state_bytes(&self) -> usize {
+        self.state_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Declare the task's migratable state size (the application's data +
+    /// heap; Opt registers its exemplar partition here).
+    pub fn set_state_bytes(&self, n: usize) {
+        self.state_bytes
+            .store(n.max(DEFAULT_STATE_BYTES), Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worknet::HostId;
+
+    fn t(h: usize, i: u32) -> Tid {
+        Tid::new(HostId(h), i)
+    }
+
+    #[test]
+    fn remap_follows_chains_and_shortens() {
+        let s = MigShared::new();
+        s.add_remap(t(0, 1), t(1, 1));
+        s.add_remap(t(1, 1), t(0, 2));
+        assert_eq!(s.remap(t(0, 1)), t(0, 2));
+        assert_eq!(s.remap(t(1, 1)), t(0, 2));
+        // Unknown tids map to themselves.
+        assert_eq!(s.remap(t(5, 5)), t(5, 5));
+        assert_eq!(s.remap_len(), 2);
+    }
+
+    #[test]
+    fn gates_block_and_release() {
+        let s = MigShared::new();
+        let dst = t(0, 1);
+        assert!(!s.is_gated(dst));
+        s.gate(dst);
+        assert!(s.is_gated(dst));
+        // No blocked sender registered: ungate returns nothing.
+        assert_eq!(s.ungate(dst), None);
+        assert!(!s.is_gated(dst));
+    }
+
+    #[test]
+    fn ungate_returns_blocked_actor_only_for_matching_dst() {
+        let s = MigShared::new();
+        let dst = t(0, 1);
+        let other = t(0, 2);
+        s.gate(dst);
+        s.gate(other);
+        // Simulate a blocked sender (fabricated actor id via transmute-free
+        // path: ActorId has no public constructor, so use the fact that
+        // set_blocked/ungate only compare — grab one from a real sim).
+        let sim = simcore::Sim::new();
+        let actor = sim.spawn("x", |_| {});
+        sim.run().unwrap();
+        s.set_blocked(dst, actor);
+        assert_eq!(s.ungate(other), None);
+        assert_eq!(s.ungate(dst), Some(actor));
+        // Cleared after the wake.
+        s.gate(dst);
+        assert_eq!(s.ungate(dst), None);
+    }
+
+    #[test]
+    fn state_bytes_floor_at_default() {
+        let s = MigShared::new();
+        assert_eq!(s.state_bytes(), DEFAULT_STATE_BYTES);
+        s.set_state_bytes(10);
+        assert_eq!(s.state_bytes(), DEFAULT_STATE_BYTES);
+        s.set_state_bytes(5_000_000);
+        assert_eq!(s.state_bytes(), 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate remap")]
+    fn self_remap_panics() {
+        let s = MigShared::new();
+        s.add_remap(t(0, 1), t(0, 1));
+    }
+}

@@ -1,0 +1,262 @@
+//! The MPVM system: migration daemons (mpvmd), per-task protocol agents,
+//! and the application-spawning API.
+//!
+//! * One **mpvmd** runs per host. The global scheduler sends it
+//!   `TAG_MIGRATE_CMD`; it delivers the migration order to the target task
+//!   as an asynchronous signal (the paper's SIGUSR path) after checking
+//!   migration compatibility.
+//! * One **protocol agent** runs per application task, standing in for the
+//!   signal handlers the real MPVM links into the application: it answers
+//!   flush messages (closing this task's send gate towards the migrating
+//!   tid) and restart messages (recording the tid re-mapping and waking a
+//!   blocked sender) *while the application task is busy computing*.
+
+use crate::proto::{self, MigrateOrder};
+use crate::shared::MigShared;
+use crate::task::MigTask;
+use parking_lot::Mutex;
+use pvm_rt::{Message, MsgBuf, Pvm, ShutdownGroup, TaskApi, Tid};
+use simcore::SimCtx;
+use std::sync::Arc;
+use worknet::HostId;
+
+struct AppEntry {
+    current: Tid,
+    agent: Tid,
+    shared: Arc<MigShared>,
+}
+
+/// The MPVM runtime handle.
+pub struct Mpvm {
+    pvm: Arc<Pvm>,
+    daemons: Vec<Tid>,
+    apps: Mutex<Vec<AppEntry>>,
+    group: ShutdownGroup,
+}
+
+impl Mpvm {
+    /// Bring up MPVM on an existing virtual machine: spawns one mpvmd per
+    /// host.
+    pub fn new(pvm: Arc<Pvm>) -> Arc<Mpvm> {
+        let mut daemons = Vec::new();
+        for h in 0..pvm.nhosts() {
+            let host = HostId(h);
+            let p = Arc::clone(&pvm);
+            let tid = pvm.spawn(host, format!("mpvmd@host{h}"), move |task| {
+                daemon_body(&p, &task);
+            });
+            daemons.push(tid);
+        }
+        Arc::new(Mpvm {
+            pvm,
+            daemons,
+            apps: Mutex::new(Vec::new()),
+            group: ShutdownGroup::new(),
+        })
+    }
+
+    /// The underlying virtual machine.
+    pub fn pvm(&self) -> &Arc<Pvm> {
+        &self.pvm
+    }
+
+    /// The mpvmd tid on a host.
+    pub fn daemon_tid(&self, host: HostId) -> Tid {
+        self.daemons[host.0]
+    }
+
+    /// Spawn a migratable application task. The body programs against
+    /// [`pvm_rt::TaskApi`]; migration is transparent to it.
+    pub fn spawn_app(
+        self: &Arc<Self>,
+        host: HostId,
+        name: impl Into<String>,
+        body: impl FnOnce(&MigTask) + Send + 'static,
+    ) -> Tid {
+        let name = name.into();
+        let shared = Arc::new(MigShared::new());
+        let agent_shared = Arc::clone(&shared);
+        let agent = self.pvm.spawn(host, format!("{name}.agent"), move |task| {
+            agent_body(&task, &agent_shared);
+        });
+        self.group.register();
+        let sys = Arc::clone(self);
+        let app_shared = Arc::clone(&shared);
+        let app_tid = self.pvm.spawn(host, name, move |ptask| {
+            let mig = MigTask::new(ptask, Arc::clone(&sys), app_shared, agent);
+            body(&mig);
+            sys.group.finish(mig.inner().sim());
+        });
+        self.apps.lock().push(AppEntry {
+            current: app_tid,
+            agent,
+            shared,
+        });
+        app_tid
+    }
+
+    /// Declare that no more app tasks will be spawned; when the last one
+    /// finishes, daemons and agents are sent `TAG_QUIT` automatically.
+    pub fn seal(self: &Arc<Self>) {
+        let sys = Arc::clone(self);
+        self.group.on_done(move |ctx| {
+            let mut targets = sys.daemons.clone();
+            targets.extend(sys.apps.lock().iter().map(|a| a.agent));
+            for t in targets {
+                if let Some((_, mb)) = sys.pvm.lookup(t) {
+                    mb.send(ctx, Message::new(t, proto::TAG_QUIT, MsgBuf::new()));
+                }
+            }
+        });
+        self.group.seal();
+    }
+
+    /// Register a callback to run when the last app task finishes (the
+    /// global scheduler uses this to shut itself down).
+    pub fn on_app_drain(&self, f: impl FnOnce(&SimCtx) + Send + 'static) {
+        self.group.on_done(f);
+    }
+
+    /// Current tids of all app tasks (post-migration identities).
+    pub fn app_tids(&self) -> Vec<Tid> {
+        self.apps.lock().iter().map(|a| a.current).collect()
+    }
+
+    /// Agent tids of every app task except the one currently identified by
+    /// `me` (the flush/restart broadcast set: "all other processes").
+    pub fn peer_agents(&self, me: Tid) -> Vec<Tid> {
+        self.apps
+            .lock()
+            .iter()
+            .filter(|a| a.current != me)
+            .map(|a| a.agent)
+            .collect()
+    }
+
+    /// Record a task's post-migration identity.
+    pub fn update_tid(&self, old: Tid, new: Tid) {
+        let mut apps = self.apps.lock();
+        let e = apps
+            .iter_mut()
+            .find(|a| a.current == old)
+            .expect("update_tid: unknown app tid");
+        e.current = new;
+    }
+
+    /// The migration-state handle of an app task (by current tid).
+    pub fn shared_of(&self, tid: Tid) -> Option<Arc<MigShared>> {
+        self.apps
+            .lock()
+            .iter()
+            .find(|a| a.current == tid)
+            .map(|a| Arc::clone(&a.shared))
+    }
+
+    /// Would a migration of `tid` to `dst` pass the compatibility check?
+    pub fn migration_compatible(&self, tid: Tid, dst: HostId) -> bool {
+        let Some(src) = self.pvm.host_of(tid) else {
+            return false;
+        };
+        let cluster = &self.pvm.cluster;
+        cluster
+            .host(src)
+            .spec
+            .arch
+            .migration_compatible(cluster.host(dst).spec.arch)
+    }
+
+    /// Inject a GS migration command: a small control message to the mpvmd
+    /// on the task's current host (the paper's "GS signals the pvmds").
+    /// Callable from any actor context (the GS need not be a PVM task).
+    pub fn inject_migration(&self, ctx: &SimCtx, tid: Tid, dst: HostId) {
+        let Some(src_host) = self.pvm.host_of(tid) else {
+            return;
+        };
+        let dmn = self.daemon_tid(src_host);
+        // The application may have drained (daemons quit) between the GS's
+        // decision and this injection; that race is benign.
+        let Some((_, mb)) = self.pvm.lookup(dmn) else {
+            return;
+        };
+        let msg = Message::new(dmn, proto::TAG_MIGRATE_CMD, proto::migrate_cmd(tid, dst));
+        let latency = self.pvm.cluster.calib.wire_latency;
+        ctx.schedule(latency, move |w| mb.send_from_world(w, msg));
+    }
+}
+
+/// The mpvmd main loop.
+fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
+    loop {
+        let m = task.recv(None, None);
+        match m.tag {
+            proto::TAG_MIGRATE_CMD => {
+                let (tid, dst) = proto::parse_migrate_cmd(&m);
+                task.sim()
+                    .trace("mpvm.cmd.received", format!("{tid} -> {dst}"));
+                let cluster = &pvm.cluster;
+                let compatible = pvm.host_of(tid).is_some_and(|src| {
+                    cluster
+                        .host(src)
+                        .spec
+                        .arch
+                        .migration_compatible(cluster.host(dst).spec.arch)
+                });
+                if !compatible {
+                    task.sim().trace(
+                        "mpvm.cmd.rejected",
+                        format!("{tid} -> {dst}: not migration-compatible"),
+                    );
+                    continue;
+                }
+                match pvm.actor_of(tid) {
+                    Some(actor) => {
+                        // Signal delivery cost (kill + handler entry).
+                        task.host().syscall(task.sim());
+                        task.sim()
+                            .post_signal(actor, Box::new(MigrateOrder { dst }));
+                    }
+                    None => task
+                        .sim()
+                        .trace("mpvm.cmd.dropped", format!("{tid}: no such task")),
+                }
+            }
+            proto::TAG_SKEL_REQ => {
+                // fork + exec the skeleton from the same executable, then
+                // tell the migrating process it may connect (§2.1 stage 3).
+                task.sim().trace("mpvm.skel.start", String::new());
+                task.host().fork_exec(task.sim());
+                task.send(m.src, proto::TAG_SKEL_READY, MsgBuf::new());
+            }
+            proto::TAG_QUIT => break,
+            other => task
+                .sim()
+                .trace("mpvm.daemon.unknown", format!("tag {other}")),
+        }
+    }
+}
+
+/// The per-task protocol agent: the "signal handlers transparently linked
+/// into the application".
+fn agent_body(task: &Arc<pvm_rt::PvmTask>, shared: &Arc<MigShared>) {
+    loop {
+        let m = task.recv(None, None);
+        match m.tag {
+            proto::TAG_FLUSH => {
+                let migrating = proto::parse_flush(&m);
+                shared.gate(migrating);
+                task.send(m.src, proto::TAG_FLUSH_ACK, MsgBuf::new());
+            }
+            proto::TAG_RESTART => {
+                let (old, new) = proto::parse_restart(&m);
+                shared.add_remap(old, new);
+                if let Some(actor) = shared.ungate(old) {
+                    task.sim().wake(actor);
+                }
+            }
+            proto::TAG_QUIT => break,
+            other => task
+                .sim()
+                .trace("mpvm.agent.unknown", format!("tag {other}")),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The migratable task: a transparent wrapper implementing [`TaskApi`].
+//!
+//! Applications written against `TaskApi` run unmodified; the wrapper adds
+//! exactly the overheads the paper attributes to MPVM (§4.1.1):
+//! tid re-mapping on every send and receive, send gating during a peer's
+//! flush, and a migratable receive. `compute` slices are interruptible so a
+//! migration order can preempt the task "at virtually any point" — except
+//! while inside the library, which is uninterruptible (the re-entrancy
+//! restriction of §2.1).
+
+use crate::proto::{self, MigrateOrder};
+use crate::shared::MigShared;
+use crate::system::Mpvm;
+use pvm_rt::{Message, MsgBuf, PvmTask, TaskApi, Tid};
+use simcore::{Interrupted, SimDuration, SimTime};
+use std::sync::Arc;
+use worknet::{ComputeOutcome, HostId, TcpConn};
+
+/// A migratable MPVM task.
+pub struct MigTask {
+    inner: Arc<PvmTask>,
+    sys: Arc<Mpvm>,
+    shared: Arc<MigShared>,
+    agent: Tid,
+}
+
+impl MigTask {
+    pub(crate) fn new(
+        inner: Arc<PvmTask>,
+        sys: Arc<Mpvm>,
+        shared: Arc<MigShared>,
+        agent: Tid,
+    ) -> MigTask {
+        MigTask {
+            inner,
+            sys,
+            shared,
+            agent,
+        }
+    }
+
+    /// The wrapped plain task (protocol layers and shutdown need it).
+    pub fn inner(&self) -> &Arc<PvmTask> {
+        &self.inner
+    }
+
+    /// This task's protocol agent tid.
+    pub fn agent_tid(&self) -> Tid {
+        self.agent
+    }
+
+    /// Declare the size of this task's migratable state (data + heap).
+    /// The application's data partition dominates migration cost, and the
+    /// bytes count against the current host's physical memory.
+    pub fn set_state_bytes(&self, n: usize) {
+        self.shared.set_state_bytes(n);
+        self.inner
+            .pvm()
+            .set_task_state_bytes(self.inner.tid(), self.shared.state_bytes());
+    }
+
+    /// Current migratable state size.
+    pub fn state_bytes(&self) -> usize {
+        self.shared.state_bytes()
+    }
+
+    /// Drain queued signals, performing any requested migrations.
+    fn handle_signals(&self) {
+        while let Some(sig) = self.inner.sim().take_signal() {
+            match sig.downcast::<MigrateOrder>() {
+                Ok(order) => self.migrate_now(order.dst),
+                Err(other) => self
+                    .inner
+                    .sim()
+                    .trace("mpvm.signal.unknown", format!("{other:?}")),
+            }
+        }
+    }
+
+    /// Execute the four-stage migration protocol (§2.1, figure 1).
+    fn migrate_now(&self, dst: HostId) {
+        let ctx = self.inner.sim().clone();
+        let pvm = Arc::clone(self.inner.pvm());
+        let old = self.inner.tid();
+        let src_host = self.inner.host_id();
+        if src_host == dst {
+            ctx.trace("mpvm.migrate.noop", format!("{old} already on {dst}"));
+            return;
+        }
+        if !self.sys.migration_compatible(old, dst) {
+            ctx.trace(
+                "mpvm.migrate.rejected",
+                format!("{old}: {src_host} and {dst} not migration-compatible"),
+            );
+            return;
+        }
+        let calib = Arc::clone(&pvm.cluster.calib);
+        ctx.trace("mpvm.event", format!("{old} {src_host} -> {dst}"));
+
+        // Stage 2: message flushing. Tell every other process we are about
+        // to move; each agent closes its send gate towards us and acks.
+        let peers = self.sys.peer_agents(old);
+        for &a in &peers {
+            self.inner.send(a, proto::TAG_FLUSH, proto::flush_msg(old));
+        }
+        ctx.trace("mpvm.flush.sent", format!("{} peers", peers.len()));
+        for _ in 0..peers.len() {
+            let _ = self
+                .inner
+                .recv_where(&|m: &Message| m.tag == proto::TAG_FLUSH_ACK);
+        }
+        ctx.trace("mpvm.flush.done", String::new());
+
+        // Stage 3a: ask the destination mpvmd for a skeleton process.
+        let dmn = self.sys.daemon_tid(dst);
+        self.inner.send(dmn, proto::TAG_SKEL_REQ, MsgBuf::new());
+        let _ = self
+            .inner
+            .recv_where(&|m: &Message| m.tag == proto::TAG_SKEL_READY);
+        ctx.trace("mpvm.skel.ready", String::new());
+
+        // Stage 3b: transfer data/heap/stack/register state over a
+        // dedicated TCP connection to the skeleton.
+        let bytes = self.shared.state_bytes();
+        ctx.advance(SimDuration::from_secs_f64(
+            bytes as f64 * calib.state_copy_s_per_byte,
+        ));
+        let conn = TcpConn::connect(&ctx, &pvm.cluster.ether, &calib);
+        conn.send_blocking(&ctx, bytes);
+        ctx.trace("mpvm.offhost", format!("{bytes} bytes transferred"));
+
+        // Stage 4: restart. Re-enroll under a new tid on the new host, let
+        // the skeleton install the received state, broadcast restart.
+        let new = pvm.migrate_enroll(old, dst);
+        self.inner.set_tid(new);
+        pvm.rebind(self.agent, dst);
+        self.sys.update_tid(old, new);
+        ctx.advance(calib.restart_fixed);
+        pvm.cluster.host(dst).memcpy(&ctx, bytes);
+        for &a in &peers {
+            self.inner
+                .send(a, proto::TAG_RESTART, proto::restart_msg(old, new));
+        }
+        ctx.trace("mpvm.restart.sent", format!("{old} -> {new}"));
+        ctx.trace("mpvm.resumed", format!("{new} on {dst}"));
+    }
+
+    /// Remap + gate a destination, blocking while it is migrating.
+    fn resolve_dst(&self, to: Tid) -> Tid {
+        let mut dst = self.shared.remap(to);
+        loop {
+            if !self.shared.is_gated(dst) {
+                return dst;
+            }
+            self.inner
+                .sim()
+                .trace("mpvm.send.gated", format!("blocked on {dst}"));
+            self.shared.set_blocked(dst, self.inner.sim().id());
+            // The agent wakes us when the restart message arrives. Between
+            // our gate check and this park no other actor can run (token
+            // model), so the wake cannot be lost.
+            self.inner.sim().block("mpvm send gated (flush)", false);
+            self.shared.clear_blocked();
+            dst = self.shared.remap(dst);
+        }
+    }
+}
+
+impl TaskApi for MigTask {
+    fn mytid(&self) -> Tid {
+        self.inner.tid()
+    }
+
+    fn host_id(&self) -> HostId {
+        self.inner.host_id()
+    }
+
+    fn nhosts(&self) -> usize {
+        self.inner.nhosts()
+    }
+
+    fn send(&self, to: Tid, tag: i32, buf: MsgBuf) {
+        self.handle_signals();
+        let dst = self.resolve_dst(to);
+        self.inner.send(dst, tag, buf);
+    }
+
+    fn mcast(&self, to: &[Tid], tag: i32, buf: MsgBuf) {
+        self.handle_signals();
+        let msg = Message::new(self.inner.tid(), tag, buf);
+        for &t in to {
+            let dst = self.resolve_dst(t);
+            self.inner
+                .send_message(dst, msg.clone().with_src(self.inner.tid()));
+        }
+    }
+
+    fn recv(&self, from: Option<Tid>, tag: Option<i32>) -> Message {
+        loop {
+            self.handle_signals();
+            let shared = Arc::clone(&self.shared);
+            // Re-map lazily on BOTH sides at every match attempt: a restart
+            // message can arrive (updating the table) while we are blocked
+            // here, and a pre-computed filter would go stale and miss the
+            // migrated sender's messages forever.
+            let matcher = move |m: &Message| {
+                tag.is_none_or(|t| m.tag == t)
+                    && from.is_none_or(|f| shared.remap(m.src) == shared.remap(f))
+            };
+            match self.inner.recv_where_interruptible(&matcher) {
+                Ok(m) => {
+                    let src = self.shared.remap(m.src);
+                    return m.with_src(src);
+                }
+                Err(Interrupted) => continue, // signal: handled at loop top
+            }
+        }
+    }
+
+    fn nrecv(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {
+        self.handle_signals();
+        let shared = Arc::clone(&self.shared);
+        let matcher = move |m: &Message| {
+            tag.is_none_or(|t| m.tag == t)
+                && from.is_none_or(|f| shared.remap(m.src) == shared.remap(f))
+        };
+        self.inner.nrecv_where(&matcher).map(|m| {
+            let src = self.shared.remap(m.src);
+            m.with_src(src)
+        })
+    }
+
+    fn probe(&self, from: Option<Tid>, tag: Option<i32>) -> bool {
+        self.handle_signals();
+        let shared = Arc::clone(&self.shared);
+        let matcher = move |m: &Message| {
+            tag.is_none_or(|t| m.tag == t)
+                && from.is_none_or(|f| shared.remap(m.src) == shared.remap(f))
+        };
+        self.inner.probe_where(&matcher)
+    }
+
+    fn compute(&self, flops: f64) {
+        let mut remaining = flops;
+        loop {
+            self.handle_signals();
+            if remaining <= 0.0 {
+                return;
+            }
+            let host = self.inner.host();
+            match host.compute_interruptible(self.inner.sim(), remaining) {
+                ComputeOutcome::Done => return,
+                ComputeOutcome::Interrupted { remaining_flops } => {
+                    remaining = remaining_flops;
+                    // Loop: handle the signal (possibly migrating), then
+                    // finish the work on whichever host we now occupy.
+                }
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.sim().now()
+    }
+
+    fn set_state_bytes(&self, bytes: usize) {
+        MigTask::set_state_bytes(self, bytes);
+    }
+}

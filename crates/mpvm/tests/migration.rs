@@ -1,0 +1,498 @@
+//! End-to-end tests of the MPVM migration protocol.
+
+use mpvm::Mpvm;
+use pvm_rt::{MsgBuf, Pvm, TaskApi, Tid};
+use simcore::{SimDuration, TraceSliceExt};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use worknet::{Arch, Calib, Cluster, HostId, HostSpec};
+
+fn mpvm_on(n_hosts: usize) -> Arc<Mpvm> {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(n_hosts);
+    Mpvm::new(Pvm::new(Arc::new(b.build())))
+}
+
+#[test]
+fn migrate_while_computing_moves_host_and_changes_tid() {
+    let mpvm = mpvm_on(2);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let final_host = Arc::new(AtomicU64::new(u64::MAX));
+    let final_tid = Arc::new(AtomicU32::new(0));
+
+    let fh = Arc::clone(&final_host);
+    let ft = Arc::clone(&final_tid);
+    let worker = mpvm.spawn_app(HostId(0), "worker", move |t| {
+        t.set_state_bytes(1_000_000);
+        let tid0 = t.mytid();
+        t.compute(450.0e6); // 10 s of work
+        fh.store(t.host_id().0 as u64, Ordering::SeqCst);
+        let tid1 = t.mytid();
+        assert_ne!(tid0, tid1, "migration must issue a new tid");
+        ft.store(tid1.raw(), Ordering::SeqCst);
+    });
+    mpvm.seal();
+
+    // GS: order a migration at t = 3 s.
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(3));
+        m2.inject_migration(&ctx, worker, HostId(1));
+    });
+
+    let end = cluster.sim.run().unwrap();
+    assert_eq!(final_host.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        Tid::from_raw(final_tid.load(Ordering::SeqCst)).host(),
+        HostId(1)
+    );
+    // Total = 10 s work + migration overhead (~1 MB well under 3 s extra).
+    let secs = end.as_secs_f64();
+    assert!(secs > 10.0 && secs < 13.5, "end {secs}");
+}
+
+#[test]
+fn migrate_while_blocked_in_recv() {
+    let mpvm = mpvm_on(2);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let got = Arc::new(AtomicU64::new(0));
+
+    let g = Arc::clone(&got);
+    let receiver = mpvm.spawn_app(HostId(0), "receiver", move |t| {
+        // Block immediately; the migration hits while we are in pvm_recv.
+        let m = t.recv(None, Some(1));
+        assert_eq!(m.reader().upk_int().unwrap(), vec![5]);
+        assert_eq!(t.host_id(), HostId(1), "resumed on the new host");
+        g.fetch_add(1, Ordering::SeqCst);
+    });
+
+    mpvm.spawn_app(HostId(0), "sender", move |t| {
+        // Wait out the receiver's migration, then send to its OLD tid;
+        // the remap table must route it to the new identity.
+        t.compute(45.0e6 * 8.0); // 8 s
+        t.send(receiver, 1, MsgBuf::new().pk_int(&[5]));
+    });
+    mpvm.seal();
+
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        m2.inject_migration(&ctx, receiver, HostId(1));
+    });
+
+    cluster.sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn no_message_lost_when_target_migrates_mid_stream() {
+    let mpvm = mpvm_on(2);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    const N: i32 = 40;
+    let sum = Arc::new(AtomicU64::new(0));
+
+    let s = Arc::clone(&sum);
+    let sink = mpvm.spawn_app(HostId(0), "sink", move |t| {
+        t.set_state_bytes(2_000_000);
+        let mut acc = 0u64;
+        for _ in 0..N {
+            let m = t.recv(None, Some(7));
+            acc += m.reader().upk_int().unwrap()[0] as u64;
+            // A little work between receives so the migration lands mid-run.
+            t.compute(9.0e6); // 0.2 s
+        }
+        s.store(acc, Ordering::SeqCst);
+    });
+
+    mpvm.spawn_app(HostId(1), "source", move |t| {
+        for i in 1..=N {
+            t.send(sink, 7, MsgBuf::new().pk_int(&[i]));
+            t.compute(4.5e6); // 0.1 s between sends
+        }
+    });
+    mpvm.seal();
+
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_millis(1500));
+        m2.inject_migration(&ctx, sink, HostId(1));
+    });
+
+    cluster.sim.run().unwrap();
+    assert_eq!(
+        sum.load(Ordering::SeqCst),
+        (1..=N as u64).sum::<u64>(),
+        "all messages must survive the migration"
+    );
+}
+
+#[test]
+fn chained_migrations_remap_transitively() {
+    let mpvm = mpvm_on(3);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let got = Arc::new(AtomicU64::new(0));
+
+    let g = Arc::clone(&got);
+    let hopper = mpvm.spawn_app(HostId(0), "hopper", move |t| {
+        t.compute(45.0e6 * 12.0); // 12 s, migrated twice along the way
+        assert_eq!(t.host_id(), HostId(2));
+        // The message sent to our original tid still reaches us.
+        let m = t.recv(None, Some(3));
+        assert_eq!(m.reader().upk_str().unwrap(), "follow");
+        g.fetch_add(1, Ordering::SeqCst);
+    });
+
+    mpvm.spawn_app(HostId(1), "friend", move |t| {
+        t.compute(45.0e6 * 14.0); // 14 s: after both migrations
+                                  // `hopper` here is the tid from *before both* migrations.
+        t.send(hopper, 3, MsgBuf::new().pk_str("follow"));
+    });
+    mpvm.seal();
+
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        m2.inject_migration(&ctx, hopper, HostId(1));
+        ctx.advance(SimDuration::from_secs(5));
+        // hopper has a new tid now; the GS tracks current identities.
+        let cur = m2
+            .app_tids()
+            .into_iter()
+            .find(|t| *t != hopper)
+            .filter(|t| m2.pvm().host_of(*t) == Some(HostId(1)));
+        // Fall back: find the app task that lives on host1 and is not friend.
+        let target = cur.expect("hopper's current tid");
+        m2.inject_migration(&ctx, target, HostId(2));
+    });
+
+    cluster.sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn concurrent_migrations_of_two_tasks() {
+    let mpvm = mpvm_on(4);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let finished = Arc::new(AtomicU64::new(0));
+
+    let mut tids = Vec::new();
+    for i in 0..2 {
+        let f = Arc::clone(&finished);
+        let tid = mpvm.spawn_app(HostId(i), format!("w{i}"), move |t| {
+            t.set_state_bytes(500_000);
+            t.compute(45.0e6 * 8.0);
+            assert_eq!(t.host_id().0, i + 2, "each worker lands on its target");
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        tids.push(tid);
+    }
+    mpvm.seal();
+
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        // Both orders land in the same instant.
+        m2.inject_migration(&ctx, tids[0], HostId(2));
+        m2.inject_migration(&ctx, tids[1], HostId(3));
+    });
+
+    cluster.sim.run().unwrap();
+    assert_eq!(finished.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn incompatible_architecture_is_rejected() {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("hp"));
+    b.host(HostSpec::hp720("sun").with_arch(Arch::SparcSunos));
+    let mpvm = Mpvm::new(Pvm::new(Arc::new(b.build())));
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+
+    let stayed = Arc::new(AtomicU64::new(u64::MAX));
+    let s = Arc::clone(&stayed);
+    let w = mpvm.spawn_app(HostId(0), "w", move |t| {
+        t.compute(45.0e6 * 5.0);
+        s.store(t.host_id().0 as u64, Ordering::SeqCst);
+    });
+    mpvm.seal();
+
+    assert!(!mpvm.migration_compatible(w, HostId(1)));
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+        m2.inject_migration(&ctx, w, HostId(1));
+    });
+
+    cluster.sim.run().unwrap();
+    assert_eq!(stayed.load(Ordering::SeqCst), 0, "task must not move");
+    let tr = cluster.sim.take_trace();
+    assert!(
+        tr.first_tag("mpvm.cmd.rejected").is_some(),
+        "rejection must be traced"
+    );
+}
+
+#[test]
+fn protocol_trace_has_all_four_stages_in_order() {
+    let mpvm = mpvm_on(2);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let w = mpvm.spawn_app(HostId(0), "w", move |t| {
+        t.set_state_bytes(1_000_000);
+        t.compute(45.0e6 * 6.0);
+    });
+    // A peer so flushing has someone to talk to.
+    mpvm.spawn_app(HostId(1), "peer", move |t| {
+        t.compute(45.0e6 * 7.0);
+    });
+    mpvm.seal();
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        m2.inject_migration(&ctx, w, HostId(1));
+    });
+    cluster.sim.run().unwrap();
+
+    let tr = cluster.sim.take_trace();
+    let order = [
+        "mpvm.cmd.received",
+        "mpvm.event",
+        "mpvm.flush.sent",
+        "mpvm.flush.done",
+        "mpvm.skel.ready",
+        "mpvm.offhost",
+        "mpvm.restart.sent",
+        "mpvm.resumed",
+    ];
+    let mut last = simcore::SimTime::ZERO;
+    for tag in order {
+        let e = tr
+            .first_tag(tag)
+            .unwrap_or_else(|| panic!("missing stage {tag}"));
+        assert!(e.at >= last, "{tag} out of order");
+        last = e.at;
+    }
+}
+
+#[test]
+fn obtrusiveness_scales_like_table2() {
+    // Obtrusiveness = mpvm.event → mpvm.offhost. The fixed part should be
+    // well under a second of overhead beyond the raw transfer, and the
+    // per-byte part should track TCP bandwidth (Table 2's ratio → 1).
+    fn measure(bytes: usize) -> (f64, f64) {
+        let mpvm = mpvm_on(2);
+        let cluster = Arc::clone(&mpvm.pvm().cluster);
+        let w = mpvm.spawn_app(HostId(0), "w", move |t| {
+            t.set_state_bytes(bytes);
+            t.compute(45.0e6 * 60.0);
+        });
+        mpvm.spawn_app(HostId(1), "peer", |t| {
+            t.compute(45.0e6 * 70.0);
+        });
+        mpvm.seal();
+        let m2 = Arc::clone(&mpvm);
+        cluster.sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(5));
+            m2.inject_migration(&ctx, w, HostId(1));
+        });
+        cluster.sim.run().unwrap();
+        let tr = cluster.sim.take_trace();
+        let t0 = tr.first_tag("mpvm.event").unwrap().at;
+        let t1 = tr.first_tag("mpvm.offhost").unwrap().at;
+        let t2 = tr.first_tag("mpvm.resumed").unwrap().at;
+        (t1.since(t0).as_secs_f64(), t2.since(t0).as_secs_f64())
+    }
+    let (obtr_small, mig_small) = measure(300_000);
+    let (obtr_large, mig_large) = measure(10_400_000);
+    // Paper: 0.3 MB → 1.17 s obtrusiveness; 10.4 MB → 12.52 s.
+    assert!(
+        (0.9..1.6).contains(&obtr_small),
+        "small obtrusiveness {obtr_small}"
+    );
+    assert!(
+        (10.0..14.5).contains(&obtr_large),
+        "large obtrusiveness {obtr_large}"
+    );
+    // Migration cost strictly exceeds obtrusiveness (restart stage).
+    assert!(mig_small > obtr_small);
+    assert!(mig_large > obtr_large);
+    // Restart adds a modest delta (paper: 0.2–0.8 s).
+    assert!(mig_small - obtr_small < 1.0);
+    assert!(mig_large - obtr_large < 1.2);
+}
+
+#[test]
+fn results_identical_with_and_without_migration() {
+    // A deterministic numeric pipeline: the sink folds values it receives.
+    // The fold result must be bit-identical whether or not the sink
+    // migrates mid-run (transparency).
+    fn run(migrate: bool) -> u64 {
+        let mpvm = mpvm_on(2);
+        let cluster = Arc::clone(&mpvm.pvm().cluster);
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        let sink = mpvm.spawn_app(HostId(0), "sink", move |t| {
+            let mut h = 0xcbf29ce484222325u64;
+            for _ in 0..20 {
+                let m = t.recv(None, Some(1));
+                for v in m.reader().upk_double().unwrap() {
+                    h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
+                }
+                t.compute(2.0e6);
+            }
+            o.store(h, Ordering::SeqCst);
+        });
+        mpvm.spawn_app(HostId(1), "source", move |t| {
+            let mut x = 1.0f64;
+            for i in 0..20 {
+                let vals: Vec<f64> = (0..64)
+                    .map(|k| {
+                        x = (x * 1.000001 + k as f64).sin();
+                        x
+                    })
+                    .collect();
+                t.send(sink, 1, MsgBuf::new().pk_double(&vals));
+                t.compute(1.0e6 * (1 + i % 3) as f64);
+            }
+        });
+        mpvm.seal();
+        if migrate {
+            let m2 = Arc::clone(&mpvm);
+            cluster.sim.spawn("gs", move |ctx| {
+                ctx.advance(SimDuration::from_millis(700));
+                m2.inject_migration(&ctx, sink, HostId(1));
+            });
+        }
+        cluster.sim.run().unwrap();
+        out.load(Ordering::SeqCst)
+    }
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn deterministic_trace_across_identical_runs() {
+    fn run_once() -> Vec<(u64, String)> {
+        let mpvm = mpvm_on(2);
+        let cluster = Arc::clone(&mpvm.pvm().cluster);
+        let w = mpvm.spawn_app(HostId(0), "w", move |t| {
+            t.set_state_bytes(750_000);
+            t.compute(45.0e6 * 5.0);
+        });
+        mpvm.spawn_app(HostId(1), "p", |t| t.compute(45.0e6 * 6.0));
+        mpvm.seal();
+        let m2 = Arc::clone(&mpvm);
+        cluster.sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_millis(1234));
+            m2.inject_migration(&ctx, w, HostId(1));
+        });
+        cluster.sim.run().unwrap();
+        cluster
+            .sim
+            .take_trace()
+            .into_iter()
+            .map(|e| (e.at.as_nanos(), e.tag))
+            .collect()
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn sender_blocked_by_flush_is_released_by_restart() {
+    let mpvm = mpvm_on(2);
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    let l = Arc::clone(&log);
+    let target = mpvm.spawn_app(HostId(0), "target", move |t| {
+        t.set_state_bytes(4_000_000); // ~4 s transfer: a wide flush window
+        t.compute(45.0e6 * 20.0);
+        // Drain whatever the chatter sent.
+        let mut n = 0;
+        while n < 10 {
+            let _ = t.recv(None, Some(2));
+            n += 1;
+        }
+        l.lock()
+            .unwrap()
+            .push(("target done", t.now().as_secs_f64()));
+    });
+
+    let l = Arc::clone(&log);
+    mpvm.spawn_app(HostId(1), "chatter", move |t| {
+        for i in 0..10 {
+            t.compute(22.5e6); // 0.5 s
+            let before = t.now().as_secs_f64();
+            t.send(target, 2, MsgBuf::new().pk_int(&[i]));
+            let after = t.now().as_secs_f64();
+            if after - before > 0.5 {
+                l.lock().unwrap().push(("send blocked", after - before));
+            }
+        }
+    });
+    mpvm.seal();
+
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        m2.inject_migration(&ctx, target, HostId(1));
+    });
+
+    cluster.sim.run().unwrap();
+    let log = log.lock().unwrap();
+    assert!(
+        log.iter().any(|(what, _)| *what == "send blocked"),
+        "at least one send should have been gated during the ~4 s transfer: {log:?}"
+    );
+    assert!(log.iter().any(|(what, _)| *what == "target done"));
+}
+
+#[test]
+fn migration_relieves_memory_pressure_when_the_job_is_long_enough() {
+    // Two 20 MB jobs overcommit a 32 MiB host and thrash (§1.0's
+    // memory/swap motivation). Moving one away costs a ~20 s transfer over
+    // the 10 Mb/s Ethernet, so migration only pays off when enough work
+    // remains — exactly the trade-off a 1994 GS had to weigh.
+    fn wall(migrate: bool, slices: usize) -> f64 {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.host(HostSpec::hp720("small").with_memory(32 * 1024 * 1024));
+        b.host(HostSpec::hp720("spare").with_memory(32 * 1024 * 1024));
+        let mpvm = Mpvm::new(Pvm::new(Arc::new(b.build())));
+        let cluster = Arc::clone(&mpvm.pvm().cluster);
+        let mut tids = Vec::new();
+        for i in 0..2 {
+            let tid = mpvm.spawn_app(HostId(0), format!("big{i}"), move |t| {
+                t.set_state_bytes(20_000_000);
+                for _ in 0..slices {
+                    t.compute(45.0e6 / 4.0); // 0.25 s quiet-speed slices
+                }
+            });
+            tids.push(tid);
+        }
+        mpvm.seal();
+        if migrate {
+            let m2 = Arc::clone(&mpvm);
+            cluster.sim.spawn("gs", move |ctx| {
+                ctx.advance(SimDuration::from_secs(1));
+                m2.inject_migration(&ctx, tids[1], HostId(1));
+            });
+        }
+        cluster.sim.run().unwrap().as_secs_f64()
+    }
+    // Long job (60 s of quiet work): migration wins.
+    let thrashing = wall(false, 240);
+    let relieved = wall(true, 240);
+    assert!(
+        thrashing > 70.0,
+        "thrashing run should be slow: {thrashing}"
+    );
+    assert!(
+        relieved < thrashing * 0.85,
+        "migrating one long job away must relieve the thrash: {relieved} vs {thrashing}"
+    );
+    // Short job (10 s): the 20 MB transfer costs more than it saves.
+    let short_thrash = wall(false, 40);
+    let short_migrated = wall(true, 40);
+    assert!(
+        short_migrated > short_thrash,
+        "for a short job the transfer dominates: {short_migrated} vs {short_thrash}"
+    );
+}

@@ -1,0 +1,97 @@
+//! Property test: migration transparency under randomized schedules.
+//!
+//! Whatever the migration times, targets, and message pattern, an MPVM
+//! application must compute exactly what it computes undisturbed — the
+//! central guarantee of §2.1.
+
+use mpvm::Mpvm;
+use proptest::prelude::*;
+use pvm_rt::{MsgBuf, Pvm, TaskApi};
+use simcore::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use worknet::{Calib, Cluster, HostId};
+
+/// A deterministic two-task pipeline: the source streams derived values,
+/// the sink folds them; returns the fold. Migrations per `schedule`:
+/// (at_ms, which task [0=sink,1=source], dst host).
+fn run_pipeline(rounds: u32, schedule: &[(u64, u8, u8)]) -> u64 {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(3);
+    let mpvm = Mpvm::new(Pvm::new(Arc::new(b.build())));
+    let cluster = Arc::clone(&mpvm.pvm().cluster);
+    let out = Arc::new(AtomicU64::new(0));
+
+    let o = Arc::clone(&out);
+    let sink = mpvm.spawn_app(HostId(0), "sink", move |t| {
+        t.set_state_bytes(400_000);
+        let mut h = 0xcbf29ce484222325u64;
+        for _ in 0..rounds {
+            let m = t.recv(None, Some(1));
+            for v in m.reader().upk_uint().unwrap() {
+                h = (h ^ v as u64).wrapping_mul(0x100000001b3);
+            }
+            t.compute(2.0e6);
+            t.send(m.src, 2, MsgBuf::new().pk_uint(&[(h & 0xffff) as u32]));
+        }
+        o.store(h, Ordering::SeqCst);
+    });
+    mpvm.spawn_app(HostId(1), "source", move |t| {
+        t.set_state_bytes(300_000);
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..rounds {
+            let vals: Vec<u32> = (0..8)
+                .map(|k| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(k + i as u64);
+                    (x >> 33) as u32
+                })
+                .collect();
+            t.send(sink, 1, MsgBuf::new().pk_uint(&vals));
+            // Fold the sink's ack into the stream (bidirectional traffic
+            // across the migrations).
+            let ack = t.recv(None, Some(2));
+            x ^= ack.reader().upk_uint().unwrap()[0] as u64;
+            t.compute(1.5e6);
+        }
+    });
+    mpvm.seal();
+
+    if !schedule.is_empty() {
+        let sys = Arc::clone(&mpvm);
+        let mut plan = schedule.to_vec();
+        plan.sort();
+        cluster.sim.spawn("gs", move |ctx| {
+            for (at_ms, who, dst) in plan {
+                let until = SimDuration::from_millis(at_ms)
+                    .saturating_sub(ctx.now().since(simcore::SimTime::ZERO));
+                ctx.advance(until);
+                let tids = sys.app_tids();
+                let unit = tids[(who % 2) as usize];
+                sys.inject_migration(&ctx, unit, HostId((dst % 3) as usize));
+            }
+        });
+    }
+
+    cluster.sim.run().expect("pipeline failed");
+    out.load(Ordering::SeqCst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any schedule of up to three migrations leaves the result unchanged.
+    #[test]
+    fn migrations_never_change_results(
+        rounds in 10u32..25,
+        schedule in prop::collection::vec(
+            ((50u64..2_500), (0u8..2), (0u8..3)),
+            0..3,
+        )
+    ) {
+        let quiet = run_pipeline(rounds, &[]);
+        let moved = run_pipeline(rounds, &schedule);
+        prop_assert_eq!(quiet, moved, "schedule {:?} broke transparency", schedule);
+    }
+}

@@ -1,0 +1,599 @@
+//! ADMopt: the data-parallel, adaptive Opt (§2.3, §4.3).
+//!
+//! The slaves run an explicit finite-state machine (figure 4). On a
+//! migration event the withdrawing slave sends its partial gradient and a
+//! redistribution request; the master re-computes the partition and
+//! broadcasts a plan; the withdrawing slave fragments its exemplars across
+//! the receivers (order not preserved, §4.3); a master-coordinated
+//! consensus ends the round. Exemplars ship with their processed flags so
+//! "a slave will not incorrectly reprocess any exemplars they receive from
+//! another slave after redistribution" (§4.3.1) — received unprocessed
+//! exemplars still contribute to the *current* iteration. The master
+//! accounts iterations by exemplar count, not by message count, so the
+//! arithmetic is exact no matter when redistribution strikes.
+
+use crate::config::OptConfig;
+use crate::data::Exemplar;
+use crate::ms::{parse_partial, partial_msg, TAG_DONE, TAG_NET, TAG_PARTIAL};
+use crate::net::{flops_per_exemplar, flops_per_update, CgState, Gradient, Net};
+use crate::seq::TrainResult;
+use adm::{plan_redistribution, AdmEvent, EventBox, Plan};
+use pvm_rt::{Message, MsgBuf, PvmTask, TaskApi, Tid};
+use std::sync::Arc;
+
+/// Withdrawing slave → master: please redistribute me away.
+pub const TAG_REDIST_REQ: i32 = 13;
+/// Master → active slaves: the redistribution plan for a round.
+pub const TAG_PLAN: i32 = 14;
+/// Slave → slave: a fragment of exemplars (with processed flags).
+pub const TAG_EXEMPLARS: i32 = 15;
+
+/// The ADMopt slave FSM states (figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmOptState {
+    /// Normal computing (also between iterations).
+    Compute,
+    /// Executing a redistribution round.
+    Migrate,
+    /// No data left; waiting to finish or rejoin.
+    Idle,
+    /// Training over.
+    Done,
+}
+
+/// The declared transition diagram for the ADMopt slave.
+pub fn admopt_arcs() -> Vec<adm::Arc<AdmOptState>> {
+    use AdmOptState::*;
+    vec![
+        adm::Arc {
+            from: Compute,
+            to: Compute,
+            label: "iterate",
+        },
+        adm::Arc {
+            from: Compute,
+            to: Migrate,
+            label: "migration event / plan received",
+        },
+        adm::Arc {
+            from: Migrate,
+            to: Compute,
+            label: "redistributed, still has data",
+        },
+        adm::Arc {
+            from: Migrate,
+            to: Idle,
+            label: "redistributed, no data",
+        },
+        adm::Arc {
+            from: Idle,
+            to: Migrate,
+            label: "rejoin / peer redistribution",
+        },
+        adm::Arc {
+            from: Idle,
+            to: Done,
+            label: "training finished",
+        },
+        adm::Arc {
+            from: Compute,
+            to: Done,
+            label: "training finished",
+        },
+        adm::Arc {
+            from: Migrate,
+            to: Done,
+            label: "training ended mid-round",
+        },
+    ]
+}
+
+fn plan_msg(round: i32, withdrawing: usize, plan: &Plan) -> MsgBuf {
+    let mut flat = vec![withdrawing as u32, plan.transfers.len() as u32];
+    for t in &plan.transfers {
+        flat.extend([t.from as u32, t.to as u32, t.items as u32]);
+    }
+    MsgBuf::new().pk_int(&[round]).pk_uint(&flat)
+}
+
+fn parse_plan(m: &Message) -> (i32, usize, Vec<adm::Transfer>) {
+    let mut r = m.reader();
+    let round = r.upk_int().expect("plan: round")[0];
+    let flat = r.upk_uint().expect("plan: transfers");
+    let withdrawing = flat[0] as usize;
+    let n = flat[1] as usize;
+    let transfers = (0..n)
+        .map(|i| adm::Transfer {
+            from: flat[2 + 3 * i] as usize,
+            to: flat[3 + 3 * i] as usize,
+            items: flat[4 + 3 * i] as usize,
+        })
+        .collect();
+    (round, withdrawing, transfers)
+}
+
+fn exemplars_msg(dim: usize, batch: &[(Exemplar, bool)]) -> MsgBuf {
+    let mut features = Vec::with_capacity(batch.len() * dim);
+    let mut cats = Vec::with_capacity(batch.len());
+    let mut flags = Vec::with_capacity(batch.len());
+    for (e, processed) in batch {
+        features.extend_from_slice(&e.features);
+        cats.push(e.category as u32);
+        flags.push(u32::from(*processed));
+    }
+    MsgBuf::new()
+        .pk_uint(&[batch.len() as u32, dim as u32])
+        .pk_float(&features)
+        .pk_uint(&cats)
+        .pk_uint(&flags)
+}
+
+fn parse_exemplars(m: &Message) -> Vec<(Exemplar, bool)> {
+    let mut r = m.reader();
+    let hdr = r.upk_uint().expect("exemplars: header");
+    let (n, dim) = (hdr[0] as usize, hdr[1] as usize);
+    let features = r.upk_float().expect("exemplars: features");
+    let cats = r.upk_uint().expect("exemplars: categories");
+    let flags = r.upk_uint().expect("exemplars: flags");
+    (0..n)
+        .map(|i| {
+            (
+                Exemplar {
+                    features: features[i * dim..(i + 1) * dim].to_vec(),
+                    category: cats[i] as usize,
+                },
+                flags[i] != 0,
+            )
+        })
+        .collect()
+}
+
+/// Idle slave → master: I can take work again (rejoin).
+pub const TAG_REJOIN_REQ: i32 = 16;
+
+/// The ADMopt master. Tracks per-slave exemplar counts, coordinates
+/// redistribution rounds (withdrawals mid-iteration, rejoins at iteration
+/// boundaries), and accounts each iteration by exemplar count.
+///
+/// `capacities` are per-slave relative speeds: "the application ... is free
+/// to use whatever precision is most appropriate", allotting data "to the
+/// heterogeneous processors" (§3.4.3). Homogeneous clusters pass all-1s.
+pub fn adm_master(
+    task: &dyn TaskApi,
+    cfg: &OptConfig,
+    slaves: &[Tid],
+    mut counts: Vec<usize>,
+    capacities: &[f64],
+) -> TrainResult {
+    assert_eq!(slaves.len(), counts.len());
+    assert_eq!(slaves.len(), capacities.len());
+    let total: usize = counts.iter().sum();
+    let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
+    let mut cg = CgState::new(cfg.dim, cfg.ncats, cfg.cg_step);
+    let mut losses = Vec::with_capacity(cfg.iterations);
+    let mut active: Vec<usize> = (0..slaves.len()).collect();
+    let mut pending_rejoin: Vec<usize> = Vec::new();
+    let mut round = 0i32;
+
+    let idx_of = |src: Tid| -> usize {
+        slaves
+            .iter()
+            .position(|s| *s == src)
+            .expect("message from unknown slave")
+    };
+
+    for _ in 0..cfg.iterations {
+        // Rejoins take effect at iteration boundaries: everyone is between
+        // iterations, so shipped exemplars carry processed=true flags and
+        // no partial-gradient accounting is disturbed.
+        if !pending_rejoin.is_empty() {
+            let joiners = std::mem::take(&mut pending_rejoin);
+            round += 1;
+            task.compute(cfg.adm_round_flops);
+            let mut new_active = active.clone();
+            new_active.extend(joiners.iter().copied());
+            new_active.sort_unstable();
+            let weights: Vec<f64> = (0..slaves.len())
+                .map(|i| {
+                    if new_active.contains(&i) {
+                        capacities[i]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let plan = plan_redistribution(&counts, &weights);
+            counts = plan.new_counts.clone();
+            let cur: Vec<Tid> = new_active.iter().map(|&i| slaves[i]).collect();
+            // `withdrawing` field is unused for rejoin rounds; send an
+            // out-of-range rank so nobody treats it as their withdrawal.
+            task.mcast(&cur, TAG_PLAN, plan_msg(round, slaves.len(), &plan));
+            adm::master_consensus(task, &cur, round);
+            active = new_active;
+        }
+        let tids: Vec<Tid> = active.iter().map(|&i| slaves[i]).collect();
+        task.mcast(&tids, TAG_NET, MsgBuf::new().pk_float(net.weights()));
+        let mut grad = Gradient::zeros(cfg.dim, cfg.ncats);
+        while grad.count < total {
+            let m = task.recv(None, None);
+            match m.tag {
+                TAG_PARTIAL => {
+                    grad.merge(&parse_partial(&m, cfg.dim, cfg.ncats));
+                }
+                TAG_REDIST_REQ => {
+                    let w = idx_of(m.src);
+                    round += 1;
+                    // Global re-computation of the partitioning (§2.3) —
+                    // the fixed per-round cost of the ADM prototype.
+                    task.compute(cfg.adm_round_flops);
+                    let weights: Vec<f64> = (0..slaves.len())
+                        .map(|i| {
+                            if i == w || !active.contains(&i) {
+                                0.0
+                            } else {
+                                capacities[i]
+                            }
+                        })
+                        .collect();
+                    let plan = plan_redistribution(&counts, &weights);
+                    counts = plan.new_counts.clone();
+                    let cur: Vec<Tid> = active.iter().map(|&i| slaves[i]).collect();
+                    task.mcast(&cur, TAG_PLAN, plan_msg(round, w, &plan));
+                    adm::master_consensus(task, &cur, round);
+                    active.retain(|&i| i != w);
+                    assert!(
+                        !active.is_empty(),
+                        "every slave withdrew; nobody left to compute"
+                    );
+                }
+                TAG_REJOIN_REQ => {
+                    let r = idx_of(m.src);
+                    if !active.contains(&r) && !pending_rejoin.contains(&r) {
+                        pending_rejoin.push(r);
+                    }
+                }
+                other => panic!("adm master: unexpected tag {other}"),
+            }
+        }
+        losses.push(grad.loss / grad.count.max(1) as f64);
+        task.compute(flops_per_update(cfg.dim, cfg.ncats));
+        cg.update(&mut net, &grad);
+    }
+    // Everyone — active and idle — gets the shutdown.
+    task.mcast(slaves, TAG_DONE, MsgBuf::new());
+    TrainResult {
+        checksum: net.checksum(),
+        losses,
+    }
+}
+
+/// The withdrawing slave's message loop after sending its
+/// `TAG_REDIST_REQ`: participate in any other rounds that were queued
+/// ahead of ours (we may even receive data — our own round ships it
+/// onward, flags intact), discard `TAG_NET`s for iterations we will not
+/// compute (resetting flags so the shipped exemplars are processed by
+/// their receivers), and finish our own round. Returns true if training
+/// ended before the master processed our request.
+/// A flagged exemplar store: (exemplar, processed-this-iteration).
+type FlaggedData = Vec<(Exemplar, bool)>;
+/// Plan-execution callbacks shared by the slave's states.
+type SendTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedData, &[adm::Transfer]);
+type RecvTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedData, &[adm::Transfer]) -> usize;
+
+#[allow(clippy::too_many_arguments)]
+fn withdraw_rounds(
+    task: &Arc<PvmTask>,
+    _cfg: &OptConfig,
+    master: Tid,
+    rank: usize,
+    data: &mut FlaggedData,
+    send_transfers: SendTransfers<'_>,
+    recv_transfers: RecvTransfers<'_>,
+) -> bool {
+    loop {
+        let m = task.recv(Some(master), None);
+        match m.tag {
+            TAG_NET => {
+                // A new iteration started before our withdrawal completed;
+                // we will not compute it, so everything we hold is
+                // unprocessed for this iteration.
+                for d in data.iter_mut() {
+                    d.1 = false;
+                }
+            }
+            TAG_PLAN => {
+                let (round, withdrawing, transfers) = parse_plan(&m);
+                send_transfers(task, data, &transfers);
+                if withdrawing == rank {
+                    assert!(data.is_empty(), "withdrawn slave keeps data");
+                    adm::worker_consensus(task.as_ref(), master, round);
+                    return false;
+                }
+                recv_transfers(task, data, &transfers);
+                adm::worker_consensus(task.as_ref(), master, round);
+            }
+            TAG_DONE => return true,
+            other => panic!("withdrawing slave: unexpected tag {other}"),
+        }
+    }
+}
+
+/// The ADMopt slave. `rank` is this slave's index in `slaves`.
+#[allow(clippy::too_many_arguments)]
+pub fn adm_slave(
+    task: &Arc<PvmTask>,
+    cfg: &OptConfig,
+    master: Tid,
+    slaves: &[Tid],
+    rank: usize,
+    part: Vec<Exemplar>,
+    ebox: &EventBox,
+) {
+    use AdmOptState::*;
+    let mut fsm = adm::Fsm::new(Compute, admopt_arcs());
+    let mut data: Vec<(Exemplar, bool)> = part.into_iter().map(|e| (e, false)).collect();
+    let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
+    let mut withdrawn = false;
+
+    // Execute this slave's outgoing transfers of a plan. Fragments are
+    // taken from the tail — order is deliberately not preserved.
+    let send_transfers =
+        |task: &Arc<PvmTask>, data: &mut Vec<(Exemplar, bool)>, transfers: &[adm::Transfer]| {
+            for t in transfers.iter().filter(|t| t.from == rank) {
+                let at = data
+                    .len()
+                    .checked_sub(t.items)
+                    .expect("plan overdraws data");
+                let batch: Vec<(Exemplar, bool)> = data.split_off(at);
+                task.send(slaves[t.to], TAG_EXEMPLARS, exemplars_msg(cfg.dim, &batch));
+            }
+        };
+    // Receive this slave's incoming fragments.
+    let recv_transfers =
+        |task: &Arc<PvmTask>, data: &mut Vec<(Exemplar, bool)>, transfers: &[adm::Transfer]| {
+            let mut received = 0usize;
+            for t in transfers.iter().filter(|t| t.to == rank) {
+                let m = task.recv(Some(slaves[t.from]), Some(TAG_EXEMPLARS));
+                let batch = parse_exemplars(&m);
+                assert_eq!(batch.len(), t.items, "fragment size mismatch");
+                received += batch.len();
+                data.extend(batch);
+            }
+            received
+        };
+
+    'main: loop {
+        // Interruptible wait for the next master message: a migration
+        // event (withdraw/rejoin) can arrive while we idle between
+        // iterations or sit withdrawn.
+        let m = loop {
+            match task.recv_where_interruptible(&|m| m.src == master) {
+                Ok(m) => break m,
+                Err(simcore::Interrupted) => {
+                    while let Some(ev) = ebox.poll(task.sim()) {
+                        match ev {
+                            AdmEvent::Withdraw { .. } if !withdrawn => {
+                                // Between-iterations withdrawal: our partial
+                                // for the last iteration is already in.
+                                fsm.must_goto(Migrate);
+                                task.sim()
+                                    .trace("adm.event", format!("slave {rank} withdrawing (idle)"));
+                                task.send(master, TAG_REDIST_REQ, MsgBuf::new());
+                                let done = withdraw_rounds(
+                                    task,
+                                    cfg,
+                                    master,
+                                    rank,
+                                    &mut data,
+                                    &send_transfers,
+                                    &recv_transfers,
+                                );
+                                task.sim()
+                                    .trace("adm.redist.done", format!("slave {rank} off-loaded"));
+                                if done {
+                                    fsm.must_goto(Done);
+                                    return;
+                                }
+                                fsm.must_goto(Idle);
+                                withdrawn = true;
+                            }
+                            AdmEvent::Rejoin { .. } if withdrawn => {
+                                task.sim()
+                                    .trace("adm.rejoin.request", format!("slave {rank}"));
+                                task.send(master, TAG_REJOIN_REQ, MsgBuf::new());
+                            }
+                            other => task.sim().trace("adm.event.ignored", format!("{other:?}")),
+                        }
+                    }
+                }
+            }
+        };
+        match m.tag {
+            TAG_DONE => {
+                fsm.must_goto(Done);
+                break 'main;
+            }
+            TAG_PLAN => {
+                // A redistribution round while we wait between iterations
+                // (or sit idle): our partial for the last iteration is
+                // already in; received *unprocessed* exemplars still belong
+                // to the current iteration, so process them and send a
+                // supplementary partial. A rejoin round ships only
+                // processed-flagged exemplars, so a rejoiner computes
+                // nothing until the next TAG_NET.
+                fsm.must_goto(Migrate);
+                let (round, _withdrawing, transfers) = parse_plan(&m);
+                send_transfers(task, &mut data, &transfers);
+                recv_transfers(task, &mut data, &transfers);
+                adm::worker_consensus(task.as_ref(), master, round);
+                let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
+                let fresh: Vec<usize> = (0..data.len()).filter(|&i| !data[i].1).collect();
+                if !fresh.is_empty() {
+                    for idxs in fresh.chunks(cfg.chunk) {
+                        let mut flops = 0.0;
+                        for &i in idxs {
+                            net.accumulate(&data[i].0, &mut g);
+                            data[i].1 = true;
+                            flops += flops_per_exemplar(cfg.dim, cfg.ncats);
+                        }
+                        task.compute(flops * cfg.compute_factor);
+                    }
+                    task.send(master, TAG_PARTIAL, partial_msg(&g));
+                }
+                if data.is_empty() && withdrawn {
+                    fsm.must_goto(Idle);
+                } else {
+                    if withdrawn {
+                        task.sim().trace("adm.rejoined", format!("slave {rank}"));
+                        withdrawn = false;
+                    }
+                    fsm.must_goto(Compute);
+                }
+            }
+            TAG_NET => {
+                let w = m.reader().upk_float().expect("net weights");
+                net.set_weights(&w);
+                for d in data.iter_mut() {
+                    d.1 = false; // new iteration: nothing processed yet
+                }
+                let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
+                loop {
+                    // Inner-loop migration-event flag check (§2.3: "rapid
+                    // response ... embedded within the inner computational
+                    // loops").
+                    if let Some(ev) = ebox.poll(task.sim()) {
+                        match ev {
+                            AdmEvent::Withdraw { .. } => {
+                                fsm.must_goto(Migrate);
+                                task.sim()
+                                    .trace("adm.event", format!("slave {rank} withdrawing"));
+                                // Partial so far, then the request.
+                                task.send(master, TAG_PARTIAL, partial_msg(&g));
+                                task.send(master, TAG_REDIST_REQ, MsgBuf::new());
+                                let done = withdraw_rounds(
+                                    task,
+                                    cfg,
+                                    master,
+                                    rank,
+                                    &mut data,
+                                    &send_transfers,
+                                    &recv_transfers,
+                                );
+                                task.sim()
+                                    .trace("adm.redist.done", format!("slave {rank} off-loaded"));
+                                if done {
+                                    fsm.must_goto(Done);
+                                    return;
+                                }
+                                fsm.must_goto(Idle);
+                                withdrawn = true;
+                                // Back to the main loop: wait idle for a
+                                // rejoin round or the end of training.
+                                continue 'main;
+                            }
+                            other => task.sim().trace("adm.event.ignored", format!("{other:?}")),
+                        }
+                    }
+                    // Another slave's redistribution hitting mid-iteration.
+                    if let Some(pm) = task.nrecv(Some(master), Some(TAG_PLAN)) {
+                        fsm.must_goto(Migrate);
+                        let (round, _withdrawing, transfers) = parse_plan(&pm);
+                        send_transfers(task, &mut data, &transfers);
+                        recv_transfers(task, &mut data, &transfers);
+                        adm::worker_consensus(task.as_ref(), master, round);
+                        fsm.must_goto(Compute);
+                        // Newly received unprocessed exemplars are picked up
+                        // below by the unprocessed scan.
+                    }
+                    // Process the next chunk of unprocessed exemplars. The
+                    // processed-flag bookkeeping (scan + mark) is part of
+                    // ADM's inner-loop overhead (§4.3.1).
+                    let todo: Vec<usize> = (0..data.len())
+                        .filter(|&i| !data[i].1)
+                        .take(cfg.chunk)
+                        .collect();
+                    if todo.is_empty() {
+                        break;
+                    }
+                    let mut flops = 0.0;
+                    for &i in &todo {
+                        net.accumulate(&data[i].0, &mut g);
+                        data[i].1 = true;
+                        flops += flops_per_exemplar(cfg.dim, cfg.ncats);
+                    }
+                    task.compute(flops * cfg.compute_factor);
+                }
+                task.send(master, TAG_PARTIAL, partial_msg(&g));
+            }
+            other => panic!("adm slave: unexpected tag {other}"),
+        }
+    }
+    let _ = withdrawn;
+    assert_eq!(fsm.state(), Done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worknet::HostId;
+
+    #[test]
+    fn plan_message_roundtrip() {
+        let plan = Plan {
+            transfers: vec![
+                adm::Transfer {
+                    from: 1,
+                    to: 0,
+                    items: 20,
+                },
+                adm::Transfer {
+                    from: 1,
+                    to: 2,
+                    items: 70,
+                },
+            ],
+            new_counts: vec![50, 0, 100],
+        };
+        let m = Message::new(Tid::new(HostId(0), 1), TAG_PLAN, plan_msg(3, 1, &plan));
+        let (round, withdrawing, transfers) = parse_plan(&m);
+        assert_eq!(round, 3);
+        assert_eq!(withdrawing, 1);
+        assert_eq!(transfers, plan.transfers);
+    }
+
+    #[test]
+    fn exemplars_message_roundtrip_preserves_flags() {
+        let batch = vec![
+            (
+                Exemplar {
+                    features: vec![1.0, 2.0],
+                    category: 1,
+                },
+                true,
+            ),
+            (
+                Exemplar {
+                    features: vec![3.0, 4.0],
+                    category: 0,
+                },
+                false,
+            ),
+        ];
+        let m = Message::new(
+            Tid::new(HostId(0), 1),
+            TAG_EXEMPLARS,
+            exemplars_msg(2, &batch),
+        );
+        assert_eq!(parse_exemplars(&m), batch);
+    }
+
+    #[test]
+    fn fsm_diagram_matches_figure4_shape() {
+        let fsm = adm::Fsm::new(AdmOptState::Compute, admopt_arcs());
+        let states = fsm.states();
+        assert_eq!(states.len(), 4);
+        let dump = fsm.dump();
+        assert!(dump.contains("Migrate -> Idle"), "{dump}");
+        assert!(dump.contains("migration event"), "{dump}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Synthetic speech-exemplar training sets.
+//!
+//! Opt trains on sets of floating-point vectors ("exemplars", digitized
+//! speech sounds) each labelled with a category scalar, 500 KB–400 MB in
+//! total (§4.0). The acoustic content is unavailable and irrelevant to the
+//! cost structure, so we generate Gaussian class clusters deterministically
+//! from a seed: same seed → bit-identical data on every host and every run
+//! (which the transparency tests rely on).
+
+/// One training vector plus its category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Feature vector (digitized sound), `dim` floats.
+    pub features: Vec<f32>,
+    /// Category label.
+    pub category: usize,
+}
+
+impl Exemplar {
+    /// On-disk/wire size: features + the category scalar (as the paper
+    /// counts training-set sizes).
+    pub fn byte_size(dim: usize) -> usize {
+        dim * 4 + 4
+    }
+}
+
+/// A deterministic SplitMix64 generator — stable across platforms and
+/// library versions, unlike `StdRng`.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box-Muller.
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-300);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniform integer below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A generated training set.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Number of speech categories.
+    pub ncats: usize,
+    /// The exemplars.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl TrainingSet {
+    /// Generate a set of approximately `total_bytes` (the paper's data-size
+    /// axis): class means on a scaled simplex, unit-variance clusters.
+    pub fn synthetic(total_bytes: usize, dim: usize, ncats: usize, seed: u64) -> TrainingSet {
+        let per = Exemplar::byte_size(dim);
+        let n = (total_bytes / per).max(1);
+        Self::with_count(n, dim, ncats, seed)
+    }
+
+    /// Generate exactly `n` exemplars.
+    pub fn with_count(n: usize, dim: usize, ncats: usize, seed: u64) -> TrainingSet {
+        assert!(dim > 0 && ncats > 1, "degenerate training set");
+        let mut rng = SplitMix64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        // Deterministic class means.
+        let means: Vec<Vec<f32>> = (0..ncats)
+            .map(|c| {
+                (0..dim)
+                    .map(|d| if d % ncats == c { 3.0 } else { 0.0 } as f32)
+                    .collect()
+            })
+            .collect();
+        let exemplars = (0..n)
+            .map(|_| {
+                let category = rng.below(ncats);
+                let features = (0..dim)
+                    .map(|d| means[category][d] + rng.next_gaussian() as f32)
+                    .collect();
+                Exemplar { category, features }
+            })
+            .collect();
+        TrainingSet {
+            dim,
+            ncats,
+            exemplars,
+        }
+    }
+
+    /// Total byte size as the paper would report it.
+    pub fn byte_size(&self) -> usize {
+        self.exemplars.len() * Exemplar::byte_size(self.dim)
+    }
+
+    /// Split into `k` contiguous, near-equal partitions (the master/slave
+    /// decomposition: "data is equally distributed among the slaves").
+    pub fn partitions(&self, k: usize) -> Vec<Vec<Exemplar>> {
+        assert!(k > 0);
+        let n = self.exemplars.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut idx = 0;
+        for i in 0..k {
+            let take = base + usize::from(i < extra);
+            out.push(self.exemplars[idx..idx + take].to_vec());
+            idx += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TrainingSet::synthetic(100_000, 16, 4, 42);
+        let b = TrainingSet::synthetic(100_000, 16, 4, 42);
+        assert_eq!(a.exemplars, b.exemplars);
+        let c = TrainingSet::synthetic(100_000, 16, 4, 43);
+        assert_ne!(a.exemplars, c.exemplars, "different seed, different data");
+    }
+
+    #[test]
+    fn byte_size_tracks_request() {
+        let s = TrainingSet::synthetic(600_000, 64, 32, 1);
+        let err = (s.byte_size() as f64 - 600_000.0).abs() / 600_000.0;
+        assert!(err < 0.01, "size {} vs requested 600000", s.byte_size());
+        assert_eq!(Exemplar::byte_size(64), 260);
+    }
+
+    #[test]
+    fn partitions_conserve_and_balance() {
+        let s = TrainingSet::with_count(103, 8, 3, 7);
+        let parts = s.partitions(4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 103);
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max - min <= 1, "near-equal split");
+        // Concatenation preserves order.
+        let cat: Vec<_> = parts.into_iter().flatten().collect();
+        assert_eq!(cat, s.exemplars);
+    }
+
+    #[test]
+    fn categories_cover_range() {
+        let s = TrainingSet::with_count(1000, 8, 5, 11);
+        for e in &s.exemplars {
+            assert!(e.category < 5);
+            assert_eq!(e.features.len(), 8);
+        }
+        let seen: std::collections::HashSet<_> = s.exemplars.iter().map(|e| e.category).collect();
+        assert_eq!(seen.len(), 5, "all categories present in 1000 draws");
+    }
+
+    #[test]
+    fn clusters_are_separated() {
+        // The class means differ, so mean feature values per class must
+        // differ noticeably on the class-indicator coordinate.
+        let s = TrainingSet::with_count(2000, 8, 2, 3);
+        let mean_of = |cat: usize, coord: usize| -> f32 {
+            let v: Vec<f32> = s
+                .exemplars
+                .iter()
+                .filter(|e| e.category == cat)
+                .map(|e| e.features[coord])
+                .collect();
+            v.iter().sum::<f32>() / v.len() as f32
+        };
+        assert!(mean_of(0, 0) > mean_of(1, 0) + 1.0);
+        assert!(mean_of(1, 1) > mean_of(0, 1) + 1.0);
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Pin the generator so data never silently changes between builds.
+        let mut r = SplitMix64(0);
+        assert_eq!(r.next_u64(), 0xE220A8397B1DCDAF);
+        assert_eq!(r.next_u64(), 0x6E789E6AA1B965F4);
+    }
+}

@@ -1,0 +1,200 @@
+//! A second application: a Jacobi five-point stencil solver.
+//!
+//! The paper's systems claim to run "realistic, scientific applications
+//! written for the PVM message-passing interface" (§6.0) generally, not
+//! just Opt. This solver has a different communication pattern — nearest-
+//! neighbour halo exchange instead of master/slave broadcast-reduce — and
+//! therefore exercises tid remapping and flush gating on point-to-point
+//! edges that cross migrations. Written once against [`TaskApi`], it runs
+//! on PVM, MPVM, and UPVM unchanged.
+
+use crate::data::SplitMix64;
+use pvm_rt::{MsgBuf, TaskApi, Tid};
+
+/// Halo row going to the neighbour above.
+pub const TAG_UP: i32 = 30;
+/// Halo row going to the neighbour below.
+pub const TAG_DOWN: i32 = 31;
+/// Worker → rank 0: final local residual + block checksum.
+pub const TAG_REPORT: i32 = 32;
+
+/// Jacobi run parameters.
+#[derive(Debug, Clone)]
+pub struct JacobiConfig {
+    /// Interior grid size (n × n cells plus a fixed boundary).
+    pub n: usize,
+    /// Row-block workers.
+    pub workers: usize,
+    /// Sweeps to run.
+    pub iterations: usize,
+    /// RNG seed for the initial interior.
+    pub seed: u64,
+    /// Cells per virtual-time compute slice (migration granularity).
+    pub chunk_rows: usize,
+}
+
+impl JacobiConfig {
+    /// A small, fast test configuration.
+    pub fn tiny() -> JacobiConfig {
+        JacobiConfig {
+            n: 96,
+            workers: 3,
+            iterations: 30,
+            seed: 11,
+            chunk_rows: 8,
+        }
+    }
+}
+
+/// Result collected at rank 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobiResult {
+    /// Sum of squared updates in the final sweep (global).
+    pub residual: f64,
+    /// FNV over every worker's final block, in rank order.
+    pub checksum: u64,
+}
+
+/// Row range (start, end) of `rank`'s block of the interior.
+pub fn block_of(n: usize, workers: usize, rank: usize) -> (usize, usize) {
+    let base = n / workers;
+    let extra = n % workers;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    (start, start + len)
+}
+
+/// FLOPs per cell per sweep (4 adds + 1 multiply + residual update ≈ 8).
+pub const FLOPS_PER_CELL: f64 = 8.0;
+
+/// The worker body. `peers[rank]` must be this worker's own tid; rank 0
+/// additionally gathers every report and returns the global result
+/// (other ranks return `None`).
+pub fn jacobi_worker(
+    task: &dyn TaskApi,
+    cfg: &JacobiConfig,
+    rank: usize,
+    peers: &[Tid],
+) -> Option<JacobiResult> {
+    assert_eq!(peers.len(), cfg.workers);
+    let n = cfg.n;
+    let (r0, r1) = block_of(n, cfg.workers, rank);
+    let rows = r1 - r0;
+    let width = n + 2;
+    // Local block with one halo row above and below; columns have a fixed
+    // zero boundary. Deterministic init from the *global* row index so the
+    // partitioning never changes the data.
+    let mut cur = vec![0.0f32; (rows + 2) * width];
+    for gr in r0..r1 {
+        let mut rng = SplitMix64(cfg.seed ^ (gr as u64).wrapping_mul(0x9E37_79B9));
+        let lr = gr - r0 + 1;
+        for c in 1..=n {
+            cur[lr * width + c] = (rng.next_f64() as f32 - 0.5) * 2.0;
+        }
+    }
+    let mut next = cur.clone();
+    task.set_state_bytes(2 * cur.len() * 4);
+
+    let mut residual = 0.0f64;
+    for _sweep in 0..cfg.iterations {
+        // Halo exchange with neighbours (async sends, then receives).
+        if rank > 0 {
+            let top: Vec<f32> = cur[width..2 * width].to_vec();
+            task.send(peers[rank - 1], TAG_UP, MsgBuf::new().pk_float(&top));
+        }
+        if rank + 1 < cfg.workers {
+            let bot: Vec<f32> = cur[rows * width..(rows + 1) * width].to_vec();
+            task.send(peers[rank + 1], TAG_DOWN, MsgBuf::new().pk_float(&bot));
+        }
+        if rank > 0 {
+            let m = task.recv(Some(peers[rank - 1]), Some(TAG_DOWN));
+            let row = m.reader().upk_float().expect("halo row");
+            cur[..width].copy_from_slice(&row);
+        }
+        if rank + 1 < cfg.workers {
+            let m = task.recv(Some(peers[rank + 1]), Some(TAG_UP));
+            let row = m.reader().upk_float().expect("halo row");
+            cur[(rows + 1) * width..].copy_from_slice(&row);
+        }
+        // Sweep the interior in chunk_rows slices (migration points).
+        residual = 0.0;
+        let mut lr = 1;
+        while lr <= rows {
+            let hi = (lr + cfg.chunk_rows - 1).min(rows);
+            for r in lr..=hi {
+                for c in 1..=n {
+                    let v = 0.25
+                        * (cur[(r - 1) * width + c]
+                            + cur[(r + 1) * width + c]
+                            + cur[r * width + c - 1]
+                            + cur[r * width + c + 1]);
+                    let d = v - cur[r * width + c];
+                    residual += (d * d) as f64;
+                    next[r * width + c] = v;
+                }
+            }
+            task.compute((hi - lr + 1) as f64 * n as f64 * FLOPS_PER_CELL);
+            lr = hi + 1;
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+
+    // Block checksum over the final interior.
+    let mut h = 0xcbf29ce484222325u64;
+    for r in 1..=rows {
+        for c in 1..=n {
+            h = (h ^ cur[r * width + c].to_bits() as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    task.send(
+        peers[0],
+        TAG_REPORT,
+        MsgBuf::new()
+            .pk_uint(&[rank as u32])
+            .pk_double(&[residual])
+            .pk_uint(&[(h >> 32) as u32, h as u32]),
+    );
+    if rank == 0 {
+        let mut total = 0.0;
+        let mut sums = vec![0u64; cfg.workers];
+        for _ in 0..cfg.workers {
+            let m = task.recv(None, Some(TAG_REPORT));
+            let mut rd = m.reader();
+            let who = rd.upk_uint().expect("rank")[0] as usize;
+            total += rd.upk_double().expect("residual")[0];
+            let hw = rd.upk_uint().expect("hash");
+            sums[who] = ((hw[0] as u64) << 32) | hw[1] as u64;
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        for s in sums {
+            h = (h ^ s).wrapping_mul(0x100000001b3);
+        }
+        Some(JacobiResult {
+            residual: total,
+            checksum: h,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_covers_interior_exactly() {
+        for workers in 1..6 {
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for rank in 0..workers {
+                let (a, b) = block_of(97, workers, rank);
+                assert_eq!(a, prev_end, "blocks are contiguous");
+                assert!(b > a);
+                covered += b - a;
+                prev_end = b;
+            }
+            assert_eq!(covered, 97);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # opt-app — the Opt neural-network speech classifier
+//!
+//! The paper's evaluation application (§4.0): conjugate-gradient training
+//! of a weight matrix over large exemplar sets, in four builds sharing the
+//! same algorithm:
+//!
+//! * [`seq::run_sequential`] — single-process reference.
+//! * PVM_opt ([`runners::run_pvm_opt`]) — master/slave over plain PVM.
+//! * the same source under MPVM ([`runners::run_mpvm_opt`]) and UPVM
+//!   ([`runners::run_upvm_opt`]), demonstrating source-compatibility.
+//! * ADMopt ([`adm_runner::run_adm_opt`]) — the FSM-structured,
+//!   data-movement version (§4.3).
+//!
+//! All arithmetic is real; virtual time is charged from counted FLOPs.
+
+#![warn(missing_docs)]
+
+pub mod adm_opt;
+pub mod adm_runner;
+pub mod config;
+pub mod data;
+pub mod jacobi;
+pub mod ms;
+pub mod net;
+pub mod runners;
+pub mod seq;
+
+pub use adm_runner::{
+    run_adm_opt, run_adm_opt_on, run_adm_opt_sched, AdmAction, AdmSchedule, Withdrawal,
+};
+pub use config::{OptConfig, ADM_COMPUTE_OVERHEAD};
+pub use runners::{run_mpvm_opt, run_pvm_opt, run_upvm_opt, MigrationPlan, RunStats};
+pub use seq::{run_sequential, TrainResult};

@@ -1,0 +1,124 @@
+//! The master/slave parallel Opt (PVM_opt), written once against
+//! [`TaskApi`] so the identical source runs under PVM, MPVM, and UPVM —
+//! the paper's source-compatibility claim made concrete.
+//!
+//! "The master VP is responsible for computing a new gradient from partial
+//! gradients computed by the slaves, applies this gradient to the neural
+//! net, and broadcasts the new neural net to the slaves" (§4.0).
+
+use crate::config::OptConfig;
+use crate::data::Exemplar;
+use crate::net::{flops_per_update, CgState, Gradient, Net};
+use crate::seq::TrainResult;
+use pvm_rt::{MsgBuf, TaskApi, Tid};
+
+/// Master → slaves: new weights.
+pub const TAG_NET: i32 = 10;
+/// Slave → master: partial gradient + loss + count.
+pub const TAG_PARTIAL: i32 = 11;
+/// Master → slaves: training finished.
+pub const TAG_DONE: i32 = 12;
+
+/// Serialize a partial gradient.
+pub fn partial_msg(g: &Gradient) -> MsgBuf {
+    MsgBuf::new()
+        .pk_float(&g.g)
+        .pk_double(&[g.loss])
+        .pk_uint(&[g.count as u32])
+}
+
+/// Deserialize a partial gradient.
+pub fn parse_partial(m: &pvm_rt::Message, dim: usize, ncats: usize) -> Gradient {
+    let mut r = m.reader();
+    let g = r.upk_float().expect("partial: gradient");
+    assert_eq!(g.len(), ncats * (dim + 1), "partial gradient shape");
+    let loss = r.upk_double().expect("partial: loss")[0];
+    let count = r.upk_uint().expect("partial: count")[0] as usize;
+    Gradient { g, loss, count }
+}
+
+/// The master VP body. Returns the training result.
+pub fn master(task: &dyn TaskApi, cfg: &OptConfig, slaves: &[Tid]) -> TrainResult {
+    let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
+    let mut cg = CgState::new(cfg.dim, cfg.ncats, cfg.cg_step);
+    let mut losses = Vec::with_capacity(cfg.iterations);
+    for _ in 0..cfg.iterations {
+        task.mcast(slaves, TAG_NET, MsgBuf::new().pk_float(net.weights()));
+        let mut total = Gradient::zeros(cfg.dim, cfg.ncats);
+        // Collect in rank order so the f32 reduction is deterministic and
+        // matches the sequential reference bit-for-bit.
+        for &s in slaves {
+            let m = task.recv(Some(s), Some(TAG_PARTIAL));
+            total.merge(&parse_partial(&m, cfg.dim, cfg.ncats));
+        }
+        losses.push(total.loss / total.count.max(1) as f64);
+        task.compute(flops_per_update(cfg.dim, cfg.ncats));
+        cg.update(&mut net, &total);
+    }
+    task.mcast(slaves, TAG_DONE, MsgBuf::new());
+    TrainResult {
+        checksum: net.checksum(),
+        losses,
+    }
+}
+
+/// The slave VP body: "applies the new neural net (from the master) to the
+/// exemplars to get a new partial gradient which it passes back" (§4.0).
+pub fn slave(task: &dyn TaskApi, cfg: &OptConfig, master: Tid, exemplars: &[Exemplar]) {
+    task.set_state_bytes(cfg.partition_bytes(exemplars.len()));
+    let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
+    loop {
+        let m = task.recv(Some(master), None);
+        match m.tag {
+            TAG_NET => {
+                let w = m.reader().upk_float().expect("net weights");
+                net.set_weights(&w);
+                let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
+                // Compute in chunk-sized slices: the granularity at which
+                // migration can preempt us / siblings can be scheduled.
+                for chunk in exemplars.chunks(cfg.chunk) {
+                    let flops = net.gradient(chunk, &mut g);
+                    task.compute(flops * cfg.compute_factor);
+                }
+                task.send(master, TAG_PARTIAL, partial_msg(&g));
+            }
+            TAG_DONE => break,
+            other => panic!("slave: unexpected tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TrainingSet;
+
+    #[test]
+    fn partial_roundtrip() {
+        let set = TrainingSet::with_count(50, 8, 4, 3);
+        let net = Net::new(8, 4, 3);
+        let mut g = Gradient::zeros(8, 4);
+        net.gradient(&set.exemplars, &mut g);
+        let m = pvm_rt::Message::new(
+            Tid::new(worknet::HostId(0), 1),
+            TAG_PARTIAL,
+            partial_msg(&g),
+        );
+        let back = parse_partial(&m, 8, 4);
+        assert_eq!(back.g, g.g);
+        assert_eq!(back.loss, g.loss);
+        assert_eq!(back.count, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial gradient shape")]
+    fn wrong_shape_partial_rejected() {
+        let g = Gradient::zeros(8, 4);
+        let m = pvm_rt::Message::new(
+            Tid::new(worknet::HostId(0), 1),
+            TAG_PARTIAL,
+            partial_msg(&g),
+        );
+        let _ = parse_partial(&m, 16, 4);
+    }
+}

@@ -1,0 +1,342 @@
+#![allow(clippy::needless_range_loop)] // row-major index math reads clearest
+
+//! The Opt neural network: "an initial neural-net, which is simply a
+//! (large) matrix of floating point numbers" (§4.0), trained by
+//! back-propagation + conjugate-gradient descent.
+//!
+//! All arithmetic is performed for real (the test suite asserts convergence
+//! and bit-identical transparency across migrations); the FLOP counts the
+//! virtual-time model charges are returned alongside each result.
+
+use crate::data::Exemplar;
+
+/// The weight matrix: `ncats` rows × `(dim + 1)` columns (bias column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Categories (output units).
+    pub ncats: usize,
+    /// Row-major weights.
+    pub w: Vec<f32>,
+}
+
+/// A gradient (same shape as the net) plus the loss it was measured at.
+#[derive(Debug, Clone)]
+pub struct Gradient {
+    /// Row-major gradient entries.
+    pub g: Vec<f32>,
+    /// Summed cross-entropy loss over the exemplars seen.
+    pub loss: f64,
+    /// Exemplars accumulated.
+    pub count: usize,
+}
+
+impl Gradient {
+    /// A zero gradient for a `dim`/`ncats` net.
+    pub fn zeros(dim: usize, ncats: usize) -> Gradient {
+        Gradient {
+            g: vec![0.0; ncats * (dim + 1)],
+            loss: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Accumulate another partial gradient (the master's reduction).
+    pub fn merge(&mut self, other: &Gradient) {
+        assert_eq!(self.g.len(), other.g.len());
+        for (a, b) in self.g.iter_mut().zip(&other.g) {
+            *a += *b;
+        }
+        self.loss += other.loss;
+        self.count += other.count;
+    }
+}
+
+/// FLOPs to process one exemplar (forward + softmax + backward).
+pub fn flops_per_exemplar(dim: usize, ncats: usize) -> f64 {
+    (4 * ncats * (dim + 1) + 6 * ncats) as f64
+}
+
+/// FLOPs of one master update (CG direction + step + broadcast prep).
+pub fn flops_per_update(dim: usize, ncats: usize) -> f64 {
+    (8 * ncats * (dim + 1)) as f64
+}
+
+impl Net {
+    /// Deterministic initial net.
+    pub fn new(dim: usize, ncats: usize, seed: u64) -> Net {
+        let mut rng = crate::data::SplitMix64(seed ^ 0x0123_4567_89AB_CDEF);
+        let w = (0..ncats * (dim + 1))
+            .map(|_| (rng.next_f64() as f32 - 0.5) * 0.01)
+            .collect();
+        Net { dim, ncats, w }
+    }
+
+    /// Wire/state size of the matrix in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.w.len() * 4
+    }
+
+    /// Apply the net to one exemplar and accumulate its gradient
+    /// contribution ("applying the neural-net to the exemplars so that a
+    /// gradient is found").
+    pub fn accumulate(&self, e: &Exemplar, grad: &mut Gradient) {
+        let cols = self.dim + 1;
+        let mut scores = vec![0.0f32; self.ncats];
+        for (c, s) in scores.iter_mut().enumerate() {
+            let row = &self.w[c * cols..(c + 1) * cols];
+            let mut acc = row[self.dim]; // bias
+            for d in 0..self.dim {
+                acc += row[d] * e.features[d];
+            }
+            *s = acc;
+        }
+        // Softmax + cross-entropy.
+        let max = scores.iter().cloned().fold(f32::MIN, f32::max);
+        let mut z = 0.0f32;
+        let mut p = vec![0.0f32; self.ncats];
+        for (pc, s) in p.iter_mut().zip(&scores) {
+            *pc = (s - max).exp();
+            z += *pc;
+        }
+        for pc in p.iter_mut() {
+            *pc /= z;
+        }
+        grad.loss += -(p[e.category].max(1e-30) as f64).ln();
+        // Backward: dL/dW[c] = (p[c] - 1{c==cat}) * [x;1]
+        for c in 0..self.ncats {
+            let delta = p[c] - if c == e.category { 1.0 } else { 0.0 };
+            let row = &mut grad.g[c * cols..(c + 1) * cols];
+            for d in 0..self.dim {
+                row[d] += delta * e.features[d];
+            }
+            row[self.dim] += delta;
+        }
+        grad.count += 1;
+    }
+
+    /// Gradient over a slice of exemplars; returns the FLOPs to charge.
+    pub fn gradient(&self, exemplars: &[Exemplar], grad: &mut Gradient) -> f64 {
+        for e in exemplars {
+            self.accumulate(e, grad);
+        }
+        exemplars.len() as f64 * flops_per_exemplar(self.dim, self.ncats)
+    }
+
+    /// Serialize weights for a PVM message.
+    pub fn weights(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Replace weights from a received message.
+    pub fn set_weights(&mut self, w: &[f32]) {
+        assert_eq!(w.len(), self.w.len(), "net shape mismatch");
+        self.w.copy_from_slice(w);
+    }
+
+    /// Classification accuracy over a set — Opt is "generally employed as
+    /// a speech classifier" (§4.0), so the trained net should actually
+    /// classify.
+    pub fn accuracy(&self, exemplars: &[Exemplar]) -> f64 {
+        if exemplars.is_empty() {
+            return 0.0;
+        }
+        let cols = self.dim + 1;
+        let correct = exemplars
+            .iter()
+            .filter(|e| {
+                let mut best = (f32::MIN, 0usize);
+                for c in 0..self.ncats {
+                    let row = &self.w[c * cols..(c + 1) * cols];
+                    let mut acc = row[self.dim];
+                    for d in 0..self.dim {
+                        acc += row[d] * e.features[d];
+                    }
+                    if acc > best.0 {
+                        best = (acc, c);
+                    }
+                }
+                best.1 == e.category
+            })
+            .count();
+        correct as f64 / exemplars.len() as f64
+    }
+
+    /// A stable fingerprint of the weights (FNV over the bit patterns) —
+    /// the transparency tests compare these across migration scenarios.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in &self.w {
+            h = (h ^ v.to_bits() as u64).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// The conjugate-gradient optimizer state (Polak-Ribière with restart).
+#[derive(Debug, Clone)]
+pub struct CgState {
+    prev_grad: Option<Vec<f32>>,
+    direction: Vec<f32>,
+    /// Fixed step along the search direction.
+    pub step: f32,
+}
+
+impl CgState {
+    /// Fresh optimizer.
+    pub fn new(dim: usize, ncats: usize, step: f32) -> CgState {
+        CgState {
+            prev_grad: None,
+            direction: vec![0.0; ncats * (dim + 1)],
+            step,
+        }
+    }
+
+    /// One CG update: "that gradient is then used to modify the neural-net
+    /// before it is reapplied to the data" (§4.0). Normalizes by the
+    /// exemplar count so the step is scale-free.
+    pub fn update(&mut self, net: &mut Net, grad: &Gradient) {
+        let n = grad.count.max(1) as f32;
+        let g: Vec<f32> = grad.g.iter().map(|v| v / n).collect();
+        let beta = match &self.prev_grad {
+            None => 0.0,
+            Some(pg) => {
+                // Polak-Ribière: β = g·(g − g_prev) / g_prev·g_prev
+                let mut num = 0.0f32;
+                let mut den = 0.0f32;
+                for i in 0..g.len() {
+                    num += g[i] * (g[i] - pg[i]);
+                    den += pg[i] * pg[i];
+                }
+                if den > 0.0 {
+                    (num / den).max(0.0) // restart on negative β
+                } else {
+                    0.0
+                }
+            }
+        };
+        for i in 0..g.len() {
+            self.direction[i] = -g[i] + beta * self.direction[i];
+            net.w[i] += self.step * self.direction[i];
+        }
+        self.prev_grad = Some(g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::TrainingSet;
+
+    fn small_set() -> TrainingSet {
+        TrainingSet::with_count(400, 8, 4, 5)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let set = small_set();
+        let mut net = Net::new(set.dim, set.ncats, 1);
+        let mut cg = CgState::new(set.dim, set.ncats, 0.5);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            let mut g = Gradient::zeros(set.dim, set.ncats);
+            net.gradient(&set.exemplars, &mut g);
+            let loss = g.loss / g.count as f64;
+            first.get_or_insert(loss);
+            last = loss;
+            cg.update(&mut net, &g);
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.5,
+            "loss must at least halve: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn training_improves_classification_accuracy() {
+        let set = small_set();
+        let mut net = Net::new(set.dim, set.ncats, 1);
+        let before = net.accuracy(&set.exemplars);
+        let mut cg = CgState::new(set.dim, set.ncats, 0.5);
+        for _ in 0..30 {
+            let mut g = Gradient::zeros(set.dim, set.ncats);
+            net.gradient(&set.exemplars, &mut g);
+            cg.update(&mut net, &g);
+        }
+        let after = net.accuracy(&set.exemplars);
+        assert!(
+            after > 0.9 && after > before + 0.2,
+            "classifier should learn: {before:.2} -> {after:.2}"
+        );
+        assert_eq!(net.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn partial_gradients_merge_to_full_gradient() {
+        let set = small_set();
+        let net = Net::new(set.dim, set.ncats, 1);
+        let mut full = Gradient::zeros(set.dim, set.ncats);
+        net.gradient(&set.exemplars, &mut full);
+
+        let parts = set.partitions(3);
+        let mut merged = Gradient::zeros(set.dim, set.ncats);
+        for p in &parts {
+            let mut g = Gradient::zeros(set.dim, set.ncats);
+            net.gradient(p, &mut g);
+            merged.merge(&g);
+        }
+        assert_eq!(merged.count, full.count);
+        // f32 accumulation order differs (per-partition sums), so compare
+        // with tolerance.
+        for (a, b) in merged.g.iter().zip(&full.g) {
+            assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_is_deterministic_and_checksummed() {
+        let set = small_set();
+        let mut n1 = Net::new(set.dim, set.ncats, 9);
+        let mut n2 = Net::new(set.dim, set.ncats, 9);
+        assert_eq!(n1.checksum(), n2.checksum());
+        let mut cg1 = CgState::new(set.dim, set.ncats, 0.3);
+        let mut cg2 = CgState::new(set.dim, set.ncats, 0.3);
+        for _ in 0..5 {
+            let mut g1 = Gradient::zeros(set.dim, set.ncats);
+            n1.gradient(&set.exemplars, &mut g1);
+            cg1.update(&mut n1, &g1);
+            let mut g2 = Gradient::zeros(set.dim, set.ncats);
+            n2.gradient(&set.exemplars, &mut g2);
+            cg2.update(&mut n2, &g2);
+        }
+        assert_eq!(n1.w, n2.w, "bitwise identical training");
+        assert_eq!(n1.checksum(), n2.checksum());
+    }
+
+    #[test]
+    fn flop_model_scales_with_shape() {
+        assert!(flops_per_exemplar(64, 32) > flops_per_exemplar(8, 4));
+        // dim 64 / ncats 32: ≈ 4*32*65 = 8320 + 192 = 8512.
+        assert_eq!(flops_per_exemplar(64, 32), 8512.0);
+        assert_eq!(flops_per_update(64, 32), (8 * 32 * 65) as f64);
+    }
+
+    #[test]
+    fn weight_roundtrip_via_slices() {
+        let mut a = Net::new(8, 4, 1);
+        let b = Net::new(8, 4, 2);
+        assert_ne!(a.checksum(), b.checksum());
+        a.set_weights(b.weights());
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "net shape mismatch")]
+    fn wrong_shape_weights_panic() {
+        let mut a = Net::new(8, 4, 1);
+        a.set_weights(&[0.0; 3]);
+    }
+}

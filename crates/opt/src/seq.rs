@@ -1,0 +1,84 @@
+//! Sequential reference Opt.
+//!
+//! Computes the identical algorithm the parallel versions run (same
+//! partitioning, same per-partition partial sums merged in rank order) so
+//! that PVM_opt/MPVM/UPVM results can be asserted **bit-identical** to it.
+
+use crate::config::OptConfig;
+use crate::data::TrainingSet;
+use crate::net::{CgState, Gradient, Net};
+
+/// Result of a training run (any variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainResult {
+    /// Stable fingerprint of the final weights.
+    pub checksum: u64,
+    /// Mean loss per iteration.
+    pub losses: Vec<f64>,
+}
+
+impl TrainResult {
+    /// Final mean loss.
+    pub fn final_loss(&self) -> f64 {
+        *self.losses.last().expect("no iterations ran")
+    }
+}
+
+/// Run Opt sequentially with the parallel version's reduction structure.
+pub fn run_sequential(cfg: &OptConfig) -> TrainResult {
+    let set = TrainingSet::synthetic(cfg.data_bytes, cfg.dim, cfg.ncats, cfg.seed);
+    let parts = set.partitions(cfg.nslaves);
+    let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
+    let mut cg = CgState::new(cfg.dim, cfg.ncats, cfg.cg_step);
+    let mut losses = Vec::with_capacity(cfg.iterations);
+    for _ in 0..cfg.iterations {
+        let mut total = Gradient::zeros(cfg.dim, cfg.ncats);
+        for p in &parts {
+            let mut partial = Gradient::zeros(cfg.dim, cfg.ncats);
+            net.gradient(p, &mut partial);
+            total.merge(&partial);
+        }
+        losses.push(total.loss / total.count.max(1) as f64);
+        cg.update(&mut net, &total);
+    }
+    TrainResult {
+        checksum: net.checksum(),
+        losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reference_converges() {
+        let r = run_sequential(&OptConfig::tiny());
+        assert_eq!(r.losses.len(), OptConfig::tiny().iterations);
+        assert!(
+            r.final_loss() < r.losses[0],
+            "loss should fall: {:?}",
+            r.losses
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_sequential(&OptConfig::tiny());
+        let b = run_sequential(&OptConfig::tiny());
+        assert_eq!(a, b);
+        let mut cfg = OptConfig::tiny();
+        cfg.seed += 1;
+        let c = run_sequential(&cfg);
+        assert_ne!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn partition_count_changes_rounding_not_convergence() {
+        let base = run_sequential(&OptConfig::tiny());
+        let other = run_sequential(&OptConfig::tiny().with_slaves(3));
+        // Different reduction grouping → different f32 rounding →
+        // (almost surely) different checksum, but same convergence story.
+        assert!((base.final_loss() - other.final_loss()).abs() < 0.05);
+    }
+}

@@ -1,0 +1,45 @@
+//! Property test: ADM exemplar accounting under randomized withdraw/rejoin
+//! schedules. However the data moves, every exemplar contributes to every
+//! iteration exactly once, so the loss trajectory stays (numerically)
+//! fixed.
+
+use opt_app::{run_adm_opt, run_adm_opt_sched, AdmAction, AdmSchedule, OptConfig};
+use proptest::prelude::*;
+use worknet::Calib;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn adm_loss_trajectory_invariant_under_schedules(
+        // One withdraw (always slave 1, so somebody remains), optionally
+        // followed by a rejoin, at random times inside the run.
+        withdraw_ms in 50u64..1500,
+        rejoin in prop::option::of(1600u64..2600),
+    ) {
+        let mut cfg = OptConfig::tiny();
+        cfg.iterations = 12;
+        let quiet = run_adm_opt(Calib::hp720_ethernet(), &cfg, &[]);
+        let mut sched = vec![AdmSchedule {
+            at_secs: withdraw_ms as f64 / 1000.0,
+            slave: 1,
+            action: AdmAction::Withdraw,
+        }];
+        if let Some(r) = rejoin {
+            sched.push(AdmSchedule {
+                at_secs: r as f64 / 1000.0,
+                slave: 1,
+                action: AdmAction::Rejoin,
+            });
+        }
+        let moved = run_adm_opt_sched(Calib::hp720_ethernet(), &cfg, &sched);
+        prop_assert_eq!(quiet.result.losses.len(), moved.result.losses.len());
+        for (a, b) in quiet.result.losses.iter().zip(&moved.result.losses) {
+            prop_assert!(
+                (a - b).abs() < 2e-3 * (1.0 + a.abs()),
+                "iteration loss diverged under {:?}: {} vs {}",
+                sched, a, b
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The Jacobi stencil app on all three systems: the halo-exchange pattern
+//! (point-to-point, bidirectional, per-sweep) must survive migrations
+//! bit-for-bit.
+
+use mpvm::Mpvm;
+use opt_app::jacobi::{jacobi_worker, JacobiConfig, JacobiResult};
+use parking_lot::Mutex;
+use pvm_rt::{Pvm, Tid};
+use simcore::SimDuration;
+use std::sync::{mpsc, Arc};
+use upvm::Upvm;
+use worknet::{Calib, Cluster, HostId};
+
+fn cluster(n: usize) -> Arc<Cluster> {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(n);
+    Arc::new(b.build())
+}
+
+fn run_pvm(cfg: &JacobiConfig) -> JacobiResult {
+    let cl = cluster(cfg.workers);
+    let pvm = Pvm::new(Arc::clone(&cl));
+    let out = Arc::new(Mutex::new(None));
+    let mut txs = Vec::new();
+    let mut peers = Vec::new();
+    for rank in 0..cfg.workers {
+        let cfg2 = cfg.clone();
+        let (tx, rx) = mpsc::channel::<Vec<Tid>>();
+        txs.push(tx);
+        let out = Arc::clone(&out);
+        peers.push(pvm.spawn(HostId(rank), format!("j{rank}"), move |task| {
+            let peers = rx.recv().unwrap();
+            if let Some(r) = jacobi_worker(task.as_ref(), &cfg2, rank, &peers) {
+                *out.lock() = Some(r);
+            }
+        }));
+    }
+    for tx in txs {
+        tx.send(peers.clone()).unwrap();
+    }
+    cl.sim.run().unwrap();
+    let r = out.lock().take().unwrap();
+    r
+}
+
+fn run_mpvm(cfg: &JacobiConfig, migrations: &[(f64, usize, usize)]) -> (JacobiResult, f64) {
+    let cl = cluster(cfg.workers + 1); // a spare host to migrate onto
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cl)));
+    let out = Arc::new(Mutex::new(None));
+    let mut txs = Vec::new();
+    let mut peers = Vec::new();
+    for rank in 0..cfg.workers {
+        let cfg2 = cfg.clone();
+        let (tx, rx) = mpsc::channel::<Vec<Tid>>();
+        txs.push(tx);
+        let out = Arc::clone(&out);
+        peers.push(
+            mpvm.spawn_app(HostId(rank), format!("j{rank}"), move |task| {
+                let peers = rx.recv().unwrap();
+                if let Some(r) = jacobi_worker(task, &cfg2, rank, &peers) {
+                    *out.lock() = Some(r);
+                }
+            }),
+        );
+    }
+    for tx in txs {
+        tx.send(peers.clone()).unwrap();
+    }
+    mpvm.seal();
+    if !migrations.is_empty() {
+        let sys = Arc::clone(&mpvm);
+        let plan = migrations.to_vec();
+        cl.sim.spawn("gs", move |ctx| {
+            for (at, rank, dst) in plan {
+                let until = SimDuration::from_secs_f64(at)
+                    .saturating_sub(ctx.now().since(simcore::SimTime::ZERO));
+                ctx.advance(until);
+                let cur = sys.app_tids()[rank];
+                sys.inject_migration(&ctx, cur, HostId(dst));
+            }
+        });
+    }
+    let end = cl.sim.run().unwrap().as_secs_f64();
+    let r = out.lock().take().unwrap();
+    (r, end)
+}
+
+fn run_upvm(cfg: &JacobiConfig) -> JacobiResult {
+    let cl = cluster(cfg.workers);
+    let sys = Upvm::new(Pvm::new(Arc::clone(&cl)));
+    let out = Arc::new(Mutex::new(None));
+    let tids: Arc<Mutex<Vec<Tid>>> = Arc::new(Mutex::new(Vec::new()));
+    let cfg2 = cfg.clone();
+    let o2 = Arc::clone(&out);
+    let t2 = Arc::clone(&tids);
+    let body = Arc::new(move |u: &upvm::Ulp, rank: usize, _n: usize| {
+        let peers = t2.lock().clone();
+        if let Some(r) = jacobi_worker(u, &cfg2, rank, &peers) {
+            *o2.lock() = Some(r);
+        }
+    });
+    let region = (2 * (cfg.n + 2) * (cfg.n / cfg.workers + 2) * 4 + (1 << 20)) as u64;
+    let spawned = sys.spawn_spmd(cfg.workers, region, body).unwrap();
+    *tids.lock() = spawned;
+    sys.seal();
+    cl.sim.run().unwrap();
+    let r = out.lock().take().unwrap();
+    r
+}
+
+#[test]
+fn jacobi_converges_and_agrees_across_systems() {
+    let cfg = JacobiConfig::tiny();
+    let a = run_pvm(&cfg);
+    assert!(a.residual.is_finite() && a.residual > 0.0);
+    let (b, _) = run_mpvm(&cfg, &[]);
+    let c = run_upvm(&cfg);
+    assert_eq!(a, b, "PVM and MPVM agree bitwise");
+    assert_eq!(a, c, "PVM and UPVM agree bitwise");
+    // The stencil smooths the random field: residual shrinks with sweeps.
+    let mut long = cfg.clone();
+    long.iterations = 60;
+    let d = run_pvm(&long);
+    assert!(d.residual < a.residual, "{} !< {}", d.residual, a.residual);
+}
+
+#[test]
+fn halo_exchange_survives_migration_bitwise() {
+    let cfg = JacobiConfig::tiny();
+    let (quiet, t_quiet) = run_mpvm(&cfg, &[]);
+    // Migrate the middle worker (both neighbours keep talking to it).
+    let (moved, t_moved) = run_mpvm(&cfg, &[(1.0, 1, 3)]);
+    assert_eq!(quiet, moved, "halo pattern must be migration-transparent");
+    assert!(t_moved > t_quiet);
+}
+
+#[test]
+fn two_neighbours_migrating_concurrently_still_agree() {
+    let cfg = JacobiConfig::tiny();
+    let (quiet, _) = run_mpvm(&cfg, &[]);
+    let (moved, _) = run_mpvm(&cfg, &[(1.0, 0, 3), (1.0, 1, 3)]);
+    assert_eq!(quiet, moved);
+}

@@ -1,0 +1,247 @@
+//! Cross-variant integration tests: the same Opt algorithm under PVM,
+//! MPVM, UPVM, and ADM must agree with the sequential reference, and
+//! migration must not change results.
+
+use opt_app::{
+    run_adm_opt, run_mpvm_opt, run_pvm_opt, run_sequential, run_upvm_opt, MigrationPlan, OptConfig,
+    Withdrawal,
+};
+use worknet::{Calib, HostId};
+
+fn calib() -> Calib {
+    Calib::hp720_ethernet()
+}
+
+#[test]
+fn pvm_opt_matches_sequential_bitwise() {
+    let cfg = OptConfig::tiny();
+    let seq = run_sequential(&cfg);
+    let par = run_pvm_opt(calib(), &cfg);
+    assert_eq!(par.result.checksum, seq.checksum, "identical final weights");
+    assert_eq!(par.result.losses, seq.losses, "identical loss trajectory");
+    assert!(par.wall > 0.0);
+}
+
+#[test]
+fn mpvm_opt_without_migration_matches_sequential() {
+    let cfg = OptConfig::tiny();
+    let seq = run_sequential(&cfg);
+    let par = run_mpvm_opt(calib(), &cfg, &[]);
+    assert_eq!(par.result.checksum, seq.checksum);
+    assert_eq!(par.result.losses, seq.losses);
+}
+
+#[test]
+fn upvm_opt_matches_sequential() {
+    let cfg = OptConfig::tiny();
+    let seq = run_sequential(&cfg);
+    let par = run_upvm_opt(calib(), &cfg, &[]);
+    assert_eq!(par.result.checksum, seq.checksum);
+    assert_eq!(par.result.losses, seq.losses);
+}
+
+#[test]
+fn mpvm_migration_is_transparent_to_results() {
+    let cfg = OptConfig::tiny();
+    let quiet = run_mpvm_opt(calib(), &cfg, &[]);
+    let migrated = run_mpvm_opt(
+        calib(),
+        &cfg,
+        &[MigrationPlan {
+            at_secs: 0.25,
+            slave: 0,
+            dst: HostId(1),
+        }],
+    );
+    assert_eq!(
+        quiet.result, migrated.result,
+        "migration must not change the computation"
+    );
+    assert!(
+        migrated.wall > quiet.wall,
+        "migration costs time: {} vs {}",
+        migrated.wall,
+        quiet.wall
+    );
+}
+
+#[test]
+fn upvm_migration_is_transparent_to_results() {
+    let cfg = OptConfig::tiny();
+    let quiet = run_upvm_opt(calib(), &cfg, &[]);
+    // Round-robin placement puts slave rank 0 on host1; move it to host0.
+    let migrated = run_upvm_opt(
+        calib(),
+        &cfg,
+        &[MigrationPlan {
+            at_secs: 0.25,
+            slave: 0,
+            dst: HostId(0),
+        }],
+    );
+    assert_eq!(quiet.result, migrated.result);
+    assert!(migrated.wall > quiet.wall);
+}
+
+#[test]
+fn adm_opt_quiet_converges_like_pvm_opt() {
+    let cfg = OptConfig::tiny();
+    let pvm = run_pvm_opt(calib(), &cfg);
+    let adm = run_adm_opt(calib(), &cfg.clone().with_adm_overhead(), &[]);
+    // Same reduction structure when nothing moves → identical numerics.
+    assert_eq!(adm.result.losses, pvm.result.losses);
+    assert_eq!(adm.result.checksum, pvm.result.checksum);
+    // But ADM pays its method overhead in time (Table 5's shape).
+    assert!(
+        adm.wall > pvm.wall * 1.1,
+        "ADM {} should be noticeably slower than PVM {}",
+        adm.wall,
+        pvm.wall
+    );
+}
+
+#[test]
+fn adm_withdrawal_preserves_exemplar_accounting() {
+    // Withdraw slave 0 mid-run: every exemplar must still contribute to
+    // every iteration exactly once, so the loss trajectory converges and
+    // the final loss is near the quiet run's.
+    let mut cfg = OptConfig::tiny();
+    cfg.iterations = 8;
+    let quiet = run_adm_opt(calib(), &cfg, &[]);
+    let moved = run_adm_opt(
+        calib(),
+        &cfg,
+        &[Withdrawal {
+            at_secs: 0.25,
+            slave: 0,
+        }],
+    );
+    assert_eq!(quiet.result.losses.len(), moved.result.losses.len());
+    // Redistribution reorders f32 sums → tiny numeric drift allowed.
+    for (a, b) in quiet.result.losses.iter().zip(&moved.result.losses) {
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "loss diverged: {a} vs {b}"
+        );
+    }
+    assert!(
+        moved.result.final_loss() < moved.result.losses[0],
+        "still converging after withdrawal"
+    );
+}
+
+#[test]
+fn adm_handles_two_concurrent_withdrawals() {
+    let mut cfg = OptConfig::tiny().with_slaves(3).with_hosts(3);
+    cfg.iterations = 8;
+    let moved = run_adm_opt(
+        calib(),
+        &cfg,
+        &[
+            Withdrawal {
+                at_secs: 0.25,
+                slave: 0,
+            },
+            Withdrawal {
+                at_secs: 0.25,
+                slave: 2,
+            },
+        ],
+    );
+    let quiet = run_adm_opt(calib(), &cfg, &[]);
+    for (a, b) in quiet.result.losses.iter().zip(&moved.result.losses) {
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "loss diverged: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn migrated_run_is_deterministic() {
+    let cfg = OptConfig::tiny();
+    let plan = [MigrationPlan {
+        at_secs: 0.25,
+        slave: 0,
+        dst: HostId(1),
+    }];
+    let a = run_mpvm_opt(calib(), &cfg, &plan);
+    let b = run_mpvm_opt(calib(), &cfg, &plan);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.wall, b.wall);
+}
+
+#[test]
+fn more_slaves_reduce_wall_time() {
+    let cfg2 = OptConfig::tiny().with_slaves(2).with_hosts(2);
+    let cfg4 = OptConfig::tiny().with_slaves(4).with_hosts(4);
+    let w2 = run_pvm_opt(calib(), &cfg2).wall;
+    let w4 = run_pvm_opt(calib(), &cfg4).wall;
+    assert!(
+        w4 < w2 * 0.75,
+        "4 slaves ({w4:.2}s) should beat 2 slaves ({w2:.2}s)"
+    );
+}
+
+#[test]
+fn adm_worker_can_rejoin_after_withdrawal() {
+    use opt_app::{run_adm_opt_sched, AdmAction, AdmSchedule};
+    let mut cfg = OptConfig::tiny();
+    cfg.iterations = 14;
+    let quiet = run_adm_opt(calib(), &cfg, &[]);
+    let cycled = run_adm_opt_sched(
+        calib(),
+        &cfg,
+        &[
+            AdmSchedule {
+                at_secs: 0.2,
+                slave: 0,
+                action: AdmAction::Withdraw,
+            },
+            AdmSchedule {
+                at_secs: 0.6,
+                slave: 0,
+                action: AdmAction::Rejoin,
+            },
+        ],
+    );
+    // Exemplar accounting is exact through both rounds.
+    assert_eq!(quiet.result.losses.len(), cycled.result.losses.len());
+    for (a, b) in quiet.result.losses.iter().zip(&cycled.result.losses) {
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "loss diverged: {a} vs {b}"
+        );
+    }
+    // The rejoin actually happened and work was rebalanced back.
+    assert!(
+        cycled.trace.iter().any(|e| e.tag == "adm.rejoined"),
+        "missing adm.rejoined in trace"
+    );
+}
+
+#[test]
+fn adm_withdrawal_between_iterations_is_handled() {
+    // Event lands while the slave waits for the next TAG_NET (its inner
+    // loop is not running) — the interruptible main receive must catch it.
+    let mut cfg = OptConfig::tiny();
+    cfg.iterations = 10;
+    // Make iterations long enough that inter-iteration gaps exist but
+    // schedule the event immediately: with a 0-second offset the event
+    // arrives before the first TAG_NET is processed.
+    let moved = run_adm_opt(
+        calib(),
+        &cfg,
+        &[Withdrawal {
+            at_secs: 0.0,
+            slave: 1,
+        }],
+    );
+    let quiet = run_adm_opt(calib(), &cfg, &[]);
+    for (a, b) in quiet.result.losses.iter().zip(&moved.result.losses) {
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "loss diverged: {a} vs {b}"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Dynamic task groups — PVM 3's `pvm_joingroup` / `pvm_barrier` /
+//! `pvm_bcast` family.
+//!
+//! Real PVM runs a group server task; ours is the same idea with the
+//! server's bookkeeping as a shared registry and the synchronization done
+//! with ordinary reserved-tag messages, so barrier latency is charged at
+//! the modelled message costs.
+
+use crate::msg::{Message, MsgBuf};
+use crate::task::TaskApi;
+use crate::tid::Tid;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Barrier check-in (member → coordinator).
+pub const TAG_BARRIER_IN: i32 = -401;
+/// Barrier release (coordinator → members).
+pub const TAG_BARRIER_OUT: i32 = -402;
+
+struct GroupState {
+    members: Vec<Tid>,
+    barrier_seq: i32,
+}
+
+/// The group registry — one per virtual machine.
+///
+/// Group membership changes are control-plane operations (synchronous
+/// registry updates, as the real group server serializes them); barriers
+/// and broadcasts move real modelled messages.
+#[derive(Default)]
+pub struct Groups {
+    groups: Mutex<HashMap<String, GroupState>>,
+}
+
+impl Groups {
+    /// An empty registry.
+    pub fn new() -> Arc<Groups> {
+        Arc::new(Groups::default())
+    }
+
+    /// Join a named group; returns the instance number (rank at join time).
+    pub fn join(&self, name: &str, tid: Tid) -> usize {
+        let mut g = self.groups.lock();
+        let st = g.entry(name.to_string()).or_insert(GroupState {
+            members: Vec::new(),
+            barrier_seq: 0,
+        });
+        assert!(
+            !st.members.contains(&tid),
+            "{tid} joined group `{name}` twice"
+        );
+        st.members.push(tid);
+        st.members.len() - 1
+    }
+
+    /// Leave a group.
+    pub fn leave(&self, name: &str, tid: Tid) {
+        let mut g = self.groups.lock();
+        let st = g.get_mut(name).expect("leaving unknown group");
+        let idx = st
+            .members
+            .iter()
+            .position(|t| *t == tid)
+            .expect("leaving a group the task is not in");
+        st.members.remove(idx);
+    }
+
+    /// Current members, in join order.
+    pub fn members(&self, name: &str) -> Vec<Tid> {
+        self.groups
+            .lock()
+            .get(name)
+            .map(|s| s.members.clone())
+            .unwrap_or_default()
+    }
+
+    /// Group size (`pvm_gsize`).
+    pub fn size(&self, name: &str) -> usize {
+        self.members(name).len()
+    }
+
+    /// A task's instance number in the group (`pvm_getinst`).
+    pub fn instance(&self, name: &str, tid: Tid) -> Option<usize> {
+        self.members(name).iter().position(|t| *t == tid)
+    }
+
+    /// Total barriers this group has completed (diagnostics).
+    pub fn barriers_completed(&self, name: &str) -> i32 {
+        self.groups
+            .lock()
+            .get(name)
+            .map(|s| s.barrier_seq)
+            .unwrap_or(0)
+    }
+
+    /// Block until `count` members of the group have reached this barrier
+    /// (`pvm_barrier`). Member 0 coordinates; everyone pays real message
+    /// costs. All participants must pass the same `count`.
+    ///
+    /// Plain counting is sound for repeated barriers: a member cannot reach
+    /// barrier N+1 before barrier N released it, and N only releases after
+    /// every check-in for N arrived — so no check-in can belong to a future
+    /// barrier.
+    pub fn barrier(&self, task: &dyn TaskApi, name: &str, count: usize) {
+        let members = self.members(name);
+        assert!(
+            count <= members.len() && count >= 1,
+            "barrier count {count} vs {} members",
+            members.len()
+        );
+        let me = task.mytid();
+        let coord = members[0];
+        if me == coord {
+            let mut waiting = Vec::new();
+            for _ in 0..count - 1 {
+                let m = task.recv(None, Some(TAG_BARRIER_IN));
+                waiting.push(m.src);
+            }
+            for w in waiting {
+                task.send(w, TAG_BARRIER_OUT, MsgBuf::new());
+            }
+            let mut g = self.groups.lock();
+            if let Some(st) = g.get_mut(name) {
+                st.barrier_seq += 1;
+            }
+        } else {
+            task.send(coord, TAG_BARRIER_IN, MsgBuf::new());
+            let _ = task.recv(Some(coord), Some(TAG_BARRIER_OUT));
+        }
+    }
+
+    /// Broadcast to every member of the group except the sender
+    /// (`pvm_bcast`).
+    pub fn bcast(&self, task: &dyn TaskApi, name: &str, tag: i32, buf: MsgBuf) {
+        let me = task.mytid();
+        let dests: Vec<Tid> = self
+            .members(name)
+            .into_iter()
+            .filter(|t| *t != me)
+            .collect();
+        task.mcast(&dests, tag, buf);
+    }
+
+    /// Gather one message from every *other* member (by tag), returned in
+    /// member order — a common collective built from the primitives.
+    pub fn gather(&self, task: &dyn TaskApi, name: &str, tag: i32) -> Vec<Message> {
+        let me = task.mytid();
+        let members = self.members(name);
+        members
+            .into_iter()
+            .filter(|t| *t != me)
+            .map(|t| task.recv(Some(t), Some(tag)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Pvm;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use worknet::{Calib, Cluster, HostId};
+
+    fn pvm2() -> Arc<Pvm> {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(2);
+        Pvm::new(Arc::new(b.build()))
+    }
+
+    #[test]
+    fn join_leave_and_instances() {
+        let g = Groups::new();
+        let a = Tid::new(HostId(0), 1);
+        let b = Tid::new(HostId(1), 1);
+        assert_eq!(g.join("work", a), 0);
+        assert_eq!(g.join("work", b), 1);
+        assert_eq!(g.size("work"), 2);
+        assert_eq!(g.instance("work", b), Some(1));
+        g.leave("work", a);
+        assert_eq!(g.members("work"), vec![b]);
+        assert_eq!(g.instance("work", a), None);
+        assert_eq!(g.size("nope"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "joined group `g` twice")]
+    fn double_join_panics() {
+        let g = Groups::new();
+        let t = Tid::new(HostId(0), 1);
+        g.join("g", t);
+        g.join("g", t);
+    }
+
+    #[test]
+    fn barrier_synchronizes_members() {
+        let pvm = pvm2();
+        let cluster = Arc::clone(&pvm.cluster);
+        let groups = Groups::new();
+        let released = Arc::new(Mutex::new(Vec::new()));
+
+        // Pre-register members so ranks are deterministic.
+        let mut tids = Vec::new();
+        for i in 0..3usize {
+            let g2 = Arc::clone(&groups);
+            let released = Arc::clone(&released);
+            let tid = pvm.spawn(HostId(i % 2), format!("m{i}"), move |task| {
+                // Arrive at the barrier at different times.
+                task.compute(45.0e6 * (i as f64 + 1.0));
+                g2.barrier(task.as_ref(), "team", 3);
+                released.lock().push((i, task.now().as_secs_f64()));
+            });
+            groups.join("team", tid);
+            tids.push(tid);
+        }
+        cluster.sim.run().unwrap();
+        let rel = released.lock();
+        assert_eq!(rel.len(), 3);
+        for (_, t) in rel.iter() {
+            assert!(*t >= 3.0, "nobody released before the slowest arrives");
+        }
+    }
+
+    #[test]
+    fn barrier_can_run_repeatedly() {
+        let pvm = pvm2();
+        let cluster = Arc::clone(&pvm.cluster);
+        let groups = Groups::new();
+        let rounds = Arc::new(AtomicUsize::new(0));
+        for i in 0..2usize {
+            let g2 = Arc::clone(&groups);
+            let rounds = Arc::clone(&rounds);
+            let tid = pvm.spawn(HostId(i), format!("m{i}"), move |task| {
+                for _ in 0..5 {
+                    task.compute(4.5e6 * (i as f64 + 1.0));
+                    g2.barrier(task.as_ref(), "loop", 2);
+                    if i == 0 {
+                        rounds.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+            groups.join("loop", tid);
+        }
+        cluster.sim.run().unwrap();
+        assert_eq!(rounds.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn bcast_and_gather_roundtrip() {
+        let pvm = pvm2();
+        let cluster = Arc::clone(&pvm.cluster);
+        let groups = Groups::new();
+        let sum = Arc::new(AtomicUsize::new(0));
+        let mut tids = Vec::new();
+        for i in 0..3usize {
+            let g2 = Arc::clone(&groups);
+            let sum = Arc::clone(&sum);
+            let tid = pvm.spawn(HostId(i % 2), format!("m{i}"), move |task| {
+                if i == 0 {
+                    g2.bcast(task.as_ref(), "g", 5, MsgBuf::new().pk_int(&[7]));
+                    let replies = g2.gather(task.as_ref(), "g", 6);
+                    let total: i32 = replies
+                        .iter()
+                        .map(|m| m.reader().upk_int().unwrap()[0])
+                        .sum();
+                    sum.store(total as usize, Ordering::SeqCst);
+                } else {
+                    let m = task.recv(None, Some(5));
+                    let v = m.reader().upk_int().unwrap()[0];
+                    task.send(m.src, 6, MsgBuf::new().pk_int(&[v * i as i32]));
+                }
+            });
+            groups.join("g", tid);
+            tids.push(tid);
+        }
+        cluster.sim.run().unwrap();
+        // 7*1 + 7*2 = 21.
+        assert_eq!(sum.load(Ordering::SeqCst), 21);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pvm-rt — the PVM substrate
+//!
+//! A from-scratch reproduction of the PVM 3 programming model on the
+//! `worknet` simulator: enrolled tasks with tids, typed pack/unpack message
+//! buffers, blocking/non-blocking filtered receives, multicast, and the two
+//! classic data paths (daemon route and direct TCP route), all with
+//! calibrated costs. The migration systems (`mpvm`, `upvm`) and the ADM
+//! methodology build on this crate exactly as the paper's systems build on
+//! PVM.
+
+#![warn(missing_docs)]
+
+mod group;
+mod msg;
+pub mod route;
+mod system;
+mod task;
+mod tid;
+mod util;
+
+pub use group::{Groups, TAG_BARRIER_IN, TAG_BARRIER_OUT};
+pub use msg::{Item, Message, MsgBuf, MsgReader, UnpackError};
+pub use system::{HostInfo, Pvm, TaskEntry};
+pub use task::{PvmTask, RouteMode, TaskApi};
+pub use tid::Tid;
+pub use util::ShutdownGroup;

@@ -1,0 +1,310 @@
+//! Typed message buffers — the `pvm_pk*` / `pvm_upk*` interface.
+//!
+//! PVM messages are sequences of typed sections packed by the sender and
+//! unpacked in the same order by the receiver. We keep that shape (it is
+//! what the Opt application and the migration protocols program against)
+//! and account an XDR-like encoded size per section, which is what every
+//! cost in the network model is charged on.
+
+use crate::tid::Tid;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// One typed section of a message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// 32-bit integers (4 bytes each on the wire).
+    Int(Vec<i32>),
+    /// 32-bit unsigned integers (4 bytes each on the wire).
+    Uint(Vec<u32>),
+    /// 64-bit floats (8 bytes each on the wire).
+    Double(Vec<f64>),
+    /// 32-bit floats (4 bytes each on the wire).
+    Float(Vec<f32>),
+    /// Raw bytes (1 byte each on the wire). `Bytes` keeps clones cheap for
+    /// multicast.
+    Byte(Bytes),
+    /// A string (length prefix + contents).
+    Str(String),
+}
+
+impl Item {
+    /// Encoded size of this section in bytes (including a 4-byte section
+    /// header, as XDR framing would add).
+    pub fn encoded_size(&self) -> usize {
+        4 + match self {
+            Item::Int(v) => v.len() * 4,
+            Item::Uint(v) => v.len() * 4,
+            Item::Double(v) => v.len() * 8,
+            Item::Float(v) => v.len() * 4,
+            Item::Byte(b) => b.len(),
+            Item::Str(s) => 4 + s.len(),
+        }
+    }
+}
+
+/// A send buffer being packed (the `pvm_initsend` + `pvm_pk*` phase).
+#[derive(Debug, Default, Clone)]
+pub struct MsgBuf {
+    items: Vec<Item>,
+}
+
+impl MsgBuf {
+    /// An empty send buffer.
+    pub fn new() -> Self {
+        MsgBuf { items: Vec::new() }
+    }
+
+    /// Pack 32-bit integers.
+    pub fn pk_int(mut self, v: &[i32]) -> Self {
+        self.items.push(Item::Int(v.to_vec()));
+        self
+    }
+
+    /// Pack 32-bit unsigned integers.
+    pub fn pk_uint(mut self, v: &[u32]) -> Self {
+        self.items.push(Item::Uint(v.to_vec()));
+        self
+    }
+
+    /// Pack doubles.
+    pub fn pk_double(mut self, v: &[f64]) -> Self {
+        self.items.push(Item::Double(v.to_vec()));
+        self
+    }
+
+    /// Pack floats.
+    pub fn pk_float(mut self, v: &[f32]) -> Self {
+        self.items.push(Item::Float(v.to_vec()));
+        self
+    }
+
+    /// Pack raw bytes (zero-copy if you already hold `Bytes`).
+    pub fn pk_bytes(mut self, v: impl Into<Bytes>) -> Self {
+        self.items.push(Item::Byte(v.into()));
+        self
+    }
+
+    /// Pack a string.
+    pub fn pk_str(mut self, v: impl Into<String>) -> Self {
+        self.items.push(Item::Str(v.into()));
+        self
+    }
+
+    /// Total encoded size of the buffer so far.
+    pub fn encoded_size(&self) -> usize {
+        self.items.iter().map(Item::encoded_size).sum()
+    }
+
+    pub(crate) fn into_items(self) -> Vec<Item> {
+        self.items
+    }
+}
+
+/// A received (or in-flight) message: source tid, user tag, and the packed
+/// sections. Clones share the body (multicast-friendly).
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's tid *as the receiver should see it* (after any remapping
+    /// layers).
+    pub src: Tid,
+    /// User message tag.
+    pub tag: i32,
+    body: Arc<[Item]>,
+    size: usize,
+}
+
+impl Message {
+    /// Seal a buffer into a message.
+    pub fn new(src: Tid, tag: i32, buf: MsgBuf) -> Self {
+        let size = buf.encoded_size();
+        Message {
+            src,
+            tag,
+            body: buf.into_items().into(),
+            size,
+        }
+    }
+
+    /// Replace the apparent source (used by tid-remapping layers).
+    pub fn with_src(mut self, src: Tid) -> Self {
+        self.src = src;
+        self
+    }
+
+    /// Encoded size in bytes; all transport costs are charged on this.
+    pub fn encoded_size(&self) -> usize {
+        self.size
+    }
+
+    /// Begin unpacking.
+    pub fn reader(&self) -> MsgReader<'_> {
+        MsgReader {
+            items: &self.body,
+            pos: 0,
+        }
+    }
+}
+
+/// Errors produced when unpacking a message in the wrong order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnpackError {
+    /// No sections remain.
+    Exhausted,
+    /// The next section has a different type than requested.
+    TypeMismatch {
+        /// What the caller asked for.
+        wanted: &'static str,
+        /// What the next section actually is.
+        found: &'static str,
+    },
+}
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnpackError::Exhausted => write!(f, "no message sections remain"),
+            UnpackError::TypeMismatch { wanted, found } => {
+                write!(f, "unpack type mismatch: wanted {wanted}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+fn kind_name(i: &Item) -> &'static str {
+    match i {
+        Item::Int(_) => "int",
+        Item::Uint(_) => "uint",
+        Item::Double(_) => "double",
+        Item::Float(_) => "float",
+        Item::Byte(_) => "byte",
+        Item::Str(_) => "str",
+    }
+}
+
+/// Sequential unpacker over a message's sections.
+pub struct MsgReader<'a> {
+    items: &'a [Item],
+    pos: usize,
+}
+
+macro_rules! unpack_method {
+    ($name:ident, $variant:ident, $ret:ty, $wanted:expr) => {
+        /// Unpack the next section as this type.
+        pub fn $name(&mut self) -> Result<$ret, UnpackError> {
+            match self.items.get(self.pos) {
+                None => Err(UnpackError::Exhausted),
+                Some(Item::$variant(v)) => {
+                    self.pos += 1;
+                    Ok(v.clone())
+                }
+                Some(other) => Err(UnpackError::TypeMismatch {
+                    wanted: $wanted,
+                    found: kind_name(other),
+                }),
+            }
+        }
+    };
+}
+
+impl MsgReader<'_> {
+    unpack_method!(upk_int, Int, Vec<i32>, "int");
+    unpack_method!(upk_uint, Uint, Vec<u32>, "uint");
+    unpack_method!(upk_double, Double, Vec<f64>, "double");
+    unpack_method!(upk_float, Float, Vec<f32>, "float");
+    unpack_method!(upk_bytes, Byte, Bytes, "byte");
+    unpack_method!(upk_str, Str, String, "str");
+
+    /// Sections remaining.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worknet::HostId;
+
+    fn tid() -> Tid {
+        Tid::new(HostId(0), 1)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_all_types() {
+        let buf = MsgBuf::new()
+            .pk_int(&[1, -2, 3])
+            .pk_uint(&[7])
+            .pk_double(&[1.5, 2.5])
+            .pk_float(&[0.25])
+            .pk_bytes(vec![9u8, 8, 7])
+            .pk_str("hello");
+        let m = Message::new(tid(), 42, buf);
+        assert_eq!(m.tag, 42);
+        let mut r = m.reader();
+        assert_eq!(r.remaining(), 6);
+        assert_eq!(r.upk_int().unwrap(), vec![1, -2, 3]);
+        assert_eq!(r.upk_uint().unwrap(), vec![7]);
+        assert_eq!(r.upk_double().unwrap(), vec![1.5, 2.5]);
+        assert_eq!(r.upk_float().unwrap(), vec![0.25]);
+        assert_eq!(r.upk_bytes().unwrap().as_ref(), &[9, 8, 7]);
+        assert_eq!(r.upk_str().unwrap(), "hello");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.upk_int(), Err(UnpackError::Exhausted));
+    }
+
+    #[test]
+    fn type_mismatch_reports_both_types() {
+        let m = Message::new(tid(), 0, MsgBuf::new().pk_double(&[1.0]));
+        let mut r = m.reader();
+        match r.upk_int() {
+            Err(UnpackError::TypeMismatch { wanted, found }) => {
+                assert_eq!(wanted, "int");
+                assert_eq!(found, "double");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A failed unpack does not consume the section.
+        assert_eq!(r.upk_double().unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn encoded_size_accounts_per_type() {
+        let buf = MsgBuf::new()
+            .pk_int(&[0; 10]) // 4 + 40
+            .pk_double(&[0.0; 3]) // 4 + 24
+            .pk_bytes(vec![0u8; 100]) // 4 + 100
+            .pk_str("abc"); // 4 + 4 + 3
+        assert_eq!(buf.encoded_size(), 44 + 28 + 104 + 11);
+        let m = Message::new(tid(), 0, buf);
+        assert_eq!(m.encoded_size(), 44 + 28 + 104 + 11);
+    }
+
+    #[test]
+    fn clones_share_body_cheaply() {
+        let m = Message::new(tid(), 1, MsgBuf::new().pk_bytes(vec![0u8; 1 << 20]));
+        let m2 = m.clone();
+        assert_eq!(m.encoded_size(), m2.encoded_size());
+        let mut r = m2.reader();
+        assert_eq!(r.upk_bytes().unwrap().len(), 1 << 20);
+    }
+
+    #[test]
+    fn with_src_rewrites_source_only() {
+        let m = Message::new(tid(), 5, MsgBuf::new().pk_int(&[1]));
+        let new_src = Tid::new(HostId(1), 2);
+        let m2 = m.clone().with_src(new_src);
+        assert_eq!(m2.src, new_src);
+        assert_eq!(m2.tag, 5);
+        assert_eq!(m2.reader().remaining(), 1);
+    }
+
+    #[test]
+    fn empty_message_has_zero_payload() {
+        let m = Message::new(tid(), 0, MsgBuf::new());
+        assert_eq!(m.encoded_size(), 0);
+        assert_eq!(m.reader().remaining(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Message routing and cost charging.
+//!
+//! PVM 3 has two data paths, both reproduced here:
+//!
+//! * **Daemon route** (default): task → local pvmd → remote pvmd → task.
+//!   Each hop copies the message; the pvmd-to-pvmd leg fragments into
+//!   UDP-sized chunks. Roughly half the throughput of a direct stream.
+//! * **Direct route** (`PvmRouteDirect`): a task-to-task TCP connection,
+//!   set up lazily on first use.
+//!
+//! Local (same-host) messages go through the pvmd with two copies — the
+//! baseline UPVM's hand-off optimization is measured against (Table 3).
+
+use crate::msg::Message;
+use crate::system::Pvm;
+use simcore::{Mailbox, SimCtx, SimDuration};
+use std::sync::Arc;
+use worknet::HostId;
+
+/// Messages larger than this block the sender for the full wire time on the
+/// direct route (socket buffers can't absorb them).
+pub const DIRECT_BLOCKING_THRESHOLD: usize = 64 * 1024;
+
+/// Charge the sender's entry into the library and the copy into the OS.
+fn charge_send_side(ctx: &SimCtx, pvm: &Pvm, src_host: HostId, bytes: usize) {
+    let host = pvm.cluster.host(src_host);
+    host.syscall(ctx);
+    host.memcpy(ctx, bytes);
+}
+
+/// Deliver on the same host via the pvmd: task → pvmd → task is two local
+/// socket hops, each with a copy and a context switch. On one CPU the
+/// pvmd's processing preempts the *sender*, so those costs are charged to
+/// the sender's own timeline — this is the local path UPVM's in-process
+/// buffer hand-off beats in Table 3.
+pub fn deliver_local(
+    ctx: &SimCtx,
+    pvm: &Arc<Pvm>,
+    src_host: HostId,
+    mb: Mailbox<Message>,
+    msg: Message,
+) {
+    let bytes = msg.encoded_size();
+    charge_send_side(ctx, pvm, src_host, bytes);
+    let calib = &pvm.cluster.calib;
+    // pvmd wakes, copies the message, routes it: the sending process is
+    // off-CPU for the duration.
+    ctx.advance(calib.context_switch * 2 + calib.memcpy_cost(bytes) * 2 + calib.daemon_per_msg * 2);
+    // Destination task wake-up.
+    let delay = calib.context_switch;
+    ctx.schedule(delay, move |w| mb.send_from_world(w, msg));
+}
+
+/// Deliver across the network via the daemon route.
+pub fn deliver_daemon(
+    ctx: &SimCtx,
+    pvm: &Arc<Pvm>,
+    src_host: HostId,
+    mb: Mailbox<Message>,
+    msg: Message,
+) {
+    let bytes = msg.encoded_size();
+    charge_send_side(ctx, pvm, src_host, bytes);
+    let calib = Arc::clone(&pvm.cluster.calib);
+    let eth = pvm.cluster.ether.clone();
+    let nfrag = bytes.div_ceil(calib.daemon_fragment).max(1) as u64;
+    let pre = calib.wire_latency + calib.daemon_per_msg + calib.daemon_per_fragment * nfrag;
+    let eff = calib.daemon_efficiency;
+    let post = calib.memcpy_cost(bytes) + calib.context_switch + calib.daemon_per_fragment * nfrag;
+    ctx.schedule(pre, move |w| {
+        let mb = mb.clone();
+        eth.start_transfer(
+            w,
+            bytes as f64,
+            eff,
+            Box::new(move |w| {
+                // Receive-side daemon processing, then final delivery.
+                w.schedule_in(post, move |w| mb.send_from_world(w, msg));
+            }),
+        );
+    });
+}
+
+/// Deliver across the network on a direct task-to-task TCP connection.
+/// Large messages block the sender for the wire time.
+pub fn deliver_direct(
+    ctx: &SimCtx,
+    pvm: &Arc<Pvm>,
+    src_host: HostId,
+    dst_host: HostId,
+    mb: Mailbox<Message>,
+    msg: Message,
+) {
+    let bytes = msg.encoded_size();
+    pvm.ensure_direct_conn(ctx, src_host, dst_host);
+    charge_send_side(ctx, pvm, src_host, bytes);
+    let calib = &pvm.cluster.calib;
+    let eff = calib.tcp_efficiency;
+    let eth = &pvm.cluster.ether;
+    if bytes > DIRECT_BLOCKING_THRESHOLD {
+        eth.transfer_blocking(ctx, bytes, eff);
+        let recv_copy = calib.memcpy_cost(bytes);
+        ctx.schedule(recv_copy, move |w| mb.send_from_world(w, msg));
+    } else {
+        eth.send_async(
+            ctx,
+            bytes,
+            eff,
+            Box::new(move |w| mb.send_from_world(w, msg)),
+        );
+    }
+}
+
+/// Analytic one-way latency of a small control message on the daemon route
+/// (useful for protocol-overhead assertions in tests).
+pub fn small_message_latency(pvm: &Pvm, bytes: usize) -> SimDuration {
+    let calib = &pvm.cluster.calib;
+    let nfrag = bytes.div_ceil(calib.daemon_fragment).max(1) as u64;
+    calib.wire_latency
+        + calib.daemon_per_msg
+        + calib.daemon_per_fragment * nfrag * 2
+        + SimDuration::from_secs_f64(bytes as f64 / calib.daemon_bandwidth_bps())
+        + calib.memcpy_cost(bytes)
+        + calib.context_switch
+}

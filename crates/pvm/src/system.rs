@@ -1,0 +1,332 @@
+//! The parallel virtual machine: task registry, enrollment, and the
+//! bookkeeping the migration layers manipulate.
+//!
+//! Real PVM runs a `pvmd` daemon on every host that creates tasks and
+//! forwards daemon-route messages. In this reproduction the *costs* of the
+//! daemon path are charged analytically by the routing layer
+//! ([`crate::route`]); the daemon's control-plane role (enrollment, host
+//! table) is a synchronous registry here, and the migration daemons
+//! (`mpvmd`) are real actors in the `mpvm` crate. This substitution is
+//! documented in DESIGN.md §2.
+
+use crate::msg::Message;
+use crate::task::{PvmTask, RouteMode};
+use crate::tid::Tid;
+use parking_lot::Mutex;
+use simcore::{ActorId, Mailbox, SimCtx};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use worknet::{Cluster, HostId};
+
+/// One row of the `pvm_config` host table.
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// Host id.
+    pub id: HostId,
+    /// Host name.
+    pub name: String,
+    /// Architecture/OS class (migration compatibility).
+    pub arch: worknet::Arch,
+    /// Relative CPU speed.
+    pub speed_factor: f64,
+    /// Physical memory.
+    pub mem_bytes: u64,
+}
+
+/// Per-task registry entry.
+pub struct TaskEntry {
+    /// Delivery mailbox. Survives migration: a task keeps its mailbox even
+    /// when its tid or host changes, which is how "no message is ever lost"
+    /// holds while the protocol layers reorder identity.
+    pub mailbox: Mailbox<Message>,
+    /// Host the task currently executes on.
+    pub host: HostId,
+    /// The simcore actor carrying the task (for signal delivery).
+    pub actor: Option<ActorId>,
+    /// False once the task exited or was superseded by a migrated identity.
+    pub alive: bool,
+    /// Registered application state (data + heap), counted against the
+    /// current host's physical memory.
+    pub state_bytes: usize,
+}
+
+struct Registry {
+    tasks: HashMap<Tid, TaskEntry>,
+    next_index: Vec<u32>,
+    enroll_order: Vec<Tid>,
+    direct_conns: HashSet<(HostId, HostId)>,
+}
+
+/// The virtual machine. Shared by every task, daemon, and scheduler.
+pub struct Pvm {
+    /// The worknet this machine runs on.
+    pub cluster: Arc<Cluster>,
+    registry: Mutex<Registry>,
+}
+
+impl Pvm {
+    /// Create a virtual machine spanning every host in the cluster.
+    pub fn new(cluster: Arc<Cluster>) -> Arc<Pvm> {
+        let n = cluster.len();
+        Arc::new(Pvm {
+            cluster,
+            registry: Mutex::new(Registry {
+                tasks: HashMap::new(),
+                next_index: vec![0; n],
+                enroll_order: Vec::new(),
+                direct_conns: HashSet::new(),
+            }),
+        })
+    }
+
+    /// Number of hosts in the machine.
+    pub fn nhosts(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Enroll a new task on `host` and spawn its body as an actor.
+    ///
+    /// The body receives an `Arc<PvmTask>` — the full PVM library interface.
+    pub fn spawn(
+        self: &Arc<Self>,
+        host: HostId,
+        name: impl Into<String>,
+        body: impl FnOnce(Arc<PvmTask>) + Send + 'static,
+    ) -> Tid {
+        let name = name.into();
+        let tid = {
+            let mut r = self.registry.lock();
+            let idx = r.next_index[host.0];
+            r.next_index[host.0] = idx + 1;
+            let tid = Tid::new(host, idx);
+            r.tasks.insert(
+                tid,
+                TaskEntry {
+                    mailbox: Mailbox::new(),
+                    host,
+                    actor: None,
+                    alive: true,
+                    state_bytes: 0,
+                },
+            );
+            r.enroll_order.push(tid);
+            tid
+        };
+        let pvm = Arc::clone(self);
+        let actor = self.cluster.sim.spawn(name, move |ctx| {
+            let task = PvmTask::new(pvm.clone(), tid, ctx);
+            body(Arc::clone(&task));
+            pvm.task_exited(task.tid());
+        });
+        self.registry.lock().tasks.get_mut(&tid).unwrap().actor = Some(actor);
+        tid
+    }
+
+    /// Mailbox and current host of a live task.
+    pub fn lookup(&self, tid: Tid) -> Option<(HostId, Mailbox<Message>)> {
+        let r = self.registry.lock();
+        r.tasks
+            .get(&tid)
+            .filter(|e| e.alive)
+            .map(|e| (e.host, e.mailbox.clone()))
+    }
+
+    /// Current host of a task (dead or alive).
+    pub fn host_of(&self, tid: Tid) -> Option<HostId> {
+        self.registry.lock().tasks.get(&tid).map(|e| e.host)
+    }
+
+    /// The actor carrying a task, for signal delivery.
+    pub fn actor_of(&self, tid: Tid) -> Option<ActorId> {
+        self.registry.lock().tasks.get(&tid).and_then(|e| e.actor)
+    }
+
+    /// All live tids, in enrollment order.
+    pub fn live_tasks(&self) -> Vec<Tid> {
+        let r = self.registry.lock();
+        r.enroll_order
+            .iter()
+            .copied()
+            .filter(|t| r.tasks.get(t).map(|e| e.alive).unwrap_or(false))
+            .collect()
+    }
+
+    /// Live tids currently bound to `host`.
+    pub fn tasks_on_host(&self, host: HostId) -> Vec<Tid> {
+        let r = self.registry.lock();
+        r.enroll_order
+            .iter()
+            .copied()
+            .filter(|t| {
+                r.tasks
+                    .get(t)
+                    .map(|e| e.alive && e.host == host)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// MPVM-style migration enrollment: the migrated process re-enrolls on
+    /// `new_host` and receives a **new tid**; the old tid dies. The mailbox
+    /// and carrying actor transfer to the new identity, so messages queued
+    /// under the old tid are still delivered (§2.1 stage 4).
+    pub fn migrate_enroll(&self, old: Tid, new_host: HostId) -> Tid {
+        let mut r = self.registry.lock();
+        let idx = r.next_index[new_host.0];
+        r.next_index[new_host.0] = idx + 1;
+        let new_tid = Tid::new(new_host, idx);
+        let entry = r.tasks.get_mut(&old).expect("migrating unknown tid");
+        assert!(entry.alive, "migrating dead tid {old}");
+        entry.alive = false;
+        let mailbox = entry.mailbox.clone();
+        let actor = entry.actor;
+        let old_host_for_mem = entry.host;
+        let state_bytes = entry.state_bytes;
+        entry.state_bytes = 0;
+        // The state leaves the old host with the migrating process and
+        // lands on the new one.
+        self.cluster
+            .host(old_host_for_mem)
+            .release_memory(state_bytes as u64);
+        self.cluster
+            .host(new_host)
+            .reserve_memory(state_bytes as u64);
+        r.tasks.insert(
+            new_tid,
+            TaskEntry {
+                mailbox,
+                host: new_host,
+                actor,
+                alive: true,
+                state_bytes,
+            },
+        );
+        r.enroll_order.push(new_tid);
+        new_tid
+    }
+
+    /// UPVM-style rebinding: the task (ULP) keeps its tid but moves to a new
+    /// host; subsequent sends route to the new host directly (§2.2 stage 2).
+    pub fn rebind(&self, tid: Tid, new_host: HostId) {
+        let mut r = self.registry.lock();
+        let entry = r.tasks.get_mut(&tid).expect("rebinding unknown tid");
+        assert!(entry.alive, "rebinding dead tid {tid}");
+        let old_host = entry.host;
+        let bytes = entry.state_bytes as u64;
+        entry.host = new_host;
+        if old_host != new_host && bytes > 0 {
+            self.cluster.host(old_host).release_memory(bytes);
+            self.cluster.host(new_host).reserve_memory(bytes);
+        }
+    }
+
+    /// Register a task's application state size, counted against its
+    /// current host's physical memory (swap pressure slows every VP on an
+    /// overcommitted host, §1.0).
+    pub fn set_task_state_bytes(&self, tid: Tid, bytes: usize) {
+        let mut r = self.registry.lock();
+        let Some(entry) = r.tasks.get_mut(&tid) else {
+            return;
+        };
+        let host = entry.host;
+        let old = entry.state_bytes;
+        entry.state_bytes = bytes;
+        let h = self.cluster.host(host);
+        h.release_memory(old as u64);
+        h.reserve_memory(bytes as u64);
+    }
+
+    /// Re-point the carrying actor of a tid (ULP containers use this).
+    pub fn set_actor(&self, tid: Tid, actor: Option<ActorId>) {
+        if let Some(e) = self.registry.lock().tasks.get_mut(&tid) {
+            e.actor = actor;
+        }
+    }
+
+    /// Enroll a tid without spawning an actor (the UPVM layer enrolls one
+    /// tid per ULP but carries them on container actors).
+    pub fn enroll_detached(&self, host: HostId) -> Tid {
+        let mut r = self.registry.lock();
+        let idx = r.next_index[host.0];
+        r.next_index[host.0] = idx + 1;
+        let tid = Tid::new(host, idx);
+        r.tasks.insert(
+            tid,
+            TaskEntry {
+                mailbox: Mailbox::new(),
+                host,
+                actor: None,
+                alive: true,
+                state_bytes: 0,
+            },
+        );
+        r.enroll_order.push(tid);
+        tid
+    }
+
+    pub(crate) fn task_exited(&self, tid: Tid) {
+        if let Some(e) = self.registry.lock().tasks.get_mut(&tid) {
+            e.alive = false;
+            let bytes = e.state_bytes as u64;
+            let host = e.host;
+            e.state_bytes = 0;
+            if bytes > 0 {
+                self.cluster.host(host).release_memory(bytes);
+            }
+        }
+    }
+
+    /// Mark a detached tid dead (ULP exit).
+    pub fn mark_exited(&self, tid: Tid) {
+        self.task_exited(tid);
+    }
+
+    /// Ensure a direct TCP connection exists between two hosts, charging
+    /// setup to the caller on first use. Returns `true` if it was new.
+    pub fn ensure_direct_conn(&self, ctx: &SimCtx, a: HostId, b: HostId) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let new = self.registry.lock().direct_conns.insert(key);
+        if new {
+            ctx.advance(self.cluster.calib.tcp_setup);
+        }
+        new
+    }
+
+    /// Drop the direct-connection cache entry for a host pair (used after a
+    /// migration invalidates the endpoint).
+    pub fn drop_direct_conn(&self, a: HostId, b: HostId) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.registry.lock().direct_conns.remove(&key);
+    }
+
+    /// The `pvm_config` view: one row per host (name, arch class, relative
+    /// speed) — what applications and schedulers use to reason about the
+    /// virtual machine's shape.
+    pub fn config(&self) -> Vec<HostInfo> {
+        self.cluster
+            .hosts()
+            .iter()
+            .map(|h| HostInfo {
+                id: h.id,
+                name: h.name().to_string(),
+                arch: h.spec.arch,
+                speed_factor: h.spec.speed_factor,
+                mem_bytes: h.spec.mem_bytes,
+            })
+            .collect()
+    }
+
+    /// Convenience: spawn with an explicit default route mode.
+    pub fn spawn_with_route(
+        self: &Arc<Self>,
+        host: HostId,
+        name: impl Into<String>,
+        route: RouteMode,
+        body: impl FnOnce(Arc<PvmTask>) + Send + 'static,
+    ) -> Tid {
+        self.spawn(host, name, move |task| {
+            task.set_route(route);
+            body(task);
+        })
+    }
+}

@@ -1,0 +1,374 @@
+//! The task-side library interface (`pvmlib`).
+//!
+//! [`TaskApi`] is the programmer-visible interface shared by all three
+//! systems: plain PVM tasks implement it here, MPVM's migratable tasks and
+//! UPVM's ULPs implement it in their own crates. An application written
+//! against `&dyn TaskApi` runs unchanged on any of them — the paper's
+//! "source-code compatible, just re-link" property.
+
+use crate::msg::{Message, MsgBuf};
+use crate::route;
+use crate::system::Pvm;
+use crate::tid::Tid;
+use parking_lot::Mutex;
+use simcore::{Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use worknet::{Host, HostId};
+
+/// Which data path sends take (cf. `PvmRoute` in PVM 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Through the pvmds (default).
+    #[default]
+    Daemon,
+    /// Direct task-to-task TCP.
+    Direct,
+}
+
+/// The PVM programming interface, as seen by an application VP.
+///
+/// Object-safe so applications can be written once and spawned under PVM,
+/// MPVM, or UPVM.
+pub trait TaskApi: Send {
+    /// This VP's current task identifier.
+    fn mytid(&self) -> Tid;
+    /// Host this VP currently executes on.
+    fn host_id(&self) -> HostId;
+    /// Hosts in the virtual machine.
+    fn nhosts(&self) -> usize;
+    /// Pack-and-send to one task.
+    fn send(&self, to: Tid, tag: i32, buf: MsgBuf);
+    /// Send the same buffer to several tasks.
+    fn mcast(&self, to: &[Tid], tag: i32, buf: MsgBuf);
+    /// Blocking receive with optional source/tag filters (`None` = wildcard).
+    fn recv(&self, from: Option<Tid>, tag: Option<i32>) -> Message;
+    /// Non-blocking receive.
+    fn nrecv(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message>;
+    /// Is a matching message available?
+    fn probe(&self, from: Option<Tid>, tag: Option<i32>) -> bool;
+    /// Perform `flops` of application computation on the current host.
+    /// Under the migration systems this is where transparent migration can
+    /// preempt the VP.
+    fn compute(&self, flops: f64);
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// Declare the size of this VP's migratable application state
+    /// (data + heap). No-op on systems without migration.
+    fn set_state_bytes(&self, _bytes: usize) {}
+}
+
+fn matches(m: &Message, from: Option<Tid>, tag: Option<i32>) -> bool {
+    from.is_none_or(|f| m.src == f) && tag.is_none_or(|t| m.tag == t)
+}
+
+/// A plain PVM task: the concrete `TaskApi` for the unmodified baseline.
+pub struct PvmTask {
+    pvm: Arc<Pvm>,
+    tid: Mutex<Tid>,
+    ctx: SimCtx,
+    mailbox: Mailbox<Message>,
+    pending: Mutex<VecDeque<Message>>,
+    route: Mutex<RouteMode>,
+}
+
+impl PvmTask {
+    /// Wrap an enrolled tid. Used by `Pvm::spawn`; the migration layers also
+    /// construct these directly.
+    pub fn new(pvm: Arc<Pvm>, tid: Tid, ctx: SimCtx) -> Arc<PvmTask> {
+        let (_, mailbox) = pvm.lookup(tid).expect("task not enrolled");
+        Arc::new(PvmTask {
+            pvm,
+            tid: Mutex::new(tid),
+            ctx,
+            mailbox,
+            pending: Mutex::new(VecDeque::new()),
+            route: Mutex::new(RouteMode::Daemon),
+        })
+    }
+
+    /// The virtual machine this task belongs to.
+    pub fn pvm(&self) -> &Arc<Pvm> {
+        &self.pvm
+    }
+
+    /// The simcore context carrying this task.
+    pub fn sim(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    /// The delivery mailbox (stable across migration).
+    pub fn mailbox(&self) -> &Mailbox<Message> {
+        &self.mailbox
+    }
+
+    /// Current tid (interior-mutable: MPVM migration re-enrolls).
+    pub fn tid(&self) -> Tid {
+        *self.tid.lock()
+    }
+
+    /// Replace the tid after a migration re-enrollment.
+    pub fn set_tid(&self, tid: Tid) {
+        *self.tid.lock() = tid;
+    }
+
+    /// Select the data path for subsequent sends.
+    pub fn set_route(&self, mode: RouteMode) {
+        *self.route.lock() = mode;
+    }
+
+    /// Current route mode.
+    pub fn route(&self) -> RouteMode {
+        *self.route.lock()
+    }
+
+    /// The host object this task currently runs on.
+    pub fn host(&self) -> Arc<Host> {
+        let h = self
+            .pvm
+            .host_of(self.tid())
+            .expect("task has no host binding");
+        Arc::clone(self.pvm.cluster.host(h))
+    }
+
+    /// Charge arbitrary virtual time (library-internal bookkeeping).
+    pub fn advance(&self, d: SimDuration) {
+        self.ctx.advance(d);
+    }
+
+    /// Send with an explicit source tid (protocol layers remap sources).
+    pub fn send_as(&self, src: Tid, to: Tid, tag: i32, buf: MsgBuf) {
+        let msg = Message::new(src, tag, buf);
+        self.send_message(to, msg);
+    }
+
+    /// Route an already-sealed message to `to`, charging all costs.
+    pub fn send_message(&self, to: Tid, msg: Message) {
+        let (dst_host, mb) = self
+            .pvm
+            .lookup(to)
+            .unwrap_or_else(|| panic!("send to dead or unknown tid {to}"));
+        let src_host = self.host_id();
+        if dst_host == src_host {
+            route::deliver_local(&self.ctx, &self.pvm, src_host, mb, msg);
+        } else {
+            match self.route() {
+                RouteMode::Daemon => route::deliver_daemon(&self.ctx, &self.pvm, src_host, mb, msg),
+                RouteMode::Direct => {
+                    route::deliver_direct(&self.ctx, &self.pvm, src_host, dst_host, mb, msg)
+                }
+            }
+        }
+    }
+
+    fn charge_recv(&self, m: &Message) {
+        let host = self.host();
+        host.syscall(&self.ctx);
+        host.memcpy(&self.ctx, m.encoded_size());
+    }
+
+    fn take_pending(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {
+        let mut p = self.pending.lock();
+        let idx = p.iter().position(|m| matches(m, from, tag))?;
+        p.remove(idx)
+    }
+
+    /// Push a message to the *front* of the pending queue (protocol layers
+    /// use this to "un-receive" a message).
+    pub fn unreceive(&self, m: Message) {
+        self.pending.lock().push_front(m);
+    }
+
+    /// Drain everything already delivered into the pending queue.
+    fn drain_mailbox(&self) {
+        let mut p = self.pending.lock();
+        while let Some(m) = self.mailbox.try_recv() {
+            p.push_back(m);
+        }
+    }
+
+    /// Blocking receive that also returns if a signal is posted to the
+    /// carrying actor — the hook MPVM's migratable `pvm_recv` is built on
+    /// (§4.1.1: "the re-implementation of the pvm_recv() call").
+    pub fn recv_interruptible(
+        &self,
+        from: Option<Tid>,
+        tag: Option<i32>,
+    ) -> Result<Message, Interrupted> {
+        self.recv_where_interruptible(&|m| matches(m, from, tag))
+    }
+
+    fn take_pending_where(&self, f: &dyn Fn(&Message) -> bool) -> Option<Message> {
+        let mut p = self.pending.lock();
+        let idx = p.iter().position(f)?;
+        p.remove(idx)
+    }
+
+    /// Blocking receive with an arbitrary matcher (tid-remapping layers need
+    /// matching that simple (src, tag) filters cannot express).
+    pub fn recv_where(&self, f: &dyn Fn(&Message) -> bool) -> Message {
+        loop {
+            if let Some(m) = self.take_pending_where(f) {
+                self.charge_recv(&m);
+                return m;
+            }
+            match self.mailbox.recv(&self.ctx) {
+                Some(m) => {
+                    if f(&m) {
+                        self.charge_recv(&m);
+                        return m;
+                    }
+                    self.pending.lock().push_back(m);
+                }
+                None => panic!("task mailbox closed while receiving"),
+            }
+        }
+    }
+
+    /// Interruptible matcher-based receive.
+    pub fn recv_where_interruptible(
+        &self,
+        f: &dyn Fn(&Message) -> bool,
+    ) -> Result<Message, Interrupted> {
+        loop {
+            if let Some(m) = self.take_pending_where(f) {
+                self.charge_recv(&m);
+                return Ok(m);
+            }
+            match self.mailbox.recv_interruptible(&self.ctx) {
+                Ok(Some(m)) => {
+                    if f(&m) {
+                        self.charge_recv(&m);
+                        return Ok(m);
+                    }
+                    self.pending.lock().push_back(m);
+                }
+                Ok(None) => panic!("task mailbox closed while receiving"),
+                Err(Interrupted) => return Err(Interrupted),
+            }
+        }
+    }
+
+    /// Receive with a timeout (`pvm_trecv`): blocks at most `timeout` of
+    /// virtual time; `None` if no matching message arrived by then.
+    pub fn trecv(
+        &self,
+        from: Option<Tid>,
+        tag: Option<i32>,
+        timeout: SimDuration,
+    ) -> Option<Message> {
+        let deadline = self.ctx.now() + timeout;
+        loop {
+            if let Some(m) = self.take_pending(from, tag) {
+                self.charge_recv(&m);
+                return Some(m);
+            }
+            let remaining = deadline.saturating_since(self.ctx.now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.mailbox.recv_deadline(&self.ctx, remaining) {
+                Some(m) => {
+                    if matches(&m, from, tag) {
+                        self.charge_recv(&m);
+                        return Some(m);
+                    }
+                    self.pending.lock().push_back(m);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Non-blocking matcher-based receive.
+    pub fn nrecv_where(&self, f: &dyn Fn(&Message) -> bool) -> Option<Message> {
+        self.drain_mailbox();
+        let m = self.take_pending_where(f)?;
+        self.charge_recv(&m);
+        Some(m)
+    }
+
+    /// Matcher-based probe (does not consume).
+    pub fn probe_where(&self, f: &dyn Fn(&Message) -> bool) -> bool {
+        self.drain_mailbox();
+        self.pending.lock().iter().any(f)
+    }
+
+    /// Count of messages waiting (pending + mailbox), for diagnostics.
+    pub fn queued_messages(&self) -> usize {
+        self.pending.lock().len() + self.mailbox.len()
+    }
+}
+
+impl TaskApi for PvmTask {
+    fn mytid(&self) -> Tid {
+        self.tid()
+    }
+
+    fn host_id(&self) -> HostId {
+        self.pvm
+            .host_of(self.tid())
+            .expect("task has no host binding")
+    }
+
+    fn nhosts(&self) -> usize {
+        self.pvm.nhosts()
+    }
+
+    fn send(&self, to: Tid, tag: i32, buf: MsgBuf) {
+        let msg = Message::new(self.tid(), tag, buf);
+        self.send_message(to, msg);
+    }
+
+    fn mcast(&self, to: &[Tid], tag: i32, buf: MsgBuf) {
+        // Pack once; each destination is a separate network leg sharing the
+        // same body allocation.
+        let msg = Message::new(self.tid(), tag, buf);
+        for &dst in to {
+            self.send_message(dst, msg.clone());
+        }
+    }
+
+    fn recv(&self, from: Option<Tid>, tag: Option<i32>) -> Message {
+        loop {
+            if let Some(m) = self.take_pending(from, tag) {
+                self.charge_recv(&m);
+                return m;
+            }
+            match self.mailbox.recv(&self.ctx) {
+                Some(m) => {
+                    if matches(&m, from, tag) {
+                        self.charge_recv(&m);
+                        return m;
+                    }
+                    self.pending.lock().push_back(m);
+                }
+                None => panic!("task mailbox closed while receiving"),
+            }
+        }
+    }
+
+    fn nrecv(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {
+        self.drain_mailbox();
+        let m = self.take_pending(from, tag)?;
+        self.charge_recv(&m);
+        Some(m)
+    }
+
+    fn probe(&self, from: Option<Tid>, tag: Option<i32>) -> bool {
+        self.drain_mailbox();
+        self.pending.lock().iter().any(|m| matches(m, from, tag))
+    }
+
+    fn compute(&self, flops: f64) {
+        self.host().compute(&self.ctx, flops);
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn set_state_bytes(&self, bytes: usize) {
+        self.pvm.set_task_state_bytes(self.tid(), bytes);
+    }
+}

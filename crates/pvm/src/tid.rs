@@ -1,0 +1,98 @@
+//! Task identifiers.
+//!
+//! Real PVM encodes the host index and a per-host task index into one 32-bit
+//! tid; the tid is the endpoint of all task-to-task communication. We keep
+//! the same encoding (12 host bits, 18 task bits) because the migration
+//! systems depend on a tid *changing* when a task moves: MPVM's restart
+//! message exists precisely to broadcast the new tid (§2.1 stage 4).
+
+use worknet::HostId;
+
+/// A PVM task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid(u32);
+
+const HOST_BITS: u32 = 12;
+const TASK_BITS: u32 = 18;
+const TASK_MASK: u32 = (1 << TASK_BITS) - 1;
+
+impl Tid {
+    /// Compose a tid from a host and a per-host task index.
+    ///
+    /// # Panics
+    /// Panics if either component exceeds its field width.
+    pub fn new(host: HostId, index: u32) -> Tid {
+        let h = host.0 as u32;
+        assert!(h < (1 << HOST_BITS) - 1, "host index too large for tid");
+        assert!(index < (1 << TASK_BITS), "task index too large for tid");
+        // Host field is offset by 1 so that tid 0 is never valid.
+        Tid(((h + 1) << TASK_BITS) | index)
+    }
+
+    /// The host encoded in this tid (the host the task enrolled on — after a
+    /// migration the *new* tid carries the new host).
+    pub fn host(self) -> HostId {
+        HostId(((self.0 >> TASK_BITS) - 1) as usize)
+    }
+
+    /// The per-host task index.
+    pub fn index(self) -> u32 {
+        self.0 & TASK_MASK
+    }
+
+    /// Raw 32-bit value (stable across runs).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild a tid from its raw value (protocol messages carry raw tids).
+    pub fn from_raw(raw: u32) -> Tid {
+        assert!(raw >> 18 != 0, "raw tid has empty host field");
+        Tid(raw)
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_host_and_index() {
+        let t = Tid::new(HostId(5), 42);
+        assert_eq!(t.host(), HostId(5));
+        assert_eq!(t.index(), 42);
+    }
+
+    #[test]
+    fn zero_is_never_a_valid_tid() {
+        assert_ne!(Tid::new(HostId(0), 0).raw(), 0);
+    }
+
+    #[test]
+    fn tids_differ_across_hosts_and_indices() {
+        let a = Tid::new(HostId(0), 1);
+        let b = Tid::new(HostId(1), 1);
+        let c = Tid::new(HostId(0), 2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "task index too large")]
+    fn oversized_index_panics() {
+        let _ = Tid::new(HostId(0), 1 << 18);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let t = Tid::new(HostId(0), 7);
+        assert_eq!(format!("{t}"), format!("t{:x}", t.raw()));
+    }
+}

@@ -1,0 +1,143 @@
+//! Small coordination utilities shared by the runtime layers.
+
+use parking_lot::Mutex;
+use simcore::SimCtx;
+
+type DoneFn = Box<dyn FnOnce(&SimCtx) + Send>;
+
+/// Runs registered callbacks when the last member of a group finishes.
+///
+/// The migration daemons and protocol agents are long-lived actors; without
+/// an explicit shutdown they would idle forever and the kernel would report
+/// a deadlock. Application spawners register each app task here, and the
+/// *last* task to finish runs the shutdown callbacks (e.g. "send QUIT to
+/// every daemon") from its own context.
+pub struct ShutdownGroup {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    remaining: usize,
+    sealed: bool,
+    on_done: Vec<DoneFn>,
+}
+
+impl Default for ShutdownGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShutdownGroup {
+    /// An empty, unsealed group.
+    pub fn new() -> Self {
+        ShutdownGroup {
+            inner: Mutex::new(Inner {
+                remaining: 0,
+                sealed: false,
+                on_done: Vec::new(),
+            }),
+        }
+    }
+
+    /// Register one more member. Must be called before the group seals.
+    pub fn register(&self) {
+        let mut g = self.inner.lock();
+        assert!(!g.sealed, "register after seal");
+        g.remaining += 1;
+    }
+
+    /// Add a callback to run (from the last member's context) when the group
+    /// drains.
+    pub fn on_done(&self, f: impl FnOnce(&SimCtx) + Send + 'static) {
+        self.inner.lock().on_done.push(Box::new(f));
+    }
+
+    /// No further members will register. Callbacks fire once `remaining`
+    /// reaches zero.
+    pub fn seal(&self) {
+        self.inner.lock().sealed = true;
+    }
+
+    /// Mark one member finished; runs the callbacks if it was the last and
+    /// the group is sealed.
+    pub fn finish(&self, ctx: &SimCtx) {
+        let to_run = {
+            let mut g = self.inner.lock();
+            assert!(g.remaining > 0, "finish without register");
+            g.remaining -= 1;
+            if g.remaining == 0 && g.sealed {
+                std::mem::take(&mut g.on_done)
+            } else {
+                Vec::new()
+            }
+        };
+        for f in to_run {
+            f(ctx);
+        }
+    }
+
+    /// Members still running.
+    pub fn remaining(&self) -> usize {
+        self.inner.lock().remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{Sim, SimDuration};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn callbacks_run_when_last_member_finishes() {
+        let sim = Sim::new();
+        let group = Arc::new(ShutdownGroup::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        for i in 0..3u64 {
+            group.register();
+            let g = Arc::clone(&group);
+            sim.spawn(format!("m{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_secs(i + 1));
+                g.finish(&ctx);
+            });
+        }
+        let f = Arc::clone(&fired);
+        group.on_done(move |ctx| {
+            assert_eq!(ctx.now().as_secs_f64(), 3.0);
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        group.seal();
+        sim.run().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn callbacks_do_not_run_before_seal() {
+        let sim = Sim::new();
+        let group = Arc::new(ShutdownGroup::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        group.register();
+        let f = Arc::clone(&fired);
+        group.on_done(move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        let g = Arc::clone(&group);
+        sim.spawn("m", move |ctx| {
+            g.finish(&ctx);
+            // Not sealed yet: nothing fires even at zero remaining.
+        });
+        sim.run().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(group.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "register after seal")]
+    fn register_after_seal_panics() {
+        let g = ShutdownGroup::new();
+        g.seal();
+        g.register();
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the typed message-buffer layer.
+
+use proptest::prelude::*;
+use pvm_rt::{Item, Message, MsgBuf, Tid, UnpackError};
+use worknet::HostId;
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        prop::collection::vec(any::<i32>(), 0..64).prop_map(Item::Int),
+        prop::collection::vec(any::<u32>(), 0..64).prop_map(Item::Uint),
+        prop::collection::vec(any::<f64>(), 0..32).prop_map(Item::Double),
+        prop::collection::vec(any::<f32>(), 0..64).prop_map(Item::Float),
+        prop::collection::vec(any::<u8>(), 0..256).prop_map(|v| Item::Byte(bytes::Bytes::from(v))),
+        "[a-zA-Z0-9 ]{0,40}".prop_map(Item::Str),
+    ]
+}
+
+fn pack(items: &[Item]) -> MsgBuf {
+    let mut buf = MsgBuf::new();
+    for it in items {
+        buf = match it {
+            Item::Int(v) => buf.pk_int(v),
+            Item::Uint(v) => buf.pk_uint(v),
+            Item::Double(v) => buf.pk_double(v),
+            Item::Float(v) => buf.pk_float(v),
+            Item::Byte(b) => buf.pk_bytes(b.clone()),
+            Item::Str(s) => buf.pk_str(s.clone()),
+        };
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of typed sections unpacks to exactly what was packed,
+    /// in order, bit-for-bit (NaNs included).
+    #[test]
+    fn pack_unpack_roundtrip(items in prop::collection::vec(item_strategy(), 0..10)) {
+        let m = Message::new(Tid::new(HostId(0), 1), 7, pack(&items));
+        let mut r = m.reader();
+        prop_assert_eq!(r.remaining(), items.len());
+        for it in &items {
+            match it {
+                Item::Int(v) => prop_assert_eq!(&r.upk_int().unwrap(), v),
+                Item::Uint(v) => prop_assert_eq!(&r.upk_uint().unwrap(), v),
+                Item::Double(v) => {
+                    let got = r.upk_double().unwrap();
+                    prop_assert_eq!(got.len(), v.len());
+                    for (a, b) in got.iter().zip(v) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                Item::Float(v) => {
+                    let got = r.upk_float().unwrap();
+                    prop_assert_eq!(got.len(), v.len());
+                    for (a, b) in got.iter().zip(v) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                Item::Byte(b) => prop_assert_eq!(&r.upk_bytes().unwrap(), b),
+                Item::Str(s) => prop_assert_eq!(&r.upk_str().unwrap(), s),
+            }
+        }
+        prop_assert_eq!(r.upk_int(), Err(UnpackError::Exhausted));
+    }
+
+    /// Encoded size equals the sum of section sizes and survives sealing.
+    #[test]
+    fn encoded_size_is_additive(items in prop::collection::vec(item_strategy(), 0..10)) {
+        let expect: usize = items.iter().map(Item::encoded_size).sum();
+        let buf = pack(&items);
+        prop_assert_eq!(buf.encoded_size(), expect);
+        let m = Message::new(Tid::new(HostId(1), 2), 0, buf);
+        prop_assert_eq!(m.encoded_size(), expect);
+    }
+
+    /// Unpacking in the wrong type order fails without consuming, so the
+    /// correct unpack still succeeds afterwards.
+    #[test]
+    fn type_mismatch_is_recoverable(v in prop::collection::vec(any::<i32>(), 1..16)) {
+        let m = Message::new(Tid::new(HostId(0), 1), 0, MsgBuf::new().pk_int(&v));
+        let mut r = m.reader();
+        let mismatch = matches!(
+            r.upk_double(),
+            Err(UnpackError::TypeMismatch { wanted: "double", found: "int" })
+        );
+        prop_assert!(mismatch);
+        prop_assert_eq!(r.upk_int().unwrap(), v);
+    }
+
+    /// Tid round-trips through its raw encoding for all valid components.
+    #[test]
+    fn tid_raw_roundtrip(host in 0usize..4000, index in 0u32..(1 << 18)) {
+        let t = Tid::new(HostId(host), index);
+        let back = Tid::from_raw(t.raw());
+        prop_assert_eq!(back, t);
+        prop_assert_eq!(back.host(), HostId(host));
+        prop_assert_eq!(back.index(), index);
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulation-level errors.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A description of one actor's state at the moment of a failure, used in
+/// deadlock reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActorReport {
+    /// The actor's human-readable name (as given to `spawn`).
+    pub name: String,
+    /// A short description of what the actor was blocked on.
+    pub state: String,
+}
+
+/// Fatal simulation errors returned by [`crate::Sim::run`].
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// No actor is runnable and no event is pending, but live actors remain.
+    ///
+    /// This almost always indicates a protocol bug: some actor is waiting for
+    /// a message or wake-up that will never arrive.
+    Deadlock {
+        /// Virtual time at which the deadlock was detected.
+        at: SimTime,
+        /// Blocked actors and what they were blocked on.
+        blocked: Vec<ActorReport>,
+    },
+    /// An actor's body panicked. The whole simulation is aborted.
+    ActorPanicked {
+        /// Name of the panicking actor.
+        actor: String,
+        /// Best-effort panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                writeln!(f, "simulation deadlock at t={at}: no runnable actor")?;
+                for a in blocked {
+                    writeln!(f, "  actor `{}` blocked: {}", a.name, a.state)?;
+                }
+                Ok(())
+            }
+            SimError::ActorPanicked { actor, message } => {
+                write!(f, "actor `{actor}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_lists_actors() {
+        let e = SimError::Deadlock {
+            at: SimTime(2_000_000_000),
+            blocked: vec![ActorReport {
+                name: "worker0".into(),
+                state: "parked: recv".into(),
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock at t=2.000000s"), "{s}");
+        assert!(s.contains("worker0"), "{s}");
+        assert!(s.contains("parked: recv"), "{s}");
+    }
+
+    #[test]
+    fn panic_display_names_actor() {
+        let e = SimError::ActorPanicked {
+            actor: "pvmd@host1".into(),
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("pvmd@host1"));
+    }
+}

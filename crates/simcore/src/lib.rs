@@ -1,0 +1,37 @@
+//! # simcore — deterministic virtual-time kernel
+//!
+//! The execution substrate for the adaptive-PVM reproduction. Actors (PVM
+//! daemons, tasks, ULP containers, the global scheduler) run as real OS
+//! threads, but exactly one executes at any instant; simulated time advances
+//! only through explicit cost charges ([`SimCtx::advance`]). All inter-actor
+//! ordering flows through a single `(time, sequence)`-ordered event heap, so
+//! every simulation is deterministic and reproducible bit-for-bit regardless
+//! of host scheduling.
+//!
+//! Key pieces:
+//!
+//! * [`Sim`] / [`SimCtx`] — the kernel and the per-actor capability handle.
+//! * [`Mailbox`] — single-consumer FIFO used by the messaging layers.
+//! * [`World`] — shared state visible to kernel events (network arrivals,
+//!   load-trace changes).
+//! * Signals ([`SimCtx::post_signal`]) — asynchronous, Unix-signal-like
+//!   notifications that can interrupt interruptible waits; the migration
+//!   systems are driven by these.
+//! * [`TraceEvent`] — timestamped protocol trace used to regenerate the
+//!   paper's figures.
+
+#![warn(missing_docs)]
+
+mod error;
+mod mailbox;
+mod sim;
+mod time;
+mod trace;
+mod world;
+
+pub use error::{ActorReport, SimError};
+pub use mailbox::{Interrupted, Mailbox};
+pub use sim::{AdvanceOutcome, Sim, SimCtx};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceSliceExt};
+pub use world::{ActorId, EventId, KernelEvent, Signal, WakeReason, World};

@@ -1,0 +1,382 @@
+//! A single-consumer mailbox for inter-actor communication.
+//!
+//! Senders may be actors (immediate or via scheduled kernel events) or kernel
+//! events themselves. The receiver blocks in virtual time. Delivery delays
+//! are modelled by the *network* layers, which push into the mailbox from a
+//! kernel event at the arrival time; the mailbox itself is instantaneous.
+
+use crate::sim::SimCtx;
+use crate::world::{ActorId, WakeReason, World};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Error returned by [`Mailbox::recv_interruptible`] when a signal arrives
+/// before a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+struct MbState<T> {
+    queue: VecDeque<T>,
+    waiter: Option<ActorId>,
+    closed: bool,
+}
+
+/// A FIFO mailbox with exactly one concurrent receiver.
+///
+/// Cloning produces another handle to the same mailbox.
+pub struct Mailbox<T> {
+    shared: Arc<Mutex<MbState<T>>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Send + 'static> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> Mailbox<T> {
+    /// Create an empty, open mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            shared: Arc::new(Mutex::new(MbState {
+                queue: VecDeque::new(),
+                waiter: None,
+                closed: false,
+            })),
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().queue.is_empty()
+    }
+
+    /// Pop a message if one is queued; never blocks.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.lock().queue.pop_front()
+    }
+
+    /// Deliver a message now (from actor context) and wake the receiver.
+    pub fn send(&self, ctx: &SimCtx, value: T) {
+        let waiter = {
+            let mut st = self.shared.lock();
+            assert!(!st.closed, "send on closed mailbox");
+            st.queue.push_back(value);
+            st.waiter.take()
+        };
+        if let Some(w) = waiter {
+            ctx.wake(w);
+        }
+    }
+
+    /// Deliver a message from a kernel event (e.g. a modelled network
+    /// arrival) and wake the receiver.
+    pub fn send_from_world(&self, w: &mut World, value: T) {
+        let waiter = {
+            let mut st = self.shared.lock();
+            if st.closed {
+                return; // arrivals after close are dropped
+            }
+            st.queue.push_back(value);
+            st.waiter.take()
+        };
+        if let Some(a) = waiter {
+            w.wake_actor(a);
+        }
+    }
+
+    /// Close the mailbox: the receiver's next `recv` on an empty queue
+    /// returns `None`. Queued messages are still delivered first.
+    pub fn close(&self, ctx: &SimCtx) {
+        let waiter = {
+            let mut st = self.shared.lock();
+            st.closed = true;
+            st.waiter.take()
+        };
+        if let Some(w) = waiter {
+            ctx.wake(w);
+        }
+    }
+
+    /// Blocking receive. Returns `None` once the mailbox is closed and
+    /// drained. Signals do not interrupt; use
+    /// [`Mailbox::recv_interruptible`] for that.
+    pub fn recv(&self, ctx: &SimCtx) -> Option<T> {
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Some(v);
+                }
+                if st.closed {
+                    return None;
+                }
+                assert!(
+                    st.waiter.is_none() || st.waiter == Some(ctx.id()),
+                    "mailbox has two concurrent receivers"
+                );
+                st.waiter = Some(ctx.id());
+            }
+            // Token model guarantees no lost wakeup: no other actor can run
+            // between releasing the state lock above and parking below.
+            ctx.block("mailbox recv", false);
+            self.shared.lock().waiter = None;
+        }
+    }
+
+    /// Blocking receive with a virtual-time deadline. Returns `None` when
+    /// the timeout elapses (or the mailbox is closed and drained) — the
+    /// `pvm_trecv` building block.
+    pub fn recv_deadline(&self, ctx: &SimCtx, timeout: crate::SimDuration) -> Option<T> {
+        let deadline = ctx.now() + timeout;
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Some(v);
+                }
+                if st.closed {
+                    return None;
+                }
+                if ctx.now() >= deadline {
+                    return None;
+                }
+                assert!(
+                    st.waiter.is_none() || st.waiter == Some(ctx.id()),
+                    "mailbox has two concurrent receivers"
+                );
+                st.waiter = Some(ctx.id());
+            }
+            let me = ctx.id();
+            let remaining = deadline.since(ctx.now());
+            let timer = ctx.schedule(remaining, move |w| {
+                w.wake_actor(me);
+            });
+            ctx.block("mailbox recv (deadline)", false);
+            ctx.cancel(timer);
+            self.shared.lock().waiter = None;
+        }
+    }
+
+    /// Blocking receive that also returns when a signal is posted to the
+    /// receiving actor. The signal remains queued for the caller to take.
+    pub fn recv_interruptible(&self, ctx: &SimCtx) -> Result<Option<T>, Interrupted> {
+        loop {
+            {
+                let mut st = self.shared.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(Some(v));
+                }
+                if st.closed {
+                    return Ok(None);
+                }
+                assert!(
+                    st.waiter.is_none() || st.waiter == Some(ctx.id()),
+                    "mailbox has two concurrent receivers"
+                );
+                st.waiter = Some(ctx.id());
+            }
+            let reason = ctx.block("mailbox recv (interruptible)", true);
+            self.shared.lock().waiter = None;
+            if reason == WakeReason::Interrupted {
+                return Err(Interrupted);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+    use crate::time::{SimDuration, SimTime};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn send_then_recv_same_time() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("producer", move |ctx| {
+            mb2.send(&ctx, 7);
+        });
+        let got = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&got);
+        sim.spawn("consumer", move |ctx| {
+            let v = mb.recv(&ctx).unwrap();
+            g.store(v as u64, Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert_eq!(got.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn recv_blocks_until_delayed_send() {
+        let sim = Sim::new();
+        let mb: Mailbox<&'static str> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(mb.recv(&ctx), Some("hello"));
+            assert_eq!(ctx.now(), SimTime(5_000_000_000));
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.advance(SimDuration::from_secs(5));
+            mb2.send(&ctx, "hello");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn kernel_event_delivery_models_network_latency() {
+        let sim = Sim::new();
+        let mb: Mailbox<u64> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("net", move |ctx| {
+            let mb3 = mb2.clone();
+            ctx.schedule(SimDuration::from_millis(150), move |w| {
+                mb3.send_from_world(w, 99);
+            });
+        });
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(mb.recv(&ctx), Some(99));
+            assert_eq!(ctx.now(), SimTime(150_000_000));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("producer", move |ctx| {
+            for i in 0..10 {
+                mb2.send(&ctx, i);
+                ctx.advance(SimDuration::from_millis(1));
+            }
+        });
+        sim.spawn("consumer", move |ctx| {
+            for i in 0..10 {
+                assert_eq!(mb.recv(&ctx), Some(i));
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_unblocks_receiver_with_none() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(mb.recv(&ctx), None);
+        });
+        sim.spawn("closer", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            mb2.close(&ctx);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn close_drains_queued_messages_first() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("producer", move |ctx| {
+            mb2.send(&ctx, 1);
+            mb2.send(&ctx, 2);
+            mb2.close(&ctx);
+        });
+        sim.spawn("consumer", move |ctx| {
+            // Let the producer run first.
+            ctx.yield_now();
+            assert_eq!(mb.recv(&ctx), Some(1));
+            assert_eq!(mb.recv(&ctx), Some(2));
+            assert_eq!(mb.recv(&ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn interruptible_recv_sees_signal() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let consumer = sim.spawn("consumer", move |ctx| match mb.recv_interruptible(&ctx) {
+            Err(Interrupted) => {
+                let sig = ctx.take_signal().unwrap();
+                assert_eq!(*sig.downcast::<&str>().unwrap(), "migrate");
+            }
+            other => panic!("expected interruption, got message? {:?}", other.is_ok()),
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(2));
+            ctx.post_signal(consumer, Box::new("migrate"));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_succeeds() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        let mb2 = mb.clone();
+        sim.spawn("consumer", move |ctx| {
+            // Nothing arrives within 1 s: timeout at exactly t=1.
+            assert_eq!(mb.recv_deadline(&ctx, SimDuration::from_secs(1)), None);
+            assert_eq!(ctx.now(), SimTime(1_000_000_000));
+            // The message lands at t=3, within the next 5 s window.
+            let v = mb.recv_deadline(&ctx, SimDuration::from_secs(5));
+            assert_eq!(v, Some(9));
+            assert_eq!(ctx.now(), SimTime(3_000_000_000));
+        });
+        sim.spawn("producer", move |ctx| {
+            ctx.advance(SimDuration::from_secs(3));
+            mb2.send(&ctx, 9);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_deadline_zero_is_a_poll() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        sim.spawn("c", move |ctx| {
+            assert_eq!(mb.recv_deadline(&ctx, SimDuration::ZERO), None);
+            mb.send(&ctx, 4);
+            assert_eq!(mb.recv_deadline(&ctx, SimDuration::ZERO), Some(4));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        sim.spawn("a", move |ctx| {
+            assert_eq!(mb.try_recv(), None);
+            mb.send(&ctx, 5);
+            assert_eq!(mb.len(), 1);
+            assert!(!mb.is_empty());
+            assert_eq!(mb.try_recv(), Some(5));
+            assert!(mb.is_empty());
+        });
+        sim.run().unwrap();
+    }
+
+    use std::sync::Arc;
+}

@@ -1,0 +1,786 @@
+//! The simulation driver: actor spawning, the execution-token handoff, and
+//! the blocking/advancing API actors use to interact with virtual time.
+//!
+//! # Execution model
+//!
+//! Every actor is a real OS thread, but at most one actor executes simulated
+//! work at any moment. The right to execute (the "token") is `World::running`;
+//! all other actor threads wait on a single condvar. An actor gives up the
+//! token by calling [`SimCtx::advance`] (charging virtual time) or
+//! [`SimCtx::block`] (waiting for a wake/signal); the yielding thread itself
+//! drains the event heap and hands the token to the next runnable actor.
+//! Because every hand-off is decided by the deterministic `(time, seq)` order
+//! of the heap — never by the OS scheduler — simulations are reproducible
+//! bit-for-bit.
+
+use crate::error::SimError;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+use crate::world::{ActorId, ActorSlot, ActorState, Dispatch, EventId, Signal, WakeReason, World};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Panic payload used internally to unwind actor threads when the simulation
+/// aborts (deadlock or another actor's panic). Never escapes the crate.
+struct SimAbort;
+
+struct SimShared {
+    world: Mutex<World>,
+    cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A deterministic virtual-time simulation.
+///
+/// Typical use: create, [`Sim::spawn`] the initial actors, then [`Sim::run`]
+/// to completion.
+///
+/// ```
+/// use simcore::{Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// sim.spawn("ticker", |ctx| {
+///     for _ in 0..3 {
+///         ctx.advance(SimDuration::from_secs(1));
+///     }
+/// });
+/// let end = sim.run().unwrap();
+/// assert_eq!(end.as_secs_f64(), 3.0);
+/// ```
+pub struct Sim {
+    shared: Arc<SimShared>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The outcome of an interruptible [`SimCtx::advance_interruptible`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvanceOutcome {
+    /// The full duration was charged.
+    Completed,
+    /// A signal arrived `elapsed` into the wait; the remainder was not
+    /// charged. The signal is still queued — fetch it with
+    /// [`SimCtx::take_signal`].
+    Interrupted {
+        /// How much of the requested duration actually elapsed.
+        elapsed: SimDuration,
+    },
+}
+
+impl Sim {
+    /// Create an empty simulation at t = 0.
+    pub fn new() -> Self {
+        Sim {
+            shared: Arc::new(SimShared {
+                world: Mutex::new(World::new()),
+                cv: Condvar::new(),
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Enable or disable trace recording (enabled by default).
+    pub fn set_trace_enabled(&self, on: bool) {
+        self.shared.world.lock().trace_enabled = on;
+    }
+
+    /// Spawn an actor. Its body starts executing (at the current virtual
+    /// time) once the simulation runs and the token reaches it.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ActorId
+    where
+        F: FnOnce(SimCtx) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name.into(), body)
+    }
+
+    /// Run the simulation until every actor has exited.
+    ///
+    /// Returns the final virtual time, or an error on deadlock / actor panic.
+    /// On success all carrier threads have been joined.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        {
+            let mut g = self.shared.world.lock();
+            assert!(g.running.is_none(), "Sim::run: simulation already running");
+            if !g.finished && !g.aborted {
+                dispatch_and_notify(&self.shared, &mut g);
+            }
+            while !g.finished && !g.aborted {
+                self.shared.cv.wait(&mut g);
+            }
+        }
+        // All actor threads exit on finish/abort; reap them.
+        let handles = std::mem::take(&mut *self.shared.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        let g = self.shared.world.lock();
+        if let Some((actor, message)) = g.panic_info.clone() {
+            return Err(SimError::ActorPanicked { actor, message });
+        }
+        if let Some(blocked) = g.deadlock.clone() {
+            return Err(SimError::Deadlock { at: g.now, blocked });
+        }
+        Ok(g.now)
+    }
+
+    /// Current virtual time (usable before, during — from other threads — and
+    /// after a run).
+    pub fn now(&self) -> SimTime {
+        self.shared.world.lock().now
+    }
+
+    /// Take ownership of the recorded trace, leaving it empty.
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.shared.world.lock().trace)
+    }
+
+    /// Run a closure with exclusive access to the world. Intended for
+    /// pre-run setup (installing kernel events such as load-trace changes).
+    pub fn with_world<R>(&self, f: impl FnOnce(&mut World) -> R) -> R {
+        f(&mut self.shared.world.lock())
+    }
+}
+
+/// An actor's capability handle: the only way to interact with virtual time.
+///
+/// Cloning is cheap; clones refer to the same actor.
+#[derive(Clone)]
+pub struct SimCtx {
+    shared: Arc<SimShared>,
+    me: ActorId,
+}
+
+impl SimCtx {
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.world.lock().now
+    }
+
+    /// Charge `d` of virtual time, uninterruptibly. Signals posted meanwhile
+    /// stay queued.
+    pub fn advance(&self, d: SimDuration) {
+        let mut g = self.shared.world.lock();
+        self.assert_running(&g);
+        let started = g.now;
+        let me = self.me;
+        g.actors[me.index()].state = ActorState::Timed {
+            interruptible: false,
+        };
+        let at = started + d;
+        g.queue_wake(me, at);
+        let (_reason, _now) = yield_token(&self.shared, me, g);
+    }
+
+    /// Charge up to `d` of virtual time, returning early if a signal arrives.
+    ///
+    /// If a signal is already queued, returns immediately with
+    /// `Interrupted { elapsed: 0 }` and charges nothing.
+    pub fn advance_interruptible(&self, d: SimDuration) -> AdvanceOutcome {
+        let mut g = self.shared.world.lock();
+        self.assert_running(&g);
+        if g.has_signal(self.me) {
+            return AdvanceOutcome::Interrupted {
+                elapsed: SimDuration::ZERO,
+            };
+        }
+        let started = g.now;
+        let me = self.me;
+        g.actors[me.index()].state = ActorState::Timed {
+            interruptible: true,
+        };
+        g.queue_wake(me, started + d);
+        let (reason, now) = yield_token(&self.shared, me, g);
+        match reason {
+            WakeReason::Interrupted => AdvanceOutcome::Interrupted {
+                elapsed: now.since(started),
+            },
+            _ => AdvanceOutcome::Completed,
+        }
+    }
+
+    /// Park until another actor (or kernel event) wakes this actor.
+    ///
+    /// With `interruptible = true`, a queued or newly posted signal also wakes
+    /// the actor (returning [`WakeReason::Interrupted`]) — and if a signal is
+    /// already pending the call returns immediately without parking.
+    ///
+    /// `reason` appears in deadlock reports.
+    pub fn block(&self, reason: &str, interruptible: bool) -> WakeReason {
+        let mut g = self.shared.world.lock();
+        self.assert_running(&g);
+        if interruptible && g.has_signal(self.me) {
+            return WakeReason::Interrupted;
+        }
+        let me = self.me;
+        g.actors[me.index()].state = ActorState::Parked {
+            reason: reason.to_string(),
+            interruptible,
+        };
+        let (r, _now) = yield_token(&self.shared, me, g);
+        r
+    }
+
+    /// Relinquish the token without advancing time; runs after every other
+    /// entry already queued at the current instant.
+    pub fn yield_now(&self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Wake a parked actor (no-op if it is not parked). Returns whether it
+    /// was actually parked.
+    pub fn wake(&self, target: ActorId) -> bool {
+        self.shared.world.lock().wake_actor(target)
+    }
+
+    /// Post an asynchronous signal to `target`, interrupting it if it is in
+    /// an interruptible wait.
+    pub fn post_signal(&self, target: ActorId, sig: Signal) {
+        self.shared.world.lock().post_signal(target, sig);
+    }
+
+    /// Pop the oldest queued signal, if any.
+    pub fn take_signal(&self) -> Option<Signal> {
+        self.shared.world.lock().actors[self.me.index()]
+            .signals
+            .pop_front()
+    }
+
+    /// True if a signal is queued for this actor.
+    pub fn has_signal(&self) -> bool {
+        self.shared.world.lock().has_signal(self.me)
+    }
+
+    /// Schedule a kernel event to run `after` from now.
+    pub fn schedule<F>(&self, after: SimDuration, f: F) -> EventId
+    where
+        F: FnOnce(&mut World) + Send + 'static,
+    {
+        self.shared.world.lock().schedule_in(after, f)
+    }
+
+    /// Cancel a pending kernel event; returns `true` if it had not fired.
+    pub fn cancel(&self, id: EventId) -> bool {
+        self.shared.world.lock().cancel_event(id)
+    }
+
+    /// Spawn another actor starting at the current virtual time.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ActorId
+    where
+        F: FnOnce(SimCtx) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name.into(), body)
+    }
+
+    /// Record a trace event attributed to this actor.
+    pub fn trace(&self, tag: &str, detail: impl Into<String>) {
+        let me = self.me;
+        self.shared
+            .world
+            .lock()
+            .trace_event(Some(me), tag, detail.into());
+    }
+
+    /// Run a closure with exclusive access to the world while holding the
+    /// token. The closure must not call any yielding `SimCtx` method.
+    pub fn with_world<R>(&self, f: impl FnOnce(&mut World) -> R) -> R {
+        f(&mut self.shared.world.lock())
+    }
+
+    /// Name of any actor.
+    pub fn actor_name(&self, id: ActorId) -> String {
+        self.shared.world.lock().actor_name(id).to_string()
+    }
+
+    fn assert_running(&self, g: &World) {
+        debug_assert_eq!(
+            g.running,
+            Some(self.me),
+            "SimCtx used by a thread that does not hold the execution token"
+        );
+    }
+}
+
+fn spawn_inner<F>(shared: &Arc<SimShared>, name: String, body: F) -> ActorId
+where
+    F: FnOnce(SimCtx) + Send + 'static,
+{
+    let id;
+    {
+        let mut g = shared.world.lock();
+        id = ActorId(g.actors.len());
+        g.actors.push(ActorSlot {
+            name: name.clone(),
+            state: ActorState::NotStarted,
+            gen: 0,
+            wake_reason: None,
+            signals: Default::default(),
+        });
+        g.live_actors += 1;
+        let now = g.now;
+        g.queue_wake(id, now);
+    }
+    let ctx = SimCtx {
+        shared: Arc::clone(shared),
+        me: id,
+    };
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("sim:{name}"))
+        .spawn(move || actor_main(shared2, ctx, body))
+        .expect("failed to spawn actor carrier thread");
+    shared.handles.lock().push(handle);
+    id
+}
+
+fn actor_main<F>(shared: Arc<SimShared>, ctx: SimCtx, body: F)
+where
+    F: FnOnce(SimCtx) + Send + 'static,
+{
+    let me = ctx.me;
+    // Wait for the first token grant.
+    {
+        let mut g = shared.world.lock();
+        loop {
+            if g.aborted {
+                return;
+            }
+            if g.running == Some(me) {
+                g.actors[me.index()].wake_reason = None;
+                break;
+            }
+            shared.cv.wait(&mut g);
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(move || body(ctx)));
+    match result {
+        Ok(()) => {
+            let mut g = shared.world.lock();
+            debug_assert_eq!(g.running, Some(me));
+            let slot = &mut g.actors[me.index()];
+            slot.state = ActorState::Exited;
+            slot.gen += 1;
+            slot.signals.clear();
+            g.live_actors -= 1;
+            g.running = None;
+            dispatch_and_notify(&shared, &mut g);
+        }
+        Err(payload) => {
+            if payload.is::<SimAbort>() {
+                // Controlled unwind during an abort; nothing more to do.
+                return;
+            }
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            let mut g = shared.world.lock();
+            let name = g.actors[me.index()].name.clone();
+            if g.panic_info.is_none() {
+                g.panic_info = Some((name, message));
+            }
+            g.running = None;
+            g.aborted = true;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+fn dispatch_and_notify(shared: &SimShared, g: &mut World) {
+    match g.dispatch() {
+        Dispatch::Run => {
+            shared.cv.notify_all();
+        }
+        Dispatch::Finished => {
+            g.finished = true;
+            shared.cv.notify_all();
+        }
+        Dispatch::Deadlock(report) => {
+            g.deadlock = Some(report);
+            g.aborted = true;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Give up the token (caller has already set its new state and queued any
+/// wake entry), hand off to the next runnable actor, and wait to be resumed.
+/// Returns the wake reason and the virtual time at resumption.
+fn yield_token(
+    shared: &SimShared,
+    me: ActorId,
+    mut g: MutexGuard<'_, World>,
+) -> (WakeReason, SimTime) {
+    g.running = None;
+    dispatch_and_notify(shared, &mut g);
+    loop {
+        if g.aborted {
+            drop(g);
+            // resume_unwind skips the panic hook: this is a controlled
+            // unwind of the carrier thread, not an error to report.
+            panic::resume_unwind(Box::new(SimAbort));
+        }
+        if g.running == Some(me) {
+            break;
+        }
+        shared.cv.wait(&mut g);
+    }
+    let reason = g.actors[me.index()]
+        .wake_reason
+        .take()
+        .unwrap_or(WakeReason::Timer);
+    (reason, g.now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_actor_advances_clock() {
+        let sim = Sim::new();
+        sim.spawn("a", |ctx| {
+            ctx.advance(SimDuration::from_secs(2));
+            ctx.advance(SimDuration::from_millis(500));
+            assert_eq!(ctx.now(), SimTime(2_500_000_000));
+        });
+        assert_eq!(sim.run().unwrap(), SimTime(2_500_000_000));
+    }
+
+    #[test]
+    fn two_actors_interleave_deterministically() {
+        // Each actor appends (its id, time) — interleaving must follow
+        // virtual time, not OS scheduling.
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        for (name, step_ms) in [("fast", 10u64), ("slow", 25u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..4 {
+                    ctx.advance(SimDuration::from_millis(step_ms));
+                    log.lock().unwrap().push((name, ctx.now().as_nanos()));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().unwrap().clone();
+        let expected = vec![
+            ("fast", 10_000_000),
+            ("fast", 20_000_000),
+            ("slow", 25_000_000),
+            ("fast", 30_000_000),
+            ("fast", 40_000_000),
+            ("slow", 50_000_000),
+            ("slow", 75_000_000),
+            ("slow", 100_000_000),
+        ];
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn same_time_entries_run_in_fifo_order() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        for name in ["a", "b", "c"] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                ctx.advance(SimDuration::from_secs(1));
+                log.lock().unwrap().push(name);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn block_and_wake_between_actors() {
+        let sim = Sim::new();
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let waiter = sim.spawn("waiter", move |ctx| {
+            let r = ctx.block("waiting for poke", false);
+            assert_eq!(r, WakeReason::Woken);
+            f2.store(ctx.now().as_nanos(), Ordering::SeqCst);
+        });
+        sim.spawn("poker", move |ctx| {
+            ctx.advance(SimDuration::from_secs(3));
+            assert!(ctx.wake(waiter));
+        });
+        sim.run().unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 3_000_000_000);
+    }
+
+    #[test]
+    fn wake_on_non_parked_actor_is_noop() {
+        let sim = Sim::new();
+        let target = sim.spawn("t", |ctx| {
+            ctx.advance(SimDuration::from_secs(10));
+        });
+        sim.spawn("w", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            // `t` is in a timed (uninterruptible) wait, not parked.
+            assert!(!ctx.wake(target));
+        });
+        assert_eq!(sim.run().unwrap(), SimTime(10_000_000_000));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let sim = Sim::new();
+        sim.spawn("stuck", |ctx| {
+            ctx.block("never woken", false);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].name, "stuck");
+                assert!(blocked[0].state.contains("never woken"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn actor_panic_aborts_simulation() {
+        let sim = Sim::new();
+        sim.spawn("bystander", |ctx| {
+            ctx.block("forever", false);
+        });
+        sim.spawn("bad", |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            panic!("boom at t=1");
+        });
+        match sim.run() {
+            Err(SimError::ActorPanicked { actor, message }) => {
+                assert_eq!(actor, "bad");
+                assert!(message.contains("boom"), "{message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signals_interrupt_interruptible_advance() {
+        let sim = Sim::new();
+        let target = sim.spawn("worker", |ctx| {
+            match ctx.advance_interruptible(SimDuration::from_secs(100)) {
+                AdvanceOutcome::Interrupted { elapsed } => {
+                    assert_eq!(elapsed, SimDuration::from_secs(7));
+                    let sig = ctx.take_signal().expect("signal should be queued");
+                    let v = sig.downcast::<u32>().unwrap();
+                    assert_eq!(*v, 42);
+                }
+                AdvanceOutcome::Completed => panic!("should have been interrupted"),
+            }
+            // Remaining time was not charged.
+            assert_eq!(ctx.now(), SimTime(7_000_000_000));
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(7));
+            ctx.post_signal(target, Box::new(42u32));
+        });
+        assert_eq!(sim.run().unwrap(), SimTime(7_000_000_000));
+    }
+
+    #[test]
+    fn signals_do_not_interrupt_uninterruptible_advance() {
+        let sim = Sim::new();
+        let target = sim.spawn("worker", |ctx| {
+            ctx.advance(SimDuration::from_secs(10));
+            assert_eq!(ctx.now(), SimTime(10_000_000_000));
+            assert!(ctx.has_signal(), "signal should be queued after the wait");
+            ctx.take_signal().unwrap();
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(2));
+            ctx.post_signal(target, Box::new(()));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn pending_signal_short_circuits_interruptible_wait() {
+        let sim = Sim::new();
+        let t = sim.spawn("worker", |ctx| {
+            // Sleep uninterruptibly first so the signal queues up.
+            ctx.advance(SimDuration::from_secs(5));
+            match ctx.advance_interruptible(SimDuration::from_secs(100)) {
+                AdvanceOutcome::Interrupted { elapsed } => {
+                    assert_eq!(elapsed, SimDuration::ZERO)
+                }
+                _ => panic!("expected immediate interruption"),
+            }
+            assert_eq!(ctx.block("x", true), WakeReason::Interrupted);
+            ctx.take_signal().unwrap();
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.post_signal(t, Box::new(1u8));
+        });
+        assert_eq!(sim.run().unwrap(), SimTime(5_000_000_000));
+    }
+
+    #[test]
+    fn kernel_events_fire_in_order() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        let l1 = Arc::clone(&log);
+        let l2 = Arc::clone(&log);
+        let l3 = Arc::clone(&log);
+        sim.spawn("setup", move |ctx| {
+            ctx.schedule(SimDuration::from_secs(3), move |w| {
+                l1.lock().unwrap().push(("late", w.now().as_nanos()));
+            });
+            ctx.schedule(SimDuration::from_secs(1), move |w| {
+                l2.lock().unwrap().push(("early", w.now().as_nanos()));
+                // Events can schedule more events.
+                w.schedule_in(SimDuration::from_secs(1), move |w2| {
+                    l3.lock().unwrap().push(("chained", w2.now().as_nanos()));
+                });
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![
+                ("early", 1_000_000_000),
+                ("chained", 2_000_000_000),
+                ("late", 3_000_000_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let sim = Sim::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        sim.spawn("a", move |ctx| {
+            let id = ctx.schedule(SimDuration::from_secs(1), move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(ctx.cancel(id));
+            assert!(!ctx.cancel(id), "double-cancel reports false");
+            ctx.advance(SimDuration::from_secs(2));
+        });
+        sim.run().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn kernel_event_can_wake_parked_actor() {
+        let sim = Sim::new();
+        let sim_end = {
+            let target = sim.spawn("sleeper", |ctx| {
+                assert_eq!(ctx.block("waiting for event", false), WakeReason::Woken);
+                assert_eq!(ctx.now(), SimTime(4_000_000_000));
+            });
+            sim.spawn("setup", move |ctx| {
+                ctx.schedule(SimDuration::from_secs(4), move |w| {
+                    w.wake_actor(target);
+                });
+            });
+            sim.run().unwrap()
+        };
+        assert_eq!(sim_end, SimTime(4_000_000_000));
+    }
+
+    #[test]
+    fn actors_can_spawn_actors() {
+        let sim = Sim::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        sim.spawn("parent", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            for i in 0..3 {
+                let c = Arc::clone(&c);
+                ctx.spawn(format!("child{i}"), move |cctx| {
+                    cctx.advance(SimDuration::from_secs(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                    // Children start at parent's spawn time, not zero.
+                    assert_eq!(cctx.now(), SimTime(2_000_000_000));
+                });
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn trace_records_in_time_order() {
+        let sim = Sim::new();
+        sim.spawn("a", |ctx| {
+            ctx.trace("start", "t0");
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.trace("end", "t1");
+        });
+        sim.run().unwrap();
+        let tr = sim.take_trace();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0].tag, "start");
+        assert_eq!(tr[1].tag, "end");
+        assert!(tr[0].at <= tr[1].at);
+        assert_eq!(tr[0].actor_name.as_deref(), Some("a"));
+        // Trace was taken; second take is empty.
+        assert!(sim.take_trace().is_empty());
+    }
+
+    #[test]
+    fn yield_now_lets_same_time_peers_run() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let sim = Sim::new();
+        let l1 = Arc::clone(&log);
+        let l2 = Arc::clone(&log);
+        sim.spawn("first", move |ctx| {
+            l1.lock().unwrap().push("first.a");
+            ctx.yield_now();
+            l1.lock().unwrap().push("first.b");
+        });
+        sim.spawn("second", move |_ctx| {
+            l2.lock().unwrap().push("second");
+        });
+        sim.run().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec!["first.a", "second", "first.b"]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        // The same program must produce the identical trace twice.
+        fn run_once() -> Vec<(String, u64)> {
+            let sim = Sim::new();
+            for i in 0..8u64 {
+                sim.spawn(format!("w{i}"), move |ctx| {
+                    for k in 0..5u64 {
+                        ctx.advance(SimDuration::from_millis(3 + (i * 7 + k * 13) % 11));
+                        ctx.trace("tick", format!("{i}.{k}"));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            sim.take_trace()
+                .into_iter()
+                .map(|e| (e.detail, e.at.as_nanos()))
+                .collect()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

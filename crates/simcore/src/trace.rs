@@ -1,0 +1,96 @@
+//! Structured trace of protocol events, used to regenerate the paper's
+//! figures (migration protocol timelines) and to debug protocol code.
+
+use crate::time::SimTime;
+use crate::world::ActorId;
+use std::fmt;
+
+/// One tagged occurrence on the simulation timeline.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Actor in whose context the event was recorded, if any.
+    pub actor: Option<ActorId>,
+    /// Name of that actor (resolved at record time).
+    pub actor_name: Option<String>,
+    /// Machine-matchable tag, e.g. `"mpvm.flush.sent"`.
+    pub tag: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {:<24} {:<28} {}",
+            format!("{}", self.at),
+            self.actor_name.as_deref().unwrap_or("-"),
+            self.tag,
+            self.detail
+        )
+    }
+}
+
+/// Helpers over a captured trace.
+pub trait TraceSliceExt {
+    /// First event whose tag matches exactly.
+    fn first_tag(&self, tag: &str) -> Option<&TraceEvent>;
+    /// Last event whose tag matches exactly.
+    fn last_tag(&self, tag: &str) -> Option<&TraceEvent>;
+    /// All events whose tag starts with the given prefix.
+    fn with_prefix<'a>(&'a self, prefix: &'a str) -> Box<dyn Iterator<Item = &'a TraceEvent> + 'a>;
+}
+
+impl TraceSliceExt for [TraceEvent] {
+    fn first_tag(&self, tag: &str) -> Option<&TraceEvent> {
+        self.iter().find(|e| e.tag == tag)
+    }
+    fn last_tag(&self, tag: &str) -> Option<&TraceEvent> {
+        self.iter().rev().find(|e| e.tag == tag)
+    }
+    fn with_prefix<'a>(&'a self, prefix: &'a str) -> Box<dyn Iterator<Item = &'a TraceEvent> + 'a> {
+        Box::new(self.iter().filter(move |e| e.tag.starts_with(prefix)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, tag: &str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(t),
+            actor: None,
+            actor_name: None,
+            tag: tag.into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn first_and_last_tag() {
+        let tr = [ev(1, "a"), ev(2, "b"), ev(3, "a")];
+        assert_eq!(tr.first_tag("a").unwrap().at, SimTime(1));
+        assert_eq!(tr.last_tag("a").unwrap().at, SimTime(3));
+        assert!(tr.first_tag("zzz").is_none());
+    }
+
+    #[test]
+    fn prefix_filter() {
+        let tr = [
+            ev(1, "mpvm.flush.sent"),
+            ev(2, "mpvm.flush.ack"),
+            ev(3, "upvm.x"),
+        ];
+        assert_eq!(tr.with_prefix("mpvm.flush").count(), 2);
+    }
+
+    #[test]
+    fn display_contains_tag_and_time() {
+        let s = ev(1_000_000_000, "mpvm.restart").to_string();
+        assert!(s.contains("mpvm.restart"), "{s}");
+        assert!(s.contains("1.000000s"), "{s}");
+    }
+}

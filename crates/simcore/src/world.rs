@@ -1,0 +1,328 @@
+//! The shared simulation state guarded by the kernel lock.
+//!
+//! `World` holds the virtual clock, the pending-event heap, and one slot per
+//! actor. Exactly one actor executes at any instant (`World::running`); all
+//! other actor threads are parked on the kernel condvar. Because every
+//! state-changing operation happens under the single kernel lock and event
+//! ordering is the total order `(time, sequence)`, simulations are
+//! deterministic regardless of how the OS schedules the carrier threads.
+
+use crate::error::ActorReport;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Identifies an actor for the lifetime of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The slot index of this actor (stable, never reused).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// Identifies a scheduled kernel event; used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// Why a yielded actor was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// The timer set by `advance` expired normally.
+    Timer,
+    /// Another actor (or a kernel event) called `wake`.
+    Woken,
+    /// A signal was posted while the actor was in an interruptible wait.
+    Interrupted,
+}
+
+/// A boxed payload delivered asynchronously to an actor, modelling a Unix
+/// signal plus its out-of-band argument (e.g. "migrate to host 3").
+pub type Signal = Box<dyn Any + Send>;
+
+/// A kernel event: a closure run at its scheduled time with exclusive access
+/// to the world. Used for message arrivals, transfer completions, and other
+/// things that happen "in the wires" with no actor attached.
+pub type KernelEvent = Box<dyn FnOnce(&mut World) + Send>;
+
+pub(crate) enum ActorState {
+    /// Thread created, first wake queued, body not yet entered.
+    NotStarted,
+    /// Currently holds the execution token.
+    Running,
+    /// Sleeping until a queued timer entry fires.
+    Timed { interruptible: bool },
+    /// Parked indefinitely, waiting for `wake` (or a signal if interruptible).
+    Parked { reason: String, interruptible: bool },
+    /// A wake entry has been queued; the actor will run when it is popped.
+    Ready,
+    /// Body returned.
+    Exited,
+}
+
+pub(crate) struct ActorSlot {
+    pub name: String,
+    pub state: ActorState,
+    /// Bumped every time pending heap wake-entries for this actor are
+    /// invalidated (cancellation by re-wake or interruption).
+    pub gen: u64,
+    pub wake_reason: Option<WakeReason>,
+    pub signals: VecDeque<Signal>,
+}
+
+enum EntryKind {
+    Wake { actor: ActorId, gen: u64 },
+    Event { id: EventId },
+}
+
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    kind: EntryKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The outcome of draining the event heap until an actor becomes runnable.
+pub(crate) enum Dispatch {
+    /// `World::running` has been set to an actor; notify carriers.
+    Run,
+    /// All actors exited and nothing is pending.
+    Finished,
+    /// Live actors remain but nothing can make progress.
+    Deadlock(Vec<ActorReport>),
+}
+
+/// Shared simulation state. Public methods on `World` are the API available
+/// to kernel-event closures.
+pub struct World {
+    pub(crate) now: SimTime,
+    pub(crate) actors: Vec<ActorSlot>,
+    pub(crate) running: Option<ActorId>,
+    pub(crate) live_actors: usize,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    next_seq: u64,
+    events: HashMap<u64, KernelEvent>,
+    next_event_id: u64,
+    pub(crate) finished: bool,
+    pub(crate) aborted: bool,
+    pub(crate) deadlock: Option<Vec<ActorReport>>,
+    pub(crate) panic_info: Option<(String, String)>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) trace_enabled: bool,
+}
+
+impl World {
+    pub(crate) fn new() -> Self {
+        World {
+            now: SimTime::ZERO,
+            actors: Vec::new(),
+            running: None,
+            live_actors: 0,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            events: HashMap::new(),
+            next_event_id: 0,
+            finished: false,
+            aborted: false,
+            deadlock: None,
+            panic_info: None,
+            trace: Vec::new(),
+            trace_enabled: true,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn push_entry(&mut self, at: SimTime, kind: EntryKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, kind }));
+    }
+
+    pub(crate) fn queue_wake(&mut self, actor: ActorId, at: SimTime) {
+        let gen = self.actors[actor.0].gen;
+        self.push_entry(at, EntryKind::Wake { actor, gen });
+    }
+
+    /// Schedule a kernel event `after` from now. Returns a handle that can be
+    /// passed to [`World::cancel_event`].
+    pub fn schedule_in(
+        &mut self,
+        after: SimDuration,
+        f: impl FnOnce(&mut World) + Send + 'static,
+    ) -> EventId {
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.events.insert(id, Box::new(f));
+        let at = self.now + after;
+        self.push_entry(at, EntryKind::Event { id: EventId(id) });
+        EventId(id)
+    }
+
+    /// Cancel a pending kernel event. Returns `true` if it had not yet fired.
+    pub fn cancel_event(&mut self, id: EventId) -> bool {
+        self.events.remove(&id.0).is_some()
+    }
+
+    /// Wake a parked actor at the current time. Returns `true` if the actor
+    /// was parked and has now been made ready; `false` if it was in any other
+    /// state (already ready, running, timed, or exited), in which case the
+    /// call is a no-op.
+    pub fn wake_actor(&mut self, actor: ActorId) -> bool {
+        let now = self.now;
+        let slot = &mut self.actors[actor.0];
+        match slot.state {
+            ActorState::Parked { .. } => {
+                slot.gen += 1;
+                slot.state = ActorState::Ready;
+                slot.wake_reason = Some(WakeReason::Woken);
+                self.queue_wake(actor, now);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Post an asynchronous signal to an actor. If the actor is in an
+    /// interruptible wait (timed or parked), it is woken immediately with
+    /// [`WakeReason::Interrupted`]; otherwise the signal stays queued until
+    /// the actor next checks for signals or enters an interruptible wait.
+    pub fn post_signal(&mut self, actor: ActorId, sig: Signal) {
+        let now = self.now;
+        let slot = &mut self.actors[actor.0];
+        if matches!(slot.state, ActorState::Exited) {
+            return;
+        }
+        slot.signals.push_back(sig);
+        let interrupt = matches!(
+            slot.state,
+            ActorState::Timed {
+                interruptible: true,
+                ..
+            } | ActorState::Parked {
+                interruptible: true,
+                ..
+            }
+        );
+        if interrupt {
+            slot.gen += 1;
+            slot.state = ActorState::Ready;
+            slot.wake_reason = Some(WakeReason::Interrupted);
+            self.queue_wake(actor, now);
+        }
+    }
+
+    /// True if the actor has at least one queued signal.
+    pub fn has_signal(&self, actor: ActorId) -> bool {
+        !self.actors[actor.0].signals.is_empty()
+    }
+
+    /// Number of live (spawned, not yet exited) actors.
+    pub fn live_actors(&self) -> usize {
+        self.live_actors
+    }
+
+    /// The name given to an actor at spawn time.
+    pub fn actor_name(&self, actor: ActorId) -> &str {
+        &self.actors[actor.0].name
+    }
+
+    /// Record a trace event (used by protocol code to reproduce the paper's
+    /// figures). No-op when tracing is disabled.
+    pub fn trace_event(&mut self, actor: Option<ActorId>, tag: &str, detail: String) {
+        if !self.trace_enabled {
+            return;
+        }
+        let actor_name = actor.map(|a| self.actors[a.0].name.clone());
+        self.trace.push(TraceEvent {
+            at: self.now,
+            actor,
+            actor_name,
+            tag: tag.to_string(),
+            detail,
+        });
+    }
+
+    fn deadlock_report(&self) -> Vec<ActorReport> {
+        self.actors
+            .iter()
+            .filter_map(|a| match &a.state {
+                ActorState::Parked { reason, .. } => Some(ActorReport {
+                    name: a.name.clone(),
+                    state: format!("parked: {reason}"),
+                }),
+                ActorState::NotStarted => Some(ActorReport {
+                    name: a.name.clone(),
+                    state: "not started".into(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drain due events until an actor becomes runnable, the simulation
+    /// finishes, or a deadlock is detected. Caller must have `running == None`.
+    pub(crate) fn dispatch(&mut self) -> Dispatch {
+        debug_assert!(self.running.is_none());
+        loop {
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                return if self.live_actors == 0 {
+                    Dispatch::Finished
+                } else {
+                    Dispatch::Deadlock(self.deadlock_report())
+                };
+            };
+            debug_assert!(entry.at >= self.now, "event scheduled in the past");
+            match entry.kind {
+                EntryKind::Wake { actor, gen } => {
+                    let slot = &mut self.actors[actor.0];
+                    if slot.gen != gen || matches!(slot.state, ActorState::Exited) {
+                        continue; // stale entry
+                    }
+                    self.now = entry.at;
+                    let slot = &mut self.actors[actor.0];
+                    slot.state = ActorState::Running;
+                    self.running = Some(actor);
+                    return Dispatch::Run;
+                }
+                EntryKind::Event { id } => {
+                    if let Some(f) = self.events.remove(&id.0) {
+                        self.now = entry.at;
+                        f(self);
+                        // The event may have woken actors or scheduled more
+                        // events; keep draining in (time, seq) order.
+                    }
+                }
+            }
+        }
+    }
+}

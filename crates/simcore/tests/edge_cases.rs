@@ -1,0 +1,205 @@
+//! Edge-case coverage for the virtual-time kernel.
+
+use simcore::{AdvanceOutcome, Mailbox, Sim, SimDuration, SimError, SimTime, WakeReason};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn zero_duration_advance_is_fair_not_free() {
+    // advance(0) re-queues behind same-time entries: a tight yield loop
+    // cannot starve a peer.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let sim = Sim::new();
+    let l1 = Arc::clone(&log);
+    sim.spawn("spinner", move |ctx| {
+        for i in 0..3 {
+            l1.lock().unwrap().push(format!("spin{i}"));
+            ctx.yield_now();
+        }
+    });
+    let l2 = Arc::clone(&log);
+    sim.spawn("peer", move |ctx| {
+        l2.lock().unwrap().push("peer-a".into());
+        ctx.yield_now();
+        l2.lock().unwrap().push("peer-b".into());
+    });
+    sim.run().unwrap();
+    let log = log.lock().unwrap().clone();
+    // The peer's first step runs before the spinner's second.
+    let spin1 = log.iter().position(|s| s == "spin1").unwrap();
+    let peer_a = log.iter().position(|s| s == "peer-a").unwrap();
+    assert!(peer_a < spin1, "{log:?}");
+}
+
+#[test]
+fn signal_to_exited_actor_is_dropped() {
+    let sim = Sim::new();
+    let short = sim.spawn("short", |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+    });
+    sim.spawn("late", move |ctx| {
+        ctx.advance(SimDuration::from_secs(5));
+        // `short` exited long ago; this must not panic or leak.
+        ctx.post_signal(short, Box::new(42u32));
+    });
+    assert_eq!(sim.run().unwrap(), SimTime(5_000_000_000));
+}
+
+#[test]
+fn multiple_queued_signals_drain_in_order() {
+    let sim = Sim::new();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s = Arc::clone(&seen);
+    let t = sim.spawn("t", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2)); // uninterruptible: both queue
+        while let Some(sig) = ctx.take_signal() {
+            s.lock().unwrap().push(*sig.downcast::<u32>().unwrap());
+        }
+    });
+    sim.spawn("p", move |ctx| {
+        ctx.advance(SimDuration::from_millis(500));
+        ctx.post_signal(t, Box::new(1u32));
+        ctx.advance(SimDuration::from_millis(500));
+        ctx.post_signal(t, Box::new(2u32));
+    });
+    sim.run().unwrap();
+    assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+}
+
+#[test]
+fn interruptible_advance_resumes_for_remaining_time() {
+    // After an interruption, re-issuing the remaining duration completes
+    // at exactly the original target.
+    let sim = Sim::new();
+    let t = sim.spawn("t", |ctx| {
+        let mut remaining = SimDuration::from_secs(10);
+        loop {
+            match ctx.advance_interruptible(remaining) {
+                AdvanceOutcome::Completed => break,
+                AdvanceOutcome::Interrupted { elapsed } => {
+                    let _ = ctx.take_signal();
+                    remaining = remaining - elapsed;
+                }
+            }
+        }
+        assert_eq!(ctx.now(), SimTime(10_000_000_000));
+    });
+    sim.spawn("p", move |ctx| {
+        for _ in 0..3 {
+            ctx.advance(SimDuration::from_secs(2));
+            ctx.post_signal(t, Box::new(()));
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn wake_is_one_shot_not_latched() {
+    // A wake on a running actor is a no-op; it must not satisfy a LATER
+    // park (no wake latching).
+    let sim = Sim::new();
+    let t = sim.spawn("t", |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        // Park now: the earlier wake (at t=1, while we were timed) was a
+        // no-op, so only the peer's second wake (t=3) releases us.
+        let r = ctx.block("waiting", false);
+        assert_eq!(r, WakeReason::Woken);
+        assert_eq!(ctx.now(), SimTime(3_000_000_000));
+    });
+    sim.spawn("p", move |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+        assert!(!ctx.wake(t), "timed actor is not parked");
+        ctx.advance(SimDuration::from_secs(2));
+        assert!(ctx.wake(t));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn deadlock_report_excludes_finished_actors() {
+    let sim = Sim::new();
+    sim.spawn("finisher", |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+    });
+    sim.spawn("stuck-a", |ctx| {
+        ctx.block("hole a", false);
+    });
+    sim.spawn("stuck-b", |ctx| {
+        ctx.block("hole b", false);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            let names: Vec<_> = blocked.iter().map(|a| a.name.as_str()).collect();
+            assert_eq!(names, vec!["stuck-a", "stuck-b"]);
+        }
+        other => panic!("expected deadlock: {other:?}"),
+    }
+}
+
+#[test]
+fn mailbox_send_from_actor_to_self_works() {
+    let sim = Sim::new();
+    sim.spawn("selfie", |ctx| {
+        let mb: Mailbox<u8> = Mailbox::new();
+        mb.send(&ctx, 3);
+        assert_eq!(mb.recv(&ctx), Some(3));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn trace_can_be_disabled_for_speed() {
+    let sim = Sim::new();
+    sim.set_trace_enabled(false);
+    sim.spawn("a", |ctx| {
+        ctx.trace("tag", "detail");
+        ctx.advance(SimDuration::from_secs(1));
+    });
+    sim.run().unwrap();
+    assert!(sim.take_trace().is_empty());
+}
+
+#[test]
+fn deep_spawn_chain_terminates() {
+    // Each actor spawns the next: exercises spawn-during-run bookkeeping.
+    fn chain(ctx: simcore::SimCtx, depth: u32, counter: Arc<AtomicU64>) {
+        counter.fetch_add(1, Ordering::SeqCst);
+        ctx.advance(SimDuration::from_millis(10));
+        if depth > 0 {
+            let c = Arc::clone(&counter);
+            ctx.spawn(format!("d{depth}"), move |c2| chain(c2, depth - 1, c));
+        }
+    }
+    let sim = Sim::new();
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    sim.spawn("root", move |ctx| chain(ctx, 50, c));
+    let end = sim.run().unwrap();
+    assert_eq!(counter.load(Ordering::SeqCst), 51);
+    assert_eq!(end, SimTime(51 * 10_000_000));
+}
+
+#[test]
+fn event_scheduled_by_exiting_actor_still_fires() {
+    let fired = Arc::new(AtomicU64::new(0));
+    let sim = Sim::new();
+    let f = Arc::clone(&fired);
+    sim.spawn("brief", move |ctx| {
+        let f2 = Arc::clone(&f);
+        ctx.schedule(SimDuration::from_secs(5), move |w| {
+            f2.store(w.now().as_nanos(), Ordering::SeqCst);
+        });
+        // Exit immediately; the event must outlive us.
+    });
+    let end = sim.run().unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 5_000_000_000);
+    assert_eq!(end, SimTime(5_000_000_000));
+}
+
+#[test]
+fn run_after_finish_is_idempotent() {
+    let sim = Sim::new();
+    sim.spawn("a", |ctx| ctx.advance(SimDuration::from_secs(1)));
+    assert_eq!(sim.run().unwrap(), SimTime(1_000_000_000));
+    assert_eq!(sim.run().unwrap(), SimTime(1_000_000_000));
+}

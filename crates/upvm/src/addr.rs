@@ -1,0 +1,261 @@
+//! The globally-unique ULP virtual-address allocator.
+//!
+//! UPVM eliminates pointer fix-up on migration by giving every ULP a
+//! virtual-address region that is reserved for it *in every process of the
+//! application* (§2.2, figure 2): if ULP4 occupies region V1 on host3, V1
+//! is reserved for ULP4 on all other hosts too, even while ULP4 is absent.
+//! The allocator is therefore a single, application-global structure.
+//!
+//! The flip side (§3.2.2): dividing one 32-bit address space among all ULPs
+//! bounds how many ULPs can exist — exhaustion is a real error here, as in
+//! the paper, and the test suite exercises it.
+
+use std::fmt;
+
+/// A reserved virtual-address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Start address.
+    pub start: u64,
+    /// Size in bytes (page-aligned).
+    pub size: u64,
+}
+
+impl Region {
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.size
+    }
+
+    /// Do two regions overlap?
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x})", self.start, self.end())
+    }
+}
+
+/// Errors from the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrError {
+    /// The shared address space cannot fit another region of this size —
+    /// the paper's ULP-count limit.
+    Exhausted {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous free run available.
+        largest_free: u64,
+    },
+    /// A zero-sized region was requested.
+    ZeroSize,
+}
+
+impl fmt::Display for AddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrError::Exhausted {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "ULP address space exhausted: requested {requested} bytes, largest free run {largest_free}"
+            ),
+            AddrError::ZeroSize => write!(f, "zero-sized ULP region requested"),
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+const PAGE: u64 = 4096;
+
+fn page_up(v: u64) -> u64 {
+    v.div_ceil(PAGE) * PAGE
+}
+
+/// First-fit allocator over the application-wide ULP address space.
+#[derive(Debug)]
+pub struct AddrSpace {
+    lo: u64,
+    hi: u64,
+    /// Allocated regions, sorted by start.
+    allocated: Vec<Region>,
+}
+
+impl AddrSpace {
+    /// The default layout: a 32-bit process image with text/libraries at the
+    /// bottom and kernel space at the top, leaving ~3.5 GB for ULP regions.
+    pub fn default_32bit() -> Self {
+        AddrSpace::with_bounds(0x1000_0000, 0xF000_0000)
+    }
+
+    /// Custom bounds (tests use small spaces to force exhaustion).
+    pub fn with_bounds(lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "empty address space");
+        assert_eq!(lo % PAGE, 0, "unaligned lower bound");
+        AddrSpace {
+            lo,
+            hi,
+            allocated: Vec::new(),
+        }
+    }
+
+    /// Reserve a region of at least `bytes`, rounded up to page size.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Region, AddrError> {
+        if bytes == 0 {
+            return Err(AddrError::ZeroSize);
+        }
+        let size = page_up(bytes);
+        let mut cursor = self.lo;
+        let mut largest = 0u64;
+        let mut found = None;
+        for (i, r) in self.allocated.iter().enumerate() {
+            let gap = r.start.saturating_sub(cursor);
+            largest = largest.max(gap);
+            if found.is_none() && gap >= size {
+                found = Some((i, cursor));
+            }
+            cursor = r.end();
+        }
+        let tail = self.hi.saturating_sub(cursor);
+        largest = largest.max(tail);
+        if found.is_none() && tail >= size {
+            found = Some((self.allocated.len(), cursor));
+        }
+        match found {
+            Some((idx, start)) => {
+                let region = Region { start, size };
+                self.allocated.insert(idx, region);
+                Ok(region)
+            }
+            None => Err(AddrError::Exhausted {
+                requested: size,
+                largest_free: largest,
+            }),
+        }
+    }
+
+    /// Release a previously allocated region.
+    ///
+    /// # Panics
+    /// Panics if the region was not allocated (double-free).
+    pub fn free(&mut self, region: Region) {
+        let idx = self
+            .allocated
+            .iter()
+            .position(|r| *r == region)
+            .expect("freeing unallocated ULP region");
+        self.allocated.remove(idx);
+    }
+
+    /// Currently reserved regions, sorted by start address.
+    pub fn regions(&self) -> &[Region] {
+        &self.allocated
+    }
+
+    /// Total bytes currently reserved.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.allocated.iter().map(|r| r.size).sum()
+    }
+
+    /// Total bytes the space can ever hold.
+    pub fn capacity(&self) -> u64 {
+        self.hi - self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_never_overlap() {
+        let mut a = AddrSpace::default_32bit();
+        let regions: Vec<Region> = (0..50)
+            .map(|i| a.alloc(10_000 + i * 777).unwrap())
+            .collect();
+        for (i, r1) in regions.iter().enumerate() {
+            for r2 in &regions[i + 1..] {
+                assert!(!r1.overlaps(r2), "{r1} overlaps {r2}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_page_rounded() {
+        let mut a = AddrSpace::default_32bit();
+        let r = a.alloc(1).unwrap();
+        assert_eq!(r.size, 4096);
+        let r2 = a.alloc(4097).unwrap();
+        assert_eq!(r2.size, 8192);
+    }
+
+    #[test]
+    fn freed_regions_are_reused() {
+        let mut a = AddrSpace::with_bounds(0x10000, 0x10000 + 3 * 4096);
+        let r1 = a.alloc(4096).unwrap();
+        let _r2 = a.alloc(4096).unwrap();
+        let _r3 = a.alloc(4096).unwrap();
+        assert!(matches!(a.alloc(4096), Err(AddrError::Exhausted { .. })));
+        a.free(r1);
+        let r4 = a.alloc(4096).unwrap();
+        assert_eq!(r4, r1, "first-fit reuses the freed slot");
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_free_run() {
+        let mut a = AddrSpace::with_bounds(0x10000, 0x10000 + 10 * 4096);
+        let _ = a.alloc(6 * 4096).unwrap();
+        match a.alloc(5 * 4096) {
+            Err(AddrError::Exhausted {
+                requested,
+                largest_free,
+            }) => {
+                assert_eq!(requested, 5 * 4096);
+                assert_eq!(largest_free, 4 * 4096);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_size_is_an_error() {
+        let mut a = AddrSpace::default_32bit();
+        assert_eq!(a.alloc(0), Err(AddrError::ZeroSize));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing unallocated")]
+    fn double_free_panics() {
+        let mut a = AddrSpace::default_32bit();
+        let r = a.alloc(4096).unwrap();
+        a.free(r);
+        a.free(r);
+    }
+
+    #[test]
+    fn reserved_accounting() {
+        let mut a = AddrSpace::default_32bit();
+        assert_eq!(a.reserved_bytes(), 0);
+        let r = a.alloc(100_000).unwrap();
+        assert_eq!(a.reserved_bytes(), page_up(100_000));
+        a.free(r);
+        assert_eq!(a.reserved_bytes(), 0);
+        assert!(a.capacity() > 3 * (1 << 30));
+    }
+
+    #[test]
+    fn first_fit_fills_earliest_gap() {
+        let mut a = AddrSpace::with_bounds(0x10000, 0x10000 + 100 * 4096);
+        let r1 = a.alloc(4096 * 10).unwrap();
+        let r2 = a.alloc(4096 * 10).unwrap();
+        a.free(r1);
+        let r3 = a.alloc(4096 * 4).unwrap();
+        assert_eq!(r3.start, r1.start);
+        assert!(r3.end() <= r2.start);
+    }
+}

@@ -1,0 +1,22 @@
+//! # upvm — User Level Processes for PVM
+//!
+//! The paper's finer-grained migration system (§2.2): many light-weight,
+//! process-like virtual processors (ULPs) per Unix process, cooperatively
+//! scheduled by the library, each owning a globally-unique virtual-address
+//! region so migration needs no pointer fix-up. Local messages are
+//! handed off without copying; ULP migration transfers state via
+//! `pvm_pkbyte`/`pvm_send` sequences and keeps the ULP's tid.
+
+#![warn(missing_docs)]
+
+mod addr;
+pub mod proto;
+mod sched;
+mod system;
+mod ulp;
+
+pub use addr::{AddrError, AddrSpace, Region};
+pub use proto::MigrateUlp;
+pub use sched::{ProcSched, UlpId};
+pub use system::{SpmdBody, Upvm};
+pub use ulp::{MigrationMode, Ulp, DEFAULT_ULP_STATE};

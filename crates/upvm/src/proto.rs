@@ -1,0 +1,103 @@
+//! UPVM protocol messages: GS→container migration commands, flush/ack, and
+//! the chunked ULP state transfer.
+
+use crate::sched::UlpId;
+use pvm_rt::{Message, MsgBuf, Tid};
+use worknet::HostId;
+
+/// GS → container: migrate the named ULP.
+pub const TAG_ULP_MIGRATE: i32 = -201;
+/// Migrating ULP → every other container: flush in-transit messages.
+pub const TAG_ULP_FLUSH: i32 = -202;
+/// Container → migrating ULP: flush acknowledged.
+pub const TAG_ULP_FLUSH_ACK: i32 = -203;
+/// Migrating ULP → target container: the packed ULP state.
+pub const TAG_ULP_STATE: i32 = -204;
+/// Container shutdown.
+pub const TAG_ULP_QUIT: i32 = -205;
+
+/// Asynchronous migration order delivered to a ULP's actor as a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateUlp {
+    /// Destination host.
+    pub dst: HostId,
+}
+
+/// GS → container command.
+pub fn migrate_cmd(ulp: Tid, dst: HostId) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[ulp.raw(), dst.0 as u32])
+}
+
+/// Parse a GS → container command.
+pub fn parse_migrate_cmd(m: &Message) -> (Tid, HostId) {
+    let v = m.reader().upk_uint().expect("malformed ULP migrate cmd");
+    (Tid::from_raw(v[0]), HostId(v[1] as usize))
+}
+
+/// Flush message naming the migrating ULP and its destination (peers learn
+/// the new location here — unlike MPVM, future sends go straight to the
+/// target host, §2.2 stage 2).
+pub fn flush_msg(ulp: Tid, dst: HostId) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[ulp.raw(), dst.0 as u32])
+}
+
+/// Parse a flush message.
+pub fn parse_flush(m: &Message) -> (Tid, HostId) {
+    let v = m.reader().upk_uint().expect("malformed ULP flush");
+    (Tid::from_raw(v[0]), HostId(v[1] as usize))
+}
+
+/// State-transfer message: identifies the ULP (by global id) and carries the
+/// state size so the accept loop can charge its per-chunk processing.
+pub fn state_msg(ulp: UlpId, bytes: usize) -> MsgBuf {
+    MsgBuf::new()
+        .pk_uint(&[ulp.0 as u32, bytes as u32])
+        // The state itself: accounted as payload so transport is charged,
+        // even though the simulator does not move real bytes here.
+        .pk_bytes(vec![0u8; 0])
+}
+
+/// Parse a state-transfer header.
+pub fn parse_state(m: &Message) -> (UlpId, usize) {
+    let v = m.reader().upk_uint().expect("malformed ULP state msg");
+    (UlpId(v[0] as usize), v[1] as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrate_cmd_roundtrip() {
+        let t = Tid::new(HostId(1), 3);
+        let m = Message::new(t, TAG_ULP_MIGRATE, migrate_cmd(t, HostId(2)));
+        assert_eq!(parse_migrate_cmd(&m), (t, HostId(2)));
+    }
+
+    #[test]
+    fn flush_roundtrip() {
+        let t = Tid::new(HostId(0), 9);
+        let m = Message::new(t, TAG_ULP_FLUSH, flush_msg(t, HostId(4)));
+        assert_eq!(parse_flush(&m), (t, HostId(4)));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let t = Tid::new(HostId(0), 1);
+        let m = Message::new(t, TAG_ULP_STATE, state_msg(UlpId(7), 300_000));
+        assert_eq!(parse_state(&m), (UlpId(7), 300_000));
+    }
+
+    #[test]
+    fn tags_do_not_collide_with_mpvm_range() {
+        for t in [
+            TAG_ULP_MIGRATE,
+            TAG_ULP_FLUSH,
+            TAG_ULP_FLUSH_ACK,
+            TAG_ULP_STATE,
+            TAG_ULP_QUIT,
+        ] {
+            assert!((-299..=-201).contains(&t), "UPVM tags live in -2xx: {t}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The per-process user-level ULP scheduler.
+//!
+//! Potentially many ULPs live in one Unix process; the UPVM library runs
+//! them cooperatively — exactly one ULP of a process executes at a time,
+//! and a ULP that blocks on a message receive is de-scheduled so a runnable
+//! sibling can run (§2.2). We model the process as a FIFO "occupancy" that
+//! a ULP must hold while charging CPU time; a user-level context switch is
+//! charged whenever occupancy changes hands.
+
+use parking_lot::Mutex;
+use simcore::{ActorId, SimCtx};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Identifies a ULP within the UPVM system (global index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UlpId(pub usize);
+
+impl std::fmt::Display for UlpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ulp{}", self.0)
+    }
+}
+
+struct Inner {
+    holder: Option<UlpId>,
+    last_holder: Option<UlpId>,
+    waiters: VecDeque<(UlpId, ActorId)>,
+    switches: u64,
+}
+
+/// One process's ULP scheduler. Shared by all ULPs in the container.
+#[derive(Clone)]
+pub struct ProcSched {
+    inner: Arc<Mutex<Inner>>,
+    /// Cost of one user-level context switch.
+    pub switch_cost: simcore::SimDuration,
+}
+
+impl ProcSched {
+    /// A scheduler with the given context-switch cost.
+    pub fn new(switch_cost: simcore::SimDuration) -> Self {
+        ProcSched {
+            inner: Arc::new(Mutex::new(Inner {
+                holder: None,
+                last_holder: None,
+                waiters: VecDeque::new(),
+                switches: 0,
+            })),
+            switch_cost,
+        }
+    }
+
+    /// Acquire the process for `ulp`, blocking (in virtual time) while a
+    /// sibling holds it. Charges a user-level context switch when occupancy
+    /// actually changes hands.
+    pub fn acquire(&self, ctx: &SimCtx, ulp: UlpId) {
+        let mut registered = false;
+        loop {
+            {
+                let mut g = self.inner.lock();
+                match g.holder {
+                    None => {
+                        let switched = g.last_holder != Some(ulp);
+                        g.holder = Some(ulp);
+                        if switched {
+                            g.switches += 1;
+                        }
+                        drop(g);
+                        if switched {
+                            ctx.advance(self.switch_cost);
+                        }
+                        return;
+                    }
+                    // Release hands occupancy directly to the head waiter
+                    // (FIFO fairness: without the direct hand-off, a ULP
+                    // that releases and immediately re-acquires at the same
+                    // instant would starve every waiter).
+                    Some(h) if h == ulp => {
+                        if !registered {
+                            panic!("{ulp} re-acquiring the process it already holds");
+                        }
+                        let switched = g.last_holder != Some(ulp);
+                        if switched {
+                            g.switches += 1;
+                        }
+                        drop(g);
+                        if switched {
+                            ctx.advance(self.switch_cost);
+                        }
+                        return;
+                    }
+                    Some(_) => {
+                        if !registered {
+                            g.waiters.push_back((ulp, ctx.id()));
+                            registered = true;
+                        }
+                    }
+                }
+            }
+            // Parked until the releasing sibling wakes us; the token model
+            // guarantees the wake cannot slip between unlock and park.
+            ctx.block("ulp waiting for process", false);
+        }
+    }
+
+    /// Release the process, handing it directly to the next waiting sibling
+    /// (FIFO), if any.
+    pub fn release(&self, ctx: &SimCtx, ulp: UlpId) {
+        let next = {
+            let mut g = self.inner.lock();
+            assert_eq!(
+                g.holder,
+                Some(ulp),
+                "{ulp} releasing a process it does not hold"
+            );
+            g.last_holder = Some(ulp);
+            let next = g.waiters.pop_front();
+            g.holder = next.map(|(u, _)| u);
+            next
+        };
+        if let Some((_, actor)) = next {
+            ctx.wake(actor);
+        }
+    }
+
+    /// Is any ULP currently holding the process?
+    pub fn is_busy(&self) -> bool {
+        self.inner.lock().holder.is_some()
+    }
+
+    /// Total occupancy changes (context switches) so far.
+    pub fn switch_count(&self) -> u64 {
+        self.inner.lock().switches
+    }
+
+    /// ULPs queued waiting for the process.
+    pub fn waiting(&self) -> usize {
+        self.inner.lock().waiters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{Sim, SimDuration, SimTime};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sched() -> ProcSched {
+        ProcSched::new(SimDuration::from_micros(12))
+    }
+
+    #[test]
+    fn single_ulp_acquires_immediately() {
+        let sim = Sim::new();
+        let s = sched();
+        let s2 = s.clone();
+        sim.spawn("u0", move |ctx| {
+            s2.acquire(&ctx, UlpId(0));
+            assert!(s2.is_busy());
+            s2.release(&ctx, UlpId(0));
+            assert!(!s2.is_busy());
+        });
+        sim.run().unwrap();
+        assert_eq!(s.switch_count(), 1);
+    }
+
+    #[test]
+    fn siblings_serialize_their_compute() {
+        // Two ULPs each want 1 s of CPU in the same process: the second
+        // finishes at ~2 s, not 1 s.
+        let sim = Sim::new();
+        let s = sched();
+        let ends = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let s = s.clone();
+            let ends = Arc::clone(&ends);
+            sim.spawn(format!("u{i}"), move |ctx| {
+                s.acquire(&ctx, UlpId(i));
+                ctx.advance(SimDuration::from_secs(1));
+                s.release(&ctx, UlpId(i));
+                ends.lock().push((i, ctx.now().as_secs_f64()));
+            });
+        }
+        sim.run().unwrap();
+        let ends = ends.lock();
+        assert!((ends[0].1 - 1.0).abs() < 0.01, "{ends:?}");
+        assert!((ends[1].1 - 2.0).abs() < 0.01, "{ends:?}");
+    }
+
+    #[test]
+    fn fifo_order_among_waiters() {
+        let sim = Sim::new();
+        let s = sched();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4 {
+            let s = s.clone();
+            let order = Arc::clone(&order);
+            sim.spawn(format!("u{i}"), move |ctx| {
+                // Stagger arrival so the queue order is deterministic.
+                ctx.advance(SimDuration::from_millis(i as u64));
+                s.acquire(&ctx, UlpId(i));
+                ctx.advance(SimDuration::from_millis(100));
+                order.lock().push(i);
+                s.release(&ctx, UlpId(i));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn reacquire_by_same_ulp_skips_switch_charge() {
+        let sim = Sim::new();
+        let s = sched();
+        let s2 = s.clone();
+        sim.spawn("u0", move |ctx| {
+            s2.acquire(&ctx, UlpId(0));
+            s2.release(&ctx, UlpId(0));
+            let t0 = ctx.now();
+            s2.acquire(&ctx, UlpId(0)); // same ULP: no switch cost
+            assert_eq!(ctx.now(), t0);
+            s2.release(&ctx, UlpId(0));
+        });
+        sim.run().unwrap();
+        assert_eq!(s.switch_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquiring")]
+    fn double_acquire_panics() {
+        let sim = Sim::new();
+        let s = sched();
+        sim.spawn("u0", move |ctx| {
+            s.acquire(&ctx, UlpId(0));
+            s.acquire(&ctx, UlpId(0));
+        });
+        let err = sim.run().unwrap_err();
+        panic!("{err}");
+    }
+
+    #[test]
+    fn release_wakes_exactly_one_waiter() {
+        let sim = Sim::new();
+        let s = sched();
+        let running = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        for i in 0..3 {
+            let s = s.clone();
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            sim.spawn(format!("u{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(i as u64));
+                s.acquire(&ctx, UlpId(i));
+                let n = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(n, Ordering::SeqCst);
+                ctx.advance(SimDuration::from_millis(50));
+                running.fetch_sub(1, Ordering::SeqCst);
+                s.release(&ctx, UlpId(i));
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "never two holders at once");
+    }
+
+    #[test]
+    fn waiting_count_reflects_queue() {
+        let sim = Sim::new();
+        let s = sched();
+        let s_probe = s.clone();
+        for i in 0..3 {
+            let s = s.clone();
+            sim.spawn(format!("u{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_millis(i as u64));
+                s.acquire(&ctx, UlpId(i));
+                ctx.advance(SimDuration::from_millis(100));
+                s.release(&ctx, UlpId(i));
+            });
+        }
+        sim.spawn("probe", move |ctx| {
+            ctx.advance(SimDuration::from_millis(10));
+            assert_eq!(s_probe.waiting(), 2);
+            let _ = ctx.now() == SimTime::ZERO;
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,324 @@
+//! The UPVM runtime: one container process per host, the global ULP table,
+//! and the application-wide address space.
+
+use crate::addr::{AddrError, AddrSpace, Region};
+use crate::proto::{self, MigrateUlp};
+use crate::sched::{ProcSched, UlpId};
+use crate::ulp::Ulp;
+use parking_lot::Mutex;
+use pvm_rt::{Message, MsgBuf, Pvm, ShutdownGroup, TaskApi, Tid};
+use simcore::{ActorId, SimCtx};
+use std::sync::Arc;
+use worknet::HostId;
+
+pub(crate) struct UlpSlot {
+    pub tid: Tid,
+    pub actor: Option<ActorId>,
+    pub host: HostId,
+    pub region: Region,
+    pub alive: bool,
+}
+
+/// The UPVM system handle.
+pub struct Upvm {
+    pvm: Arc<Pvm>,
+    containers: Mutex<Vec<Tid>>,
+    scheds: Vec<ProcSched>,
+    pub(crate) ulps: Mutex<Vec<UlpSlot>>,
+    addr: Mutex<AddrSpace>,
+    group: ShutdownGroup,
+}
+
+/// An SPMD program body: `(ulp, rank, nranks)`.
+pub type SpmdBody = Arc<dyn Fn(&Ulp, usize, usize) + Send + Sync>;
+
+/// The reserved scheduler identity a container uses while running its
+/// accept loop inside the process.
+pub(crate) fn container_sched_id(host: HostId) -> UlpId {
+    UlpId(1_000_000 + host.0)
+}
+
+impl Upvm {
+    /// Bring up UPVM: one container process per host, sharing one global
+    /// ULP address space.
+    pub fn new(pvm: Arc<Pvm>) -> Arc<Upvm> {
+        let switch = pvm.cluster.calib.ulp_switch;
+        let scheds = (0..pvm.nhosts()).map(|_| ProcSched::new(switch)).collect();
+        let upvm = Arc::new(Upvm {
+            pvm: Arc::clone(&pvm),
+            containers: Mutex::new(Vec::new()),
+            scheds,
+            ulps: Mutex::new(Vec::new()),
+            addr: Mutex::new(AddrSpace::default_32bit()),
+            group: ShutdownGroup::new(),
+        });
+        for h in 0..pvm.nhosts() {
+            let host = HostId(h);
+            let sys = Arc::clone(&upvm);
+            let tid = pvm.spawn(host, format!("upvm-proc@host{h}"), move |task| {
+                container_body(&sys, &task, host);
+            });
+            upvm.containers.lock().push(tid);
+        }
+        upvm
+    }
+
+    /// Restrict the ULP address space (tests use this to force the paper's
+    /// ULP-count limit). Must be called before any ULP spawns.
+    pub fn set_addr_space(&self, space: AddrSpace) {
+        let mut a = self.addr.lock();
+        assert!(
+            self.ulps.lock().is_empty(),
+            "cannot replace address space after ULPs exist"
+        );
+        *a = space;
+    }
+
+    /// The underlying virtual machine.
+    pub fn pvm(&self) -> &Arc<Pvm> {
+        &self.pvm
+    }
+
+    /// The container tid on a host.
+    pub fn container_tid(&self, host: HostId) -> Tid {
+        self.containers.lock()[host.0]
+    }
+
+    /// All container tids.
+    pub fn container_tids(&self) -> Vec<Tid> {
+        self.containers.lock().clone()
+    }
+
+    pub(crate) fn sched(&self, host: HostId) -> &ProcSched {
+        &self.scheds[host.0]
+    }
+
+    /// Spawn a ULP on `host` with a reserved region of `region_bytes`.
+    ///
+    /// Returns the ULP's tid, or the address-space error if the global
+    /// space is exhausted (§3.2.2).
+    pub fn spawn_ulp(
+        self: &Arc<Self>,
+        host: HostId,
+        name: impl Into<String>,
+        region_bytes: u64,
+        body: impl FnOnce(&Ulp) + Send + 'static,
+    ) -> Result<Tid, AddrError> {
+        let name = name.into();
+        let region = self.addr.lock().alloc(region_bytes)?;
+        let tid = self.pvm.enroll_detached(host);
+        let (_, mailbox) = self.pvm.lookup(tid).expect("just enrolled");
+        let id = UlpId(self.ulps.lock().len());
+        self.ulps.lock().push(UlpSlot {
+            tid,
+            actor: None,
+            host,
+            region,
+            alive: true,
+        });
+        self.group.register();
+        let sys = Arc::clone(self);
+        let actor = self.pvm.cluster.sim.spawn(name, move |ctx| {
+            let ulp = Ulp::new(Arc::clone(&sys), id, tid, ctx.clone(), mailbox);
+            body(&ulp);
+            sys.ulp_exited(id);
+            sys.group.finish(&ctx);
+        });
+        self.ulps.lock()[id.0].actor = Some(actor);
+        self.pvm.set_actor(tid, Some(actor));
+        Ok(tid)
+    }
+
+    /// Spawn an SPMD program: `n` identical ULPs placed round-robin over the
+    /// hosts (UPVM supports SPMD-style applications only, §3.2.2).
+    pub fn spawn_spmd(
+        self: &Arc<Self>,
+        n: usize,
+        region_bytes: u64,
+        body: SpmdBody,
+    ) -> Result<Vec<Tid>, AddrError> {
+        let hosts = self.pvm.nhosts();
+        let mut tids = Vec::with_capacity(n);
+        for rank in 0..n {
+            let host = HostId(rank % hosts);
+            let body = Arc::clone(&body);
+            let tid = self.spawn_ulp(host, format!("ulp{rank}"), region_bytes, move |ulp| {
+                body(ulp, rank, n)
+            })?;
+            tids.push(tid);
+        }
+        Ok(tids)
+    }
+
+    /// Register a callback to run when the last ULP finishes (the global
+    /// scheduler uses this to shut itself down).
+    pub fn on_app_drain(&self, f: impl FnOnce(&SimCtx) + Send + 'static) {
+        self.group.on_done(f);
+    }
+
+    /// Seal the system: when the last ULP exits, containers quit.
+    pub fn seal(self: &Arc<Self>) {
+        let sys = Arc::clone(self);
+        self.group.on_done(move |ctx| {
+            for t in sys.container_tids() {
+                if let Some((_, mb)) = sys.pvm.lookup(t) {
+                    mb.send(ctx, Message::new(t, proto::TAG_ULP_QUIT, MsgBuf::new()));
+                }
+            }
+        });
+        self.group.seal();
+    }
+
+    fn ulp_exited(&self, id: UlpId) {
+        let region = {
+            let mut u = self.ulps.lock();
+            u[id.0].alive = false;
+            u[id.0].region
+        };
+        self.addr.lock().free(region);
+        let tid = self.ulps.lock()[id.0].tid;
+        self.pvm.mark_exited(tid);
+    }
+
+    /// Current host of a ULP (by global id).
+    pub fn ulp_host(&self, id: UlpId) -> HostId {
+        self.ulps.lock()[id.0].host
+    }
+
+    /// Look up a live ULP by tid.
+    pub(crate) fn slot_by_tid(&self, tid: Tid) -> Option<(UlpId, HostId)> {
+        self.ulps
+            .lock()
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.tid == tid && s.alive)
+            .map(|(i, s)| (UlpId(i), s.host))
+    }
+
+    /// The reserved address region of a ULP.
+    pub fn region_of(&self, tid: Tid) -> Option<Region> {
+        self.ulps
+            .lock()
+            .iter()
+            .find(|s| s.tid == tid)
+            .map(|s| s.region)
+    }
+
+    /// All (tid, host, region) rows — figure 2's layout dump.
+    pub fn layout(&self) -> Vec<(Tid, HostId, Region)> {
+        self.ulps
+            .lock()
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| (s.tid, s.host, s.region))
+            .collect()
+    }
+
+    /// Route a message's destination: is this tid a ULP co-located with
+    /// `host` right now (hand-off eligible)?
+    pub(crate) fn is_local_ulp(&self, tid: Tid, host: HostId) -> bool {
+        self.slot_by_tid(tid).is_some_and(|(_, h)| h == host)
+    }
+
+    /// Inject a GS migration command for the ULP identified by `tid`.
+    pub fn inject_migration(&self, ctx: &SimCtx, tid: Tid, dst: HostId) {
+        let Some((_, host)) = self.slot_by_tid(tid) else {
+            return;
+        };
+        let container = self.container_tid(host);
+        // Benign race: the application may have drained already.
+        let Some((_, mb)) = self.pvm.lookup(container) else {
+            return;
+        };
+        let msg = Message::new(
+            container,
+            proto::TAG_ULP_MIGRATE,
+            proto::migrate_cmd(tid, dst),
+        );
+        let latency = self.pvm.cluster.calib.wire_latency;
+        ctx.schedule(latency, move |w| mb.send_from_world(w, msg));
+    }
+
+    /// Complete an inbound migration: rebind the ULP to this host and wake
+    /// its actor (stage 4: placed in the scheduler queue).
+    pub(crate) fn finish_migration(&self, id: UlpId, host: HostId, ctx: &SimCtx) {
+        let actor = {
+            let mut u = self.ulps.lock();
+            u[id.0].host = host;
+            u[id.0].actor
+        };
+        if let Some(a) = actor {
+            ctx.wake(a);
+        }
+    }
+}
+
+/// The container main loop: GS commands, flush handling, and the (slow)
+/// ULP accept mechanism the paper measured in Table 4.
+fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
+    loop {
+        let m = task.recv(None, None);
+        match m.tag {
+            proto::TAG_ULP_MIGRATE => {
+                let (tid, dst) = proto::parse_migrate_cmd(&m);
+                task.sim()
+                    .trace("upvm.cmd.received", format!("{tid} -> {dst}"));
+                let cluster = &sys.pvm.cluster;
+                let compatible = cluster
+                    .host(host)
+                    .spec
+                    .arch
+                    .migration_compatible(cluster.host(dst).spec.arch);
+                if !compatible {
+                    task.sim().trace(
+                        "upvm.cmd.rejected",
+                        format!("{tid} -> {dst}: not migration-compatible"),
+                    );
+                    continue;
+                }
+                match sys
+                    .slot_by_tid(tid)
+                    .and_then(|(id, _)| sys.ulps.lock()[id.0].actor)
+                {
+                    Some(actor) => {
+                        task.host().syscall(task.sim());
+                        task.sim().post_signal(actor, Box::new(MigrateUlp { dst }));
+                    }
+                    None => task
+                        .sim()
+                        .trace("upvm.cmd.dropped", format!("{tid}: no such ULP")),
+                }
+            }
+            proto::TAG_ULP_FLUSH => {
+                // All in-transit messages for the ULP have been received
+                // (our delivery is mailbox-based, so nothing can be lost);
+                // acknowledge and let future sends go to the new host.
+                let (_ulp, _dst) = proto::parse_flush(&m);
+                task.send(m.src, proto::TAG_ULP_FLUSH_ACK, MsgBuf::new());
+            }
+            proto::TAG_ULP_STATE => {
+                let (id, bytes) = proto::parse_state(&m);
+                let calib = &sys.pvm.cluster.calib;
+                let nchunks = bytes.div_ceil(calib.daemon_fragment).max(1) as u64;
+                task.sim().trace(
+                    "upvm.accept.start",
+                    format!("{id}: {bytes} bytes, {nchunks} chunks"),
+                );
+                // The accept loop runs inside the UPVM process: it occupies
+                // the process (blocking resident ULPs) while it unpacks the
+                // state into the ULP's reserved region.
+                let sched = sys.sched(host);
+                sched.acquire(task.sim(), container_sched_id(host));
+                task.sim().advance(calib.ulp_accept_per_chunk * nchunks);
+                task.host().memcpy(task.sim(), bytes);
+                sched.release(task.sim(), container_sched_id(host));
+                sys.finish_migration(id, host, task.sim());
+                task.sim().trace("upvm.accept.done", format!("{id}"));
+            }
+            proto::TAG_ULP_QUIT => break,
+            other => task
+                .sim()
+                .trace("upvm.container.unknown", format!("tag {other}")),
+        }
+    }
+}

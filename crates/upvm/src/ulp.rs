@@ -1,0 +1,407 @@
+//! The User Level Process: UPVM's light-weight, migratable virtual
+//! processor.
+//!
+//! A ULP looks like a process to the programmer (it implements the same
+//! [`TaskApi`] as PVM tasks and MPVM tasks) but many ULPs share one Unix
+//! process per host, scheduled cooperatively by the UPVM library. Local
+//! (same-process) messages are handed off without copying — the Table 3
+//! advantage — while remote messages ride PVM with a small extra header.
+//! Unlike MPVM, a migrating ULP keeps its tid; peers simply learn its new
+//! location during the flush stage.
+
+use crate::proto::{self, MigrateUlp};
+use crate::sched::UlpId;
+use crate::system::Upvm;
+use parking_lot::Mutex;
+use pvm_rt::{route, Message, MsgBuf, TaskApi, Tid};
+use simcore::{Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use worknet::{ComputeOutcome, HostId};
+
+/// Default ULP state size (stack + initial heap) before the application
+/// registers its data.
+pub const DEFAULT_ULP_STATE: usize = 64 * 1024;
+
+/// When a ULP may migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationMode {
+    /// UPVM's model: a migration signal can interrupt the ULP anywhere —
+    /// mid-compute or blocked in a receive (§2.2).
+    #[default]
+    Asynchronous,
+    /// Data Parallel C's model (§5.0): migration happens only at explicit
+    /// [`Ulp::migration_point`] calls — cheaper bookkeeping, slower
+    /// response to reclamation.
+    ExplicitPoints,
+}
+
+fn matches(m: &Message, from: Option<Tid>, tag: Option<i32>) -> bool {
+    from.is_none_or(|f| m.src == f) && tag.is_none_or(|t| m.tag == t)
+}
+
+/// A User Level Process.
+pub struct Ulp {
+    sys: Arc<Upvm>,
+    id: UlpId,
+    tid: Tid,
+    ctx: SimCtx,
+    mailbox: Mailbox<Message>,
+    pending: Mutex<VecDeque<Message>>,
+    state_bytes: AtomicUsize,
+    mode: Mutex<MigrationMode>,
+}
+
+impl Ulp {
+    pub(crate) fn new(
+        sys: Arc<Upvm>,
+        id: UlpId,
+        tid: Tid,
+        ctx: SimCtx,
+        mailbox: Mailbox<Message>,
+    ) -> Ulp {
+        Ulp {
+            sys,
+            id,
+            tid,
+            ctx,
+            mailbox,
+            pending: Mutex::new(VecDeque::new()),
+            state_bytes: AtomicUsize::new(DEFAULT_ULP_STATE),
+            mode: Mutex::new(MigrationMode::Asynchronous),
+        }
+    }
+
+    /// Select when this ULP may migrate (DPC comparison mode).
+    pub fn set_migration_mode(&self, mode: MigrationMode) {
+        *self.mode.lock() = mode;
+    }
+
+    /// Current migration mode.
+    pub fn migration_mode(&self) -> MigrationMode {
+        *self.mode.lock()
+    }
+
+    /// An explicit migration point (the start/end of a DPC code segment):
+    /// pending migration orders are executed here. A no-op under
+    /// [`MigrationMode::Asynchronous`], where every library call is already
+    /// a migration point.
+    pub fn migration_point(&self) {
+        self.handle_signals(None);
+    }
+
+    /// This ULP's global id.
+    pub fn id(&self) -> UlpId {
+        self.id
+    }
+
+    /// The simcore context carrying this ULP.
+    pub fn sim(&self) -> &SimCtx {
+        &self.ctx
+    }
+
+    /// The UPVM system.
+    pub fn system(&self) -> &Arc<Upvm> {
+        &self.sys
+    }
+
+    /// Declare this ULP's live state size (data + heap + stack). Must fit
+    /// the reserved address region.
+    pub fn set_state_bytes(&self, n: usize) {
+        let region = self.sys.region_of(self.tid).expect("ULP has no region");
+        assert!(
+            (n as u64) <= region.size,
+            "ULP state {n} exceeds reserved region {region}"
+        );
+        self.state_bytes
+            .store(n.max(DEFAULT_ULP_STATE), Ordering::SeqCst);
+        self.sys
+            .pvm()
+            .set_task_state_bytes(self.tid, self.state_bytes());
+    }
+
+    /// Current state size.
+    pub fn state_bytes(&self) -> usize {
+        self.state_bytes.load(Ordering::SeqCst)
+    }
+
+    fn take_pending(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {
+        let mut p = self.pending.lock();
+        let idx = p.iter().position(|m| matches(m, from, tag))?;
+        p.remove(idx)
+    }
+
+    fn drain_mailbox(&self) {
+        let mut p = self.pending.lock();
+        while let Some(m) = self.mailbox.try_recv() {
+            p.push_back(m);
+        }
+    }
+
+    /// Receive-side cost: local hand-offs avoid the copy (the Table 3
+    /// optimization); remote messages pay syscall + copy like PVM.
+    fn charge_recv(&self, m: &Message) {
+        let my_host = self.host_id();
+        let local = self.sys.is_local_ulp(m.src, my_host);
+        if local {
+            // Buffer hand-off: the UPVM library passes the buffer pointer.
+            self.ctx.advance(self.sys.pvm().cluster.calib.ulp_switch);
+        } else {
+            let host = self.sys.pvm().cluster.host(my_host).clone();
+            host.syscall(&self.ctx);
+            host.memcpy(&self.ctx, m.encoded_size());
+        }
+    }
+
+    /// Blocking receive of a protocol message by tag (app messages are
+    /// stashed in the pending queue).
+    fn recv_proto(&self, tag: i32) -> Message {
+        loop {
+            if let Some(m) = self.take_pending(None, Some(tag)) {
+                return m;
+            }
+            match self.mailbox.recv(&self.ctx) {
+                Some(m) if m.tag == tag => return m,
+                Some(m) => self.pending.lock().push_back(m),
+                None => panic!("ULP mailbox closed"),
+            }
+        }
+    }
+
+    /// Drain queued signals; returns true if a migration actually happened
+    /// (in which case any process occupancy passed in `holding` has been
+    /// released).
+    fn handle_signals(&self, mut holding: Option<HostId>) -> bool {
+        let mut migrated = false;
+        while let Some(sig) = self.ctx.take_signal() {
+            match sig.downcast::<MigrateUlp>() {
+                Ok(order) => {
+                    if self.migrate_now(order.dst, holding.take()) {
+                        migrated = true;
+                    }
+                }
+                Err(other) => self.ctx.trace("upvm.signal.unknown", format!("{other:?}")),
+            }
+        }
+        migrated
+    }
+
+    /// The UPVM migration protocol (§2.2, figure 3). Returns true if the
+    /// ULP moved. If it moved, any held occupancy was released.
+    fn migrate_now(&self, dst: HostId, held: Option<HostId>) -> bool {
+        let ctx = &self.ctx;
+        let old_host = self.host_id();
+        if dst == old_host {
+            ctx.trace(
+                "upvm.migrate.noop",
+                format!("{} already on {dst}", self.tid),
+            );
+            return false;
+        }
+        let pvm = Arc::clone(self.sys.pvm());
+        let calib = Arc::clone(&pvm.cluster.calib);
+        ctx.trace("upvm.event", format!("{} {old_host} -> {dst}", self.tid));
+
+        // Source-side work happens inside the UPVM library, holding the
+        // process.
+        let sched = self.sys.sched(old_host).clone();
+        if held != Some(old_host) {
+            sched.acquire(ctx, self.id);
+        }
+
+        // Stage 1-2: register state captured; flush to all other processes.
+        let own_container = self.sys.container_tid(old_host);
+        let others: Vec<Tid> = self
+            .sys
+            .container_tids()
+            .into_iter()
+            .filter(|&c| c != own_container)
+            .collect();
+        for &c in &others {
+            let (_, mb) = pvm.lookup(c).expect("container gone");
+            let msg = Message::new(
+                self.tid,
+                proto::TAG_ULP_FLUSH,
+                proto::flush_msg(self.tid, dst),
+            );
+            route::deliver_daemon(ctx, &pvm, old_host, mb, msg);
+        }
+        ctx.trace("upvm.flush.sent", format!("{} containers", others.len()));
+        for _ in 0..others.len() {
+            let _ = self.recv_proto(proto::TAG_ULP_FLUSH_ACK);
+        }
+        ctx.trace("upvm.flush.done", String::new());
+
+        // Future messages go directly to the target host (contrast MPVM,
+        // which blocks senders until restart).
+        pvm.rebind(self.tid, dst);
+
+        // Stage 3: pack the ULP state with pvm_pkbyte (extra copies) and
+        // push it out through pvm_send sequences over the daemon route.
+        let bytes = self.state_bytes();
+        ctx.advance(calib.ulp_capture_fixed);
+        ctx.advance(SimDuration::from_secs_f64(
+            bytes as f64 * calib.pkbyte_s_per_byte,
+        ));
+        pvm.cluster
+            .ether
+            .transfer_blocking(ctx, bytes, calib.daemon_efficiency);
+        let dst_container = self.sys.container_tid(dst);
+        let (_, cmb) = pvm.lookup(dst_container).expect("target container gone");
+        cmb.send(
+            ctx,
+            Message::new(
+                self.tid,
+                proto::TAG_ULP_STATE,
+                proto::state_msg(self.id, bytes),
+            ),
+        );
+        ctx.trace("upvm.offhost", format!("{bytes} bytes off-loaded"));
+
+        // The source process is free; siblings resume.
+        sched.release(ctx, self.id);
+
+        // Stage 4: wait for the target's accept loop to install the state
+        // and enqueue us in its scheduler.
+        while self.sys.ulp_host(self.id) != dst {
+            ctx.block("ulp awaiting accept", false);
+        }
+        ctx.trace("upvm.resumed", format!("{} on {dst}", self.tid));
+        true
+    }
+}
+
+impl TaskApi for Ulp {
+    fn mytid(&self) -> Tid {
+        self.tid
+    }
+
+    fn host_id(&self) -> HostId {
+        self.sys.ulp_host(self.id)
+    }
+
+    fn nhosts(&self) -> usize {
+        self.sys.pvm().nhosts()
+    }
+
+    fn send(&self, to: Tid, tag: i32, buf: MsgBuf) {
+        self.handle_signals(None);
+        let my_host = self.host_id();
+        let sched = self.sys.sched(my_host).clone();
+        sched.acquire(&self.ctx, self.id);
+        let msg = Message::new(self.tid, tag, buf);
+        let pvm = self.sys.pvm();
+        let (_, mb) = pvm
+            .lookup(to)
+            .unwrap_or_else(|| panic!("ULP send to dead or unknown tid {to}"));
+        if self.sys.is_local_ulp(to, my_host) {
+            // Hand-off: the library moves the buffer pointer, not the bytes.
+            self.ctx.advance(pvm.cluster.calib.ulp_switch);
+            mb.send(&self.ctx, msg);
+        } else {
+            // Remote: extra UPVM routing header → marginally slower than
+            // plain PVM (§4.2.1).
+            self.ctx.advance(pvm.cluster.calib.upvm_remote_header);
+            route::deliver_daemon(&self.ctx, pvm, my_host, mb, msg);
+        }
+        sched.release(&self.ctx, self.id);
+    }
+
+    fn mcast(&self, to: &[Tid], tag: i32, buf: MsgBuf) {
+        for &t in to {
+            self.send(t, tag, buf.clone());
+        }
+    }
+
+    fn recv(&self, from: Option<Tid>, tag: Option<i32>) -> Message {
+        loop {
+            self.handle_signals(None);
+            let my_host = self.host_id();
+            let sched = self.sys.sched(my_host).clone();
+            sched.acquire(&self.ctx, self.id);
+            self.drain_mailbox();
+            if let Some(m) = self.take_pending(from, tag) {
+                self.charge_recv(&m);
+                sched.release(&self.ctx, self.id);
+                return m;
+            }
+            // Blocking on receive de-schedules the ULP (§2.2): release the
+            // process so a runnable sibling gets the CPU.
+            sched.release(&self.ctx, self.id);
+            match self.mailbox.recv_interruptible(&self.ctx) {
+                Ok(Some(m)) => {
+                    self.pending.lock().push_back(m);
+                }
+                Ok(None) => panic!("ULP mailbox closed"),
+                Err(Interrupted) => {
+                    self.handle_signals(None);
+                }
+            }
+        }
+    }
+
+    fn nrecv(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {
+        self.handle_signals(None);
+        let my_host = self.host_id();
+        let sched = self.sys.sched(my_host).clone();
+        sched.acquire(&self.ctx, self.id);
+        self.drain_mailbox();
+        let m = self.take_pending(from, tag);
+        if let Some(ref m) = m {
+            self.charge_recv(m);
+        }
+        sched.release(&self.ctx, self.id);
+        m
+    }
+
+    fn probe(&self, from: Option<Tid>, tag: Option<i32>) -> bool {
+        self.handle_signals(None);
+        self.drain_mailbox();
+        self.pending.lock().iter().any(|m| matches(m, from, tag))
+    }
+
+    fn compute(&self, flops: f64) {
+        if self.migration_mode() == MigrationMode::ExplicitPoints {
+            // DPC mode: the whole slice runs to completion; migration
+            // orders wait for the next migration point.
+            let host_id = self.host_id();
+            let sched = self.sys.sched(host_id).clone();
+            sched.acquire(&self.ctx, self.id);
+            let host = Arc::clone(self.sys.pvm().cluster.host(host_id));
+            host.compute(&self.ctx, flops);
+            sched.release(&self.ctx, self.id);
+            return;
+        }
+        let mut remaining = flops;
+        while remaining > 0.0 {
+            self.handle_signals(None);
+            let host_id = self.host_id();
+            let sched = self.sys.sched(host_id).clone();
+            sched.acquire(&self.ctx, self.id);
+            let host = Arc::clone(self.sys.pvm().cluster.host(host_id));
+            match host.compute_interruptible(&self.ctx, remaining) {
+                ComputeOutcome::Done => {
+                    sched.release(&self.ctx, self.id);
+                    return;
+                }
+                ComputeOutcome::Interrupted { remaining_flops } => {
+                    remaining = remaining_flops;
+                    let migrated = self.handle_signals(Some(host_id));
+                    if !migrated {
+                        // Still on the same host, still holding.
+                        sched.release(&self.ctx, self.id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn set_state_bytes(&self, bytes: usize) {
+        Ulp::set_state_bytes(self, bytes);
+    }
+}

@@ -1,0 +1,436 @@
+//! End-to-end tests of the UPVM runtime and ULP migration protocol.
+
+use pvm_rt::{MsgBuf, Pvm, TaskApi};
+use simcore::{SimDuration, TraceSliceExt};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use upvm::{AddrSpace, Upvm};
+use worknet::{Calib, Cluster, HostId};
+
+fn upvm_on(n_hosts: usize) -> Arc<Upvm> {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(n_hosts);
+    Upvm::new(Pvm::new(Arc::new(b.build())))
+}
+
+const MB: u64 = 1_000_000;
+
+#[test]
+fn local_handoff_is_much_faster_than_remote() {
+    // Two co-located ULPs exchange a large buffer vs two remote ULPs.
+    fn run(local: bool) -> f64 {
+        let sys = upvm_on(2);
+        let cluster = Arc::clone(&sys.pvm().cluster);
+        let t_recv = Arc::new(Mutex::new(0.0));
+        let tr = Arc::clone(&t_recv);
+        let dst_host = if local { HostId(0) } else { HostId(1) };
+        let receiver = sys
+            .spawn_ulp(dst_host, "rx", 2 * MB, move |u| {
+                let _ = u.recv(None, Some(1));
+                *tr.lock().unwrap() = u.now().as_secs_f64();
+            })
+            .unwrap();
+        sys.spawn_ulp(HostId(0), "tx", 2 * MB, move |u| {
+            u.send(receiver, 1, MsgBuf::new().pk_bytes(vec![0u8; 1_000_000]));
+        })
+        .unwrap();
+        sys.seal();
+        cluster.sim.run().unwrap();
+        let t = *t_recv.lock().unwrap();
+        assert!(t > 0.0);
+        t
+    }
+    let local = run(true);
+    let remote = run(false);
+    assert!(
+        local * 20.0 < remote,
+        "hand-off {local:.4}s should be far below remote {remote:.4}s"
+    );
+}
+
+#[test]
+fn sibling_ulps_serialize_on_one_process() {
+    // Two ULPs on one host each do 2 s of work: the host finishes at 4 s.
+    let sys = upvm_on(1);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    for i in 0..2 {
+        sys.spawn_ulp(HostId(0), format!("u{i}"), MB, move |u| {
+            u.compute(90.0e6); // 2 s
+        })
+        .unwrap();
+    }
+    sys.seal();
+    let end = cluster.sim.run().unwrap().as_secs_f64();
+    assert!((end - 4.0).abs() < 0.05, "end {end}");
+}
+
+#[test]
+fn blocked_recv_deschedules_so_sibling_runs() {
+    // ULP A blocks on recv immediately; sibling B computes 1 s then sends.
+    // If A's blocked recv held the process, B could never run (deadlock).
+    let sys = upvm_on(1);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    let got = Arc::new(AtomicU64::new(0));
+    let g = Arc::clone(&got);
+    let a = sys
+        .spawn_ulp(HostId(0), "a", MB, move |u| {
+            let m = u.recv(None, Some(2));
+            assert_eq!(m.reader().upk_int().unwrap(), vec![11]);
+            g.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    sys.spawn_ulp(HostId(0), "b", MB, move |u| {
+        u.compute(45.0e6);
+        u.send(a, 2, MsgBuf::new().pk_int(&[11]));
+    })
+    .unwrap();
+    sys.seal();
+    cluster.sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn migration_moves_ulp_and_keeps_tid() {
+    let sys = upvm_on(2);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    let result = Arc::new(Mutex::new((0usize, 0u32, 0u32)));
+    let r = Arc::clone(&result);
+    let w = sys
+        .spawn_ulp(HostId(0), "w", MB, move |u| {
+            let tid0 = u.mytid();
+            u.set_state_bytes(300_000);
+            u.compute(450.0e6); // 10 s
+            *r.lock().unwrap() = (u.host_id().0, tid0.raw(), u.mytid().raw());
+        })
+        .unwrap();
+    sys.seal();
+    let s2 = Arc::clone(&sys);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(3));
+        s2.inject_migration(&ctx, w, HostId(1));
+    });
+    cluster.sim.run().unwrap();
+    let (host, tid0, tid1) = *result.lock().unwrap();
+    assert_eq!(host, 1, "ULP must land on host1");
+    assert_eq!(tid0, tid1, "UPVM keeps the ULP's tid across migration");
+}
+
+#[test]
+fn migrate_while_blocked_in_recv() {
+    let sys = upvm_on(2);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    let got = Arc::new(AtomicU64::new(0));
+    let g = Arc::clone(&got);
+    let rx = sys
+        .spawn_ulp(HostId(0), "rx", MB, move |u| {
+            let m = u.recv(None, Some(1));
+            assert_eq!(u.host_id(), HostId(1));
+            assert_eq!(m.reader().upk_int().unwrap(), vec![9]);
+            g.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    sys.spawn_ulp(HostId(1), "tx", MB, move |u| {
+        u.compute(45.0e6 * 10.0); // 10 s: well past the migration
+        u.send(rx, 1, MsgBuf::new().pk_int(&[9]));
+    })
+    .unwrap();
+    sys.seal();
+    let s2 = Arc::clone(&sys);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        s2.inject_migration(&ctx, rx, HostId(1));
+    });
+    cluster.sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn no_messages_lost_across_ulp_migration() {
+    let sys = upvm_on(2);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    const N: i32 = 30;
+    let sum = Arc::new(AtomicU64::new(0));
+    let s = Arc::clone(&sum);
+    let sink = sys
+        .spawn_ulp(HostId(0), "sink", MB, move |u| {
+            u.set_state_bytes(200_000);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                let m = u.recv(None, Some(7));
+                acc += m.reader().upk_int().unwrap()[0] as u64;
+                u.compute(4.5e6); // 0.1 s
+            }
+            s.store(acc, Ordering::SeqCst);
+        })
+        .unwrap();
+    sys.spawn_ulp(HostId(1), "source", MB, move |u| {
+        for i in 1..=N {
+            u.send(sink, 7, MsgBuf::new().pk_int(&[i]));
+            u.compute(4.5e6);
+        }
+    })
+    .unwrap();
+    sys.seal();
+    let s2 = Arc::clone(&sys);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_millis(900));
+        s2.inject_migration(&ctx, sink, HostId(1));
+    });
+    cluster.sim.run().unwrap();
+    assert_eq!(sum.load(Ordering::SeqCst), (1..=N as u64).sum::<u64>());
+}
+
+#[test]
+fn obtrusiveness_and_migration_cost_match_table4_shape() {
+    // Paper Table 4 at 0.6 MB data (slave ULP holds 0.3 MB):
+    // obtrusiveness 1.67 s, migration cost 6.88 s.
+    let sys = upvm_on(2);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    let w = sys
+        .spawn_ulp(HostId(0), "w", MB, move |u| {
+            u.set_state_bytes(300_000);
+            u.compute(45.0e6 * 30.0);
+        })
+        .unwrap();
+    sys.spawn_ulp(HostId(1), "peer", MB, |u| {
+        // Iteration-sized slices: a cooperative ULP must release the
+        // process regularly or nothing else (including the accept loop)
+        // ever runs on its host.
+        for _ in 0..350 {
+            u.compute(4.5e6); // 0.1 s
+        }
+    })
+    .unwrap();
+    sys.seal();
+    let s2 = Arc::clone(&sys);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(5));
+        s2.inject_migration(&ctx, w, HostId(1));
+    });
+    cluster.sim.run().unwrap();
+    let tr = cluster.sim.take_trace();
+    let t0 = tr.first_tag("upvm.event").unwrap().at;
+    let t1 = tr.first_tag("upvm.offhost").unwrap().at;
+    let t2 = tr.first_tag("upvm.resumed").unwrap().at;
+    let obtr = t1.since(t0).as_secs_f64();
+    let mig = t2.since(t0).as_secs_f64();
+    assert!((1.2..2.2).contains(&obtr), "obtrusiveness {obtr}");
+    assert!((5.5..8.5).contains(&mig), "migration cost {mig}");
+    assert!(
+        mig > obtr * 2.5,
+        "the slow accept mechanism dominates: {mig} vs {obtr}"
+    );
+}
+
+#[test]
+fn address_regions_unique_across_all_processes() {
+    // Figure 2: 5 ULPs over 3 hosts; every pair of regions is disjoint even
+    // for ULPs in different processes.
+    let sys = upvm_on(3);
+    let cluster = Arc::clone(&sys.pvm().cluster);
+    let body = Arc::new(|u: &upvm::Ulp, _r: usize, _n: usize| {
+        u.compute(1.0e6);
+    });
+    sys.spawn_spmd(5, 2 * MB, body).unwrap();
+    let layout = sys.layout();
+    assert_eq!(layout.len(), 5);
+    for (i, (_, _, r1)) in layout.iter().enumerate() {
+        for (_, _, r2) in &layout[i + 1..] {
+            assert!(!r1.overlaps(r2), "{r1} overlaps {r2}");
+        }
+    }
+    // Round-robin placement over 3 hosts.
+    let hosts: Vec<usize> = layout.iter().map(|(_, h, _)| h.0).collect();
+    assert_eq!(hosts, vec![0, 1, 2, 0, 1]);
+    sys.seal();
+    cluster.sim.run().unwrap();
+}
+
+#[test]
+fn address_space_exhaustion_limits_ulp_count() {
+    let sys = upvm_on(1);
+    // A tiny space: room for exactly three 1 MB (page-rounded) regions.
+    sys.set_addr_space(AddrSpace::with_bounds(0x10000, 0x10000 + 3 * 1_048_576));
+    for i in 0..3 {
+        sys.spawn_ulp(HostId(0), format!("u{i}"), 1_048_576, |u| {
+            u.compute(1.0e6);
+        })
+        .unwrap();
+    }
+    let err = sys
+        .spawn_ulp(HostId(0), "overflow", 1_048_576, |_| {})
+        .unwrap_err();
+    assert!(matches!(err, upvm::AddrError::Exhausted { .. }), "{err}");
+    sys.seal();
+    Arc::clone(&sys.pvm().cluster).sim.run().unwrap();
+}
+
+#[test]
+fn deterministic_across_runs() {
+    fn run_once() -> Vec<(u64, String)> {
+        let sys = upvm_on(2);
+        let cluster = Arc::clone(&sys.pvm().cluster);
+        let w = sys
+            .spawn_ulp(HostId(0), "w", MB, |u| {
+                u.set_state_bytes(150_000);
+                u.compute(45.0e6 * 4.0);
+            })
+            .unwrap();
+        sys.spawn_ulp(HostId(1), "p", MB, |u| u.compute(45.0e6 * 5.0))
+            .unwrap();
+        sys.seal();
+        let s2 = Arc::clone(&sys);
+        cluster.sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_millis(777));
+            s2.inject_migration(&ctx, w, HostId(1));
+        });
+        cluster.sim.run().unwrap();
+        cluster
+            .sim
+            .take_trace()
+            .into_iter()
+            .map(|e| (e.at.as_nanos(), e.tag))
+            .collect()
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn accept_loop_blocks_resident_ulps() {
+    // While the target container's accept loop installs incoming state, a
+    // ULP resident on the target host cannot compute: its work stretches.
+    fn resident_end(migrate: bool) -> f64 {
+        let sys = upvm_on(2);
+        let cluster = Arc::clone(&sys.pvm().cluster);
+        let end = Arc::new(Mutex::new(0.0));
+        let e = Arc::clone(&end);
+        sys.spawn_ulp(HostId(1), "resident", MB, move |u| {
+            for _ in 0..120 {
+                u.compute(4.5e6); // 12 s in 0.1 s slices
+            }
+            *e.lock().unwrap() = u.now().as_secs_f64();
+        })
+        .unwrap();
+        let w = sys
+            .spawn_ulp(HostId(0), "w", MB, move |u| {
+                u.set_state_bytes(300_000);
+                u.compute(45.0e6 * 20.0);
+            })
+            .unwrap();
+        sys.seal();
+        if migrate {
+            let s2 = Arc::clone(&sys);
+            cluster.sim.spawn("gs", move |ctx| {
+                ctx.advance(SimDuration::from_secs(2));
+                s2.inject_migration(&ctx, w, HostId(1));
+            });
+        }
+        cluster.sim.run().unwrap();
+        let t = *end.lock().unwrap();
+        assert!(t > 0.0);
+        t
+    }
+    let quiet = resident_end(false);
+    let with_inbound = resident_end(true);
+    assert!(
+        with_inbound > quiet + 3.0,
+        "accept loop ({} chunks) must delay the resident ULP: quiet {quiet:.2}, inbound {with_inbound:.2}",
+        300_000 / 4096
+    );
+}
+
+#[test]
+fn explicit_migration_points_defer_the_move() {
+    // DPC comparison (§5.0): in ExplicitPoints mode a migration order
+    // posted mid-compute takes effect only at the next migration_point —
+    // the vacate latency is bounded by the segment length, not the signal.
+    use upvm::MigrationMode;
+    fn vacate_latency(mode: MigrationMode) -> f64 {
+        let sys = upvm_on(2);
+        let cluster = Arc::clone(&sys.pvm().cluster);
+        let moved_at = Arc::new(Mutex::new(0.0));
+        let m = Arc::clone(&moved_at);
+        let w = sys
+            .spawn_ulp(HostId(0), "w", MB, move |u| {
+                u.set_migration_mode(mode);
+                u.set_state_bytes(150_000);
+                // Two long segments with one migration point between them.
+                u.compute(45.0e6 * 10.0);
+                u.migration_point();
+                if u.host_id() == HostId(1) {
+                    *m.lock().unwrap() = u.now().as_secs_f64();
+                }
+                u.compute(45.0e6 * 5.0);
+            })
+            .unwrap();
+        sys.seal();
+        let s2 = Arc::clone(&sys);
+        cluster.sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(2));
+            s2.inject_migration(&ctx, w, HostId(1));
+        });
+        cluster.sim.run().unwrap();
+        let tr = cluster.sim.take_trace();
+        let t0 = tr.first_tag("upvm.cmd.received").unwrap().at;
+        let t1 = tr.first_tag("upvm.event").unwrap().at;
+        t1.since(t0).as_secs_f64()
+    }
+    let async_latency = vacate_latency(MigrationMode::Asynchronous);
+    let explicit_latency = vacate_latency(MigrationMode::ExplicitPoints);
+    assert!(
+        async_latency < 0.01,
+        "asynchronous mode reacts immediately: {async_latency}"
+    );
+    assert!(
+        explicit_latency > 7.0,
+        "explicit mode waits for the segment boundary (~8 s away): {explicit_latency}"
+    );
+}
+
+#[test]
+fn many_ulps_with_concurrent_migrations_complete() {
+    // 12 ULPs over 3 hosts; the GS script fires six migration orders in
+    // two waves. All work completes, the address space stays consistent,
+    // and the run replays identically.
+    fn run() -> (f64, Vec<usize>) {
+        let sys = upvm_on(3);
+        let cluster = Arc::clone(&sys.pvm().cluster);
+        cluster.sim.set_trace_enabled(false);
+        let homes = Arc::new(Mutex::new(Vec::new()));
+        let mut tids = Vec::new();
+        for i in 0..12 {
+            let homes = Arc::clone(&homes);
+            let tid = sys
+                .spawn_ulp(HostId(i % 3), format!("u{i}"), MB, move |u| {
+                    u.set_state_bytes(80_000);
+                    for _ in 0..40 {
+                        u.compute(45.0e6 / 10.0); // 4 s in 0.1 s slices
+                    }
+                    homes.lock().unwrap().push((i, u.host_id().0));
+                })
+                .unwrap();
+            tids.push(tid);
+        }
+        sys.seal();
+        let s2 = Arc::clone(&sys);
+        cluster.sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_millis(800));
+            for (k, tid) in tids.iter().enumerate().take(3) {
+                s2.inject_migration(&ctx, *tid, HostId((k + 1) % 3));
+            }
+            ctx.advance(SimDuration::from_secs(2));
+            for (k, tid) in tids.iter().enumerate().take(6).skip(3) {
+                s2.inject_migration(&ctx, *tid, HostId((k + 2) % 3));
+            }
+        });
+        let end = cluster.sim.run().unwrap().as_secs_f64();
+        let mut h = homes.lock().unwrap().clone();
+        h.sort();
+        (end, h.into_iter().map(|(_, host)| host).collect())
+    }
+    let (end_a, homes_a) = run();
+    assert_eq!(homes_a.len(), 12);
+    let (end_b, homes_b) = run();
+    assert_eq!(end_a, end_b);
+    assert_eq!(homes_a, homes_b);
+}

@@ -1,0 +1,163 @@
+//! Cluster assembly: hosts + shared Ethernet + the simulation they live in.
+
+use crate::calib::Calib;
+use crate::host::{Host, HostId, HostSpec};
+use crate::net::Ethernet;
+use simcore::Sim;
+use std::sync::Arc;
+
+/// A network of workstations under simulation.
+pub struct Cluster {
+    /// The virtual-time kernel everything runs in.
+    pub sim: Sim,
+    /// Cost-model constants in effect.
+    pub calib: Arc<Calib>,
+    /// The shared Ethernet segment.
+    pub ether: Ethernet,
+    hosts: Vec<Arc<Host>>,
+}
+
+impl Cluster {
+    /// Start building a cluster with the given calibration.
+    pub fn builder(calib: Calib) -> ClusterBuilder {
+        ClusterBuilder {
+            calib,
+            specs: Vec::new(),
+        }
+    }
+
+    /// The host with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn host(&self, id: HostId) -> &Arc<Host> {
+        &self.hosts[id.0]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Arc<Host>] {
+        &self.hosts
+    }
+
+    /// Look a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<&Arc<Host>> {
+        self.hosts.iter().find(|h| h.name() == name)
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Per-host parallel-compute utilization over `[0, horizon]`:
+    /// busy time / horizon, one entry per host.
+    pub fn utilization(&self, horizon: simcore::SimDuration) -> Vec<f64> {
+        assert!(!horizon.is_zero());
+        self.hosts
+            .iter()
+            .map(|h| h.busy_time().as_secs_f64() / horizon.as_secs_f64())
+            .collect()
+    }
+
+    /// True if the cluster has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    calib: Calib,
+    specs: Vec<HostSpec>,
+}
+
+impl ClusterBuilder {
+    /// Add a host; returns the id it will have.
+    pub fn host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.specs.len());
+        self.specs.push(spec);
+        id
+    }
+
+    /// Add `n` quiet HP 9000/720s named `hp720-0..n`.
+    pub fn quiet_hp720s(&mut self, n: usize) -> Vec<HostId> {
+        (0..n)
+            .map(|i| self.host(HostSpec::hp720(format!("hp720-{i}"))))
+            .collect()
+    }
+
+    /// Finish: create the simulation, Ethernet, and host objects.
+    pub fn build(self) -> Cluster {
+        let calib = Arc::new(self.calib);
+        let sim = Sim::new();
+        let ether = Ethernet::new(&calib);
+        let hosts = self
+            .specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Arc::new(Host::new(HostId(i), spec, Arc::clone(&calib))))
+            .collect();
+        Cluster {
+            sim,
+            calib,
+            ether,
+            hosts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Arch;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        let a = b.host(HostSpec::hp720("alpha"));
+        let c = b.host(HostSpec::hp720("beta").with_arch(Arch::SparcSunos));
+        let cluster = b.build();
+        assert_eq!(a, HostId(0));
+        assert_eq!(c, HostId(1));
+        assert_eq!(cluster.len(), 2);
+        assert_eq!(cluster.host(a).name(), "alpha");
+        assert_eq!(cluster.host(c).spec.arch, Arch::SparcSunos);
+        assert_eq!(cluster.host_by_name("beta").unwrap().id, c);
+        assert!(cluster.host_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn quiet_hp720s_helper() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        let ids = b.quiet_hp720s(3);
+        let cluster = b.build();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(cluster.host(ids[2]).name(), "hp720-2");
+        assert!(!cluster.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod util_tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use simcore::SimDuration;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn utilization_tracks_compute_time() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(2);
+        let cluster = StdArc::new(b.build());
+        let h0 = StdArc::clone(cluster.host(crate::HostId(0)));
+        cluster.sim.spawn("w", move |ctx| {
+            h0.compute(&ctx, 45.0e6 * 3.0); // 3 s on host0
+            ctx.advance(SimDuration::from_secs(7)); // idle 7 s
+        });
+        cluster.sim.run().unwrap();
+        let u = cluster.utilization(SimDuration::from_secs(10));
+        assert!((u[0] - 0.3).abs() < 0.01, "host0 utilization {}", u[0]);
+        assert_eq!(u[1], 0.0, "host1 never computed");
+        let _ = HostSpec::hp720("x");
+    }
+}

@@ -1,0 +1,444 @@
+//! Workstation model: architecture class, CPU speed under external load,
+//! and the OS-level cost primitives charged by the runtime layers.
+
+use crate::calib::Calib;
+use crate::load::{LoadTrace, OwnerTrace};
+use simcore::{AdvanceOutcome, SimCtx, SimDuration};
+use std::sync::Arc;
+
+/// Machine architecture + OS class. MPVM/UPVM migration is only possible
+/// between *migration-compatible* hosts, i.e. hosts of the same class
+/// (§3.3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// HP PA-RISC running HP-UX (the paper's primary platform).
+    HppaHpux,
+    /// SPARC running SunOS 4.x (MPVM's second port).
+    SparcSunos,
+    /// A generic third class, used in heterogeneity tests.
+    I486Bsd,
+}
+
+impl Arch {
+    /// Whether a process/ULP can migrate between the two classes.
+    pub fn migration_compatible(self, other: Arch) -> bool {
+        self == other
+    }
+}
+
+/// Identifies a host within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Static description of a workstation used to build a cluster.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Human-readable name, e.g. `"hp720a"`.
+    pub name: String,
+    /// Architecture/OS class.
+    pub arch: Arch,
+    /// CPU speed relative to the calibrated baseline (1.0 = HP 9000/720).
+    pub speed_factor: f64,
+    /// Physical memory available to parallel work (the testbed machines
+    /// had 64 MB).
+    pub mem_bytes: u64,
+    /// External load over time.
+    pub load: LoadTrace,
+    /// Owner activity over time.
+    pub owner: OwnerTrace,
+}
+
+impl HostSpec {
+    /// A quiet HP 9000/720 — the paper's testbed machine.
+    pub fn hp720(name: impl Into<String>) -> Self {
+        HostSpec {
+            name: name.into(),
+            arch: Arch::HppaHpux,
+            speed_factor: 1.0,
+            mem_bytes: 64 * 1024 * 1024,
+            load: LoadTrace::quiet(),
+            owner: OwnerTrace::away(),
+        }
+    }
+
+    /// Override physical memory.
+    pub fn with_memory(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0);
+        self.mem_bytes = bytes;
+        self
+    }
+
+    /// Replace the load trace.
+    pub fn with_load(mut self, load: LoadTrace) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Replace the owner trace.
+    pub fn with_owner(mut self, owner: OwnerTrace) -> Self {
+        self.owner = owner;
+        self
+    }
+
+    /// Replace the architecture class.
+    pub fn with_arch(mut self, arch: Arch) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// Scale CPU speed (heterogeneous clusters).
+    pub fn with_speed(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.speed_factor = factor;
+        self
+    }
+}
+
+/// Outcome of an interruptible compute slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComputeOutcome {
+    /// All requested work was performed.
+    Done,
+    /// A signal interrupted the slice; this much work remains.
+    Interrupted {
+        /// FLOPs not yet performed.
+        remaining_flops: f64,
+    },
+}
+
+/// A workstation in the cluster. Cheap to share (`Arc`).
+pub struct Host {
+    /// This host's id.
+    pub id: HostId,
+    /// Static spec.
+    pub spec: HostSpec,
+    calib: Arc<Calib>,
+    /// Parallel-application state currently resident on this host.
+    resident: std::sync::atomic::AtomicU64,
+    /// Virtual nanoseconds of parallel compute executed here.
+    busy_ns: std::sync::atomic::AtomicU64,
+}
+
+impl Host {
+    pub(crate) fn new(id: HostId, spec: HostSpec, calib: Arc<Calib>) -> Self {
+        Host {
+            id,
+            spec,
+            calib,
+            resident: std::sync::atomic::AtomicU64::new(0),
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Virtual time of parallel compute this host has executed.
+    pub fn busy_time(&self) -> SimDuration {
+        SimDuration(self.busy_ns.load(std::sync::atomic::Ordering::SeqCst))
+    }
+
+    fn add_busy(&self, d: SimDuration) {
+        self.busy_ns
+            .fetch_add(d.as_nanos(), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Register `bytes` of resident parallel state (VP data/heap).
+    pub fn reserve_memory(&self, bytes: u64) {
+        self.resident
+            .fetch_add(bytes, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Release previously registered resident state.
+    pub fn release_memory(&self, bytes: u64) {
+        let prev = self
+            .resident
+            .fetch_sub(bytes, std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            prev >= bytes,
+            "memory release underflow on {}",
+            self.spec.name
+        );
+    }
+
+    /// Resident parallel state, bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Overcommit ratio: 0 while resident state fits physical memory,
+    /// (resident − mem) / mem beyond it.
+    pub fn memory_overcommit(&self) -> f64 {
+        let r = self.resident_bytes() as f64;
+        let m = self.spec.mem_bytes as f64;
+        ((r - m) / m).max(0.0)
+    }
+
+    /// Swap-thrash slowdown factor (≥ 1).
+    pub fn thrash_factor(&self) -> f64 {
+        1.0 + self.calib.swap_penalty * self.memory_overcommit()
+    }
+
+    /// The calibration constants in effect.
+    pub fn calib(&self) -> &Calib {
+        &self.calib
+    }
+
+    /// This host's name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Effective FLOP/s available to one VP at virtual time `t` —
+    /// CPU speed × load share ÷ swap thrash.
+    pub fn effective_flops_at(&self, t: simcore::SimTime) -> f64 {
+        self.calib.cpu_flops * self.spec.speed_factor * self.spec.load.share_at(t)
+            / self.thrash_factor()
+    }
+
+    /// Charge the cost of computing `flops` on this host, integrating the
+    /// external-load trace piecewise. Uninterruptible.
+    pub fn compute(&self, ctx: &SimCtx, flops: f64) {
+        let mut remaining = flops;
+        while remaining > 0.0 {
+            let now = ctx.now();
+            let speed = self.effective_flops_at(now);
+            assert!(speed > 0.0, "host {} has zero CPU share", self.spec.name);
+            let seg_end = self.spec.load.next_change_after(now);
+            let full = SimDuration::from_secs_f64(remaining / speed);
+            match seg_end {
+                Some(end) if now + full > end => {
+                    let seg = end.since(now);
+                    ctx.advance(seg);
+                    self.add_busy(seg);
+                    remaining -= speed * seg.as_secs_f64();
+                    // Guard against float drift leaving a sliver forever.
+                    if remaining < 1.0 {
+                        remaining = 0.0;
+                    }
+                }
+                _ => {
+                    ctx.advance(full);
+                    self.add_busy(full);
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Like [`Host::compute`], but a posted signal interrupts the slice and
+    /// reports the work remaining.
+    pub fn compute_interruptible(&self, ctx: &SimCtx, flops: f64) -> ComputeOutcome {
+        let mut remaining = flops;
+        while remaining > 0.0 {
+            let now = ctx.now();
+            let speed = self.effective_flops_at(now);
+            assert!(speed > 0.0, "host {} has zero CPU share", self.spec.name);
+            let seg_end = self.spec.load.next_change_after(now);
+            let full = SimDuration::from_secs_f64(remaining / speed);
+            let (slice, ends_segment) = match seg_end {
+                Some(end) if now + full > end => (end.since(now), true),
+                _ => (full, false),
+            };
+            match ctx.advance_interruptible(slice) {
+                AdvanceOutcome::Completed => {
+                    self.add_busy(slice);
+                    if ends_segment {
+                        remaining -= speed * slice.as_secs_f64();
+                        if remaining < 1.0 {
+                            remaining = 0.0;
+                        }
+                    } else {
+                        remaining = 0.0;
+                    }
+                }
+                AdvanceOutcome::Interrupted { elapsed } => {
+                    self.add_busy(elapsed);
+                    remaining -= speed * elapsed.as_secs_f64();
+                    if remaining < 0.0 {
+                        remaining = 0.0;
+                    }
+                    return ComputeOutcome::Interrupted {
+                        remaining_flops: remaining,
+                    };
+                }
+            }
+        }
+        ComputeOutcome::Done
+    }
+
+    /// Charge one memory copy of `bytes`.
+    pub fn memcpy(&self, ctx: &SimCtx, bytes: usize) {
+        ctx.advance(self.calib.memcpy_cost(bytes));
+    }
+
+    /// Charge one system call.
+    pub fn syscall(&self, ctx: &SimCtx) {
+        ctx.advance(self.calib.syscall);
+    }
+
+    /// Charge a process context switch.
+    pub fn context_switch(&self, ctx: &SimCtx) {
+        ctx.advance(self.calib.context_switch);
+    }
+
+    /// Charge a fork+exec (starting a skeleton process).
+    pub fn fork_exec(&self, ctx: &SimCtx) {
+        ctx.advance(self.calib.fork_exec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{Sim, SimTime};
+
+    fn quiet_host() -> Arc<Host> {
+        Arc::new(Host::new(
+            HostId(0),
+            HostSpec::hp720("h0"),
+            Arc::new(Calib::hp720_ethernet()),
+        ))
+    }
+
+    #[test]
+    fn compute_on_quiet_host_charges_flops_over_speed() {
+        let sim = Sim::new();
+        let h = quiet_host();
+        sim.spawn("w", move |ctx| {
+            h.compute(&ctx, 45.0e6); // exactly one second at calibrated speed
+            assert_eq!(ctx.now(), SimTime(1_000_000_000));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn compute_integrates_load_changes() {
+        // Load 1.0 (half speed) for the first second, quiet afterwards.
+        // 45 MFLOP of work: first second does 22.5 MFLOP, the remaining
+        // 22.5 MFLOP takes 0.5 s → total 1.5 s.
+        let sim = Sim::new();
+        let spec = HostSpec::hp720("h0").with_load(LoadTrace::steps(vec![
+            (SimTime::ZERO, 1.0),
+            (SimTime(1_000_000_000), 0.0),
+        ]));
+        let h = Arc::new(Host::new(
+            HostId(0),
+            spec,
+            Arc::new(Calib::hp720_ethernet()),
+        ));
+        sim.spawn("w", move |ctx| {
+            h.compute(&ctx, 45.0e6);
+            assert_eq!(ctx.now(), SimTime(1_500_000_000));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn slow_host_takes_proportionally_longer() {
+        let sim = Sim::new();
+        let spec = HostSpec::hp720("slow").with_speed(0.5);
+        let h = Arc::new(Host::new(
+            HostId(0),
+            spec,
+            Arc::new(Calib::hp720_ethernet()),
+        ));
+        sim.spawn("w", move |ctx| {
+            h.compute(&ctx, 45.0e6);
+            assert_eq!(ctx.now(), SimTime(2_000_000_000));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn interruptible_compute_reports_remaining_work() {
+        let sim = Sim::new();
+        let h = quiet_host();
+        let worker = sim.spawn("w", move |ctx| {
+            // 10 s of work, interrupted at t = 4 s.
+            match h.compute_interruptible(&ctx, 450.0e6) {
+                ComputeOutcome::Interrupted { remaining_flops } => {
+                    let done = 450.0e6 - remaining_flops;
+                    assert!((done - 180.0e6).abs() < 1.0, "done {done}");
+                }
+                ComputeOutcome::Done => panic!("expected interruption"),
+            }
+        });
+        sim.spawn("gs", move |ctx| {
+            ctx.advance(SimDuration::from_secs(4));
+            ctx.post_signal(worker, Box::new(()));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn arch_compatibility_is_same_class_only() {
+        assert!(Arch::HppaHpux.migration_compatible(Arch::HppaHpux));
+        assert!(!Arch::HppaHpux.migration_compatible(Arch::SparcSunos));
+    }
+
+    #[test]
+    fn compute_zero_flops_is_free() {
+        let sim = Sim::new();
+        let h = quiet_host();
+        sim.spawn("w", move |ctx| {
+            h.compute(&ctx, 0.0);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod memory_tests {
+    use super::*;
+    use simcore::{Sim, SimTime};
+
+    fn small_mem_host() -> Arc<Host> {
+        Arc::new(Host::new(
+            HostId(0),
+            HostSpec::hp720("tiny").with_memory(1_000_000),
+            Arc::new(Calib::hp720_ethernet()),
+        ))
+    }
+
+    #[test]
+    fn memory_accounting_and_overcommit() {
+        let h = small_mem_host();
+        assert_eq!(h.resident_bytes(), 0);
+        assert_eq!(h.memory_overcommit(), 0.0);
+        assert_eq!(h.thrash_factor(), 1.0);
+        h.reserve_memory(500_000);
+        assert_eq!(h.thrash_factor(), 1.0, "within RAM: no thrash");
+        h.reserve_memory(1_500_000); // 2 MB resident on 1 MB RAM
+        assert_eq!(h.memory_overcommit(), 1.0);
+        assert_eq!(h.thrash_factor(), 1.0 + 4.0);
+        h.release_memory(1_500_000);
+        h.release_memory(500_000);
+        assert_eq!(h.resident_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory release underflow")]
+    fn release_underflow_panics() {
+        small_mem_host().release_memory(1);
+    }
+
+    #[test]
+    fn swap_thrash_slows_compute() {
+        let sim = Sim::new();
+        let h = small_mem_host();
+        let h2 = Arc::clone(&h);
+        sim.spawn("w", move |ctx| {
+            h2.compute(&ctx, 45.0e6); // 1 s unpressured
+            assert_eq!(ctx.now(), SimTime(1_000_000_000));
+            h2.reserve_memory(2_000_000); // overcommit 1.0 → 5x slowdown
+            h2.compute(&ctx, 45.0e6);
+            assert_eq!(ctx.now(), SimTime(6_000_000_000));
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! # worknet — shared-workstation-network model
+//!
+//! The substrate the paper's systems run on: workstations with calibrated
+//! CPU/memory/OS costs and time-varying external load, a shared 10 Mb/s
+//! Ethernet with processor-sharing contention, TCP connections, and owner
+//! activity traces. All constants are fitted to the paper's published
+//! measurements (see [`Calib`]) so the reproduced tables keep the paper's
+//! shape.
+
+#![warn(missing_docs)]
+
+mod calib;
+mod cluster;
+mod host;
+mod load;
+mod net;
+mod tcp;
+
+pub use calib::Calib;
+pub use cluster::{Cluster, ClusterBuilder};
+pub use host::{Arch, ComputeOutcome, Host, HostId, HostSpec};
+pub use load::{LoadTrace, OwnerTrace};
+pub use net::{Ethernet, OnComplete, TransferId};
+pub use tcp::TcpConn;

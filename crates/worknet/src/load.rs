@@ -1,0 +1,305 @@
+//! External load and owner-activity traces.
+//!
+//! A shared workstation's CPU availability varies as its owner and other
+//! jobs come and go (§1.0 of the paper). We model external load as a
+//! piecewise-constant trace: at any instant the host runs `load` external
+//! CPU-bound processes, so a parallel-application VP receives a
+//! `1 / (1 + load)` share of the CPU. Owner activity is a separate boolean
+//! trace that feeds the global scheduler's reclaim policy.
+
+use simcore::SimTime;
+
+/// Deterministic SplitMix64 (stable across platforms) for trace synthesis.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    /// Exponential with the given mean, via inverse transform.
+    fn exp(&mut self, mean: f64) -> f64 {
+        -mean * self.unit().max(1e-12).ln()
+    }
+}
+
+/// Piecewise-constant external CPU load on one host.
+///
+/// `load = 0.0` is a quiet machine; `load = 1.0` means one competing
+/// CPU-bound process (the VP gets half the CPU), and so on.
+#[derive(Debug, Clone, Default)]
+pub struct LoadTrace {
+    /// Change points, sorted by time. Load before the first point is 0.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl LoadTrace {
+    /// A quiet machine: zero external load forever.
+    pub fn quiet() -> Self {
+        LoadTrace { points: Vec::new() }
+    }
+
+    /// Constant external load from t = 0.
+    pub fn constant(load: f64) -> Self {
+        assert!(load >= 0.0, "load must be non-negative");
+        LoadTrace {
+            points: vec![(SimTime::ZERO, load)],
+        }
+    }
+
+    /// Piecewise-constant load from explicit change points.
+    ///
+    /// # Panics
+    /// Panics if points are not strictly increasing in time or any load is
+    /// negative.
+    pub fn steps(points: Vec<(SimTime, f64)>) -> Self {
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "load trace points must be increasing");
+        }
+        assert!(
+            points.iter().all(|&(_, l)| l >= 0.0),
+            "load must be non-negative"
+        );
+        LoadTrace { points }
+    }
+
+    /// External load at time `t`.
+    pub fn load_at(&self, t: SimTime) -> f64 {
+        match self.points.iter().rev().find(|&&(pt, _)| pt <= t) {
+            Some(&(_, l)) => l,
+            None => 0.0,
+        }
+    }
+
+    /// CPU share a single VP receives at time `t`.
+    pub fn share_at(&self, t: SimTime) -> f64 {
+        1.0 / (1.0 + self.load_at(t))
+    }
+
+    /// The first change point strictly after `t`, if any.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        self.points.iter().map(|&(pt, _)| pt).find(|&pt| pt > t)
+    }
+
+    /// All change points (for installing monitor events).
+    pub fn change_points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// A synthetic bursty load trace: quiet periods (mean `mean_quiet_s`)
+    /// alternating with busy periods (mean `mean_busy_s`) of 1..=`max_load`
+    /// competing processes. Deterministic in `seed`.
+    pub fn random_bursts(
+        seed: u64,
+        horizon_s: f64,
+        mean_quiet_s: f64,
+        mean_busy_s: f64,
+        max_load: u32,
+    ) -> LoadTrace {
+        assert!(max_load >= 1 && horizon_s > 0.0);
+        let mut rng = Rng(seed ^ 0x10AD_10AD_10AD_10AD);
+        let mut t = 0.0f64;
+        let mut points = Vec::new();
+        loop {
+            t += rng.exp(mean_quiet_s).max(0.001);
+            if t >= horizon_s {
+                break;
+            }
+            let load = 1 + (rng.next_u64() % max_load as u64) as u32;
+            points.push((SimTime((t * 1e9) as u64), load as f64));
+            t += rng.exp(mean_busy_s).max(0.001);
+            if t >= horizon_s {
+                break;
+            }
+            points.push((SimTime((t * 1e9) as u64), 0.0));
+        }
+        LoadTrace { points }
+    }
+}
+
+/// When a workstation's owner is active. The GS treats owner activity as a
+/// reclamation: parallel work must vacate the machine.
+#[derive(Debug, Clone, Default)]
+pub struct OwnerTrace {
+    /// (time, owner_active) transitions, sorted by time. Owner is away
+    /// before the first point.
+    events: Vec<(SimTime, bool)>,
+}
+
+impl OwnerTrace {
+    /// Owner never touches the machine.
+    pub fn away() -> Self {
+        OwnerTrace { events: Vec::new() }
+    }
+
+    /// Explicit (time, active) transitions.
+    ///
+    /// # Panics
+    /// Panics if times are not strictly increasing or two consecutive events
+    /// carry the same state.
+    pub fn events(events: Vec<(SimTime, bool)>) -> Self {
+        for w in events.windows(2) {
+            assert!(w[0].0 < w[1].0, "owner events must be increasing");
+            assert_ne!(w[0].1, w[1].1, "owner events must alternate");
+        }
+        OwnerTrace { events }
+    }
+
+    /// Owner returns at `t` and never leaves.
+    pub fn reclaim_at(t: SimTime) -> Self {
+        OwnerTrace {
+            events: vec![(t, true)],
+        }
+    }
+
+    /// Is the owner active at `t`?
+    pub fn active_at(&self, t: SimTime) -> bool {
+        match self.events.iter().rev().find(|&&(et, _)| et <= t) {
+            Some(&(_, a)) => a,
+            None => false,
+        }
+    }
+
+    /// All transitions (for installing monitor events).
+    pub fn transitions(&self) -> &[(SimTime, bool)] {
+        &self.events
+    }
+
+    /// Synthetic owner sessions: away periods (mean `mean_away_s`)
+    /// alternating with at-the-keyboard sessions (mean `mean_session_s`).
+    /// Deterministic in `seed`.
+    pub fn random_sessions(
+        seed: u64,
+        horizon_s: f64,
+        mean_away_s: f64,
+        mean_session_s: f64,
+    ) -> OwnerTrace {
+        assert!(horizon_s > 0.0);
+        let mut rng = Rng(seed ^ 0x0FF1_CE00_0FF1_CE00);
+        let mut t = 0.0f64;
+        let mut events = Vec::new();
+        loop {
+            t += rng.exp(mean_away_s).max(0.001);
+            if t >= horizon_s {
+                break;
+            }
+            events.push((SimTime((t * 1e9) as u64), true));
+            t += rng.exp(mean_session_s).max(0.001);
+            if t >= horizon_s {
+                break;
+            }
+            events.push((SimTime((t * 1e9) as u64), false));
+        }
+        OwnerTrace { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn quiet_trace_gives_full_share() {
+        let tr = LoadTrace::quiet();
+        assert_eq!(tr.load_at(t(100)), 0.0);
+        assert_eq!(tr.share_at(t(100)), 1.0);
+        assert_eq!(tr.next_change_after(t(0)), None);
+    }
+
+    #[test]
+    fn constant_load_halves_share() {
+        let tr = LoadTrace::constant(1.0);
+        assert_eq!(tr.share_at(t(5)), 0.5);
+    }
+
+    #[test]
+    fn steps_select_correct_segment() {
+        let tr = LoadTrace::steps(vec![(t(10), 1.0), (t(20), 3.0), (t(30), 0.0)]);
+        assert_eq!(tr.load_at(t(0)), 0.0);
+        assert_eq!(tr.load_at(t(10)), 1.0);
+        assert_eq!(tr.load_at(t(15)), 1.0);
+        assert_eq!(tr.load_at(t(25)), 3.0);
+        assert_eq!(tr.share_at(t(25)), 0.25);
+        assert_eq!(tr.load_at(t(40)), 0.0);
+        assert_eq!(tr.next_change_after(t(10)), Some(t(20)));
+        assert_eq!(tr.next_change_after(t(30)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn unsorted_steps_panic() {
+        let _ = LoadTrace::steps(vec![(t(20), 1.0), (t(10), 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_load_panics() {
+        let _ = LoadTrace::steps(vec![(t(1), -0.5)]);
+    }
+
+    #[test]
+    fn owner_trace_transitions() {
+        let tr = OwnerTrace::events(vec![(t(60), true), (t(120), false)]);
+        assert!(!tr.active_at(t(0)));
+        assert!(tr.active_at(t(60)));
+        assert!(tr.active_at(t(90)));
+        assert!(!tr.active_at(t(120)));
+    }
+
+    #[test]
+    fn reclaim_at_is_permanent() {
+        let tr = OwnerTrace::reclaim_at(t(30));
+        assert!(!tr.active_at(t(29)));
+        assert!(tr.active_at(t(31)));
+        assert!(tr.active_at(t(10_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alternate")]
+    fn non_alternating_owner_events_panic() {
+        let _ = OwnerTrace::events(vec![(t(1), true), (t(2), true)]);
+    }
+}
+
+#[cfg(test)]
+mod gen_tests {
+    use super::*;
+
+    #[test]
+    fn random_bursts_are_wellformed_and_deterministic() {
+        let a = LoadTrace::random_bursts(42, 600.0, 60.0, 30.0, 4);
+        let b = LoadTrace::random_bursts(42, 600.0, 60.0, 30.0, 4);
+        assert_eq!(a.change_points(), b.change_points());
+        assert!(!a.change_points().is_empty(), "600 s should see bursts");
+        for w in a.change_points().windows(2) {
+            assert!(w[0].0 < w[1].0, "strictly increasing");
+        }
+        for &(_, l) in a.change_points() {
+            assert!((0.0..=4.0).contains(&l));
+        }
+        let c = LoadTrace::random_bursts(43, 600.0, 60.0, 30.0, 4);
+        assert_ne!(a.change_points(), c.change_points());
+    }
+
+    #[test]
+    fn random_sessions_alternate() {
+        let tr = OwnerTrace::random_sessions(7, 3600.0, 300.0, 120.0);
+        assert!(!tr.transitions().is_empty());
+        let mut expect = true;
+        for &(_, active) in tr.transitions() {
+            assert_eq!(active, expect, "sessions must alternate");
+            expect = !expect;
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The shared 10 Mb/s Ethernet segment.
+//!
+//! A single-segment Ethernet is a shared medium: concurrent transfers split
+//! the capacity. We model it as a processor-sharing server — each of the
+//! `n` active transfers progresses at `capacity / n` — and reschedule the
+//! next-completion kernel event every time the active set changes. This
+//! captures the first-order behaviour the paper's measurements see (e.g.
+//! message flushing competing with the state transfer).
+
+use crate::calib::Calib;
+use parking_lot::Mutex;
+use simcore::{EventId, SimCtx, SimDuration, World};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Remaining-bytes tolerance: anything below this is "finished". Large
+/// enough to absorb nanosecond rounding, far below one byte.
+const EPS_BYTES: f64 = 0.5;
+
+/// Callback run (with world access) when a transfer's last byte arrives.
+pub type OnComplete = Box<dyn FnOnce(&mut World) + Send>;
+
+/// Identifies an in-flight transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferId(u64);
+
+impl TransferId {
+    /// Raw id (stable within one simulation).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Active {
+    remaining_wire_bytes: f64,
+    done: Option<OnComplete>,
+}
+
+struct BusState {
+    wire_bps: f64,
+    active: Vec<Active>,
+    last_update: simcore::SimTime,
+    pending_event: Option<EventId>,
+    next_id: u64,
+    total_wire_bytes: f64,
+}
+
+impl BusState {
+    /// Progress all active transfers up to `now`.
+    fn update(&mut self, now: simcore::SimTime) {
+        if self.active.is_empty() {
+            self.last_update = now;
+            return;
+        }
+        let elapsed = now.saturating_since(self.last_update).as_secs_f64();
+        if elapsed > 0.0 {
+            let per = self.wire_bps / self.active.len() as f64 * elapsed;
+            for a in &mut self.active {
+                a.remaining_wire_bytes -= per;
+            }
+        }
+        self.last_update = now;
+    }
+}
+
+/// A shared Ethernet segment connecting every host in a cluster.
+///
+/// Cloning is cheap and refers to the same segment.
+#[derive(Clone)]
+pub struct Ethernet {
+    state: Arc<Mutex<BusState>>,
+    /// One-way latency added by callers per message.
+    pub latency: SimDuration,
+}
+
+impl Ethernet {
+    /// Build a segment from calibration constants.
+    pub fn new(calib: &Calib) -> Self {
+        Ethernet {
+            state: Arc::new(Mutex::new(BusState {
+                wire_bps: calib.ether_bps,
+                active: Vec::new(),
+                last_update: simcore::SimTime::ZERO,
+                pending_event: None,
+                next_id: 0,
+                total_wire_bytes: 0.0,
+            })),
+            latency: calib.wire_latency,
+        }
+    }
+
+    /// Number of transfers currently occupying the segment.
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+
+    /// Total wire bytes ever offered to the segment (for utilization
+    /// reporting).
+    pub fn total_wire_bytes(&self) -> f64 {
+        self.state.lock().total_wire_bytes
+    }
+
+    /// Begin transferring `payload_bytes` with the given protocol
+    /// efficiency (wire bytes = payload / efficiency). `done` runs when the
+    /// last byte has been delivered. Requires world access — call from a
+    /// kernel event or via [`SimCtx::with_world`].
+    pub fn start_transfer(
+        &self,
+        w: &mut World,
+        payload_bytes: f64,
+        efficiency: f64,
+        done: OnComplete,
+    ) -> TransferId {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "bad efficiency");
+        assert!(payload_bytes >= 0.0, "negative payload");
+        let wire = (payload_bytes / efficiency).max(1.0);
+        let id;
+        {
+            let mut b = self.state.lock();
+            b.update(w.now());
+            id = b.next_id;
+            b.next_id += 1;
+            b.total_wire_bytes += wire;
+            b.active.push(Active {
+                remaining_wire_bytes: wire,
+                done: Some(done),
+            });
+        }
+        self.reschedule(w);
+        TransferId(id)
+    }
+
+    fn reschedule(&self, w: &mut World) {
+        let this = self.clone();
+        let mut b = self.state.lock();
+        if let Some(ev) = b.pending_event.take() {
+            w.cancel_event(ev);
+        }
+        if b.active.is_empty() {
+            return;
+        }
+        let n = b.active.len() as f64;
+        let min_rem = b
+            .active
+            .iter()
+            .map(|a| a.remaining_wire_bytes)
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0);
+        let dt = SimDuration::from_secs_f64(min_rem * n / b.wire_bps);
+        b.pending_event = Some(w.schedule_in(dt, move |w| this.on_tick(w)));
+    }
+
+    fn on_tick(&self, w: &mut World) {
+        let finished: Vec<OnComplete> = {
+            let mut b = self.state.lock();
+            b.pending_event = None;
+            b.update(w.now());
+            let mut out = Vec::new();
+            b.active.retain_mut(|a| {
+                if a.remaining_wire_bytes <= EPS_BYTES {
+                    out.push(a.done.take().expect("completion taken twice"));
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        };
+        // Run completions without holding the bus lock: they may start new
+        // transfers on this same segment.
+        for f in finished {
+            f(w);
+        }
+        self.reschedule(w);
+    }
+
+    /// Transfer `payload_bytes` while blocking the calling actor until the
+    /// last byte is delivered (models a blocking `write` of a large state).
+    /// Returns after `latency + occupancy` of virtual time.
+    pub fn transfer_blocking(&self, ctx: &SimCtx, payload_bytes: usize, efficiency: f64) {
+        let done = Arc::new(AtomicBool::new(false));
+        let me = ctx.id();
+        let latency = self.latency;
+        {
+            let this = self.clone();
+            let done2 = Arc::clone(&done);
+            ctx.with_world(move |w| {
+                // Latency first, then the store-and-forward occupancy.
+                w.schedule_in(latency, move |w| {
+                    let done3 = Arc::clone(&done2);
+                    this.start_transfer(
+                        w,
+                        payload_bytes as f64,
+                        efficiency,
+                        Box::new(move |w| {
+                            done3.store(true, Ordering::SeqCst);
+                            w.wake_actor(me);
+                        }),
+                    );
+                });
+            });
+        }
+        while !done.load(Ordering::SeqCst) {
+            ctx.block("ethernet transfer", false);
+        }
+    }
+
+    /// Fire-and-forget: deliver `payload_bytes` and run `done` at arrival
+    /// (after latency + shared-bus occupancy). The sender is not blocked.
+    pub fn send_async(
+        &self,
+        ctx: &SimCtx,
+        payload_bytes: usize,
+        efficiency: f64,
+        done: OnComplete,
+    ) {
+        let latency = self.latency;
+        let this = self.clone();
+        ctx.with_world(move |w| {
+            w.schedule_in(latency, move |w| {
+                this.start_transfer(w, payload_bytes as f64, efficiency, done);
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::{Sim, SimTime};
+    use std::sync::Mutex as StdMutex;
+
+    fn calib() -> Calib {
+        Calib::hp720_ethernet()
+    }
+
+    #[test]
+    fn single_transfer_runs_at_full_capacity() {
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        // 1.25 MB at 1.25 MB/s wire speed, efficiency 1.0 → exactly 1 s + latency.
+        let bytes = c.ether_bps as usize;
+        let lat = c.wire_latency;
+        sim.spawn("s", move |ctx| {
+            let t0 = ctx.now();
+            eth.transfer_blocking(&ctx, bytes, 1.0);
+            let dt = ctx.now().since(t0);
+            let expect = SimDuration::from_secs(1) + lat;
+            assert!(
+                dt.as_nanos().abs_diff(expect.as_nanos()) < 1_000_000,
+                "dt {dt}, expected {expect}"
+            );
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn efficiency_inflates_wire_time() {
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        let bytes = c.ether_bps as usize; // 1 s at eff 1.0 → 2 s at eff 0.5
+        sim.spawn("s", move |ctx| {
+            let t0 = ctx.now();
+            eth.transfer_blocking(&ctx, bytes, 0.5);
+            let dt = ctx.now().since(t0).as_secs_f64();
+            assert!((dt - 2.0).abs() < 0.01, "dt {dt}");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn concurrent_transfers_share_the_bus() {
+        // Two equal transfers started together each see half the bandwidth:
+        // both complete at 2× the solo time.
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        let bytes = c.ether_bps as usize; // 1 s solo
+        let ends = Arc::new(StdMutex::new(Vec::new()));
+        for name in ["a", "b"] {
+            let eth = eth.clone();
+            let ends = Arc::clone(&ends);
+            sim.spawn(name, move |ctx| {
+                eth.transfer_blocking(&ctx, bytes, 1.0);
+                ends.lock().unwrap().push(ctx.now().as_secs_f64());
+            });
+        }
+        sim.run().unwrap();
+        let ends = ends.lock().unwrap();
+        assert_eq!(ends.len(), 2);
+        for &e in ends.iter() {
+            assert!((e - 2.0).abs() < 0.01, "end {e}");
+        }
+    }
+
+    #[test]
+    fn late_joiner_slows_first_transfer_partially() {
+        // Transfer A (2 s solo) runs alone for 1 s, then B (0.5 s solo)
+        // joins. While both are active each gets half capacity, so B's
+        // 0.5 s of solo work takes 1 s; A then finishes its remaining work.
+        // A: 1 s alone (half done) + 1 s shared (quarter done) + 0.5 s alone
+        //    = 2.5 s total.
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        let bw = c.ether_bps;
+        let e1 = eth.clone();
+        let a_end = Arc::new(StdMutex::new(0.0));
+        let b_end = Arc::new(StdMutex::new(0.0));
+        let ae = Arc::clone(&a_end);
+        let be = Arc::clone(&b_end);
+        sim.spawn("a", move |ctx| {
+            e1.transfer_blocking(&ctx, (2.0 * bw) as usize, 1.0);
+            *ae.lock().unwrap() = ctx.now().as_secs_f64();
+        });
+        sim.spawn("b", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            eth.transfer_blocking(&ctx, (0.5 * bw) as usize, 1.0);
+            *be.lock().unwrap() = ctx.now().as_secs_f64();
+        });
+        sim.run().unwrap();
+        let a = *a_end.lock().unwrap();
+        let b = *b_end.lock().unwrap();
+        assert!((b - 2.0).abs() < 0.01, "b finished at {b}");
+        assert!((a - 2.5).abs() < 0.01, "a finished at {a}");
+    }
+
+    #[test]
+    fn async_send_does_not_block_sender() {
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        let delivered = Arc::new(StdMutex::new(None));
+        let d = Arc::clone(&delivered);
+        sim.spawn("s", move |ctx| {
+            eth.send_async(
+                &ctx,
+                c.ether_bps as usize,
+                1.0,
+                Box::new(move |w| {
+                    *d.lock().unwrap() = Some(w.now().as_secs_f64());
+                }),
+            );
+            // Sender proceeds immediately.
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimDuration::from_secs(5));
+        });
+        sim.run().unwrap();
+        let t = delivered.lock().unwrap().expect("delivered");
+        assert!((t - 1.0).abs() < 0.01, "delivery at {t}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_quickly() {
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        sim.spawn("s", move |ctx| {
+            eth.transfer_blocking(&ctx, 0, 1.0);
+            // Just latency plus the 1-byte floor.
+            assert!(ctx.now().as_secs_f64() < 0.01);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn utilization_counter_accumulates_wire_bytes() {
+        let c = calib();
+        let sim = Sim::new();
+        let eth = Ethernet::new(&c);
+        let e2 = eth.clone();
+        sim.spawn("s", move |ctx| {
+            e2.transfer_blocking(&ctx, 1000, 0.5);
+        });
+        sim.run().unwrap();
+        assert!((eth.total_wire_bytes() - 2000.0).abs() < 1.0);
+        assert_eq!(eth.active_count(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! A point-to-point TCP connection over the shared Ethernet.
+//!
+//! MPVM transfers migrating-process state over a dedicated TCP connection
+//! between the old process and the skeleton (§2.1 stage 3). The model
+//! charges a fixed connection setup, then per-send syscall + occupancy of
+//! the shared segment at TCP bulk efficiency.
+
+use crate::calib::Calib;
+use crate::net::Ethernet;
+use simcore::{SimCtx, SimDuration};
+use std::sync::Arc;
+
+/// An established TCP connection (direction-agnostic; the simulator charges
+/// costs to whichever actor calls send).
+pub struct TcpConn {
+    eth: Ethernet,
+    calib: Arc<Calib>,
+}
+
+impl TcpConn {
+    /// Establish a connection, charging the handshake to the caller.
+    pub fn connect(ctx: &SimCtx, eth: &Ethernet, calib: &Arc<Calib>) -> Self {
+        ctx.advance(calib.tcp_setup);
+        TcpConn {
+            eth: eth.clone(),
+            calib: Arc::clone(calib),
+        }
+    }
+
+    /// Send `bytes`, blocking the caller until the receiver has the last
+    /// byte (models a blocking bulk write + the receiver's matching read).
+    pub fn send_blocking(&self, ctx: &SimCtx, bytes: usize) {
+        ctx.advance(self.calib.syscall);
+        self.eth
+            .transfer_blocking(ctx, bytes, self.calib.tcp_efficiency);
+    }
+
+    /// Analytic lower bound for moving `bytes` over an otherwise idle
+    /// segment — the paper's "raw TCP" column in Table 2.
+    pub fn raw_transfer_time(calib: &Calib, bytes: usize) -> SimDuration {
+        calib.tcp_setup
+            + calib.wire_latency
+            + SimDuration::from_secs_f64(bytes as f64 / calib.tcp_bandwidth_bps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    #[test]
+    fn blocking_send_matches_raw_time_on_quiet_net() {
+        let calib = Arc::new(Calib::hp720_ethernet());
+        let sim = Sim::new();
+        let eth = Ethernet::new(&calib);
+        let c2 = Arc::clone(&calib);
+        sim.spawn("s", move |ctx| {
+            let t0 = ctx.now();
+            let conn = TcpConn::connect(&ctx, &eth, &c2);
+            conn.send_blocking(&ctx, 300_000);
+            let measured = ctx.now().since(t0);
+            let analytic = TcpConn::raw_transfer_time(&c2, 300_000) + c2.syscall;
+            let diff = measured.as_secs_f64() - analytic.as_secs_f64();
+            assert!(
+                diff.abs() < 0.001,
+                "measured {measured}, analytic {analytic}"
+            );
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn raw_time_reproduces_table2_raw_tcp_column() {
+        // Paper Table 2 raw TCP (slave carries half the listed data size):
+        //   0.3 MB → 0.27 s ... 10.4 MB → 10.0 s
+        let calib = Calib::hp720_ethernet();
+        let cases = [
+            (0.3e6, 0.27),
+            (2.1e6, 1.82),
+            (2.9e6, 2.51),
+            (4.9e6, 4.42),
+            (6.75e6, 6.17),
+            (10.4e6, 10.00),
+        ];
+        for (bytes, paper) in cases {
+            let t =
+                TcpConn::raw_transfer_time(&Calib::hp720_ethernet(), bytes as usize).as_secs_f64();
+            let err = (t - paper).abs() / paper;
+            assert!(
+                err < 0.12,
+                "raw TCP for {bytes} bytes: model {t:.2}s vs paper {paper}s ({:.0}% off)",
+                err * 100.0
+            );
+        }
+        let _ = calib;
+    }
+}

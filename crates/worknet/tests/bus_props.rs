@@ -1,0 +1,107 @@
+//! Property tests for the processor-sharing Ethernet model.
+
+use proptest::prelude::*;
+use simcore::{Sim, SimDuration};
+use std::sync::{Arc, Mutex};
+use worknet::{Calib, Ethernet};
+
+/// Start a set of (start_offset_ns, payload_bytes) transfers; return each
+/// transfer's (start_s, end_s, bytes).
+fn run_transfers(specs: &[(u64, u32)]) -> Vec<(f64, f64, u32)> {
+    let calib = Calib::hp720_ethernet();
+    let sim = Sim::new();
+    sim.set_trace_enabled(false);
+    let eth = Ethernet::new(&calib);
+    let results = Arc::new(Mutex::new(Vec::new()));
+    for (i, &(start_ns, bytes)) in specs.iter().enumerate() {
+        let eth = eth.clone();
+        let results = Arc::clone(&results);
+        sim.spawn(format!("tx{i}"), move |ctx| {
+            ctx.advance(SimDuration::from_nanos(start_ns));
+            let t0 = ctx.now().as_secs_f64();
+            eth.transfer_blocking(&ctx, bytes as usize, 1.0);
+            results
+                .lock()
+                .unwrap()
+                .push((t0, ctx.now().as_secs_f64(), bytes));
+        });
+    }
+    sim.run().unwrap();
+    let mut out = results.lock().unwrap().clone();
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every transfer completes, takes at least its solo time, and the bus
+    /// never delivers faster than its capacity allows in aggregate.
+    #[test]
+    fn bus_conserves_capacity(
+        specs in prop::collection::vec(
+            ((0u64..2_000_000_000), (1u32..2_000_000)),
+            1..8,
+        )
+    ) {
+        let calib = Calib::hp720_ethernet();
+        let bw = calib.ether_bps;
+        let lat = calib.wire_latency.as_secs_f64();
+        let done = run_transfers(&specs);
+        prop_assert_eq!(done.len(), specs.len(), "every transfer completes");
+        let mut first_start = f64::MAX;
+        let mut last_end: f64 = 0.0;
+        let mut total_bytes = 0.0;
+        for &(t0, t1, bytes) in &done {
+            let solo = bytes as f64 / bw;
+            // At least the solo time (plus latency), never faster.
+            prop_assert!(
+                t1 - t0 + 1e-9 >= solo + lat,
+                "transfer of {bytes} B finished in {} < solo {}",
+                t1 - t0,
+                solo + lat
+            );
+            first_start = first_start.min(t0);
+            last_end = last_end.max(t1);
+            total_bytes += bytes as f64;
+        }
+        // Aggregate throughput cannot exceed capacity over the busy span.
+        let span = last_end - first_start;
+        prop_assert!(
+            total_bytes / bw <= span + lat * specs.len() as f64 + 1e-6,
+            "moved {total_bytes} B in {span}s exceeds wire capacity"
+        );
+    }
+
+    /// Identical transfer sets produce identical timings (bus determinism).
+    #[test]
+    fn bus_is_deterministic(
+        specs in prop::collection::vec(
+            ((0u64..1_000_000_000), (1u32..1_000_000)),
+            1..6,
+        )
+    ) {
+        prop_assert_eq!(run_transfers(&specs), run_transfers(&specs));
+    }
+
+    /// A transfer sharing the bus with others never finishes sooner than
+    /// it would alone.
+    #[test]
+    fn contention_never_speeds_anyone_up(
+        size in 1u32..1_500_000,
+        others in prop::collection::vec((0u64..500_000_000, 1u32..1_500_000), 0..5),
+    ) {
+        let alone = run_transfers(&[(0, size)]);
+        let mut specs = vec![(0u64, size)];
+        specs.extend(others.iter().copied());
+        let crowded = run_transfers(&specs);
+        // Find "our" transfer: started at 0 with our size. (Another at
+        // exactly (0,size) is fine — symmetry.)
+        let t_alone = alone[0].1 - alone[0].0;
+        let ours = crowded
+            .iter()
+            .find(|&&(t0, _, b)| t0 == 0.0 && b == size)
+            .expect("our transfer finished");
+        prop_assert!(ours.1 - ours.0 + 1e-9 >= t_alone);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fine-grained load redistribution with UPVM (§2.2 / §3.4.2).
+//!
+//! Eight worker ULPs spread over three hosts. When external load lands on
+//! host0, the global scheduler peels ULPs off it *one at a time* — the
+//! finer redistribution granularity that whole-process MPVM cannot offer.
+//!
+//! ```sh
+//! cargo run --release --example fine_grained_ulps
+//! ```
+
+use adaptive_pvm::cpe::{Gs, Policy, UpvmTarget};
+use adaptive_pvm::pvm::{Pvm, TaskApi};
+use adaptive_pvm::simcore::SimTime;
+use adaptive_pvm::upvm::Upvm;
+use adaptive_pvm::worknet::{Calib, Cluster, HostSpec, LoadTrace};
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    // host0 picks up two external CPU hogs at t = 10 s.
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(
+        HostSpec::hp720("shared-box")
+            .with_load(LoadTrace::steps(vec![(SimTime(10 * 1_000_000_000), 2.0)])),
+    );
+    b.host(HostSpec::hp720("quiet-1"));
+    b.host(HostSpec::hp720("quiet-2"));
+    let cluster = Arc::new(b.build());
+    let sys = Upvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    println!("spawning 8 worker ULPs, round-robin over 3 hosts");
+    let finished: Arc<Mutex<Vec<(usize, f64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+    let body = {
+        let finished = Arc::clone(&finished);
+        Arc::new(move |u: &adaptive_pvm::upvm::Ulp, rank: usize, _n: usize| {
+            u.set_state_bytes(200_000);
+            // 30 s of work in cooperative 0.25 s slices.
+            for _ in 0..120 {
+                u.compute(45.0e6 * 0.25);
+            }
+            finished
+                .lock()
+                .unwrap()
+                .push((rank, u.now().as_secs_f64(), u.host_id().0));
+        })
+    };
+    sys.spawn_spmd(8, 1_000_000, body).expect("address space");
+    println!("initial layout:");
+    for (tid, host, region) in sys.layout() {
+        println!("  {tid} on {host} region {region}");
+    }
+    sys.seal();
+
+    let gs = Gs::spawn(
+        &cluster,
+        Arc::new(UpvmTarget(Arc::clone(&sys))),
+        Policy::LoadThreshold { threshold: 1.5 },
+    );
+
+    let end = cluster.sim.run().expect("simulation failed");
+
+    println!("\nall ULPs finished by t = {end}");
+    let mut done = finished.lock().unwrap().clone();
+    done.sort_by_key(|a| a.0);
+    for (rank, t, host) in done {
+        println!("  ulp{rank}: finished at {t:7.2}s on host{host}");
+    }
+    println!("\nGS decisions (one ULP at a time — process-grain would move everything):");
+    for d in gs.decisions() {
+        println!("  [{}] move ULP {} to {}", d.at, d.unit, d.dst);
+    }
+}

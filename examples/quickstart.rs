@@ -1,0 +1,80 @@
+//! Quickstart: build a two-workstation cluster, run a pair of PVM tasks,
+//! then transparently migrate one with MPVM.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_pvm::mpvm::Mpvm;
+use adaptive_pvm::pvm::{MsgBuf, Pvm, TaskApi};
+use adaptive_pvm::simcore::SimDuration;
+use adaptive_pvm::worknet::{Calib, Cluster, HostId};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A calibrated worknet: two HP 9000/720s on 10 Mb/s Ethernet.
+    let mut builder = Cluster::builder(Calib::hp720_ethernet());
+    builder.quiet_hp720s(2);
+    let cluster = Arc::new(builder.build());
+
+    // 2. PVM on top, with MPVM's migration daemons.
+    let pvm = Pvm::new(Arc::clone(&cluster));
+    let mpvm = Mpvm::new(pvm);
+
+    // 3. A worker that computes and reports, written against TaskApi —
+    //    it has no idea it can be migrated.
+    let worker = mpvm.spawn_app(HostId(0), "worker", |task| {
+        task.set_state_bytes(1_000_000); // 1 MB of application data
+        println!(
+            "[{}] worker starts on {} as {}",
+            task.now(),
+            task.host_id(),
+            task.mytid()
+        );
+        for step in 1..=4 {
+            task.compute(45.0e6 * 2.0); // 2 s of work per step
+            println!(
+                "[{}] worker step {step}/4 on {} (tid {})",
+                task.now(),
+                task.host_id(),
+                task.mytid()
+            );
+        }
+        let m = task.recv(None, Some(1));
+        println!(
+            "[{}] worker got '{}' — done",
+            task.now(),
+            m.reader().upk_str().unwrap()
+        );
+    });
+
+    // A friend task that messages the worker's *original* tid after the
+    // migration; tid remapping routes it correctly.
+    let m2 = Arc::clone(&mpvm);
+    mpvm.spawn_app(HostId(1), "friend", move |task| {
+        task.compute(45.0e6 * 9.0);
+        task.send(worker, 1, MsgBuf::new().pk_str("hello from the old tid"));
+        let _ = m2; // keep the system alive until we're done
+    });
+    mpvm.seal();
+
+    // 4. A minimal "global scheduler": order the migration at t = 3 s.
+    let m3 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(3));
+        println!("[{}] GS: migrate the worker to host1", ctx.now());
+        m3.inject_migration(&ctx, worker, HostId(1));
+    });
+
+    // 5. Run the virtual-time simulation to completion.
+    let end = cluster.sim.run().expect("simulation failed");
+    println!("\nsimulation finished at t = {end}");
+
+    // 6. The protocol trace shows the four MPVM stages.
+    println!("\nmigration protocol trace:");
+    for e in cluster.sim.take_trace() {
+        if e.tag.starts_with("mpvm.") {
+            println!("  {e}");
+        }
+    }
+}

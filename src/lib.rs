@@ -1,0 +1,9 @@
+//! Meta-crate re-exporting the adaptive-PVM workspace.
+pub use adm;
+pub use cpe;
+pub use mpvm;
+pub use opt_app as opt;
+pub use pvm_rt as pvm;
+pub use simcore;
+pub use upvm;
+pub use worknet;

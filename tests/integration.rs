@@ -1,0 +1,186 @@
+//! Whole-stack integration tests: worknet + PVM + migration systems +
+//! global scheduler + the Opt application, together.
+
+use adaptive_pvm::cpe::{Gs, MpvmTarget, Policy, UpvmTarget};
+use adaptive_pvm::mpvm::Mpvm;
+use adaptive_pvm::opt::config::OptConfig;
+use adaptive_pvm::opt::data::TrainingSet;
+use adaptive_pvm::opt::ms;
+use adaptive_pvm::opt::{run_adm_opt, run_mpvm_opt, run_pvm_opt, run_upvm_opt, Withdrawal};
+use adaptive_pvm::pvm::{Pvm, TaskApi, Tid};
+use adaptive_pvm::simcore::SimTime;
+use adaptive_pvm::upvm::Upvm;
+use adaptive_pvm::worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+use std::sync::{mpsc, Arc, Mutex};
+
+fn secs(s: u64) -> SimTime {
+    SimTime(s * 1_000_000_000)
+}
+
+/// Run the MPVM Opt job on a cluster where host0's owner returns mid-run,
+/// with the real GS in the loop. Returns (result, decisions, wall).
+fn gs_driven_mpvm_run(reclaim: bool) -> (adaptive_pvm::opt::TrainResult, usize, f64) {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    let owner = if reclaim {
+        // Mid-run for the ~1 s tiny workload.
+        OwnerTrace::reclaim_at(SimTime(400_000_000))
+    } else {
+        OwnerTrace::away()
+    };
+    b.host(HostSpec::hp720("h0").with_owner(owner));
+    b.host(HostSpec::hp720("h1"));
+    b.host(HostSpec::hp720("h2"));
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    let mut cfg = OptConfig::tiny();
+    cfg.nhosts = 3;
+    cfg.iterations = 12;
+    let set = TrainingSet::synthetic(cfg.data_bytes, cfg.dim, cfg.ncats, cfg.seed);
+    let parts = set.partitions(cfg.nslaves);
+
+    let result = Arc::new(Mutex::new(None));
+    let mut slaves = Vec::new();
+    let mut txs = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let cfg2 = cfg.clone();
+        let (tx, rx) = mpsc::channel::<Tid>();
+        txs.push(tx);
+        slaves.push(mpvm.spawn_app(HostId(i), format!("slave{i}"), move |task| {
+            let master = rx.recv().unwrap();
+            ms::slave(task, &cfg2, master, &part);
+        }));
+    }
+    let cfg2 = cfg.clone();
+    let res = Arc::clone(&result);
+    let slaves2 = slaves.clone();
+    let master = mpvm.spawn_app(HostId(0), "master", move |task| {
+        *res.lock().unwrap() = Some(ms::master(task, &cfg2, &slaves2));
+    });
+    for tx in txs {
+        tx.send(master).unwrap();
+    }
+    mpvm.seal();
+
+    let gs = Gs::spawn(
+        &cluster,
+        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
+        Policy::OwnerReclaim,
+    );
+    let end = cluster.sim.run().expect("simulation failed");
+    let r = result.lock().unwrap().take().unwrap();
+    (r, gs.decisions().len(), end.as_secs_f64())
+}
+
+#[test]
+fn gs_driven_evacuation_is_transparent_to_training() {
+    let (quiet, d0, w0) = gs_driven_mpvm_run(false);
+    let (moved, d1, w1) = gs_driven_mpvm_run(true);
+    assert_eq!(d0, 0, "no decisions on a quiet cluster");
+    assert_eq!(d1, 2, "master + co-located slave evacuated");
+    assert_eq!(
+        quiet, moved,
+        "GS-driven migration must not change training results"
+    );
+    assert!(w1 > w0, "evacuation costs time");
+}
+
+#[test]
+fn upvm_under_load_threshold_policy_completes() {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("hot").with_load(LoadTrace::steps(vec![(secs(2), 3.0)])));
+    b.host(HostSpec::hp720("cool"));
+    let cluster = Arc::new(b.build());
+    let sys = Upvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    let done = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..2 {
+        let done = Arc::clone(&done);
+        sys.spawn_ulp(HostId(0), format!("u{i}"), 1_000_000, move |u| {
+            u.set_state_bytes(100_000);
+            for _ in 0..40 {
+                u.compute(45.0e6 / 4.0); // 10 s total, 0.25 s slices
+            }
+            done.lock().unwrap().push((i, u.host_id().0));
+        })
+        .unwrap();
+    }
+    sys.seal();
+    let gs = Gs::spawn(
+        &cluster,
+        Arc::new(UpvmTarget(Arc::clone(&sys))),
+        Policy::LoadThreshold { threshold: 1.5 },
+    );
+    cluster.sim.run().unwrap();
+    let done = done.lock().unwrap().clone();
+    assert_eq!(done.len(), 2);
+    assert_eq!(gs.decisions().len(), 1, "one ULP peeled off the hot host");
+    assert!(
+        done.iter().any(|&(_, h)| h == 1),
+        "one ULP should finish on the cool host: {done:?}"
+    );
+}
+
+#[test]
+fn all_three_methods_complete_the_same_workload() {
+    let cfg = OptConfig::tiny();
+    let calib = Calib::hp720_ethernet;
+    let pvm = run_pvm_opt(calib(), &cfg);
+    let mpvm = run_mpvm_opt(calib(), &cfg, &[]);
+    let upvm = run_upvm_opt(calib(), &cfg, &[]);
+    let adm = run_adm_opt(calib(), &cfg.clone().with_adm_overhead(), &[]);
+    // Identical numerics everywhere (quiet case, same reduction order).
+    assert_eq!(pvm.result, mpvm.result);
+    assert_eq!(pvm.result, upvm.result);
+    assert_eq!(pvm.result.checksum, adm.result.checksum);
+    // Qualitative comparison (§3/§4): ADM pays overhead; MPVM doesn't.
+    assert!((mpvm.wall / pvm.wall - 1.0).abs() < 0.02);
+    assert!(adm.wall > pvm.wall * 1.05);
+}
+
+#[test]
+fn heterogeneous_cluster_mpvm_stuck_but_adm_moves() {
+    // An HPPA + SPARC cluster: MPVM cannot migrate across architectures
+    // (§3.3.1) but ADM redistributes data anywhere (§3.3.3).
+    use adaptive_pvm::worknet::Arch;
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("hp").with_owner(OwnerTrace::reclaim_at(secs(1))));
+    b.host(HostSpec::hp720("sun").with_arch(Arch::SparcSunos));
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    let w = mpvm.spawn_app(HostId(0), "w", |task| {
+        for _ in 0..20 {
+            task.compute(4.5e6);
+        }
+        assert_eq!(task.host_id(), HostId(0), "no compatible host: stays");
+    });
+    mpvm.seal();
+    let gs = Gs::spawn(
+        &cluster,
+        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
+        Policy::OwnerReclaim,
+    );
+    cluster.sim.run().unwrap();
+    assert!(gs.decisions().is_empty(), "{w} had nowhere to go");
+
+    // The same shape as an ADM app: data moves fine to the SPARC host.
+    let mut cfg = OptConfig::tiny();
+    cfg.iterations = 8;
+    let moved = run_adm_opt(
+        Calib::hp720_ethernet(),
+        &cfg,
+        &[Withdrawal {
+            at_secs: 0.25,
+            slave: 0,
+        }],
+    );
+    assert!(moved.result.final_loss() < moved.result.losses[0]);
+}
+
+#[test]
+fn full_stack_run_is_deterministic() {
+    let (a, _, wa) = gs_driven_mpvm_run(true);
+    let (b, _, wb) = gs_driven_mpvm_run(true);
+    assert_eq!(a, b);
+    assert_eq!(wa, wb);
+}
