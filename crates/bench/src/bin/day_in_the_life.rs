@@ -18,8 +18,7 @@ use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
 
 fn run(shared: bool, seed: u64) -> (f64, usize, Vec<String>, Vec<f64>) {
     let horizon = 3600.0;
-    let mut b = Cluster::builder(Calib::hp720_ethernet());
-    for h in 0..8u64 {
+    let b = (0..8u64).fold(Cluster::builder(Calib::hp720_ethernet()), |b, h| {
         let spec = HostSpec::hp720(format!("ws{h}"));
         let spec = if shared {
             spec.with_owner(OwnerTrace::random_sessions(seed + h, horizon, 200.0, 90.0))
@@ -33,8 +32,8 @@ fn run(shared: bool, seed: u64) -> (f64, usize, Vec<String>, Vec<f64>) {
         } else {
             spec
         };
-        b.host(spec);
-    }
+        b.with_host(spec)
+    });
     let cluster = Arc::new(b.build());
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
 

@@ -10,15 +10,17 @@ use std::sync::Arc;
 use worknet::{Arch, Calib, Cluster, HostSpec};
 
 fn mixed_cluster() -> Arc<Cluster> {
-    let mut b = Cluster::builder(Calib::hp720_ethernet());
-    b.host(HostSpec::hp720("hp720"));
-    b.host(
-        HostSpec::hp720("old-sparc")
-            .with_arch(Arch::SparcSunos)
-            .with_speed(0.5),
-    );
-    b.host(HostSpec::hp720("new-hp735").with_speed(2.0));
-    Arc::new(b.build())
+    Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_host(HostSpec::hp720("hp720"))
+            .with_host(
+                HostSpec::hp720("old-sparc")
+                    .with_arch(Arch::SparcSunos)
+                    .with_speed(0.5),
+            )
+            .with_host(HostSpec::hp720("new-hp735").with_speed(2.0))
+            .build(),
+    )
 }
 
 fn main() {

@@ -208,8 +208,7 @@ pub fn figure2() -> Vec<(String, usize, String)> {
     use pvm_rt::Pvm;
     use std::sync::Arc;
     use upvm::Upvm;
-    let mut b = worknet::Cluster::builder(calib());
-    b.quiet_hp720s(3);
+    let b = worknet::Cluster::builder(calib()).with_hosts(3);
     let sys = Upvm::new(Pvm::new(Arc::new(b.build())));
     let cluster = Arc::clone(&sys.pvm().cluster);
     let body = Arc::new(|u: &upvm::Ulp, _r: usize, _n: usize| {

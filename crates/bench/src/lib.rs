@@ -11,13 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 
-use serde::{Deserialize, Serialize};
 use simcore::TraceEvent;
 use std::path::PathBuf;
 
 /// One row of a reproduced table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (e.g. a data size or a system name).
     pub label: String,
@@ -25,8 +25,8 @@ pub struct Row {
     pub paper: Option<f64>,
     /// Our measured value.
     pub measured: f64,
-    /// Unit (always seconds in this paper).
-    #[serde(default = "default_unit")]
+    /// Unit (always seconds in this paper; defaults to `"s"` when absent
+    /// from a stored record).
     pub unit: String,
 }
 
@@ -57,12 +57,8 @@ impl Row {
     }
 }
 
-fn default_unit() -> String {
-    "s".into()
-}
-
 /// A reproduced table: title + rows + free-form notes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Reproduction {
     /// Experiment id, e.g. `"table2"`.
     pub id: String,
@@ -106,8 +102,7 @@ impl Reproduction {
         let dir = results_dir();
         std::fs::create_dir_all(&dir).expect("create results dir");
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).unwrap())
-            .expect("write results json");
+        std::fs::write(&path, json::to_string_pretty(self)).expect("write results json");
         println!("saved {}", path.display());
     }
 }

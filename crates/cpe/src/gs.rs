@@ -47,6 +47,8 @@ pub struct Decision {
     pub unit: pvm_rt::Tid,
     /// Destination chosen.
     pub dst: HostId,
+    /// How the migration system answered the order.
+    pub outcome: pvm_rt::MigrationOutcome,
 }
 
 /// The running GS handle.
@@ -56,6 +58,10 @@ pub struct Gs {
 
 /// Time the GS spends per placement decision.
 const DECISION_COST: SimDuration = SimDuration::from_millis(2);
+
+/// How many destinations the GS tries per unit before declaring it stuck.
+/// A failed destination is blacklisted for the unit's remaining attempts.
+const MAX_REDECISIONS: usize = 3;
 
 impl Gs {
     /// Spawn the GS actor for a single application.
@@ -152,9 +158,9 @@ fn units_everywhere(targets: &[Arc<dyn MigrationTarget>], host: HostId) -> usize
 
 /// Pick a destination for one unit: the eligible host with the lowest
 /// effective load — external competing processes plus resident parallel
-/// work units across every managed job (including placements already
-/// planned this round, which have not physically landed yet). Ties break
-/// toward the lower host id.
+/// work units across every managed job. Crashed hosts and hosts that
+/// already failed this unit's migration (`blacklist`) are ineligible.
+/// Ties break toward the lower host id.
 #[allow(clippy::too_many_arguments)]
 fn pick_destination(
     cluster: &Arc<Cluster>,
@@ -163,16 +169,21 @@ fn pick_destination(
     unit: pvm_rt::Tid,
     src: HostId,
     owner_active: &HashSet<HostId>,
-    planned: &std::collections::HashMap<HostId, usize>,
+    blacklist: &HashSet<HostId>,
     now: simcore::SimTime,
 ) -> Option<HostId> {
     let mut best: Option<(f64, HostId)> = None;
     for host in cluster.hosts() {
         let h = host.id;
-        if h == src || owner_active.contains(&h) || !target.can_migrate(unit, h) {
+        if h == src
+            || owner_active.contains(&h)
+            || blacklist.contains(&h)
+            || !host.is_up()
+            || !target.can_migrate(unit, h)
+        {
             continue;
         }
-        let units = units_everywhere(targets, h) + planned.get(&h).copied().unwrap_or(0);
+        let units = units_everywhere(targets, h);
         // Effective load plus swap pressure: an overcommitted host slows
         // every VP on it (§1.0), so weigh it accordingly.
         let score = host.spec.load.load_at(now) + units as f64 + host.memory_overcommit() * 2.0;
@@ -187,9 +198,9 @@ fn pick_destination(
     best.map(|(_, h)| h)
 }
 
-/// Evacuate a host across every managed application, sharing one
-/// planned-placement overlay so concurrent decisions balance (in-flight
-/// migrations are not yet visible in `units_on`).
+/// Evacuate a host across every managed application. Migrations are
+/// synchronous — each unit physically lands (or fails) before the next
+/// decision is made, so `units_on` is always current.
 #[allow(clippy::too_many_arguments)]
 fn evacuate_all(
     ctx: &SimCtx,
@@ -201,7 +212,6 @@ fn evacuate_all(
     decisions: &Arc<Mutex<Vec<Decision>>>,
     limit: Option<usize>,
 ) {
-    let mut planned: std::collections::HashMap<HostId, usize> = Default::default();
     for t in targets {
         evacuate(
             ctx,
@@ -213,7 +223,6 @@ fn evacuate_all(
             event,
             decisions,
             limit,
-            &mut planned,
         );
     }
 }
@@ -229,43 +238,65 @@ fn evacuate(
     event: &MonitorEvent,
     decisions: &Arc<Mutex<Vec<Decision>>>,
     limit: Option<usize>,
-    planned: &mut std::collections::HashMap<HostId, usize>,
 ) {
     let units = target.units_on(src);
     let n = limit.unwrap_or(units.len());
-    for unit in units.into_iter().take(n) {
-        ctx.advance(DECISION_COST);
-        match pick_destination(
-            cluster,
-            targets,
-            target,
-            unit,
-            src,
-            owner_active,
-            planned,
-            ctx.now(),
-        ) {
-            Some(dst) => {
-                *planned.entry(dst).or_default() += 1;
+    'units: for unit in units.into_iter().take(n) {
+        // Failure feedback loop: a destination that fails this unit's
+        // migration is blacklisted and the GS re-decides, up to
+        // MAX_REDECISIONS attempts.
+        let mut blacklist: HashSet<HostId> = HashSet::new();
+        for _ in 0..MAX_REDECISIONS {
+            ctx.advance(DECISION_COST);
+            let Some(dst) = pick_destination(
+                cluster,
+                targets,
+                target,
+                unit,
+                src,
+                owner_active,
+                &blacklist,
+                ctx.now(),
+            ) else {
+                break;
+            };
+            ctx.trace(
+                "gs.migrate",
+                format!("{} {unit} {src} -> {dst}", target.kind()),
+            );
+            let outcome = target.migrate(ctx, unit, dst);
+            let completed = outcome.is_completed();
+            let unit_gone = matches!(
+                outcome.error(),
+                Some(pvm_rt::PvmError::NoSuchTask(t)) if *t == unit
+            );
+            if let Some(err) = outcome.error() {
                 ctx.trace(
-                    "gs.migrate",
-                    format!("{} {unit} {src} -> {dst}", target.kind()),
-                );
-                decisions.lock().push(Decision {
-                    at: ctx.now(),
-                    event: event.clone(),
-                    unit,
-                    dst,
-                });
-                target.migrate(ctx, unit, dst);
-            }
-            None => {
-                ctx.trace(
-                    "gs.stuck",
-                    format!("{unit} on {src}: no eligible destination"),
+                    "gs.migrate.failed",
+                    format!("{} {unit} {src} -> {dst}: {err}", target.kind()),
                 );
             }
+            decisions.lock().push(Decision {
+                at: ctx.now(),
+                event: event.clone(),
+                unit,
+                dst,
+                outcome,
+            });
+            if completed {
+                continue 'units;
+            }
+            if unit_gone {
+                // The unit exited between the monitor event and the order;
+                // nothing left to place.
+                continue 'units;
+            }
+            blacklist.insert(dst);
         }
+        ctx.trace(
+            "gs.stuck",
+            format!("{unit} on {src}: no eligible destination"),
+        );
     }
 }
 
@@ -315,13 +346,22 @@ fn rebalance_once(
                         "gs.rebalance",
                         format!("{} {unit} {hot} -> {dst}", t.kind()),
                     );
+                    // A rebalance is opportunistic: record the verdict but
+                    // don't retry — the next tick re-evaluates from scratch.
+                    let outcome = t.migrate(ctx, unit, dst);
+                    if let Some(err) = outcome.error() {
+                        ctx.trace(
+                            "gs.migrate.failed",
+                            format!("{} {unit} {hot} -> {dst}: {err}", t.kind()),
+                        );
+                    }
                     decisions.lock().push(Decision {
                         at: ctx.now(),
                         event: event.clone(),
                         unit,
                         dst,
+                        outcome,
                     });
-                    t.migrate(ctx, unit, dst);
                 }
                 return;
             }

@@ -50,6 +50,15 @@ pub fn install(cluster: &Arc<Cluster>, out: &Mailbox<MonitorEvent>) {
                 });
             }
         }
+        // Owner reclaims injected through the fault schedule look, to the
+        // monitor, exactly like a trace transition — except they are
+        // one-way: the owner never goes away again.
+        for (after, h) in cluster.fault().owner_reclaims() {
+            let out = out.clone();
+            w.schedule_in(after + SENSE_DELAY, move |w| {
+                out.send_from_world(w, MonitorEvent::OwnerActive(h))
+            });
+        }
     });
 }
 

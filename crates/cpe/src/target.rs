@@ -4,11 +4,16 @@
 use adm::AdmEvent;
 use mpvm::Mpvm;
 use parking_lot::Mutex;
-use pvm_rt::{Pvm, Tid};
-use simcore::SimCtx;
+use pvm_rt::{MigrationOutcome, Pvm, PvmError, Tid};
+use simcore::{SimCtx, SimDuration};
 use std::sync::Arc;
 use upvm::Upvm;
 use worknet::HostId;
+
+/// How long the GS waits for a migration protocol to report back before
+/// writing the attempt off. Generous: it covers a full state transfer on a
+/// contended segment plus the protocol's own internal retries.
+const MIG_WAIT: SimDuration = SimDuration::from_secs(120);
 
 /// A system the GS can redistribute load on.
 pub trait MigrationTarget: Send + Sync {
@@ -18,8 +23,10 @@ pub trait MigrationTarget: Send + Sync {
     fn units_on(&self, host: HostId) -> Vec<Tid>;
     /// Can this unit move to `dst`?
     fn can_migrate(&self, unit: Tid, dst: HostId) -> bool;
-    /// Order the unit off its host (to `dst` where that is meaningful).
-    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId);
+    /// Order the unit off its host (to `dst` where that is meaningful) and
+    /// wait (in virtual time) for the system's verdict. A `Failed` outcome
+    /// means the unit still runs where it was — the GS re-decides.
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) -> MigrationOutcome;
     /// Register a shutdown hook run when the application drains.
     fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>);
 }
@@ -41,8 +48,8 @@ impl MigrationTarget for MpvmTarget {
     fn can_migrate(&self, unit: Tid, dst: HostId) -> bool {
         self.0.migration_compatible(unit, dst)
     }
-    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) {
-        self.0.inject_migration(ctx, unit, dst);
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) -> MigrationOutcome {
+        self.0.migrate_and_wait(ctx, unit, dst, MIG_WAIT)
     }
     fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
         self.0.on_app_drain(f);
@@ -69,8 +76,8 @@ impl MigrationTarget for UpvmTarget {
         // checked against each other per migration.
         dst.0 < self.0.pvm().nhosts()
     }
-    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) {
-        self.0.inject_migration(ctx, unit, dst);
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) -> MigrationOutcome {
+        self.0.migrate_and_wait(ctx, unit, dst, MIG_WAIT)
     }
     fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
         self.0.on_app_drain(f);
@@ -128,10 +135,18 @@ impl MigrationTarget for AdmTarget {
         // Data moves anywhere — ADM's heterogeneity strength (§3.3.3).
         true
     }
-    fn migrate(&self, ctx: &SimCtx, unit: Tid, _dst: HostId) {
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, _dst: HostId) -> MigrationOutcome {
         // The withdraw event goes to the worker itself; the application's
-        // FSM redistributes the data.
+        // FSM redistributes the data. The event queue is lossless, so
+        // delivery to a live worker is as good as completion — the
+        // repartition itself is the application's business.
+        if self.pvm.actor_of(unit).is_none() {
+            return MigrationOutcome::Failed {
+                error: PvmError::NoSuchTask(unit),
+            };
+        }
         adm::inject_event(ctx, &self.pvm, unit, AdmEvent::Withdraw { worker: unit });
+        MigrationOutcome::Completed { new_tid: unit }
     }
     fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
         self.drain_hooks.lock().push(f);

@@ -17,6 +17,7 @@ mod system;
 mod task;
 
 pub use proto::MigrateOrder;
+pub use pvm_rt::MigrationOutcome;
 pub use shared::{MigShared, DEFAULT_STATE_BYTES};
 pub use system::Mpvm;
-pub use task::MigTask;
+pub use task::{MigTask, MIG_ATTEMPTS};

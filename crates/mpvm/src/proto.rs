@@ -20,6 +20,11 @@ pub const TAG_FLUSH_ACK: i32 = -105;
 pub const TAG_RESTART: i32 = -106;
 /// Shutdown for daemons and agents.
 pub const TAG_QUIT: i32 = -107;
+/// Migrating task → every flushed peer's agent: the migration attempt was
+/// aborted; reopen the send gate (the old tid is still valid).
+pub const TAG_MIG_ABORT: i32 = -108;
+/// Migrating task → destination mpvmd: discard the skeleton just forked.
+pub const TAG_SKEL_ABORT: i32 = -109;
 
 /// The asynchronous migration order delivered to a task's actor as a
 /// simcore signal (the moral equivalent of MPVM's SIGUSR migration signal).
@@ -48,6 +53,17 @@ pub fn flush_msg(migrating: Tid) -> MsgBuf {
 /// Parse a flush message.
 pub fn parse_flush(m: &Message) -> Tid {
     let v = m.reader().upk_uint().expect("malformed flush");
+    Tid::from_raw(v[0])
+}
+
+/// Build an abort message naming the tid whose migration was rolled back.
+pub fn abort_msg(migrating: Tid) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[migrating.raw()])
+}
+
+/// Parse an abort message.
+pub fn parse_abort(m: &Message) -> Tid {
+    let v = m.reader().upk_uint().expect("malformed abort");
     Tid::from_raw(v[0])
 }
 
@@ -91,6 +107,12 @@ mod tests {
     }
 
     #[test]
+    fn abort_roundtrip() {
+        let m = Message::new(t(0, 0), TAG_MIG_ABORT, abort_msg(t(2, 4)));
+        assert_eq!(parse_abort(&m), t(2, 4));
+    }
+
+    #[test]
     fn reserved_tags_are_distinct_and_negative() {
         let tags = [
             TAG_MIGRATE_CMD,
@@ -100,6 +122,8 @@ mod tests {
             TAG_FLUSH_ACK,
             TAG_RESTART,
             TAG_QUIT,
+            TAG_MIG_ABORT,
+            TAG_SKEL_ABORT,
         ];
         for (i, a) in tags.iter().enumerate() {
             assert!(*a < 0);

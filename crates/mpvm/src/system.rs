@@ -15,8 +15,10 @@ use crate::proto::{self, MigrateOrder};
 use crate::shared::MigShared;
 use crate::task::MigTask;
 use parking_lot::Mutex;
-use pvm_rt::{Message, MsgBuf, Pvm, ShutdownGroup, TaskApi, Tid};
-use simcore::SimCtx;
+use pvm_rt::{
+    Message, MigrationOutcome, MsgBuf, OutcomeBoard, Pvm, PvmError, ShutdownGroup, TaskApi, Tid,
+};
+use simcore::{SimCtx, SimDuration};
 use std::sync::Arc;
 use worknet::HostId;
 
@@ -32,6 +34,7 @@ pub struct Mpvm {
     daemons: Vec<Tid>,
     apps: Mutex<Vec<AppEntry>>,
     group: ShutdownGroup,
+    outcomes: OutcomeBoard,
 }
 
 impl Mpvm {
@@ -52,6 +55,7 @@ impl Mpvm {
             daemons,
             apps: Mutex::new(Vec::new()),
             group: ShutdownGroup::new(),
+            outcomes: OutcomeBoard::new(),
         })
     }
 
@@ -182,6 +186,34 @@ impl Mpvm {
         let latency = self.pvm.cluster.calib.wire_latency;
         ctx.schedule(latency, move |w| mb.send_from_world(w, msg));
     }
+
+    /// The board migration protocols post their results to.
+    pub(crate) fn outcomes(&self) -> &OutcomeBoard {
+        &self.outcomes
+    }
+
+    /// Inject a migration command and block (in virtual time) until the
+    /// protocol reports how it went. `Failed(NoSuchTask)` immediately if
+    /// the task is gone, `Failed(Timeout)` if the protocol never reports
+    /// back within `timeout` (lost command, crashed source host).
+    pub fn migrate_and_wait(
+        &self,
+        ctx: &SimCtx,
+        tid: Tid,
+        dst: HostId,
+        timeout: SimDuration,
+    ) -> MigrationOutcome {
+        if self.pvm.host_of(tid).is_none() {
+            return MigrationOutcome::Failed {
+                error: PvmError::NoSuchTask(tid),
+            };
+        }
+        self.outcomes
+            .await_outcome(ctx, tid, timeout, || self.inject_migration(ctx, tid, dst))
+            .unwrap_or(MigrationOutcome::Failed {
+                error: PvmError::Timeout,
+            })
+    }
 }
 
 /// The mpvmd main loop.
@@ -227,6 +259,11 @@ fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
                 task.host().fork_exec(task.sim());
                 task.send(m.src, proto::TAG_SKEL_READY, MsgBuf::new());
             }
+            proto::TAG_SKEL_ABORT => {
+                // The migrating process gave up; reap the skeleton.
+                task.host().syscall(task.sim());
+                task.sim().trace("mpvm.skel.aborted", String::new());
+            }
             proto::TAG_QUIT => break,
             other => task
                 .sim()
@@ -250,6 +287,14 @@ fn agent_body(task: &Arc<pvm_rt::PvmTask>, shared: &Arc<MigShared>) {
                 let (old, new) = proto::parse_restart(&m);
                 shared.add_remap(old, new);
                 if let Some(actor) = shared.ungate(old) {
+                    task.sim().wake(actor);
+                }
+            }
+            proto::TAG_MIG_ABORT => {
+                // The migration rolled back: reopen the gate, no remap —
+                // the old tid is still the right address.
+                let aborted = proto::parse_abort(&m);
+                if let Some(actor) = shared.ungate(aborted) {
                     task.sim().wake(actor);
                 }
             }

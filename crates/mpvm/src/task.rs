@@ -11,10 +11,19 @@
 use crate::proto::{self, MigrateOrder};
 use crate::shared::MigShared;
 use crate::system::Mpvm;
-use pvm_rt::{Message, MsgBuf, PvmTask, TaskApi, Tid};
-use simcore::{Interrupted, SimDuration, SimTime};
+use pvm_rt::{Message, MigrationOutcome, MsgBuf, Pvm, PvmError, PvmResult, PvmTask, TaskApi, Tid};
+use simcore::{Interrupted, SimCtx, SimDuration, SimTime};
 use std::sync::Arc;
 use worknet::{ComputeOutcome, HostId, TcpConn};
+
+/// How many times a migration order is attempted before reporting failure.
+pub const MIG_ATTEMPTS: usize = 3;
+/// Bound on waiting for each peer's flush acknowledgement.
+const ACK_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+/// Bound on waiting for the destination daemon's skeleton-ready reply.
+const SKEL_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+/// First-retry backoff; doubles per attempt.
+const RETRY_BACKOFF: SimDuration = SimDuration::from_millis(250);
 
 /// A migratable MPVM task.
 pub struct MigTask {
@@ -77,7 +86,9 @@ impl MigTask {
         }
     }
 
-    /// Execute the four-stage migration protocol (§2.1, figure 1).
+    /// Execute the four-stage migration protocol (§2.1, figure 1), with
+    /// bounded retry on recoverable failure. Whatever happens is posted to
+    /// the system's outcome board so a waiting GS learns the result.
     fn migrate_now(&self, dst: HostId) {
         let ctx = self.inner.sim().clone();
         let pvm = Arc::clone(self.inner.pvm());
@@ -85,6 +96,9 @@ impl MigTask {
         let src_host = self.inner.host_id();
         if src_host == dst {
             ctx.trace("mpvm.migrate.noop", format!("{old} already on {dst}"));
+            self.sys
+                .outcomes()
+                .post(&ctx, old, MigrationOutcome::Completed { new_tid: old });
             return;
         }
         if !self.sys.migration_compatible(old, dst) {
@@ -92,57 +106,199 @@ impl MigTask {
                 "mpvm.migrate.rejected",
                 format!("{old}: {src_host} and {dst} not migration-compatible"),
             );
+            self.sys.outcomes().post(
+                &ctx,
+                old,
+                MigrationOutcome::Failed {
+                    error: PvmError::BadParam("migration-incompatible destination"),
+                },
+            );
             return;
         }
+        let mut backoff = RETRY_BACKOFF;
+        for attempt in 1..=MIG_ATTEMPTS {
+            match self.try_migrate_once(&ctx, &pvm, old, dst) {
+                Ok(new) => {
+                    self.sys.outcomes().post(
+                        &ctx,
+                        old,
+                        MigrationOutcome::Completed { new_tid: new },
+                    );
+                    return;
+                }
+                Err(e) => {
+                    ctx.trace(
+                        "mpvm.migrate.aborted",
+                        format!("{old} -> {dst} attempt {attempt}: {e}"),
+                    );
+                    let worth_retrying = e.is_retryable() && pvm.cluster.host(dst).is_up();
+                    if attempt < MIG_ATTEMPTS && worth_retrying {
+                        ctx.advance(backoff);
+                        backoff = backoff * 2;
+                        continue;
+                    }
+                    self.sys
+                        .outcomes()
+                        .post(&ctx, old, MigrationOutcome::Failed { error: e });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One attempt at the four-stage protocol. On any failure the attempt
+    /// is rolled back — gates reopened, skeleton discarded, tid bindings
+    /// restored — so the task keeps running at its source under `old`.
+    fn try_migrate_once(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+    ) -> PvmResult<Tid> {
         let calib = Arc::clone(&pvm.cluster.calib);
+        let src_host = self.inner.host_id();
         ctx.trace("mpvm.event", format!("{old} {src_host} -> {dst}"));
+
+        // Drop protocol stragglers from an aborted earlier attempt. The
+        // retry backoff dwarfs small-message latency, so anything that was
+        // in flight when we aborted has landed by now.
+        while self
+            .inner
+            .nrecv_where(&|m: &Message| {
+                m.tag == proto::TAG_FLUSH_ACK || m.tag == proto::TAG_SKEL_READY
+            })
+            .is_some()
+        {}
 
         // Stage 2: message flushing. Tell every other process we are about
         // to move; each agent closes its send gate towards us and acks.
+        // Peers on crashed hosts are skipped — their tasks died with them.
         let peers = self.sys.peer_agents(old);
+        let mut flushed = Vec::new();
         for &a in &peers {
-            self.inner.send(a, proto::TAG_FLUSH, proto::flush_msg(old));
-        }
-        ctx.trace("mpvm.flush.sent", format!("{} peers", peers.len()));
-        for _ in 0..peers.len() {
-            let _ = self
+            match self
                 .inner
-                .recv_where(&|m: &Message| m.tag == proto::TAG_FLUSH_ACK);
+                .try_send(a, proto::TAG_FLUSH, proto::flush_msg(old))
+            {
+                Ok(()) => flushed.push(a),
+                Err(e) => ctx.trace("mpvm.flush.skipped", format!("agent {a}: {e}")),
+            }
+        }
+        ctx.trace("mpvm.flush.sent", format!("{} peers", flushed.len()));
+        for _ in 0..flushed.len() {
+            if let Err(e) = self
+                .inner
+                .try_trecv(None, Some(proto::TAG_FLUSH_ACK), ACK_TIMEOUT)
+            {
+                self.abort_attempt(ctx, old, &flushed, None);
+                return Err(e);
+            }
         }
         ctx.trace("mpvm.flush.done", String::new());
 
         // Stage 3a: ask the destination mpvmd for a skeleton process.
         let dmn = self.sys.daemon_tid(dst);
-        self.inner.send(dmn, proto::TAG_SKEL_REQ, MsgBuf::new());
-        let _ = self
+        if let Err(e) = self.inner.try_send(dmn, proto::TAG_SKEL_REQ, MsgBuf::new()) {
+            self.abort_attempt(ctx, old, &flushed, None);
+            return Err(e);
+        }
+        if self
             .inner
-            .recv_where(&|m: &Message| m.tag == proto::TAG_SKEL_READY);
+            .try_trecv(None, Some(proto::TAG_SKEL_READY), SKEL_TIMEOUT)
+            .is_err()
+        {
+            // A silent daemon is almost always a destination crash between
+            // our request and its reply.
+            let e = if pvm.cluster.host(dst).is_up() {
+                PvmError::Timeout
+            } else {
+                PvmError::HostDown(dst)
+            };
+            self.abort_attempt(ctx, old, &flushed, Some(dmn));
+            return Err(e);
+        }
         ctx.trace("mpvm.skel.ready", String::new());
 
         // Stage 3b: transfer data/heap/stack/register state over a
-        // dedicated TCP connection to the skeleton.
+        // dedicated TCP connection to the skeleton. A destination crash
+        // mid-stream severs the connection and unblocks us.
         let bytes = self.shared.state_bytes();
         ctx.advance(SimDuration::from_secs_f64(
             bytes as f64 * calib.state_copy_s_per_byte,
         ));
-        let conn = TcpConn::connect(&ctx, &pvm.cluster.ether, &calib);
-        conn.send_blocking(&ctx, bytes);
+        if !pvm.cluster.host(dst).is_up() {
+            self.abort_attempt(ctx, old, &flushed, None);
+            return Err(PvmError::HostDown(dst));
+        }
+        let conn = TcpConn::connect(ctx, &pvm.cluster.ether, &calib);
+        let src_h = Arc::clone(pvm.cluster.host(src_host));
+        let dst_h = Arc::clone(pvm.cluster.host(dst));
+        if let Err(sev) = conn.send_blocking_severable(ctx, bytes, &src_h, &dst_h) {
+            self.abort_attempt(ctx, old, &flushed, None);
+            return Err(PvmError::Severed { host: sev.host });
+        }
         ctx.trace("mpvm.offhost", format!("{bytes} bytes transferred"));
 
         // Stage 4: restart. Re-enroll under a new tid on the new host, let
         // the skeleton install the received state, broadcast restart.
-        let new = pvm.migrate_enroll(old, dst);
+        let new = match pvm.try_migrate_enroll(old, dst) {
+            Ok(new) => new,
+            Err(e) => {
+                self.abort_attempt(ctx, old, &flushed, Some(dmn));
+                return Err(e);
+            }
+        };
         self.inner.set_tid(new);
-        pvm.rebind(self.agent, dst);
+        if let Err(e) = pvm.try_rebind(self.agent, dst) {
+            self.inner.set_tid(old);
+            pvm.revert_enroll(old, new);
+            self.abort_attempt(ctx, old, &flushed, None);
+            return Err(e);
+        }
         self.sys.update_tid(old, new);
         ctx.advance(calib.restart_fixed);
-        pvm.cluster.host(dst).memcpy(&ctx, bytes);
-        for &a in &peers {
-            self.inner
-                .send(a, proto::TAG_RESTART, proto::restart_msg(old, new));
+        if !pvm.cluster.host(dst).is_up() {
+            // Crash during skeleton start-up: undo everything and resume
+            // from the still-intact source image.
+            self.sys.update_tid(new, old);
+            self.inner.set_tid(old);
+            pvm.revert_enroll(old, new);
+            pvm.rebind(self.agent, src_host);
+            self.abort_attempt(ctx, old, &flushed, None);
+            return Err(PvmError::HostDown(dst));
+        }
+        pvm.cluster.host(dst).memcpy(ctx, bytes);
+        for &a in &flushed {
+            // A peer whose host crashed after acking can't hear the
+            // restart; its task is gone anyway.
+            let _ = self
+                .inner
+                .try_send(a, proto::TAG_RESTART, proto::restart_msg(old, new));
         }
         ctx.trace("mpvm.restart.sent", format!("{old} -> {new}"));
         ctx.trace("mpvm.resumed", format!("{new} on {dst}"));
+        Ok(new)
+    }
+
+    /// Tear a failed attempt down: reopen every flushed peer's send gate
+    /// and discard the skeleton if one was forked. The source image was
+    /// never destroyed, so the task simply keeps running as `old`.
+    fn abort_attempt(&self, ctx: &SimCtx, old: Tid, flushed: &[Tid], skel_daemon: Option<Tid>) {
+        for &a in flushed {
+            let _ = self
+                .inner
+                .try_send(a, proto::TAG_MIG_ABORT, proto::abort_msg(old));
+        }
+        if let Some(dmn) = skel_daemon {
+            let _ = self
+                .inner
+                .try_send(dmn, proto::TAG_SKEL_ABORT, MsgBuf::new());
+        }
+        ctx.trace(
+            "mpvm.migrate.rollback",
+            format!("{old}: {} gates reopened", flushed.len()),
+        );
     }
 
     /// Remap + gate a destination, blocking while it is migrating.

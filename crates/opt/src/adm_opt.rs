@@ -221,26 +221,58 @@ pub fn adm_master(
                     grad.merge(&parse_partial(&m, cfg.dim, cfg.ncats));
                 }
                 TAG_REDIST_REQ => {
-                    let w = idx_of(m.src);
-                    round += 1;
+                    // Collect every withdrawal already queued: a receiver
+                    // that is itself leaving must not be shipped exemplars
+                    // it would only bounce onward.
+                    let mut leaving = vec![idx_of(m.src)];
+                    let drain = |leaving: &mut Vec<usize>| -> bool {
+                        let mut grew = false;
+                        while let Some(rm) = task.nrecv(None, Some(TAG_REDIST_REQ)) {
+                            let w = idx_of(rm.src);
+                            if !leaving.contains(&w) {
+                                leaving.push(w);
+                                grew = true;
+                            }
+                        }
+                        grew
+                    };
+                    drain(&mut leaving);
                     // Global re-computation of the partitioning (§2.3) —
-                    // the fixed per-round cost of the ADM prototype.
-                    task.compute(cfg.adm_round_flops);
+                    // the fixed per-round cost of the ADM prototype. If yet
+                    // another receiver withdraws while we compute, the plan
+                    // is stale before it ships: throw it away and
+                    // repartition over the shrunken survivor set.
+                    loop {
+                        task.compute(cfg.adm_round_flops);
+                        if !drain(&mut leaving) {
+                            break;
+                        }
+                        // Replanning over the shrunken set — the
+                        // "repartition retry" of DESIGN.md §8.
+                    }
                     let weights: Vec<f64> = (0..slaves.len())
                         .map(|i| {
-                            if i == w || !active.contains(&i) {
+                            if leaving.contains(&i) || !active.contains(&i) {
                                 0.0
                             } else {
                                 capacities[i]
                             }
                         })
                         .collect();
-                    let plan = plan_redistribution(&counts, &weights);
-                    counts = plan.new_counts.clone();
-                    let cur: Vec<Tid> = active.iter().map(|&i| slaves[i]).collect();
-                    task.mcast(&cur, TAG_PLAN, plan_msg(round, w, &plan));
-                    adm::master_consensus(task, &cur, round);
-                    active.retain(|&i| i != w);
+                    // One consensus round per leaver. The first executes
+                    // the combined plan — every leaver weighs zero, so all
+                    // their data drains to true survivors at once; the rest
+                    // are empty completion rounds that release each
+                    // remaining leaver from its withdrawal loop.
+                    for &w in &leaving {
+                        round += 1;
+                        let plan = plan_redistribution(&counts, &weights);
+                        counts = plan.new_counts.clone();
+                        let cur: Vec<Tid> = active.iter().map(|&i| slaves[i]).collect();
+                        task.mcast(&cur, TAG_PLAN, plan_msg(round, w, &plan));
+                        adm::master_consensus(task, &cur, round);
+                        active.retain(|&i| i != w);
+                    }
                     assert!(
                         !active.is_empty(),
                         "every slave withdrew; nobody left to compute"

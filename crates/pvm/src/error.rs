@@ -1,0 +1,159 @@
+//! `PvmError` — the library's failure codes, surfaced as `Result`s.
+//!
+//! Real PVM 3 calls return negative `pvm_*` status codes (`PvmNoTask`,
+//! `PvmHostFail`, …) and leave recovery to the caller. The original
+//! substrate here panicked instead, which made failure *injection*
+//! impossible: a crashed host would tear the whole run down. Every
+//! send/recv/enroll path now has a `try_*` variant returning
+//! [`PvmError`]; the panicking entry points remain as thin wrappers so
+//! code that treats failure as a bug keeps its old behavior.
+//!
+//! [`PvmError::code`] mirrors the historical numeric values so traces and
+//! assertions can be compared against real PVM semantics.
+
+use crate::msg::UnpackError;
+use crate::tid::Tid;
+use worknet::HostId;
+
+/// Result alias used throughout the runtime.
+pub type PvmResult<T> = Result<T, PvmError>;
+
+/// A failed PVM library call. Each variant maps onto one of real PVM 3's
+/// negative status codes (see [`PvmError::code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PvmError {
+    /// The tid is not enrolled, or its task already exited
+    /// (`PvmNoTask`, -31).
+    NoSuchTask(Tid),
+    /// The destination (or binding) host has crashed (`PvmHostFail`, -22).
+    HostDown(HostId),
+    /// A bulk transfer was severed mid-stream — the endpoint died while
+    /// bytes were on the wire (`PvmHostFail`, -22).
+    Severed {
+        /// The host whose failure severed the stream.
+        host: HostId,
+    },
+    /// The task's mailbox closed while a receive was blocked
+    /// (`PvmSysErr`, -14).
+    MailboxClosed,
+    /// A bounded wait expired with no matching message (`PvmNoData`, -5).
+    Timeout,
+    /// Unpacking a message failed (`PvmMismatch`, -3 / `PvmNoData`, -5).
+    Unpack(UnpackError),
+    /// The named group does not exist (`PvmNoGroup`, -19).
+    NoGroup(String),
+    /// The task is not a member of the group (`PvmNotInGroup`, -20).
+    NotInGroup(Tid),
+    /// The task already joined the group (`PvmDupGroup`, -18).
+    AlreadyInGroup(Tid),
+    /// An argument was out of range (`PvmBadParam`, -2).
+    BadParam(&'static str),
+}
+
+impl PvmError {
+    /// The real-PVM negative status code this error corresponds to.
+    pub fn code(&self) -> i32 {
+        match self {
+            PvmError::NoSuchTask(_) => -31,
+            PvmError::HostDown(_) | PvmError::Severed { .. } => -22,
+            PvmError::MailboxClosed => -14,
+            PvmError::Timeout => -5,
+            PvmError::Unpack(UnpackError::TypeMismatch { .. }) => -3,
+            PvmError::Unpack(UnpackError::Exhausted) => -5,
+            PvmError::NoGroup(_) => -19,
+            PvmError::NotInGroup(_) => -20,
+            PvmError::AlreadyInGroup(_) => -18,
+            PvmError::BadParam(_) => -2,
+        }
+    }
+
+    /// True for failures a migration layer can recover from by retrying
+    /// elsewhere (dead endpoint, dead host, severed stream, timeout).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PvmError::NoSuchTask(_)
+                | PvmError::HostDown(_)
+                | PvmError::Severed { .. }
+                | PvmError::Timeout
+        )
+    }
+}
+
+impl std::fmt::Display for PvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PvmError::NoSuchTask(t) => write!(f, "no such task {t}"),
+            PvmError::HostDown(h) => write!(f, "host h{} is down", h.0),
+            PvmError::Severed { host } => {
+                write!(f, "transfer severed: host h{} failed mid-stream", host.0)
+            }
+            PvmError::MailboxClosed => write!(f, "mailbox closed"),
+            PvmError::Timeout => write!(f, "timed out waiting for a message"),
+            PvmError::Unpack(e) => write!(f, "unpack failed: {e}"),
+            PvmError::NoGroup(n) => write!(f, "no group named `{n}`"),
+            PvmError::NotInGroup(t) => write!(f, "{t} is not in the group"),
+            PvmError::AlreadyInGroup(t) => write!(f, "{t} is already in the group"),
+            PvmError::BadParam(what) => write!(f, "bad parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PvmError::Unpack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnpackError> for PvmError {
+    fn from(e: UnpackError) -> Self {
+        PvmError::Unpack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_mirror_real_pvm() {
+        let t = Tid::new(HostId(1), 0);
+        assert_eq!(PvmError::NoSuchTask(t).code(), -31);
+        assert_eq!(PvmError::HostDown(HostId(2)).code(), -22);
+        assert_eq!(PvmError::Severed { host: HostId(2) }.code(), -22);
+        assert_eq!(PvmError::MailboxClosed.code(), -14);
+        assert_eq!(PvmError::Timeout.code(), -5);
+        assert_eq!(PvmError::Unpack(UnpackError::Exhausted).code(), -5);
+        assert_eq!(
+            PvmError::Unpack(UnpackError::TypeMismatch {
+                wanted: "int",
+                found: "str",
+            })
+            .code(),
+            -3
+        );
+        assert_eq!(PvmError::NoGroup("g".into()).code(), -19);
+        assert_eq!(PvmError::BadParam("count").code(), -2);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        let t = Tid::new(HostId(1), 0);
+        assert!(PvmError::NoSuchTask(t).is_retryable());
+        assert!(PvmError::HostDown(HostId(0)).is_retryable());
+        assert!(PvmError::Timeout.is_retryable());
+        assert!(!PvmError::MailboxClosed.is_retryable());
+        assert!(!PvmError::Unpack(UnpackError::Exhausted).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = PvmError::Severed { host: HostId(3) };
+        assert!(e.to_string().contains("h3"));
+        let e: PvmError = UnpackError::Exhausted.into();
+        assert!(e.to_string().contains("unpack"));
+    }
+}

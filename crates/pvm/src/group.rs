@@ -6,6 +6,7 @@
 //! with ordinary reserved-tag messages, so barrier latency is charged at
 //! the modelled message costs.
 
+use crate::error::{PvmError, PvmResult};
 use crate::msg::{Message, MsgBuf};
 use crate::task::TaskApi;
 use crate::tid::Tid;
@@ -41,29 +42,48 @@ impl Groups {
 
     /// Join a named group; returns the instance number (rank at join time).
     pub fn join(&self, name: &str, tid: Tid) -> usize {
+        self.try_join(name, tid)
+            .unwrap_or_else(|_| panic!("{tid} joined group `{name}` twice"))
+    }
+
+    /// Fallible [`join`](Self::join): `AlreadyInGroup` on a double join
+    /// (`PvmDupGroup` in real PVM).
+    pub fn try_join(&self, name: &str, tid: Tid) -> PvmResult<usize> {
         let mut g = self.groups.lock();
         let st = g.entry(name.to_string()).or_insert(GroupState {
             members: Vec::new(),
             barrier_seq: 0,
         });
-        assert!(
-            !st.members.contains(&tid),
-            "{tid} joined group `{name}` twice"
-        );
+        if st.members.contains(&tid) {
+            return Err(PvmError::AlreadyInGroup(tid));
+        }
         st.members.push(tid);
-        st.members.len() - 1
+        Ok(st.members.len() - 1)
     }
 
     /// Leave a group.
     pub fn leave(&self, name: &str, tid: Tid) {
+        match self.try_leave(name, tid) {
+            Ok(()) => {}
+            Err(PvmError::NoGroup(_)) => panic!("leaving unknown group"),
+            Err(_) => panic!("leaving a group the task is not in"),
+        }
+    }
+
+    /// Fallible [`leave`](Self::leave): `NoGroup` / `NotInGroup` mirroring
+    /// `PvmNoGroup` / `PvmNotInGroup`.
+    pub fn try_leave(&self, name: &str, tid: Tid) -> PvmResult<()> {
         let mut g = self.groups.lock();
-        let st = g.get_mut(name).expect("leaving unknown group");
+        let st = g
+            .get_mut(name)
+            .ok_or_else(|| PvmError::NoGroup(name.to_string()))?;
         let idx = st
             .members
             .iter()
             .position(|t| *t == tid)
-            .expect("leaving a group the task is not in");
+            .ok_or(PvmError::NotInGroup(tid))?;
         st.members.remove(idx);
+        Ok(())
     }
 
     /// Current members, in join order.

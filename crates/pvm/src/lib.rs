@@ -10,16 +10,20 @@
 
 #![warn(missing_docs)]
 
+mod error;
 mod group;
 mod msg;
+mod outcome;
 pub mod route;
 mod system;
 mod task;
 mod tid;
 mod util;
 
+pub use error::{PvmError, PvmResult};
 pub use group::{Groups, TAG_BARRIER_IN, TAG_BARRIER_OUT};
 pub use msg::{Item, Message, MsgBuf, MsgReader, UnpackError};
+pub use outcome::{MigrationOutcome, OutcomeBoard};
 pub use system::{HostInfo, Pvm, TaskEntry};
 pub use task::{PvmTask, RouteMode, TaskApi};
 pub use tid::Tid;

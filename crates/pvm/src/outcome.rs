@@ -1,0 +1,184 @@
+//! Migration outcomes and the board the global scheduler waits on.
+//!
+//! Each migration system (MPVM, UPVM, ADM) executes its protocol
+//! asynchronously inside the application's own actors. The GS needs the
+//! result back — a failed migration must feed its re-decision loop — so
+//! every system posts a [`MigrationOutcome`] to an [`OutcomeBoard`] keyed
+//! by the unit's tid, and the GS blocks in virtual time until the post (or
+//! a timeout) arrives.
+
+use crate::error::PvmError;
+use crate::tid::Tid;
+use parking_lot::Mutex;
+use simcore::{ActorId, SimCtx, SimDuration};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The result of one migration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// The unit moved and now answers to `new_tid` (the same tid for
+    /// systems that preserve identity across a move).
+    Completed {
+        /// Post-migration tid.
+        new_tid: Tid,
+    },
+    /// The move failed or was rolled back; the unit still runs at its
+    /// source under its old tid.
+    Failed {
+        /// Why the migration did not happen.
+        error: PvmError,
+    },
+}
+
+impl MigrationOutcome {
+    /// Did the unit move?
+    pub fn is_completed(&self) -> bool {
+        matches!(self, MigrationOutcome::Completed { .. })
+    }
+
+    /// The failure, if any.
+    pub fn error(&self) -> Option<&PvmError> {
+        match self {
+            MigrationOutcome::Completed { .. } => None,
+            MigrationOutcome::Failed { error } => Some(error),
+        }
+    }
+}
+
+struct Watch {
+    slot: Arc<Mutex<Option<MigrationOutcome>>>,
+    waiter: ActorId,
+}
+
+/// A rendezvous between one waiting actor (the GS) and the protocol code
+/// that eventually learns how the migration went.
+#[derive(Default)]
+pub struct OutcomeBoard {
+    waiting: Mutex<HashMap<Tid, Watch>>,
+}
+
+impl OutcomeBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a watch for `unit`, run `inject` (which should fire the
+    /// migration command), then block until the outcome is posted. Returns
+    /// `None` if `timeout` expires first — the command, its signal, or the
+    /// protocol's reply was lost and nobody will ever post.
+    pub fn await_outcome(
+        &self,
+        ctx: &SimCtx,
+        unit: Tid,
+        timeout: SimDuration,
+        inject: impl FnOnce(),
+    ) -> Option<MigrationOutcome> {
+        let slot = Arc::new(Mutex::new(None));
+        self.waiting.lock().insert(
+            unit,
+            Watch {
+                slot: Arc::clone(&slot),
+                waiter: ctx.id(),
+            },
+        );
+        inject();
+        let timed_out = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&timed_out);
+        let me = ctx.id();
+        let timer = ctx.schedule(timeout, move |w| {
+            flag.store(true, Ordering::SeqCst);
+            w.wake_actor(me);
+        });
+        loop {
+            if let Some(out) = slot.lock().take() {
+                ctx.cancel(timer);
+                return Some(out);
+            }
+            if timed_out.load(Ordering::SeqCst) {
+                // Deregister so a late post is dropped instead of filling
+                // a slot nobody reads.
+                self.waiting.lock().remove(&unit);
+                return None;
+            }
+            ctx.block("awaiting migration outcome", false);
+        }
+    }
+
+    /// Post the outcome for `unit` and wake its waiter. Returns false if
+    /// nobody was watching (fire-and-forget injection, or the waiter
+    /// already timed out).
+    pub fn post(&self, ctx: &SimCtx, unit: Tid, out: MigrationOutcome) -> bool {
+        match self.waiting.lock().remove(&unit) {
+            Some(watch) => {
+                *watch.slot.lock() = Some(out);
+                ctx.wake(watch.waiter);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+    use worknet::HostId;
+
+    fn t(i: u32) -> Tid {
+        Tid::new(HostId(0), i)
+    }
+
+    #[test]
+    fn posted_outcome_reaches_waiter() {
+        let sim = Sim::new();
+        let board = Arc::new(OutcomeBoard::new());
+        let b2 = Arc::clone(&board);
+        let waiter = sim.spawn("gs", move |ctx| {
+            let out = b2.await_outcome(&ctx, t(1), SimDuration::from_secs(10), || {});
+            assert_eq!(out, Some(MigrationOutcome::Completed { new_tid: t(2) }));
+            assert!((ctx.now().as_secs_f64() - 1.0).abs() < 1e-9);
+        });
+        let b3 = Arc::clone(&board);
+        sim.spawn("protocol", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            assert!(b3.post(&ctx, t(1), MigrationOutcome::Completed { new_tid: t(2) }));
+        });
+        sim.run().unwrap();
+        let _ = waiter;
+    }
+
+    #[test]
+    fn timeout_returns_none_and_drops_late_post() {
+        let sim = Sim::new();
+        let board = Arc::new(OutcomeBoard::new());
+        let b2 = Arc::clone(&board);
+        sim.spawn("gs", move |ctx| {
+            let out = b2.await_outcome(&ctx, t(1), SimDuration::from_secs(2), || {});
+            assert_eq!(out, None);
+            assert!((ctx.now().as_secs_f64() - 2.0).abs() < 1e-9);
+        });
+        let b3 = Arc::clone(&board);
+        sim.spawn("late", move |ctx| {
+            ctx.advance(SimDuration::from_secs(5));
+            let err = PvmError::Timeout;
+            assert!(!b3.post(&ctx, t(1), MigrationOutcome::Failed { error: err }));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let done = MigrationOutcome::Completed { new_tid: t(7) };
+        assert!(done.is_completed());
+        assert!(done.error().is_none());
+        let failed = MigrationOutcome::Failed {
+            error: PvmError::HostDown(HostId(3)),
+        };
+        assert!(!failed.is_completed());
+        assert_eq!(failed.error(), Some(&PvmError::HostDown(HostId(3))));
+    }
+}

@@ -52,6 +52,11 @@ pub fn deliver_local(
 }
 
 /// Deliver across the network via the daemon route.
+///
+/// The fault plane may intercept: a `Drop` verdict loses the message after
+/// the sender's daemon did its work (a lost UDP fragment the pvmds never
+/// recover); `Duplicate` delivers it twice. Receivers must already tolerate
+/// at-least-once arrival of idempotent protocol messages.
 pub fn deliver_daemon(
     ctx: &SimCtx,
     pvm: &Arc<Pvm>,
@@ -61,24 +66,40 @@ pub fn deliver_daemon(
 ) {
     let bytes = msg.encoded_size();
     charge_send_side(ctx, pvm, src_host, bytes);
+    let copies = match pvm.cluster.fault().daemon_verdict(msg.tag) {
+        worknet::DaemonVerdict::Deliver => 1,
+        worknet::DaemonVerdict::Duplicate => {
+            ctx.trace("fault.dup_msg", format!("tag {} duplicated", msg.tag));
+            2
+        }
+        worknet::DaemonVerdict::Drop => {
+            // Send-side costs are already charged; the wire ate the rest.
+            ctx.trace("fault.drop_msg", format!("tag {} dropped", msg.tag));
+            return;
+        }
+    };
     let calib = Arc::clone(&pvm.cluster.calib);
-    let eth = pvm.cluster.ether.clone();
     let nfrag = bytes.div_ceil(calib.daemon_fragment).max(1) as u64;
     let pre = calib.wire_latency + calib.daemon_per_msg + calib.daemon_per_fragment * nfrag;
     let eff = calib.daemon_efficiency;
     let post = calib.memcpy_cost(bytes) + calib.context_switch + calib.daemon_per_fragment * nfrag;
-    ctx.schedule(pre, move |w| {
+    for _ in 0..copies {
+        let eth = pvm.cluster.ether.clone();
         let mb = mb.clone();
-        eth.start_transfer(
-            w,
-            bytes as f64,
-            eff,
-            Box::new(move |w| {
-                // Receive-side daemon processing, then final delivery.
-                w.schedule_in(post, move |w| mb.send_from_world(w, msg));
-            }),
-        );
-    });
+        let msg = msg.clone();
+        ctx.schedule(pre, move |w| {
+            let mb = mb.clone();
+            eth.start_transfer(
+                w,
+                bytes as f64,
+                eff,
+                Box::new(move |w| {
+                    // Receive-side daemon processing, then final delivery.
+                    w.schedule_in(post, move |w| mb.send_from_world(w, msg));
+                }),
+            );
+        });
+    }
 }
 
 /// Deliver across the network on a direct task-to-task TCP connection.

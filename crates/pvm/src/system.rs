@@ -9,6 +9,7 @@
 //! (`mpvmd`) are real actors in the `mpvm` crate. This substitution is
 //! documented in DESIGN.md §2.
 
+use crate::error::{PvmError, PvmResult};
 use crate::msg::Message;
 use crate::task::{PvmTask, RouteMode};
 use crate::tid::Tid;
@@ -171,12 +172,25 @@ impl Pvm {
     /// and carrying actor transfer to the new identity, so messages queued
     /// under the old tid are still delivered (§2.1 stage 4).
     pub fn migrate_enroll(&self, old: Tid, new_host: HostId) -> Tid {
+        self.try_migrate_enroll(old, new_host)
+            .unwrap_or_else(|e| panic!("migrating {old}: {e}"))
+    }
+
+    /// Fallible [`migrate_enroll`](Self::migrate_enroll): `NoSuchTask` for
+    /// an unknown or dead tid, `HostDown` when the destination host has
+    /// crashed since the migration was decided.
+    pub fn try_migrate_enroll(&self, old: Tid, new_host: HostId) -> PvmResult<Tid> {
+        if !self.cluster.host(new_host).is_up() {
+            return Err(PvmError::HostDown(new_host));
+        }
         let mut r = self.registry.lock();
+        if !r.tasks.get(&old).is_some_and(|e| e.alive) {
+            return Err(PvmError::NoSuchTask(old));
+        }
         let idx = r.next_index[new_host.0];
         r.next_index[new_host.0] = idx + 1;
         let new_tid = Tid::new(new_host, idx);
-        let entry = r.tasks.get_mut(&old).expect("migrating unknown tid");
-        assert!(entry.alive, "migrating dead tid {old}");
+        let entry = r.tasks.get_mut(&old).expect("checked above");
         entry.alive = false;
         let mailbox = entry.mailbox.clone();
         let actor = entry.actor;
@@ -202,15 +216,54 @@ impl Pvm {
             },
         );
         r.enroll_order.push(new_tid);
-        new_tid
+        Ok(new_tid)
+    }
+
+    /// Undo a [`try_migrate_enroll`](Self::try_migrate_enroll) whose state
+    /// transfer subsequently failed: the new identity dies, the old tid
+    /// comes back to life on its original host, and the state-memory
+    /// accounting moves back with it. Part of the MPVM abort path
+    /// (DESIGN.md §8).
+    pub fn revert_enroll(&self, old: Tid, new: Tid) {
+        let mut r = self.registry.lock();
+        let (new_host, state_bytes) = {
+            let e = r.tasks.get_mut(&new).expect("reverting unknown new tid");
+            e.alive = false;
+            let b = e.state_bytes;
+            e.state_bytes = 0;
+            (e.host, b)
+        };
+        let e = r.tasks.get_mut(&old).expect("reverting unknown old tid");
+        assert!(!e.alive, "reverting a tid that never migrated");
+        e.alive = true;
+        e.state_bytes = state_bytes;
+        let old_host = e.host;
+        self.cluster
+            .host(new_host)
+            .release_memory(state_bytes as u64);
+        self.cluster
+            .host(old_host)
+            .reserve_memory(state_bytes as u64);
     }
 
     /// UPVM-style rebinding: the task (ULP) keeps its tid but moves to a new
     /// host; subsequent sends route to the new host directly (§2.2 stage 2).
     pub fn rebind(&self, tid: Tid, new_host: HostId) {
+        self.try_rebind(tid, new_host)
+            .unwrap_or_else(|e| panic!("rebinding {tid}: {e}"))
+    }
+
+    /// Fallible [`rebind`](Self::rebind): `NoSuchTask` for an unknown or
+    /// dead tid, `HostDown` when the new host has crashed.
+    pub fn try_rebind(&self, tid: Tid, new_host: HostId) -> PvmResult<()> {
+        if !self.cluster.host(new_host).is_up() {
+            return Err(PvmError::HostDown(new_host));
+        }
         let mut r = self.registry.lock();
-        let entry = r.tasks.get_mut(&tid).expect("rebinding unknown tid");
-        assert!(entry.alive, "rebinding dead tid {tid}");
+        let entry = r.tasks.get_mut(&tid).ok_or(PvmError::NoSuchTask(tid))?;
+        if !entry.alive {
+            return Err(PvmError::NoSuchTask(tid));
+        }
         let old_host = entry.host;
         let bytes = entry.state_bytes as u64;
         entry.host = new_host;
@@ -218,6 +271,7 @@ impl Pvm {
             self.cluster.host(old_host).release_memory(bytes);
             self.cluster.host(new_host).reserve_memory(bytes);
         }
+        Ok(())
     }
 
     /// Register a task's application state size, counted against its

@@ -6,6 +6,7 @@
 //! against `&dyn TaskApi` runs unchanged on any of them — the paper's
 //! "source-code compatible, just re-link" property.
 
+use crate::error::{PvmError, PvmResult};
 use crate::msg::{Message, MsgBuf};
 use crate::route;
 use crate::system::Pvm;
@@ -56,6 +57,20 @@ pub trait TaskApi: Send {
     /// Declare the size of this VP's migratable application state
     /// (data + heap). No-op on systems without migration.
     fn set_state_bytes(&self, _bytes: usize) {}
+
+    /// Fallible send (`pvm_send`'s negative return codes). The default
+    /// delegates to the panicking [`TaskApi::send`]; concrete runtimes
+    /// override it to report dead destinations instead of aborting.
+    fn try_send(&self, to: Tid, tag: i32, buf: MsgBuf) -> PvmResult<()> {
+        self.send(to, tag, buf);
+        Ok(())
+    }
+
+    /// Fallible blocking receive: `Err(PvmError::MailboxClosed)` instead of
+    /// a panic when the runtime tears the VP down mid-receive.
+    fn try_recv(&self, from: Option<Tid>, tag: Option<i32>) -> PvmResult<Message> {
+        Ok(self.recv(from, tag))
+    }
 }
 
 fn matches(m: &Message, from: Option<Tid>, tag: Option<i32>) -> bool {
@@ -124,11 +139,20 @@ impl PvmTask {
 
     /// The host object this task currently runs on.
     pub fn host(&self) -> Arc<Host> {
-        let h = self
-            .pvm
-            .host_of(self.tid())
-            .expect("task has no host binding");
-        Arc::clone(self.pvm.cluster.host(h))
+        self.try_host().expect("task has no host binding")
+    }
+
+    /// Fallible [`host`](Self::host).
+    pub fn try_host(&self) -> PvmResult<Arc<Host>> {
+        let tid = self.tid();
+        let h = self.pvm.host_of(tid).ok_or(PvmError::NoSuchTask(tid))?;
+        Ok(Arc::clone(self.pvm.cluster.host(h)))
+    }
+
+    /// Fallible [`host_id`](TaskApi::host_id).
+    pub fn try_host_id(&self) -> PvmResult<HostId> {
+        let tid = self.tid();
+        self.pvm.host_of(tid).ok_or(PvmError::NoSuchTask(tid))
     }
 
     /// Charge arbitrary virtual time (library-internal bookkeeping).
@@ -142,13 +166,32 @@ impl PvmTask {
         self.send_message(to, msg);
     }
 
-    /// Route an already-sealed message to `to`, charging all costs.
+    /// Fallible [`send_as`](Self::send_as).
+    pub fn try_send_as(&self, src: Tid, to: Tid, tag: i32, buf: MsgBuf) -> PvmResult<()> {
+        self.try_send_message(to, Message::new(src, tag, buf))
+    }
+
+    /// Route an already-sealed message to `to`, charging all costs. Panics
+    /// on a dead destination; see [`try_send_message`](Self::try_send_message).
     pub fn send_message(&self, to: Tid, msg: Message) {
-        let (dst_host, mb) = self
-            .pvm
-            .lookup(to)
-            .unwrap_or_else(|| panic!("send to dead or unknown tid {to}"));
-        let src_host = self.host_id();
+        match self.try_send_message(to, msg) {
+            Ok(()) => {}
+            Err(PvmError::NoSuchTask(_)) => panic!("send to dead or unknown tid {to}"),
+            Err(e) => panic!("send to {to} failed: {e}"),
+        }
+    }
+
+    /// Route an already-sealed message to `to`, charging all costs.
+    ///
+    /// Errors mirror real `pvm_send`: `NoSuchTask` for a dead or unknown
+    /// tid, `HostDown` when the destination's host has crashed (the message
+    /// is dropped on the floor, as a dead pvmd would drop it).
+    pub fn try_send_message(&self, to: Tid, msg: Message) -> PvmResult<()> {
+        let (dst_host, mb) = self.pvm.lookup(to).ok_or(PvmError::NoSuchTask(to))?;
+        if !self.pvm.cluster.host(dst_host).is_up() {
+            return Err(PvmError::HostDown(dst_host));
+        }
+        let src_host = self.try_host_id()?;
         if dst_host == src_host {
             route::deliver_local(&self.ctx, &self.pvm, src_host, mb, msg);
         } else {
@@ -159,6 +202,7 @@ impl PvmTask {
                 }
             }
         }
+        Ok(())
     }
 
     fn charge_recv(&self, m: &Message) {
@@ -207,20 +251,27 @@ impl PvmTask {
     /// Blocking receive with an arbitrary matcher (tid-remapping layers need
     /// matching that simple (src, tag) filters cannot express).
     pub fn recv_where(&self, f: &dyn Fn(&Message) -> bool) -> Message {
+        self.try_recv_where(f)
+            .unwrap_or_else(|_| panic!("task mailbox closed while receiving"))
+    }
+
+    /// Fallible [`recv_where`](Self::recv_where): `MailboxClosed` instead of
+    /// panicking when the runtime tears the mailbox down mid-receive.
+    pub fn try_recv_where(&self, f: &dyn Fn(&Message) -> bool) -> PvmResult<Message> {
         loop {
             if let Some(m) = self.take_pending_where(f) {
                 self.charge_recv(&m);
-                return m;
+                return Ok(m);
             }
             match self.mailbox.recv(&self.ctx) {
                 Some(m) => {
                     if f(&m) {
                         self.charge_recv(&m);
-                        return m;
+                        return Ok(m);
                     }
                     self.pending.lock().push_back(m);
                 }
-                None => panic!("task mailbox closed while receiving"),
+                None => return Err(PvmError::MailboxClosed),
             }
         }
     }
@@ -247,6 +298,18 @@ impl PvmTask {
                 Err(Interrupted) => return Err(Interrupted),
             }
         }
+    }
+
+    /// Fallible timed receive: like [`trecv`](Self::trecv) but with the
+    /// timeout reported as `PvmError::Timeout`, composing with `?`-style
+    /// protocol code.
+    pub fn try_trecv(
+        &self,
+        from: Option<Tid>,
+        tag: Option<i32>,
+        timeout: SimDuration,
+    ) -> PvmResult<Message> {
+        self.trecv(from, tag, timeout).ok_or(PvmError::Timeout)
     }
 
     /// Receive with a timeout (`pvm_trecv`): blocks at most `timeout` of
@@ -306,9 +369,7 @@ impl TaskApi for PvmTask {
     }
 
     fn host_id(&self) -> HostId {
-        self.pvm
-            .host_of(self.tid())
-            .expect("task has no host binding")
+        self.try_host_id().expect("task has no host binding")
     }
 
     fn nhosts(&self) -> usize {
@@ -330,22 +391,16 @@ impl TaskApi for PvmTask {
     }
 
     fn recv(&self, from: Option<Tid>, tag: Option<i32>) -> Message {
-        loop {
-            if let Some(m) = self.take_pending(from, tag) {
-                self.charge_recv(&m);
-                return m;
-            }
-            match self.mailbox.recv(&self.ctx) {
-                Some(m) => {
-                    if matches(&m, from, tag) {
-                        self.charge_recv(&m);
-                        return m;
-                    }
-                    self.pending.lock().push_back(m);
-                }
-                None => panic!("task mailbox closed while receiving"),
-            }
-        }
+        self.try_recv_where(&|m| matches(m, from, tag))
+            .unwrap_or_else(|_| panic!("task mailbox closed while receiving"))
+    }
+
+    fn try_send(&self, to: Tid, tag: i32, buf: MsgBuf) -> PvmResult<()> {
+        self.try_send_message(to, Message::new(self.tid(), tag, buf))
+    }
+
+    fn try_recv(&self, from: Option<Tid>, tag: Option<i32>) -> PvmResult<Message> {
+        self.try_recv_where(&|m| matches(m, from, tag))
     }
 
     fn nrecv(&self, from: Option<Tid>, tag: Option<i32>) -> Option<Message> {

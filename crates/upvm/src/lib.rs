@@ -17,6 +17,7 @@ mod ulp;
 
 pub use addr::{AddrError, AddrSpace, Region};
 pub use proto::MigrateUlp;
+pub use pvm_rt::MigrationOutcome;
 pub use sched::{ProcSched, UlpId};
 pub use system::{SpmdBody, Upvm};
 pub use ulp::{MigrationMode, Ulp, DEFAULT_ULP_STATE};

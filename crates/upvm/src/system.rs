@@ -6,8 +6,10 @@ use crate::proto::{self, MigrateUlp};
 use crate::sched::{ProcSched, UlpId};
 use crate::ulp::Ulp;
 use parking_lot::Mutex;
-use pvm_rt::{Message, MsgBuf, Pvm, ShutdownGroup, TaskApi, Tid};
-use simcore::{ActorId, SimCtx};
+use pvm_rt::{
+    Message, MigrationOutcome, MsgBuf, OutcomeBoard, Pvm, PvmError, ShutdownGroup, TaskApi, Tid,
+};
+use simcore::{ActorId, SimCtx, SimDuration};
 use std::sync::Arc;
 use worknet::HostId;
 
@@ -27,6 +29,7 @@ pub struct Upvm {
     pub(crate) ulps: Mutex<Vec<UlpSlot>>,
     addr: Mutex<AddrSpace>,
     group: ShutdownGroup,
+    outcomes: OutcomeBoard,
 }
 
 /// An SPMD program body: `(ulp, rank, nranks)`.
@@ -51,6 +54,7 @@ impl Upvm {
             ulps: Mutex::new(Vec::new()),
             addr: Mutex::new(AddrSpace::default_32bit()),
             group: ShutdownGroup::new(),
+            outcomes: OutcomeBoard::new(),
         });
         for h in 0..pvm.nhosts() {
             let host = HostId(h);
@@ -239,6 +243,34 @@ impl Upvm {
         ctx.schedule(latency, move |w| mb.send_from_world(w, msg));
     }
 
+    /// The board migration results are posted to.
+    pub(crate) fn outcomes(&self) -> &OutcomeBoard {
+        &self.outcomes
+    }
+
+    /// Inject a migration command and block (in virtual time) until the
+    /// protocol reports how it went. `Failed(NoSuchTask)` immediately if
+    /// the ULP exited, `Failed(Timeout)` if nothing reports back within
+    /// `timeout`.
+    pub fn migrate_and_wait(
+        &self,
+        ctx: &SimCtx,
+        tid: Tid,
+        dst: HostId,
+        timeout: SimDuration,
+    ) -> MigrationOutcome {
+        if self.slot_by_tid(tid).is_none() {
+            return MigrationOutcome::Failed {
+                error: PvmError::NoSuchTask(tid),
+            };
+        }
+        self.outcomes
+            .await_outcome(ctx, tid, timeout, || self.inject_migration(ctx, tid, dst))
+            .unwrap_or(MigrationOutcome::Failed {
+                error: PvmError::Timeout,
+            })
+    }
+
     /// Complete an inbound migration: rebind the ULP to this host and wake
     /// its actor (stage 4: placed in the scheduler queue).
     pub(crate) fn finish_migration(&self, id: UlpId, host: HostId, ctx: &SimCtx) {
@@ -274,6 +306,13 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                         "upvm.cmd.rejected",
                         format!("{tid} -> {dst}: not migration-compatible"),
                     );
+                    sys.outcomes().post(
+                        task.sim(),
+                        tid,
+                        MigrationOutcome::Failed {
+                            error: PvmError::BadParam("migration-incompatible destination"),
+                        },
+                    );
                     continue;
                 }
                 match sys
@@ -284,9 +323,17 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                         task.host().syscall(task.sim());
                         task.sim().post_signal(actor, Box::new(MigrateUlp { dst }));
                     }
-                    None => task
-                        .sim()
-                        .trace("upvm.cmd.dropped", format!("{tid}: no such ULP")),
+                    None => {
+                        task.sim()
+                            .trace("upvm.cmd.dropped", format!("{tid}: no such ULP"));
+                        sys.outcomes().post(
+                            task.sim(),
+                            tid,
+                            MigrationOutcome::Failed {
+                                error: PvmError::NoSuchTask(tid),
+                            },
+                        );
+                    }
                 }
             }
             proto::TAG_ULP_FLUSH => {

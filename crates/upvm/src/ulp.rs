@@ -13,7 +13,7 @@ use crate::proto::{self, MigrateUlp};
 use crate::sched::UlpId;
 use crate::system::Upvm;
 use parking_lot::Mutex;
-use pvm_rt::{route, Message, MsgBuf, TaskApi, Tid};
+use pvm_rt::{route, Message, MigrationOutcome, MsgBuf, PvmError, TaskApi, Tid};
 use simcore::{Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -23,6 +23,9 @@ use worknet::{ComputeOutcome, HostId};
 /// Default ULP state size (stack + initial heap) before the application
 /// registers its data.
 pub const DEFAULT_ULP_STATE: usize = 64 * 1024;
+
+/// Bound on waiting for each container's flush acknowledgement.
+const ULP_ACK_TIMEOUT: SimDuration = SimDuration::from_secs(2);
 
 /// When a ULP may migrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -154,31 +157,39 @@ impl Ulp {
         }
     }
 
-    /// Blocking receive of a protocol message by tag (app messages are
-    /// stashed in the pending queue).
-    fn recv_proto(&self, tag: i32) -> Message {
+    /// Blocking receive of a protocol message by tag with a deadline:
+    /// `None` when no matching message arrived within `timeout` of virtual
+    /// time (app messages are stashed in the pending queue).
+    fn recv_proto_deadline(&self, tag: i32, timeout: SimDuration) -> Option<Message> {
+        let deadline = self.ctx.now() + timeout;
         loop {
             if let Some(m) = self.take_pending(None, Some(tag)) {
-                return m;
+                return Some(m);
             }
-            match self.mailbox.recv(&self.ctx) {
-                Some(m) if m.tag == tag => return m,
+            let remaining = deadline.saturating_since(self.ctx.now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.mailbox.recv_deadline(&self.ctx, remaining) {
+                Some(m) if m.tag == tag => return Some(m),
                 Some(m) => self.pending.lock().push_back(m),
-                None => panic!("ULP mailbox closed"),
+                None => return None,
             }
         }
     }
 
     /// Drain queued signals; returns true if a migration actually happened
     /// (in which case any process occupancy passed in `holding` has been
-    /// released).
+    /// released). A *failed* migration keeps the occupancy, so `holding`
+    /// stays armed for the next order in the queue.
     fn handle_signals(&self, mut holding: Option<HostId>) -> bool {
         let mut migrated = false;
         while let Some(sig) = self.ctx.take_signal() {
             match sig.downcast::<MigrateUlp>() {
                 Ok(order) => {
-                    if self.migrate_now(order.dst, holding.take()) {
+                    if self.migrate_now(order.dst, holding) {
                         migrated = true;
+                        holding = None; // released by the successful move
                     }
                 }
                 Err(other) => self.ctx.trace("upvm.signal.unknown", format!("{other:?}")),
@@ -187,8 +198,39 @@ impl Ulp {
         migrated
     }
 
+    /// Abort a migration attempt: report the failure, keep running here.
+    /// Occupancy acquired by this attempt is released; occupancy the caller
+    /// already held stays held (the `handle_signals` contract).
+    fn abort_migration(
+        &self,
+        dst: HostId,
+        error: PvmError,
+        sched: &crate::sched::ProcSched,
+        acquired: bool,
+    ) -> bool {
+        self.ctx.trace(
+            "upvm.migrate.aborted",
+            format!("{} -> {dst}: {error}", self.tid),
+        );
+        if acquired {
+            sched.release(&self.ctx, self.id);
+        }
+        self.sys
+            .outcomes()
+            .post(&self.ctx, self.tid, MigrationOutcome::Failed { error });
+        false
+    }
+
     /// The UPVM migration protocol (§2.2, figure 3). Returns true if the
     /// ULP moved. If it moved, any held occupancy was released.
+    ///
+    /// Failure handling: the redirect (`rebind`) is the UPVM migration's
+    /// only globally visible step, and it is the *last* fallible one — so a
+    /// dead destination discovered during the flush aborts with nothing to
+    /// undo, and a transfer severed mid-stream undoes just the redirect.
+    /// Either way the ULP keeps running at its source and the GS learns of
+    /// the failure through the outcome board, re-enqueueing the ULP at a
+    /// fresh destination.
     fn migrate_now(&self, dst: HostId, held: Option<HostId>) -> bool {
         let ctx = &self.ctx;
         let old_host = self.host_id();
@@ -196,6 +238,11 @@ impl Ulp {
             ctx.trace(
                 "upvm.migrate.noop",
                 format!("{} already on {dst}", self.tid),
+            );
+            self.sys.outcomes().post(
+                ctx,
+                self.tid,
+                MigrationOutcome::Completed { new_tid: self.tid },
             );
             return false;
         }
@@ -206,17 +253,37 @@ impl Ulp {
         // Source-side work happens inside the UPVM library, holding the
         // process.
         let sched = self.sys.sched(old_host).clone();
-        if held != Some(old_host) {
+        let acquired = held != Some(old_host);
+        if acquired {
             sched.acquire(ctx, self.id);
         }
 
-        // Stage 1-2: register state captured; flush to all other processes.
+        if !pvm.cluster.host(dst).is_up() {
+            return self.abort_migration(dst, PvmError::HostDown(dst), &sched, acquired);
+        }
+
+        // Drop flush-ack stragglers from an earlier aborted attempt.
+        while self
+            .take_pending(None, Some(proto::TAG_ULP_FLUSH_ACK))
+            .is_some()
+        {}
+
+        // Stage 1-2: register state captured; flush to all other *live*
+        // processes (a crashed host's container can neither hold in-transit
+        // messages for us nor ack).
         let own_container = self.sys.container_tid(old_host);
         let others: Vec<Tid> = self
             .sys
             .container_tids()
             .into_iter()
             .filter(|&c| c != own_container)
+            .filter(|&c| {
+                let live = pvm.host_of(c).is_some_and(|h| pvm.cluster.host(h).is_up());
+                if !live {
+                    ctx.trace("upvm.flush.skipped", format!("container {c} host down"));
+                }
+                live
+            })
             .collect();
         for &c in &others {
             let (_, mb) = pvm.lookup(c).expect("container gone");
@@ -229,24 +296,49 @@ impl Ulp {
         }
         ctx.trace("upvm.flush.sent", format!("{} containers", others.len()));
         for _ in 0..others.len() {
-            let _ = self.recv_proto(proto::TAG_ULP_FLUSH_ACK);
+            if self
+                .recv_proto_deadline(proto::TAG_ULP_FLUSH_ACK, ULP_ACK_TIMEOUT)
+                .is_none()
+            {
+                return self.abort_migration(dst, PvmError::Timeout, &sched, acquired);
+            }
         }
         ctx.trace("upvm.flush.done", String::new());
 
         // Future messages go directly to the target host (contrast MPVM,
-        // which blocks senders until restart).
-        pvm.rebind(self.tid, dst);
+        // which blocks senders until restart). Fails if the destination
+        // died while we were flushing.
+        if let Err(e) = pvm.try_rebind(self.tid, dst) {
+            return self.abort_migration(dst, e, &sched, acquired);
+        }
 
         // Stage 3: pack the ULP state with pvm_pkbyte (extra copies) and
-        // push it out through pvm_send sequences over the daemon route.
+        // push it out through pvm_send sequences over the daemon route. A
+        // destination crash mid-stream severs the transfer; the redirect is
+        // undone (the mailbox never moved, so no message is lost) and the
+        // ULP resumes at its source.
         let bytes = self.state_bytes();
         ctx.advance(calib.ulp_capture_fixed);
         ctx.advance(SimDuration::from_secs_f64(
             bytes as f64 * calib.pkbyte_s_per_byte,
         ));
-        pvm.cluster
-            .ether
-            .transfer_blocking(ctx, bytes, calib.daemon_efficiency);
+        let src_h = Arc::clone(pvm.cluster.host(old_host));
+        let dst_h = Arc::clone(pvm.cluster.host(dst));
+        if let Err(sev) = pvm.cluster.ether.transfer_blocking_severable(
+            ctx,
+            bytes,
+            calib.daemon_efficiency,
+            &src_h,
+            &dst_h,
+        ) {
+            pvm.rebind(self.tid, old_host);
+            return self.abort_migration(
+                dst,
+                PvmError::Severed { host: sev.host },
+                &sched,
+                acquired,
+            );
+        }
         let dst_container = self.sys.container_tid(dst);
         let (_, cmb) = pvm.lookup(dst_container).expect("target container gone");
         cmb.send(
@@ -268,6 +360,11 @@ impl Ulp {
             ctx.block("ulp awaiting accept", false);
         }
         ctx.trace("upvm.resumed", format!("{} on {dst}", self.tid));
+        self.sys.outcomes().post(
+            ctx,
+            self.tid,
+            MigrationOutcome::Completed { new_tid: self.tid },
+        );
         true
     }
 }

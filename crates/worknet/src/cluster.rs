@@ -1,6 +1,8 @@
-//! Cluster assembly: hosts + shared Ethernet + the simulation they live in.
+//! Cluster assembly: hosts + shared Ethernet + the simulation they live in,
+//! plus installation of the fault schedule.
 
 use crate::calib::Calib;
+use crate::fault::{Fault, FaultPlane, FaultSchedule};
 use crate::host::{Host, HostId, HostSpec};
 use crate::net::Ethernet;
 use simcore::Sim;
@@ -15,6 +17,7 @@ pub struct Cluster {
     /// The shared Ethernet segment.
     pub ether: Ethernet,
     hosts: Vec<Arc<Host>>,
+    fault: Arc<FaultPlane>,
 }
 
 impl Cluster {
@@ -23,6 +26,7 @@ impl Cluster {
         ClusterBuilder {
             calib,
             specs: Vec::new(),
+            faults: FaultSchedule::new(),
         }
     }
 
@@ -49,6 +53,21 @@ impl Cluster {
         self.hosts.len()
     }
 
+    /// Hosts that are still up (a fault schedule may crash some).
+    pub fn live_hosts(&self) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .filter(|h| h.is_up())
+            .map(|h| h.id)
+            .collect()
+    }
+
+    /// The fault layer: armed message rules, injected-fault log, pending
+    /// owner reclaims. Always present; empty when no schedule was given.
+    pub fn fault(&self) -> &Arc<FaultPlane> {
+        &self.fault
+    }
+
     /// Per-host parallel-compute utilization over `[0, horizon]`:
     /// busy time / horizon, one entry per host.
     pub fn utilization(&self, horizon: simcore::SimDuration) -> Vec<f64> {
@@ -66,9 +85,24 @@ impl Cluster {
 }
 
 /// Builder for [`Cluster`].
+///
+/// Two styles compose freely: the original mutating calls (`host`,
+/// `quiet_hp720s`, `fault_schedule`) when you need the returned ids, and
+/// the fluent consuming calls (`with_host`, `with_hosts`, `with_faults`)
+/// when you don't:
+///
+/// ```
+/// use worknet::{Calib, Cluster, HostSpec};
+/// let cluster = Cluster::builder(Calib::hp720_ethernet())
+///     .with_hosts(3)
+///     .with_host(HostSpec::hp720("spare"))
+///     .build();
+/// assert_eq!(cluster.len(), 4);
+/// ```
 pub struct ClusterBuilder {
     calib: Calib,
     specs: Vec<HostSpec>,
+    faults: FaultSchedule,
 }
 
 impl ClusterBuilder {
@@ -86,22 +120,101 @@ impl ClusterBuilder {
             .collect()
     }
 
-    /// Finish: create the simulation, Ethernet, and host objects.
+    /// Set the fault schedule the built cluster will replay.
+    pub fn fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+    }
+
+    /// Fluent [`host`](Self::host): ids are assigned in call order.
+    pub fn with_host(mut self, spec: HostSpec) -> Self {
+        self.host(spec);
+        self
+    }
+
+    /// Fluent [`quiet_hp720s`](Self::quiet_hp720s).
+    pub fn with_hosts(mut self, n: usize) -> Self {
+        self.quiet_hp720s(n);
+        self
+    }
+
+    /// Fluent [`fault_schedule`](Self::fault_schedule).
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule(schedule);
+        self
+    }
+
+    /// Finish: create the simulation, Ethernet, and host objects, and
+    /// install the fault schedule as kernel events.
     pub fn build(self) -> Cluster {
         let calib = Arc::new(self.calib);
         let sim = Sim::new();
         let ether = Ethernet::new(&calib);
-        let hosts = self
+        let hosts: Vec<Arc<Host>> = self
             .specs
             .into_iter()
             .enumerate()
             .map(|(i, spec)| Arc::new(Host::new(HostId(i), spec, Arc::clone(&calib))))
             .collect();
+        let fault = Arc::new(FaultPlane::default());
+        for ev in self.faults.events() {
+            match ev.fault {
+                Fault::HostCrash { host } => {
+                    assert!(host.0 < hosts.len(), "crash fault targets unknown {host}");
+                    let h = Arc::clone(&hosts[host.0]);
+                    let eth = ether.clone();
+                    let plane = Arc::clone(&fault);
+                    let at = ev.at;
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            h.mark_down();
+                            let severed = eth.sever_host(w, host);
+                            let now = w.now();
+                            plane
+                                .record(now, format!("crash {host} (severed {severed} transfers)"));
+                            w.trace_event(
+                                None,
+                                "fault.crash",
+                                format!("{host} down, {severed} transfers severed"),
+                            );
+                        });
+                    });
+                }
+                Fault::DropDaemonMsg { .. } | Fault::DuplicateDaemonMsg { .. } => {
+                    let plane = Arc::clone(&fault);
+                    let f = ev.fault.clone();
+                    let at = ev.at;
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            plane.arm(&f);
+                            let now = w.now();
+                            plane.record(now, format!("arm {f:?}"));
+                            w.trace_event(None, "fault.arm", format!("{f:?}"));
+                        });
+                    });
+                }
+                Fault::OwnerReclaim { host } => {
+                    assert!(host.0 < hosts.len(), "reclaim fault targets unknown {host}");
+                    // Exported for the coordinator's monitor to replay; also
+                    // logged at fire time so it appears in the fault log.
+                    fault.add_owner_reclaim(ev.at, host);
+                    let plane = Arc::clone(&fault);
+                    let at = ev.at;
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            let now = w.now();
+                            plane.record(now, format!("owner reclaim {host}"));
+                            w.trace_event(None, "fault.reclaim", format!("{host}"));
+                        });
+                    });
+                }
+            }
+        }
         Cluster {
             sim,
             calib,
             ether,
             hosts,
+            fault,
         }
     }
 }
@@ -134,6 +247,72 @@ mod tests {
         assert_eq!(ids.len(), 3);
         assert_eq!(cluster.host(ids[2]).name(), "hp720-2");
         assert!(!cluster.is_empty());
+    }
+
+    #[test]
+    fn fluent_builder_matches_mutating_builder() {
+        let fluent = Cluster::builder(Calib::hp720_ethernet())
+            .with_hosts(2)
+            .with_host(HostSpec::hp720("extra").with_speed(2.0))
+            .build();
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(2);
+        b.host(HostSpec::hp720("extra").with_speed(2.0));
+        let mutating = b.build();
+        assert_eq!(fluent.len(), mutating.len());
+        for (f, m) in fluent.hosts().iter().zip(mutating.hosts()) {
+            assert_eq!(f.name(), m.name());
+            assert_eq!(f.spec.speed_factor, m.spec.speed_factor);
+        }
+    }
+
+    #[test]
+    fn crash_fault_downs_host_at_scheduled_time() {
+        use crate::fault::{Fault, FaultSchedule};
+        use simcore::SimDuration;
+        let cluster = Cluster::builder(Calib::hp720_ethernet())
+            .with_hosts(2)
+            .with_faults(FaultSchedule::new().at(
+                SimDuration::from_secs(5),
+                Fault::HostCrash { host: HostId(1) },
+            ))
+            .build();
+        let c2 = cluster.host(HostId(1)).clone();
+        cluster.sim.spawn("observer", move |ctx| {
+            assert!(c2.is_up());
+            ctx.advance(SimDuration::from_secs(6));
+            assert!(!c2.is_up());
+        });
+        cluster.sim.run().unwrap();
+        assert_eq!(cluster.live_hosts(), vec![HostId(0)]);
+        assert_eq!(cluster.fault().log().len(), 1);
+    }
+
+    #[test]
+    fn crash_severs_inflight_transfer() {
+        use crate::fault::{Fault, FaultSchedule};
+        use simcore::SimDuration;
+        let cluster = Cluster::builder(Calib::hp720_ethernet())
+            .with_hosts(2)
+            .with_faults(FaultSchedule::new().at(
+                SimDuration::from_secs(2),
+                Fault::HostCrash { host: HostId(1) },
+            ))
+            .build();
+        let src = cluster.host(HostId(0)).clone();
+        let dst = cluster.host(HostId(1)).clone();
+        let eth = cluster.ether.clone();
+        let bytes = cluster.calib.ether_bps as usize * 10; // ~10 s solo
+        cluster.sim.spawn("sender", move |ctx| {
+            let r = eth.transfer_blocking_severable(&ctx, bytes, 1.0, &src, &dst);
+            assert_eq!(r.unwrap_err().host, HostId(1));
+            let t = ctx.now().as_secs_f64();
+            assert!(
+                (t - 2.0).abs() < 0.01,
+                "unblocked at {t}, expected crash time"
+            );
+        });
+        cluster.sim.run().unwrap();
     }
 }
 

@@ -1,0 +1,375 @@
+//! Deterministic fault injection — the failure plane under the migration
+//! protocols.
+//!
+//! A [`FaultSchedule`] is a list of virtual-time events, written by hand or
+//! generated from a seed, that the cluster replays during the run: crash a
+//! host, drop or duplicate daemon-route messages, force an owner reclaim.
+//! Everything is driven off the simulation clock and a [`SplitMix64`]-style
+//! generator, so a faulty run is bit-for-bit reproducible from its seed —
+//! the property every recovery test and the bench ablation rely on.
+//!
+//! The schedule is *installed* by [`crate::ClusterBuilder::build`]: crash
+//! events become kernel events that down the host and sever its in-flight
+//! transfers ([`crate::Ethernet::sever_host`]); message-fault events arm
+//! rules on the [`FaultPlane`] that the PVM daemon route consults per
+//! message; owner reclaims are exported for the coordinator's monitor to
+//! replay as owner-activity transitions.
+
+use crate::host::HostId;
+use parking_lot::Mutex;
+use simcore::{SimDuration, SimTime};
+
+/// A bulk transfer failed because an endpoint host died mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Severed {
+    /// The host whose failure severed the stream.
+    pub host: HostId,
+}
+
+impl std::fmt::Display for Severed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transfer severed by failure of {}", self.host)
+    }
+}
+
+impl std::error::Error for Severed {}
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Crash a host: it goes down for good, its in-flight bulk transfers
+    /// are severed, and transports refuse new traffic to it.
+    HostCrash {
+        /// The host to crash.
+        host: HostId,
+    },
+    /// Drop the next `count` daemon-route messages (optionally only those
+    /// with a specific user tag). Models a lost UDP fragment the pvmds
+    /// never recover.
+    DropDaemonMsg {
+        /// Only messages with this tag, or any message when `None`.
+        tag: Option<i32>,
+        /// How many messages the rule consumes before disarming.
+        count: u32,
+    },
+    /// Deliver the next `count` matching daemon-route messages twice
+    /// (a retransmission the receiver also saw the original of).
+    DuplicateDaemonMsg {
+        /// Only messages with this tag, or any message when `None`.
+        tag: Option<i32>,
+        /// How many messages the rule consumes before disarming.
+        count: u32,
+    },
+    /// The owner of `host` comes back at the event time — the coordinator's
+    /// monitor replays this as an owner-activity transition, triggering
+    /// reclaim policies even mid-migration.
+    OwnerReclaim {
+        /// The reclaimed host.
+        host: HostId,
+    },
+}
+
+/// A fault and when to inject it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time offset from the start of the run.
+    pub at: SimDuration,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// Deterministic split-mix generator (same construction the load traces
+/// use); private so schedules can only be built through seeded APIs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// An ordered, reproducible set of fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed the schedule was generated from (0 for hand-written ones);
+    /// recorded so a run's provenance is visible in reports.
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (the default: nothing ever fails).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Append a fault at an absolute virtual-time offset. Events may be
+    /// added in any order; installation sorts by time.
+    pub fn at(mut self, at: SimDuration, fault: Fault) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Generate a schedule from a seed: faults arrive as a Poisson-like
+    /// process with the given mean interval over `[0, horizon]`, each one
+    /// drawn uniformly over the fault kinds. Hosts in `protect` are never
+    /// crashed or reclaimed (keep the coordinator and the home of
+    /// non-migratable state alive). Identical inputs yield an identical
+    /// schedule.
+    pub fn seeded(
+        seed: u64,
+        mean_interval: SimDuration,
+        horizon: SimDuration,
+        n_hosts: usize,
+        protect: &[HostId],
+    ) -> Self {
+        assert!(!mean_interval.is_zero(), "mean fault interval must be > 0");
+        let mut rng = SplitMix64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x5eed);
+        let victims: Vec<HostId> = (0..n_hosts)
+            .map(HostId)
+            .filter(|h| !protect.contains(h))
+            .collect();
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            // Inverse-CDF exponential inter-arrival.
+            let u = rng.next_f64().max(f64::MIN_POSITIVE);
+            t += -u.ln() * mean_interval.as_secs_f64();
+            if t >= horizon_s {
+                break;
+            }
+            let fault = match rng.next_u64() % 4 {
+                0 if !victims.is_empty() => Fault::HostCrash {
+                    host: victims[(rng.next_u64() % victims.len() as u64) as usize],
+                },
+                1 => Fault::DropDaemonMsg {
+                    tag: None,
+                    count: 1 + (rng.next_u64() % 3) as u32,
+                },
+                2 => Fault::DuplicateDaemonMsg {
+                    tag: None,
+                    count: 1 + (rng.next_u64() % 3) as u32,
+                },
+                _ if !victims.is_empty() => Fault::OwnerReclaim {
+                    host: victims[(rng.next_u64() % victims.len() as u64) as usize],
+                },
+                _ => continue,
+            };
+            events.push(FaultEvent {
+                at: SimDuration::from_secs_f64(t),
+                fault,
+            });
+        }
+        FaultSchedule { seed, events }
+    }
+
+    /// The events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// What the daemon route should do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently (send-side costs are still charged — the sender's
+    /// pvmd did its work before the wire lost the fragment).
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+}
+
+enum RuleKind {
+    Drop,
+    Duplicate,
+}
+
+struct DaemonRule {
+    tag: Option<i32>,
+    remaining: u32,
+    kind: RuleKind,
+}
+
+/// Runtime state of the fault layer: armed message rules, the pending
+/// owner reclaims, and a log of everything injected (for trace comparison
+/// in reproducibility tests). One per [`crate::Cluster`].
+#[derive(Default)]
+pub struct FaultPlane {
+    rules: Mutex<Vec<DaemonRule>>,
+    owner_reclaims: Mutex<Vec<(SimDuration, HostId)>>,
+    log: Mutex<Vec<(SimTime, String)>>,
+}
+
+impl FaultPlane {
+    /// Arm a drop/duplicate rule (crash events call this via the installed
+    /// kernel events; tests can arm rules directly).
+    pub fn arm(&self, fault: &Fault) {
+        let mut rules = self.rules.lock();
+        match *fault {
+            Fault::DropDaemonMsg { tag, count } => rules.push(DaemonRule {
+                tag,
+                remaining: count,
+                kind: RuleKind::Drop,
+            }),
+            Fault::DuplicateDaemonMsg { tag, count } => rules.push(DaemonRule {
+                tag,
+                remaining: count,
+                kind: RuleKind::Duplicate,
+            }),
+            _ => panic!("only message faults can be armed"),
+        }
+    }
+
+    /// Consulted by the daemon route once per message: consumes the first
+    /// matching armed rule, if any.
+    pub fn daemon_verdict(&self, tag: i32) -> DaemonVerdict {
+        let mut rules = self.rules.lock();
+        for r in rules.iter_mut() {
+            if r.remaining > 0 && r.tag.is_none_or(|t| t == tag) {
+                r.remaining -= 1;
+                let v = match r.kind {
+                    RuleKind::Drop => DaemonVerdict::Drop,
+                    RuleKind::Duplicate => DaemonVerdict::Duplicate,
+                };
+                rules.retain(|r| r.remaining > 0);
+                return v;
+            }
+        }
+        DaemonVerdict::Deliver
+    }
+
+    pub(crate) fn add_owner_reclaim(&self, at: SimDuration, host: HostId) {
+        self.owner_reclaims.lock().push((at, host));
+    }
+
+    /// Owner reclaims the schedule injects, for the coordinator's monitor
+    /// to replay as owner-activity transitions.
+    pub fn owner_reclaims(&self) -> Vec<(SimDuration, HostId)> {
+        self.owner_reclaims.lock().clone()
+    }
+
+    /// Record an injected fault (called by the installed kernel events).
+    pub fn record(&self, at: SimTime, what: impl Into<String>) {
+        self.log.lock().push((at, what.into()));
+    }
+
+    /// Everything injected so far, in injection order — part of the event
+    /// trace reproducibility tests compare across reruns.
+    pub fn log(&self) -> Vec<(SimTime, String)> {
+        self.log.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_reproducible() {
+        let mk = || {
+            FaultSchedule::seeded(
+                42,
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(60),
+                4,
+                &[HostId(0)],
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "60 s at mean 5 s should produce faults");
+        for e in a.events() {
+            match e.fault {
+                Fault::HostCrash { host } | Fault::OwnerReclaim { host } => {
+                    assert_ne!(host, HostId(0), "protected host was targeted")
+                }
+                _ => {}
+            }
+            assert!(e.at < SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::seeded(
+            1,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(120),
+            4,
+            &[],
+        );
+        let b = FaultSchedule::seeded(
+            2,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(120),
+            4,
+            &[],
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drop_rule_consumes_per_message() {
+        let plane = FaultPlane::default();
+        plane.arm(&Fault::DropDaemonMsg {
+            tag: Some(7),
+            count: 2,
+        });
+        assert_eq!(plane.daemon_verdict(3), DaemonVerdict::Deliver);
+        assert_eq!(plane.daemon_verdict(7), DaemonVerdict::Drop);
+        assert_eq!(plane.daemon_verdict(7), DaemonVerdict::Drop);
+        assert_eq!(plane.daemon_verdict(7), DaemonVerdict::Deliver);
+    }
+
+    #[test]
+    fn wildcard_duplicate_rule_matches_any_tag() {
+        let plane = FaultPlane::default();
+        plane.arm(&Fault::DuplicateDaemonMsg {
+            tag: None,
+            count: 1,
+        });
+        assert_eq!(plane.daemon_verdict(-101), DaemonVerdict::Duplicate);
+        assert_eq!(plane.daemon_verdict(-101), DaemonVerdict::Deliver);
+    }
+
+    #[test]
+    fn hand_written_schedule_keeps_order_and_log_records() {
+        let s = FaultSchedule::new()
+            .at(
+                SimDuration::from_secs(3),
+                Fault::HostCrash { host: HostId(1) },
+            )
+            .at(
+                SimDuration::from_secs(1),
+                Fault::OwnerReclaim { host: HostId(2) },
+            );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.seed, 0);
+        let plane = FaultPlane::default();
+        plane.record(SimTime(5), "crash host1");
+        assert_eq!(plane.log().len(), 1);
+    }
+}

@@ -123,6 +123,8 @@ pub struct Host {
     resident: std::sync::atomic::AtomicU64,
     /// Virtual nanoseconds of parallel compute executed here.
     busy_ns: std::sync::atomic::AtomicU64,
+    /// False once a fault-plane crash downed this host (sticky).
+    up: std::sync::atomic::AtomicBool,
 }
 
 impl Host {
@@ -133,7 +135,22 @@ impl Host {
             calib,
             resident: std::sync::atomic::AtomicU64::new(0),
             busy_ns: std::sync::atomic::AtomicU64::new(0),
+            up: std::sync::atomic::AtomicBool::new(true),
         }
+    }
+
+    /// Whether this host is still alive. Hosts start up and stay up unless
+    /// a fault schedule crashes them (see `worknet::fault`).
+    pub fn is_up(&self) -> bool {
+        self.up.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Crash this host. Sticky: a downed host never comes back (the paper's
+    /// systems treat a failed workstation as withdrawn for good). Transport
+    /// layers refuse new traffic to a downed host and the fault plane severs
+    /// its in-flight transfers.
+    pub fn mark_down(&self) {
+        self.up.store(false, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Virtual time of parallel compute this host has executed.

@@ -11,6 +11,7 @@
 
 mod calib;
 mod cluster;
+pub mod fault;
 mod host;
 mod load;
 mod net;
@@ -18,6 +19,7 @@ mod tcp;
 
 pub use calib::Calib;
 pub use cluster::{Cluster, ClusterBuilder};
+pub use fault::{DaemonVerdict, Fault, FaultEvent, FaultPlane, FaultSchedule, Severed};
 pub use host::{Arch, ComputeOutcome, Host, HostId, HostSpec};
 pub use load::{LoadTrace, OwnerTrace};
 pub use net::{Ethernet, OnComplete, TransferId};

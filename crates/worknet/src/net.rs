@@ -8,6 +8,8 @@
 //! message flushing competing with the state transfer).
 
 use crate::calib::Calib;
+use crate::fault::Severed;
+use crate::host::HostId;
 use parking_lot::Mutex;
 use simcore::{EventId, SimCtx, SimDuration, World};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +36,11 @@ impl TransferId {
 struct Active {
     remaining_wire_bytes: f64,
     done: Option<OnComplete>,
+    /// Hosts this transfer runs between, when the caller wants the fault
+    /// plane to be able to sever it on a crash.
+    endpoints: Option<(HostId, HostId)>,
+    /// Runs instead of `done` if the transfer is severed.
+    on_abort: Option<OnComplete>,
 }
 
 struct BusState {
@@ -111,6 +118,21 @@ impl Ethernet {
         efficiency: f64,
         done: OnComplete,
     ) -> TransferId {
+        self.start_transfer_between(w, payload_bytes, efficiency, None, done, None)
+    }
+
+    /// Like [`start_transfer`](Self::start_transfer), but tagged with its
+    /// endpoint hosts so [`sever_host`](Self::sever_host) can find it, and
+    /// with an abort callback run in place of `done` if it is severed.
+    pub fn start_transfer_between(
+        &self,
+        w: &mut World,
+        payload_bytes: f64,
+        efficiency: f64,
+        endpoints: Option<(HostId, HostId)>,
+        done: OnComplete,
+        on_abort: Option<OnComplete>,
+    ) -> TransferId {
         assert!(efficiency > 0.0 && efficiency <= 1.0, "bad efficiency");
         assert!(payload_bytes >= 0.0, "negative payload");
         let wire = (payload_bytes / efficiency).max(1.0);
@@ -124,10 +146,41 @@ impl Ethernet {
             b.active.push(Active {
                 remaining_wire_bytes: wire,
                 done: Some(done),
+                endpoints,
+                on_abort,
             });
         }
         self.reschedule(w);
         TransferId(id)
+    }
+
+    /// Sever every in-flight transfer with `host` as an endpoint: the
+    /// remaining bytes never arrive, the abort callback (if any) runs
+    /// instead of the completion, and the survivors speed up (the bus is
+    /// processor-sharing). Returns how many transfers were severed.
+    pub fn sever_host(&self, w: &mut World, host: HostId) -> usize {
+        let aborted: Vec<OnComplete> = {
+            let mut b = self.state.lock();
+            b.update(w.now());
+            let mut out = Vec::new();
+            b.active.retain_mut(|a| {
+                let hit = a.endpoints.is_some_and(|(s, d)| s == host || d == host);
+                if hit {
+                    if let Some(f) = a.on_abort.take() {
+                        out.push(f);
+                    }
+                    a.done = None;
+                }
+                !hit
+            });
+            out
+        };
+        let n = aborted.len();
+        for f in aborted {
+            f(w);
+        }
+        self.reschedule(w);
+        n
     }
 
     fn reschedule(&self, w: &mut World) {
@@ -201,6 +254,76 @@ impl Ethernet {
             });
         }
         while !done.load(Ordering::SeqCst) {
+            ctx.block("ethernet transfer", false);
+        }
+    }
+
+    /// A blocking transfer between two hosts that a fault-plane crash can
+    /// sever: if either endpoint goes down mid-stream (or the destination
+    /// is already down when the stream would start), the caller unblocks
+    /// with `Err(Severed)` instead of waiting forever for bytes that will
+    /// never arrive.
+    pub fn transfer_blocking_severable(
+        &self,
+        ctx: &SimCtx,
+        payload_bytes: usize,
+        efficiency: f64,
+        src: &Arc<crate::Host>,
+        dst: &Arc<crate::Host>,
+    ) -> Result<(), Severed> {
+        if !dst.is_up() {
+            return Err(Severed { host: dst.id });
+        }
+        if !src.is_up() {
+            return Err(Severed { host: src.id });
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let severed = Arc::new(AtomicBool::new(false));
+        let me = ctx.id();
+        let latency = self.latency;
+        let endpoints = (src.id, dst.id);
+        {
+            let this = self.clone();
+            let done2 = Arc::clone(&done);
+            let sev2 = Arc::clone(&severed);
+            let dst2 = Arc::clone(dst);
+            ctx.with_world(move |w| {
+                w.schedule_in(latency, move |w| {
+                    // The destination may have crashed during the latency
+                    // window, before the stream registered with the bus.
+                    if !dst2.is_up() {
+                        sev2.store(true, Ordering::SeqCst);
+                        w.wake_actor(me);
+                        return;
+                    }
+                    let done3 = Arc::clone(&done2);
+                    let sev3 = Arc::clone(&sev2);
+                    this.start_transfer_between(
+                        w,
+                        payload_bytes as f64,
+                        efficiency,
+                        Some(endpoints),
+                        Box::new(move |w| {
+                            done3.store(true, Ordering::SeqCst);
+                            w.wake_actor(me);
+                        }),
+                        Some(Box::new(move |w| {
+                            sev3.store(true, Ordering::SeqCst);
+                            w.wake_actor(me);
+                        })),
+                    );
+                });
+            });
+        }
+        loop {
+            if severed.load(Ordering::SeqCst) {
+                // Name the endpoint that died; the peer may have been the one.
+                let host = if !dst.is_up() { dst.id } else { src.id };
+                return Err(Severed { host });
+            }
+            if done.load(Ordering::SeqCst) {
+                return Ok(());
+            }
             ctx.block("ethernet transfer", false);
         }
     }

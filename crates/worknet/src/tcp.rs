@@ -35,6 +35,22 @@ impl TcpConn {
             .transfer_blocking(ctx, bytes, self.calib.tcp_efficiency);
     }
 
+    /// Send `bytes` between two named hosts; a crash of either endpoint
+    /// mid-stream severs the connection and unblocks the caller with
+    /// `Err(Severed)` — the hook MPVM's stage-3 state transfer recovers
+    /// through (DESIGN.md §8).
+    pub fn send_blocking_severable(
+        &self,
+        ctx: &SimCtx,
+        bytes: usize,
+        src: &Arc<crate::Host>,
+        dst: &Arc<crate::Host>,
+    ) -> Result<(), crate::Severed> {
+        ctx.advance(self.calib.syscall);
+        self.eth
+            .transfer_blocking_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst)
+    }
+
     /// Analytic lower bound for moving `bytes` over an otherwise idle
     /// segment — the paper's "raw TCP" column in Table 2.
     pub fn raw_transfer_time(calib: &Calib, bytes: usize) -> SimDuration {

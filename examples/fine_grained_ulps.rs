@@ -17,14 +17,16 @@ use std::sync::{Arc, Mutex};
 
 fn main() {
     // host0 picks up two external CPU hogs at t = 10 s.
-    let mut b = Cluster::builder(Calib::hp720_ethernet());
-    b.host(
-        HostSpec::hp720("shared-box")
-            .with_load(LoadTrace::steps(vec![(SimTime(10 * 1_000_000_000), 2.0)])),
+    let cluster = Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_host(
+                HostSpec::hp720("shared-box")
+                    .with_load(LoadTrace::steps(vec![(SimTime(10 * 1_000_000_000), 2.0)])),
+            )
+            .with_host(HostSpec::hp720("quiet-1"))
+            .with_host(HostSpec::hp720("quiet-2"))
+            .build(),
     );
-    b.host(HostSpec::hp720("quiet-1"));
-    b.host(HostSpec::hp720("quiet-2"));
-    let cluster = Arc::new(b.build());
     let sys = Upvm::new(Pvm::new(Arc::clone(&cluster)));
 
     println!("spawning 8 worker ULPs, round-robin over 3 hosts");

@@ -21,14 +21,16 @@ use std::sync::{mpsc, Arc, Mutex};
 
 fn main() {
     // Three workstations; host0's owner returns at t = 30 s and stays.
-    let mut b = Cluster::builder(Calib::hp720_ethernet());
-    b.host(
-        HostSpec::hp720("alice-desk")
-            .with_owner(OwnerTrace::reclaim_at(SimTime(30 * 1_000_000_000))),
+    let cluster = Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_host(
+                HostSpec::hp720("alice-desk")
+                    .with_owner(OwnerTrace::reclaim_at(SimTime(30 * 1_000_000_000))),
+            )
+            .with_host(HostSpec::hp720("lab-1"))
+            .with_host(HostSpec::hp720("lab-2"))
+            .build(),
     );
-    b.host(HostSpec::hp720("lab-1"));
-    b.host(HostSpec::hp720("lab-2"));
-    let cluster = Arc::new(b.build());
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
 
     // A 4 MB Opt training job: master + 2 slaves, slave0 sharing alice's

@@ -13,9 +13,11 @@ use std::sync::Arc;
 
 fn main() {
     // 1. A calibrated worknet: two HP 9000/720s on 10 Mb/s Ethernet.
-    let mut builder = Cluster::builder(Calib::hp720_ethernet());
-    builder.quiet_hp720s(2);
-    let cluster = Arc::new(builder.build());
+    let cluster = Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_hosts(2)
+            .build(),
+    );
 
     // 2. PVM on top, with MPVM's migration daemons.
     let pvm = Pvm::new(Arc::clone(&cluster));

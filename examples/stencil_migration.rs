@@ -25,9 +25,11 @@ fn main() {
 
     // --- The same worker body, "linked against" plain PVM. ---
     let plain = {
-        let mut b = Cluster::builder(Calib::hp720_ethernet());
-        b.quiet_hp720s(3);
-        let cluster = Arc::new(b.build());
+        let cluster = Arc::new(
+            Cluster::builder(Calib::hp720_ethernet())
+                .with_hosts(3)
+                .build(),
+        );
         let pvm = Pvm::new(Arc::clone(&cluster));
         let out = Arc::new(Mutex::new(None));
         let mut txs = Vec::new();
@@ -56,9 +58,12 @@ fn main() {
 
     // --- Identical source under MPVM, with worker 1 migrated at t = 2 s. ---
     let migrated = {
-        let mut b = Cluster::builder(Calib::hp720_ethernet());
-        b.quiet_hp720s(4); // one spare host
-        let cluster = Arc::new(b.build());
+        // One spare host beyond the three workers.
+        let cluster = Arc::new(
+            Cluster::builder(Calib::hp720_ethernet())
+                .with_hosts(4)
+                .build(),
+        );
         let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
         let out = Arc::new(Mutex::new(None));
         let mut txs = Vec::new();

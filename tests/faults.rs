@@ -1,0 +1,205 @@
+//! Fault-injection acceptance tests: the seeded fault plane drives host
+//! crashes and owner reclaims through the whole stack — worknet faults,
+//! MPVM abort/rollback, GS blacklist re-decision — and the application
+//! comes out numerically unscathed and bit-for-bit reproducible.
+
+use adaptive_pvm::cpe::{Decision, Gs, MpvmTarget, Policy};
+use adaptive_pvm::mpvm::Mpvm;
+use adaptive_pvm::opt::config::OptConfig;
+use adaptive_pvm::opt::data::TrainingSet;
+use adaptive_pvm::opt::ms;
+use adaptive_pvm::pvm::{MigrationOutcome, Pvm, PvmError, Tid};
+use adaptive_pvm::simcore::{SimDuration, SimTime};
+use adaptive_pvm::worknet::{Calib, Cluster, Fault, FaultSchedule, HostId, HostSpec, LoadTrace};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Run the MPVM Opt job (master + 2 slaves, all on host0) on a 3-host
+/// cluster under the given fault schedule, with the GS's owner-reclaim
+/// policy in the loop. host2 carries constant external load so that a
+/// healthy host1 is always the preferred destination.
+fn faulted_opt_run(
+    faults: FaultSchedule,
+) -> (
+    adaptive_pvm::opt::TrainResult,
+    Vec<Decision>,
+    Vec<String>,
+    f64,
+) {
+    let cluster = Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_host(HostSpec::hp720("h0"))
+            .with_host(HostSpec::hp720("h1"))
+            .with_host(HostSpec::hp720("h2").with_load(LoadTrace::steps(vec![(SimTime(0), 2.0)])))
+            .with_faults(faults)
+            .build(),
+    );
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    // ~4 MB of training data: each slave carries ~2 MB of migratable
+    // state, so a stage-3 transfer spans over a second of virtual time —
+    // a wide window for the crash to land in.
+    let mut cfg = OptConfig::tiny();
+    cfg.data_bytes = 4_000_000;
+    cfg.nhosts = 3;
+    cfg.iterations = 12;
+    let set = TrainingSet::synthetic(cfg.data_bytes, cfg.dim, cfg.ncats, cfg.seed);
+    let parts = set.partitions(cfg.nslaves);
+
+    let result = Arc::new(Mutex::new(None));
+    let mut slaves = Vec::new();
+    let mut txs = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let cfg2 = cfg.clone();
+        let (tx, rx) = mpsc::channel::<Tid>();
+        txs.push(tx);
+        slaves.push(mpvm.spawn_app(HostId(0), format!("slave{i}"), move |task| {
+            let master = rx.recv().unwrap();
+            ms::slave(task, &cfg2, master, &part);
+        }));
+    }
+    let cfg2 = cfg.clone();
+    let res = Arc::clone(&result);
+    let slaves2 = slaves.clone();
+    let master = mpvm.spawn_app(HostId(0), "master", move |task| {
+        *res.lock().unwrap() = Some(ms::master(task, &cfg2, &slaves2));
+    });
+    for tx in txs {
+        tx.send(master).unwrap();
+    }
+    mpvm.seal();
+
+    let gs = Gs::spawn(
+        &cluster,
+        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
+        Policy::OwnerReclaim,
+    );
+    let end = cluster.sim.run().expect("simulation failed");
+    let trace = cluster
+        .sim
+        .take_trace()
+        .into_iter()
+        .map(|e| e.to_string())
+        .collect();
+    let r = result.lock().unwrap().take().unwrap();
+    (r, gs.decisions(), trace, end.as_secs_f64())
+}
+
+/// The acceptance schedule: host0's owner reclaims it at t = 2 s, and the
+/// preferred destination (host1) crashes at t = 3.5 s — mid-way through
+/// the first evacuated process's stage-3 state transfer.
+fn crash_schedule() -> FaultSchedule {
+    FaultSchedule::new()
+        .at(
+            SimDuration::from_secs(2),
+            Fault::OwnerReclaim { host: HostId(0) },
+        )
+        .at(
+            SimDuration::from_millis(3_500),
+            Fault::HostCrash { host: HostId(1) },
+        )
+}
+
+#[test]
+fn destination_crash_mid_transfer_aborts_then_lands_elsewhere() {
+    let (quiet, quiet_dec, _, quiet_wall) = faulted_opt_run(FaultSchedule::new());
+    assert!(quiet_dec.is_empty(), "no faults, no decisions");
+
+    let (moved, decisions, trace, wall) = faulted_opt_run(crash_schedule());
+
+    // The protocol visibly aborted and the fault plane visibly fired.
+    let has = |tag: &str| trace.iter().any(|e| e.contains(tag));
+    assert!(has("fault.reclaim"), "owner reclaim fault must fire");
+    assert!(has("fault.crash"), "host crash fault must fire");
+    assert!(
+        has("mpvm.migrate.rollback"),
+        "severed transfer must roll the attempt back"
+    );
+    assert!(has("gs.migrate.failed"), "GS must see the failed outcome");
+
+    // First decision: towards the (soon dead) preferred host1, Failed.
+    let first = &decisions[0];
+    assert_eq!(first.dst, HostId(1), "h1 is preferred while healthy");
+    assert!(
+        matches!(
+            &first.outcome,
+            MigrationOutcome::Failed {
+                error: PvmError::Severed { .. } | PvmError::HostDown(_)
+            }
+        ),
+        "first attempt dies with the destination: {:?}",
+        first.outcome
+    );
+
+    // The same unit is re-decided onto host2 and completes there; every
+    // successful migration of the run lands on the only live destination.
+    let retried = decisions
+        .iter()
+        .find(|d| d.unit == first.unit && d.outcome.is_completed())
+        .expect("the aborted unit must eventually migrate");
+    assert_eq!(retried.dst, HostId(2));
+    for d in &decisions {
+        if d.outcome.is_completed() {
+            assert_eq!(d.dst, HostId(2), "h2 is the only live destination");
+        }
+    }
+
+    // Process migration is transparent: bit-identical training results.
+    assert_eq!(quiet.checksum, moved.checksum);
+    assert_eq!(quiet.losses, moved.losses);
+    assert!(
+        wall > quiet_wall,
+        "surviving a crash costs time: {wall} vs {quiet_wall}"
+    );
+}
+
+#[test]
+fn same_fault_seed_reproduces_identical_event_trace() {
+    let (r1, d1, t1, w1) = faulted_opt_run(crash_schedule());
+    let (r2, d2, t2, w2) = faulted_opt_run(crash_schedule());
+    assert_eq!(r1, r2);
+    assert_eq!(w1, w2);
+    assert_eq!(t1, t2, "same schedule, same event trace, bit for bit");
+    assert_eq!(d1.len(), d2.len());
+    for (a, b) in d1.iter().zip(&d2) {
+        assert_eq!(a.at, b.at);
+        assert_eq!(a.unit, b.unit);
+        assert_eq!(a.dst, b.dst);
+        assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+#[test]
+fn seeded_schedules_are_deterministic_and_respect_protection() {
+    let a = FaultSchedule::seeded(
+        42,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(60),
+        4,
+        &[HostId(0)],
+    );
+    let b = FaultSchedule::seeded(
+        42,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(60),
+        4,
+        &[HostId(0)],
+    );
+    assert_eq!(a, b, "same seed, same schedule");
+    assert!(!a.is_empty(), "a 60 s horizon at mean 5 s yields events");
+    for ev in a.events() {
+        match &ev.fault {
+            Fault::HostCrash { host } | Fault::OwnerReclaim { host } => {
+                assert_ne!(*host, HostId(0), "protected host must not be hit");
+            }
+            _ => {}
+        }
+    }
+    let c = FaultSchedule::seeded(
+        43,
+        SimDuration::from_secs(5),
+        SimDuration::from_secs(60),
+        4,
+        &[HostId(0)],
+    );
+    assert_ne!(a, c, "different seeds diverge");
+}

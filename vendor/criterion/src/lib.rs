@@ -1,0 +1,205 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements enough of the criterion API for `cargo bench` (and `cargo
+//! test --benches`) to build and run: each benchmark executes a small,
+//! fixed number of timed iterations and prints a mean per-iteration time.
+//! No statistics, no HTML reports.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed_ns: 0,
+            timed: 0,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Time the closure over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.timed += self.iterations;
+    }
+
+    fn report(&self, name: &str) {
+        if self.timed == 0 {
+            println!("bench {name:<44} (no iterations)");
+        } else {
+            let per = self.elapsed_ns as f64 / self.timed as f64;
+            println!("bench {name:<44} {per:>14.0} ns/iter");
+        }
+    }
+}
+
+/// A parameterised benchmark identifier (`BenchmarkId::new("case", size)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark over one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            iterations: self.criterion.sample_size as u64,
+            elapsed_ns: 0,
+            timed: 0,
+        };
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            iterations: self.criterion.sample_size as u64,
+            elapsed_ns: 0,
+            timed: 0,
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut n = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| b.iter(|| n += 1));
+        // warmup + 3 samples
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        let mut hits = 0;
+        g.bench_with_input(BenchmarkId::new("f", 8), &8usize, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

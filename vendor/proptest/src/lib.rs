@@ -1,0 +1,471 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so the real crate cannot be
+//! fetched. This stub implements the subset of the proptest API the test
+//! suite uses: the [`Strategy`] trait with `prop_map`, integer-range and
+//! tuple strategies, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop::option::of`, a small `[class]{m,n}`
+//! regex-string strategy, and the `proptest!` / `prop_assert!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is driven by a SplitMix64 RNG seeded from the test's module
+//!   path and name, so each test sees the same inputs on every run (the
+//!   repo's determinism guarantees extend to its own test inputs).
+//! * No shrinking: a failing case reports its inputs via the assert message.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range value generation for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            // Full bit range: includes NaNs and infinities, as tests that
+            // compare `to_bits` expect.
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20u8 + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of values from `element`, with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option`s.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, otherwise `Some` of the inner
+    /// strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! The `&str`-pattern strategy: a tiny `[class]{m,n}` regex subset.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Quantified {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parse the supported regex subset: sequences of literal characters or
+    /// `[...]` classes (with `a-z` ranges), each optionally followed by
+    /// `{m,n}`, `{n}`, `*`, `+` or `?`.
+    fn parse(pattern: &str) -> Vec<Quantified> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(set)
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                Atom::Literal(c)
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("unterminated repeat in {pattern:?}"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.parse().expect("repeat min"),
+                                b.parse().expect("repeat max"),
+                            ),
+                            None => {
+                                let n = body.parse().expect("repeat count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            out.push(Quantified { atom, min, max });
+        }
+        out
+    }
+
+    pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for q in parse(pattern) {
+            let n = q.min + (rng.next_u64() % (q.max - q.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &q.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                        out.push(set[(rng.next_u64() % set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Run one named test body over `cases` generated inputs. Used by the
+/// `proptest!` macro; not part of the public API of the real crate.
+#[doc(hidden)]
+pub fn run_cases(
+    name: &str,
+    cases: u32,
+    mut body: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let mut rng = test_runner::TestRng::from_name(name);
+    for case in 0..cases {
+        if let Err(e) = body(&mut rng) {
+            panic!("property failed at case {case}/{cases}: {e}");
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #![proptest_config(...)] #[test] fn
+/// name(x in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                cfg.cases,
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)+), a, b),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: `{:?}` == `{:?}`", a, b);
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tok {
+        Num(u32),
+        Flag(bool),
+        Text(String),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            t in prop_oneof![
+                (0u32..100).prop_map(Tok::Num),
+                any::<bool>().prop_map(Tok::Flag),
+                "[a-c]{1,3}".prop_map(Tok::Text),
+            ]
+        ) {
+            match t {
+                Tok::Num(n) => prop_assert!(n < 100),
+                Tok::Flag(_) => {}
+                Tok::Text(s) => {
+                    prop_assert!(!s.is_empty() && s.len() <= 3);
+                    prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+                }
+            }
+        }
+
+        #[test]
+        fn tuples_and_option(pair in ((1u64..5), any::<u32>()), o in prop::option::of(0i32..3)) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 5);
+            if let Some(v) = o {
+                prop_assert!((0..3).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(crate::arbitrary::any::<u64>(), 1..10);
+        let mut r1 = crate::test_runner::TestRng::from_name("det");
+        let mut r2 = crate::test_runner::TestRng::from_name("det");
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::from_name("re");
+        for _ in 0..64 {
+            let s = crate::string::generate("[a-zA-Z0-9 ]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Test configuration, deterministic RNG, and case-failure reporting.
+
+use std::fmt;
+
+/// Per-test configuration (only `cases` is honoured by the stub).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias used by the real crate.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64: small, fast, and deterministic. Seeded from the test name so
+/// every run of a given test sees identical inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a raw value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a test's name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
