@@ -9,7 +9,7 @@
 
 use parking_lot::Mutex;
 use pvm_rt::{Pvm, Tid};
-use simcore::SimCtx;
+use simcore::{sim_trace, SimCtx};
 use std::collections::VecDeque;
 
 /// An adaptive-load-distribution event, as the application sees it.
@@ -62,7 +62,7 @@ impl EventBox {
         while let Some(sig) = ctx.take_signal() {
             match sig.downcast::<AdmEvent>() {
                 Ok(ev) => self.queue.lock().push_back(*ev),
-                Err(other) => ctx.trace("adm.signal.unknown", format!("{other:?}")),
+                Err(other) => sim_trace!(ctx, "adm.signal.unknown", "{other:?}"),
             }
         }
     }

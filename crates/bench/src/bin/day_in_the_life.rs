@@ -6,117 +6,43 @@
 //! scheduler, getting evacuated every time an owner sits down, and is
 //! compared against the same job on a dedicated (quiet, unshared) cluster.
 //! The difference is the total price of staying unobtrusive.
+//!
+//! The scenario itself lives in [`bench_tables::simbench::day_in_the_life`]
+//! so the engine benchmark can reuse it.
 
-use mpvm::Mpvm;
-use opt_app::config::OptConfig;
-use opt_app::data::TrainingSet;
-use opt_app::ms;
-use parking_lot::Mutex;
-use pvm_rt::{Pvm, Tid};
-use std::sync::{mpsc, Arc};
-use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
-
-fn run(shared: bool, seed: u64) -> (f64, usize, Vec<String>, Vec<f64>) {
-    let horizon = 3600.0;
-    let b = (0..8u64).fold(Cluster::builder(Calib::hp720_ethernet()), |b, h| {
-        let spec = HostSpec::hp720(format!("ws{h}"));
-        let spec = if shared {
-            spec.with_owner(OwnerTrace::random_sessions(seed + h, horizon, 200.0, 90.0))
-                .with_load(LoadTrace::random_bursts(
-                    seed + 100 + h,
-                    horizon,
-                    150.0,
-                    60.0,
-                    2,
-                ))
-        } else {
-            spec
-        };
-        b.with_host(spec)
-    });
-    let cluster = Arc::new(b.build());
-    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
-
-    let mut cfg = OptConfig::paper(6_000_000, 80);
-    cfg.nslaves = 4;
-    cfg.nhosts = 8;
-    let set = TrainingSet::synthetic(cfg.data_bytes, cfg.dim, cfg.ncats, cfg.seed);
-    let parts = set.partitions(cfg.nslaves);
-
-    let result = Arc::new(Mutex::new(None));
-    let mut slaves = Vec::new();
-    let mut txs = Vec::new();
-    for (i, part) in parts.into_iter().enumerate() {
-        let cfg2 = cfg.clone();
-        let (tx, rx) = mpsc::channel::<Tid>();
-        txs.push(tx);
-        slaves.push(
-            mpvm.spawn_app(HostId(i % 8), format!("slave{i}"), move |task| {
-                let master = rx.recv().unwrap();
-                ms::slave(task, &cfg2, master, &part);
-            }),
-        );
-    }
-    let cfg2 = cfg.clone();
-    let res = Arc::clone(&result);
-    let slaves2 = slaves.clone();
-    let job_end = Arc::new(Mutex::new(0.0f64));
-    let je = Arc::clone(&job_end);
-    let master = mpvm.spawn_app(HostId(4), "master", move |task| {
-        *res.lock() = Some(ms::master(task, &cfg2, &slaves2));
-        *je.lock() = pvm_rt::TaskApi::now(task).as_secs_f64();
-    });
-    for tx in txs {
-        tx.send(master).unwrap();
-    }
-    mpvm.seal();
-
-    let gs = cpe::Gs::spawn(
-        &cluster,
-        Arc::new(cpe::MpvmTarget(Arc::clone(&mpvm))),
-        cpe::Policy::OwnerReclaim,
-    );
-
-    // The simulation runs on past the job's completion (pre-installed
-    // monitor trace events fire through the full hour); the job's own end
-    // time is what we report.
-    cluster.sim.run().expect("day-in-the-life failed");
-    let end = *job_end.lock();
-    let decisions: Vec<String> = gs
-        .decisions()
-        .iter()
-        .map(|d| format!("[{:7.1}s] move {} -> {}", d.at.as_secs_f64(), d.unit, d.dst))
-        .collect();
-    let n = decisions.len();
-    let r = result.lock().take().unwrap();
-    assert!(r.final_loss() < r.losses[0], "training still converges");
-    let util = cluster.utilization(simcore::SimDuration::from_secs_f64(end.max(1.0)));
-    (end, n, decisions, util)
-}
+use bench_tables::simbench::{day_in_the_life, DayConfig};
 
 fn main() {
     let seed = 1994;
     println!("an hour on 8 shared, owned workstations (seed {seed})\n");
-    let (dedicated, _, _, _) = run(false, seed);
-    let (shared, evacs, log, util) = run(true, seed);
+    let dedicated = day_in_the_life(&DayConfig::full(false, seed));
+    let shared = day_in_the_life(&DayConfig::full(true, seed));
+    assert!(
+        dedicated.converged && shared.converged,
+        "training converges"
+    );
     println!("evacuations driven by owner activity:");
-    for l in &log {
+    for l in &shared.decisions {
         println!("  {l}");
     }
     println!("\n{:<40} {:>12}", "cluster", "job runtime");
-    println!("{:<40} {:>11.1}s", "dedicated (quiet, unshared)", dedicated);
     println!(
         "{:<40} {:>11.1}s",
-        "shared + MPVM adaptive migration", shared
+        "dedicated (quiet, unshared)", dedicated.job_end_secs
+    );
+    println!(
+        "{:<40} {:>11.1}s",
+        "shared + MPVM adaptive migration", shared.job_end_secs
     );
     println!("\nper-host parallel-compute utilization over the job window:");
-    for (h, u) in util.iter().enumerate() {
+    for (h, u) in shared.utilization.iter().enumerate() {
         println!("  ws{h}: {:>5.1}%", u * 100.0);
     }
     println!(
-        "\nthe job survived {evacs} owner reclamations, never squatted on an\n\
+        "\nthe job survived {} owner reclamations, never squatted on an\n\
          owned machine, and paid {:.0}% in runtime for it — the worknet's\n\
          'effectively free' cycles (§1.0) with unobtrusiveness preserved.",
-        (shared / dedicated - 1.0) * 100.0
+        shared.decisions.len(),
+        (shared.job_end_secs / dedicated.job_end_secs - 1.0) * 100.0
     );
 }

@@ -1,0 +1,55 @@
+//! Measure simulator-engine throughput and write `BENCH_SIM.json`.
+//!
+//! Usage: `simbench [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs the reduced workloads (CI-sized); `--out` overrides the
+//! output path (default: `BENCH_SIM.json` in the current directory, i.e.
+//! the repo root when run via `cargo run`).
+
+use bench_tables::simbench::{
+    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, render_report,
+};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: simbench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "simbench ({} workloads)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut measures = Vec::new();
+    for (id, f) in [
+        ("figure1", measure_figure1 as fn(bool) -> _),
+        ("day_in_the_life", measure_day_in_the_life),
+    ] {
+        println!("running {id}...");
+        let m = f(smoke);
+        let base = baseline_events_per_sec(id, smoke);
+        println!(
+            "  {:>12} events in {:>7.3}s wall ({:>9.0} events/sec{}), {:.1} sim-secs",
+            m.events,
+            m.wall_secs,
+            m.events_per_sec(),
+            base.map(|b| format!(", {:.2}x baseline", m.events_per_sec() / b))
+                .unwrap_or_default(),
+            m.sim_secs,
+        );
+        measures.push(m);
+    }
+
+    let report = render_report(&measures, smoke);
+    std::fs::write(&out, &report).expect("write BENCH_SIM.json");
+    println!("\nwrote {out}");
+}

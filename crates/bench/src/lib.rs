@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod simbench;
 
 use simcore::TraceEvent;
 use std::path::PathBuf;

@@ -1,0 +1,352 @@
+//! simbench — wall-clock benchmarks of the simulator engine itself.
+//!
+//! Every table and figure in this repo is produced by pushing whole worknets
+//! (hosts × pvmds × VPs) through the deterministic simulator, so simulator
+//! throughput — heap entries processed per host-second — bounds how much
+//! evaluation a PR can afford. This module measures two representative
+//! workloads end to end:
+//!
+//! * **figure-1**: the MPVM migration-protocol run (4.2 MB set, one
+//!   migration) — handoff-dense, message-heavy.
+//! * **day-in-the-life**: an hour on 8 owned workstations with owner
+//!   sessions, load bursts, and GS-driven evacuations — the paper's §1.0
+//!   scenario and the longest-running binary in the repo.
+//!
+//! The `simbench` binary writes `BENCH_SIM.json` at the repo root with the
+//! current engine's numbers next to a recorded baseline of the pre-overhaul
+//! engine (single shared condvar, `notify_all` per handoff, tombstone event
+//! heap), so the perf trajectory accumulates PR over PR.
+
+use crate::json;
+use cpe::MpvmTarget;
+use mpvm::Mpvm;
+use opt_app::config::OptConfig;
+use opt_app::data::TrainingSet;
+use opt_app::{ms, run_mpvm_opt, MigrationPlan};
+use parking_lot::Mutex;
+use pvm_rt::{Pvm, Tid};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+
+/// One workload's measurement: simulator throughput and end-to-end cost.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasure {
+    /// Workload id (`"figure1"` or `"day_in_the_life"`).
+    pub id: String,
+    /// Simulator heap entries processed (handoffs + kernel events).
+    pub events: u64,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Virtual seconds the simulation covered.
+    pub sim_secs: f64,
+}
+
+impl WorkloadMeasure {
+    /// Heap entries processed per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Parameters for a day-in-the-life run (§1.0 scenario).
+#[derive(Debug, Clone)]
+pub struct DayConfig {
+    /// RNG seed for owner sessions and load bursts.
+    pub seed: u64,
+    /// Scenario horizon in virtual seconds.
+    pub horizon_secs: f64,
+    /// Training-set size for the Opt job.
+    pub data_bytes: usize,
+    /// Training iterations.
+    pub iters: usize,
+    /// Opt slaves.
+    pub nslaves: usize,
+    /// Whether the workstations are shared (owner + load traces installed).
+    pub shared: bool,
+}
+
+impl DayConfig {
+    /// The full scenario the `day_in_the_life` binary runs.
+    pub fn full(shared: bool, seed: u64) -> Self {
+        DayConfig {
+            seed,
+            horizon_secs: 3600.0,
+            data_bytes: 6_000_000,
+            iters: 80,
+            nslaves: 4,
+            shared,
+        }
+    }
+
+    /// A reduced variant for CI smoke runs: same shape, ~10× less work.
+    pub fn smoke(shared: bool, seed: u64) -> Self {
+        DayConfig {
+            seed,
+            horizon_secs: 600.0,
+            data_bytes: 1_000_000,
+            iters: 20,
+            nslaves: 4,
+            shared,
+        }
+    }
+}
+
+/// The observable outcome of one day-in-the-life run.
+pub struct DayRun {
+    /// Virtual time at which the Opt job finished.
+    pub job_end_secs: f64,
+    /// GS evacuation decisions, formatted for the report.
+    pub decisions: Vec<String>,
+    /// Per-host parallel-compute utilization over the job window.
+    pub utilization: Vec<f64>,
+    /// Simulator heap entries processed.
+    pub events: u64,
+    /// Final virtual time of the whole simulation (monitor horizon).
+    pub sim_end_secs: f64,
+    /// Whether training loss improved over the run (sanity check).
+    pub converged: bool,
+}
+
+/// Run the paper's §1.0 motivating scenario: a long Opt training job under
+/// MPVM + the CPE global scheduler on 8 owned workstations, evacuated every
+/// time an owner sits down.
+pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
+    let b = (0..8u64).fold(Cluster::builder(Calib::hp720_ethernet()), |b, h| {
+        let spec = HostSpec::hp720(format!("ws{h}"));
+        let spec = if cfg.shared {
+            spec.with_owner(OwnerTrace::random_sessions(
+                cfg.seed + h,
+                cfg.horizon_secs,
+                200.0,
+                90.0,
+            ))
+            .with_load(LoadTrace::random_bursts(
+                cfg.seed + 100 + h,
+                cfg.horizon_secs,
+                150.0,
+                60.0,
+                2,
+            ))
+        } else {
+            spec
+        };
+        b.with_host(spec)
+    });
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    let mut opt_cfg = OptConfig::paper(cfg.data_bytes, cfg.iters);
+    opt_cfg.nslaves = cfg.nslaves;
+    opt_cfg.nhosts = 8;
+    let set = TrainingSet::synthetic(opt_cfg.data_bytes, opt_cfg.dim, opt_cfg.ncats, opt_cfg.seed);
+    let parts = set.partitions(opt_cfg.nslaves);
+
+    let result = Arc::new(Mutex::new(None));
+    let mut slaves = Vec::new();
+    let mut txs = Vec::new();
+    for (i, part) in parts.into_iter().enumerate() {
+        let cfg2 = opt_cfg.clone();
+        let (tx, rx) = mpsc::channel::<Tid>();
+        txs.push(tx);
+        slaves.push(
+            mpvm.spawn_app(HostId(i % 8), format!("slave{i}"), move |task| {
+                let master = rx.recv().unwrap();
+                ms::slave(task, &cfg2, master, &part);
+            }),
+        );
+    }
+    let cfg2 = opt_cfg.clone();
+    let res = Arc::clone(&result);
+    let slaves2 = slaves.clone();
+    let job_end = Arc::new(Mutex::new(0.0f64));
+    let je = Arc::clone(&job_end);
+    let master = mpvm.spawn_app(HostId(4), "master", move |task| {
+        *res.lock() = Some(ms::master(task, &cfg2, &slaves2));
+        *je.lock() = pvm_rt::TaskApi::now(task).as_secs_f64();
+    });
+    for tx in txs {
+        tx.send(master).unwrap();
+    }
+    mpvm.seal();
+
+    let gs = cpe::Gs::spawn(
+        &cluster,
+        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
+        cpe::Policy::OwnerReclaim,
+    );
+
+    // The simulation runs on past the job's completion (pre-installed
+    // monitor trace events fire through the full horizon); the job's own
+    // end time is what we report.
+    let sim_end = cluster.sim.run().expect("day-in-the-life failed");
+    let end = *job_end.lock();
+    let decisions: Vec<String> = gs
+        .decisions()
+        .iter()
+        .map(|d| format!("[{:7.1}s] move {} -> {}", d.at.as_secs_f64(), d.unit, d.dst))
+        .collect();
+    let r = result.lock().take().expect("master produced no result");
+    let util = cluster.utilization(simcore::SimDuration::from_secs_f64(end.max(1.0)));
+    DayRun {
+        job_end_secs: end,
+        decisions,
+        utilization: util,
+        events: cluster.sim.events_processed(),
+        sim_end_secs: sim_end.as_secs_f64(),
+        converged: r.final_loss() < r.losses[0],
+    }
+}
+
+/// Wall-clock repetitions per workload: virtual-time results are asserted
+/// identical across repeats (the simulator is deterministic), and the
+/// fastest wall time is reported — the standard estimator that a shared
+/// machine's background noise can only inflate, never deflate.
+pub const REPEATS: usize = 3;
+
+/// Run `measure` [`REPEATS`] times, assert the simulation itself replayed
+/// identically, and keep the fastest wall-clock.
+fn best_of(measure: impl Fn() -> WorkloadMeasure) -> WorkloadMeasure {
+    let mut best = measure();
+    for _ in 1..REPEATS {
+        let m = measure();
+        assert_eq!(m.events, best.events, "non-deterministic replay");
+        assert_eq!(m.sim_secs, best.sim_secs, "non-deterministic replay");
+        if m.wall_secs < best.wall_secs {
+            best = m;
+        }
+    }
+    best
+}
+
+/// Measure the figure-1 workload (MPVM migration protocol run).
+pub fn measure_figure1(smoke: bool) -> WorkloadMeasure {
+    best_of(|| {
+        let (bytes, iters) = if smoke {
+            (1_000_000, 8)
+        } else {
+            (4_200_000, 20)
+        };
+        let mut cfg = OptConfig::paper(bytes, iters);
+        cfg.chunk = 64;
+        let start = Instant::now();
+        let run = run_mpvm_opt(
+            Calib::hp720_ethernet(),
+            &cfg,
+            &[MigrationPlan {
+                at_secs: 5.0,
+                slave: 1,
+                dst: HostId(0),
+            }],
+        );
+        let wall = start.elapsed().as_secs_f64();
+        WorkloadMeasure {
+            id: "figure1".into(),
+            events: run.events,
+            wall_secs: wall,
+            sim_secs: run.wall,
+        }
+    })
+}
+
+/// Measure the day-in-the-life workload (shared cluster variant).
+pub fn measure_day_in_the_life(smoke: bool) -> WorkloadMeasure {
+    best_of(|| {
+        let cfg = if smoke {
+            DayConfig::smoke(true, 1994)
+        } else {
+            DayConfig::full(true, 1994)
+        };
+        let start = Instant::now();
+        let run = day_in_the_life(&cfg);
+        let wall = start.elapsed().as_secs_f64();
+        assert!(run.converged, "day-in-the-life training did not converge");
+        WorkloadMeasure {
+            id: "day_in_the_life".into(),
+            events: run.events,
+            wall_secs: wall,
+            sim_secs: run.sim_end_secs,
+        }
+    })
+}
+
+/// Events/sec of the pre-overhaul engine (single shared condvar with
+/// `notify_all` per handoff, thread-per-actor, `HashMap` + tombstone event
+/// heap, eager `format!` tracing), measured on this repo's reference
+/// machine immediately before the fast-path overhaul. `(workload id,
+/// full-mode events/sec, smoke-mode events/sec)`.
+pub const BASELINE_ENGINE: &str =
+    "single-condvar notify_all, thread-per-actor, tombstone heap (pre-overhaul)";
+
+/// See [`BASELINE_ENGINE`].
+pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64, f64)] = &[
+    ("figure1", 5_984.0, 6_428.0),
+    ("day_in_the_life", 6_430.0, 9_051.0),
+];
+
+/// Description of the engine being measured now.
+pub const CURRENT_ENGINE: &str = "targeted per-actor wakeups, carrier-thread pool, \
+     slab-indexed event heap, lazy tracing, FMA-dispatched Opt kernel";
+
+/// Baseline events/sec recorded for a workload in the given mode.
+pub fn baseline_events_per_sec(id: &str, smoke: bool) -> Option<f64> {
+    BASELINE_EVENTS_PER_SEC
+        .iter()
+        .find(|(w, _, _)| *w == id)
+        .map(|(_, full, sm)| if smoke { *sm } else { *full })
+}
+
+/// Render the `BENCH_SIM.json` document.
+pub fn render_report(measures: &[WorkloadMeasure], smoke: bool) -> String {
+    let mut o = String::new();
+    o.push_str("{\n  \"schema\": \"simbench-v1\",\n");
+    o.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    o.push_str(&format!("  \"engine\": {},\n", json::quote(CURRENT_ENGINE)));
+    o.push_str("  \"baseline\": {\n");
+    o.push_str(&format!(
+        "    \"engine\": {},\n",
+        json::quote(BASELINE_ENGINE)
+    ));
+    o.push_str("    \"events_per_sec\": {");
+    for (i, (id, full, sm)) in BASELINE_EVENTS_PER_SEC.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n      {}: {}",
+            json::quote(id),
+            if smoke { sm } else { full }
+        ));
+    }
+    o.push_str("\n    }\n  },\n");
+    o.push_str("  \"current\": [");
+    for (i, m) in measures.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n    {{\n      \"id\": {},\n      \"events\": {},\n      \"wall_secs\": {:.4},\n      \"sim_secs\": {:.2},\n      \"events_per_sec\": {:.0}\n    }}",
+            json::quote(&m.id),
+            m.events,
+            m.wall_secs,
+            m.sim_secs,
+            m.events_per_sec()
+        ));
+    }
+    o.push_str("\n  ],\n");
+    o.push_str("  \"speedup_vs_baseline\": {");
+    for (i, m) in measures.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let speedup = baseline_events_per_sec(&m.id, smoke)
+            .map(|b| m.events_per_sec() / b)
+            .unwrap_or(f64::NAN);
+        o.push_str(&format!("\n    {}: {:.2}", json::quote(&m.id), speedup));
+    }
+    o.push_str("\n  }\n}\n");
+    o
+}

@@ -10,7 +10,7 @@
 use crate::monitor::{self, MonitorEvent};
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
-use simcore::{Mailbox, SimCtx, SimDuration};
+use simcore::{sim_trace, Mailbox, SimCtx, SimDuration};
 use std::collections::HashSet;
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
@@ -102,7 +102,7 @@ impl Gs {
         cluster.sim.spawn("global-scheduler", move |ctx| {
             let mut owner_active: HashSet<HostId> = HashSet::new();
             while let Some(ev) = mb.recv(&ctx) {
-                ctx.trace("gs.event", format!("{ev:?}"));
+                sim_trace!(ctx, "gs.event", "{ev:?}");
                 match &ev {
                     MonitorEvent::OwnerActive(h) => {
                         owner_active.insert(*h);
@@ -260,10 +260,7 @@ fn evacuate(
             ) else {
                 break;
             };
-            ctx.trace(
-                "gs.migrate",
-                format!("{} {unit} {src} -> {dst}", target.kind()),
-            );
+            sim_trace!(ctx, "gs.migrate", "{} {unit} {src} -> {dst}", target.kind());
             let outcome = target.migrate(ctx, unit, dst);
             let completed = outcome.is_completed();
             let unit_gone = matches!(
@@ -271,9 +268,11 @@ fn evacuate(
                 Some(pvm_rt::PvmError::NoSuchTask(t)) if *t == unit
             );
             if let Some(err) = outcome.error() {
-                ctx.trace(
+                sim_trace!(
+                    ctx,
                     "gs.migrate.failed",
-                    format!("{} {unit} {src} -> {dst}: {err}", target.kind()),
+                    "{} {unit} {src} -> {dst}: {err}",
+                    target.kind()
                 );
             }
             decisions.lock().push(Decision {
@@ -293,10 +292,7 @@ fn evacuate(
             }
             blacklist.insert(dst);
         }
-        ctx.trace(
-            "gs.stuck",
-            format!("{unit} on {src}: no eligible destination"),
-        );
+        sim_trace!(ctx, "gs.stuck", "{unit} on {src}: no eligible destination");
     }
 }
 
@@ -342,17 +338,16 @@ fn rebalance_once(
                 now,
             ) {
                 if hot_score - score(dst) > 1.0 {
-                    ctx.trace(
-                        "gs.rebalance",
-                        format!("{} {unit} {hot} -> {dst}", t.kind()),
-                    );
+                    sim_trace!(ctx, "gs.rebalance", "{} {unit} {hot} -> {dst}", t.kind());
                     // A rebalance is opportunistic: record the verdict but
                     // don't retry — the next tick re-evaluates from scratch.
                     let outcome = t.migrate(ctx, unit, dst);
                     if let Some(err) = outcome.error() {
-                        ctx.trace(
+                        sim_trace!(
+                            ctx,
                             "gs.migrate.failed",
-                            format!("{} {unit} {hot} -> {dst}: {err}", t.kind()),
+                            "{} {unit} {hot} -> {dst}: {err}",
+                            t.kind()
                         );
                     }
                     decisions.lock().push(Decision {

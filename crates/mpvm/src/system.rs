@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use pvm_rt::{
     Message, MigrationOutcome, MsgBuf, OutcomeBoard, Pvm, PvmError, ShutdownGroup, TaskApi, Tid,
 };
-use simcore::{SimCtx, SimDuration};
+use simcore::{sim_trace, SimCtx, SimDuration};
 use std::sync::Arc;
 use worknet::HostId;
 
@@ -223,8 +223,7 @@ fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
         match m.tag {
             proto::TAG_MIGRATE_CMD => {
                 let (tid, dst) = proto::parse_migrate_cmd(&m);
-                task.sim()
-                    .trace("mpvm.cmd.received", format!("{tid} -> {dst}"));
+                sim_trace!(task.sim(), "mpvm.cmd.received", "{tid} -> {dst}");
                 let cluster = &pvm.cluster;
                 let compatible = pvm.host_of(tid).is_some_and(|src| {
                     cluster
@@ -234,9 +233,10 @@ fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
                         .migration_compatible(cluster.host(dst).spec.arch)
                 });
                 if !compatible {
-                    task.sim().trace(
+                    sim_trace!(
+                        task.sim(),
                         "mpvm.cmd.rejected",
-                        format!("{tid} -> {dst}: not migration-compatible"),
+                        "{tid} -> {dst}: not migration-compatible"
                     );
                     continue;
                 }
@@ -247,27 +247,23 @@ fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
                         task.sim()
                             .post_signal(actor, Box::new(MigrateOrder { dst }));
                     }
-                    None => task
-                        .sim()
-                        .trace("mpvm.cmd.dropped", format!("{tid}: no such task")),
+                    None => sim_trace!(task.sim(), "mpvm.cmd.dropped", "{tid}: no such task"),
                 }
             }
             proto::TAG_SKEL_REQ => {
                 // fork + exec the skeleton from the same executable, then
                 // tell the migrating process it may connect (§2.1 stage 3).
-                task.sim().trace("mpvm.skel.start", String::new());
+                sim_trace!(task.sim(), "mpvm.skel.start");
                 task.host().fork_exec(task.sim());
                 task.send(m.src, proto::TAG_SKEL_READY, MsgBuf::new());
             }
             proto::TAG_SKEL_ABORT => {
                 // The migrating process gave up; reap the skeleton.
                 task.host().syscall(task.sim());
-                task.sim().trace("mpvm.skel.aborted", String::new());
+                sim_trace!(task.sim(), "mpvm.skel.aborted");
             }
             proto::TAG_QUIT => break,
-            other => task
-                .sim()
-                .trace("mpvm.daemon.unknown", format!("tag {other}")),
+            other => sim_trace!(task.sim(), "mpvm.daemon.unknown", "tag {other}"),
         }
     }
 }
@@ -299,9 +295,7 @@ fn agent_body(task: &Arc<pvm_rt::PvmTask>, shared: &Arc<MigShared>) {
                 }
             }
             proto::TAG_QUIT => break,
-            other => task
-                .sim()
-                .trace("mpvm.agent.unknown", format!("tag {other}")),
+            other => sim_trace!(task.sim(), "mpvm.agent.unknown", "tag {other}"),
         }
     }
 }

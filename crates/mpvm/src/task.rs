@@ -12,7 +12,7 @@ use crate::proto::{self, MigrateOrder};
 use crate::shared::MigShared;
 use crate::system::Mpvm;
 use pvm_rt::{Message, MigrationOutcome, MsgBuf, Pvm, PvmError, PvmResult, PvmTask, TaskApi, Tid};
-use simcore::{Interrupted, SimCtx, SimDuration, SimTime};
+use simcore::{sim_trace, Interrupted, SimCtx, SimDuration, SimTime};
 use std::sync::Arc;
 use worknet::{ComputeOutcome, HostId, TcpConn};
 
@@ -78,10 +78,7 @@ impl MigTask {
         while let Some(sig) = self.inner.sim().take_signal() {
             match sig.downcast::<MigrateOrder>() {
                 Ok(order) => self.migrate_now(order.dst),
-                Err(other) => self
-                    .inner
-                    .sim()
-                    .trace("mpvm.signal.unknown", format!("{other:?}")),
+                Err(other) => sim_trace!(self.inner.sim(), "mpvm.signal.unknown", "{other:?}"),
             }
         }
     }
@@ -95,16 +92,17 @@ impl MigTask {
         let old = self.inner.tid();
         let src_host = self.inner.host_id();
         if src_host == dst {
-            ctx.trace("mpvm.migrate.noop", format!("{old} already on {dst}"));
+            sim_trace!(ctx, "mpvm.migrate.noop", "{old} already on {dst}");
             self.sys
                 .outcomes()
                 .post(&ctx, old, MigrationOutcome::Completed { new_tid: old });
             return;
         }
         if !self.sys.migration_compatible(old, dst) {
-            ctx.trace(
+            sim_trace!(
+                ctx,
                 "mpvm.migrate.rejected",
-                format!("{old}: {src_host} and {dst} not migration-compatible"),
+                "{old}: {src_host} and {dst} not migration-compatible"
             );
             self.sys.outcomes().post(
                 &ctx,
@@ -127,9 +125,10 @@ impl MigTask {
                     return;
                 }
                 Err(e) => {
-                    ctx.trace(
+                    sim_trace!(
+                        ctx,
                         "mpvm.migrate.aborted",
-                        format!("{old} -> {dst} attempt {attempt}: {e}"),
+                        "{old} -> {dst} attempt {attempt}: {e}"
                     );
                     let worth_retrying = e.is_retryable() && pvm.cluster.host(dst).is_up();
                     if attempt < MIG_ATTEMPTS && worth_retrying {
@@ -158,7 +157,7 @@ impl MigTask {
     ) -> PvmResult<Tid> {
         let calib = Arc::clone(&pvm.cluster.calib);
         let src_host = self.inner.host_id();
-        ctx.trace("mpvm.event", format!("{old} {src_host} -> {dst}"));
+        sim_trace!(ctx, "mpvm.event", "{old} {src_host} -> {dst}");
 
         // Drop protocol stragglers from an aborted earlier attempt. The
         // retry backoff dwarfs small-message latency, so anything that was
@@ -182,10 +181,10 @@ impl MigTask {
                 .try_send(a, proto::TAG_FLUSH, proto::flush_msg(old))
             {
                 Ok(()) => flushed.push(a),
-                Err(e) => ctx.trace("mpvm.flush.skipped", format!("agent {a}: {e}")),
+                Err(e) => sim_trace!(ctx, "mpvm.flush.skipped", "agent {a}: {e}"),
             }
         }
-        ctx.trace("mpvm.flush.sent", format!("{} peers", flushed.len()));
+        sim_trace!(ctx, "mpvm.flush.sent", "{} peers", flushed.len());
         for _ in 0..flushed.len() {
             if let Err(e) = self
                 .inner
@@ -195,7 +194,7 @@ impl MigTask {
                 return Err(e);
             }
         }
-        ctx.trace("mpvm.flush.done", String::new());
+        sim_trace!(ctx, "mpvm.flush.done");
 
         // Stage 3a: ask the destination mpvmd for a skeleton process.
         let dmn = self.sys.daemon_tid(dst);
@@ -218,7 +217,7 @@ impl MigTask {
             self.abort_attempt(ctx, old, &flushed, Some(dmn));
             return Err(e);
         }
-        ctx.trace("mpvm.skel.ready", String::new());
+        sim_trace!(ctx, "mpvm.skel.ready");
 
         // Stage 3b: transfer data/heap/stack/register state over a
         // dedicated TCP connection to the skeleton. A destination crash
@@ -238,7 +237,7 @@ impl MigTask {
             self.abort_attempt(ctx, old, &flushed, None);
             return Err(PvmError::Severed { host: sev.host });
         }
-        ctx.trace("mpvm.offhost", format!("{bytes} bytes transferred"));
+        sim_trace!(ctx, "mpvm.offhost", "{bytes} bytes transferred");
 
         // Stage 4: restart. Re-enroll under a new tid on the new host, let
         // the skeleton install the received state, broadcast restart.
@@ -276,8 +275,8 @@ impl MigTask {
                 .inner
                 .try_send(a, proto::TAG_RESTART, proto::restart_msg(old, new));
         }
-        ctx.trace("mpvm.restart.sent", format!("{old} -> {new}"));
-        ctx.trace("mpvm.resumed", format!("{new} on {dst}"));
+        sim_trace!(ctx, "mpvm.restart.sent", "{old} -> {new}");
+        sim_trace!(ctx, "mpvm.resumed", "{new} on {dst}");
         Ok(new)
     }
 
@@ -295,9 +294,11 @@ impl MigTask {
                 .inner
                 .try_send(dmn, proto::TAG_SKEL_ABORT, MsgBuf::new());
         }
-        ctx.trace(
+        sim_trace!(
+            ctx,
             "mpvm.migrate.rollback",
-            format!("{old}: {} gates reopened", flushed.len()),
+            "{old}: {} gates reopened",
+            flushed.len()
         );
     }
 
@@ -308,9 +309,7 @@ impl MigTask {
             if !self.shared.is_gated(dst) {
                 return dst;
             }
-            self.inner
-                .sim()
-                .trace("mpvm.send.gated", format!("blocked on {dst}"));
+            sim_trace!(self.inner.sim(), "mpvm.send.gated", "blocked on {dst}");
             self.shared.set_blocked(dst, self.inner.sim().id());
             // The agent wakes us when the restart message arrives. Between
             // our gate check and this park no other actor can run (token

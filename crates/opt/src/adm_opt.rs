@@ -19,6 +19,7 @@ use crate::net::{flops_per_exemplar, flops_per_update, CgState, Gradient, Net};
 use crate::seq::TrainResult;
 use adm::{plan_redistribution, AdmEvent, EventBox, Plan};
 use pvm_rt::{Message, MsgBuf, PvmTask, TaskApi, Tid};
+use simcore::sim_trace;
 use std::sync::Arc;
 
 /// Withdrawing slave → master: please redistribute me away.
@@ -408,8 +409,11 @@ pub fn adm_slave(
                                 // Between-iterations withdrawal: our partial
                                 // for the last iteration is already in.
                                 fsm.must_goto(Migrate);
-                                task.sim()
-                                    .trace("adm.event", format!("slave {rank} withdrawing (idle)"));
+                                sim_trace!(
+                                    task.sim(),
+                                    "adm.event",
+                                    "slave {rank} withdrawing (idle)"
+                                );
                                 task.send(master, TAG_REDIST_REQ, MsgBuf::new());
                                 let done = withdraw_rounds(
                                     task,
@@ -420,8 +424,11 @@ pub fn adm_slave(
                                     &send_transfers,
                                     &recv_transfers,
                                 );
-                                task.sim()
-                                    .trace("adm.redist.done", format!("slave {rank} off-loaded"));
+                                sim_trace!(
+                                    task.sim(),
+                                    "adm.redist.done",
+                                    "slave {rank} off-loaded"
+                                );
                                 if done {
                                     fsm.must_goto(Done);
                                     return;
@@ -430,11 +437,10 @@ pub fn adm_slave(
                                 withdrawn = true;
                             }
                             AdmEvent::Rejoin { .. } if withdrawn => {
-                                task.sim()
-                                    .trace("adm.rejoin.request", format!("slave {rank}"));
+                                sim_trace!(task.sim(), "adm.rejoin.request", "slave {rank}");
                                 task.send(master, TAG_REJOIN_REQ, MsgBuf::new());
                             }
-                            other => task.sim().trace("adm.event.ignored", format!("{other:?}")),
+                            other => sim_trace!(task.sim(), "adm.event.ignored", "{other:?}"),
                         }
                     }
                 }
@@ -459,12 +465,13 @@ pub fn adm_slave(
                 recv_transfers(task, &mut data, &transfers);
                 adm::worker_consensus(task.as_ref(), master, round);
                 let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
+                let mut scratch = net.scratch();
                 let fresh: Vec<usize> = (0..data.len()).filter(|&i| !data[i].1).collect();
                 if !fresh.is_empty() {
                     for idxs in fresh.chunks(cfg.chunk) {
                         let mut flops = 0.0;
                         for &i in idxs {
-                            net.accumulate(&data[i].0, &mut g);
+                            net.accumulate_with(&data[i].0, &mut g, &mut scratch);
                             data[i].1 = true;
                             flops += flops_per_exemplar(cfg.dim, cfg.ncats);
                         }
@@ -476,7 +483,7 @@ pub fn adm_slave(
                     fsm.must_goto(Idle);
                 } else {
                     if withdrawn {
-                        task.sim().trace("adm.rejoined", format!("slave {rank}"));
+                        sim_trace!(task.sim(), "adm.rejoined", "slave {rank}");
                         withdrawn = false;
                     }
                     fsm.must_goto(Compute);
@@ -489,6 +496,7 @@ pub fn adm_slave(
                     d.1 = false; // new iteration: nothing processed yet
                 }
                 let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
+                let mut scratch = net.scratch();
                 loop {
                     // Inner-loop migration-event flag check (§2.3: "rapid
                     // response ... embedded within the inner computational
@@ -497,8 +505,7 @@ pub fn adm_slave(
                         match ev {
                             AdmEvent::Withdraw { .. } => {
                                 fsm.must_goto(Migrate);
-                                task.sim()
-                                    .trace("adm.event", format!("slave {rank} withdrawing"));
+                                sim_trace!(task.sim(), "adm.event", "slave {rank} withdrawing");
                                 // Partial so far, then the request.
                                 task.send(master, TAG_PARTIAL, partial_msg(&g));
                                 task.send(master, TAG_REDIST_REQ, MsgBuf::new());
@@ -511,8 +518,11 @@ pub fn adm_slave(
                                     &send_transfers,
                                     &recv_transfers,
                                 );
-                                task.sim()
-                                    .trace("adm.redist.done", format!("slave {rank} off-loaded"));
+                                sim_trace!(
+                                    task.sim(),
+                                    "adm.redist.done",
+                                    "slave {rank} off-loaded"
+                                );
                                 if done {
                                     fsm.must_goto(Done);
                                     return;
@@ -523,7 +533,7 @@ pub fn adm_slave(
                                 // rejoin round or the end of training.
                                 continue 'main;
                             }
-                            other => task.sim().trace("adm.event.ignored", format!("{other:?}")),
+                            other => sim_trace!(task.sim(), "adm.event.ignored", "{other:?}"),
                         }
                     }
                     // Another slave's redistribution hitting mid-iteration.
@@ -549,7 +559,7 @@ pub fn adm_slave(
                     }
                     let mut flops = 0.0;
                     for &i in &todo {
-                        net.accumulate(&data[i].0, &mut g);
+                        net.accumulate_with(&data[i].0, &mut g, &mut scratch);
                         data[i].1 = true;
                         flops += flops_per_exemplar(cfg.dim, cfg.ncats);
                     }

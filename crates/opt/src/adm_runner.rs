@@ -154,6 +154,7 @@ pub fn run_adm_opt_on(
     let end = cluster.sim.run().expect("adm_opt simulation failed");
     RunStats {
         wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
         result: {
             let r = result.lock().take();
             r.expect("master produced no result")

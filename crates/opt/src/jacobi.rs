@@ -155,13 +155,16 @@ pub fn jacobi_worker(
             .pk_uint(&[(h >> 32) as u32, h as u32]),
     );
     if rank == 0 {
-        let mut total = 0.0;
+        // Reports arrive in schedule-dependent order (a migration can delay
+        // one worker past another); reduce in fixed rank order so the f64
+        // residual sum is bit-identical across runs, like the checksum.
+        let mut residuals = vec![0.0f64; cfg.workers];
         let mut sums = vec![0u64; cfg.workers];
         for _ in 0..cfg.workers {
             let m = task.recv(None, Some(TAG_REPORT));
             let mut rd = m.reader();
             let who = rd.upk_uint().expect("rank")[0] as usize;
-            total += rd.upk_double().expect("residual")[0];
+            residuals[who] = rd.upk_double().expect("residual")[0];
             let hw = rd.upk_uint().expect("hash");
             sums[who] = ((hw[0] as u64) << 32) | hw[1] as u64;
         }
@@ -170,7 +173,7 @@ pub fn jacobi_worker(
             h = (h ^ s).wrapping_mul(0x100000001b3);
         }
         Some(JacobiResult {
-            residual: total,
+            residual: residuals.iter().sum(),
             checksum: h,
         })
     } else {

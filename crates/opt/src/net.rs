@@ -53,6 +53,44 @@ impl Gradient {
     }
 }
 
+/// Dot product with an 8-lane split reduction: independent partial sums
+/// break the serial f32 dependency chain so the compiler can keep several
+/// multiply-adds in flight (and vectorize). The accumulation step is
+/// `mul_add` — fused multiply-add is correctly rounded on every target
+/// (hardware FMA where available, libm otherwise), so results do not
+/// depend on the machine. Every gradient path — sequential reference,
+/// PVM-parallel, ADM — funnels through this one function, so the
+/// (slightly different from naive left-to-right) rounding is uniform and
+/// the bit-for-bit transparency comparisons between runs remain valid.
+#[inline(always)] // must inline into the FMA-enabled wrapper to vectorize wide
+fn dot(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len());
+    let mut lanes = [0.0f32; 8];
+    let chunks = x.len() / 8;
+    for i in 0..chunks {
+        let r = &row[i * 8..i * 8 + 8];
+        let f = &x[i * 8..i * 8 + 8];
+        for l in 0..8 {
+            lanes[l] = r[l].mul_add(f[l], lanes[l]);
+        }
+    }
+    let mut tail = 0.0f32;
+    for d in chunks * 8..x.len() {
+        tail = row[d].mul_add(x[d], tail);
+    }
+    let front = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let back = (lanes[4] + lanes[5]) + (lanes[6] + lanes[7]);
+    (front + back) + tail
+}
+
+/// True when the AVX2+FMA fast path applies (checked once per call into
+/// the kernels below; `is_x86_feature_detected!` caches internally).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn has_avx2_fma() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
 /// FLOPs to process one exemplar (forward + softmax + backward).
 pub fn flops_per_exemplar(dim: usize, ncats: usize) -> f64 {
     (4 * ncats * (dim + 1) + 6 * ncats) as f64
@@ -78,38 +116,73 @@ impl Net {
         self.w.len() * 4
     }
 
+    /// A reusable score buffer for [`Net::accumulate_with`]. Hot loops
+    /// allocate one of these outside the per-exemplar loop instead of
+    /// paying two `Vec` allocations per exemplar.
+    pub fn scratch(&self) -> Vec<f32> {
+        vec![0.0f32; self.ncats]
+    }
+
     /// Apply the net to one exemplar and accumulate its gradient
     /// contribution ("applying the neural-net to the exemplars so that a
-    /// gradient is found").
+    /// gradient is found"). Convenience wrapper that allocates its own
+    /// scratch; use [`Net::accumulate_with`] inside loops.
     pub fn accumulate(&self, e: &Exemplar, grad: &mut Gradient) {
+        let mut scratch = self.scratch();
+        self.accumulate_with(e, grad, &mut scratch);
+    }
+
+    /// [`Net::accumulate`] with a caller-provided scratch buffer (from
+    /// [`Net::scratch`]); allocation-free.
+    ///
+    /// On x86-64 with AVX2+FMA the same body is recompiled 8-lanes-wide
+    /// with fused multiply-adds; the
+    /// instruction selection changes but the arithmetic does not —
+    /// `mul_add` is correctly rounded on every path, so results stay
+    /// bit-identical to the portable fallback.
+    pub fn accumulate_with(&self, e: &Exemplar, grad: &mut Gradient, scores: &mut [f32]) {
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2_fma() {
+            // SAFETY: AVX2 and FMA support was just checked.
+            return unsafe { self.accumulate_avx2_fma(e, grad, scores) };
+        }
+        self.accumulate_impl(e, grad, scores);
+    }
+
+    /// [`Net::accumulate_impl`] compiled with AVX2+FMA enabled: the 8-lane
+    /// `mul_add` reductions in [`dot`] and the element-wise backward update
+    /// map onto single `vfmadd` ymm operations.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    fn accumulate_avx2_fma(&self, e: &Exemplar, grad: &mut Gradient, scores: &mut [f32]) {
+        self.accumulate_impl(e, grad, scores);
+    }
+
+    #[inline(always)]
+    fn accumulate_impl(&self, e: &Exemplar, grad: &mut Gradient, scores: &mut [f32]) {
+        debug_assert_eq!(scores.len(), self.ncats);
         let cols = self.dim + 1;
-        let mut scores = vec![0.0f32; self.ncats];
         for (c, s) in scores.iter_mut().enumerate() {
             let row = &self.w[c * cols..(c + 1) * cols];
-            let mut acc = row[self.dim]; // bias
-            for d in 0..self.dim {
-                acc += row[d] * e.features[d];
-            }
-            *s = acc;
+            *s = row[self.dim] + dot(&row[..self.dim], &e.features);
         }
-        // Softmax + cross-entropy.
+        // Softmax + cross-entropy, in place on the score buffer.
         let max = scores.iter().cloned().fold(f32::MIN, f32::max);
         let mut z = 0.0f32;
-        let mut p = vec![0.0f32; self.ncats];
-        for (pc, s) in p.iter_mut().zip(&scores) {
-            *pc = (s - max).exp();
-            z += *pc;
+        for s in scores.iter_mut() {
+            *s = (*s - max).exp();
+            z += *s;
         }
-        for pc in p.iter_mut() {
-            *pc /= z;
+        for s in scores.iter_mut() {
+            *s /= z;
         }
-        grad.loss += -(p[e.category].max(1e-30) as f64).ln();
+        grad.loss += -(scores[e.category].max(1e-30) as f64).ln();
         // Backward: dL/dW[c] = (p[c] - 1{c==cat}) * [x;1]
         for c in 0..self.ncats {
-            let delta = p[c] - if c == e.category { 1.0 } else { 0.0 };
+            let delta = scores[c] - if c == e.category { 1.0 } else { 0.0 };
             let row = &mut grad.g[c * cols..(c + 1) * cols];
-            for d in 0..self.dim {
-                row[d] += delta * e.features[d];
+            for (rd, &xd) in row[..self.dim].iter_mut().zip(e.features.iter()) {
+                *rd = delta.mul_add(xd, *rd);
             }
             row[self.dim] += delta;
         }
@@ -118,8 +191,9 @@ impl Net {
 
     /// Gradient over a slice of exemplars; returns the FLOPs to charge.
     pub fn gradient(&self, exemplars: &[Exemplar], grad: &mut Gradient) -> f64 {
+        let mut scratch = self.scratch();
         for e in exemplars {
-            self.accumulate(e, grad);
+            self.accumulate_with(e, grad, &mut scratch);
         }
         exemplars.len() as f64 * flops_per_exemplar(self.dim, self.ncats)
     }
@@ -139,6 +213,24 @@ impl Net {
     /// a speech classifier" (§4.0), so the trained net should actually
     /// classify.
     pub fn accuracy(&self, exemplars: &[Exemplar]) -> f64 {
+        #[cfg(target_arch = "x86_64")]
+        if has_avx2_fma() {
+            // SAFETY: AVX2 and FMA support was just checked.
+            return unsafe { self.accuracy_avx2_fma(exemplars) };
+        }
+        self.accuracy_impl(exemplars)
+    }
+
+    /// [`Net::accuracy_impl`] compiled with AVX2+FMA enabled (see
+    /// [`Net::accumulate_avx2_fma`]).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    fn accuracy_avx2_fma(&self, exemplars: &[Exemplar]) -> f64 {
+        self.accuracy_impl(exemplars)
+    }
+
+    #[inline(always)]
+    fn accuracy_impl(&self, exemplars: &[Exemplar]) -> f64 {
         if exemplars.is_empty() {
             return 0.0;
         }
@@ -149,10 +241,7 @@ impl Net {
                 let mut best = (f32::MIN, 0usize);
                 for c in 0..self.ncats {
                     let row = &self.w[c * cols..(c + 1) * cols];
-                    let mut acc = row[self.dim];
-                    for d in 0..self.dim {
-                        acc += row[d] * e.features[d];
-                    }
+                    let acc = row[self.dim] + dot(&row[..self.dim], &e.features);
                     if acc > best.0 {
                         best = (acc, c);
                     }

@@ -19,6 +19,9 @@ use worknet::{Calib, Cluster, HostId};
 pub struct RunStats {
     /// Virtual wall-clock of the whole run, seconds.
     pub wall: f64,
+    /// Simulator heap entries processed (handoffs + kernel events) — the
+    /// throughput denominator for `simbench`.
+    pub events: u64,
     /// The training result (checksum + loss curve).
     pub result: TrainResult,
     /// Full protocol trace.
@@ -79,6 +82,7 @@ pub fn run_pvm_opt(calib: Calib, cfg: &OptConfig) -> RunStats {
     let end = cluster.sim.run().expect("pvm_opt simulation failed");
     RunStats {
         wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
         result: {
             let r = result.lock().take();
             r.expect("master produced no result")
@@ -139,6 +143,7 @@ pub fn run_mpvm_opt(calib: Calib, cfg: &OptConfig, migrations: &[MigrationPlan])
     let end = cluster.sim.run().expect("mpvm_opt simulation failed");
     RunStats {
         wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
         result: {
             let r = result.lock().take();
             r.expect("master produced no result")
@@ -196,6 +201,7 @@ pub fn run_upvm_opt(calib: Calib, cfg: &OptConfig, migrations: &[MigrationPlan])
     let end = cluster.sim.run().expect("upvm_opt simulation failed");
     RunStats {
         wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
         result: {
             let r = result.lock().take();
             r.expect("master produced no result")

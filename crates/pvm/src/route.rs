@@ -13,7 +13,7 @@
 
 use crate::msg::Message;
 use crate::system::Pvm;
-use simcore::{Mailbox, SimCtx, SimDuration};
+use simcore::{sim_trace, Mailbox, SimCtx, SimDuration};
 use std::sync::Arc;
 use worknet::HostId;
 
@@ -69,12 +69,12 @@ pub fn deliver_daemon(
     let copies = match pvm.cluster.fault().daemon_verdict(msg.tag) {
         worknet::DaemonVerdict::Deliver => 1,
         worknet::DaemonVerdict::Duplicate => {
-            ctx.trace("fault.dup_msg", format!("tag {} duplicated", msg.tag));
+            sim_trace!(ctx, "fault.dup_msg", "tag {} duplicated", msg.tag);
             2
         }
         worknet::DaemonVerdict::Drop => {
             // Send-side costs are already charged; the wire ate the rest.
-            ctx.trace("fault.drop_msg", format!("tag {} dropped", msg.tag));
+            sim_trace!(ctx, "fault.drop_msg", "tag {} dropped", msg.tag);
             return;
         }
     };

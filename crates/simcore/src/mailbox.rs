@@ -71,10 +71,19 @@ impl<T: Send + 'static> Mailbox<T> {
     }
 
     /// Deliver a message now (from actor context) and wake the receiver.
+    ///
+    /// Sends to a closed mailbox are dropped (and traced): with host-crash
+    /// faults a sender can legitimately race the crash teardown that closed
+    /// the receiver's mailbox, exactly like a message in flight to a dead
+    /// process.
     pub fn send(&self, ctx: &SimCtx, value: T) {
         let waiter = {
             let mut st = self.shared.lock();
-            assert!(!st.closed, "send on closed mailbox");
+            if st.closed {
+                drop(st);
+                crate::sim_trace!(ctx, "mailbox.send.closed");
+                return;
+            }
             st.queue.push_back(value);
             st.waiter.take()
         };
@@ -361,6 +370,24 @@ mod tests {
             assert_eq!(mb.recv_deadline(&ctx, SimDuration::ZERO), Some(4));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn send_after_close_is_a_traced_noop() {
+        let sim = Sim::new();
+        let mb: Mailbox<u32> = Mailbox::new();
+        sim.spawn("a", move |ctx| {
+            mb.close(&ctx);
+            // Must not panic; the message is dropped like a packet to a
+            // crashed host.
+            mb.send(&ctx, 1);
+            assert!(mb.is_empty());
+            assert_eq!(mb.recv(&ctx), None);
+        });
+        sim.run().unwrap();
+        let tr = sim.take_trace();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].tag, "mailbox.send.closed");
     }
 
     #[test]

@@ -3,33 +3,75 @@
 //!
 //! # Execution model
 //!
-//! Every actor is a real OS thread, but at most one actor executes simulated
-//! work at any moment. The right to execute (the "token") is `World::running`;
-//! all other actor threads wait on a single condvar. An actor gives up the
-//! token by calling [`SimCtx::advance`] (charging virtual time) or
-//! [`SimCtx::block`] (waiting for a wake/signal); the yielding thread itself
-//! drains the event heap and hands the token to the next runnable actor.
-//! Because every hand-off is decided by the deterministic `(time, seq)` order
-//! of the heap — never by the OS scheduler — simulations are reproducible
-//! bit-for-bit.
+//! Every actor runs on a real OS thread, but at most one actor executes
+//! simulated work at any moment. The right to execute (the "token") is
+//! `World::running`; every other actor thread is parked on its *own* condvar
+//! (`ActorSlot::parker`). An actor gives up the token by calling
+//! [`SimCtx::advance`] (charging virtual time) or [`SimCtx::block`] (waiting
+//! for a wake/signal); the yielding thread itself drains the event heap and
+//! then notifies exactly the one thread that owns the next entry — a single
+//! targeted wakeup per handoff, so parked actors cost nothing (no thundering
+//! herd of spurious wakeups re-taking the kernel lock). Because every
+//! hand-off is decided by the deterministic `(time, seq)` order of the heap —
+//! never by the OS scheduler — simulations are reproducible bit-for-bit.
+//!
+//! # Carrier threads
+//!
+//! Actor bodies are carried by a pool of reusable OS threads: when an actor
+//! exits, its carrier parks in the pool and picks up the next spawned actor
+//! instead of dying. Workloads that churn through short-lived actors
+//! (spawn-per-request protocols) pay one `thread::spawn` per *concurrent*
+//! actor, not per actor. The number of idle carriers retained is
+//! configurable via [`Sim::set_max_idle_carriers`]; determinism is
+//! unaffected by the pool size because carriers only ever run one actor at
+//! a time under the token discipline.
 
 use crate::error::SimError;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
-use crate::world::{ActorId, ActorSlot, ActorState, Dispatch, EventId, Signal, WakeReason, World};
+use crate::world::{ActorId, ActorState, Dispatch, EventId, Signal, WakeReason, World};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 /// Panic payload used internally to unwind actor threads when the simulation
 /// aborts (deadlock or another actor's panic). Never escapes the crate.
 struct SimAbort;
 
+/// Work shipped to a carrier thread.
+enum Job {
+    /// Run one actor body to completion.
+    Run(Box<dyn FnOnce() + Send>),
+    /// Terminate the carrier (pool shutdown).
+    Exit,
+}
+
+/// The carrier-thread pool. Carriers keep their own `Sender`, so an explicit
+/// [`Job::Exit`] (not channel disconnection) is what terminates an idle one.
+struct PoolState {
+    /// Senders of carriers parked between actors, ready for reuse.
+    idle: Vec<mpsc::Sender<Job>>,
+    /// Join handles of every carrier ever spawned and not yet reaped.
+    handles: Vec<JoinHandle<()>>,
+    /// Carriers finishing a job exit instead of re-pooling beyond this.
+    max_idle: usize,
+    /// Number of carriers spawned so far (names only).
+    spawned: usize,
+    /// Set during shutdown: finishing carriers must exit, not re-pool.
+    shutting_down: bool,
+}
+
 struct SimShared {
     world: Mutex<World>,
-    cv: Condvar,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Where `Sim::run` waits for the simulation to finish or abort. Actor
+    /// threads never wait here; each waits on its own slot's parker.
+    run_cv: Condvar,
+    pool: Mutex<PoolState>,
+    /// Lock-free mirror of `World::trace_enabled` so hot paths can skip
+    /// building trace details without touching the kernel lock.
+    trace_enabled: AtomicBool,
 }
 
 /// A deterministic virtual-time simulation.
@@ -79,15 +121,33 @@ impl Sim {
         Sim {
             shared: Arc::new(SimShared {
                 world: Mutex::new(World::new()),
-                cv: Condvar::new(),
-                handles: Mutex::new(Vec::new()),
+                run_cv: Condvar::new(),
+                pool: Mutex::new(PoolState {
+                    idle: Vec::new(),
+                    handles: Vec::new(),
+                    max_idle: usize::MAX,
+                    spawned: 0,
+                    shutting_down: false,
+                }),
+                trace_enabled: AtomicBool::new(true),
             }),
         }
     }
 
-    /// Enable or disable trace recording (enabled by default).
+    /// Enable or disable trace recording (enabled by default). When
+    /// disabled, [`SimCtx::trace_with`] / [`sim_trace!`](crate::sim_trace)
+    /// call sites skip building their detail strings entirely.
     pub fn set_trace_enabled(&self, on: bool) {
+        self.shared.trace_enabled.store(on, Ordering::Relaxed);
         self.shared.world.lock().trace_enabled = on;
+    }
+
+    /// Cap the number of idle carrier threads retained for reuse after
+    /// their actor exits (default: unlimited). Lower caps trade thread
+    /// reuse for a smaller idle footprint; the simulation result is
+    /// identical for any cap — determinism never depends on the pool.
+    pub fn set_max_idle_carriers(&self, cap: usize) {
+        self.shared.pool.lock().max_idle = cap;
     }
 
     /// Spawn an actor. Its body starts executing (at the current virtual
@@ -108,17 +168,28 @@ impl Sim {
             let mut g = self.shared.world.lock();
             assert!(g.running.is_none(), "Sim::run: simulation already running");
             if !g.finished && !g.aborted {
-                dispatch_and_notify(&self.shared, &mut g);
+                dispatch_and_notify(&self.shared, &mut g, None);
             }
             while !g.finished && !g.aborted {
-                self.shared.cv.wait(&mut g);
+                self.shared.run_cv.wait(&mut g);
             }
         }
-        // All actor threads exit on finish/abort; reap them.
-        let handles = std::mem::take(&mut *self.shared.handles.lock());
+        // Shut the carrier pool down: idle carriers get an Exit, busy ones
+        // (still unwinding from an abort) see `shutting_down` when their job
+        // returns and exit instead of re-pooling.
+        let (idle, handles) = {
+            let mut p = self.shared.pool.lock();
+            p.shutting_down = true;
+            (std::mem::take(&mut p.idle), std::mem::take(&mut p.handles))
+        };
+        for tx in idle {
+            let _ = tx.send(Job::Exit);
+        }
         for h in handles {
             let _ = h.join();
         }
+        // Allow spawning again after the run (fresh carriers).
+        self.shared.pool.lock().shutting_down = false;
         let g = self.shared.world.lock();
         if let Some((actor, message)) = g.panic_info.clone() {
             return Err(SimError::ActorPanicked { actor, message });
@@ -140,10 +211,32 @@ impl Sim {
         std::mem::take(&mut self.shared.world.lock().trace)
     }
 
+    /// Total heap entries (actor handoffs + kernel events) processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.shared.world.lock().events_processed
+    }
+
     /// Run a closure with exclusive access to the world. Intended for
     /// pre-run setup (installing kernel events such as load-trace changes).
     pub fn with_world<R>(&self, f: impl FnOnce(&mut World) -> R) -> R {
         f(&mut self.shared.world.lock())
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Release idle carriers so a Sim dropped without (or after) a run
+        // does not leak parked threads. Busy carriers — possible only if
+        // the Sim is dropped mid-setup without running — hold their own
+        // Arc<SimShared> and exit when their job ends.
+        let idle = {
+            let mut p = self.shared.pool.lock();
+            p.shutting_down = true;
+            std::mem::take(&mut p.idle)
+        };
+        for tx in idle {
+            let _ = tx.send(Job::Exit);
+        }
     }
 }
 
@@ -282,13 +375,36 @@ impl SimCtx {
         spawn_inner(&self.shared, name.into(), body)
     }
 
-    /// Record a trace event attributed to this actor.
+    /// Record a trace event attributed to this actor. The caller has already
+    /// built `detail`; on hot paths prefer [`SimCtx::trace_with`] (or the
+    /// [`sim_trace!`](crate::sim_trace) macro), which skips the work when
+    /// tracing is off.
     pub fn trace(&self, tag: &str, detail: impl Into<String>) {
+        if !self.trace_enabled() {
+            return;
+        }
         let me = self.me;
         self.shared
             .world
             .lock()
             .trace_event(Some(me), tag, detail.into());
+    }
+
+    /// Record a trace event, invoking `detail` only if tracing is enabled.
+    /// The check is a lock-free atomic load, so disabled-trace runs pay
+    /// neither the kernel lock nor the detail-string allocation.
+    pub fn trace_with(&self, tag: &str, detail: impl FnOnce() -> String) {
+        if !self.trace_enabled() {
+            return;
+        }
+        let me = self.me;
+        let detail = detail();
+        self.shared.world.lock().trace_event(Some(me), tag, detail);
+    }
+
+    /// Whether trace recording is currently enabled (lock-free).
+    pub fn trace_enabled(&self) -> bool {
+        self.shared.trace_enabled.load(Ordering::Relaxed)
     }
 
     /// Run a closure with exclusive access to the world while holding the
@@ -315,32 +431,73 @@ fn spawn_inner<F>(shared: &Arc<SimShared>, name: String, body: F) -> ActorId
 where
     F: FnOnce(SimCtx) + Send + 'static,
 {
-    let id;
-    {
-        let mut g = shared.world.lock();
-        id = ActorId(g.actors.len());
-        g.actors.push(ActorSlot {
-            name: name.clone(),
-            state: ActorState::NotStarted,
-            gen: 0,
-            wake_reason: None,
-            signals: Default::default(),
-        });
-        g.live_actors += 1;
-        let now = g.now;
-        g.queue_wake(id, now);
-    }
+    let id = shared.world.lock().add_actor(name);
     let ctx = SimCtx {
         shared: Arc::clone(shared),
         me: id,
     };
     let shared2 = Arc::clone(shared);
-    let handle = std::thread::Builder::new()
-        .name(format!("sim:{name}"))
-        .spawn(move || actor_main(shared2, ctx, body))
-        .expect("failed to spawn actor carrier thread");
-    shared.handles.lock().push(handle);
+    let job: Box<dyn FnOnce() + Send> = Box::new(move || actor_main(shared2, ctx, body));
+    dispatch_to_carrier(shared, job);
     id
+}
+
+/// Hand an actor body to an idle carrier thread, or spawn a fresh carrier if
+/// none is parked in the pool.
+fn dispatch_to_carrier(shared: &Arc<SimShared>, job: Box<dyn FnOnce() + Send>) {
+    let mut job = Job::Run(job);
+    loop {
+        let reused = {
+            let mut p = shared.pool.lock();
+            p.idle.pop()
+        };
+        match reused {
+            Some(tx) => match tx.send(std::mem::replace(&mut job, Job::Exit)) {
+                Ok(()) => return,
+                // The carrier died between parking and reuse (can't happen
+                // under the exit protocol, but don't lose the actor if it
+                // somehow does): take the job back and try the next one.
+                Err(mpsc::SendError(j)) => job = j,
+            },
+            None => break,
+        }
+    }
+    let Job::Run(job) = job else { unreachable!() };
+    let (tx, rx) = mpsc::channel::<Job>();
+    let n = {
+        let mut p = shared.pool.lock();
+        p.spawned += 1;
+        p.spawned
+    };
+    let shared2 = Arc::clone(shared);
+    let tx2 = tx.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-carrier-{n}"))
+        .spawn(move || carrier_main(shared2, rx, tx2))
+        .expect("failed to spawn carrier thread");
+    shared.pool.lock().handles.push(handle);
+    // The job goes through the channel even for a fresh carrier so the
+    // carrier loop has a single entry path.
+    tx.send(Job::Run(job))
+        .expect("freshly spawned carrier hung up");
+}
+
+fn carrier_main(shared: Arc<SimShared>, rx: mpsc::Receiver<Job>, tx: mpsc::Sender<Job>) {
+    loop {
+        let job = match rx.recv() {
+            Ok(Job::Run(f)) => f,
+            Ok(Job::Exit) | Err(_) => break,
+        };
+        job();
+        // Re-pool for the next actor — unless the pool is shutting down or
+        // already holds enough idle carriers. Checked under the pool lock so
+        // a shutdown can never miss a carrier that is about to park.
+        let mut p = shared.pool.lock();
+        if p.shutting_down || p.idle.len() >= p.max_idle {
+            break;
+        }
+        p.idle.push(tx.clone());
+    }
 }
 
 fn actor_main<F>(shared: Arc<SimShared>, ctx: SimCtx, body: F)
@@ -348,7 +505,7 @@ where
     F: FnOnce(SimCtx) + Send + 'static,
 {
     let me = ctx.me;
-    // Wait for the first token grant.
+    // Wait for the first token grant on this actor's own parker.
     {
         let mut g = shared.world.lock();
         loop {
@@ -359,7 +516,8 @@ where
                 g.actors[me.index()].wake_reason = None;
                 break;
             }
-            shared.cv.wait(&mut g);
+            let parker = Arc::clone(&g.actors[me.index()].parker);
+            parker.wait(&mut g);
         }
     }
     let result = panic::catch_unwind(AssertUnwindSafe(move || body(ctx)));
@@ -367,13 +525,9 @@ where
         Ok(()) => {
             let mut g = shared.world.lock();
             debug_assert_eq!(g.running, Some(me));
-            let slot = &mut g.actors[me.index()];
-            slot.state = ActorState::Exited;
-            slot.gen += 1;
-            slot.signals.clear();
-            g.live_actors -= 1;
+            g.mark_exited(me);
             g.running = None;
-            dispatch_and_notify(&shared, &mut g);
+            dispatch_and_notify(&shared, &mut g, None);
         }
         Err(payload) => {
             if payload.is::<SimAbort>() {
@@ -391,25 +545,40 @@ where
                 g.panic_info = Some((name, message));
             }
             g.running = None;
-            g.aborted = true;
-            shared.cv.notify_all();
+            abort_all(&shared, &mut g);
         }
     }
 }
 
-fn dispatch_and_notify(shared: &SimShared, g: &mut World) {
+/// Mark the simulation aborted and wake every parked carrier (each on its own
+/// parker) plus `Sim::run`, so all of them observe the abort and unwind.
+fn abort_all(shared: &SimShared, g: &mut World) {
+    g.aborted = true;
+    for slot in &g.actors {
+        slot.parker.notify_all();
+    }
+    shared.run_cv.notify_all();
+}
+
+/// Drain the heap and wake exactly the next runnable actor's carrier (or
+/// `Sim::run` on finish). `yielder` is the actor doing the dispatching, if
+/// any: when the heap hands the token straight back to it, no notification
+/// is needed — it observes `running == me` without ever waiting.
+fn dispatch_and_notify(shared: &SimShared, g: &mut World, yielder: Option<ActorId>) {
     match g.dispatch() {
         Dispatch::Run => {
-            shared.cv.notify_all();
+            let next = g.running.expect("Dispatch::Run with no running actor");
+            if Some(next) != yielder {
+                g.actors[next.index()].parker.notify_one();
+            }
         }
         Dispatch::Finished => {
             g.finished = true;
-            shared.cv.notify_all();
+            shared.run_cv.notify_all();
         }
         Dispatch::Deadlock(report) => {
             g.deadlock = Some(report);
-            g.aborted = true;
-            shared.cv.notify_all();
+            abort_all(shared, g);
         }
     }
 }
@@ -423,7 +592,7 @@ fn yield_token(
     mut g: MutexGuard<'_, World>,
 ) -> (WakeReason, SimTime) {
     g.running = None;
-    dispatch_and_notify(shared, &mut g);
+    dispatch_and_notify(shared, &mut g, Some(me));
     loop {
         if g.aborted {
             drop(g);
@@ -434,7 +603,8 @@ fn yield_token(
         if g.running == Some(me) {
             break;
         }
-        shared.cv.wait(&mut g);
+        let parker = Arc::clone(&g.actors[me.index()].parker);
+        parker.wait(&mut g);
     }
     let reason = g.actors[me.index()]
         .wake_reason
@@ -782,5 +952,84 @@ mod tests {
                 .collect()
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn carriers_are_reused_across_sequential_actors() {
+        // 1 initial actor spawns 20 sequential children, each of which runs
+        // to completion before the next spawn; the pool should satisfy them
+        // with a handful of carriers, not 21 threads.
+        let sim = Sim::new();
+        let names = Arc::new(StdMutex::new(std::collections::HashSet::new()));
+        let n2 = Arc::clone(&names);
+        sim.spawn("parent", move |ctx| {
+            for i in 0..20 {
+                let names = Arc::clone(&n2);
+                ctx.spawn(format!("child{i}"), move |cctx| {
+                    names
+                        .lock()
+                        .unwrap()
+                        .insert(std::thread::current().name().unwrap().to_string());
+                    cctx.advance(SimDuration::from_millis(1));
+                });
+                // Let the child run to completion so its carrier re-pools.
+                ctx.advance(SimDuration::from_secs(1));
+            }
+        });
+        sim.run().unwrap();
+        let distinct = names.lock().unwrap().len();
+        assert!(
+            distinct <= 3,
+            "20 sequential children should reuse carriers, used {distinct}"
+        );
+    }
+
+    #[test]
+    fn idle_carrier_cap_does_not_change_results() {
+        fn run_once(cap: Option<usize>) -> (SimTime, Vec<(String, u64)>) {
+            let sim = Sim::new();
+            if let Some(c) = cap {
+                sim.set_max_idle_carriers(c);
+            }
+            sim.spawn("parent", |ctx| {
+                for i in 0..10 {
+                    ctx.spawn(format!("w{i}"), move |c| {
+                        c.advance(SimDuration::from_millis(10 + i));
+                        c.trace("done", format!("w{i}"));
+                    });
+                    ctx.advance(SimDuration::from_millis(3));
+                }
+            });
+            let end = sim.run().unwrap();
+            let tr = sim
+                .take_trace()
+                .into_iter()
+                .map(|e| (e.detail, e.at.as_nanos()))
+                .collect();
+            (end, tr)
+        }
+        let unlimited = run_once(None);
+        let capped = run_once(Some(0));
+        let small = run_once(Some(1));
+        assert_eq!(unlimited, capped);
+        assert_eq!(unlimited, small);
+    }
+
+    #[test]
+    fn trace_with_skips_closure_when_disabled() {
+        let sim = Sim::new();
+        sim.set_trace_enabled(false);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        sim.spawn("a", move |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            ctx.trace_with("tag", || {
+                c.fetch_add(1, Ordering::SeqCst);
+                "expensive".to_string()
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "closure must not run");
+        assert!(sim.take_trace().is_empty());
     }
 }

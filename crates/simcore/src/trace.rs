@@ -33,6 +33,33 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// Record a trace event on a [`SimCtx`](crate::SimCtx), building the detail
+/// string lazily: when tracing is disabled the format arguments are never
+/// evaluated and no allocation happens. The zero-cost way to trace hot
+/// protocol paths.
+///
+/// ```
+/// use simcore::{sim_trace, Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// sim.spawn("router", |ctx| {
+///     ctx.advance(SimDuration::from_millis(1));
+///     sim_trace!(ctx, "route.sent");
+///     sim_trace!(ctx, "route.delivered", "dst=host{} bytes={}", 3, 1024);
+/// });
+/// sim.run().unwrap();
+/// assert_eq!(sim.take_trace().len(), 2);
+/// ```
+#[macro_export]
+macro_rules! sim_trace {
+    ($ctx:expr, $tag:expr) => {
+        $ctx.trace_with($tag, ::std::string::String::new)
+    };
+    ($ctx:expr, $tag:expr, $($arg:tt)+) => {
+        $ctx.trace_with($tag, || ::std::format!($($arg)+))
+    };
+}
+
 /// Helpers over a captured trace.
 pub trait TraceSliceExt {
     /// First event whose tag matches exactly.

@@ -1,18 +1,29 @@
 //! The shared simulation state guarded by the kernel lock.
 //!
-//! `World` holds the virtual clock, the pending-event heap, and one slot per
+//! `World` holds the virtual clock, the pending-event queue, and one slot per
 //! actor. Exactly one actor executes at any instant (`World::running`); all
-//! other actor threads are parked on the kernel condvar. Because every
-//! state-changing operation happens under the single kernel lock and event
-//! ordering is the total order `(time, sequence)`, simulations are
+//! other actor threads are parked, each on its own per-actor condvar. Because
+//! every state-changing operation happens under the single kernel lock and
+//! event ordering is the total order `(time, sequence)`, simulations are
 //! deterministic regardless of how the OS schedules the carrier threads.
+//!
+//! # The slab-indexed event queue
+//!
+//! Pending entries (actor wake-ups and kernel events) live in a slab of
+//! reusable nodes ordered by an indexed binary heap: every node knows its
+//! heap position, so *cancellation removes the node in O(log n)* instead of
+//! leaving a tombstone for the dispatch loop to skip. Actor re-wakes
+//! (interrupting a timed wait, waking a parked actor) eagerly remove the
+//! superseded entry the same way, so the heap only ever contains live
+//! entries and node allocations are recycled through a free list.
 
 use crate::error::ActorReport;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
+use parking_lot::Condvar;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Identifies an actor for the lifetime of a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,9 +42,23 @@ impl std::fmt::Display for ActorId {
     }
 }
 
-/// Identifies a scheduled kernel event; used to cancel it.
+/// Identifies a scheduled kernel event; used to cancel it. Packs the node's
+/// slab index with a generation counter so a handle from a fired or
+/// cancelled event can never alias a recycled node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    fn new(index: u32, gen: u32) -> EventId {
+        EventId(((gen as u64) << 32) | index as u64)
+    }
+    fn index(self) -> u32 {
+        self.0 as u32
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Why a yielded actor was resumed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +81,7 @@ pub type Signal = Box<dyn Any + Send>;
 pub type KernelEvent = Box<dyn FnOnce(&mut World) + Send>;
 
 pub(crate) enum ActorState {
-    /// Thread created, first wake queued, body not yet entered.
+    /// Slot created, first wake queued, body not yet entered.
     NotStarted,
     /// Currently holds the execution token.
     Running,
@@ -73,44 +98,42 @@ pub(crate) enum ActorState {
 pub(crate) struct ActorSlot {
     pub name: String,
     pub state: ActorState,
-    /// Bumped every time pending heap wake-entries for this actor are
-    /// invalidated (cancellation by re-wake or interruption).
-    pub gen: u64,
+    /// The slab node of this actor's pending wake entry, if one is queued.
+    /// At most one wake entry per actor is ever live; superseding it (wake,
+    /// interrupt) removes the old node from the heap.
+    pub pending_wake: Option<u32>,
     pub wake_reason: Option<WakeReason>,
     pub signals: VecDeque<Signal>,
+    /// This actor's private parking spot: its carrier thread waits here (with
+    /// the kernel lock) and is the only thread notified when the dispatcher
+    /// hands it the token — one targeted wake per handoff, no thundering herd.
+    pub parker: Arc<Condvar>,
 }
 
-enum EntryKind {
-    Wake { actor: ActorId, gen: u64 },
-    Event { id: EventId },
+enum NodeKind {
+    Wake {
+        actor: ActorId,
+    },
+    Event {
+        f: Option<KernelEvent>,
+    },
+    /// On the free list.
+    Free,
 }
 
-struct HeapEntry {
+/// One slab entry: a pending heap node (or a free slot awaiting reuse).
+struct Node {
     at: SimTime,
     seq: u64,
-    kind: EntryKind,
+    gen: u32,
+    /// Position in `World::heap`; meaningless while free.
+    pos: usize,
+    kind: NodeKind,
 }
 
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// The outcome of draining the event heap until an actor becomes runnable.
+/// The outcome of draining the event queue until an actor becomes runnable.
 pub(crate) enum Dispatch {
-    /// `World::running` has been set to an actor; notify carriers.
+    /// `World::running` has been set to an actor; wake its carrier.
     Run,
     /// All actors exited and nothing is pending.
     Finished,
@@ -125,16 +148,20 @@ pub struct World {
     pub(crate) actors: Vec<ActorSlot>,
     pub(crate) running: Option<ActorId>,
     pub(crate) live_actors: usize,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Slab of pending-entry nodes (see module docs).
+    nodes: Vec<Node>,
+    /// Free slab indices available for reuse.
+    free: Vec<u32>,
+    /// Binary min-heap of slab indices ordered by `(at, seq)`.
+    heap: Vec<u32>,
     next_seq: u64,
-    events: HashMap<u64, KernelEvent>,
-    next_event_id: u64,
     pub(crate) finished: bool,
     pub(crate) aborted: bool,
     pub(crate) deadlock: Option<Vec<ActorReport>>,
     pub(crate) panic_info: Option<(String, String)>,
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) trace_enabled: bool,
+    pub(crate) events_processed: u64,
 }
 
 impl World {
@@ -144,16 +171,17 @@ impl World {
             actors: Vec::new(),
             running: None,
             live_actors: 0,
-            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
             next_seq: 0,
-            events: HashMap::new(),
-            next_event_id: 0,
             finished: false,
             aborted: false,
             deadlock: None,
             panic_info: None,
             trace: Vec::new(),
             trace_enabled: true,
+            events_processed: 0,
         }
     }
 
@@ -162,15 +190,167 @@ impl World {
         self.now
     }
 
-    fn push_entry(&mut self, at: SimTime, kind: EntryKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, kind }));
+    /// Total heap entries processed so far: actor handoffs plus kernel
+    /// events. The throughput denominator reported by `simbench`.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
+    // ---- slab + indexed heap ------------------------------------------
+
+    fn node_less(&self, a: u32, b: u32) -> bool {
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        (na.at, na.seq) < (nb.at, nb.seq)
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.node_less(self.heap[pos], self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                self.nodes[self.heap[pos] as usize].pos = pos;
+                self.nodes[self.heap[parent] as usize].pos = parent;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let mut smallest = pos;
+            for child in [2 * pos + 1, 2 * pos + 2] {
+                if child < self.heap.len() && self.node_less(self.heap[child], self.heap[smallest])
+                {
+                    smallest = child;
+                }
+            }
+            if smallest == pos {
+                break;
+            }
+            self.heap.swap(pos, smallest);
+            self.nodes[self.heap[pos] as usize].pos = pos;
+            self.nodes[self.heap[smallest] as usize].pos = smallest;
+            pos = smallest;
+        }
+    }
+
+    /// Insert a node into the slab and heap; returns its slab index.
+    fn insert_node(&mut self, at: SimTime, kind: NodeKind) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let pos = self.heap.len();
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let n = &mut self.nodes[idx as usize];
+                debug_assert!(matches!(n.kind, NodeKind::Free));
+                n.at = at;
+                n.seq = seq;
+                n.pos = pos;
+                n.kind = kind;
+                idx
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    at,
+                    seq,
+                    gen: 0,
+                    pos,
+                    kind,
+                });
+                idx
+            }
+        };
+        self.heap.push(idx);
+        self.sift_up(pos);
+        idx
+    }
+
+    /// Detach a node from the heap and recycle its slab slot, returning its
+    /// kind. O(log n).
+    fn remove_node(&mut self, idx: u32) -> NodeKind {
+        let pos = self.nodes[idx as usize].pos;
+        debug_assert_eq!(self.heap[pos], idx);
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos <= last && pos < self.heap.len() {
+            self.nodes[self.heap[pos] as usize].pos = pos;
+            self.sift_down(pos);
+            self.sift_up(pos);
+        }
+        self.release_node(idx)
+    }
+
+    /// Pop the minimum node, recycle its slot, and return its kind.
+    fn pop_node(&mut self) -> Option<(SimTime, NodeKind)> {
+        let idx = *self.heap.first()?;
+        let at = self.nodes[idx as usize].at;
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        self.heap.pop();
+        if !self.heap.is_empty() {
+            self.nodes[self.heap[0] as usize].pos = 0;
+            self.sift_down(0);
+        }
+        Some((at, self.release_node(idx)))
+    }
+
+    fn release_node(&mut self, idx: u32) -> NodeKind {
+        let n = &mut self.nodes[idx as usize];
+        let kind = std::mem::replace(&mut n.kind, NodeKind::Free);
+        n.gen = n.gen.wrapping_add(1);
+        self.free.push(idx);
+        kind
+    }
+
+    /// Number of live pending entries (for tests).
+    #[cfg(test)]
+    pub(crate) fn pending_entries(&self) -> usize {
+        self.heap.len()
+    }
+
+    // ---- scheduling API -----------------------------------------------
+
+    /// Create a new actor slot (with its own parker condvar) and queue its
+    /// first wake at the current time.
+    pub(crate) fn add_actor(&mut self, name: String) -> ActorId {
+        let id = ActorId(self.actors.len());
+        self.actors.push(ActorSlot {
+            name,
+            state: ActorState::NotStarted,
+            pending_wake: None,
+            wake_reason: None,
+            signals: VecDeque::new(),
+            parker: Arc::new(Condvar::new()),
+        });
+        self.live_actors += 1;
+        let now = self.now;
+        self.queue_wake(id, now);
+        id
+    }
+
+    /// Transition an actor to `Exited`: drop its signals and remove any
+    /// still-queued wake entry so nothing stale survives in the heap.
+    pub(crate) fn mark_exited(&mut self, actor: ActorId) {
+        let slot = &mut self.actors[actor.0];
+        slot.state = ActorState::Exited;
+        slot.signals.clear();
+        if let Some(idx) = slot.pending_wake.take() {
+            self.remove_node(idx);
+        }
+        self.live_actors -= 1;
+    }
+
+    /// Queue (or re-queue) the actor's single wake entry at `at`.
     pub(crate) fn queue_wake(&mut self, actor: ActorId, at: SimTime) {
-        let gen = self.actors[actor.0].gen;
-        self.push_entry(at, EntryKind::Wake { actor, gen });
+        if let Some(old) = self.actors[actor.0].pending_wake.take() {
+            self.remove_node(old);
+        }
+        let idx = self.insert_node(at, NodeKind::Wake { actor });
+        self.actors[actor.0].pending_wake = Some(idx);
     }
 
     /// Schedule a kernel event `after` from now. Returns a handle that can be
@@ -180,17 +360,28 @@ impl World {
         after: SimDuration,
         f: impl FnOnce(&mut World) + Send + 'static,
     ) -> EventId {
-        let id = self.next_event_id;
-        self.next_event_id += 1;
-        self.events.insert(id, Box::new(f));
         let at = self.now + after;
-        self.push_entry(at, EntryKind::Event { id: EventId(id) });
-        EventId(id)
+        let idx = self.insert_node(
+            at,
+            NodeKind::Event {
+                f: Some(Box::new(f)),
+            },
+        );
+        EventId::new(idx, self.nodes[idx as usize].gen)
     }
 
     /// Cancel a pending kernel event. Returns `true` if it had not yet fired.
+    /// O(log n): the entry is removed from the heap outright, not left as a
+    /// tombstone.
     pub fn cancel_event(&mut self, id: EventId) -> bool {
-        self.events.remove(&id.0).is_some()
+        let idx = id.index();
+        match self.nodes.get(idx as usize) {
+            Some(n) if n.gen == id.gen() && matches!(n.kind, NodeKind::Event { .. }) => {
+                self.remove_node(idx);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Wake a parked actor at the current time. Returns `true` if the actor
@@ -202,7 +393,6 @@ impl World {
         let slot = &mut self.actors[actor.0];
         match slot.state {
             ActorState::Parked { .. } => {
-                slot.gen += 1;
                 slot.state = ActorState::Ready;
                 slot.wake_reason = Some(WakeReason::Woken);
                 self.queue_wake(actor, now);
@@ -234,7 +424,6 @@ impl World {
             }
         );
         if interrupt {
-            slot.gen += 1;
             slot.state = ActorState::Ready;
             slot.wake_reason = Some(WakeReason::Interrupted);
             self.queue_wake(actor, now);
@@ -257,11 +446,31 @@ impl World {
     }
 
     /// Record a trace event (used by protocol code to reproduce the paper's
-    /// figures). No-op when tracing is disabled.
+    /// figures). No-op when tracing is disabled — but the caller has already
+    /// built `detail`; prefer [`World::trace_event_with`] on hot paths.
     pub fn trace_event(&mut self, actor: Option<ActorId>, tag: &str, detail: String) {
         if !self.trace_enabled {
             return;
         }
+        self.push_trace(actor, tag, detail);
+    }
+
+    /// Record a trace event, building the detail string only if tracing is
+    /// enabled. The pay-as-you-go variant for hot paths.
+    pub fn trace_event_with(
+        &mut self,
+        actor: Option<ActorId>,
+        tag: &str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.trace_enabled {
+            return;
+        }
+        let detail = detail();
+        self.push_trace(actor, tag, detail);
+    }
+
+    fn push_trace(&mut self, actor: Option<ActorId>, tag: &str, detail: String) {
         let actor_name = actor.map(|a| self.actors[a.0].name.clone());
         self.trace.push(TraceEvent {
             at: self.now,
@@ -294,35 +503,130 @@ impl World {
     pub(crate) fn dispatch(&mut self) -> Dispatch {
         debug_assert!(self.running.is_none());
         loop {
-            let Some(Reverse(entry)) = self.heap.pop() else {
+            let Some((at, kind)) = self.pop_node() else {
                 return if self.live_actors == 0 {
                     Dispatch::Finished
                 } else {
                     Dispatch::Deadlock(self.deadlock_report())
                 };
             };
-            debug_assert!(entry.at >= self.now, "event scheduled in the past");
-            match entry.kind {
-                EntryKind::Wake { actor, gen } => {
+            debug_assert!(at >= self.now, "event scheduled in the past");
+            match kind {
+                NodeKind::Wake { actor } => {
+                    self.now = at;
+                    self.events_processed += 1;
                     let slot = &mut self.actors[actor.0];
-                    if slot.gen != gen || matches!(slot.state, ActorState::Exited) {
-                        continue; // stale entry
-                    }
-                    self.now = entry.at;
-                    let slot = &mut self.actors[actor.0];
+                    debug_assert!(
+                        !matches!(slot.state, ActorState::Exited),
+                        "wake entry for exited actor survived"
+                    );
+                    slot.pending_wake = None;
                     slot.state = ActorState::Running;
                     self.running = Some(actor);
                     return Dispatch::Run;
                 }
-                EntryKind::Event { id } => {
-                    if let Some(f) = self.events.remove(&id.0) {
-                        self.now = entry.at;
-                        f(self);
-                        // The event may have woken actors or scheduled more
-                        // events; keep draining in (time, seq) order.
-                    }
+                NodeKind::Event { f } => {
+                    let f = f.expect("pending kernel event with no closure");
+                    self.now = at;
+                    self.events_processed += 1;
+                    f(self);
+                    // The event may have woken actors or scheduled more
+                    // events; keep draining in (time, seq) order.
                 }
+                NodeKind::Free => unreachable!("free node in heap"),
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world_with_actor() -> (World, ActorId) {
+        let mut w = World::new();
+        w.actors.push(ActorSlot {
+            name: "a".into(),
+            state: ActorState::Parked {
+                reason: "test".into(),
+                interruptible: false,
+            },
+            pending_wake: None,
+            wake_reason: None,
+            signals: VecDeque::new(),
+            parker: Arc::new(Condvar::new()),
+        });
+        w.live_actors = 1;
+        (w, ActorId(0))
+    }
+
+    #[test]
+    fn cancel_removes_entry_from_heap() {
+        let (mut w, _) = world_with_actor();
+        let id = w.schedule_in(SimDuration::from_secs(1), |_| {});
+        assert_eq!(w.pending_entries(), 1);
+        assert!(w.cancel_event(id));
+        assert_eq!(w.pending_entries(), 0, "no tombstone left behind");
+        assert!(!w.cancel_event(id), "double cancel reports false");
+    }
+
+    #[test]
+    fn recycled_node_does_not_alias_old_event_id() {
+        let (mut w, _) = world_with_actor();
+        let id1 = w.schedule_in(SimDuration::from_secs(1), |_| {});
+        assert!(w.cancel_event(id1));
+        // The node is recycled for a new event; the old handle must be dead.
+        let id2 = w.schedule_in(SimDuration::from_secs(2), |_| {});
+        assert_ne!(id1, id2);
+        assert!(!w.cancel_event(id1));
+        assert!(w.cancel_event(id2));
+    }
+
+    #[test]
+    fn requeueing_a_wake_leaves_single_entry() {
+        let (mut w, a) = world_with_actor();
+        w.queue_wake(a, SimTime(5));
+        w.queue_wake(a, SimTime(3));
+        assert_eq!(w.pending_entries(), 1, "old wake entry removed eagerly");
+        match w.dispatch() {
+            Dispatch::Run => {
+                assert_eq!(w.now, SimTime(3), "second wake's time wins");
+                assert_eq!(w.running, Some(a));
+            }
+            _ => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn heap_orders_by_time_then_seq() {
+        let (mut w, _) = world_with_actor();
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        for (i, at) in [(0u64, 30u64), (1, 10), (2, 10), (3, 20)] {
+            let log = std::sync::Arc::clone(&log);
+            w.schedule_in(SimDuration::from_nanos(at), move |_| {
+                log.lock().unwrap().push(i);
+            });
+        }
+        match w.dispatch() {
+            Dispatch::Deadlock(_) => {}
+            _ => panic!("expected deadlock after draining events"),
+        }
+        // Same-time events fire in scheduling order.
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn many_insert_cancel_cycles_stay_compact() {
+        let (mut w, _) = world_with_actor();
+        for round in 0..100u64 {
+            let ids: Vec<EventId> = (0..10)
+                .map(|i| w.schedule_in(SimDuration::from_nanos(round * 50 + i), |_| {}))
+                .collect();
+            for id in ids.iter().rev() {
+                assert!(w.cancel_event(*id));
+            }
+        }
+        assert_eq!(w.pending_entries(), 0);
+        assert!(w.nodes.len() <= 16, "slab reuses freed nodes");
     }
 }

@@ -197,6 +197,116 @@ fn event_scheduled_by_exiting_actor_still_fires() {
 }
 
 #[test]
+fn spawn_during_same_instant_drain_orders_after_queued_entries() {
+    // A spawn while other entries are already queued at the same instant
+    // slots behind them in (time, seq) order: the child's first step runs
+    // only after every entry enqueued before it.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let sim = Sim::new();
+    let l = Arc::clone(&log);
+    sim.spawn("parent", move |ctx| {
+        let (la, lb, lc) = (Arc::clone(&l), Arc::clone(&l), Arc::clone(&l));
+        ctx.schedule(SimDuration::ZERO, move |_| la.lock().unwrap().push("ev1"));
+        ctx.schedule(SimDuration::ZERO, move |_| lb.lock().unwrap().push("ev2"));
+        ctx.spawn("child", move |_child| lc.lock().unwrap().push("child"));
+        l.lock().unwrap().push("parent-exit");
+    });
+    sim.run().unwrap();
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["parent-exit", "ev1", "ev2", "child"]
+    );
+}
+
+#[test]
+fn panic_with_actors_parked_on_every_primitive_aborts_cleanly() {
+    // When an actor panics, peers parked on a mailbox, a timed advance, and
+    // a plain block must all be released (not leaked or deadlocked), and the
+    // run must report the panicking actor.
+    let sim = Sim::new();
+    let mb: Mailbox<u8> = Mailbox::new();
+    sim.spawn("parked-on-recv", move |ctx| {
+        let _ = mb.recv(&ctx);
+    });
+    sim.spawn("parked-on-timer", |ctx| {
+        ctx.advance(SimDuration::from_secs(100));
+    });
+    sim.spawn("parked-on-block", |ctx| {
+        ctx.block("forever", false);
+    });
+    sim.spawn("bomb", |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+        panic!("boom with three parked peers");
+    });
+    match sim.run() {
+        Err(SimError::ActorPanicked { actor, message }) => {
+            assert_eq!(actor, "bomb");
+            assert!(message.contains("three parked peers"), "{message}");
+        }
+        other => panic!("expected actor panic, got {other:?}"),
+    }
+}
+
+#[test]
+fn signal_exactly_at_deadline_timer_queued_first_completes() {
+    // The timer wake was queued (at the advance call) before the signaller's
+    // own wake, so at the shared instant the timer's lower sequence number
+    // wins: the advance completes, and the same-instant signal stays queued
+    // for the next explicit check.
+    let sim = Sim::new();
+    let t = sim.spawn("t", |ctx| {
+        match ctx.advance_interruptible(SimDuration::from_secs(2)) {
+            AdvanceOutcome::Completed => {}
+            other => panic!("timer wins the tie at its own deadline: {other:?}"),
+        }
+        assert_eq!(ctx.now(), SimTime(2_000_000_000));
+        // Let the signaller (queued behind us at t=2) run, then collect.
+        ctx.yield_now();
+        let sig = ctx.take_signal().expect("same-instant signal must survive");
+        assert_eq!(*sig.downcast::<u8>().unwrap(), 7);
+    });
+    sim.spawn("p", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        ctx.post_signal(t, Box::new(7u8));
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn signal_exactly_at_deadline_posted_first_interrupts_with_full_elapsed() {
+    // Reverse tie: the signaller queued its deadline-instant wake before the
+    // sleeper called advance_interruptible, so the signal lands while the
+    // timer entry is still pending. The sleeper is interrupted with
+    // `elapsed` equal to the FULL duration — interrupted and complete are
+    // distinguishable only by the wake reason, never by lost time.
+    let sim = Sim::new();
+    let done = Arc::new(AtomicU64::new(0));
+    let d = Arc::clone(&done);
+    let t_slot = Arc::new(Mutex::new(None));
+    let t_slot2 = Arc::clone(&t_slot);
+    sim.spawn("p", move |ctx| {
+        ctx.advance(SimDuration::from_secs(2));
+        let t = t_slot2.lock().unwrap().unwrap();
+        ctx.post_signal(t, Box::new(9u8));
+    });
+    let t = sim.spawn("t", move |ctx| {
+        match ctx.advance_interruptible(SimDuration::from_secs(2)) {
+            AdvanceOutcome::Interrupted { elapsed } => {
+                assert_eq!(elapsed, SimDuration::from_secs(2), "full duration");
+            }
+            AdvanceOutcome::Completed => panic!("signal was posted first"),
+        }
+        assert_eq!(ctx.now(), SimTime(2_000_000_000));
+        let sig = ctx.take_signal().expect("signal queued by interrupter");
+        assert_eq!(*sig.downcast::<u8>().unwrap(), 9);
+        d.store(1, Ordering::SeqCst);
+    });
+    *t_slot.lock().unwrap() = Some(t);
+    sim.run().unwrap();
+    assert_eq!(done.load(Ordering::SeqCst), 1);
+}
+
+#[test]
 fn run_after_finish_is_idempotent() {
     let sim = Sim::new();
     sim.spawn("a", |ctx| ctx.advance(SimDuration::from_secs(1)));

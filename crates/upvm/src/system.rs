@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 use pvm_rt::{
     Message, MigrationOutcome, MsgBuf, OutcomeBoard, Pvm, PvmError, ShutdownGroup, TaskApi, Tid,
 };
-use simcore::{ActorId, SimCtx, SimDuration};
+use simcore::{sim_trace, ActorId, SimCtx, SimDuration};
 use std::sync::Arc;
 use worknet::HostId;
 
@@ -293,8 +293,7 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
         match m.tag {
             proto::TAG_ULP_MIGRATE => {
                 let (tid, dst) = proto::parse_migrate_cmd(&m);
-                task.sim()
-                    .trace("upvm.cmd.received", format!("{tid} -> {dst}"));
+                sim_trace!(task.sim(), "upvm.cmd.received", "{tid} -> {dst}");
                 let cluster = &sys.pvm.cluster;
                 let compatible = cluster
                     .host(host)
@@ -302,9 +301,10 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                     .arch
                     .migration_compatible(cluster.host(dst).spec.arch);
                 if !compatible {
-                    task.sim().trace(
+                    sim_trace!(
+                        task.sim(),
                         "upvm.cmd.rejected",
-                        format!("{tid} -> {dst}: not migration-compatible"),
+                        "{tid} -> {dst}: not migration-compatible"
                     );
                     sys.outcomes().post(
                         task.sim(),
@@ -324,8 +324,7 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                         task.sim().post_signal(actor, Box::new(MigrateUlp { dst }));
                     }
                     None => {
-                        task.sim()
-                            .trace("upvm.cmd.dropped", format!("{tid}: no such ULP"));
+                        sim_trace!(task.sim(), "upvm.cmd.dropped", "{tid}: no such ULP");
                         sys.outcomes().post(
                             task.sim(),
                             tid,
@@ -347,9 +346,10 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                 let (id, bytes) = proto::parse_state(&m);
                 let calib = &sys.pvm.cluster.calib;
                 let nchunks = bytes.div_ceil(calib.daemon_fragment).max(1) as u64;
-                task.sim().trace(
+                sim_trace!(
+                    task.sim(),
                     "upvm.accept.start",
-                    format!("{id}: {bytes} bytes, {nchunks} chunks"),
+                    "{id}: {bytes} bytes, {nchunks} chunks"
                 );
                 // The accept loop runs inside the UPVM process: it occupies
                 // the process (blocking resident ULPs) while it unpacks the
@@ -360,12 +360,10 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                 task.host().memcpy(task.sim(), bytes);
                 sched.release(task.sim(), container_sched_id(host));
                 sys.finish_migration(id, host, task.sim());
-                task.sim().trace("upvm.accept.done", format!("{id}"));
+                sim_trace!(task.sim(), "upvm.accept.done", "{id}");
             }
             proto::TAG_ULP_QUIT => break,
-            other => task
-                .sim()
-                .trace("upvm.container.unknown", format!("tag {other}")),
+            other => sim_trace!(task.sim(), "upvm.container.unknown", "tag {other}"),
         }
     }
 }

@@ -14,7 +14,7 @@ use crate::sched::UlpId;
 use crate::system::Upvm;
 use parking_lot::Mutex;
 use pvm_rt::{route, Message, MigrationOutcome, MsgBuf, PvmError, TaskApi, Tid};
-use simcore::{Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
+use simcore::{sim_trace, Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -192,7 +192,7 @@ impl Ulp {
                         holding = None; // released by the successful move
                     }
                 }
-                Err(other) => self.ctx.trace("upvm.signal.unknown", format!("{other:?}")),
+                Err(other) => sim_trace!(self.ctx, "upvm.signal.unknown", "{other:?}"),
             }
         }
         migrated
@@ -208,9 +208,11 @@ impl Ulp {
         sched: &crate::sched::ProcSched,
         acquired: bool,
     ) -> bool {
-        self.ctx.trace(
+        sim_trace!(
+            self.ctx,
             "upvm.migrate.aborted",
-            format!("{} -> {dst}: {error}", self.tid),
+            "{} -> {dst}: {error}",
+            self.tid
         );
         if acquired {
             sched.release(&self.ctx, self.id);
@@ -235,10 +237,7 @@ impl Ulp {
         let ctx = &self.ctx;
         let old_host = self.host_id();
         if dst == old_host {
-            ctx.trace(
-                "upvm.migrate.noop",
-                format!("{} already on {dst}", self.tid),
-            );
+            sim_trace!(ctx, "upvm.migrate.noop", "{} already on {dst}", self.tid);
             self.sys.outcomes().post(
                 ctx,
                 self.tid,
@@ -248,7 +247,7 @@ impl Ulp {
         }
         let pvm = Arc::clone(self.sys.pvm());
         let calib = Arc::clone(&pvm.cluster.calib);
-        ctx.trace("upvm.event", format!("{} {old_host} -> {dst}", self.tid));
+        sim_trace!(ctx, "upvm.event", "{} {old_host} -> {dst}", self.tid);
 
         // Source-side work happens inside the UPVM library, holding the
         // process.
@@ -280,7 +279,7 @@ impl Ulp {
             .filter(|&c| {
                 let live = pvm.host_of(c).is_some_and(|h| pvm.cluster.host(h).is_up());
                 if !live {
-                    ctx.trace("upvm.flush.skipped", format!("container {c} host down"));
+                    sim_trace!(ctx, "upvm.flush.skipped", "container {c} host down");
                 }
                 live
             })
@@ -294,7 +293,7 @@ impl Ulp {
             );
             route::deliver_daemon(ctx, &pvm, old_host, mb, msg);
         }
-        ctx.trace("upvm.flush.sent", format!("{} containers", others.len()));
+        sim_trace!(ctx, "upvm.flush.sent", "{} containers", others.len());
         for _ in 0..others.len() {
             if self
                 .recv_proto_deadline(proto::TAG_ULP_FLUSH_ACK, ULP_ACK_TIMEOUT)
@@ -303,7 +302,7 @@ impl Ulp {
                 return self.abort_migration(dst, PvmError::Timeout, &sched, acquired);
             }
         }
-        ctx.trace("upvm.flush.done", String::new());
+        sim_trace!(ctx, "upvm.flush.done");
 
         // Future messages go directly to the target host (contrast MPVM,
         // which blocks senders until restart). Fails if the destination
@@ -349,7 +348,7 @@ impl Ulp {
                 proto::state_msg(self.id, bytes),
             ),
         );
-        ctx.trace("upvm.offhost", format!("{bytes} bytes off-loaded"));
+        sim_trace!(ctx, "upvm.offhost", "{bytes} bytes off-loaded");
 
         // The source process is free; siblings resume.
         sched.release(ctx, self.id);
@@ -359,7 +358,7 @@ impl Ulp {
         while self.sys.ulp_host(self.id) != dst {
             ctx.block("ulp awaiting accept", false);
         }
-        ctx.trace("upvm.resumed", format!("{} on {dst}", self.tid));
+        sim_trace!(ctx, "upvm.resumed", "{} on {dst}", self.tid);
         self.sys.outcomes().post(
             ctx,
             self.tid,

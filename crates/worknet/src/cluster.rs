@@ -171,11 +171,9 @@ impl ClusterBuilder {
                             let now = w.now();
                             plane
                                 .record(now, format!("crash {host} (severed {severed} transfers)"));
-                            w.trace_event(
-                                None,
-                                "fault.crash",
-                                format!("{host} down, {severed} transfers severed"),
-                            );
+                            w.trace_event_with(None, "fault.crash", || {
+                                format!("{host} down, {severed} transfers severed")
+                            });
                         });
                     });
                 }
@@ -188,7 +186,7 @@ impl ClusterBuilder {
                             plane.arm(&f);
                             let now = w.now();
                             plane.record(now, format!("arm {f:?}"));
-                            w.trace_event(None, "fault.arm", format!("{f:?}"));
+                            w.trace_event_with(None, "fault.arm", || format!("{f:?}"));
                         });
                     });
                 }
@@ -203,7 +201,7 @@ impl ClusterBuilder {
                         w.schedule_in(at, move |w| {
                             let now = w.now();
                             plane.record(now, format!("owner reclaim {host}"));
-                            w.trace_event(None, "fault.reclaim", format!("{host}"));
+                            w.trace_event_with(None, "fault.reclaim", || format!("{host}"));
                         });
                     });
                 }

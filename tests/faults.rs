@@ -25,6 +25,20 @@ fn faulted_opt_run(
     Vec<String>,
     f64,
 ) {
+    faulted_opt_run_with_pool(faults, None)
+}
+
+/// [`faulted_opt_run`] with an optional cap on the simulator's idle
+/// carrier-thread pool, so replay can be compared across pool shapes.
+fn faulted_opt_run_with_pool(
+    faults: FaultSchedule,
+    carrier_cap: Option<usize>,
+) -> (
+    adaptive_pvm::opt::TrainResult,
+    Vec<Decision>,
+    Vec<String>,
+    f64,
+) {
     let cluster = Arc::new(
         Cluster::builder(Calib::hp720_ethernet())
             .with_host(HostSpec::hp720("h0"))
@@ -33,6 +47,9 @@ fn faulted_opt_run(
             .with_faults(faults)
             .build(),
     );
+    if let Some(cap) = carrier_cap {
+        cluster.sim.set_max_idle_carriers(cap);
+    }
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
 
     // ~4 MB of training data: each slave carries ~2 MB of migratable
@@ -166,6 +183,76 @@ fn same_fault_seed_reproduces_identical_event_trace() {
         assert_eq!(a.dst, b.dst);
         assert_eq!(a.outcome, b.outcome);
     }
+}
+
+/// The carrier-thread pool is a wall-clock optimization only: capping it at
+/// two threads (heavy actor-to-carrier churn) versus leaving it unlimited
+/// (maximal thread reuse) must not perturb virtual time, the event trace,
+/// the GS's decisions, or a single bit of the training result.
+#[test]
+fn replay_is_identical_across_carrier_pool_sizes() {
+    let (r1, d1, t1, w1) = faulted_opt_run_with_pool(crash_schedule(), Some(2));
+    let (r2, d2, t2, w2) = faulted_opt_run_with_pool(crash_schedule(), None);
+    assert_eq!(r1, r2, "training result must not depend on the pool");
+    assert_eq!(w1, w2, "virtual end time must not depend on the pool");
+    assert_eq!(t1, t2, "event trace must not depend on the pool");
+    assert_eq!(d1.len(), d2.len());
+    for (a, b) in d1.iter().zip(&d2) {
+        assert_eq!((a.at, &a.unit, a.dst), (b.at, &b.unit, b.dst));
+        assert_eq!(a.outcome, b.outcome);
+    }
+}
+
+/// A sender racing a host-crash teardown: the victim host dies at t = 1 s
+/// and its daemon closes the local task's mailbox, but a peer still holds a
+/// handle and sends afterwards — a message in flight to a dead process.
+/// The send must be a traced no-op (tag `mailbox.send.closed`), never a
+/// panic, and the simulation must run to completion.
+#[test]
+fn send_racing_host_crash_teardown_is_dropped_not_fatal() {
+    use adaptive_pvm::simcore::Mailbox;
+    let cluster = Arc::new(
+        Cluster::builder(Calib::hp720_ethernet())
+            .with_host(HostSpec::hp720("victim"))
+            .with_host(HostSpec::hp720("peer"))
+            .with_faults(FaultSchedule::new().at(
+                SimDuration::from_secs(1),
+                Fault::HostCrash { host: HostId(0) },
+            ))
+            .build(),
+    );
+    let mb: Mailbox<u32> = Mailbox::new();
+    let mb_recv = mb.clone();
+    cluster.sim.spawn("victim-task", move |ctx| {
+        // Drains until the crash teardown closes the mailbox.
+        while mb_recv.recv(&ctx).is_some() {}
+    });
+    let mb_close = mb.clone();
+    cluster.sim.spawn("victim-pvmd", move |ctx| {
+        // Models the daemon's crash teardown at the fault's instant.
+        ctx.advance(SimDuration::from_secs(1));
+        mb_close.close(&ctx);
+    });
+    let mb_send = mb;
+    cluster.sim.spawn("peer-task", move |ctx| {
+        ctx.advance(SimDuration::from_millis(1_500));
+        // The peer has not heard about the crash yet.
+        mb_send.send(&ctx, 42);
+    });
+    let end = cluster.sim.run().expect("the race must not abort the run");
+    assert!(end.as_secs_f64() >= 1.5);
+    let trace: Vec<String> = cluster
+        .sim
+        .take_trace()
+        .into_iter()
+        .map(|e| e.to_string())
+        .collect();
+    let has = |tag: &str| trace.iter().any(|e| e.contains(tag));
+    assert!(has("fault.crash"), "crash fault must fire: {trace:?}");
+    assert!(
+        has("mailbox.send.closed"),
+        "post-crash send must be traced as dropped: {trace:?}"
+    );
 }
 
 #[test]
