@@ -17,6 +17,7 @@ pub const TAG_ADM_GO: i32 = -303;
 /// Master side: wait for every worker's check-in for `round`, then release
 /// them all.
 pub fn master_consensus(task: &dyn TaskApi, workers: &[Tid], round: i32) {
+    task.metrics().counter_add("adm.consensus.rounds", 1);
     for _ in 0..workers.len() {
         let m = task.recv(None, Some(TAG_ADM_CHECKIN));
         let r = m.reader().upk_int().expect("malformed check-in")[0];

@@ -38,6 +38,7 @@ pub enum AdmEvent {
 /// task's actor like a signal; the task sees it at its next poll.
 pub fn inject_event(ctx: &SimCtx, pvm: &Pvm, to: Tid, ev: AdmEvent) {
     if let Some(actor) = pvm.actor_of(to) {
+        ctx.metrics().counter_add("adm.events.injected", 1);
         ctx.post_signal(actor, Box::new(ev));
     }
 }

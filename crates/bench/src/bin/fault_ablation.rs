@@ -142,11 +142,10 @@ fn run(faults: FaultSchedule) -> Obs {
     }
     mpvm.seal();
 
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let trace = cluster.sim.take_trace();
     let count = |tag: &str| trace.iter().filter(|e| e.tag == tag).count();

@@ -8,6 +8,7 @@
 
 use bench_tables::simbench::{
     baseline_events_per_sec, measure_day_in_the_life, measure_figure1, render_report,
+    run_metrics_check,
 };
 
 fn main() {
@@ -49,7 +50,21 @@ fn main() {
         measures.push(m);
     }
 
-    let report = render_report(&measures, smoke);
+    // Throughput is measured with metrics disabled (above); this pass
+    // re-runs day-in-the-life twice with metrics on and checks the two
+    // reports serialize byte-identically.
+    println!("running metrics replay check...");
+    let mc = run_metrics_check(smoke);
+    assert!(
+        mc.replay_identical,
+        "metrics reports diverged across replays"
+    );
+    println!(
+        "  byte-identical across replays; {} migration spans recorded",
+        mc.migration_spans
+    );
+
+    let report = render_report(&measures, smoke, Some(&mc));
     std::fs::write(&out, &report).expect("write BENCH_SIM.json");
     println!("\nwrote {out}");
 }

@@ -64,6 +64,10 @@ pub struct DayConfig {
     pub nslaves: usize,
     /// Whether the workstations are shared (owner + load traces installed).
     pub shared: bool,
+    /// Whether to record virtual-time metrics during the run. Off for
+    /// throughput measurements (the disabled path is a single relaxed
+    /// atomic load); on for the replay-determinism check.
+    pub metrics: bool,
 }
 
 impl DayConfig {
@@ -76,6 +80,7 @@ impl DayConfig {
             iters: 80,
             nslaves: 4,
             shared,
+            metrics: false,
         }
     }
 
@@ -88,6 +93,7 @@ impl DayConfig {
             iters: 20,
             nslaves: 4,
             shared,
+            metrics: false,
         }
     }
 }
@@ -106,6 +112,8 @@ pub struct DayRun {
     pub sim_end_secs: f64,
     /// Whether training loss improved over the run (sanity check).
     pub converged: bool,
+    /// Metrics snapshot, when [`DayConfig::metrics`] was set.
+    pub metrics: Option<simcore::MetricsReport>,
 }
 
 /// Run the paper's §1.0 motivating scenario: a long Opt training job under
@@ -133,6 +141,7 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
         };
         b.with_host(spec)
     });
+    let b = if cfg.metrics { b.with_metrics() } else { b };
     let cluster = Arc::new(b.build());
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
 
@@ -170,11 +179,10 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
     }
     mpvm.seal();
 
-    let gs = cpe::Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        cpe::Policy::OwnerReclaim,
-    );
+    let gs = cpe::Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(cpe::Policy::OwnerReclaim)
+        .spawn();
 
     // The simulation runs on past the job's completion (pre-installed
     // monitor trace events fire through the full horizon); the job's own
@@ -188,6 +196,9 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
         .collect();
     let r = result.lock().take().expect("master produced no result");
     let util = cluster.utilization(simcore::SimDuration::from_secs_f64(end.max(1.0)));
+    let metrics = cfg
+        .metrics
+        .then(|| cluster.metrics_report(sim_end.since(simcore::SimTime::ZERO)));
     DayRun {
         job_end_secs: end,
         decisions,
@@ -195,6 +206,55 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
         events: cluster.sim.events_processed(),
         sim_end_secs: sim_end.as_secs_f64(),
         converged: r.final_loss() < r.losses[0],
+        metrics,
+    }
+}
+
+/// Headline numbers from the metrics replay-determinism check, for the
+/// `"metrics"` section of `BENCH_SIM.json`.
+pub struct MetricsCheck {
+    /// Whether two same-seed, metrics-enabled runs serialized to
+    /// byte-identical `metrics-v1` JSON.
+    pub replay_identical: bool,
+    /// Selected headline counters from the first run's report.
+    pub counters: Vec<(String, u64)>,
+    /// Completed MPVM migration spans recorded.
+    pub migration_spans: usize,
+}
+
+/// Run the day-in-the-life workload twice with metrics enabled and verify
+/// the two [`simcore::MetricsReport`]s serialize byte-identically — the
+/// observability layer must not perturb or be perturbed by the replay.
+pub fn run_metrics_check(smoke: bool) -> MetricsCheck {
+    let mut cfg = if smoke {
+        let mut c = DayConfig::smoke(true, 1994);
+        // The stock smoke job drains in ~6 virtual seconds — before any
+        // owner session starts. Stretch it so the check actually covers a
+        // migration span, not just counters.
+        c.iters = 120;
+        c
+    } else {
+        DayConfig::full(true, 1994)
+    };
+    cfg.metrics = true;
+    let a = day_in_the_life(&cfg).metrics.expect("metrics enabled");
+    let b = day_in_the_life(&cfg).metrics.expect("metrics enabled");
+    let headline = [
+        "pvm.msgs.sent",
+        "pvm.bytes.sent",
+        "net.wire.bytes",
+        "mpvm.migrations.completed",
+        "mpvm.flushed.msgs",
+        "cpe.monitor.events",
+        "gs.redecisions",
+    ];
+    MetricsCheck {
+        replay_identical: a.to_json() == b.to_json(),
+        counters: headline
+            .iter()
+            .map(|k| (k.to_string(), a.counters.get(*k).copied().unwrap_or(0)))
+            .collect(),
+        migration_spans: a.spans_with_prefix("migrate:").len(),
     }
 }
 
@@ -297,7 +357,11 @@ pub fn baseline_events_per_sec(id: &str, smoke: bool) -> Option<f64> {
 }
 
 /// Render the `BENCH_SIM.json` document.
-pub fn render_report(measures: &[WorkloadMeasure], smoke: bool) -> String {
+pub fn render_report(
+    measures: &[WorkloadMeasure],
+    smoke: bool,
+    metrics: Option<&MetricsCheck>,
+) -> String {
     let mut o = String::new();
     o.push_str("{\n  \"schema\": \"simbench-v1\",\n");
     o.push_str(&format!(
@@ -347,6 +411,26 @@ pub fn render_report(measures: &[WorkloadMeasure], smoke: bool) -> String {
             .unwrap_or(f64::NAN);
         o.push_str(&format!("\n    {}: {:.2}", json::quote(&m.id), speedup));
     }
-    o.push_str("\n  }\n}\n");
+    o.push_str("\n  }");
+    if let Some(mc) = metrics {
+        o.push_str(",\n  \"metrics\": {\n");
+        o.push_str(&format!(
+            "    \"replay_identical\": {},\n",
+            mc.replay_identical
+        ));
+        o.push_str(&format!(
+            "    \"migration_spans\": {},\n",
+            mc.migration_spans
+        ));
+        o.push_str("    \"counters\": {");
+        for (i, (k, v)) in mc.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str(&format!("\n      {}: {}", json::quote(k), v));
+        }
+        o.push_str("\n    }\n  }");
+    }
+    o.push_str("\n}\n");
     o
 }

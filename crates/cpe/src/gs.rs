@@ -6,11 +6,16 @@
 //! signalling the daemons (§2.0). The GS here consumes monitor events,
 //! applies a policy, picks destinations, and issues migration commands to
 //! whichever system adapter it drives.
+//!
+//! Construct one with [`Gs::builder`]: register one or more
+//! [`MigrationTarget`]s, pick a [`Policy`], and `spawn()`. The returned
+//! [`Gs`] handle exposes the [decision log](Gs::decisions) and the
+//! [metrics registry](Gs::metrics) the scheduler records into.
 
-use crate::monitor::{self, MonitorEvent};
+use crate::monitor::{Monitor, MonitorEvent, MonitorHandle};
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
-use simcore::{sim_trace, Mailbox, SimCtx, SimDuration};
+use simcore::{sim_trace, Mailbox, Metrics, SimCtx, SimDuration};
 use std::collections::HashSet;
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
@@ -51,9 +56,38 @@ pub struct Decision {
     pub outcome: pvm_rt::MigrationOutcome,
 }
 
+impl Decision {
+    /// Render the decision as one deterministic JSON object (the same
+    /// hand-rolled dialect as [`simcore::MetricsReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let event = match &self.event {
+            MonitorEvent::OwnerActive(h) => format!("owner_active:{}", h.0),
+            MonitorEvent::OwnerAway(h) => format!("owner_away:{}", h.0),
+            MonitorEvent::LoadChanged(h, l) => format!("load_changed:{}:{}", h.0, l),
+            MonitorEvent::Tick => "tick".to_string(),
+        };
+        let outcome = match &self.outcome {
+            pvm_rt::MigrationOutcome::Completed { new_tid } => {
+                format!("{{\"completed\": \"{new_tid}\"}}")
+            }
+            pvm_rt::MigrationOutcome::Failed { error } => {
+                format!("{{\"failed\": \"{error}\"}}")
+            }
+        };
+        format!(
+            "{{\"at_ns\": {}, \"event\": \"{event}\", \"unit\": \"{}\", \"dst\": {}, \"outcome\": {outcome}}}",
+            self.at.as_nanos(),
+            self.unit,
+            self.dst.0,
+        )
+    }
+}
+
 /// The running GS handle.
 pub struct Gs {
     decisions: Arc<Mutex<Vec<Decision>>>,
+    metrics: Metrics,
+    monitor: MonitorHandle,
 }
 
 /// Time the GS spends per placement decision.
@@ -63,36 +97,61 @@ const DECISION_COST: SimDuration = SimDuration::from_millis(2);
 /// A failed destination is blacklisted for the unit's remaining attempts.
 const MAX_REDECISIONS: usize = 3;
 
-impl Gs {
-    /// Spawn the GS actor for a single application.
-    pub fn spawn(cluster: &Arc<Cluster>, target: Arc<dyn MigrationTarget>, policy: Policy) -> Gs {
-        Gs::spawn_multi(cluster, vec![target], policy)
+/// Configures a global scheduler before it spawns; see [`Gs::builder`].
+pub struct GsBuilder<'a> {
+    cluster: &'a Arc<Cluster>,
+    targets: Vec<Arc<dyn MigrationTarget>>,
+    policy: Policy,
+}
+
+impl GsBuilder<'_> {
+    /// Add one application for the GS to manage ("decision-making
+    /// policies for sensibly scheduling multiple parallel jobs", §2.0).
+    /// Call repeatedly to schedule several applications at once; the GS
+    /// shuts down when the *last* one drains.
+    pub fn target(mut self, target: Arc<dyn MigrationTarget>) -> Self {
+        self.targets.push(target);
+        self
     }
 
-    /// Spawn the GS over several applications at once ("decision-making
-    /// policies for sensibly scheduling multiple parallel jobs", §2.0).
-    /// The GS shuts down when the *last* application drains.
-    pub fn spawn_multi(
-        cluster: &Arc<Cluster>,
-        targets: Vec<Arc<dyn MigrationTarget>>,
-        policy: Policy,
-    ) -> Gs {
+    /// Set the scheduling policy (default: [`Policy::OwnerReclaim`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Install the monitor and spawn the GS actor.
+    ///
+    /// # Panics
+    ///
+    /// If no [`target`](GsBuilder::target) was registered — a GS with
+    /// nothing to schedule would keep the simulation alive forever.
+    pub fn spawn(self) -> Gs {
+        let GsBuilder {
+            cluster,
+            targets,
+            policy,
+        } = self;
+        assert!(
+            !targets.is_empty(),
+            "GsBuilder::spawn: register at least one migration target"
+        );
         let mb: Mailbox<MonitorEvent> = Mailbox::new();
-        monitor::install(cluster, &mb);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut monitor = Monitor::builder(cluster);
         if let Policy::Rebalance { period } = &policy {
-            monitor::install_ticks(cluster, &mb, *period, Arc::clone(&stop));
+            monitor = monitor.ticks(*period);
         }
+        let monitor = monitor.install(&mb);
         let decisions = Arc::new(Mutex::new(Vec::new()));
         // Shut down when the last application finishes.
         let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(targets.len()));
         for t in &targets {
             let mb_close = mb.clone();
             let remaining = Arc::clone(&remaining);
-            let stop = Arc::clone(&stop);
+            let monitor = monitor.clone();
             t.on_drain(Box::new(move |ctx| {
                 if remaining.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
-                    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+                    monitor.shutdown();
                     mb_close.close(ctx);
                 }
             }));
@@ -122,7 +181,7 @@ impl Gs {
                     }
                     MonitorEvent::LoadChanged(h, load) => {
                         if let Policy::LoadThreshold { threshold } = &policy {
-                            if load > threshold {
+                            if load.0 > *threshold {
                                 evacuate_all(
                                     &ctx,
                                     &cluster2,
@@ -142,12 +201,63 @@ impl Gs {
                 }
             }
         });
-        Gs { decisions }
+        Gs {
+            decisions,
+            metrics: cluster.metrics(),
+            monitor,
+        }
+    }
+}
+
+impl Gs {
+    /// Start configuring a global scheduler over `cluster`.
+    pub fn builder(cluster: &Arc<Cluster>) -> GsBuilder<'_> {
+        GsBuilder {
+            cluster,
+            targets: Vec::new(),
+            policy: Policy::OwnerReclaim,
+        }
+    }
+
+    /// Spawn the GS actor for a single application.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Gs::builder(cluster).target(target).policy(policy).spawn()`"
+    )]
+    pub fn spawn(cluster: &Arc<Cluster>, target: Arc<dyn MigrationTarget>, policy: Policy) -> Gs {
+        Gs::builder(cluster).target(target).policy(policy).spawn()
+    }
+
+    /// Spawn the GS over several applications at once.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Gs::builder(cluster)` with one `.target(..)` call per application"
+    )]
+    pub fn spawn_multi(
+        cluster: &Arc<Cluster>,
+        targets: Vec<Arc<dyn MigrationTarget>>,
+        policy: Policy,
+    ) -> Gs {
+        let mut b = Gs::builder(cluster).policy(policy);
+        for t in targets {
+            b = b.target(t);
+        }
+        b.spawn()
     }
 
     /// Decisions taken so far (or over the whole run, after it ends).
     pub fn decisions(&self) -> Vec<Decision> {
         self.decisions.lock().clone()
+    }
+
+    /// The metrics registry the GS (and the whole cluster) records into.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    /// The monitor feeding this scheduler.
+    pub fn monitor(&self) -> &MonitorHandle {
+        &self.monitor
     }
 }
 
@@ -171,16 +281,16 @@ fn pick_destination(
     owner_active: &HashSet<HostId>,
     blacklist: &HashSet<HostId>,
     now: simcore::SimTime,
+    metrics: &Metrics,
 ) -> Option<HostId> {
     let mut best: Option<(f64, HostId)> = None;
     for host in cluster.hosts() {
         let h = host.id;
-        if h == src
-            || owner_active.contains(&h)
-            || blacklist.contains(&h)
-            || !host.is_up()
-            || !target.can_migrate(unit, h)
-        {
+        if blacklist.contains(&h) {
+            metrics.counter_add("gs.blacklist.hits", 1);
+            continue;
+        }
+        if h == src || owner_active.contains(&h) || !host.is_up() || !target.can_migrate(unit, h) {
             continue;
         }
         let units = units_everywhere(targets, h);
@@ -239,6 +349,7 @@ fn evacuate(
     decisions: &Arc<Mutex<Vec<Decision>>>,
     limit: Option<usize>,
 ) {
+    let metrics = ctx.metrics();
     let units = target.units_on(src);
     let n = limit.unwrap_or(units.len());
     'units: for unit in units.into_iter().take(n) {
@@ -246,7 +357,11 @@ fn evacuate(
         // migration is blacklisted and the GS re-decides, up to
         // MAX_REDECISIONS attempts.
         let mut blacklist: HashSet<HostId> = HashSet::new();
-        for _ in 0..MAX_REDECISIONS {
+        for attempt in 0..MAX_REDECISIONS {
+            if attempt > 0 {
+                metrics.counter_add("gs.redecisions", 1);
+            }
+            let decision_started = ctx.metrics_enabled().then(|| ctx.now());
             ctx.advance(DECISION_COST);
             let Some(dst) = pick_destination(
                 cluster,
@@ -257,11 +372,17 @@ fn evacuate(
                 owner_active,
                 &blacklist,
                 ctx.now(),
+                &metrics,
             ) else {
                 break;
             };
             sim_trace!(ctx, "gs.migrate", "{} {unit} {src} -> {dst}", target.kind());
             let outcome = target.migrate(ctx, unit, dst);
+            if let Some(t0) = decision_started {
+                // Decision latency: placement cost plus the migration
+                // system's own answer time.
+                metrics.histogram_record("gs.decision_ns", ctx.now().since(t0));
+            }
             let completed = outcome.is_completed();
             let unit_gone = matches!(
                 outcome.error(),
@@ -306,6 +427,7 @@ fn rebalance_once(
     event: &MonitorEvent,
     decisions: &Arc<Mutex<Vec<Decision>>>,
 ) {
+    let metrics = ctx.metrics();
     ctx.advance(DECISION_COST);
     let now = ctx.now();
     let score =
@@ -336,6 +458,7 @@ fn rebalance_once(
                 owner_active,
                 &Default::default(),
                 now,
+                &metrics,
             ) {
                 if hot_score - score(dst) > 1.0 {
                     sim_trace!(ctx, "gs.rebalance", "{} {unit} {hot} -> {dst}", t.kind());

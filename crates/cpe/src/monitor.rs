@@ -5,20 +5,68 @@
 //! hosts carry deterministic traces, so the monitor installs one kernel
 //! event per trace transition that feeds the GS mailbox at exactly the
 //! transition time (plus a small sensing delay).
+//!
+//! The entry point is [`Monitor::builder`]: configure the event sources,
+//! then [`MonitorBuilder::install`] into a mailbox. The returned
+//! [`MonitorHandle`] owns shutdown (stopping the periodic tick, where one
+//! was requested) and carries the cluster's metrics registry.
 
-use simcore::{Mailbox, SimDuration};
+use simcore::{Mailbox, Metrics, SimDuration};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
 
+/// An external load average as sensed by the monitor.
+///
+/// A newtype over `f64` with a *total* order (via [`f64::total_cmp`]) so
+/// that [`MonitorEvent`] can be `Eq` and used directly in assertions and
+/// set/map keys. Trace-derived loads are always finite; the total order
+/// only exists to make the wrapper well-behaved.
+#[derive(Debug, Clone, Copy)]
+pub struct Load(pub f64);
+
+impl PartialEq for Load {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Load {}
+
+impl PartialOrd for Load {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Load {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for Load {
+    fn from(v: f64) -> Self {
+        Load(v)
+    }
+}
+
+impl std::fmt::Display for Load {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// One observation delivered to the global scheduler.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MonitorEvent {
     /// The owner touched the machine: parallel work must vacate (§1.0).
     OwnerActive(HostId),
     /// The owner went away again.
     OwnerAway(HostId),
     /// External load changed to this value.
-    LoadChanged(HostId, f64),
+    LoadChanged(HostId, Load),
     /// Periodic sampling tick (rebalance policies).
     Tick,
 }
@@ -26,58 +74,133 @@ pub enum MonitorEvent {
 /// How long after a transition the monitor notices it.
 pub const SENSE_DELAY: SimDuration = SimDuration::from_millis(50);
 
-/// Install monitor events for every host trace transition into `out`.
-/// Call once, before the simulation runs.
-pub fn install(cluster: &Arc<Cluster>, out: &Mailbox<MonitorEvent>) {
-    cluster.sim.with_world(|w| {
-        for host in cluster.hosts() {
-            let h = host.id;
-            for &(at, active) in host.spec.owner.transitions() {
-                let out = out.clone();
-                let ev = if active {
-                    MonitorEvent::OwnerActive(h)
-                } else {
-                    MonitorEvent::OwnerAway(h)
-                };
-                let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
-                w.schedule_in(delay, move |w| out.send_from_world(w, ev));
-            }
-            for &(at, load) in host.spec.load.change_points() {
-                let out = out.clone();
-                let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
-                w.schedule_in(delay, move |w| {
-                    out.send_from_world(w, MonitorEvent::LoadChanged(h, load))
-                });
-            }
+/// The worknet monitor. A namespace for [`Monitor::builder`]; the running
+/// artifact is the [`MonitorHandle`] returned by
+/// [`MonitorBuilder::install`].
+pub struct Monitor;
+
+impl Monitor {
+    /// Start configuring a monitor over `cluster`'s host traces.
+    pub fn builder(cluster: &Arc<Cluster>) -> MonitorBuilder<'_> {
+        MonitorBuilder {
+            cluster,
+            tick_period: None,
         }
-        // Owner reclaims injected through the fault schedule look, to the
-        // monitor, exactly like a trace transition — except they are
-        // one-way: the owner never goes away again.
-        for (after, h) in cluster.fault().owner_reclaims() {
-            let out = out.clone();
-            w.schedule_in(after + SENSE_DELAY, move |w| {
-                out.send_from_world(w, MonitorEvent::OwnerActive(h))
-            });
-        }
-    });
+    }
 }
 
-/// Install a periodic tick into `out` every `period`, until `stop` is set
-/// (the GS sets it when the application drains — otherwise the pending
-/// tick event would keep the simulation alive forever).
-pub fn install_ticks(
+/// Configures which event sources a monitor installs.
+pub struct MonitorBuilder<'a> {
+    cluster: &'a Arc<Cluster>,
+    tick_period: Option<SimDuration>,
+}
+
+impl MonitorBuilder<'_> {
+    /// Also deliver a periodic [`MonitorEvent::Tick`] every `period`
+    /// (rebalance policies). Ticks run until the handle is
+    /// [shut down](MonitorHandle::shutdown) — otherwise the pending tick
+    /// event would keep the simulation alive forever.
+    pub fn ticks(mut self, period: SimDuration) -> Self {
+        self.tick_period = Some(period);
+        self
+    }
+
+    /// Install the configured event sources into `out`. Call once, before
+    /// the simulation runs.
+    pub fn install(self, out: &Mailbox<MonitorEvent>) -> MonitorHandle {
+        let cluster = self.cluster;
+        let metrics = cluster.metrics();
+        let stop = Arc::new(AtomicBool::new(false));
+        let m = metrics.clone();
+        cluster.sim.with_world(|w| {
+            for host in cluster.hosts() {
+                let h = host.id;
+                for &(at, active) in host.spec.owner.transitions() {
+                    let out = out.clone();
+                    let m = m.clone();
+                    let ev = if active {
+                        MonitorEvent::OwnerActive(h)
+                    } else {
+                        MonitorEvent::OwnerAway(h)
+                    };
+                    let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                    w.schedule_in(delay, move |w| {
+                        m.counter_add("cpe.monitor.events", 1);
+                        out.send_from_world(w, ev)
+                    });
+                }
+                for &(at, load) in host.spec.load.change_points() {
+                    let out = out.clone();
+                    let m = m.clone();
+                    let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                    w.schedule_in(delay, move |w| {
+                        m.counter_add("cpe.monitor.events", 1);
+                        out.send_from_world(w, MonitorEvent::LoadChanged(h, Load(load)))
+                    });
+                }
+            }
+            // Owner reclaims injected through the fault schedule look, to
+            // the monitor, exactly like a trace transition — except they
+            // are one-way: the owner never goes away again.
+            for (after, h) in cluster.fault().owner_reclaims() {
+                let out = out.clone();
+                let m = m.clone();
+                w.schedule_in(after + SENSE_DELAY, move |w| {
+                    m.counter_add("cpe.monitor.events", 1);
+                    out.send_from_world(w, MonitorEvent::OwnerActive(h))
+                });
+            }
+        });
+        if let Some(period) = self.tick_period {
+            install_tick_chain(cluster, out, period, Arc::clone(&stop));
+        }
+        MonitorHandle { stop, metrics }
+    }
+}
+
+/// Handle to an installed monitor. Cloneable; every clone controls the
+/// same monitor.
+#[derive(Clone)]
+pub struct MonitorHandle {
+    stop: Arc<AtomicBool>,
+    metrics: Metrics,
+}
+
+impl MonitorHandle {
+    /// Stop the periodic tick chain (if one was installed). Trace-driven
+    /// transition events are pre-scheduled and unaffected; only the
+    /// self-renewing tick — which would otherwise keep the simulation
+    /// alive forever — is cancelled.
+    pub fn shutdown(&self) {
+        self.stop.store(true, AtomicOrdering::SeqCst);
+    }
+
+    /// Has [`shutdown`](MonitorHandle::shutdown) been called?
+    pub fn is_shut_down(&self) -> bool {
+        self.stop.load(AtomicOrdering::SeqCst)
+    }
+
+    /// The cluster metrics registry this monitor records into.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+}
+
+/// The self-renewing tick event, shared by the builder and the deprecated
+/// [`install_ticks`] shim.
+fn install_tick_chain(
     cluster: &Arc<Cluster>,
     out: &Mailbox<MonitorEvent>,
     period: SimDuration,
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: Arc<AtomicBool>,
 ) {
     fn tick(
         w: &mut simcore::World,
         out: Mailbox<MonitorEvent>,
         period: SimDuration,
-        stop: Arc<std::sync::atomic::AtomicBool>,
+        stop: Arc<AtomicBool>,
     ) {
-        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+        if stop.load(AtomicOrdering::SeqCst) {
             return;
         }
         out.send_from_world(w, MonitorEvent::Tick);
@@ -87,6 +210,29 @@ pub fn install_ticks(
     cluster.sim.with_world(move |w| {
         w.schedule_in(period, move |w| tick(w, out, period, stop));
     });
+}
+
+/// Install monitor events for every host trace transition into `out`.
+/// Call once, before the simulation runs.
+#[deprecated(since = "0.4.0", note = "use `Monitor::builder(cluster).install(out)`")]
+pub fn install(cluster: &Arc<Cluster>, out: &Mailbox<MonitorEvent>) {
+    let _ = Monitor::builder(cluster).install(out);
+}
+
+/// Install a periodic tick into `out` every `period`, until `stop` is set
+/// (the GS sets it when the application drains — otherwise the pending
+/// tick event would keep the simulation alive forever).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Monitor::builder(cluster).ticks(period).install(out)`; the returned handle owns shutdown"
+)]
+pub fn install_ticks(
+    cluster: &Arc<Cluster>,
+    out: &Mailbox<MonitorEvent>,
+    period: SimDuration,
+    stop: Arc<AtomicBool>,
+) {
+    install_tick_chain(cluster, out, period, stop);
 }
 
 #[cfg(test)]
@@ -110,7 +256,8 @@ mod tests {
         b.host(HostSpec::hp720("h1"));
         let cluster = Arc::new(b.build());
         let mb: Mailbox<MonitorEvent> = Mailbox::new();
-        install(&cluster, &mb);
+        let handle = Monitor::builder(&cluster).install(&mb);
+        assert!(!handle.is_shut_down());
 
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
@@ -124,7 +271,7 @@ mod tests {
         cluster.sim.run().unwrap();
         let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 3);
-        assert_eq!(seen[0].1, MonitorEvent::LoadChanged(HostId(0), 2.0));
+        assert_eq!(seen[0].1, MonitorEvent::LoadChanged(HostId(0), Load(2.0)));
         assert!((seen[0].0 - 5.05).abs() < 0.01);
         assert_eq!(seen[1].1, MonitorEvent::OwnerActive(HostId(0)));
         assert!((seen[1].0 - 10.05).abs() < 0.01);
@@ -137,12 +284,46 @@ mod tests {
         b.quiet_hp720s(3);
         let cluster = Arc::new(b.build());
         let mb: Mailbox<MonitorEvent> = Mailbox::new();
-        install(&cluster, &mb);
+        let _handle = Monitor::builder(&cluster).install(&mb);
         let mb2 = mb.clone();
         cluster.sim.spawn("probe", move |ctx| {
             ctx.advance(SimDuration::from_secs(100));
             assert!(mb2.try_recv().is_none());
         });
         cluster.sim.run().unwrap();
+    }
+
+    #[test]
+    fn ticks_stop_after_handle_shutdown() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(1);
+        let cluster = Arc::new(b.build());
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        let handle = Monitor::builder(&cluster)
+            .ticks(SimDuration::from_secs(1))
+            .install(&mb);
+        let ticks = Arc::new(Mutex::new(0usize));
+        let t = Arc::clone(&ticks);
+        let mb2 = mb.clone();
+        let h2 = handle.clone();
+        cluster.sim.spawn("gs", move |ctx| {
+            for _ in 0..3 {
+                assert_eq!(mb2.recv(&ctx), Some(MonitorEvent::Tick));
+                *t.lock().unwrap() += 1;
+            }
+            // Shut down: the chain stops, the simulation drains.
+            h2.shutdown();
+        });
+        cluster.sim.run().unwrap();
+        assert_eq!(*ticks.lock().unwrap(), 3);
+        assert!(handle.is_shut_down());
+    }
+
+    #[test]
+    fn load_is_totally_ordered() {
+        assert_eq!(Load(2.0), Load(2.0));
+        assert!(Load(1.0) < Load(2.0));
+        assert_eq!(Load::from(3.5), Load(3.5));
+        assert_eq!(Load(1.5).to_string(), "1.5");
     }
 }

@@ -36,11 +36,10 @@ fn owner_reclaim_evacuates_mpvm_tasks() {
         });
     }
     mpvm.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
 
     let homes = homes.lock().unwrap().clone();
@@ -74,11 +73,10 @@ fn load_threshold_moves_one_unit_off_hot_host() {
         });
     }
     mpvm.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::LoadThreshold { threshold: 1.5 },
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .spawn();
     cluster.sim.run().unwrap();
 
     let mut homes = homes.lock().unwrap().clone();
@@ -111,11 +109,10 @@ fn owner_reclaim_evacuates_ulps_individually() {
         .unwrap();
     }
     sys.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(UpvmTarget(Arc::clone(&sys))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
 
     let mut homes = homes.lock().unwrap().clone();
@@ -152,11 +149,10 @@ fn adm_target_delivers_withdraw_event_to_worker() {
     });
     target.register_worker(worker, HostId(0));
 
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::clone(&target) as Arc<dyn MigrationTarget>,
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::clone(&target) as Arc<dyn MigrationTarget>)
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(withdrew.load(Ordering::SeqCst), 1);
     assert_eq!(gs.decisions().len(), 1);
@@ -182,11 +178,10 @@ fn destination_never_has_active_owner() {
         h.store(task.host_id().0 as u64, Ordering::SeqCst);
     });
     mpvm.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(home.load(Ordering::SeqCst), 1);
     assert_eq!(gs.decisions()[0].dst, HostId(1));
@@ -210,11 +205,10 @@ fn gs_reports_stuck_when_no_destination_exists() {
         h.store(task.host_id().0 as u64, Ordering::SeqCst);
     });
     mpvm.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(home.load(Ordering::SeqCst), 0, "task stays put");
     assert!(gs.decisions().is_empty());
@@ -248,7 +242,11 @@ fn multi_job_evacuation_spreads_both_jobs() {
         mpvm.seal();
         targets.push(Arc::new(MpvmTarget(mpvm)));
     }
-    let gs = Gs::spawn_multi(&cluster, targets, Policy::OwnerReclaim);
+    let mut builder = Gs::builder(&cluster).policy(Policy::OwnerReclaim);
+    for t in targets {
+        builder = builder.target(t);
+    }
+    let gs = builder.spawn();
     cluster.sim.run().unwrap();
 
     let mut homes = homes.lock().unwrap().clone();
@@ -281,13 +279,12 @@ fn rebalance_policy_moves_work_off_crowded_host() {
         .unwrap();
     }
     sys.seal();
-    let gs = Gs::spawn_multi(
-        &cluster,
-        vec![Arc::new(UpvmTarget(Arc::clone(&sys)))],
-        Policy::Rebalance {
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
+        .policy(Policy::Rebalance {
             period: SimDuration::from_secs(3),
-        },
-    );
+        })
+        .spawn();
     cluster.sim.run().unwrap();
     let homes = homes.lock().unwrap().clone();
     assert!(
@@ -332,11 +329,10 @@ fn stress_random_worknet_all_tasks_complete_deterministically() {
             });
         }
         mpvm.seal();
-        let gs = Gs::spawn(
-            &cluster,
-            Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-            Policy::OwnerReclaim,
-        );
+        let gs = Gs::builder(&cluster)
+            .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+            .policy(Policy::OwnerReclaim)
+            .spawn();
         let end = cluster.sim.run().expect("stress run failed");
         let mut h = homes.lock().unwrap().clone();
         h.sort();

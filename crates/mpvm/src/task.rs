@@ -158,6 +158,13 @@ impl MigTask {
         let calib = Arc::clone(&pvm.cluster.calib);
         let src_host = self.inner.host_id();
         sim_trace!(ctx, "mpvm.event", "{old} {src_host} -> {dst}");
+        // The migration-timeline span: stages telescope (each measures from
+        // the previous mark), so flush + state_transfer + restart sums to
+        // the wall migration time exactly. An aborted attempt drops the
+        // span unfinished and leaves no record.
+        let mut span = ctx
+            .metrics()
+            .span(ctx.now(), || format!("migrate:{old}->{dst}"));
 
         // Drop protocol stragglers from an aborted earlier attempt. The
         // retry backoff dwarfs small-message latency, so anything that was
@@ -195,6 +202,8 @@ impl MigTask {
             }
         }
         sim_trace!(ctx, "mpvm.flush.done");
+        span.stage(ctx.now(), "flush");
+        span.attr("flushed_peers", flushed.len() as u64);
 
         // Stage 3a: ask the destination mpvmd for a skeleton process.
         let dmn = self.sys.daemon_tid(dst);
@@ -238,6 +247,8 @@ impl MigTask {
             return Err(PvmError::Severed { host: sev.host });
         }
         sim_trace!(ctx, "mpvm.offhost", "{bytes} bytes transferred");
+        span.stage(ctx.now(), "state_transfer");
+        span.attr("state_bytes", bytes as u64);
 
         // Stage 4: restart. Re-enroll under a new tid on the new host, let
         // the skeleton install the received state, broadcast restart.
@@ -277,6 +288,14 @@ impl MigTask {
         }
         sim_trace!(ctx, "mpvm.restart.sent", "{old} -> {new}");
         sim_trace!(ctx, "mpvm.resumed", "{new} on {dst}");
+        span.stage(ctx.now(), "restart");
+        span.finish(ctx.now());
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("mpvm.migrations.completed", 1);
+            m.counter_add("mpvm.flushed.msgs", flushed.len() as u64);
+            m.counter_add("mpvm.state.bytes", bytes as u64);
+        }
         Ok(new)
     }
 
@@ -305,6 +324,9 @@ impl MigTask {
     /// Remap + gate a destination, blocking while it is migrating.
     fn resolve_dst(&self, to: Tid) -> Tid {
         let mut dst = self.shared.remap(to);
+        if dst != to && self.inner.sim().metrics_enabled() {
+            self.inner.sim().metrics().counter_add("mpvm.remap.hits", 1);
+        }
         loop {
             if !self.shared.is_gated(dst) {
                 return dst;
@@ -420,5 +442,9 @@ impl TaskApi for MigTask {
 
     fn set_state_bytes(&self, bytes: usize) {
         MigTask::set_state_bytes(self, bytes);
+    }
+
+    fn metrics(&self) -> simcore::Metrics {
+        self.inner.sim().metrics()
     }
 }

@@ -222,6 +222,7 @@ pub fn adm_master(
                     grad.merge(&parse_partial(&m, cfg.dim, cfg.ncats));
                 }
                 TAG_REDIST_REQ => {
+                    let repart_started = task.metrics().enabled().then(|| task.now());
                     // Collect every withdrawal already queued: a receiver
                     // that is itself leaving must not be shipped exemplars
                     // it would only bounce onward.
@@ -278,6 +279,10 @@ pub fn adm_master(
                         !active.is_empty(),
                         "every slave withdrew; nobody left to compute"
                     );
+                    if let Some(t0) = repart_started {
+                        task.metrics()
+                            .histogram_record("adm.repartition_ns", task.now().since(t0));
+                    }
                 }
                 TAG_REJOIN_REQ => {
                     let r = idx_of(m.src);

@@ -58,6 +58,14 @@ pub trait TaskApi: Send {
     /// (data + heap). No-op on systems without migration.
     fn set_state_bytes(&self, _bytes: usize) {}
 
+    /// The metrics registry of the simulation carrying this VP. The default
+    /// returns a permanently disabled registry; concrete runtimes override
+    /// it with the simulation's own, so paper-level protocol code (e.g. the
+    /// ADM consensus) can record counters through `&dyn TaskApi` alone.
+    fn metrics(&self) -> simcore::Metrics {
+        simcore::Metrics::disabled()
+    }
+
     /// Fallible send (`pvm_send`'s negative return codes). The default
     /// delegates to the panicking [`TaskApi::send`]; concrete runtimes
     /// override it to report dead destinations instead of aborting.
@@ -192,6 +200,11 @@ impl PvmTask {
             return Err(PvmError::HostDown(dst_host));
         }
         let src_host = self.try_host_id()?;
+        if self.ctx.metrics_enabled() {
+            let metrics = self.ctx.metrics();
+            metrics.counter_add("pvm.msgs.sent", 1);
+            metrics.counter_add("pvm.bytes.sent", msg.encoded_size() as u64);
+        }
         if dst_host == src_host {
             route::deliver_local(&self.ctx, &self.pvm, src_host, mb, msg);
         } else {
@@ -425,5 +438,9 @@ impl TaskApi for PvmTask {
 
     fn set_state_bytes(&self, bytes: usize) {
         self.pvm.set_task_state_bytes(self.tid(), bytes);
+    }
+
+    fn metrics(&self) -> simcore::Metrics {
+        self.ctx.metrics()
     }
 }

@@ -19,11 +19,14 @@
 //!   systems are driven by these.
 //! * [`TraceEvent`] — timestamped protocol trace used to regenerate the
 //!   paper's figures.
+//! * [`Metrics`] — virtual-time counters/gauges/histograms and migration
+//!   spans; deterministic, near-free when disabled (the default).
 
 #![warn(missing_docs)]
 
 mod error;
 mod mailbox;
+mod metrics;
 mod sim;
 mod time;
 mod trace;
@@ -31,6 +34,7 @@ mod world;
 
 pub use error::{ActorReport, SimError};
 pub use mailbox::{Interrupted, Mailbox};
+pub use metrics::{Histogram, Metrics, MetricsReport, Span, SpanRecord};
 pub use sim::{AdvanceOutcome, Sim, SimCtx};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSliceExt};

@@ -1,0 +1,649 @@
+//! Virtual-time metrics: counters, gauges, log-bucketed duration histograms,
+//! and multi-stage span records.
+//!
+//! Every value is derived from *virtual* time and deterministic event order,
+//! so a metrics report is reproducible bit-for-bit across replays of the same
+//! program — two same-seed runs emit byte-identical JSON.
+//!
+//! The registry follows the same discipline as [`sim_trace!`](crate::sim_trace):
+//! a disabled registry costs one relaxed atomic load per call site and never
+//! takes a lock, builds a name string, or allocates. Instrumentation with
+//! dynamic names should go through the `*_with` variants so the name closure
+//! is skipped entirely when metrics are off.
+//!
+//! ```
+//! use simcore::{Metrics, SimDuration, SimTime};
+//!
+//! let m = Metrics::new(true);
+//! m.counter_add("pvm.msgs.sent", 1);
+//! m.histogram_record("tcp.transfer_ns", SimDuration::from_millis(3));
+//! let mut span = m.span(SimTime::ZERO, || "migrate:t1".to_string());
+//! span.stage(SimTime(1_000), "flush");
+//! span.stage(SimTime(5_000), "state_transfer");
+//! span.finish(SimTime(5_000));
+//! let report = m.report();
+//! assert_eq!(report.counters["pvm.msgs.sent"], 1);
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A log₂-bucketed histogram of virtual-time durations (nanoseconds).
+///
+/// Bucket `i` counts durations `d` with `2^(i-1) ≤ d < 2^i` nanoseconds
+/// (bucket 0 counts exact zeros), i.e. the bucket index is the bit width of
+/// the nanosecond value. Sixty-five buckets cover the entire `u64` range, so
+/// recording never saturates or clips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts, indexed by nanosecond bit width.
+    counts: [u64; 65],
+    /// Total number of observations.
+    count: u64,
+    /// Sum of all observed durations, nanoseconds.
+    sum_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; 65],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+
+    /// Bucket index for a duration: the bit width of its nanosecond value.
+    #[inline]
+    pub fn bucket_of(d: SimDuration) -> usize {
+        (u64::BITS - d.as_nanos().leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`, nanoseconds (`2^i − 1`).
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(d.as_nanos());
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Mean observation, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Observations in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` in ascending index order.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Merge another histogram into this one. Merging is commutative and
+    /// associative, so any merge order produces the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+}
+
+/// A finished multi-stage span: one timed operation (e.g. one MPVM
+/// migration) broken into consecutive named stages.
+///
+/// Stage durations are *consecutive intervals* of the span — the stage clock
+/// starts where the previous stage ended — so they telescope: the sum of all
+/// stage durations plus the unnamed tail (time between the last stage mark
+/// and `finish`) is exactly `total`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"migrate:t5"`.
+    pub name: String,
+    /// Virtual time the span started.
+    pub start: SimTime,
+    /// Total span duration (`finish − start`).
+    pub total: SimDuration,
+    /// `(stage_name, duration)` in the order the stages completed.
+    pub stages: Vec<(&'static str, SimDuration)>,
+    /// Free-form integer attributes, e.g. `("state_bytes", 4194304)`.
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// An in-progress span. Obtained from [`Metrics::span`]; cheap to move.
+///
+/// Dropping a span without calling [`Span::finish`] discards it — an aborted
+/// operation (e.g. a rolled-back migration attempt) leaves no record.
+#[must_use = "a span records nothing unless finish() is called"]
+pub struct Span(Option<Box<SpanInner>>);
+
+struct SpanInner {
+    metrics: Metrics,
+    name: String,
+    start: SimTime,
+    last: SimTime,
+    stages: Vec<(&'static str, SimDuration)>,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// A span that records nothing (what a disabled registry hands out).
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// Whether this span is live (its registry was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Mark the end of a stage at virtual time `now`. The stage's duration
+    /// is the interval since the previous stage mark (or the span start).
+    pub fn stage(&mut self, now: SimTime, name: &'static str) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.stages.push((name, now.since(inner.last)));
+            inner.last = now;
+        }
+    }
+
+    /// Attach an integer attribute.
+    pub fn attr(&mut self, name: &'static str, value: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.attrs.push((name, value));
+        }
+    }
+
+    /// Complete the span at virtual time `now` and commit its record to the
+    /// registry.
+    pub fn finish(mut self, now: SimTime) {
+        if let Some(inner) = self.0.take() {
+            let record = SpanRecord {
+                name: inner.name,
+                start: inner.start,
+                total: now.since(inner.start),
+                stages: inner.stages,
+                attrs: inner.attrs,
+            };
+            inner.metrics.inner.state.lock().spans.push(record);
+        }
+    }
+}
+
+#[derive(Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<SpanRecord>,
+}
+
+struct MetricsInner {
+    enabled: AtomicBool,
+    state: Mutex<MetricsState>,
+}
+
+/// A shared, clonable metrics registry.
+///
+/// Clones refer to the same underlying registry (like `Arc`). Every
+/// [`Sim`](crate::Sim) owns one, reachable from actors via
+/// [`SimCtx::metrics`](crate::SimCtx::metrics); it starts **disabled** so
+/// uninstrumented runs pay only a relaxed atomic load per call site.
+#[derive(Clone)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new(false)
+    }
+}
+
+impl Metrics {
+    /// Create a registry, enabled or not.
+    pub fn new(enabled: bool) -> Metrics {
+        Metrics {
+            inner: Arc::new(MetricsInner {
+                enabled: AtomicBool::new(enabled),
+                state: Mutex::new(MetricsState::default()),
+            }),
+        }
+    }
+
+    /// A registry that is permanently off (the default for contexts with no
+    /// simulation attached).
+    pub fn disabled() -> Metrics {
+        Metrics::new(false)
+    }
+
+    /// Whether recording is on (lock-free).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Already-recorded values are kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Add `delta` to a counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        *self
+            .inner
+            .state
+            .lock()
+            .counters
+            .entry(name.to_string())
+            .or_insert(0) += delta;
+    }
+
+    /// Add `delta` to a counter whose name is built lazily — the closure
+    /// never runs when the registry is disabled.
+    pub fn counter_add_with(&self, name: impl FnOnce() -> String, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        *self.inner.state.lock().counters.entry(name()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .state
+            .lock()
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    /// Set a gauge whose name is built lazily.
+    pub fn gauge_set_with(&self, name: impl FnOnce() -> String, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.state.lock().gauges.insert(name(), value);
+    }
+
+    /// Record a duration observation into a named histogram.
+    pub fn histogram_record(&self, name: &str, d: SimDuration) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner
+            .state
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Open a span starting at virtual time `now`. The name closure only
+    /// runs when the registry is enabled; a disabled registry returns a
+    /// no-op span.
+    pub fn span(&self, now: SimTime, name: impl FnOnce() -> String) -> Span {
+        if !self.enabled() {
+            return Span(None);
+        }
+        Span(Some(Box::new(SpanInner {
+            metrics: self.clone(),
+            name: name(),
+            start: now,
+            last: now,
+            stages: Vec::new(),
+            attrs: Vec::new(),
+        })))
+    }
+
+    /// Snapshot everything recorded so far into an immutable report.
+    pub fn report(&self) -> MetricsReport {
+        let s = self.inner.state.lock();
+        MetricsReport {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            histograms: s.histograms.clone(),
+            spans: s.spans.clone(),
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// An immutable snapshot of a [`Metrics`] registry, renderable as
+/// deterministic JSON (`metrics-v1` schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Monotone counters, name-sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges, name-sorted.
+    pub gauges: BTreeMap<String, f64>,
+    /// Duration histograms, name-sorted.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Finished spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl MetricsReport {
+    /// Spans whose name starts with `prefix`, in completion order.
+    pub fn spans_with_prefix(&self, prefix: &str) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Render as deterministic JSON: map keys are name-sorted (`BTreeMap`
+    /// order), spans keep completion order, floats print with six decimals.
+    /// Identical registries render to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"metrics-v1\",\n  \"counters\": {");
+        render_entries(&mut out, self.counters.iter(), |out, (k, v)| {
+            out.push_str(&quote(k));
+            out.push_str(": ");
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        render_entries(&mut out, self.gauges.iter(), |out, (k, v)| {
+            out.push_str(&quote(k));
+            out.push_str(&format!(": {v:.6}"));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        render_entries(&mut out, self.histograms.iter(), |out, (k, h)| {
+            out.push_str(&quote(k));
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum_ns\": {}, \"buckets\": [",
+                h.count(),
+                h.sum_ns()
+            ));
+            for (i, (bucket, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{bucket}, {count}]"));
+            }
+            out.push_str("]}");
+        });
+        out.push_str("},\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"name\": ");
+            out.push_str(&quote(&s.name));
+            out.push_str(&format!(
+                ", \"start_ns\": {}, \"total_ns\": {}, \"stages\": [",
+                s.start.as_nanos(),
+                s.total.as_nanos()
+            ));
+            for (j, (name, d)) in s.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", quote(name), d.as_nanos()));
+            }
+            out.push_str("], \"attrs\": [");
+            for (j, (name, v)) in s.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", quote(name), v));
+            }
+            out.push_str("]}");
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn render_entries<'a, T: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = T>,
+    mut render: impl FnMut(&mut String, T),
+) {
+    let mut first = true;
+    for e in entries {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        render(out, e);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON-quote a string (escapes quotes, backslashes, and control bytes).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_width() {
+        assert_eq!(Histogram::bucket_of(SimDuration::ZERO), 0);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(1)), 1);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(2)), 2);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(3)), 2);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(4)), 3);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(1023)), 10);
+        assert_eq!(Histogram::bucket_of(SimDuration::from_nanos(1024)), 11);
+        assert_eq!(Histogram::bucket_of(SimDuration(u64::MAX)), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_values() {
+        for ns in [0u64, 1, 7, 255, 4096, 1_000_000_000, u64::MAX] {
+            let b = Histogram::bucket_of(SimDuration(ns));
+            assert!(ns <= Histogram::bucket_upper_ns(b), "ns {ns} bucket {b}");
+            if b > 0 {
+                assert!(ns > Histogram::bucket_upper_ns(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(100));
+        h.record(SimDuration::from_nanos(1_000_000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 1_000_200);
+        assert_eq!(h.bucket_count(Histogram::bucket_of(SimDuration(100))), 2);
+        assert_eq!(h.nonzero_buckets().len(), 2);
+        assert!((h.mean_ns() - 1_000_200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let obs: Vec<u64> = (0..200).map(|i| (i * 7919) % 100_000).collect();
+        // Split the observations three ways, merge in two different orders.
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &ns) in obs.iter().enumerate() {
+            parts[i % 3].record(SimDuration(ns));
+        }
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        ab.merge(&parts[2]);
+        let mut cb = parts[2].clone();
+        cb.merge(&parts[1]);
+        cb.merge(&parts[0]);
+        assert_eq!(ab, cb);
+        // And both equal recording everything into one histogram.
+        let mut whole = Histogram::new();
+        for &ns in &obs {
+            whole.record(SimDuration(ns));
+        }
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn disabled_registry_skips_name_closures_and_records_nothing() {
+        let m = Metrics::disabled();
+        m.counter_add("c", 1);
+        m.counter_add_with(|| panic!("name closure must not run"), 1);
+        m.gauge_set_with(|| panic!("name closure must not run"), 1.0);
+        m.histogram_record("h", SimDuration::from_secs(1));
+        let mut span = m.span(SimTime::ZERO, || panic!("name closure must not run"));
+        assert!(!span.is_recording());
+        span.stage(SimTime(5), "s");
+        span.finish(SimTime(10));
+        let r = m.report();
+        assert!(r.counters.is_empty());
+        assert!(r.gauges.is_empty());
+        assert!(r.histograms.is_empty());
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn span_stages_telescope_to_total() {
+        let m = Metrics::new(true);
+        let mut span = m.span(SimTime(100), || "op".to_string());
+        span.stage(SimTime(250), "a");
+        span.stage(SimTime(400), "b");
+        span.attr("bytes", 42);
+        span.finish(SimTime(1_000));
+        let r = m.report();
+        assert_eq!(r.spans.len(), 1);
+        let s = &r.spans[0];
+        assert_eq!(s.total, SimDuration(900));
+        assert_eq!(
+            s.stages,
+            vec![("a", SimDuration(150)), ("b", SimDuration(150))]
+        );
+        let staged: u64 = s.stages.iter().map(|(_, d)| d.as_nanos()).sum();
+        // Stage durations plus the unnamed tail equal the total exactly.
+        assert_eq!(staged + (1_000 - 400), s.total.as_nanos());
+        assert_eq!(s.attrs, vec![("bytes", 42)]);
+    }
+
+    #[test]
+    fn dropped_span_leaves_no_record() {
+        let m = Metrics::new(true);
+        let span = m.span(SimTime::ZERO, || "aborted".to_string());
+        drop(span);
+        assert!(m.report().spans.is_empty());
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_sorted() {
+        fn build() -> MetricsReport {
+            let m = Metrics::new(true);
+            // Insert in non-sorted order; JSON must come out name-sorted.
+            m.counter_add("zeta", 3);
+            m.counter_add("alpha", 1);
+            m.gauge_set("g", 0.5);
+            m.histogram_record("h", SimDuration::from_nanos(5));
+            m.histogram_record("h", SimDuration::from_nanos(900));
+            let mut s = m.span(SimTime(10), || "sp".to_string());
+            s.stage(SimTime(20), "x");
+            s.finish(SimTime(30));
+            m.report()
+        }
+        let a = build().to_json();
+        let b = build().to_json();
+        assert_eq!(a, b, "same program must render identical bytes");
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted");
+        assert!(a.contains("\"schema\": \"metrics-v1\""));
+        assert!(a.contains("\"stages\": [[\"x\", 10]]"));
+    }
+
+    #[test]
+    fn json_quoting_escapes_specials() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("n\nl"), "\"n\\nl\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_renders_stable_skeleton() {
+        let json = Metrics::disabled().report().to_json();
+        assert_eq!(
+            json,
+            "{\n  \"schema\": \"metrics-v1\",\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {},\n  \"spans\": []\n}\n"
+        );
+    }
+}

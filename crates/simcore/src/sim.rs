@@ -27,6 +27,7 @@
 //! a time under the token discipline.
 
 use crate::error::SimError;
+use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
 use crate::world::{ActorId, ActorState, Dispatch, EventId, Signal, WakeReason, World};
@@ -72,6 +73,9 @@ struct SimShared {
     /// Lock-free mirror of `World::trace_enabled` so hot paths can skip
     /// building trace details without touching the kernel lock.
     trace_enabled: AtomicBool,
+    /// The simulation's metrics registry (disabled by default; its own
+    /// enabled flag makes call sites near-free when off).
+    metrics: Metrics,
 }
 
 /// A deterministic virtual-time simulation.
@@ -130,8 +134,23 @@ impl Sim {
                     shutting_down: false,
                 }),
                 trace_enabled: AtomicBool::new(true),
+                metrics: Metrics::disabled(),
             }),
         }
+    }
+
+    /// This simulation's metrics registry. Disabled by default — call
+    /// [`Sim::set_metrics_enabled`] before the run to collect counters,
+    /// histograms, and migration spans.
+    pub fn metrics(&self) -> Metrics {
+        self.shared.metrics.clone()
+    }
+
+    /// Enable or disable metrics recording (disabled by default). When
+    /// disabled, every instrumentation site is a single relaxed atomic
+    /// load — no locks, no allocation.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.shared.metrics.set_enabled(on);
     }
 
     /// Enable or disable trace recording (enabled by default). When
@@ -405,6 +424,19 @@ impl SimCtx {
     /// Whether trace recording is currently enabled (lock-free).
     pub fn trace_enabled(&self) -> bool {
         self.shared.trace_enabled.load(Ordering::Relaxed)
+    }
+
+    /// The simulation's metrics registry (same registry as
+    /// [`Sim::metrics`]; cheap to clone and safe to capture in kernel-event
+    /// closures).
+    pub fn metrics(&self) -> Metrics {
+        self.shared.metrics.clone()
+    }
+
+    /// Whether metrics recording is enabled — a single relaxed atomic load,
+    /// the guard hot paths use before touching the registry at all.
+    pub fn metrics_enabled(&self) -> bool {
+        self.shared.metrics.enabled()
     }
 
     /// Run a closure with exclusive access to the world while holding the

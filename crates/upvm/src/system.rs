@@ -354,12 +354,19 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                 // The accept loop runs inside the UPVM process: it occupies
                 // the process (blocking resident ULPs) while it unpacks the
                 // state into the ULP's reserved region.
+                let accept_started = task.sim().metrics_enabled().then(|| task.sim().now());
                 let sched = sys.sched(host);
                 sched.acquire(task.sim(), container_sched_id(host));
                 task.sim().advance(calib.ulp_accept_per_chunk * nchunks);
                 task.host().memcpy(task.sim(), bytes);
                 sched.release(task.sim(), container_sched_id(host));
                 sys.finish_migration(id, host, task.sim());
+                if let Some(t0) = accept_started {
+                    let metrics = task.sim().metrics();
+                    metrics.counter_add("upvm.ulp.transfers", 1);
+                    metrics.counter_add("upvm.ulp.transfer.bytes", bytes as u64);
+                    metrics.histogram_record("upvm.ulp.accept_ns", task.sim().now().since(t0));
+                }
                 sim_trace!(task.sim(), "upvm.accept.done", "{id}");
             }
             proto::TAG_ULP_QUIT => break,

@@ -500,4 +500,8 @@ impl TaskApi for Ulp {
     fn set_state_bytes(&self, bytes: usize) {
         Ulp::set_state_bytes(self, bytes);
     }
+
+    fn metrics(&self) -> simcore::Metrics {
+        self.ctx.metrics()
+    }
 }

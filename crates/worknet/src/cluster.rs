@@ -5,7 +5,7 @@ use crate::calib::Calib;
 use crate::fault::{Fault, FaultPlane, FaultSchedule};
 use crate::host::{Host, HostId, HostSpec};
 use crate::net::Ethernet;
-use simcore::Sim;
+use simcore::{Metrics, MetricsReport, Sim, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// A network of workstations under simulation.
@@ -27,7 +27,41 @@ impl Cluster {
             calib,
             specs: Vec::new(),
             faults: FaultSchedule::new(),
+            metrics_enabled: false,
         }
+    }
+
+    /// The simulation's metrics registry (same as `self.sim.metrics()`).
+    /// Disabled unless the cluster was built with
+    /// [`ClusterBuilder::with_metrics`] or enabled afterwards via
+    /// [`Sim::set_metrics_enabled`].
+    pub fn metrics(&self) -> Metrics {
+        self.sim.metrics()
+    }
+
+    /// Snapshot a [`MetricsReport`], first folding in the derived per-host
+    /// gauges over `[0, horizon]`: busy/idle compute time and
+    /// owner-occupied time, plus total wire bytes offered to the segment.
+    pub fn metrics_report(&self, horizon: SimDuration) -> MetricsReport {
+        let m = self.sim.metrics();
+        if m.enabled() {
+            let end = SimTime::ZERO + horizon;
+            for h in &self.hosts {
+                let busy = h.busy_time();
+                let name = h.name();
+                m.gauge_set_with(|| format!("host.{name}.busy_s"), busy.as_secs_f64());
+                m.gauge_set_with(
+                    || format!("host.{name}.idle_s"),
+                    horizon.saturating_sub(busy).as_secs_f64(),
+                );
+                m.gauge_set_with(
+                    || format!("host.{name}.owner_occupied_s"),
+                    h.spec.owner.occupied_until(end).as_secs_f64(),
+                );
+            }
+            m.gauge_set("net.wire.bytes_total", self.ether.total_wire_bytes());
+        }
+        m.report()
     }
 
     /// The host with the given id.
@@ -103,6 +137,7 @@ pub struct ClusterBuilder {
     calib: Calib,
     specs: Vec<HostSpec>,
     faults: FaultSchedule,
+    metrics_enabled: bool,
 }
 
 impl ClusterBuilder {
@@ -143,12 +178,21 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enable metrics recording on the built cluster's simulation (off by
+    /// default; every instrumentation site is near-free while off).
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics_enabled = true;
+        self
+    }
+
     /// Finish: create the simulation, Ethernet, and host objects, and
     /// install the fault schedule as kernel events.
     pub fn build(self) -> Cluster {
         let calib = Arc::new(self.calib);
         let sim = Sim::new();
-        let ether = Ethernet::new(&calib);
+        sim.set_metrics_enabled(self.metrics_enabled);
+        let metrics = sim.metrics();
+        let ether = Ethernet::new_instrumented(&calib, metrics.clone());
         let hosts: Vec<Arc<Host>> = self
             .specs
             .into_iter()
@@ -164,11 +208,13 @@ impl ClusterBuilder {
                     let eth = ether.clone();
                     let plane = Arc::clone(&fault);
                     let at = ev.at;
+                    let m = metrics.clone();
                     sim.with_world(|w| {
                         w.schedule_in(at, move |w| {
                             h.mark_down();
                             let severed = eth.sever_host(w, host);
                             let now = w.now();
+                            m.counter_add("fault.injected.crash", 1);
                             plane
                                 .record(now, format!("crash {host} (severed {severed} transfers)"));
                             w.trace_event_with(None, "fault.crash", || {
@@ -181,10 +227,12 @@ impl ClusterBuilder {
                     let plane = Arc::clone(&fault);
                     let f = ev.fault.clone();
                     let at = ev.at;
+                    let m = metrics.clone();
                     sim.with_world(|w| {
                         w.schedule_in(at, move |w| {
                             plane.arm(&f);
                             let now = w.now();
+                            m.counter_add("fault.injected.msg_rule", 1);
                             plane.record(now, format!("arm {f:?}"));
                             w.trace_event_with(None, "fault.arm", || format!("{f:?}"));
                         });
@@ -197,9 +245,11 @@ impl ClusterBuilder {
                     fault.add_owner_reclaim(ev.at, host);
                     let plane = Arc::clone(&fault);
                     let at = ev.at;
+                    let m = metrics.clone();
                     sim.with_world(|w| {
                         w.schedule_in(at, move |w| {
                             let now = w.now();
+                            m.counter_add("fault.injected.owner_reclaim", 1);
                             plane.record(now, format!("owner reclaim {host}"));
                             w.trace_event_with(None, "fault.reclaim", || format!("{host}"));
                         });

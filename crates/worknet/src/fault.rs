@@ -4,7 +4,7 @@
 //! A [`FaultSchedule`] is a list of virtual-time events, written by hand or
 //! generated from a seed, that the cluster replays during the run: crash a
 //! host, drop or duplicate daemon-route messages, force an owner reclaim.
-//! Everything is driven off the simulation clock and a [`SplitMix64`]-style
+//! Everything is driven off the simulation clock and a `SplitMix64`-style
 //! generator, so a faulty run is bit-for-bit reproducible from its seed —
 //! the property every recovery test and the bench ablation rely on.
 //!

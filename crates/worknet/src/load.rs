@@ -172,6 +172,28 @@ impl OwnerTrace {
         &self.events
     }
 
+    /// Total time the owner is active over `[0, end]` (for the
+    /// owner-occupied-time metric).
+    pub fn occupied_until(&self, end: SimTime) -> simcore::SimDuration {
+        let mut total = simcore::SimDuration::ZERO;
+        let mut active_since: Option<SimTime> = None;
+        for &(at, active) in &self.events {
+            let at = at.min(end);
+            match (active_since, active) {
+                (None, true) => active_since = Some(at),
+                (Some(since), false) => {
+                    total += at.since(since);
+                    active_since = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(since) = active_since {
+            total += end.saturating_since(since);
+        }
+        total
+    }
+
     /// Synthetic owner sessions: away periods (mean `mean_away_s`)
     /// alternating with at-the-keyboard sessions (mean `mean_session_s`).
     /// Deterministic in `seed`.

@@ -11,7 +11,7 @@ use crate::calib::Calib;
 use crate::fault::Severed;
 use crate::host::HostId;
 use parking_lot::Mutex;
-use simcore::{EventId, SimCtx, SimDuration, World};
+use simcore::{EventId, Metrics, SimCtx, SimDuration, World};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -78,11 +78,20 @@ pub struct Ethernet {
     state: Arc<Mutex<BusState>>,
     /// One-way latency added by callers per message.
     pub latency: SimDuration,
+    /// Metrics registry wire-byte counters report to (disabled by default).
+    metrics: Metrics,
 }
 
 impl Ethernet {
     /// Build a segment from calibration constants.
     pub fn new(calib: &Calib) -> Self {
+        Self::new_instrumented(calib, Metrics::disabled())
+    }
+
+    /// Build a segment reporting wire/per-link byte counters to `metrics`
+    /// (what [`Cluster::build`](crate::Cluster::builder) uses, wiring the
+    /// simulation's own registry in).
+    pub fn new_instrumented(calib: &Calib, metrics: Metrics) -> Self {
         Ethernet {
             state: Arc::new(Mutex::new(BusState {
                 wire_bps: calib.ether_bps,
@@ -93,6 +102,7 @@ impl Ethernet {
                 total_wire_bytes: 0.0,
             })),
             latency: calib.wire_latency,
+            metrics,
         }
     }
 
@@ -136,6 +146,11 @@ impl Ethernet {
         assert!(efficiency > 0.0 && efficiency <= 1.0, "bad efficiency");
         assert!(payload_bytes >= 0.0, "negative payload");
         let wire = (payload_bytes / efficiency).max(1.0);
+        self.metrics.counter_add("net.wire.bytes", wire as u64);
+        if let Some((src, dst)) = endpoints {
+            self.metrics
+                .counter_add_with(|| format!("net.link.{src}->{dst}.bytes"), wire as u64);
+        }
         let id;
         {
             let mut b = self.state.lock();

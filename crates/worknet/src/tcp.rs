@@ -31,8 +31,13 @@ impl TcpConn {
     /// byte (models a blocking bulk write + the receiver's matching read).
     pub fn send_blocking(&self, ctx: &SimCtx, bytes: usize) {
         ctx.advance(self.calib.syscall);
+        let started = ctx.metrics().enabled().then(|| ctx.now());
         self.eth
             .transfer_blocking(ctx, bytes, self.calib.tcp_efficiency);
+        if let Some(t0) = started {
+            ctx.metrics()
+                .histogram_record("tcp.transfer_ns", ctx.now().since(t0));
+        }
     }
 
     /// Send `bytes` between two named hosts; a crash of either endpoint
@@ -47,8 +52,17 @@ impl TcpConn {
         dst: &Arc<crate::Host>,
     ) -> Result<(), crate::Severed> {
         ctx.advance(self.calib.syscall);
-        self.eth
-            .transfer_blocking_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst)
+        let started = ctx.metrics().enabled().then(|| ctx.now());
+        let r =
+            self.eth
+                .transfer_blocking_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst);
+        if let Some(t0) = started {
+            if r.is_ok() {
+                ctx.metrics()
+                    .histogram_record("tcp.transfer_ns", ctx.now().since(t0));
+            }
+        }
+        r
     }
 
     /// Analytic lower bound for moving `bytes` over an otherwise idle

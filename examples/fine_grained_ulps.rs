@@ -52,11 +52,10 @@ fn main() {
     }
     sys.seal();
 
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(UpvmTarget(Arc::clone(&sys))),
-        Policy::LoadThreshold { threshold: 1.5 },
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
+        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .spawn();
 
     let end = cluster.sim.run().expect("simulation failed");
 

@@ -1,0 +1,94 @@
+//! Migration-cost report: run three MPVM migrations of different state
+//! sizes with metrics enabled and print the per-stage cost breakdown the
+//! paper reports in its figures (flush / state transfer / restart).
+//!
+//! ```sh
+//! cargo run --release --example migration_report
+//! ```
+//!
+//! The output is deterministic (virtual-time metrics replay bit-for-bit)
+//! and is diffed against `examples/golden/migration_report.txt` in CI.
+
+use adaptive_pvm::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // Three quiet HP 9000/720s; metrics recording enabled at build time.
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    for h in 0..3 {
+        b.host(HostSpec::hp720(format!("ws{h}")));
+    }
+    let cluster = Arc::new(b.with_metrics().build());
+    let mpvm = mpvm::Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+
+    // Workers with growing state: migration cost is dominated by the
+    // state-transfer stage, and the spread makes that visible.
+    let sizes: &[(usize, usize)] = &[(0, 200_000), (1, 1_000_000), (2, 4_200_000)];
+    let mut workers = Vec::new();
+    for &(h, bytes) in sizes {
+        let w = mpvm.spawn_app(HostId(h), format!("w{h}"), move |task| {
+            task.set_state_bytes(bytes);
+            for _ in 0..400 {
+                task.compute(4.5e6); // 40 s of quiet-CPU work, in slices
+            }
+        });
+        workers.push(w);
+    }
+    mpvm.seal();
+
+    // A minimal scheduler: one ordered migration per worker, staggered.
+    let m2 = Arc::clone(&mpvm);
+    let ws = workers.clone();
+    cluster.sim.spawn("gs", move |ctx| {
+        for (i, &w) in ws.iter().enumerate() {
+            ctx.advance(SimDuration::from_secs(3));
+            let dst = HostId((i + 1) % 3);
+            m2.inject_migration(&ctx, w, dst);
+        }
+    });
+
+    let end = cluster.sim.run().expect("simulation failed");
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+
+    println!("MPVM migration-cost breakdown (virtual time)");
+    println!();
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "migration", "state B", "flush ms", "transfer ms", "restart ms", "total ms"
+    );
+    let ms = |d: SimDuration| d.as_nanos() as f64 / 1e6;
+    let stage = |s: &simcore::SpanRecord, n: &str| {
+        s.stages
+            .iter()
+            .find(|(name, _)| *name == n)
+            .map(|&(_, d)| ms(d))
+            .unwrap_or(0.0)
+    };
+    for span in report.spans_with_prefix("migrate:") {
+        let bytes = span
+            .attrs
+            .iter()
+            .find(|(k, _)| *k == "state_bytes")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        println!(
+            "{:<22} {:>10} {:>10.3} {:>12.3} {:>10.3} {:>10.3}",
+            span.name,
+            bytes,
+            stage(span, "flush"),
+            stage(span, "state_transfer"),
+            stage(span, "restart"),
+            ms(span.total),
+        );
+    }
+    println!();
+    let counter = |k: &str| report.counters.get(k).copied().unwrap_or(0);
+    println!(
+        "migrations completed : {}",
+        counter("mpvm.migrations.completed")
+    );
+    println!("messages flushed     : {}", counter("mpvm.flushed.msgs"));
+    println!("state bytes moved    : {}", counter("mpvm.state.bytes"));
+    println!("pvm messages sent    : {}", counter("pvm.msgs.sent"));
+    println!("wire bytes offered   : {}", counter("net.wire.bytes"));
+}

@@ -65,11 +65,10 @@ fn main() {
     mpvm.seal();
 
     // The CPE global scheduler with the owner-reclamation policy.
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
 
     let end = cluster.sim.run().expect("simulation failed");
     let result = result.lock().unwrap().take().unwrap();

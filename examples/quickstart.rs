@@ -5,10 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use adaptive_pvm::mpvm::Mpvm;
-use adaptive_pvm::pvm::{MsgBuf, Pvm, TaskApi};
-use adaptive_pvm::simcore::SimDuration;
-use adaptive_pvm::worknet::{Calib, Cluster, HostId};
+use adaptive_pvm::prelude::*;
 use std::sync::Arc;
 
 fn main() {

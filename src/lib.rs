@@ -1,4 +1,8 @@
 //! Meta-crate re-exporting the adaptive-PVM workspace.
+//!
+//! Depend on `adaptive-pvm` and `use adaptive_pvm::prelude::*` to get the
+//! handful of types almost every program needs; the full per-layer crates
+//! remain available as submodules (`adaptive_pvm::worknet`, `::pvm`, …).
 pub use adm;
 pub use cpe;
 pub use mpvm;
@@ -7,3 +11,31 @@ pub use pvm_rt as pvm;
 pub use simcore;
 pub use upvm;
 pub use worknet;
+
+/// The common vocabulary of the workspace in one import.
+///
+/// ```
+/// use adaptive_pvm::prelude::*;
+/// ```
+///
+/// covers building a cluster ([`Cluster`](worknet::Cluster),
+/// [`Calib`](worknet::Calib), [`HostSpec`](worknet::HostSpec),
+/// [`HostId`](worknet::HostId)), running tasks on it
+/// ([`Pvm`](pvm_rt::Pvm), [`TaskApi`](pvm_rt::TaskApi),
+/// [`MsgBuf`](pvm_rt::MsgBuf), [`Tid`](pvm_rt::Tid)), the three migration
+/// systems ([`Mpvm`](mpvm::Mpvm), [`Upvm`](upvm::Upvm), plus ADM's event
+/// types from [`adm`]), the global scheduler
+/// ([`Gs`](cpe::Gs), [`Policy`](cpe::Policy), [`Monitor`](cpe::Monitor),
+/// the `*Target` adapters) and observability
+/// ([`Metrics`](simcore::Metrics), [`MetricsReport`](simcore::MetricsReport)).
+pub mod prelude {
+    pub use cpe::{
+        AdmTarget, Gs, MigrationTarget, Monitor, MonitorEvent, MonitorHandle, MpvmTarget, Policy,
+        UpvmTarget,
+    };
+    pub use mpvm::Mpvm;
+    pub use pvm_rt::{MigrationOutcome, MsgBuf, Pvm, PvmError, TaskApi, Tid};
+    pub use simcore::{Metrics, MetricsReport, SimDuration, SimTime};
+    pub use upvm::Upvm;
+    pub use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+}

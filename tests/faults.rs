@@ -85,11 +85,10 @@ fn faulted_opt_run_with_pool(
     }
     mpvm.seal();
 
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let trace = cluster
         .sim

@@ -62,11 +62,10 @@ fn gs_driven_mpvm_run(reclaim: bool) -> (adaptive_pvm::opt::TrainResult, usize, 
     }
     mpvm.seal();
 
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let r = result.lock().unwrap().take().unwrap();
     (r, gs.decisions().len(), end.as_secs_f64())
@@ -106,11 +105,10 @@ fn upvm_under_load_threshold_policy_completes() {
         .unwrap();
     }
     sys.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(UpvmTarget(Arc::clone(&sys))),
-        Policy::LoadThreshold { threshold: 1.5 },
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
+        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .spawn();
     cluster.sim.run().unwrap();
     let done = done.lock().unwrap().clone();
     assert_eq!(done.len(), 2);
@@ -155,11 +153,10 @@ fn heterogeneous_cluster_mpvm_stuck_but_adm_moves() {
         assert_eq!(task.host_id(), HostId(0), "no compatible host: stays");
     });
     mpvm.seal();
-    let gs = Gs::spawn(
-        &cluster,
-        Arc::new(MpvmTarget(Arc::clone(&mpvm))),
-        Policy::OwnerReclaim,
-    );
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
     cluster.sim.run().unwrap();
     assert!(gs.decisions().is_empty(), "{w} had nowhere to go");
 
@@ -183,4 +180,70 @@ fn full_stack_run_is_deterministic() {
     let (b, _, wb) = gs_driven_mpvm_run(true);
     assert_eq!(a, b);
     assert_eq!(wa, wb);
+}
+
+/// One GS-driven evacuation with metrics recording on; returns the report.
+fn metrics_instrumented_run() -> adaptive_pvm::simcore::MetricsReport {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("claimed").with_owner(OwnerTrace::reclaim_at(secs(2))));
+    b.host(HostSpec::hp720("spare"));
+    let cluster = Arc::new(b.with_metrics().build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    mpvm.spawn_app(HostId(0), "w", |task| {
+        task.set_state_bytes(500_000);
+        for _ in 0..60 {
+            task.compute(4.5e6);
+        }
+    });
+    mpvm.seal();
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(Policy::OwnerReclaim)
+        .spawn();
+    let end = cluster.sim.run().unwrap();
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    assert_eq!(gs.decisions().len(), 1);
+    report
+}
+
+#[test]
+fn migration_span_stages_telescope_exactly() {
+    let report = metrics_instrumented_run();
+
+    let spans = report.spans_with_prefix("migrate:");
+    assert_eq!(spans.len(), 1, "one completed migration span");
+    let span = spans[0];
+    let names: Vec<&str> = span.stages.iter().map(|&(n, _)| n).collect();
+    assert_eq!(
+        names,
+        ["flush", "state_transfer", "restart"],
+        "the four-stage protocol records its three timed stages in order"
+    );
+    // Stage end-times telescope: the three stage durations sum *exactly*
+    // (integer nanoseconds, no rounding) to the wall migration time.
+    let sum = span
+        .stages
+        .iter()
+        .fold(adaptive_pvm::simcore::SimDuration::ZERO, |acc, &(_, d)| {
+            acc + d
+        });
+    assert_eq!(sum, span.total);
+    assert!(span.total > adaptive_pvm::simcore::SimDuration::ZERO);
+
+    // Counters agree with the span log and the decision log.
+    assert_eq!(report.counters.get("mpvm.migrations.completed"), Some(&1));
+    assert!(report.counters.get("pvm.msgs.sent").copied().unwrap_or(0) > 0);
+    assert_eq!(
+        report.histograms.get("gs.decision_ns").map(|h| h.count()),
+        Some(1),
+        "one GS decision latency sample"
+    );
+}
+
+#[test]
+fn metrics_report_replays_byte_identical() {
+    let a = metrics_instrumented_run().to_json();
+    let b = metrics_instrumented_run().to_json();
+    assert_eq!(a, b, "metrics-v1 JSON must replay bit-for-bit");
+    assert!(a.contains("\"schema\": \"metrics-v1\""));
 }

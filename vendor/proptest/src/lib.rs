@@ -2,7 +2,7 @@
 //!
 //! The workspace builds without network access, so the real crate cannot be
 //! fetched. This stub implements the subset of the proptest API the test
-//! suite uses: the [`Strategy`] trait with `prop_map`, integer-range and
+//! suite uses: the `Strategy` trait with `prop_map`, integer-range and
 //! tuple strategies, `any::<T>()`, `Just`, `prop_oneof!`,
 //! `prop::collection::vec`, `prop::option::of`, a small `[class]{m,n}`
 //! regex-string strategy, and the `proptest!` / `prop_assert!` macros.
