@@ -131,7 +131,7 @@ fn run(faults: FaultSchedule) -> Obs {
             ms::slave(task, &cfg2, master, &part);
         }));
     }
-    let cfg2 = cfg.clone();
+    let cfg2 = cfg;
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
     let master = mpvm.spawn_app(HostId(0), "master", move |task| {

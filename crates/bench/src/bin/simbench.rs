@@ -7,8 +7,8 @@
 //! the repo root when run via `cargo run`).
 
 use bench_tables::simbench::{
-    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, render_report,
-    run_metrics_check,
+    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, measure_msg_plane_mcast,
+    measure_msg_plane_ulp, render_report, run_metrics_check,
 };
 
 fn main() {
@@ -34,6 +34,8 @@ fn main() {
     for (id, f) in [
         ("figure1", measure_figure1 as fn(bool) -> _),
         ("day_in_the_life", measure_day_in_the_life),
+        ("msg_plane_mcast", measure_msg_plane_mcast),
+        ("msg_plane_ulp", measure_msg_plane_ulp),
     ] {
         println!("running {id}...");
         let m = f(smoke);

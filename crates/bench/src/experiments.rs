@@ -139,7 +139,7 @@ pub fn table4() -> Reproduction {
 pub fn table5() -> Reproduction {
     let cfg = OptConfig::table1();
     let pvm = run_pvm_opt(calib(), &cfg);
-    let adm = run_adm_opt(calib(), &cfg.clone().with_adm_overhead(), &[]);
+    let adm = run_adm_opt(calib(), &cfg.with_adm_overhead(), &[]);
     Reproduction {
         id: "table5".into(),
         title: "Quiet-case overhead: PVM_opt vs ADMopt, 9 MB set".into(),

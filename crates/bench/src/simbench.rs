@@ -24,9 +24,10 @@ use opt_app::config::OptConfig;
 use opt_app::data::TrainingSet;
 use opt_app::{ms, run_mpvm_opt, MigrationPlan};
 use parking_lot::Mutex;
-use pvm_rt::{Pvm, Tid};
+use pvm_rt::{Groups, MsgBuf, Pvm, TaskApi, Tid};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
+use upvm::Upvm;
 use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
 
 /// One workload's measurement: simulator throughput and end-to-end cost.
@@ -165,7 +166,7 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
             }),
         );
     }
-    let cfg2 = opt_cfg.clone();
+    let cfg2 = opt_cfg;
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
     let job_end = Arc::new(Mutex::new(0.0f64));
@@ -220,6 +221,10 @@ pub struct MetricsCheck {
     pub counters: Vec<(String, u64)>,
     /// Completed MPVM migration spans recorded.
     pub migration_spans: usize,
+    /// `pvm.bytes.copied` from the first run — implementation bytes the
+    /// message plane copied (pack copy-ins and, pre-redesign, per-unpack
+    /// clones), as opposed to the *modelled* copies charged in virtual time.
+    pub copied_bytes: u64,
 }
 
 /// Run the day-in-the-life workload twice with metrics enabled and verify
@@ -242,6 +247,7 @@ pub fn run_metrics_check(smoke: bool) -> MetricsCheck {
     let headline = [
         "pvm.msgs.sent",
         "pvm.bytes.sent",
+        "pvm.bytes.copied",
         "net.wire.bytes",
         "mpvm.migrations.completed",
         "mpvm.flushed.msgs",
@@ -255,6 +261,7 @@ pub fn run_metrics_check(smoke: bool) -> MetricsCheck {
             .map(|k| (k.to_string(), a.counters.get(*k).copied().unwrap_or(0)))
             .collect(),
         migration_spans: a.spans_with_prefix("migrate:").len(),
+        copied_bytes: a.counters.get("pvm.bytes.copied").copied().unwrap_or(0),
     }
 }
 
@@ -330,6 +337,105 @@ pub fn measure_day_in_the_life(smoke: bool) -> WorkloadMeasure {
     })
 }
 
+/// Tag for the `msg_plane` broadcast payload.
+const TAG_MC_DATA: i32 = 7;
+/// Tag for the `msg_plane` broadcast acknowledgement.
+const TAG_MC_ACK: i32 = 8;
+
+/// Measure the multicast half of the `msg_plane` scenario: one root on an
+/// 8-host quiet cluster broadcasts a large double section to a 7-member
+/// group every round and gathers small acks. Message-plane bound: the wall
+/// clock is dominated by what the library does with the section payload
+/// (pack copies and per-receiver unpack behavior), not by the event heap.
+pub fn measure_msg_plane_mcast(smoke: bool) -> WorkloadMeasure {
+    best_of(|| {
+        let (rounds, n) = if smoke {
+            (5usize, 2_000_000usize)
+        } else {
+            (20, 4_000_000)
+        };
+        let start = Instant::now();
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(8);
+        let cluster = Arc::new(b.build());
+        let pvm = Pvm::new(Arc::clone(&cluster));
+        let groups = Groups::new();
+        for i in 1..8usize {
+            let tid = pvm.spawn(HostId(i), format!("recv{i}"), move |task| {
+                for _ in 0..rounds {
+                    let m = task.recv(None, Some(TAG_MC_DATA));
+                    let v = m.reader().upk_double().unwrap();
+                    assert_eq!(v.len(), n);
+                    task.send(m.src, TAG_MC_ACK, MsgBuf::new().pk_int(&[v[0] as i32]));
+                }
+            });
+            groups.join("mc", tid);
+        }
+        let g = Arc::clone(&groups);
+        let payload: Vec<f64> = (0..n).map(|i| (i % 1024) as f64).collect();
+        let root = pvm.spawn(HostId(0), "root", move |task| {
+            for _ in 0..rounds {
+                g.bcast(
+                    task.as_ref(),
+                    "mc",
+                    TAG_MC_DATA,
+                    MsgBuf::new().pk_double(&payload),
+                );
+                let acks = g.gather(task.as_ref(), "mc", TAG_MC_ACK);
+                assert_eq!(acks.len(), 7);
+            }
+        });
+        groups.join("mc", root);
+        let end = cluster.sim.run().expect("msg_plane mcast failed");
+        WorkloadMeasure {
+            id: "msg_plane_mcast".into(),
+            events: cluster.sim.events_processed(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            sim_secs: end.as_secs_f64(),
+        }
+    })
+}
+
+/// Measure the ULP half of the `msg_plane` scenario: two ULPs in one UPVM
+/// container exchange fine-grained messages over the local buffer hand-off
+/// path — per-message library overhead at its purest.
+pub fn measure_msg_plane_ulp(smoke: bool) -> WorkloadMeasure {
+    best_of(|| {
+        let rounds = if smoke { 3_000usize } else { 12_000 };
+        let start = Instant::now();
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(1);
+        let cluster = Arc::new(b.build());
+        let sys = Upvm::new(Pvm::new(Arc::clone(&cluster)));
+        let pong = sys
+            .spawn_ulp(HostId(0), "pong", 1_000_000, move |u| {
+                for _ in 0..rounds {
+                    let m = u.recv(None, Some(TAG_MC_DATA));
+                    let v = m.reader().upk_int().unwrap();
+                    u.send(m.src, TAG_MC_ACK, MsgBuf::new().pk_int(&v));
+                }
+            })
+            .expect("address space");
+        sys.spawn_ulp(HostId(0), "ping", 1_000_000, move |u| {
+            let data: Vec<i32> = (0..64).collect();
+            for _ in 0..rounds {
+                u.send(pong, TAG_MC_DATA, MsgBuf::new().pk_int(&data));
+                let m = u.recv(Some(pong), Some(TAG_MC_ACK));
+                debug_assert_eq!(m.reader().remaining(), 1);
+            }
+        })
+        .expect("address space");
+        sys.seal();
+        let end = cluster.sim.run().expect("msg_plane ulp failed");
+        WorkloadMeasure {
+            id: "msg_plane_ulp".into(),
+            events: cluster.sim.events_processed(),
+            wall_secs: start.elapsed().as_secs_f64(),
+            sim_secs: end.as_secs_f64(),
+        }
+    })
+}
+
 /// Events/sec of the pre-overhaul engine (single shared condvar with
 /// `notify_all` per handoff, thread-per-actor, `HashMap` + tombstone event
 /// heap, eager `format!` tracing), measured on this repo's reference
@@ -346,14 +452,38 @@ pub const BASELINE_EVENTS_PER_SEC: &[(&str, f64, f64)] = &[
 
 /// Description of the engine being measured now.
 pub const CURRENT_ENGINE: &str = "targeted per-actor wakeups, carrier-thread pool, \
-     slab-indexed event heap, lazy tracing, FMA-dispatched Opt kernel";
+     slab-indexed event heap, lazy tracing, FMA-dispatched Opt kernel, \
+     zero-copy message plane";
 
-/// Baseline events/sec recorded for a workload in the given mode.
+/// The deep-copy message plane the zero-copy redesign replaced: the
+/// borrowing `pk_*` calls copied their slices in, `MsgReader::upk_*` cloned
+/// every section on unpack, and `Ulp::mcast` deep-cloned the whole `MsgBuf`
+/// once per destination. Measured on this repo's reference machine (same
+/// engine as [`CURRENT_ENGINE`]) immediately before the redesign.
+pub const BASELINE_MSG_PLANE: &str =
+    "deep-copy message plane (copy-in pack, clone-per-unpack, clone-per-destination ULP mcast)";
+
+/// Events/sec of the `msg_plane` workloads under [`BASELINE_MSG_PLANE`].
+/// `(workload id, full-mode events/sec, smoke-mode events/sec)`.
+pub const BASELINE_MSG_PLANE_EVENTS_PER_SEC: &[(&str, f64, f64)] = &[
+    ("msg_plane_mcast", 2_333.0, 5_780.0),
+    ("msg_plane_ulp", 601_072.0, 666_773.0),
+];
+
+/// `pvm.bytes.copied` on the metrics-check day-in-the-life run under
+/// [`BASELINE_MSG_PLANE`]: `(full-mode bytes, smoke-mode bytes)`.
+pub const BASELINE_DAY_COPIED_BYTES: (u64, u64) = (8_665_740, 12_998_540);
+
+/// Baseline events/sec recorded for a workload in the given mode: the
+/// pre-overhaul engine for the engine workloads, the deep-copy message
+/// plane for the `msg_plane` workloads.
 pub fn baseline_events_per_sec(id: &str, smoke: bool) -> Option<f64> {
     BASELINE_EVENTS_PER_SEC
         .iter()
+        .chain(BASELINE_MSG_PLANE_EVENTS_PER_SEC)
         .find(|(w, _, _)| *w == id)
         .map(|(_, full, sm)| if smoke { *sm } else { *full })
+        .filter(|b| *b > 0.0)
 }
 
 /// Render the `BENCH_SIM.json` document.
@@ -386,6 +516,31 @@ pub fn render_report(
         ));
     }
     o.push_str("\n    }\n  },\n");
+    o.push_str("  \"baseline_msg_plane\": {\n");
+    o.push_str(&format!(
+        "    \"plane\": {},\n",
+        json::quote(BASELINE_MSG_PLANE)
+    ));
+    o.push_str("    \"events_per_sec\": {");
+    for (i, (id, full, sm)) in BASELINE_MSG_PLANE_EVENTS_PER_SEC.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n      {}: {}",
+            json::quote(id),
+            if smoke { sm } else { full }
+        ));
+    }
+    o.push_str("\n    },\n");
+    o.push_str(&format!(
+        "    \"day_in_the_life_copied_bytes\": {}\n  }},\n",
+        if smoke {
+            BASELINE_DAY_COPIED_BYTES.1
+        } else {
+            BASELINE_DAY_COPIED_BYTES.0
+        }
+    ));
     o.push_str("  \"current\": [");
     for (i, m) in measures.iter().enumerate() {
         if i > 0 {
@@ -413,6 +568,11 @@ pub fn render_report(
     }
     o.push_str("\n  }");
     if let Some(mc) = metrics {
+        let base_copied = if smoke {
+            BASELINE_DAY_COPIED_BYTES.1
+        } else {
+            BASELINE_DAY_COPIED_BYTES.0
+        };
         o.push_str(",\n  \"metrics\": {\n");
         o.push_str(&format!(
             "    \"replay_identical\": {},\n",
@@ -422,6 +582,13 @@ pub fn render_report(
             "    \"migration_spans\": {},\n",
             mc.migration_spans
         ));
+        o.push_str(&format!("    \"copied_bytes\": {},\n", mc.copied_bytes));
+        if base_copied > 0 {
+            o.push_str(&format!(
+                "    \"copied_bytes_vs_baseline\": {:.3},\n",
+                mc.copied_bytes as f64 / base_copied as f64
+            ));
+        }
         o.push_str("    \"counters\": {");
         for (i, (k, v)) in mc.counters.iter().enumerate() {
             if i > 0 {

@@ -219,32 +219,6 @@ impl Gs {
         }
     }
 
-    /// Spawn the GS actor for a single application.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `Gs::builder(cluster).target(target).policy(policy).spawn()`"
-    )]
-    pub fn spawn(cluster: &Arc<Cluster>, target: Arc<dyn MigrationTarget>, policy: Policy) -> Gs {
-        Gs::builder(cluster).target(target).policy(policy).spawn()
-    }
-
-    /// Spawn the GS over several applications at once.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `Gs::builder(cluster)` with one `.target(..)` call per application"
-    )]
-    pub fn spawn_multi(
-        cluster: &Arc<Cluster>,
-        targets: Vec<Arc<dyn MigrationTarget>>,
-        policy: Policy,
-    ) -> Gs {
-        let mut b = Gs::builder(cluster).policy(policy);
-        for t in targets {
-            b = b.target(t);
-        }
-        b.spawn()
-    }
-
     /// Decisions taken so far (or over the whole run, after it ends).
     pub fn decisions(&self) -> Vec<Decision> {
         self.decisions.lock().clone()

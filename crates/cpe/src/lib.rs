@@ -14,9 +14,5 @@ mod monitor;
 mod target;
 
 pub use gs::{Decision, Gs, GsBuilder, Policy};
-#[allow(deprecated)]
-pub use monitor::install as install_monitor;
-#[allow(deprecated)]
-pub use monitor::install_ticks as install_monitor_ticks;
 pub use monitor::{Load, Monitor, MonitorBuilder, MonitorEvent, MonitorHandle, SENSE_DELAY};
 pub use target::{AdmTarget, MigrationTarget, MpvmTarget, UpvmTarget};

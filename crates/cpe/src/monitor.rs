@@ -186,8 +186,7 @@ impl MonitorHandle {
     }
 }
 
-/// The self-renewing tick event, shared by the builder and the deprecated
-/// [`install_ticks`] shim.
+/// The self-renewing tick event behind [`MonitorBuilder::ticks`].
 fn install_tick_chain(
     cluster: &Arc<Cluster>,
     out: &Mailbox<MonitorEvent>,
@@ -210,29 +209,6 @@ fn install_tick_chain(
     cluster.sim.with_world(move |w| {
         w.schedule_in(period, move |w| tick(w, out, period, stop));
     });
-}
-
-/// Install monitor events for every host trace transition into `out`.
-/// Call once, before the simulation runs.
-#[deprecated(since = "0.4.0", note = "use `Monitor::builder(cluster).install(out)`")]
-pub fn install(cluster: &Arc<Cluster>, out: &Mailbox<MonitorEvent>) {
-    let _ = Monitor::builder(cluster).install(out);
-}
-
-/// Install a periodic tick into `out` every `period`, until `stop` is set
-/// (the GS sets it when the application drains — otherwise the pending
-/// tick event would keep the simulation alive forever).
-#[deprecated(
-    since = "0.4.0",
-    note = "use `Monitor::builder(cluster).ticks(period).install(out)`; the returned handle owns shutdown"
-)]
-pub fn install_ticks(
-    cluster: &Arc<Cluster>,
-    out: &Mailbox<MonitorEvent>,
-    period: SimDuration,
-    stop: Arc<AtomicBool>,
-) {
-    install_tick_chain(cluster, out, period, stop);
 }
 
 #[cfg(test)]
@@ -261,7 +237,7 @@ mod tests {
 
         let seen = Arc::new(Mutex::new(Vec::new()));
         let s = Arc::clone(&seen);
-        let mb2 = mb.clone();
+        let mb2 = mb;
         cluster.sim.spawn("gs", move |ctx| {
             for _ in 0..3 {
                 let ev = mb2.recv(&ctx).unwrap();
@@ -285,7 +261,7 @@ mod tests {
         let cluster = Arc::new(b.build());
         let mb: Mailbox<MonitorEvent> = Mailbox::new();
         let _handle = Monitor::builder(&cluster).install(&mb);
-        let mb2 = mb.clone();
+        let mb2 = mb;
         cluster.sim.spawn("probe", move |ctx| {
             ctx.advance(SimDuration::from_secs(100));
             assert!(mb2.try_recv().is_none());
@@ -304,7 +280,7 @@ mod tests {
             .install(&mb);
         let ticks = Arc::new(Mutex::new(0usize));
         let t = Arc::clone(&ticks);
-        let mb2 = mb.clone();
+        let mb2 = mb;
         let h2 = handle.clone();
         cluster.sim.spawn("gs", move |ctx| {
             for _ in 0..3 {

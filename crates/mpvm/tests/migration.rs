@@ -61,7 +61,7 @@ fn migrate_while_blocked_in_recv() {
     let receiver = mpvm.spawn_app(HostId(0), "receiver", move |t| {
         // Block immediately; the migration hits while we are in pvm_recv.
         let m = t.recv(None, Some(1));
-        assert_eq!(m.reader().upk_int().unwrap(), vec![5]);
+        assert_eq!(&*m.reader().upk_int().unwrap(), &[5][..]);
         assert_eq!(t.host_id(), HostId(1), "resumed on the new host");
         g.fetch_add(1, Ordering::SeqCst);
     });
@@ -138,7 +138,7 @@ fn chained_migrations_remap_transitively() {
         assert_eq!(t.host_id(), HostId(2));
         // The message sent to our original tid still reaches us.
         let m = t.recv(None, Some(3));
-        assert_eq!(m.reader().upk_str().unwrap(), "follow");
+        assert_eq!(&*m.reader().upk_str().unwrap(), "follow");
         g.fetch_add(1, Ordering::SeqCst);
     });
 
@@ -334,7 +334,7 @@ fn results_identical_with_and_without_migration() {
             let mut h = 0xcbf29ce484222325u64;
             for _ in 0..20 {
                 let m = t.recv(None, Some(1));
-                for v in m.reader().upk_double().unwrap() {
+                for v in m.reader().upk_double().unwrap().iter().copied() {
                     h = (h ^ v.to_bits()).wrapping_mul(0x100000001b3);
                 }
                 t.compute(2.0e6);

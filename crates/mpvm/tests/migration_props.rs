@@ -28,7 +28,7 @@ fn run_pipeline(rounds: u32, schedule: &[(u64, u8, u8)]) -> u64 {
         let mut h = 0xcbf29ce484222325u64;
         for _ in 0..rounds {
             let m = t.recv(None, Some(1));
-            for v in m.reader().upk_uint().unwrap() {
+            for v in m.reader().upk_uint().unwrap().iter().copied() {
                 h = (h ^ v as u64).wrapping_mul(0x100000001b3);
             }
             t.compute(2.0e6);

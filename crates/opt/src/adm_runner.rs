@@ -117,7 +117,7 @@ pub fn run_adm_opt_on(
     let cfg2 = cfg.clone();
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
-    let caps = capacities.clone();
+    let caps = capacities;
     let master = pvm.spawn(HostId(0), "adm-master", move |task| {
         *res.lock() = Some(adm_opt::adm_master(
             task.as_ref(),

@@ -30,7 +30,7 @@ pub fn partial_msg(g: &Gradient) -> MsgBuf {
 /// Deserialize a partial gradient.
 pub fn parse_partial(m: &pvm_rt::Message, dim: usize, ncats: usize) -> Gradient {
     let mut r = m.reader();
-    let g = r.upk_float().expect("partial: gradient");
+    let g = r.upk_float_vec().expect("partial: gradient");
     assert_eq!(g.len(), ncats * (dim + 1), "partial gradient shape");
     let loss = r.upk_double().expect("partial: loss")[0];
     let count = r.upk_uint().expect("partial: count")[0] as usize;

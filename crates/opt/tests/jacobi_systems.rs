@@ -118,7 +118,7 @@ fn jacobi_converges_and_agrees_across_systems() {
     assert_eq!(a, b, "PVM and MPVM agree bitwise");
     assert_eq!(a, c, "PVM and UPVM agree bitwise");
     // The stencil smooths the random field: residual shrinks with sweeps.
-    let mut long = cfg.clone();
+    let mut long = cfg;
     long.iterations = 60;
     let d = run_pvm(&long);
     assert!(d.residual < a.residual, "{} !< {}", d.residual, a.residual);

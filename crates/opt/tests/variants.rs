@@ -87,7 +87,7 @@ fn upvm_migration_is_transparent_to_results() {
 fn adm_opt_quiet_converges_like_pvm_opt() {
     let cfg = OptConfig::tiny();
     let pvm = run_pvm_opt(calib(), &cfg);
-    let adm = run_adm_opt(calib(), &cfg.clone().with_adm_overhead(), &[]);
+    let adm = run_adm_opt(calib(), &cfg.with_adm_overhead(), &[]);
     // Same reduction structure when nothing moves → identical numerics.
     assert_eq!(adm.result.losses, pvm.result.losses);
     assert_eq!(adm.result.checksum, pvm.result.checksum);

@@ -20,7 +20,10 @@ pub const TAG_BARRIER_IN: i32 = -401;
 pub const TAG_BARRIER_OUT: i32 = -402;
 
 struct GroupState {
-    members: Vec<Tid>,
+    /// Current members, in join order. Shared and immutable: membership
+    /// changes (rare, control-plane) rebuild the snapshot; reads (every
+    /// barrier, bcast, and gather) are an O(1) handle clone.
+    members: Arc<[Tid]>,
     barrier_seq: i32,
 }
 
@@ -51,13 +54,15 @@ impl Groups {
     pub fn try_join(&self, name: &str, tid: Tid) -> PvmResult<usize> {
         let mut g = self.groups.lock();
         let st = g.entry(name.to_string()).or_insert(GroupState {
-            members: Vec::new(),
+            members: Arc::from([].as_slice()),
             barrier_seq: 0,
         });
         if st.members.contains(&tid) {
             return Err(PvmError::AlreadyInGroup(tid));
         }
-        st.members.push(tid);
+        let mut next = st.members.to_vec();
+        next.push(tid);
+        st.members = next.into();
         Ok(st.members.len() - 1)
     }
 
@@ -82,17 +87,19 @@ impl Groups {
             .iter()
             .position(|t| *t == tid)
             .ok_or(PvmError::NotInGroup(tid))?;
-        st.members.remove(idx);
+        let mut next = st.members.to_vec();
+        next.remove(idx);
+        st.members = next.into();
         Ok(())
     }
 
-    /// Current members, in join order.
-    pub fn members(&self, name: &str) -> Vec<Tid> {
+    /// Current members, in join order — a shared snapshot, not a copy.
+    pub fn members(&self, name: &str) -> Arc<[Tid]> {
         self.groups
             .lock()
             .get(name)
-            .map(|s| s.members.clone())
-            .unwrap_or_default()
+            .map(|s| Arc::clone(&s.members))
+            .unwrap_or_else(|| Arc::from([].as_slice()))
     }
 
     /// Group size (`pvm_gsize`).
@@ -156,7 +163,8 @@ impl Groups {
         let me = task.mytid();
         let dests: Vec<Tid> = self
             .members(name)
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|t| *t != me)
             .collect();
         task.mcast(&dests, tag, buf);
@@ -168,8 +176,9 @@ impl Groups {
         let me = task.mytid();
         let members = self.members(name);
         members
-            .into_iter()
-            .filter(|t| *t != me)
+            .iter()
+            .copied()
+            .filter(|t| t != &me)
             .map(|t| task.recv(Some(t), Some(tag)))
             .collect()
     }
@@ -198,7 +207,7 @@ mod tests {
         assert_eq!(g.size("work"), 2);
         assert_eq!(g.instance("work", b), Some(1));
         g.leave("work", a);
-        assert_eq!(g.members("work"), vec![b]);
+        assert_eq!(&*g.members("work"), &[b][..]);
         assert_eq!(g.instance("work", a), None);
         assert_eq!(g.size("nope"), 0);
     }
@@ -263,6 +272,35 @@ mod tests {
         }
         cluster.sim.run().unwrap();
         assert_eq!(rounds.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn bcast_charges_one_pack_of_copied_bytes() {
+        use simcore::SimTime;
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(2);
+        let cluster = Arc::new(b.with_metrics().build());
+        let pvm = Pvm::new(Arc::clone(&cluster));
+        let groups = Groups::new();
+        let payload: Vec<i32> = (0..256).collect();
+        for i in 0..3usize {
+            let g2 = Arc::clone(&groups);
+            let payload = payload.clone();
+            let tid = pvm.spawn(HostId(i % 2), format!("m{i}"), move |task| {
+                if i == 0 {
+                    g2.bcast(task.as_ref(), "g", 5, MsgBuf::new().pk_int(&payload));
+                } else {
+                    let m = task.recv(None, Some(5));
+                    assert_eq!(m.reader().upk_int().unwrap().len(), 256);
+                }
+            });
+            groups.join("g", tid);
+        }
+        let end = cluster.sim.run().unwrap();
+        let report = cluster.metrics_report(end.since(SimTime::ZERO));
+        // Both destinations share one sealed pack: the borrowed pk_int copy
+        // is metered once, not once per fan-out branch.
+        assert_eq!(report.counters["pvm.bytes.copied"], 256 * 4);
     }
 
     #[test]

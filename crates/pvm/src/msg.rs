@@ -5,27 +5,49 @@
 //! what the Opt application and the migration protocols program against)
 //! and account an XDR-like encoded size per section, which is what every
 //! cost in the network model is charged on.
+//!
+//! # Zero-copy ownership model
+//!
+//! Section payloads live in shared, immutable storage (`Arc<[T]>` for the
+//! numeric types, [`Bytes`] for raw bytes, `Arc<str>` for strings), so:
+//!
+//! * cloning an [`Item`], a [`MsgBuf`], or a sealed [`Message`] is a
+//!   reference-count bump — multicast fan-out and daemon retransmits share
+//!   one body allocation across every destination;
+//! * `MsgReader::upk_*` returns another handle on the same storage — a
+//!   receiver unpacks without copying. The `upk_*_vec` variants copy out a
+//!   fresh `Vec` for the rare caller that truly needs ownership;
+//! * the borrowing `pk_*` calls remain a copy-in convenience; the
+//!   `pk_*_owned` variants seal a caller-owned buffer without a copy (the
+//!   UPVM buffer hand-off: the library moves the pointer, not the bytes).
+//!
+//! Real (implementation-level) copies are metered: each `MsgBuf` counts
+//! the bytes its copy-in calls moved, and the sealed message carries the
+//! total in a charge-once latch that the routing layer drains into the
+//! `pvm.bytes.copied` counter. This is deliberately distinct from the
+//! *modelled* copy costs charged in virtual time, which are unchanged.
 
 use crate::tid::Tid;
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One typed section of a message.
+/// One typed section of a message. Payloads are shared and immutable, so
+/// clones are O(1) and never duplicate the section data.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Item {
     /// 32-bit integers (4 bytes each on the wire).
-    Int(Vec<i32>),
+    Int(Arc<[i32]>),
     /// 32-bit unsigned integers (4 bytes each on the wire).
-    Uint(Vec<u32>),
+    Uint(Arc<[u32]>),
     /// 64-bit floats (8 bytes each on the wire).
-    Double(Vec<f64>),
+    Double(Arc<[f64]>),
     /// 32-bit floats (4 bytes each on the wire).
-    Float(Vec<f32>),
-    /// Raw bytes (1 byte each on the wire). `Bytes` keeps clones cheap for
-    /// multicast.
+    Float(Arc<[f32]>),
+    /// Raw bytes (1 byte each on the wire).
     Byte(Bytes),
     /// A string (length prefix + contents).
-    Str(String),
+    Str(Arc<str>),
 }
 
 impl Item {
@@ -47,46 +69,78 @@ impl Item {
 #[derive(Debug, Default, Clone)]
 pub struct MsgBuf {
     items: Vec<Item>,
+    /// Implementation bytes the library copied while packing (the borrowing
+    /// `pk_*` convenience API copies its slice in; the `_owned` variants do
+    /// not). Sealed into the message's charge-once meter.
+    copied: u64,
 }
 
 impl MsgBuf {
     /// An empty send buffer.
     pub fn new() -> Self {
-        MsgBuf { items: Vec::new() }
+        MsgBuf::default()
     }
 
-    /// Pack 32-bit integers.
+    /// Pack 32-bit integers (copies the slice in).
     pub fn pk_int(mut self, v: &[i32]) -> Self {
-        self.items.push(Item::Int(v.to_vec()));
+        self.copied += (v.len() * 4) as u64;
+        self.items.push(Item::Int(v.into()));
         self
     }
 
-    /// Pack 32-bit unsigned integers.
+    /// Pack an owned buffer of 32-bit integers without copying.
+    pub fn pk_int_owned(mut self, v: impl Into<Arc<[i32]>>) -> Self {
+        self.items.push(Item::Int(v.into()));
+        self
+    }
+
+    /// Pack 32-bit unsigned integers (copies the slice in).
     pub fn pk_uint(mut self, v: &[u32]) -> Self {
-        self.items.push(Item::Uint(v.to_vec()));
+        self.copied += (v.len() * 4) as u64;
+        self.items.push(Item::Uint(v.into()));
         self
     }
 
-    /// Pack doubles.
+    /// Pack an owned buffer of 32-bit unsigned integers without copying.
+    pub fn pk_uint_owned(mut self, v: impl Into<Arc<[u32]>>) -> Self {
+        self.items.push(Item::Uint(v.into()));
+        self
+    }
+
+    /// Pack doubles (copies the slice in).
     pub fn pk_double(mut self, v: &[f64]) -> Self {
-        self.items.push(Item::Double(v.to_vec()));
+        self.copied += (v.len() * 8) as u64;
+        self.items.push(Item::Double(v.into()));
         self
     }
 
-    /// Pack floats.
+    /// Pack an owned buffer of doubles without copying.
+    pub fn pk_double_owned(mut self, v: impl Into<Arc<[f64]>>) -> Self {
+        self.items.push(Item::Double(v.into()));
+        self
+    }
+
+    /// Pack floats (copies the slice in).
     pub fn pk_float(mut self, v: &[f32]) -> Self {
-        self.items.push(Item::Float(v.to_vec()));
+        self.copied += (v.len() * 4) as u64;
+        self.items.push(Item::Float(v.into()));
         self
     }
 
-    /// Pack raw bytes (zero-copy if you already hold `Bytes`).
+    /// Pack an owned buffer of floats without copying.
+    pub fn pk_float_owned(mut self, v: impl Into<Arc<[f32]>>) -> Self {
+        self.items.push(Item::Float(v.into()));
+        self
+    }
+
+    /// Pack raw bytes (zero-copy if you already hold `Bytes` or a `Vec`).
     pub fn pk_bytes(mut self, v: impl Into<Bytes>) -> Self {
         self.items.push(Item::Byte(v.into()));
         self
     }
 
-    /// Pack a string.
-    pub fn pk_str(mut self, v: impl Into<String>) -> Self {
+    /// Pack a string (zero-copy from `String` or `Arc<str>`).
+    pub fn pk_str(mut self, v: impl Into<Arc<str>>) -> Self {
         self.items.push(Item::Str(v.into()));
         self
     }
@@ -94,6 +148,12 @@ impl MsgBuf {
     /// Total encoded size of the buffer so far.
     pub fn encoded_size(&self) -> usize {
         self.items.iter().map(Item::encoded_size).sum()
+    }
+
+    /// Implementation bytes copied into this buffer so far (see the
+    /// `pvm.bytes.copied` metric).
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied
     }
 
     pub(crate) fn into_items(self) -> Vec<Item> {
@@ -112,21 +172,28 @@ pub struct Message {
     pub tag: i32,
     body: Arc<[Item]>,
     size: usize,
+    /// Charge-once meter of implementation bytes copied while packing.
+    /// Clones share the latch, so a multicast fan-out charges one pack no
+    /// matter how many destinations the sealed message reaches.
+    copied: Arc<AtomicU64>,
 }
 
 impl Message {
     /// Seal a buffer into a message.
     pub fn new(src: Tid, tag: i32, buf: MsgBuf) -> Self {
         let size = buf.encoded_size();
+        let copied = buf.copied;
         Message {
             src,
             tag,
             body: buf.into_items().into(),
             size,
+            copied: Arc::new(AtomicU64::new(copied)),
         }
     }
 
-    /// Replace the apparent source (used by tid-remapping layers).
+    /// Replace the apparent source (used by tid-remapping layers). Shares
+    /// the body — a flush/forward re-stamp never duplicates section data.
     pub fn with_src(mut self, src: Tid) -> Self {
         self.src = src;
         self
@@ -135,6 +202,21 @@ impl Message {
     /// Encoded size in bytes; all transport costs are charged on this.
     pub fn encoded_size(&self) -> usize {
         self.size
+    }
+
+    /// Drain the pack-copy meter: the implementation bytes copied building
+    /// this message, returned exactly once across all clones (subsequent
+    /// calls — and calls on any clone — return 0). Charge sites feed this
+    /// into the `pvm.bytes.copied` counter.
+    pub fn take_copied(&self) -> u64 {
+        self.copied.swap(0, Ordering::Relaxed)
+    }
+
+    /// Whether two messages share one section list (clones and `with_src`
+    /// re-stamps do; independently sealed messages don't). Diagnostic —
+    /// lets tests assert that fan-out and forwarding stay zero-copy.
+    pub fn shares_body(a: &Message, b: &Message) -> bool {
+        Arc::ptr_eq(&a.body, &b.body)
     }
 
     /// Begin unpacking.
@@ -192,7 +274,8 @@ pub struct MsgReader<'a> {
 
 macro_rules! unpack_method {
     ($name:ident, $variant:ident, $ret:ty, $wanted:expr) => {
-        /// Unpack the next section as this type.
+        /// Unpack the next section as a zero-copy view of this type (a
+        /// shared handle on the message's own storage).
         pub fn $name(&mut self) -> Result<$ret, UnpackError> {
             match self.items.get(self.pos) {
                 None => Err(UnpackError::Exhausted),
@@ -209,13 +292,38 @@ macro_rules! unpack_method {
     };
 }
 
+macro_rules! unpack_vec_method {
+    ($name:ident, $variant:ident, $elem:ty, $wanted:expr) => {
+        /// Unpack the next section into an owned `Vec` (copies; use the
+        /// zero-copy view variant unless you need ownership).
+        pub fn $name(&mut self) -> Result<Vec<$elem>, UnpackError> {
+            match self.items.get(self.pos) {
+                None => Err(UnpackError::Exhausted),
+                Some(Item::$variant(v)) => {
+                    self.pos += 1;
+                    Ok(v.to_vec())
+                }
+                Some(other) => Err(UnpackError::TypeMismatch {
+                    wanted: $wanted,
+                    found: kind_name(other),
+                }),
+            }
+        }
+    };
+}
+
 impl MsgReader<'_> {
-    unpack_method!(upk_int, Int, Vec<i32>, "int");
-    unpack_method!(upk_uint, Uint, Vec<u32>, "uint");
-    unpack_method!(upk_double, Double, Vec<f64>, "double");
-    unpack_method!(upk_float, Float, Vec<f32>, "float");
+    unpack_method!(upk_int, Int, Arc<[i32]>, "int");
+    unpack_method!(upk_uint, Uint, Arc<[u32]>, "uint");
+    unpack_method!(upk_double, Double, Arc<[f64]>, "double");
+    unpack_method!(upk_float, Float, Arc<[f32]>, "float");
     unpack_method!(upk_bytes, Byte, Bytes, "byte");
-    unpack_method!(upk_str, Str, String, "str");
+    unpack_method!(upk_str, Str, Arc<str>, "str");
+
+    unpack_vec_method!(upk_int_vec, Int, i32, "int");
+    unpack_vec_method!(upk_uint_vec, Uint, u32, "uint");
+    unpack_vec_method!(upk_double_vec, Double, f64, "double");
+    unpack_vec_method!(upk_float_vec, Float, f32, "float");
 
     /// Sections remaining.
     pub fn remaining(&self) -> usize {
@@ -245,14 +353,48 @@ mod tests {
         assert_eq!(m.tag, 42);
         let mut r = m.reader();
         assert_eq!(r.remaining(), 6);
-        assert_eq!(r.upk_int().unwrap(), vec![1, -2, 3]);
-        assert_eq!(r.upk_uint().unwrap(), vec![7]);
-        assert_eq!(r.upk_double().unwrap(), vec![1.5, 2.5]);
-        assert_eq!(r.upk_float().unwrap(), vec![0.25]);
+        assert_eq!(&*r.upk_int().unwrap(), &[1, -2, 3][..]);
+        assert_eq!(&*r.upk_uint().unwrap(), &[7][..]);
+        assert_eq!(&*r.upk_double().unwrap(), &[1.5, 2.5][..]);
+        assert_eq!(&*r.upk_float().unwrap(), &[0.25][..]);
         assert_eq!(r.upk_bytes().unwrap().as_ref(), &[9, 8, 7]);
-        assert_eq!(r.upk_str().unwrap(), "hello");
+        assert_eq!(&*r.upk_str().unwrap(), "hello");
         assert_eq!(r.remaining(), 0);
         assert_eq!(r.upk_int(), Err(UnpackError::Exhausted));
+    }
+
+    #[test]
+    fn owned_pack_shares_storage_end_to_end() {
+        let payload: Arc<[f64]> = vec![1.0; 1000].into();
+        let buf = MsgBuf::new().pk_double_owned(Arc::clone(&payload));
+        assert_eq!(buf.copied_bytes(), 0, "owned pack must not copy");
+        let m = Message::new(tid(), 1, buf);
+        let view = m.reader().upk_double().unwrap();
+        assert!(
+            Arc::ptr_eq(&payload, &view),
+            "unpack must return the packed storage, not a copy"
+        );
+    }
+
+    #[test]
+    fn vec_unpack_copies_out() {
+        let m = Message::new(tid(), 0, MsgBuf::new().pk_int_owned(vec![1, 2, 3]));
+        let mut r = m.reader();
+        assert_eq!(r.upk_int_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_meter_counts_borrowed_packs_once_across_clones() {
+        let buf = MsgBuf::new()
+            .pk_int(&[0; 10]) // 40 copied bytes
+            .pk_double_owned(vec![0.0; 8]); // owned: none
+        assert_eq!(buf.copied_bytes(), 40);
+        let m = Message::new(tid(), 0, buf);
+        let m2 = m.clone();
+        assert_eq!(m.take_copied(), 40);
+        assert_eq!(m.take_copied(), 0, "latch drains once");
+        assert_eq!(m2.take_copied(), 0, "clones share the latch");
     }
 
     #[test]
@@ -267,7 +409,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // A failed unpack does not consume the section.
-        assert_eq!(r.upk_double().unwrap(), vec![1.0]);
+        assert_eq!(&*r.upk_double().unwrap(), &[1.0][..]);
     }
 
     #[test]
@@ -299,6 +441,10 @@ mod tests {
         assert_eq!(m2.src, new_src);
         assert_eq!(m2.tag, 5);
         assert_eq!(m2.reader().remaining(), 1);
+        // The re-stamp shares storage with the original.
+        let a = m.reader().upk_int().unwrap();
+        let b = m2.reader().upk_int().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

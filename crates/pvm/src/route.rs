@@ -22,10 +22,19 @@ use worknet::HostId;
 pub const DIRECT_BLOCKING_THRESHOLD: usize = 64 * 1024;
 
 /// Charge the sender's entry into the library and the copy into the OS.
-fn charge_send_side(ctx: &SimCtx, pvm: &Pvm, src_host: HostId, bytes: usize) {
+/// Also drains the message's implementation-copy meter into the
+/// `pvm.bytes.copied` counter — once per sealed message, however many
+/// destinations its clones fan out to.
+fn charge_send_side(ctx: &SimCtx, pvm: &Pvm, src_host: HostId, msg: &Message) {
+    if ctx.metrics_enabled() {
+        let c = msg.take_copied();
+        if c > 0 {
+            ctx.metrics().counter_add("pvm.bytes.copied", c);
+        }
+    }
     let host = pvm.cluster.host(src_host);
     host.syscall(ctx);
-    host.memcpy(ctx, bytes);
+    host.memcpy(ctx, msg.encoded_size());
 }
 
 /// Deliver on the same host via the pvmd: task → pvmd → task is two local
@@ -41,7 +50,7 @@ pub fn deliver_local(
     msg: Message,
 ) {
     let bytes = msg.encoded_size();
-    charge_send_side(ctx, pvm, src_host, bytes);
+    charge_send_side(ctx, pvm, src_host, &msg);
     let calib = &pvm.cluster.calib;
     // pvmd wakes, copies the message, routes it: the sending process is
     // off-CPU for the duration.
@@ -65,7 +74,7 @@ pub fn deliver_daemon(
     msg: Message,
 ) {
     let bytes = msg.encoded_size();
-    charge_send_side(ctx, pvm, src_host, bytes);
+    charge_send_side(ctx, pvm, src_host, &msg);
     let copies = match pvm.cluster.fault().daemon_verdict(msg.tag) {
         worknet::DaemonVerdict::Deliver => 1,
         worknet::DaemonVerdict::Duplicate => {
@@ -83,10 +92,17 @@ pub fn deliver_daemon(
     let pre = calib.wire_latency + calib.daemon_per_msg + calib.daemon_per_fragment * nfrag;
     let eff = calib.daemon_efficiency;
     let post = calib.memcpy_cost(bytes) + calib.context_switch + calib.daemon_per_fragment * nfrag;
-    for _ in 0..copies {
+    let mut slot = Some(msg);
+    for i in 0..copies {
         let eth = pvm.cluster.ether.clone();
         let mb = mb.clone();
-        let msg = msg.clone();
+        // The last (usually only) copy moves the message; a fault-injected
+        // duplicate shares the body through an O(1) clone.
+        let msg = if i + 1 == copies {
+            slot.take().expect("message consumed early")
+        } else {
+            slot.as_ref().expect("message consumed early").clone()
+        };
         ctx.schedule(pre, move |w| {
             let mb = mb.clone();
             eth.start_transfer(
@@ -114,7 +130,7 @@ pub fn deliver_direct(
 ) {
     let bytes = msg.encoded_size();
     pvm.ensure_direct_conn(ctx, src_host, dst_host);
-    charge_send_side(ctx, pvm, src_host, bytes);
+    charge_send_side(ctx, pvm, src_host, &msg);
     let calib = &pvm.cluster.calib;
     let eff = calib.tcp_efficiency;
     let eth = &pvm.cluster.ether;

@@ -219,6 +219,9 @@ impl PvmTask {
     }
 
     fn charge_recv(&self, m: &Message) {
+        // No `pvm.bytes.copied` charge here: the reader unpacks zero-copy
+        // views, so receiving implies no implementation copy (the memcpy
+        // below is the *modelled* kernel copy, charged in virtual time).
         let host = self.host();
         host.syscall(&self.ctx);
         host.memcpy(&self.ctx, m.encoded_size());

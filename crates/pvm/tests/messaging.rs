@@ -23,7 +23,7 @@ fn ping_pong_between_hosts() {
     let ponger = pvm.spawn(HostId(1), "ponger", move |task| {
         let m = task.recv(None, Some(1));
         let mut r = m.reader();
-        assert_eq!(r.upk_int().unwrap(), vec![42]);
+        assert_eq!(&*r.upk_int().unwrap(), &[42][..]);
         task.send(m.src, 2, MsgBuf::new().pk_int(&[43]));
         d.fetch_add(1, Ordering::SeqCst);
     });
@@ -34,7 +34,7 @@ fn ping_pong_between_hosts() {
         let ponger = rx.recv().unwrap();
         task.send(ponger, 1, MsgBuf::new().pk_int(&[42]));
         let m = task.recv(Some(ponger), Some(2));
-        assert_eq!(m.reader().upk_int().unwrap(), vec![43]);
+        assert_eq!(&*m.reader().upk_int().unwrap(), &[43][..]);
         d.fetch_add(1, Ordering::SeqCst);
     });
 
@@ -257,7 +257,7 @@ fn trecv_times_out_and_delivers() {
         let m = task
             .trecv(None, Some(4), SimDuration::from_secs(10))
             .expect("message within the window");
-        assert_eq!(m.reader().upk_int().unwrap(), vec![1]);
+        assert_eq!(&*m.reader().upk_int().unwrap(), &[1][..]);
         // The stashed tag-9 message is still retrievable.
         assert!(task.nrecv(None, Some(9)).is_some());
         c.fetch_add(1, Ordering::SeqCst);

@@ -2,16 +2,17 @@
 
 use proptest::prelude::*;
 use pvm_rt::{Item, Message, MsgBuf, Tid, UnpackError};
+use std::sync::Arc;
 use worknet::HostId;
 
 fn item_strategy() -> impl Strategy<Value = Item> {
     prop_oneof![
-        prop::collection::vec(any::<i32>(), 0..64).prop_map(Item::Int),
-        prop::collection::vec(any::<u32>(), 0..64).prop_map(Item::Uint),
-        prop::collection::vec(any::<f64>(), 0..32).prop_map(Item::Double),
-        prop::collection::vec(any::<f32>(), 0..64).prop_map(Item::Float),
+        prop::collection::vec(any::<i32>(), 0..64).prop_map(|v| Item::Int(v.into())),
+        prop::collection::vec(any::<u32>(), 0..64).prop_map(|v| Item::Uint(v.into())),
+        prop::collection::vec(any::<f64>(), 0..32).prop_map(|v| Item::Double(v.into())),
+        prop::collection::vec(any::<f32>(), 0..64).prop_map(|v| Item::Float(v.into())),
         prop::collection::vec(any::<u8>(), 0..256).prop_map(|v| Item::Byte(bytes::Bytes::from(v))),
-        "[a-zA-Z0-9 ]{0,40}".prop_map(Item::Str),
+        "[a-zA-Z0-9 ]{0,40}".prop_map(|s| Item::Str(s.into())),
     ]
 }
 
@@ -24,10 +25,40 @@ fn pack(items: &[Item]) -> MsgBuf {
             Item::Double(v) => buf.pk_double(v),
             Item::Float(v) => buf.pk_float(v),
             Item::Byte(b) => buf.pk_bytes(b.clone()),
-            Item::Str(s) => buf.pk_str(s.clone()),
+            Item::Str(s) => buf.pk_str(Arc::clone(s)),
         };
     }
     buf
+}
+
+/// Read every section of `m` and check it matches `items`, bit-for-bit.
+fn assert_roundtrip(m: &Message, items: &[Item]) -> Result<(), TestCaseError> {
+    let mut r = m.reader();
+    prop_assert_eq!(r.remaining(), items.len());
+    for it in items {
+        match it {
+            Item::Int(v) => prop_assert_eq!(&*r.upk_int().unwrap(), &**v),
+            Item::Uint(v) => prop_assert_eq!(&*r.upk_uint().unwrap(), &**v),
+            Item::Double(v) => {
+                let got = r.upk_double().unwrap();
+                prop_assert_eq!(got.len(), v.len());
+                for (a, b) in got.iter().zip(v.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            Item::Float(v) => {
+                let got = r.upk_float().unwrap();
+                prop_assert_eq!(got.len(), v.len());
+                for (a, b) in got.iter().zip(v.iter()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            Item::Byte(b) => prop_assert_eq!(&r.upk_bytes().unwrap(), b),
+            Item::Str(s) => prop_assert_eq!(&*r.upk_str().unwrap(), &**s),
+        }
+    }
+    prop_assert_eq!(r.upk_int(), Err(UnpackError::Exhausted));
+    Ok(())
 }
 
 proptest! {
@@ -38,31 +69,45 @@ proptest! {
     #[test]
     fn pack_unpack_roundtrip(items in prop::collection::vec(item_strategy(), 0..10)) {
         let m = Message::new(Tid::new(HostId(0), 1), 7, pack(&items));
-        let mut r = m.reader();
-        prop_assert_eq!(r.remaining(), items.len());
-        for it in &items {
-            match it {
-                Item::Int(v) => prop_assert_eq!(&r.upk_int().unwrap(), v),
-                Item::Uint(v) => prop_assert_eq!(&r.upk_uint().unwrap(), v),
-                Item::Double(v) => {
-                    let got = r.upk_double().unwrap();
-                    prop_assert_eq!(got.len(), v.len());
-                    for (a, b) in got.iter().zip(v) {
-                        prop_assert_eq!(a.to_bits(), b.to_bits());
-                    }
-                }
-                Item::Float(v) => {
-                    let got = r.upk_float().unwrap();
-                    prop_assert_eq!(got.len(), v.len());
-                    for (a, b) in got.iter().zip(v) {
-                        prop_assert_eq!(a.to_bits(), b.to_bits());
-                    }
-                }
-                Item::Byte(b) => prop_assert_eq!(&r.upk_bytes().unwrap(), b),
-                Item::Str(s) => prop_assert_eq!(&r.upk_str().unwrap(), s),
-            }
+        assert_roundtrip(&m, &items)?;
+    }
+
+    /// Multicast fan-out: every clone of a sealed message reads back the
+    /// original sections, and all clones share one section list (no
+    /// per-destination duplication).
+    #[test]
+    fn fanout_clones_share_and_roundtrip(
+        items in prop::collection::vec(item_strategy(), 0..8),
+        ndest in 1usize..6,
+    ) {
+        let m = Message::new(Tid::new(HostId(0), 1), 3, pack(&items));
+        let clones: Vec<Message> = (0..ndest).map(|_| m.clone()).collect();
+        for c in &clones {
+            prop_assert!(Message::shares_body(&m, c));
+            assert_roundtrip(c, &items)?;
         }
-        prop_assert_eq!(r.upk_int(), Err(UnpackError::Exhausted));
+        // The original is still intact after every clone was drained.
+        assert_roundtrip(&m, &items)?;
+    }
+
+    /// Forwarding: `with_src` re-stamps the source without touching the
+    /// payload — the forwarded message shares the original section list and
+    /// round-trips identically.
+    #[test]
+    fn with_src_restamp_roundtrip(
+        items in prop::collection::vec(item_strategy(), 0..8),
+        hops in 1usize..4,
+    ) {
+        let orig = Message::new(Tid::new(HostId(0), 1), 9, pack(&items));
+        let mut fwd = orig.clone();
+        for h in 0..hops {
+            fwd = fwd.with_src(Tid::new(HostId(h + 1), h as u32 + 2));
+        }
+        prop_assert_eq!(fwd.src, Tid::new(HostId(hops), hops as u32 + 1));
+        prop_assert_eq!(fwd.tag, orig.tag);
+        prop_assert_eq!(fwd.encoded_size(), orig.encoded_size());
+        prop_assert!(Message::shares_body(&orig, &fwd));
+        assert_roundtrip(&fwd, &items)?;
     }
 
     /// Encoded size equals the sum of section sizes and survives sealing.
@@ -86,7 +131,7 @@ proptest! {
             Err(UnpackError::TypeMismatch { wanted: "double", found: "int" })
         );
         prop_assert!(mismatch);
-        prop_assert_eq!(r.upk_int().unwrap(), v);
+        prop_assert_eq!(&*r.upk_int().unwrap(), &v[..]);
     }
 
     /// Tid round-trips through its raw encoding for all valid components.

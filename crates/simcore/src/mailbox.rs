@@ -75,12 +75,15 @@ impl<T: Send + 'static> Mailbox<T> {
     /// Sends to a closed mailbox are dropped (and traced): with host-crash
     /// faults a sender can legitimately race the crash teardown that closed
     /// the receiver's mailbox, exactly like a message in flight to a dead
-    /// process.
+    /// process. The payload is freed inside this call — a zero-copy
+    /// hand-off buffer releases its shared storage at the failed send, not
+    /// at some later queue teardown.
     pub fn send(&self, ctx: &SimCtx, value: T) {
         let waiter = {
             let mut st = self.shared.lock();
             if st.closed {
                 drop(st);
+                drop(value);
                 crate::sim_trace!(ctx, "mailbox.send.closed");
                 return;
             }
@@ -98,7 +101,9 @@ impl<T: Send + 'static> Mailbox<T> {
         let waiter = {
             let mut st = self.shared.lock();
             if st.closed {
-                return; // arrivals after close are dropped
+                drop(st);
+                drop(value); // arrivals after close are freed right here
+                return;
             }
             st.queue.push_back(value);
             st.waiter.take()
@@ -255,7 +260,7 @@ mod tests {
         let mb: Mailbox<u64> = Mailbox::new();
         let mb2 = mb.clone();
         sim.spawn("net", move |ctx| {
-            let mb3 = mb2.clone();
+            let mb3 = mb2;
             ctx.schedule(SimDuration::from_millis(150), move |w| {
                 mb3.send_from_world(w, 99);
             });
@@ -388,6 +393,21 @@ mod tests {
         let tr = sim.take_trace();
         assert_eq!(tr.len(), 1);
         assert_eq!(tr[0].tag, "mailbox.send.closed");
+    }
+
+    #[test]
+    fn send_after_close_frees_payload_at_the_call() {
+        let sim = Sim::new();
+        let mb: Mailbox<Arc<[u8]>> = Mailbox::new();
+        sim.spawn("a", move |ctx| {
+            let buf: Arc<[u8]> = vec![0u8; 64].into();
+            mb.close(&ctx);
+            mb.send(&ctx, Arc::clone(&buf));
+            // The failed send released its handle before returning: ours is
+            // the only reference left — nothing lingers in the closed queue.
+            assert_eq!(Arc::strong_count(&buf), 1);
+        });
+        sim.run().unwrap();
     }
 
     #[test]

@@ -157,6 +157,39 @@ impl Ulp {
         }
     }
 
+    /// Route a sealed message: same-container destinations get the UPVM
+    /// buffer hand-off (the library moves the buffer pointer — no copy, no
+    /// `mem_copy` virtual-time cost); remote destinations pay the extra
+    /// UPVM routing header and ride PVM's daemon route.
+    fn send_sealed(&self, to: Tid, msg: Message) {
+        let my_host = self.host_id();
+        let sched = self.sys.sched(my_host).clone();
+        sched.acquire(&self.ctx, self.id);
+        let pvm = self.sys.pvm();
+        let (_, mb) = pvm
+            .lookup(to)
+            .unwrap_or_else(|| panic!("ULP send to dead or unknown tid {to}"));
+        if self.sys.is_local_ulp(to, my_host) {
+            // Hand-off: any implementation copies happened at pack time —
+            // drain the meter here since this path bypasses the routing
+            // layer (and charges no modelled copy either).
+            if self.ctx.metrics_enabled() {
+                let c = msg.take_copied();
+                if c > 0 {
+                    self.ctx.metrics().counter_add("pvm.bytes.copied", c);
+                }
+            }
+            self.ctx.advance(pvm.cluster.calib.ulp_switch);
+            mb.send(&self.ctx, msg);
+        } else {
+            // Remote: extra UPVM routing header → marginally slower than
+            // plain PVM (§4.2.1).
+            self.ctx.advance(pvm.cluster.calib.upvm_remote_header);
+            route::deliver_daemon(&self.ctx, pvm, my_host, mb, msg);
+        }
+        sched.release(&self.ctx, self.id);
+    }
+
     /// Blocking receive of a protocol message by tag with a deadline:
     /// `None` when no matching message arrived within `timeout` of virtual
     /// time (app messages are stashed in the pending queue).
@@ -383,30 +416,17 @@ impl TaskApi for Ulp {
 
     fn send(&self, to: Tid, tag: i32, buf: MsgBuf) {
         self.handle_signals(None);
-        let my_host = self.host_id();
-        let sched = self.sys.sched(my_host).clone();
-        sched.acquire(&self.ctx, self.id);
-        let msg = Message::new(self.tid, tag, buf);
-        let pvm = self.sys.pvm();
-        let (_, mb) = pvm
-            .lookup(to)
-            .unwrap_or_else(|| panic!("ULP send to dead or unknown tid {to}"));
-        if self.sys.is_local_ulp(to, my_host) {
-            // Hand-off: the library moves the buffer pointer, not the bytes.
-            self.ctx.advance(pvm.cluster.calib.ulp_switch);
-            mb.send(&self.ctx, msg);
-        } else {
-            // Remote: extra UPVM routing header → marginally slower than
-            // plain PVM (§4.2.1).
-            self.ctx.advance(pvm.cluster.calib.upvm_remote_header);
-            route::deliver_daemon(&self.ctx, pvm, my_host, mb, msg);
-        }
-        sched.release(&self.ctx, self.id);
+        self.send_sealed(to, Message::new(self.tid, tag, buf));
     }
 
     fn mcast(&self, to: &[Tid], tag: i32, buf: MsgBuf) {
+        self.handle_signals(None);
+        // Seal once: every destination shares the one body allocation.
+        // Same-container destinations get the buffer hand-off; remote ones
+        // ride the daemon route — no per-destination clone of the payload.
+        let msg = Message::new(self.tid, tag, buf);
         for &t in to {
-            self.send(t, tag, buf.clone());
+            self.send_sealed(t, msg.clone());
         }
     }
 

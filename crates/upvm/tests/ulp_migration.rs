@@ -75,7 +75,7 @@ fn blocked_recv_deschedules_so_sibling_runs() {
     let a = sys
         .spawn_ulp(HostId(0), "a", MB, move |u| {
             let m = u.recv(None, Some(2));
-            assert_eq!(m.reader().upk_int().unwrap(), vec![11]);
+            assert_eq!(&*m.reader().upk_int().unwrap(), &[11][..]);
             g.fetch_add(1, Ordering::SeqCst);
         })
         .unwrap();
@@ -125,7 +125,7 @@ fn migrate_while_blocked_in_recv() {
         .spawn_ulp(HostId(0), "rx", MB, move |u| {
             let m = u.recv(None, Some(1));
             assert_eq!(u.host_id(), HostId(1));
-            assert_eq!(m.reader().upk_int().unwrap(), vec![9]);
+            assert_eq!(&*m.reader().upk_int().unwrap(), &[9][..]);
             g.fetch_add(1, Ordering::SeqCst);
         })
         .unwrap();

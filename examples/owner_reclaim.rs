@@ -53,7 +53,7 @@ fn main() {
         });
         slaves.push(tid);
     }
-    let cfg2 = cfg.clone();
+    let cfg2 = cfg;
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
     let master = mpvm.spawn_app(HostId(0), "master", move |task| {

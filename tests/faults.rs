@@ -74,7 +74,7 @@ fn faulted_opt_run_with_pool(
             ms::slave(task, &cfg2, master, &part);
         }));
     }
-    let cfg2 = cfg.clone();
+    let cfg2 = cfg;
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
     let master = mpvm.spawn_app(HostId(0), "master", move |task| {
@@ -206,7 +206,9 @@ fn replay_is_identical_across_carrier_pool_sizes() {
 /// and its daemon closes the local task's mailbox, but a peer still holds a
 /// handle and sends afterwards — a message in flight to a dead process.
 /// The send must be a traced no-op (tag `mailbox.send.closed`), never a
-/// panic, and the simulation must run to completion.
+/// panic, and the simulation must run to completion. With the zero-copy
+/// plane the payload is a shared hand-off buffer, so the failed send must
+/// also release its storage at the call — not park it in a dead queue.
 #[test]
 fn send_racing_host_crash_teardown_is_dropped_not_fatal() {
     use adaptive_pvm::simcore::Mailbox;
@@ -220,7 +222,7 @@ fn send_racing_host_crash_teardown_is_dropped_not_fatal() {
             ))
             .build(),
     );
-    let mb: Mailbox<u32> = Mailbox::new();
+    let mb: Mailbox<Arc<[u8]>> = Mailbox::new();
     let mb_recv = mb.clone();
     cluster.sim.spawn("victim-task", move |ctx| {
         // Drains until the crash teardown closes the mailbox.
@@ -235,8 +237,15 @@ fn send_racing_host_crash_teardown_is_dropped_not_fatal() {
     let mb_send = mb;
     cluster.sim.spawn("peer-task", move |ctx| {
         ctx.advance(SimDuration::from_millis(1_500));
-        // The peer has not heard about the crash yet.
-        mb_send.send(&ctx, 42);
+        // The peer has not heard about the crash yet: a shared hand-off
+        // buffer goes to a closed mailbox.
+        let buf: Arc<[u8]> = vec![7u8; 4096].into();
+        mb_send.send(&ctx, Arc::clone(&buf));
+        assert_eq!(
+            Arc::strong_count(&buf),
+            1,
+            "the dropped send must free the hand-off buffer deterministically"
+        );
     });
     let end = cluster.sim.run().expect("the race must not abort the run");
     assert!(end.as_secs_f64() >= 1.5);

@@ -51,7 +51,7 @@ fn gs_driven_mpvm_run(reclaim: bool) -> (adaptive_pvm::opt::TrainResult, usize, 
             ms::slave(task, &cfg2, master, &part);
         }));
     }
-    let cfg2 = cfg.clone();
+    let cfg2 = cfg;
     let res = Arc::clone(&result);
     let slaves2 = slaves.clone();
     let master = mpvm.spawn_app(HostId(0), "master", move |task| {
@@ -126,7 +126,7 @@ fn all_three_methods_complete_the_same_workload() {
     let pvm = run_pvm_opt(calib(), &cfg);
     let mpvm = run_mpvm_opt(calib(), &cfg, &[]);
     let upvm = run_upvm_opt(calib(), &cfg, &[]);
-    let adm = run_adm_opt(calib(), &cfg.clone().with_adm_overhead(), &[]);
+    let adm = run_adm_opt(calib(), &cfg.with_adm_overhead(), &[]);
     // Identical numerics everywhere (quiet case, same reduction order).
     assert_eq!(pvm.result, mpvm.result);
     assert_eq!(pvm.result, upvm.result);
