@@ -7,8 +7,9 @@
 //! the repo root when run via `cargo run`).
 
 use bench_tables::simbench::{
-    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, measure_msg_plane_mcast,
-    measure_msg_plane_ulp, render_report, run_metrics_check,
+    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, measure_migration_storm,
+    measure_msg_plane_mcast, measure_msg_plane_ulp, render_report, run_metrics_check,
+    WorkloadMeasure,
 };
 
 fn main() {
@@ -52,6 +53,33 @@ fn main() {
         measures.push(m);
     }
 
+    // Virtual-time comparison of the chunked pre-copy migration engine
+    // against the in-tree monolithic baseline, quiet and under a link
+    // sever.
+    println!("running migration_storm...");
+    let storm = measure_migration_storm(smoke);
+    println!(
+        "  freeze {:.0} ns vs {:.0} ns baseline ({:.2}x); migrate span {:.2}x; \
+         severed run resumed {} chunks ({}/{} completed)",
+        storm.chunked.freeze_ns_mean,
+        storm.monolithic.freeze_ns_mean,
+        storm.freeze_ratio(),
+        storm.migrate_ratio(),
+        storm.chunked_severed.chunks_resumed,
+        storm.chunked_severed.completed,
+        storm.monolithic_severed.completed,
+    );
+    assert!(
+        storm.replay_identical,
+        "migration_storm metrics diverged across replays"
+    );
+    measures.push(WorkloadMeasure {
+        id: "migration_storm".into(),
+        events: storm.chunked.events,
+        wall_secs: storm.chunked.wall_secs,
+        sim_secs: storm.chunked.sim_secs,
+    });
+
     // Throughput is measured with metrics disabled (above); this pass
     // re-runs day-in-the-life twice with metrics on and checks the two
     // reports serialize byte-identically.
@@ -66,7 +94,7 @@ fn main() {
         mc.migration_spans
     );
 
-    let report = render_report(&measures, smoke, Some(&mc));
+    let report = render_report(&measures, smoke, Some(&mc), Some(&storm));
     std::fs::write(&out, &report).expect("write BENCH_SIM.json");
     println!("\nwrote {out}");
 }

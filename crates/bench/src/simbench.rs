@@ -28,7 +28,7 @@ use pvm_rt::{Groups, MsgBuf, Pvm, TaskApi, Tid};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 use upvm::Upvm;
-use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+use worknet::{Calib, Cluster, Fault, FaultSchedule, HostId, HostSpec, LoadTrace, OwnerTrace};
 
 /// One workload's measurement: simulator throughput and end-to-end cost.
 #[derive(Debug, Clone)]
@@ -436,6 +436,145 @@ pub fn measure_msg_plane_ulp(smoke: bool) -> WorkloadMeasure {
     })
 }
 
+/// One engine's numbers from a migration-storm run.
+#[derive(Debug, Clone, Default)]
+pub struct StormRun {
+    /// Mean `mpvm.freeze_ns` across completed migrations — how long each
+    /// VP was actually stopped.
+    pub freeze_ns_mean: f64,
+    /// Mean completed `migrate:` span duration (signal to restart).
+    pub migrate_ns_mean: f64,
+    /// `mpvm.migrations.completed`.
+    pub completed: u64,
+    /// `mpvm.chunks.sent` (0 under the monolithic engine).
+    pub chunks_sent: u64,
+    /// `mpvm.chunks.resumed` — chunks a severed-TCP resume did *not*
+    /// re-send (0 when no sever was injected or under monolithic).
+    pub chunks_resumed: u64,
+    /// Simulator heap entries processed.
+    pub events: u64,
+    /// Host wall-clock seconds.
+    pub wall_secs: f64,
+    /// Virtual seconds the run covered.
+    pub sim_secs: f64,
+}
+
+/// The migration-storm comparison: the chunked pre-copy engine against the
+/// paper's frozen stop-and-copy baseline, on the same workload.
+pub struct MigrationStorm {
+    /// Chunked engine, quiet network (the freeze/wall comparison).
+    pub chunked: StormRun,
+    /// Monolithic engine, quiet network.
+    pub monolithic: StormRun,
+    /// Chunked engine with a link sever injected mid-transfer: the severed
+    /// migration resumes from the last acked chunk.
+    pub chunked_severed: StormRun,
+    /// Monolithic engine with the same sever: the severed migration aborts
+    /// outright (the VP stays put), so `completed` drops by one.
+    pub monolithic_severed: StormRun,
+    /// Whether two same-seed chunked severed runs serialized to
+    /// byte-identical metrics JSON.
+    pub replay_identical: bool,
+}
+
+impl MigrationStorm {
+    /// `chunked freeze / monolithic freeze` on the quiet runs.
+    pub fn freeze_ratio(&self) -> f64 {
+        self.chunked.freeze_ns_mean / self.monolithic.freeze_ns_mean.max(1.0)
+    }
+
+    /// `chunked migrate span / monolithic migrate span` on the quiet runs.
+    pub fn migrate_ratio(&self) -> f64 {
+        self.chunked.migrate_ns_mean / self.monolithic.migrate_ns_mean.max(1.0)
+    }
+}
+
+/// One migration-storm run: `nworkers` VPs each carrying `state_bytes` of
+/// migratable state are evacuated concurrently (worker `i`: host `i` →
+/// host `nworkers + i`) at t = 2 s on a quiet `2 × nworkers`-host cluster.
+/// With `sever`, the link of worker 0's destination is cut at t = 4 s —
+/// mid-way through every stream.
+fn storm_run(calib: Calib, nworkers: usize, state_bytes: usize, sever: bool) -> (StormRun, String) {
+    let mut b = Cluster::builder(calib);
+    b.quiet_hp720s(2 * nworkers);
+    let mut b = b.with_metrics();
+    if sever {
+        b = b.with_faults(FaultSchedule::new().at(
+            simcore::SimDuration::from_secs(4),
+            Fault::SeverTcp {
+                host: HostId(nworkers),
+            },
+        ));
+    }
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    let mut tids = Vec::new();
+    for i in 0..nworkers {
+        tids.push(mpvm.spawn_app(HostId(i), format!("storm{i}"), move |t| {
+            t.set_state_bytes(state_bytes);
+            t.compute(45.0e6 * 40.0);
+        }));
+    }
+    mpvm.seal();
+    let m2 = Arc::clone(&mpvm);
+    let start = Instant::now();
+    cluster.sim.spawn("storm-gs", move |ctx| {
+        ctx.advance(simcore::SimDuration::from_secs(2));
+        for (i, &t) in tids.iter().enumerate() {
+            m2.inject_migration(&ctx, t, HostId(nworkers + i));
+        }
+    });
+    let end = cluster.sim.run().expect("migration storm failed");
+    let wall = start.elapsed().as_secs_f64();
+    let report = cluster.metrics_report(end.since(simcore::SimTime::ZERO));
+    let spans = report.spans_with_prefix("migrate:");
+    let migrate_ns_mean = if spans.is_empty() {
+        0.0
+    } else {
+        spans.iter().map(|s| s.total.as_nanos() as f64).sum::<f64>() / spans.len() as f64
+    };
+    let counter = |k: &str| report.counters.get(k).copied().unwrap_or(0);
+    let run = StormRun {
+        freeze_ns_mean: report
+            .histograms
+            .get("mpvm.freeze_ns")
+            .map(|h| h.mean_ns())
+            .unwrap_or(0.0),
+        migrate_ns_mean,
+        completed: counter("mpvm.migrations.completed"),
+        chunks_sent: counter("mpvm.chunks.sent"),
+        chunks_resumed: counter("mpvm.chunks.resumed"),
+        events: cluster.sim.events_processed(),
+        wall_secs: wall,
+        sim_secs: end.as_secs_f64(),
+    };
+    (run, report.to_json())
+}
+
+/// Run the migration-storm scenario under both migration engines, quiet and
+/// severed, and check the chunked severed run replays byte-identically.
+pub fn measure_migration_storm(smoke: bool) -> MigrationStorm {
+    let (nworkers, state_bytes) = if smoke {
+        (4, 2_000_000)
+    } else {
+        (6, 4_200_000)
+    };
+    let chunked_calib = Calib::hp720_ethernet();
+    let mono_calib = Calib::hp720_ethernet().monolithic_migration();
+    let (chunked, _) = storm_run(chunked_calib.clone(), nworkers, state_bytes, false);
+    let (monolithic, _) = storm_run(mono_calib.clone(), nworkers, state_bytes, false);
+    let (chunked_severed, json_a) = storm_run(chunked_calib.clone(), nworkers, state_bytes, true);
+    let (_, json_b) = storm_run(chunked_calib, nworkers, state_bytes, true);
+    let (monolithic_severed, _) = storm_run(mono_calib, nworkers, state_bytes, true);
+    MigrationStorm {
+        chunked,
+        monolithic,
+        chunked_severed,
+        monolithic_severed,
+        replay_identical: json_a == json_b,
+    }
+}
+
 /// Events/sec of the pre-overhaul engine (single shared condvar with
 /// `notify_all` per handoff, thread-per-actor, `HashMap` + tombstone event
 /// heap, eager `format!` tracing), measured on this repo's reference
@@ -486,11 +625,19 @@ pub fn baseline_events_per_sec(id: &str, smoke: bool) -> Option<f64> {
         .filter(|b| *b > 0.0)
 }
 
+/// The migration engine the chunked pre-copy pipeline replaced. Unlike the
+/// engine/message-plane baselines this one is still in-tree
+/// ([`Calib::monolithic_migration`]), so the storm benchmark re-measures it
+/// in the same process instead of comparing against recorded numbers.
+pub const BASELINE_MIGRATION: &str =
+    "monolithic frozen stop-and-copy state transfer (Calib::monolithic_migration)";
+
 /// Render the `BENCH_SIM.json` document.
 pub fn render_report(
     measures: &[WorkloadMeasure],
     smoke: bool,
     metrics: Option<&MetricsCheck>,
+    storm: Option<&MigrationStorm>,
 ) -> String {
     let mut o = String::new();
     o.push_str("{\n  \"schema\": \"simbench-v1\",\n");
@@ -541,14 +688,51 @@ pub fn render_report(
             BASELINE_DAY_COPIED_BYTES.0
         }
     ));
+    if let Some(s) = storm {
+        o.push_str("  \"baseline_migration_storm\": {\n");
+        o.push_str(&format!(
+            "    \"engine\": {},\n",
+            json::quote(BASELINE_MIGRATION)
+        ));
+        o.push_str(&format!(
+            "    \"freeze_ns_mean\": {:.0},\n    \"migrate_ns_mean\": {:.0},\n    \"completed\": {},\n",
+            s.monolithic.freeze_ns_mean, s.monolithic.migrate_ns_mean, s.monolithic.completed
+        ));
+        o.push_str(&format!(
+            "    \"severed_completed\": {},\n    \"severed_migrate_ns_mean\": {:.0}\n  }},\n",
+            s.monolithic_severed.completed, s.monolithic_severed.migrate_ns_mean
+        ));
+        o.push_str("  \"migration_storm\": {\n");
+        o.push_str(&format!(
+            "    \"freeze_ns_mean\": {:.0},\n    \"migrate_ns_mean\": {:.0},\n    \"completed\": {},\n    \"chunks_sent\": {},\n",
+            s.chunked.freeze_ns_mean, s.chunked.migrate_ns_mean, s.chunked.completed, s.chunked.chunks_sent
+        ));
+        o.push_str(&format!(
+            "    \"freeze_ratio_vs_baseline\": {:.3},\n    \"migrate_ratio_vs_baseline\": {:.3},\n",
+            s.freeze_ratio(),
+            s.migrate_ratio()
+        ));
+        o.push_str(&format!(
+            "    \"severed_completed\": {},\n    \"severed_chunks_resumed\": {},\n    \"severed_migrate_ns_mean\": {:.0},\n",
+            s.chunked_severed.completed,
+            s.chunked_severed.chunks_resumed,
+            s.chunked_severed.migrate_ns_mean
+        ));
+        o.push_str(&format!(
+            "    \"replay_identical\": {}\n  }},\n",
+            s.replay_identical
+        ));
+    }
     o.push_str("  \"current\": [");
+    let mode = if smoke { "smoke" } else { "full" };
     for (i, m) in measures.iter().enumerate() {
         if i > 0 {
             o.push(',');
         }
         o.push_str(&format!(
-            "\n    {{\n      \"id\": {},\n      \"events\": {},\n      \"wall_secs\": {:.4},\n      \"sim_secs\": {:.2},\n      \"events_per_sec\": {:.0}\n    }}",
+            "\n    {{\n      \"id\": {},\n      \"mode\": {},\n      \"events\": {},\n      \"wall_secs\": {:.4},\n      \"sim_secs\": {:.2},\n      \"events_per_sec\": {:.0}\n    }}",
             json::quote(&m.id),
+            json::quote(mode),
             m.events,
             m.wall_secs,
             m.sim_secs,
@@ -557,14 +741,22 @@ pub fn render_report(
     }
     o.push_str("\n  ],\n");
     o.push_str("  \"speedup_vs_baseline\": {");
-    for (i, m) in measures.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for m in measures {
+        // Workloads without a recorded baseline (e.g. migration_storm,
+        // whose baseline is re-measured, not recorded) are omitted.
+        let Some(b) = baseline_events_per_sec(&m.id, smoke) else {
+            continue;
+        };
+        if !first {
             o.push(',');
         }
-        let speedup = baseline_events_per_sec(&m.id, smoke)
-            .map(|b| m.events_per_sec() / b)
-            .unwrap_or(f64::NAN);
-        o.push_str(&format!("\n    {}: {:.2}", json::quote(&m.id), speedup));
+        first = false;
+        o.push_str(&format!(
+            "\n    {}: {:.2}",
+            json::quote(&m.id),
+            m.events_per_sec() / b
+        ));
     }
     o.push_str("\n  }");
     if let Some(mc) = metrics {

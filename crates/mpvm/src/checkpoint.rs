@@ -13,7 +13,12 @@
 //!   send, file write) repeated by the re-execution is unsafe.
 //!
 //! This module exists for the ablation study (`ablation_condor`); the
-//! production path of this crate is the MPVM protocol.
+//! production path of this crate is the MPVM protocol. It also hosts the
+//! chunk-level checkpoint machinery that protocol's pipelined pre-copy
+//! path uses: [`DirtyTracker`] (which chunks were re-touched after being
+//! sent), [`StateImage`] (a deterministic synthetic checkpoint), and
+//! [`ChunkAssembler`] (receive-side reassembly, used by the byte-identity
+//! property tests).
 
 use parking_lot::Mutex;
 use simcore::{SimDuration, SimTime};
@@ -267,6 +272,313 @@ pub fn run_migrate_current(
     let _ = eth;
     let r = *out.lock();
     r
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-level checkpoint machinery for the pipelined pre-copy path.
+// ---------------------------------------------------------------------------
+
+/// Stop pre-copying once the dirty set is this small: the stop-and-copy
+/// tail for ≤ 2 chunks is bounded by ~2 chunk times regardless of state
+/// size, which is what makes freeze time sublinear.
+pub const PRECOPY_DIRTY_TAIL_CHUNKS: usize = 2;
+
+/// Upper bound on pre-copy rounds; a VP dirtying faster than the wire
+/// drains never converges, so after this many rounds we freeze and ship
+/// whatever is still dirty.
+pub const MAX_PRECOPY_ROUNDS: usize = 8;
+
+/// States with at most this many chunks skip pre-copy entirely: streaming
+/// two chunks live then re-sending them dirty would cost more than the
+/// frozen copy it replaces.
+pub const PRECOPY_MIN_CHUNKS: usize = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkState {
+    NeverSent,
+    SentClean,
+    Dirty,
+}
+
+/// Tracks which chunks of a live VP's state were re-touched after they
+/// were streamed to the skeleton.
+///
+/// The write cursor sweeps the address space cyclically at the calibrated
+/// dirty rate — the SPMD worst case where successive reduction steps walk
+/// the whole weight region. [`touched`](Self::touched) advances it by the
+/// virtual time the VP kept running; chunks the swept region overlaps flip
+/// from `SentClean` back to `Dirty` and must be re-sent in a later round.
+#[derive(Debug, Clone)]
+pub struct DirtyTracker {
+    plan: worknet::ChunkPlan,
+    state: Vec<ChunkState>,
+    rate_bps: f64,
+    cursor_bytes: f64,
+}
+
+impl DirtyTracker {
+    /// Track `plan`'s chunks with the VP dirtying `rate_bps` bytes/s while
+    /// it runs.
+    pub fn new(plan: worknet::ChunkPlan, rate_bps: f64) -> Self {
+        assert!(rate_bps >= 0.0, "negative dirty rate");
+        DirtyTracker {
+            state: vec![ChunkState::NeverSent; plan.n_chunks()],
+            plan,
+            rate_bps,
+            cursor_bytes: 0.0,
+        }
+    }
+
+    /// The chunk plan being tracked.
+    pub fn plan(&self) -> worknet::ChunkPlan {
+        self.plan
+    }
+
+    /// Mark chunk `i` as delivered to the skeleton (clean until the write
+    /// cursor sweeps it again).
+    pub fn mark_sent(&mut self, i: usize) {
+        self.state[i] = ChunkState::SentClean;
+    }
+
+    /// The VP ran for `dt` while chunks were in flight: sweep the write
+    /// cursor and dirty every already-sent chunk the swept region touches.
+    /// Returns how many chunks were newly dirtied.
+    pub fn touched(&mut self, dt: SimDuration) -> usize {
+        let total = self.plan.total_bytes;
+        if total == 0 {
+            return 0;
+        }
+        let bytes = self.rate_bps * dt.as_secs_f64();
+        if bytes <= 0.0 {
+            return 0;
+        }
+        let n = self.plan.n_chunks();
+        let mut newly = 0;
+        if bytes >= total as f64 {
+            for s in &mut self.state {
+                if *s == ChunkState::SentClean {
+                    *s = ChunkState::Dirty;
+                    newly += 1;
+                }
+            }
+            self.cursor_bytes = (self.cursor_bytes + bytes) % total as f64;
+            return newly;
+        }
+        let cb = self.plan.chunk_bytes as f64;
+        let start = self.cursor_bytes;
+        let end = start + bytes;
+        let first = (start / cb) as usize;
+        let last = (end / cb) as usize;
+        for c in first..=last {
+            let i = c % n;
+            if self.state[i] == ChunkState::SentClean {
+                self.state[i] = ChunkState::Dirty;
+                newly += 1;
+            }
+        }
+        self.cursor_bytes = end % total as f64;
+        newly
+    }
+
+    /// Chunks that must (still or again) be shipped: never sent or dirtied
+    /// since they were.
+    pub fn pending_chunks(&self) -> Vec<usize> {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s != ChunkState::SentClean)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of chunks currently pending.
+    pub fn pending_count(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| **s != ChunkState::SentClean)
+            .count()
+    }
+}
+
+/// A deterministic synthetic checkpoint image: the byte content the
+/// property tests reassemble and compare against. Content is a cheap
+/// splitmix-style stream keyed by `seed`.
+#[derive(Debug, Clone)]
+pub struct StateImage {
+    bytes: Vec<u8>,
+}
+
+impl StateImage {
+    /// Generate `len` deterministic bytes from `seed`.
+    pub fn synthetic(len: usize, seed: u64) -> Self {
+        let mut bytes = Vec::with_capacity(len);
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x0dd0_f00d;
+        while bytes.len() < len {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let take = (len - bytes.len()).min(8);
+            bytes.extend_from_slice(&z.to_le_bytes()[..take]);
+        }
+        StateImage { bytes }
+    }
+
+    /// Whole image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The bytes of chunk `i` under `plan`.
+    pub fn chunk<'a>(&'a self, plan: &worknet::ChunkPlan, i: usize) -> &'a [u8] {
+        let start = plan.chunk_start(i).min(self.bytes.len());
+        let end = (start + plan.chunk_len(i)).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+}
+
+/// Receive-side reassembly of a chunked checkpoint. Installing the same
+/// chunk twice is legal (a dirty-round re-send or a resume overlap) as
+/// long as the content matches what will finally be restored.
+#[derive(Debug)]
+pub struct ChunkAssembler {
+    plan: worknet::ChunkPlan,
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
+impl ChunkAssembler {
+    /// Empty assembler for `plan`.
+    pub fn new(plan: worknet::ChunkPlan) -> Self {
+        ChunkAssembler {
+            chunks: vec![None; plan.n_chunks()],
+            plan,
+        }
+    }
+
+    /// Store the received content of chunk `i` (later versions overwrite —
+    /// a re-sent dirty chunk carries the newer bytes).
+    ///
+    /// # Panics
+    /// Panics if the content length does not match the plan.
+    pub fn install(&mut self, i: usize, content: &[u8]) {
+        assert_eq!(content.len(), self.plan.chunk_len(i), "chunk {i} length");
+        self.chunks[i] = Some(content.to_vec());
+    }
+
+    /// True once every chunk has arrived at least once.
+    pub fn is_complete(&self) -> bool {
+        self.chunks.iter().all(|c| c.is_some())
+    }
+
+    /// Chunk indices still missing.
+    pub fn missing(&self) -> Vec<usize> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenate the chunks back into the checkpoint image.
+    ///
+    /// # Panics
+    /// Panics if any chunk is missing.
+    pub fn assembled(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.plan.total_bytes);
+        for (i, c) in self.chunks.iter().enumerate() {
+            out.extend_from_slice(c.as_ref().unwrap_or_else(|| panic!("chunk {i} missing")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod precopy_tests {
+    use super::*;
+    use worknet::ChunkPlan;
+
+    #[test]
+    fn chunk_plan_covers_the_state_exactly() {
+        let plan = ChunkPlan::new(200_000, 64 * 1024);
+        assert_eq!(plan.n_chunks(), 4);
+        let total: usize = (0..plan.n_chunks()).map(|i| plan.chunk_len(i)).sum();
+        assert_eq!(total, 200_000);
+        assert_eq!(plan.chunk_len(3), 200_000 - 3 * 64 * 1024);
+        assert_eq!(ChunkPlan::new(0, 1024).n_chunks(), 1);
+        assert_eq!(ChunkPlan::new(0, 1024).chunk_len(0), 0);
+    }
+
+    #[test]
+    fn dirty_tracker_sweeps_cyclically() {
+        let plan = ChunkPlan::new(4 * 1024, 1024);
+        let mut t = DirtyTracker::new(plan, 1024.0); // 1 chunk/s
+        assert_eq!(t.pending_count(), 4, "everything starts unsent");
+        for i in 0..4 {
+            t.mark_sent(i);
+        }
+        assert_eq!(t.pending_count(), 0);
+        // One second of running sweeps one chunk's worth of writes across
+        // the chunk 0 / chunk 1 boundary region.
+        let newly = t.touched(SimDuration::from_secs(1));
+        assert!((1..=2).contains(&newly), "newly {newly}");
+        assert_eq!(t.pending_count(), newly);
+        // Sweeping four more seconds wraps and dirties everything.
+        t.touched(SimDuration::from_secs(4));
+        assert_eq!(t.pending_count(), 4);
+        // Re-sending cleans again.
+        for i in t.pending_chunks() {
+            t.mark_sent(i);
+        }
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn dirty_tracker_never_dirties_unsent_chunks_twice() {
+        let plan = ChunkPlan::new(8 * 1024, 1024);
+        let mut t = DirtyTracker::new(plan, 64.0 * 1024.0);
+        // Nothing sent yet: a huge sweep dirties nothing new (NeverSent
+        // chunks are already pending).
+        assert_eq!(t.touched(SimDuration::from_secs(10)), 0);
+        assert_eq!(t.pending_count(), 8);
+    }
+
+    #[test]
+    fn zero_rate_never_dirties() {
+        let plan = ChunkPlan::new(1 << 20, 64 * 1024);
+        let mut t = DirtyTracker::new(plan, 0.0);
+        for i in 0..plan.n_chunks() {
+            t.mark_sent(i);
+        }
+        assert_eq!(t.touched(SimDuration::from_secs(1_000)), 0);
+        assert_eq!(t.pending_count(), 0);
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_identical() {
+        let plan = ChunkPlan::new(150_000, 64 * 1024);
+        let img = StateImage::synthetic(150_000, 42);
+        let mut asm = ChunkAssembler::new(plan);
+        assert!(!asm.is_complete());
+        // Install out of order, with one duplicate re-send.
+        for &i in &[2usize, 0, 1, 0] {
+            asm.install(i, img.chunk(&plan, i));
+        }
+        assert!(asm.is_complete());
+        assert!(asm.missing().is_empty());
+        assert_eq!(asm.assembled(), img.bytes());
+    }
+
+    #[test]
+    fn synthetic_images_are_deterministic_and_seed_sensitive() {
+        let a = StateImage::synthetic(1000, 7);
+        let b = StateImage::synthetic(1000, 7);
+        let c = StateImage::synthetic(1000, 8);
+        assert_eq!(a.bytes(), b.bytes());
+        assert_ne!(a.bytes(), c.bytes());
+        assert_eq!(a.bytes().len(), 1000);
+    }
 }
 
 #[cfg(test)]

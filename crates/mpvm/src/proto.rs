@@ -25,6 +25,16 @@ pub const TAG_QUIT: i32 = -107;
 pub const TAG_MIG_ABORT: i32 = -108;
 /// Migrating task → destination mpvmd: discard the skeleton just forked.
 pub const TAG_SKEL_ABORT: i32 = -109;
+/// Migrating task → destination mpvmd: manifest of one pre-copy round's
+/// chunks, sent alongside the TCP stream so the daemon can account for
+/// what the skeleton holds.
+pub const TAG_STATE_CHUNK: i32 = -110;
+/// Migrating task → destination mpvmd after a severed stream: which chunk
+/// index the source intends to resume from.
+pub const TAG_STATE_RESUME: i32 = -111;
+/// Destination mpvmd → migrating task: resume point confirmed (echoes the
+/// chunk index; everything before it is safely held by the skeleton).
+pub const TAG_STATE_RESUME_ACK: i32 = -112;
 
 /// The asynchronous migration order delivered to a task's actor as a
 /// simcore signal (the moral equivalent of MPVM's SIGUSR migration signal).
@@ -78,6 +88,31 @@ pub fn parse_restart(m: &Message) -> (Tid, Tid) {
     (Tid::from_raw(v[0]), Tid::from_raw(v[1]))
 }
 
+/// Build a chunk manifest: the migrating tid, which chunk range
+/// `[first, first + count)` of this round just shipped, and the total
+/// chunk count of the checkpoint.
+pub fn state_chunk_msg(migrating: Tid, first: u32, count: u32, total: u32) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[migrating.raw(), first, count, total])
+}
+
+/// Parse a chunk manifest → (tid, first, count, total).
+pub fn parse_state_chunk(m: &Message) -> (Tid, u32, u32, u32) {
+    let v = m.reader().upk_uint().expect("malformed state chunk");
+    (Tid::from_raw(v[0]), v[1], v[2], v[3])
+}
+
+/// Build a resume request: the migrating tid and the chunk index the
+/// source will resume from.
+pub fn state_resume_msg(migrating: Tid, from_chunk: u32) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[migrating.raw(), from_chunk])
+}
+
+/// Parse a resume request or its ack → (tid, chunk index).
+pub fn parse_state_resume(m: &Message) -> (Tid, u32) {
+    let v = m.reader().upk_uint().expect("malformed state resume");
+    (Tid::from_raw(v[0]), v[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +148,14 @@ mod tests {
     }
 
     #[test]
+    fn state_chunk_and_resume_roundtrip() {
+        let m = Message::new(t(0, 0), TAG_STATE_CHUNK, state_chunk_msg(t(1, 3), 4, 2, 17));
+        assert_eq!(parse_state_chunk(&m), (t(1, 3), 4, 2, 17));
+        let m = Message::new(t(0, 0), TAG_STATE_RESUME, state_resume_msg(t(1, 3), 9));
+        assert_eq!(parse_state_resume(&m), (t(1, 3), 9));
+    }
+
+    #[test]
     fn reserved_tags_are_distinct_and_negative() {
         let tags = [
             TAG_MIGRATE_CMD,
@@ -124,6 +167,9 @@ mod tests {
             TAG_QUIT,
             TAG_MIG_ABORT,
             TAG_SKEL_ABORT,
+            TAG_STATE_CHUNK,
+            TAG_STATE_RESUME,
+            TAG_STATE_RESUME_ACK,
         ];
         for (i, a) in tags.iter().enumerate() {
             assert!(*a < 0);

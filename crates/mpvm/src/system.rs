@@ -218,6 +218,10 @@ impl Mpvm {
 
 /// The mpvmd main loop.
 fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
+    // Per-migrating-tid count of chunks the local skeleton holds, fed by
+    // the per-round TAG_STATE_CHUNK manifests. Consulted when a severed
+    // source asks where to resume.
+    let mut skel_chunks: std::collections::HashMap<Tid, u32> = std::collections::HashMap::new();
     loop {
         let m = task.recv(None, None);
         match m.tag {
@@ -261,6 +265,38 @@ fn daemon_body(pvm: &Arc<Pvm>, task: &Arc<pvm_rt::PvmTask>) {
                 // The migrating process gave up; reap the skeleton.
                 task.host().syscall(task.sim());
                 sim_trace!(task.sim(), "mpvm.skel.aborted");
+            }
+            proto::TAG_STATE_CHUNK => {
+                // Account for a round's worth of chunks the skeleton now
+                // holds; pure bookkeeping, the bytes rode the TCP stream.
+                let (tid, first, count, total) = proto::parse_state_chunk(&m);
+                let held = skel_chunks.entry(tid).or_insert(0);
+                *held = (*held).max(first + count);
+                sim_trace!(
+                    task.sim(),
+                    "mpvm.skel.chunks",
+                    "{tid}: holds {held}/{total} chunks"
+                );
+            }
+            proto::TAG_STATE_RESUME => {
+                // A severed source re-synchronizing: confirm the resume
+                // point. Per-chunk TCP acks make the source's proposal a
+                // receiver-confirmed prefix, so the daemon accepts it and
+                // records the floor.
+                let (tid, from_chunk) = proto::parse_state_resume(&m);
+                task.host().syscall(task.sim());
+                let held = skel_chunks.entry(tid).or_insert(0);
+                *held = (*held).max(from_chunk);
+                sim_trace!(
+                    task.sim(),
+                    "mpvm.skel.resume",
+                    "{tid}: resuming from chunk {from_chunk}"
+                );
+                task.send(
+                    m.src,
+                    proto::TAG_STATE_RESUME_ACK,
+                    proto::state_resume_msg(tid, from_chunk),
+                );
             }
             proto::TAG_QUIT => break,
             other => sim_trace!(task.sim(), "mpvm.daemon.unknown", "tag {other}"),

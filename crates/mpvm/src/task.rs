@@ -8,13 +8,16 @@
 //! while inside the library, which is uninterruptible (the re-entrancy
 //! restriction of §2.1).
 
+use crate::checkpoint::{
+    DirtyTracker, MAX_PRECOPY_ROUNDS, PRECOPY_DIRTY_TAIL_CHUNKS, PRECOPY_MIN_CHUNKS,
+};
 use crate::proto::{self, MigrateOrder};
 use crate::shared::MigShared;
 use crate::system::Mpvm;
 use pvm_rt::{Message, MigrationOutcome, MsgBuf, Pvm, PvmError, PvmResult, PvmTask, TaskApi, Tid};
 use simcore::{sim_trace, Interrupted, SimCtx, SimDuration, SimTime};
 use std::sync::Arc;
-use worknet::{ComputeOutcome, HostId, TcpConn};
+use worknet::{Calib, ChunkPlan, ComputeOutcome, Host, HostId, TcpConn};
 
 /// How many times a migration order is attempted before reporting failure.
 pub const MIG_ATTEMPTS: usize = 3;
@@ -24,6 +27,9 @@ const ACK_TIMEOUT: SimDuration = SimDuration::from_secs(2);
 const SKEL_TIMEOUT: SimDuration = SimDuration::from_secs(5);
 /// First-retry backoff; doubles per attempt.
 const RETRY_BACKOFF: SimDuration = SimDuration::from_millis(250);
+/// How many severed-stream resumes one migration attempt tolerates before
+/// giving up and rolling the whole attempt back.
+pub const MAX_RESUMES: usize = 4;
 
 /// A migratable MPVM task.
 pub struct MigTask {
@@ -148,7 +154,28 @@ impl MigTask {
     /// One attempt at the four-stage protocol. On any failure the attempt
     /// is rolled back — gates reopened, skeleton discarded, tid bindings
     /// restored — so the task keeps running at its source under `old`.
+    ///
+    /// `Calib::migration_chunk` selects the stage-2/3 engine: `None` is the
+    /// paper's frozen monolithic stop-and-copy, `Some(chunk)` the pipelined
+    /// pre-copy path (chunked streaming, flush/transfer overlap, chunk-level
+    /// severed-stream resume).
     fn try_migrate_once(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+    ) -> PvmResult<Tid> {
+        match pvm.cluster.calib.migration_chunk {
+            None => self.migrate_monolithic(ctx, pvm, old, dst),
+            Some(chunk) => self.migrate_chunked(ctx, pvm, old, dst, chunk),
+        }
+    }
+
+    /// The frozen baseline: flush, then skeleton, then one monolithic
+    /// blocking state transfer — the VP is frozen for the whole protocol,
+    /// exactly the behaviour the paper measured in Table 2.
+    fn migrate_monolithic(
         &self,
         ctx: &SimCtx,
         pvm: &Arc<Pvm>,
@@ -158,6 +185,8 @@ impl MigTask {
         let calib = Arc::clone(&pvm.cluster.calib);
         let src_host = self.inner.host_id();
         sim_trace!(ctx, "mpvm.event", "{old} {src_host} -> {dst}");
+        // The VP is frozen from the first protocol action to restart.
+        let freeze_start = ctx.now();
         // The migration-timeline span: stages telescope (each measures from
         // the previous mark), so flush + state_transfer + restart sums to
         // the wall migration time exactly. An aborted attempt drops the
@@ -169,29 +198,12 @@ impl MigTask {
         // Drop protocol stragglers from an aborted earlier attempt. The
         // retry backoff dwarfs small-message latency, so anything that was
         // in flight when we aborted has landed by now.
-        while self
-            .inner
-            .nrecv_where(&|m: &Message| {
-                m.tag == proto::TAG_FLUSH_ACK || m.tag == proto::TAG_SKEL_READY
-            })
-            .is_some()
-        {}
+        self.drain_stragglers();
 
         // Stage 2: message flushing. Tell every other process we are about
         // to move; each agent closes its send gate towards us and acks.
         // Peers on crashed hosts are skipped — their tasks died with them.
-        let peers = self.sys.peer_agents(old);
-        let mut flushed = Vec::new();
-        for &a in &peers {
-            match self
-                .inner
-                .try_send(a, proto::TAG_FLUSH, proto::flush_msg(old))
-            {
-                Ok(()) => flushed.push(a),
-                Err(e) => sim_trace!(ctx, "mpvm.flush.skipped", "agent {a}: {e}"),
-            }
-        }
-        sim_trace!(ctx, "mpvm.flush.sent", "{} peers", flushed.len());
+        let flushed = self.send_flushes(ctx, old);
         for _ in 0..flushed.len() {
             if let Err(e) = self
                 .inner
@@ -211,22 +223,7 @@ impl MigTask {
             self.abort_attempt(ctx, old, &flushed, None);
             return Err(e);
         }
-        if self
-            .inner
-            .try_trecv(None, Some(proto::TAG_SKEL_READY), SKEL_TIMEOUT)
-            .is_err()
-        {
-            // A silent daemon is almost always a destination crash between
-            // our request and its reply.
-            let e = if pvm.cluster.host(dst).is_up() {
-                PvmError::Timeout
-            } else {
-                PvmError::HostDown(dst)
-            };
-            self.abort_attempt(ctx, old, &flushed, Some(dmn));
-            return Err(e);
-        }
-        sim_trace!(ctx, "mpvm.skel.ready");
+        self.wait_skel_ready(ctx, pvm, old, dst, dmn, &flushed)?;
 
         // Stage 3b: transfer data/heap/stack/register state over a
         // dedicated TCP connection to the skeleton. A destination crash
@@ -250,12 +247,173 @@ impl MigTask {
         span.stage(ctx.now(), "state_transfer");
         span.attr("state_bytes", bytes as u64);
 
-        // Stage 4: restart. Re-enroll under a new tid on the new host, let
-        // the skeleton install the received state, broadcast restart.
+        // Stage 4: restart.
+        let new = self.restart_stage(ctx, pvm, old, dst, bytes, &flushed)?;
+        span.stage(ctx.now(), "restart");
+        span.finish(ctx.now());
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("mpvm.migrations.completed", 1);
+            m.counter_add("mpvm.flushed.msgs", flushed.len() as u64);
+            m.counter_add("mpvm.state.bytes", bytes as u64);
+            m.histogram_record("mpvm.freeze_ns", ctx.now().since(freeze_start));
+        }
+        Ok(new)
+    }
+
+    /// The pipelined pre-copy path: the skeleton request overlaps the flush
+    /// round-trip, pre-copy rounds stream chunks while the VP "runs" (its
+    /// writes tracked by [`DirtyTracker`]), and the VP freezes only for the
+    /// final flush-ack wait plus the dirty-tail stop-and-copy.
+    fn migrate_chunked(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+        chunk_bytes: usize,
+    ) -> PvmResult<Tid> {
+        let src_host = self.inner.host_id();
+        sim_trace!(ctx, "mpvm.event", "{old} {src_host} -> {dst}");
+        let mut span = ctx
+            .metrics()
+            .span(ctx.now(), || format!("migrate:{old}->{dst}"));
+        self.drain_stragglers();
+
+        // Stage 3a first: request the skeleton immediately so its
+        // fork+exec runs while the flush round-trip is in flight.
+        let dmn = self.sys.daemon_tid(dst);
+        if let Err(e) = self.inner.try_send(dmn, proto::TAG_SKEL_REQ, MsgBuf::new()) {
+            self.abort_attempt(ctx, old, &[], None);
+            return Err(e);
+        }
+
+        // Stage 2: flush messages go out; the acks are drained
+        // opportunistically during the pre-copy rounds below.
+        let flushed = self.send_flushes(ctx, old);
+
+        self.wait_skel_ready(ctx, pvm, old, dst, dmn, &flushed)?;
+
+        // Stages 2/3 overlapped: pre-copy rounds, then the freeze window.
+        let bytes = self.shared.state_bytes();
+        let (t_ack, freeze_start, stats) =
+            match self.precopy_transfer(ctx, pvm, old, dst, dmn, bytes, chunk_bytes, &flushed) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.abort_attempt(ctx, old, &flushed, Some(dmn));
+                    return Err(e);
+                }
+            };
+        sim_trace!(ctx, "mpvm.offhost", "{bytes} bytes transferred");
+        // The flush stage semantically ended when the last ack was drained
+        // (possibly mid-pre-copy); marking it at that timestamp keeps the
+        // three stage durations telescoping exactly to the span total.
+        span.stage(t_ack, "flush");
+        span.attr("flushed_peers", flushed.len() as u64);
+        span.stage(ctx.now(), "state_transfer");
+        span.attr("state_bytes", bytes as u64);
+        span.attr("precopy_rounds", stats.rounds as u64);
+
+        // Stage 4: restart.
+        let new = self.restart_stage(ctx, pvm, old, dst, bytes, &flushed)?;
+        span.stage(ctx.now(), "restart");
+        span.finish(ctx.now());
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("mpvm.migrations.completed", 1);
+            m.counter_add("mpvm.flushed.msgs", flushed.len() as u64);
+            m.counter_add("mpvm.state.bytes", bytes as u64);
+            m.counter_add("mpvm.chunks.sent", stats.sent);
+            if stats.resent > 0 {
+                m.counter_add("mpvm.chunks.resent", stats.resent);
+            }
+            if stats.resumed > 0 {
+                m.counter_add("mpvm.chunks.resumed", stats.resumed);
+            }
+            m.histogram_record("mpvm.freeze_ns", ctx.now().since(freeze_start));
+        }
+        Ok(new)
+    }
+
+    /// Drop protocol stragglers from an aborted earlier attempt.
+    fn drain_stragglers(&self) {
+        while self
+            .inner
+            .nrecv_where(&|m: &Message| {
+                m.tag == proto::TAG_FLUSH_ACK
+                    || m.tag == proto::TAG_SKEL_READY
+                    || m.tag == proto::TAG_STATE_RESUME_ACK
+            })
+            .is_some()
+        {}
+    }
+
+    /// Send the flush message to every reachable peer agent.
+    fn send_flushes(&self, ctx: &SimCtx, old: Tid) -> Vec<Tid> {
+        let peers = self.sys.peer_agents(old);
+        let mut flushed = Vec::new();
+        for &a in &peers {
+            match self
+                .inner
+                .try_send(a, proto::TAG_FLUSH, proto::flush_msg(old))
+            {
+                Ok(()) => flushed.push(a),
+                Err(e) => sim_trace!(ctx, "mpvm.flush.skipped", "agent {a}: {e}"),
+            }
+        }
+        sim_trace!(ctx, "mpvm.flush.sent", "{} peers", flushed.len());
+        flushed
+    }
+
+    /// Block until the destination daemon reports the skeleton ready,
+    /// aborting the attempt on timeout or destination crash.
+    fn wait_skel_ready(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+        dmn: Tid,
+        flushed: &[Tid],
+    ) -> PvmResult<()> {
+        if self
+            .inner
+            .try_trecv(None, Some(proto::TAG_SKEL_READY), SKEL_TIMEOUT)
+            .is_err()
+        {
+            // A silent daemon is almost always a destination crash between
+            // our request and its reply.
+            let e = if pvm.cluster.host(dst).is_up() {
+                PvmError::Timeout
+            } else {
+                PvmError::HostDown(dst)
+            };
+            self.abort_attempt(ctx, old, flushed, Some(dmn));
+            return Err(e);
+        }
+        sim_trace!(ctx, "mpvm.skel.ready");
+        Ok(())
+    }
+
+    /// Stage 4: re-enroll under a new tid on the new host, let the skeleton
+    /// install the received state, broadcast restart. On failure everything
+    /// is undone and the attempt aborted.
+    fn restart_stage(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+        bytes: usize,
+        flushed: &[Tid],
+    ) -> PvmResult<Tid> {
+        let dmn = self.sys.daemon_tid(dst);
+        let calib = &pvm.cluster.calib;
+        let src_host = self.inner.host_id();
         let new = match pvm.try_migrate_enroll(old, dst) {
             Ok(new) => new,
             Err(e) => {
-                self.abort_attempt(ctx, old, &flushed, Some(dmn));
+                self.abort_attempt(ctx, old, flushed, Some(dmn));
                 return Err(e);
             }
         };
@@ -263,7 +421,7 @@ impl MigTask {
         if let Err(e) = pvm.try_rebind(self.agent, dst) {
             self.inner.set_tid(old);
             pvm.revert_enroll(old, new);
-            self.abort_attempt(ctx, old, &flushed, None);
+            self.abort_attempt(ctx, old, flushed, None);
             return Err(e);
         }
         self.sys.update_tid(old, new);
@@ -275,11 +433,11 @@ impl MigTask {
             self.inner.set_tid(old);
             pvm.revert_enroll(old, new);
             pvm.rebind(self.agent, src_host);
-            self.abort_attempt(ctx, old, &flushed, None);
+            self.abort_attempt(ctx, old, flushed, None);
             return Err(PvmError::HostDown(dst));
         }
         pvm.cluster.host(dst).memcpy(ctx, bytes);
-        for &a in &flushed {
+        for &a in flushed {
             // A peer whose host crashed after acking can't hear the
             // restart; its task is gone anyway.
             let _ = self
@@ -288,15 +446,106 @@ impl MigTask {
         }
         sim_trace!(ctx, "mpvm.restart.sent", "{old} -> {new}");
         sim_trace!(ctx, "mpvm.resumed", "{new} on {dst}");
-        span.stage(ctx.now(), "restart");
-        span.finish(ctx.now());
-        if ctx.metrics_enabled() {
-            let m = ctx.metrics();
-            m.counter_add("mpvm.migrations.completed", 1);
-            m.counter_add("mpvm.flushed.msgs", flushed.len() as u64);
-            m.counter_add("mpvm.state.bytes", bytes as u64);
-        }
         Ok(new)
+    }
+
+    /// Pre-copy rounds + freeze window + dirty-tail stop-and-copy.
+    ///
+    /// Returns `(t_ack, freeze_start, stats)`: when the flush completed
+    /// (for the span's flush mark), when the VP froze (for the freeze-time
+    /// histogram), and the chunk accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn precopy_transfer(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old: Tid,
+        dst: HostId,
+        dmn: Tid,
+        bytes: usize,
+        chunk_bytes: usize,
+        flushed: &[Tid],
+    ) -> PvmResult<(SimTime, SimTime, ChunkStats)> {
+        let calib = Arc::clone(&pvm.cluster.calib);
+        let dst_h = Arc::clone(pvm.cluster.host(dst));
+        if !dst_h.is_up() {
+            return Err(PvmError::HostDown(dst));
+        }
+        let plan = ChunkPlan::new(bytes, chunk_bytes);
+        let n = plan.n_chunks();
+        // Tiny states skip pre-copy: live-streaming two chunks then
+        // re-sending them dirty costs more than the frozen copy it saves.
+        let live = n >= PRECOPY_MIN_CHUNKS;
+        let mut tracker = DirtyTracker::new(plan, calib.precopy_dirty_bps);
+        let mut stream = ChunkStream {
+            task: &self.inner,
+            ctx,
+            pvm,
+            calib: &calib,
+            conn: TcpConn::connect(ctx, &pvm.cluster.ether, &calib),
+            old,
+            dmn,
+            src_h: Arc::clone(pvm.cluster.host(self.inner.host_id())),
+            dst_h,
+            plan,
+            ever_sent: vec![false; n],
+            stats: ChunkStats::default(),
+            flush_total: flushed.len(),
+            flush_acked: 0,
+            t_ack: flushed.is_empty().then(|| ctx.now()),
+            resumes: 0,
+            sweep_from: ctx.now(),
+        };
+
+        if live {
+            loop {
+                let round: Vec<usize> = if stream.stats.rounds == 0 {
+                    (0..n).collect()
+                } else {
+                    tracker.pending_chunks()
+                };
+                stream.stream(&round, Some(&mut tracker))?;
+                stream.stats.rounds += 1;
+                let pending = tracker.pending_count();
+                sim_trace!(
+                    ctx,
+                    "mpvm.precopy.round",
+                    "{old}: round {} shipped {} chunks, {pending} dirty",
+                    stream.stats.rounds,
+                    round.len()
+                );
+                if pending <= PRECOPY_DIRTY_TAIL_CHUNKS
+                    || stream.stats.rounds as usize >= MAX_PRECOPY_ROUNDS
+                {
+                    break;
+                }
+            }
+        }
+
+        // Freeze: the VP stops running here. Collect any flush acks still
+        // outstanding, then ship the dirty tail with no further dirtying.
+        let freeze_start = ctx.now();
+        while stream.flush_acked < stream.flush_total {
+            self.inner
+                .try_trecv(None, Some(proto::TAG_FLUSH_ACK), ACK_TIMEOUT)?;
+            stream.flush_acked += 1;
+            stream.t_ack = Some(ctx.now());
+        }
+        sim_trace!(ctx, "mpvm.flush.done");
+        let tail: Vec<usize> = if live {
+            tracker.pending_chunks()
+        } else {
+            (0..n).collect()
+        };
+        sim_trace!(
+            ctx,
+            "mpvm.precopy.freeze",
+            "{old}: frozen, {} tail chunks",
+            tail.len()
+        );
+        stream.stream(&tail, None)?;
+        let t_ack = stream.t_ack.unwrap_or(freeze_start);
+        Ok((t_ack, freeze_start, stream.stats))
     }
 
     /// Tear a failed attempt down: reopen every flushed peer's send gate
@@ -339,6 +588,191 @@ impl MigTask {
             self.inner.sim().block("mpvm send gated (flush)", false);
             self.shared.clear_blocked();
             dst = self.shared.remap(dst);
+        }
+    }
+}
+
+/// Chunk accounting for one migration attempt.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChunkStats {
+    /// Chunk transmissions started (including re-sends).
+    sent: u64,
+    /// Transmissions of a chunk that had already been delivered once
+    /// (dirty-round re-sends and severed in-flight chunks).
+    resent: u64,
+    /// Chunks *not* re-sent after a severed stream because the receiver
+    /// already acked them — the savings chunk-level resume buys.
+    resumed: u64,
+    /// Pre-copy rounds completed before the freeze.
+    rounds: u32,
+}
+
+/// The sequential chunk pipeline of one migration attempt: packs chunk
+/// `i+1` while chunk `i` is on the wire, drains flush acks opportunistically
+/// between chunks, and re-synchronizes through the resume handshake when
+/// the stream is severed with both endpoints alive.
+struct ChunkStream<'a> {
+    task: &'a Arc<PvmTask>,
+    ctx: &'a SimCtx,
+    pvm: &'a Arc<Pvm>,
+    calib: &'a Arc<Calib>,
+    conn: TcpConn,
+    old: Tid,
+    dmn: Tid,
+    src_h: Arc<Host>,
+    dst_h: Arc<Host>,
+    plan: ChunkPlan,
+    ever_sent: Vec<bool>,
+    stats: ChunkStats,
+    flush_total: usize,
+    flush_acked: usize,
+    /// When the last flush ack landed (the span's flush mark).
+    t_ack: Option<SimTime>,
+    resumes: usize,
+    /// Virtual time up to which the dirty tracker's write cursor has swept.
+    sweep_from: SimTime,
+}
+
+impl ChunkStream<'_> {
+    /// Ship `chunks` in order. With a tracker the VP is live: each acked
+    /// chunk is marked clean and the write cursor sweeps the elapsed time;
+    /// without one the VP is frozen and nothing re-dirties.
+    fn stream(
+        &mut self,
+        chunks: &[usize],
+        mut tracker: Option<&mut DirtyTracker>,
+    ) -> PvmResult<()> {
+        if chunks.is_empty() {
+            return Ok(());
+        }
+        let mut inflight: Option<(usize, worknet::PendingTransfer)> = None;
+        let mut round_acked = 0usize;
+        for &c in chunks {
+            // Pack chunk c into the socket buffer while the previous chunk
+            // is still on the wire — the pack/send overlap of the pipeline.
+            self.ctx.advance(SimDuration::from_secs_f64(
+                self.plan.chunk_len(c) as f64 * self.calib.state_copy_s_per_byte,
+            ));
+            self.drain_flush_acks();
+            if let Some((pc, h)) = inflight.take() {
+                self.await_chunk(pc, h, &mut tracker, &mut round_acked)?;
+            }
+            self.stats.sent += 1;
+            if self.ever_sent[c] {
+                self.stats.resent += 1;
+            }
+            let h = self.conn.send_chunk_severable(
+                self.ctx,
+                self.plan.chunk_len(c),
+                &self.src_h,
+                &self.dst_h,
+            );
+            inflight = Some((c, h));
+        }
+        if let Some((pc, h)) = inflight.take() {
+            self.await_chunk(pc, h, &mut tracker, &mut round_acked)?;
+        }
+        // Round manifest: tell the destination daemon what the skeleton
+        // holds (bookkeeping; the bytes rode the dedicated TCP stream).
+        let _ = self.task.try_send(
+            self.dmn,
+            proto::TAG_STATE_CHUNK,
+            proto::state_chunk_msg(
+                self.old,
+                chunks[0] as u32,
+                chunks.len() as u32,
+                self.plan.n_chunks() as u32,
+            ),
+        );
+        Ok(())
+    }
+
+    /// Collect without blocking any flush acks that landed while the
+    /// pipeline was busy.
+    fn drain_flush_acks(&mut self) {
+        while self.flush_acked < self.flush_total
+            && self
+                .task
+                .nrecv_where(&|m: &Message| m.tag == proto::TAG_FLUSH_ACK)
+                .is_some()
+        {
+            self.flush_acked += 1;
+            if self.flush_acked == self.flush_total {
+                self.t_ack = Some(self.ctx.now());
+            }
+        }
+    }
+
+    /// Wait for an in-flight chunk's ack, resuming through severed streams
+    /// while the destination stays up.
+    fn await_chunk(
+        &mut self,
+        pc: usize,
+        handle: worknet::PendingTransfer,
+        tracker: &mut Option<&mut DirtyTracker>,
+        round_acked: &mut usize,
+    ) -> PvmResult<()> {
+        let mut handle = handle;
+        loop {
+            match handle.wait(self.ctx) {
+                Ok(()) => {
+                    *round_acked += 1;
+                    self.ever_sent[pc] = true;
+                    if let Some(tr) = tracker.as_deref_mut() {
+                        tr.mark_sent(pc);
+                        let now = self.ctx.now();
+                        tr.touched(now.since(self.sweep_from));
+                        self.sweep_from = now;
+                    }
+                    return Ok(());
+                }
+                Err(sev) => {
+                    if !self.dst_h.is_up() || !self.src_h.is_up() {
+                        // An endpoint died: nothing to resume towards.
+                        return Err(PvmError::Severed { host: sev.host });
+                    }
+                    self.resumes += 1;
+                    if self.resumes > MAX_RESUMES {
+                        sim_trace!(self.ctx, "mpvm.resume.exhausted", "{}", self.old);
+                        return Err(PvmError::Severed { host: sev.host });
+                    }
+                    sim_trace!(
+                        self.ctx,
+                        "mpvm.transfer.severed",
+                        "{}: chunk {pc} cut ({sev}); resuming",
+                        self.old
+                    );
+                    // Reconnect and re-synchronize: everything acked before
+                    // the sever is NOT re-sent — the whole point of
+                    // chunk-level resume. Only the interrupted chunk goes
+                    // again.
+                    self.conn = TcpConn::connect(self.ctx, &self.pvm.cluster.ether, self.calib);
+                    self.task.try_send(
+                        self.dmn,
+                        proto::TAG_STATE_RESUME,
+                        proto::state_resume_msg(self.old, pc as u32),
+                    )?;
+                    self.task
+                        .try_trecv(None, Some(proto::TAG_STATE_RESUME_ACK), ACK_TIMEOUT)?;
+                    self.stats.resumed += *round_acked as u64;
+                    self.stats.sent += 1;
+                    // The interrupted chunk's partial bytes go again.
+                    self.stats.resent += 1;
+                    handle = self.conn.send_chunk_severable(
+                        self.ctx,
+                        self.plan.chunk_len(pc),
+                        &self.src_h,
+                        &self.dst_h,
+                    );
+                    sim_trace!(
+                        self.ctx,
+                        "mpvm.transfer.resumed",
+                        "{}: from chunk {pc}, {} chunks skipped",
+                        self.old,
+                        *round_acked
+                    );
+                }
+            }
         }
     }
 }

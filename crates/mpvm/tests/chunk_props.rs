@@ -1,0 +1,189 @@
+//! Property tests for the chunked pre-copy transfer under severed TCP
+//! streams.
+//!
+//! Whatever chunk boundaries a [`Fault::SeverTcp`] lands on, the pipeline
+//! must (a) never re-send chunks the skeleton already acked — each resume
+//! re-sends exactly the interrupted chunk — (b) reassemble a checkpoint
+//! byte-identical to the source image, and (c) replay byte-identically
+//! whatever the carrier-pool shape.
+
+use mpvm::checkpoint::{ChunkAssembler, DirtyTracker, StateImage};
+use mpvm::Mpvm;
+use proptest::prelude::*;
+use pvm_rt::{Pvm, TaskApi};
+use simcore::{SimDuration, SimTime};
+use std::sync::Arc;
+use worknet::{Calib, ChunkPlan, Cluster, Fault, FaultSchedule, HostId};
+
+/// First integer after `prefix` in `detail` (trace-detail parsing).
+fn num_after(detail: &str, prefix: &str) -> usize {
+    let rest = &detail[detail.find(prefix).expect("prefix present") + prefix.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("number after prefix")
+}
+
+/// One migration of `state_bytes` from host0 to host1 on a quiet 2-host
+/// cluster, with `Fault::SeverTcp` injected at each of `sever_ms`
+/// (millisecond offsets — arbitrary chunk boundaries relative to the
+/// stream). Returns the metrics JSON, selected counters, and the
+/// (interrupted chunk, resumed-from chunk) pair of every sever that hit
+/// the stream.
+fn severed_migration(
+    state_bytes: usize,
+    sever_ms: &[u64],
+    carrier_cap: Option<usize>,
+) -> (String, [u64; 4], Vec<(usize, usize)>) {
+    let mut faults = FaultSchedule::new();
+    for &ms in sever_ms {
+        faults = faults.at(
+            SimDuration::from_millis(ms),
+            Fault::SeverTcp { host: HostId(1) },
+        );
+    }
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(2);
+    let cluster = Arc::new(b.with_metrics().with_faults(faults).build());
+    if let Some(cap) = carrier_cap {
+        cluster.sim.set_max_idle_carriers(cap);
+    }
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    let w = mpvm.spawn_app(HostId(0), "w", move |t| {
+        t.set_state_bytes(state_bytes);
+        t.compute(45.0e6 * 30.0);
+    });
+    mpvm.seal();
+    let m2 = Arc::clone(&mpvm);
+    cluster.sim.spawn("gs", move |ctx| {
+        ctx.advance(SimDuration::from_secs(1));
+        m2.inject_migration(&ctx, w, HostId(1));
+    });
+    let end = cluster.sim.run().expect("severed migration run failed");
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    let c = |k: &str| report.counters.get(k).copied().unwrap_or(0);
+    let counters = [
+        c("mpvm.migrations.completed"),
+        c("mpvm.chunks.sent"),
+        c("mpvm.chunks.resent"),
+        c("mpvm.chunks.resumed"),
+    ];
+    let trace = cluster.sim.take_trace();
+    let severed: Vec<usize> = trace
+        .iter()
+        .filter(|e| e.tag == "mpvm.transfer.severed")
+        .map(|e| num_after(&e.detail, "chunk "))
+        .collect();
+    let resumed_from: Vec<usize> = trace
+        .iter()
+        .filter(|e| e.tag == "mpvm.transfer.resumed")
+        .map(|e| num_after(&e.detail, "from chunk "))
+        .collect();
+    assert_eq!(
+        severed.len(),
+        resumed_from.len(),
+        "every sever that cut a chunk must be followed by a resume"
+    );
+    let pairs = severed.into_iter().zip(resumed_from).collect();
+    (report.to_json(), counters, pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Severs at arbitrary points in (or around) the stream: the migration
+    /// still completes, and every resume re-sends exactly one chunk — the
+    /// interrupted one, never the acked prefix.
+    #[test]
+    fn resume_never_resends_acked_chunks(
+        state_bytes in 800_000usize..3_000_000,
+        sever_ms in prop::collection::vec(1_000u64..5_000, 0..3),
+    ) {
+        let (_, [completed, sent, resent, resumed], pairs) =
+            severed_migration(state_bytes, &sever_ms, None);
+        prop_assert_eq!(completed, 1, "migration must complete despite severs");
+        // (a): each resume restarts exactly at the interrupted chunk —
+        // the acked prefix never goes over the wire again.
+        for &(cut, from) in &pairs {
+            prop_assert_eq!(cut, from, "resume point must equal the interrupted chunk");
+        }
+        // Each resume re-sends exactly one chunk; dirty rounds account for
+        // the rest of the re-sends.
+        prop_assert!(resent >= pairs.len() as u64);
+        prop_assert!(sent > resent, "clean chunks must dominate re-sends");
+        // `resumed` counts acked chunks a resume preserved; with no resume
+        // nothing can be preserved, and it can never exceed what was sent.
+        if pairs.is_empty() {
+            prop_assert_eq!(resumed, 0);
+        }
+        prop_assert!(resumed <= sent);
+    }
+
+    /// (c): the same severed run replays byte-identically (metrics JSON)
+    /// across carrier-pool sizes.
+    #[test]
+    fn severed_replay_is_identical_across_carrier_pools(
+        state_bytes in 800_000usize..2_000_000,
+        sever_ms in prop::collection::vec(1_200u64..4_000, 1..3),
+    ) {
+        let (a, ca, _) = severed_migration(state_bytes, &sever_ms, Some(0));
+        let (b, cb, _) = severed_migration(state_bytes, &sever_ms, Some(2));
+        let (c, cc, _) = severed_migration(state_bytes, &sever_ms, Some(16));
+        prop_assert_eq!(&a, &b, "carrier cap 0 vs 2 diverged");
+        prop_assert_eq!(&a, &c, "carrier cap 0 vs 16 diverged");
+        prop_assert_eq!(ca, cb);
+        prop_assert_eq!(ca, cc);
+    }
+
+    /// (b): chunk-level reassembly is byte-identical to the source image
+    /// whatever the chunk size, dirty rounds, and sever boundaries. Severs
+    /// re-install the interrupted chunk; dirty chunks are re-sent with
+    /// their current content; the assembler's final image must equal the
+    /// source.
+    #[test]
+    fn reassembly_is_byte_identical(
+        total in 10_000usize..200_000,
+        chunk in 512usize..16_384,
+        seed in any::<u64>(),
+        // Positions (mod stream length) where a sever interrupts a send.
+        severs in prop::collection::vec(any::<u32>(), 0..4),
+        dirty_bps in 0.0f64..50_000.0,
+    ) {
+        let plan = ChunkPlan::new(total, chunk);
+        let image = StateImage::synthetic(total, seed);
+        let mut tracker = DirtyTracker::new(plan, dirty_bps);
+        let mut asm = ChunkAssembler::new(plan);
+        let mut stream_pos = 0u32;
+        let mut rounds = 0usize;
+        loop {
+            let round = tracker.pending_chunks();
+            let last_round = rounds >= 4 || round.len() <= 2;
+            for &c in &round {
+                // A sever at this boundary interrupts the chunk: it goes
+                // again (same content — the source re-reads its state),
+                // while everything acked before it stays put.
+                if severs.iter().any(|s| s % 101 == stream_pos % 101) {
+                    asm.install(c, image.chunk(&plan, c));
+                }
+                asm.install(c, image.chunk(&plan, c));
+                tracker.mark_sent(c);
+                if !last_round {
+                    // The running VP keeps dirtying state between sends.
+                    tracker.touched(SimDuration::from_millis(50));
+                }
+                stream_pos = stream_pos.wrapping_add(1);
+            }
+            rounds += 1;
+            if last_round {
+                break;
+            }
+        }
+        // Stop-and-copy tail: whatever is still pending goes frozen.
+        for c in tracker.pending_chunks() {
+            asm.install(c, image.chunk(&plan, c));
+        }
+        prop_assert!(asm.is_complete(), "missing chunks: {:?}", asm.missing());
+        prop_assert_eq!(asm.assembled(), image.bytes().to_vec());
+    }
+}

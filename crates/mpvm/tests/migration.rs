@@ -253,12 +253,15 @@ fn protocol_trace_has_all_four_stages_in_order() {
     cluster.sim.run().unwrap();
 
     let tr = cluster.sim.take_trace();
+    // Under the pipelined pre-copy engine the skeleton request overlaps
+    // the flush round-trip, so skel.ready lands before flush.done (which
+    // now marks the freeze point).
     let order = [
         "mpvm.cmd.received",
         "mpvm.event",
         "mpvm.flush.sent",
-        "mpvm.flush.done",
         "mpvm.skel.ready",
+        "mpvm.flush.done",
         "mpvm.offhost",
         "mpvm.restart.sent",
         "mpvm.resumed",

@@ -15,6 +15,11 @@ pub const TAG_ULP_FLUSH_ACK: i32 = -203;
 pub const TAG_ULP_STATE: i32 = -204;
 /// Container shutdown.
 pub const TAG_ULP_QUIT: i32 = -205;
+/// Migrating ULP → target container after a severed state stream: which
+/// chunk index the source resumes from.
+pub const TAG_ULP_RESUME: i32 = -206;
+/// Target container → migrating ULP: resume point confirmed.
+pub const TAG_ULP_RESUME_ACK: i32 = -207;
 
 /// Asynchronous migration order delivered to a ULP's actor as a signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +68,18 @@ pub fn parse_state(m: &Message) -> (UlpId, usize) {
     (UlpId(v[0] as usize), v[1] as usize)
 }
 
+/// Resume request after a severed ULP state stream (and the matching ack):
+/// names the ULP and the chunk index the transfer continues from.
+pub fn resume_msg(ulp: UlpId, from_chunk: u32) -> MsgBuf {
+    MsgBuf::new().pk_uint(&[ulp.0 as u32, from_chunk])
+}
+
+/// Parse a resume request/ack → (ULP, chunk index).
+pub fn parse_resume(m: &Message) -> (UlpId, u32) {
+    let v = m.reader().upk_uint().expect("malformed ULP resume msg");
+    (UlpId(v[0] as usize), v[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,8 +113,17 @@ mod tests {
             TAG_ULP_FLUSH_ACK,
             TAG_ULP_STATE,
             TAG_ULP_QUIT,
+            TAG_ULP_RESUME,
+            TAG_ULP_RESUME_ACK,
         ] {
             assert!((-299..=-201).contains(&t), "UPVM tags live in -2xx: {t}");
         }
+    }
+
+    #[test]
+    fn resume_roundtrip() {
+        let t = Tid::new(HostId(0), 1);
+        let m = Message::new(t, TAG_ULP_RESUME, resume_msg(UlpId(3), 12));
+        assert_eq!(parse_resume(&m), (UlpId(3), 12));
     }
 }

@@ -369,6 +369,22 @@ fn container_body(sys: &Arc<Upvm>, task: &Arc<pvm_rt::PvmTask>, host: HostId) {
                 }
                 sim_trace!(task.sim(), "upvm.accept.done", "{id}");
             }
+            proto::TAG_ULP_RESUME => {
+                // A severed state stream: confirm the resume point so the
+                // source re-sends only the interrupted chunk.
+                let (id, from_chunk) = proto::parse_resume(&m);
+                task.host().syscall(task.sim());
+                sim_trace!(
+                    task.sim(),
+                    "upvm.accept.resume",
+                    "{id}: from chunk {from_chunk}"
+                );
+                task.send(
+                    m.src,
+                    proto::TAG_ULP_RESUME_ACK,
+                    proto::resume_msg(id, from_chunk),
+                );
+            }
             proto::TAG_ULP_QUIT => break,
             other => sim_trace!(task.sim(), "upvm.container.unknown", "tag {other}"),
         }

@@ -13,12 +13,12 @@ use crate::proto::{self, MigrateUlp};
 use crate::sched::UlpId;
 use crate::system::Upvm;
 use parking_lot::Mutex;
-use pvm_rt::{route, Message, MigrationOutcome, MsgBuf, PvmError, TaskApi, Tid};
+use pvm_rt::{route, Message, MigrationOutcome, MsgBuf, Pvm, PvmError, TaskApi, Tid};
 use simcore::{sim_trace, Interrupted, Mailbox, SimCtx, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use worknet::{ComputeOutcome, HostId};
+use worknet::{ChunkPlan, ComputeOutcome, HostId, PendingTransfer};
 
 /// Default ULP state size (stack + initial heap) before the application
 /// registers its data.
@@ -26,6 +26,10 @@ pub const DEFAULT_ULP_STATE: usize = 64 * 1024;
 
 /// Bound on waiting for each container's flush acknowledgement.
 const ULP_ACK_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+
+/// How many severed-stream resumes one ULP state transfer will attempt
+/// before giving up on the attempt.
+const ULP_MAX_RESUMES: usize = 4;
 
 /// When a ULP may migrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -345,31 +349,40 @@ impl Ulp {
         }
 
         // Stage 3: pack the ULP state with pvm_pkbyte (extra copies) and
-        // push it out through pvm_send sequences over the daemon route. A
-        // destination crash mid-stream severs the transfer; the redirect is
-        // undone (the mailbox never moved, so no message is lost) and the
-        // ULP resumes at its source.
+        // push it out through pvm_send sequences over the daemon route.
+        // With chunked migration enabled the pack of chunk `i + 1` overlaps
+        // the wire time of chunk `i`, and a severed stream with both
+        // endpoints still up resumes from the last chunk the target
+        // container holds; the monolithic calibration packs everything
+        // first and pushes one severable transfer. Either way a dead
+        // endpoint mid-stream aborts: the redirect is undone (the mailbox
+        // never moved, so no message is lost) and the ULP resumes at its
+        // source.
         let bytes = self.state_bytes();
         ctx.advance(calib.ulp_capture_fixed);
-        ctx.advance(SimDuration::from_secs_f64(
-            bytes as f64 * calib.pkbyte_s_per_byte,
-        ));
-        let src_h = Arc::clone(pvm.cluster.host(old_host));
-        let dst_h = Arc::clone(pvm.cluster.host(dst));
-        if let Err(sev) = pvm.cluster.ether.transfer_blocking_severable(
-            ctx,
-            bytes,
-            calib.daemon_efficiency,
-            &src_h,
-            &dst_h,
-        ) {
+        let pushed = match calib.migration_chunk {
+            None => {
+                ctx.advance(SimDuration::from_secs_f64(
+                    bytes as f64 * calib.pkbyte_s_per_byte,
+                ));
+                let src_h = Arc::clone(pvm.cluster.host(old_host));
+                let dst_h = Arc::clone(pvm.cluster.host(dst));
+                pvm.cluster
+                    .ether
+                    .transfer_blocking_severable(
+                        ctx,
+                        bytes,
+                        calib.daemon_efficiency,
+                        &src_h,
+                        &dst_h,
+                    )
+                    .map_err(|sev| PvmError::Severed { host: sev.host })
+            }
+            Some(chunk) => self.stream_state_chunked(ctx, &pvm, old_host, dst, bytes, chunk),
+        };
+        if let Err(e) = pushed {
             pvm.rebind(self.tid, old_host);
-            return self.abort_migration(
-                dst,
-                PvmError::Severed { host: sev.host },
-                &sched,
-                acquired,
-            );
+            return self.abort_migration(dst, e, &sched, acquired);
         }
         let dst_container = self.sys.container_tid(dst);
         let (_, cmb) = pvm.lookup(dst_container).expect("target container gone");
@@ -398,6 +411,102 @@ impl Ulp {
             MigrationOutcome::Completed { new_tid: self.tid },
         );
         true
+    }
+
+    /// Pipelined chunked push of the packed state (stage 3, chunked mode):
+    /// pvm_pkbyte packs chunk `i + 1` while chunk `i` is on the wire at
+    /// daemon efficiency. On a severed chunk with both endpoints up, the
+    /// source agrees on a resume point with the target container
+    /// ([`proto::TAG_ULP_RESUME`] handshake) and re-sends only the
+    /// interrupted chunk — everything before it is already held.
+    fn stream_state_chunked(
+        &self,
+        ctx: &SimCtx,
+        pvm: &Arc<Pvm>,
+        old_host: HostId,
+        dst: HostId,
+        bytes: usize,
+        chunk: usize,
+    ) -> Result<(), PvmError> {
+        let calib = &pvm.cluster.calib;
+        let src_h = Arc::clone(pvm.cluster.host(old_host));
+        let dst_h = Arc::clone(pvm.cluster.host(dst));
+        let plan = ChunkPlan::new(bytes, chunk);
+        let n = plan.n_chunks();
+        let mut sent = 0u64;
+        let mut resumed = 0u64;
+        let mut resumes = 0usize;
+        let mut inflight: Option<(usize, PendingTransfer)> = None;
+        let mut c = 0usize;
+        while c <= n {
+            if c < n {
+                // Pack chunk `c` while the previous chunk is in flight.
+                ctx.advance(SimDuration::from_secs_f64(
+                    plan.chunk_len(c) as f64 * calib.pkbyte_s_per_byte,
+                ));
+            }
+            if let Some((pc, mut handle)) = inflight.take() {
+                while let Err(sev) = handle.wait(ctx) {
+                    if !src_h.is_up() || !dst_h.is_up() {
+                        return Err(PvmError::Severed { host: sev.host });
+                    }
+                    resumes += 1;
+                    if resumes > ULP_MAX_RESUMES {
+                        sim_trace!(ctx, "upvm.resume.exhausted", "{}", self.tid);
+                        return Err(PvmError::Severed { host: sev.host });
+                    }
+                    sim_trace!(ctx, "upvm.transfer.severed", "chunk {pc}; resuming");
+                    let dst_container = self.sys.container_tid(dst);
+                    let (_, mb) = pvm.lookup(dst_container).ok_or(PvmError::HostDown(dst))?;
+                    let msg = Message::new(
+                        self.tid,
+                        proto::TAG_ULP_RESUME,
+                        proto::resume_msg(self.id, pc as u32),
+                    );
+                    route::deliver_daemon(ctx, pvm, old_host, mb, msg);
+                    if self
+                        .recv_proto_deadline(proto::TAG_ULP_RESUME_ACK, ULP_ACK_TIMEOUT)
+                        .is_none()
+                    {
+                        return Err(PvmError::Timeout);
+                    }
+                    // Chunks before `pc` survive the sever; only the
+                    // interrupted chunk goes over the wire again.
+                    resumed += pc as u64;
+                    sent += 1;
+                    handle = pvm.cluster.ether.start_severable(
+                        ctx,
+                        plan.chunk_len(pc),
+                        calib.daemon_efficiency,
+                        &src_h,
+                        &dst_h,
+                    );
+                    sim_trace!(ctx, "upvm.transfer.resumed", "from chunk {pc}");
+                }
+            }
+            if c < n {
+                sent += 1;
+                inflight = Some((
+                    c,
+                    pvm.cluster.ether.start_severable(
+                        ctx,
+                        plan.chunk_len(c),
+                        calib.daemon_efficiency,
+                        &src_h,
+                        &dst_h,
+                    ),
+                ));
+            }
+            c += 1;
+        }
+        if ctx.metrics_enabled() {
+            let m = ctx.metrics();
+            m.counter_add("upvm.chunks.sent", sent);
+            if resumed > 0 {
+                m.counter_add("upvm.chunks.resumed", resumed);
+            }
+        }
+        Ok(())
     }
 }
 

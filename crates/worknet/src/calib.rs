@@ -86,6 +86,17 @@ pub struct Calib {
     /// ("virtual memory (swap space) ... strongly influences the
     /// execution of jobs", §1.0).
     pub swap_penalty: f64,
+    /// Migration state-transfer chunk size: `Some(bytes)` streams the
+    /// checkpoint in fixed-size chunks with pre-copy rounds and chunk-level
+    /// severed-TCP resume; `None` selects the paper's frozen monolithic
+    /// stop-and-copy (the Table 2 behaviour, kept as the baseline).
+    pub migration_chunk: Option<usize>,
+    /// Rate (bytes/s) at which a running VP re-dirties already-sent chunks
+    /// during pre-copy rounds. Opt-like SPMD state is read-mostly — the
+    /// write set between reduction steps is the small weight vector, not
+    /// the training partition — so the default is a small fraction of the
+    /// TCP bandwidth and pre-copy converges in one or two rounds.
+    pub precopy_dirty_bps: f64,
 }
 
 impl Calib {
@@ -113,7 +124,24 @@ impl Calib {
             restart_fixed: SimDuration::from_millis(180),
             upvm_remote_header: SimDuration::from_micros(120),
             swap_penalty: 4.0,
+            migration_chunk: Some(64 * 1024),
+            precopy_dirty_bps: 12.0e3,
         }
+    }
+
+    /// The same configuration with chunked pre-copy disabled: stage-3 state
+    /// transfer is one frozen monolithic stop-and-copy, exactly the paper's
+    /// measured protocol. Used by the paper-fidelity tables and as the
+    /// `migration_storm` baseline.
+    pub fn monolithic_migration(mut self) -> Self {
+        self.migration_chunk = None;
+        self
+    }
+
+    /// Override the pre-copy chunk size (`None` = monolithic stop-and-copy).
+    pub fn with_migration_chunk(mut self, chunk: Option<usize>) -> Self {
+        self.migration_chunk = chunk;
+        self
     }
 
     /// Effective bulk TCP payload bandwidth in bytes/s.

@@ -238,6 +238,27 @@ impl ClusterBuilder {
                         });
                     });
                 }
+                Fault::SeverTcp { host } => {
+                    assert!(host.0 < hosts.len(), "sever fault targets unknown {host}");
+                    let eth = ether.clone();
+                    let plane = Arc::clone(&fault);
+                    let at = ev.at;
+                    let m = metrics.clone();
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            let severed = eth.sever_host(w, host);
+                            let now = w.now();
+                            m.counter_add("fault.injected.sever_tcp", 1);
+                            plane.record(
+                                now,
+                                format!("sever tcp at {host} ({severed} transfers cut)"),
+                            );
+                            w.trace_event_with(None, "fault.sever_tcp", || {
+                                format!("{host} link dropped, {severed} transfers cut")
+                            });
+                        });
+                    });
+                }
                 Fault::OwnerReclaim { host } => {
                     assert!(host.0 < hosts.len(), "reclaim fault targets unknown {host}");
                     // Exported for the coordinator's monitor to replay; also

@@ -67,6 +67,15 @@ pub enum Fault {
         /// The reclaimed host.
         host: HostId,
     },
+    /// Sever every in-flight bulk transfer touching `host` without downing
+    /// it: a transient link fault (cable pull, switch reset) that kills
+    /// established TCP streams but leaves both endpoints alive. Chunked
+    /// migrations resume from the last acked chunk; monolithic ones restart
+    /// from byte zero.
+    SeverTcp {
+        /// The host whose link momentarily drops.
+        host: HostId,
+    },
 }
 
 /// A fault and when to inject it.

@@ -22,5 +22,5 @@ pub use cluster::{Cluster, ClusterBuilder};
 pub use fault::{DaemonVerdict, Fault, FaultEvent, FaultPlane, FaultSchedule, Severed};
 pub use host::{Arch, ComputeOutcome, Host, HostId, HostSpec};
 pub use load::{LoadTrace, OwnerTrace};
-pub use net::{Ethernet, OnComplete, TransferId};
-pub use tcp::TcpConn;
+pub use net::{Ethernet, OnComplete, PendingTransfer, TransferId};
+pub use tcp::{ChunkPlan, TcpConn};

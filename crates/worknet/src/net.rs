@@ -70,6 +70,55 @@ impl BusState {
     }
 }
 
+/// Handle to an in-flight severable transfer started with
+/// [`Ethernet::start_severable`]. The owning actor can keep doing work
+/// (packing the next chunk, draining flush acks) and [`wait`](Self::wait)
+/// or [`poll`](Self::poll) later — the overlap the pipelined migration
+/// paths are built on.
+pub struct PendingTransfer {
+    done: Arc<AtomicBool>,
+    severed: Arc<AtomicBool>,
+    src: Arc<crate::Host>,
+    dst: Arc<crate::Host>,
+}
+
+impl PendingTransfer {
+    /// Non-blocking status check: `None` while the stream is still moving,
+    /// `Some(Ok(()))` once the last byte arrived, `Some(Err(_))` if it was
+    /// severed.
+    pub fn poll(&self) -> Option<Result<(), Severed>> {
+        if self.severed.load(Ordering::SeqCst) {
+            Some(Err(self.severed_err()))
+        } else if self.done.load(Ordering::SeqCst) {
+            Some(Ok(()))
+        } else {
+            None
+        }
+    }
+
+    /// Block the calling actor until the transfer completes or is severed.
+    pub fn wait(&self, ctx: &SimCtx) -> Result<(), Severed> {
+        loop {
+            if let Some(r) = self.poll() {
+                return r;
+            }
+            ctx.block("ethernet transfer", false);
+        }
+    }
+
+    /// Name the endpoint responsible for a severed stream: a downed host if
+    /// there is one, otherwise the far endpoint (a link-level sever with
+    /// both hosts alive — the sender sees its peer's side go away).
+    fn severed_err(&self) -> Severed {
+        let host = if self.dst.is_up() && !self.src.is_up() {
+            self.src.id
+        } else {
+            self.dst.id
+        };
+        Severed { host }
+    }
+}
+
 /// A shared Ethernet segment connecting every host in a cluster.
 ///
 /// Cloning is cheap and refers to the same segment.
@@ -286,61 +335,68 @@ impl Ethernet {
         src: &Arc<crate::Host>,
         dst: &Arc<crate::Host>,
     ) -> Result<(), Severed> {
-        if !dst.is_up() {
-            return Err(Severed { host: dst.id });
+        self.start_severable(ctx, payload_bytes, efficiency, src, dst)
+            .wait(ctx)
+    }
+
+    /// Start a severable transfer without blocking: the caller keeps
+    /// running (packing the next chunk, draining acks) and later waits on
+    /// or polls the returned handle. This is the primitive the pipelined
+    /// migration paths overlap work with wire time on.
+    pub fn start_severable(
+        &self,
+        ctx: &SimCtx,
+        payload_bytes: usize,
+        efficiency: f64,
+        src: &Arc<crate::Host>,
+        dst: &Arc<crate::Host>,
+    ) -> PendingTransfer {
+        let pt = PendingTransfer {
+            done: Arc::new(AtomicBool::new(false)),
+            severed: Arc::new(AtomicBool::new(false)),
+            src: Arc::clone(src),
+            dst: Arc::clone(dst),
+        };
+        if !dst.is_up() || !src.is_up() {
+            pt.severed.store(true, Ordering::SeqCst);
+            return pt;
         }
-        if !src.is_up() {
-            return Err(Severed { host: src.id });
-        }
-        let done = Arc::new(AtomicBool::new(false));
-        let severed = Arc::new(AtomicBool::new(false));
         let me = ctx.id();
         let latency = self.latency;
         let endpoints = (src.id, dst.id);
-        {
-            let this = self.clone();
-            let done2 = Arc::clone(&done);
-            let sev2 = Arc::clone(&severed);
-            let dst2 = Arc::clone(dst);
-            ctx.with_world(move |w| {
-                w.schedule_in(latency, move |w| {
-                    // The destination may have crashed during the latency
-                    // window, before the stream registered with the bus.
-                    if !dst2.is_up() {
-                        sev2.store(true, Ordering::SeqCst);
+        let this = self.clone();
+        let done2 = Arc::clone(&pt.done);
+        let sev2 = Arc::clone(&pt.severed);
+        let dst2 = Arc::clone(dst);
+        ctx.with_world(move |w| {
+            // Latency first, then the store-and-forward occupancy.
+            w.schedule_in(latency, move |w| {
+                // The destination may have crashed during the latency
+                // window, before the stream registered with the bus.
+                if !dst2.is_up() {
+                    sev2.store(true, Ordering::SeqCst);
+                    w.wake_actor(me);
+                    return;
+                }
+                let done3 = Arc::clone(&done2);
+                let sev3 = Arc::clone(&sev2);
+                this.start_transfer_between(
+                    w,
+                    payload_bytes as f64,
+                    efficiency,
+                    Some(endpoints),
+                    Box::new(move |w| {
+                        done3.store(true, Ordering::SeqCst);
                         w.wake_actor(me);
-                        return;
-                    }
-                    let done3 = Arc::clone(&done2);
-                    let sev3 = Arc::clone(&sev2);
-                    this.start_transfer_between(
-                        w,
-                        payload_bytes as f64,
-                        efficiency,
-                        Some(endpoints),
-                        Box::new(move |w| {
-                            done3.store(true, Ordering::SeqCst);
-                            w.wake_actor(me);
-                        }),
-                        Some(Box::new(move |w| {
-                            sev3.store(true, Ordering::SeqCst);
-                            w.wake_actor(me);
-                        })),
-                    );
-                });
+                    }),
+                    Some(Box::new(move |w| {
+                        sev3.store(true, Ordering::SeqCst);
+                        w.wake_actor(me);
+                    })),
+                );
             });
-        }
-        loop {
-            if severed.load(Ordering::SeqCst) {
-                // Name the endpoint that died; the peer may have been the one.
-                let host = if !dst.is_up() { dst.id } else { src.id };
-                return Err(Severed { host });
-            }
-            if done.load(Ordering::SeqCst) {
-                return Ok(());
-            }
-            ctx.block("ethernet transfer", false);
-        }
+        });
+        pt
     }
 
     /// Fire-and-forget: deliver `payload_bytes` and run `done` at arrival

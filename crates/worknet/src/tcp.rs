@@ -6,9 +6,54 @@
 //! the shared segment at TCP bulk efficiency.
 
 use crate::calib::Calib;
-use crate::net::Ethernet;
+use crate::net::{Ethernet, PendingTransfer};
 use simcore::{SimCtx, SimDuration};
 use std::sync::Arc;
+
+/// How a checkpoint of `total_bytes` is cut into fixed-size chunks for the
+/// pipelined migration paths. The last chunk carries the remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// State size being moved.
+    pub total_bytes: usize,
+    /// Size of every chunk but possibly the last.
+    pub chunk_bytes: usize,
+}
+
+impl ChunkPlan {
+    /// Plan a transfer of `total_bytes` in `chunk_bytes`-sized pieces.
+    ///
+    /// # Panics
+    /// Panics on a zero chunk size.
+    pub fn new(total_bytes: usize, chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        ChunkPlan {
+            total_bytes,
+            chunk_bytes,
+        }
+    }
+
+    /// Number of chunks (zero-byte states still ship one empty chunk so
+    /// the receive side always sees a transfer).
+    pub fn n_chunks(&self) -> usize {
+        self.total_bytes.div_ceil(self.chunk_bytes).max(1)
+    }
+
+    /// Payload size of chunk `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn chunk_len(&self, i: usize) -> usize {
+        assert!(i < self.n_chunks(), "chunk {i} out of range");
+        let start = i * self.chunk_bytes;
+        self.total_bytes.saturating_sub(start).min(self.chunk_bytes)
+    }
+
+    /// Byte offset of chunk `i`.
+    pub fn chunk_start(&self, i: usize) -> usize {
+        i * self.chunk_bytes
+    }
+}
 
 /// An established TCP connection (direction-agnostic; the simulator charges
 /// costs to whichever actor calls send).
@@ -57,12 +102,33 @@ impl TcpConn {
             self.eth
                 .transfer_blocking_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst);
         if let Some(t0) = started {
-            if r.is_ok() {
-                ctx.metrics()
-                    .histogram_record("tcp.transfer_ns", ctx.now().since(t0));
-            }
+            // Severed attempts cost real time too: record them under their
+            // own histogram so retry overhead is visible in reports.
+            let name = if r.is_ok() {
+                "tcp.transfer_ns"
+            } else {
+                "tcp.severed_ns"
+            };
+            ctx.metrics().histogram_record(name, ctx.now().since(t0));
         }
         r
+    }
+
+    /// Send one chunk of a pipelined state transfer without blocking: the
+    /// syscall is charged up front, then the occupancy runs on the shared
+    /// segment while the caller keeps working (packing the next chunk,
+    /// draining flush acks). `wait`/`poll` the returned handle for the
+    /// per-chunk ack; a completed wait means the receiver holds the chunk.
+    pub fn send_chunk_severable(
+        &self,
+        ctx: &SimCtx,
+        bytes: usize,
+        src: &Arc<crate::Host>,
+        dst: &Arc<crate::Host>,
+    ) -> PendingTransfer {
+        ctx.advance(self.calib.syscall);
+        self.eth
+            .start_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst)
     }
 
     /// Analytic lower bound for moving `bytes` over an otherwise idle
