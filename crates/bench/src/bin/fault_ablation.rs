@@ -12,7 +12,7 @@
 //! Each run is bit-for-bit reproducible from the schedule seed.
 
 use bench_tables::{Reproduction, Row};
-use cpe::{Gs, MpvmTarget, Policy};
+use cpe::{owner_reclaim, Gs, MpvmTarget};
 use mpvm::{proto, Mpvm};
 use opt_app::config::OptConfig;
 use opt_app::data::TrainingSet;
@@ -144,7 +144,7 @@ fn run(faults: FaultSchedule) -> Obs {
 
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let trace = cluster.sim.take_trace();

@@ -1,0 +1,144 @@
+//! Run the scheduling-policy ablation and merge its section into
+//! `BENCH_SIM.json`.
+//!
+//! Usage: `policy_ablation [--smoke] [--out PATH]`
+//!
+//! Every [`POLICIES`] entry is driven through the migration storm and the
+//! day-in-the-life scenario (twice each, metrics on, so each cell carries
+//! its own replay-identity verdict). The `"policy_ablation"` section is
+//! spliced into the existing `BENCH_SIM.json` — the other sections are
+//! simbench's and are left untouched — and the CI gates are asserted
+//! in-process:
+//!
+//! * all five policies complete the storm with zero failed migrations
+//!   left unretried;
+//! * the decentralized mode's final load imbalance stays within 1.5× of
+//!   the central rebalance policy's;
+//! * every cell replays byte-identically.
+
+use bench_tables::simbench::{measure_policy_ablation, render_policy_ablation, POLICIES};
+
+/// Remove an existing `"policy_ablation"` member (key, brace-matched
+/// object, and one neighbouring comma) from a `BENCH_SIM.json` document.
+fn strip_section(doc: &str) -> String {
+    let Some(key) = doc.find("\"policy_ablation\"") else {
+        return doc.to_string();
+    };
+    let open = key + doc[key..].find('{').expect("section must open a brace");
+    let mut depth = 0i32;
+    let mut close = 0;
+    for (i, ch) in doc[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(close > open, "unbalanced policy_ablation section");
+    let (mut start, mut end) = (key, close);
+    if doc[..key].trim_end().ends_with(',') {
+        start = doc[..key].rfind(',').unwrap();
+    } else if let Some(i) = doc[close..].find(',') {
+        if doc[close..close + i].trim().is_empty() {
+            end = close + i + 1;
+        }
+    }
+    format!(
+        "{}{}",
+        doc[..start].trim_end_matches([' ', '\n']),
+        &doc[end..]
+    )
+}
+
+/// Splice `section` in as the last member of the top-level object.
+fn merge_section(doc: &str, section: &str) -> String {
+    let doc = strip_section(doc);
+    let tail = doc.rfind("\n}").expect("BENCH_SIM.json must be an object");
+    format!("{},\n{}{}", &doc[..tail], section, &doc[tail..])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let cells = measure_policy_ablation(smoke);
+
+    println!(
+        "{:<22} {:<16} {:>6} {:>7} {:>10} {:>14} {:>10} {:>9}  replay",
+        "policy", "workload", "moves", "failed", "unretried", "freeze_ns", "imbalance", "end_s"
+    );
+    for c in &cells {
+        println!(
+            "{:<22} {:<16} {:>6} {:>7} {:>10} {:>14} {:>10.4} {:>9.2}  {}",
+            c.policy,
+            c.workload,
+            c.migrations,
+            c.failed,
+            c.failed_unretried,
+            c.freeze_ns_total,
+            c.imbalance,
+            c.end_secs,
+            if c.replay_identical { "ok" } else { "DIVERGED" }
+        );
+    }
+
+    // The CI gates, asserted here so the job fails without parsing JSON.
+    for c in &cells {
+        assert!(
+            c.replay_identical,
+            "{} on {} did not replay byte-identically",
+            c.policy, c.workload
+        );
+    }
+    for p in POLICIES {
+        let c = cells
+            .iter()
+            .find(|c| c.workload == "storm" && c.policy == *p)
+            .expect("every policy runs the storm");
+        assert!(c.end_secs > 0.0, "{p}: storm did not complete");
+        assert_eq!(
+            c.failed_unretried, 0,
+            "{p}: failed migrations left unretried in the storm"
+        );
+    }
+    let storm_imbalance = |p: &str| {
+        cells
+            .iter()
+            .find(|c| c.workload == "storm" && c.policy == p)
+            .unwrap()
+            .imbalance
+    };
+    let gossip = storm_imbalance("decentralized_gossip");
+    let central = storm_imbalance("rebalance");
+    assert!(
+        gossip <= 1.5 * central,
+        "decentralized imbalance {gossip:.4} exceeds 1.5 x rebalance {central:.4}"
+    );
+    println!(
+        "gates: unretried=0 for all policies; decentralized imbalance {:.4} <= 1.5 x rebalance {:.4}; all replays identical",
+        gossip, central
+    );
+
+    let section = render_policy_ablation(&cells, smoke);
+    let doc = match std::fs::read_to_string(&out) {
+        Ok(doc) => merge_section(&doc, &section),
+        // No simbench document yet: write a minimal valid one.
+        Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
+    };
+    std::fs::write(&out, &doc).expect("write BENCH_SIM.json");
+    println!("wrote {out}");
+}

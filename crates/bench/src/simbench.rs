@@ -69,6 +69,8 @@ pub struct DayConfig {
     /// throughput measurements (the disabled path is a single relaxed
     /// atomic load); on for the replay-determinism check.
     pub metrics: bool,
+    /// Scheduling policy driving the GS (a [`POLICIES`] name).
+    pub policy: &'static str,
 }
 
 impl DayConfig {
@@ -82,6 +84,7 @@ impl DayConfig {
             nslaves: 4,
             shared,
             metrics: false,
+            policy: "owner_reclaim",
         }
     }
 
@@ -95,6 +98,7 @@ impl DayConfig {
             nslaves: 4,
             shared,
             metrics: false,
+            policy: "owner_reclaim",
         }
     }
 }
@@ -115,6 +119,10 @@ pub struct DayRun {
     pub converged: bool,
     /// Metrics snapshot, when [`DayConfig::metrics`] was set.
     pub metrics: Option<simcore::MetricsReport>,
+    /// The raw GS decision log (the ablation classifies outcomes).
+    pub gs_decisions: Vec<cpe::Decision>,
+    /// Per-host busy time in nanoseconds over the whole run.
+    pub busy_ns: Vec<u64>,
 }
 
 /// Run the paper's §1.0 motivating scenario: a long Opt training job under
@@ -182,7 +190,7 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
 
     let gs = cpe::Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(cpe::Policy::OwnerReclaim)
+        .policy(make_policy(cfg.policy))
         .spawn();
 
     // The simulation runs on past the job's completion (pre-installed
@@ -200,6 +208,11 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
     let metrics = cfg
         .metrics
         .then(|| cluster.metrics_report(sim_end.since(simcore::SimTime::ZERO)));
+    let busy_ns = cluster
+        .hosts()
+        .iter()
+        .map(|h| h.busy_time().as_nanos())
+        .collect();
     DayRun {
         job_end_secs: end,
         decisions,
@@ -208,6 +221,8 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
         sim_end_secs: sim_end.as_secs_f64(),
         converged: r.final_loss() < r.losses[0],
         metrics,
+        gs_decisions: gs.decisions(),
+        busy_ns,
     }
 }
 
@@ -791,5 +806,287 @@ pub fn render_report(
         o.push_str("\n    }\n  }");
     }
     o.push_str("\n}\n");
+    o
+}
+
+// ---------------------------------------------------------------------------
+// Policy ablation
+// ---------------------------------------------------------------------------
+
+/// The five scheduling policies the ablation compares.
+pub const POLICIES: &[&str] = &[
+    "owner_reclaim",
+    "load_threshold",
+    "rebalance",
+    "destination_swap",
+    "decentralized_gossip",
+];
+
+/// Construct a boxed policy by its [`POLICIES`] name, with the ablation's
+/// standard parameters: load threshold 1.5, 30 s central sweep periods,
+/// 5 s gossip rounds.
+pub fn make_policy(name: &str) -> Box<dyn cpe::SchedulingPolicy> {
+    let secs = simcore::SimDuration::from_secs;
+    match name {
+        "owner_reclaim" => cpe::owner_reclaim(),
+        "load_threshold" => cpe::load_threshold(1.5),
+        "rebalance" => cpe::rebalance(secs(30)),
+        "destination_swap" => cpe::destination_swap(secs(30)),
+        "decentralized_gossip" => cpe::decentralized_gossip(secs(5)),
+        other => panic!("unknown scheduling policy {other:?}"),
+    }
+}
+
+/// One (policy × workload) cell of the ablation.
+#[derive(Debug, Clone)]
+pub struct PolicyCell {
+    /// Policy name (a [`POLICIES`] entry).
+    pub policy: &'static str,
+    /// `"storm"` or `"day_in_the_life"`.
+    pub workload: &'static str,
+    /// Completed migration orders.
+    pub migrations: u64,
+    /// Failed migration orders (including ones later retried).
+    pub failed: u64,
+    /// Units whose *last* decision failed for a reason other than the
+    /// unit having already exited — work the policy stranded.
+    pub failed_unretried: u64,
+    /// Total virtual nanoseconds units spent frozen
+    /// (`mpvm.freeze_ns` + `upvm.freeze_ns` histogram sums).
+    pub freeze_ns_total: u64,
+    /// Final load imbalance: coefficient of variation of per-host busy
+    /// time, floored at 0.05 (see [`load_imbalance`]).
+    pub imbalance: f64,
+    /// Virtual seconds the run covered.
+    pub end_secs: f64,
+    /// Simulator heap entries processed.
+    pub events: u64,
+    /// Whether two same-seed metrics-on runs produced byte-identical
+    /// metrics JSON *and* identical decision-log ordering.
+    pub replay_identical: bool,
+}
+
+/// Classify a decision log into (completed, failed, failed-unretried).
+fn decision_stats(decisions: &[cpe::Decision]) -> (u64, u64, u64) {
+    use std::collections::HashMap;
+    let mut migrations = 0u64;
+    let mut failed = 0u64;
+    let mut last: HashMap<Tid, &cpe::Decision> = HashMap::new();
+    for d in decisions {
+        match &d.outcome {
+            pvm_rt::MigrationOutcome::Completed { .. } => migrations += 1,
+            pvm_rt::MigrationOutcome::Failed { .. } => failed += 1,
+        }
+        last.insert(d.unit, d);
+    }
+    let failed_unretried = last
+        .values()
+        .filter(|d| match &d.outcome {
+            pvm_rt::MigrationOutcome::Completed { .. } => false,
+            // A unit that exited before the order landed is gone, not
+            // stranded: there was nothing left to retry.
+            pvm_rt::MigrationOutcome::Failed {
+                error: pvm_rt::PvmError::NoSuchTask(t),
+            } if *t == d.unit => false,
+            pvm_rt::MigrationOutcome::Failed { .. } => true,
+        })
+        .count() as u64;
+    (migrations, failed, failed_unretried)
+}
+
+/// Final load imbalance of a run: the coefficient of variation (stddev /
+/// mean) of per-host busy time, floored at 0.05 so near-perfectly-balanced
+/// runs cannot divide an ablation gate by ~0.
+pub fn load_imbalance(busy_ns: &[u64]) -> f64 {
+    let n = busy_ns.len() as f64;
+    if n < 1.0 {
+        return 0.05;
+    }
+    let mean = busy_ns.iter().map(|&b| b as f64).sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.05;
+    }
+    let var = busy_ns
+        .iter()
+        .map(|&b| (b as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    (var.sqrt() / mean).max(0.05)
+}
+
+/// Total frozen virtual time across both migration systems.
+fn freeze_total_ns(report: &simcore::MetricsReport) -> u64 {
+    ["mpvm.freeze_ns", "upvm.freeze_ns"]
+        .iter()
+        .filter_map(|k| report.histograms.get(*k))
+        .map(|h| h.sum_ns())
+        .sum()
+}
+
+/// The observables one ablation run produces.
+struct PolicyRun {
+    decisions: Vec<cpe::Decision>,
+    report: simcore::MetricsReport,
+    busy_ns: Vec<u64>,
+    end_secs: f64,
+    events: u64,
+}
+
+/// One policy-storm run: 12 sliced MPVM workers skewed onto hosts 0 and 1
+/// of an 8-host cluster. Host 0's owner sits down at t = 12 s and stays — a
+/// permanent evacuation trigger, late enough that the gossip daemons have
+/// completed their first staggered rounds — and host 1 carries an external
+/// load plateau announced in several steps, so every policy faces both an
+/// evacuation and a standing imbalance. Metrics are on (the ablation
+/// compares freeze time and checks replays).
+fn policy_storm_run(policy: &'static str, smoke: bool) -> PolicyRun {
+    let slices = if smoke { 400 } else { 1200 };
+    let t = |s: u64| simcore::SimTime(s * 1_000_000_000);
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    for h in 0..8usize {
+        let mut spec = HostSpec::hp720(format!("st{h}"));
+        if h == 0 {
+            spec = spec.with_owner(OwnerTrace::events(vec![(t(12), true)]));
+        } else if h == 1 {
+            spec = spec.with_load(LoadTrace::steps(vec![
+                (t(4), 2.5),
+                (t(30), 2.1),
+                (t(55), 2.4),
+                (t(80), 0.0),
+            ]));
+        }
+        b.host(spec);
+    }
+    let cluster = Arc::new(b.with_metrics().build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    for i in 0..12usize {
+        mpvm.spawn_app(HostId(i % 2), format!("storm{i}"), move |task| {
+            task.set_state_bytes(300_000);
+            for _ in 0..slices {
+                task.compute(4.5e6);
+            }
+        });
+    }
+    mpvm.seal();
+    let gs = cpe::Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(make_policy(policy))
+        .spawn();
+    let end = cluster.sim.run().expect("policy storm failed");
+    let report = cluster.metrics_report(end.since(simcore::SimTime::ZERO));
+    let busy_ns = cluster
+        .hosts()
+        .iter()
+        .map(|h| h.busy_time().as_nanos())
+        .collect();
+    PolicyRun {
+        decisions: gs.decisions(),
+        report,
+        busy_ns,
+        end_secs: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
+    }
+}
+
+/// One day-in-the-life run under the named policy, metrics on. The smoke
+/// variant stretches the job exactly like [`run_metrics_check`] so owner
+/// sessions actually overlap the job.
+fn policy_day_run(policy: &'static str, smoke: bool) -> PolicyRun {
+    let mut cfg = if smoke {
+        let mut c = DayConfig::smoke(true, 1994);
+        c.iters = 120;
+        c
+    } else {
+        DayConfig::full(true, 1994)
+    };
+    cfg.metrics = true;
+    cfg.policy = policy;
+    let r = day_in_the_life(&cfg);
+    PolicyRun {
+        decisions: r.gs_decisions,
+        report: r.metrics.expect("metrics enabled"),
+        busy_ns: r.busy_ns,
+        end_secs: r.sim_end_secs,
+        events: r.events,
+    }
+}
+
+/// Render a decision log as deterministic JSON lines for replay comparison.
+fn decisions_json(decisions: &[cpe::Decision]) -> Vec<String> {
+    decisions.iter().map(|d| d.to_json()).collect()
+}
+
+/// Run the policy ablation: each of [`POLICIES`] through the migration
+/// storm and the day-in-the-life scenario, twice each with metrics on, so
+/// every cell carries its own replay-identity verdict.
+pub fn measure_policy_ablation(smoke: bool) -> Vec<PolicyCell> {
+    let mut cells = Vec::new();
+    for &policy in POLICIES {
+        for (workload, run) in [
+            (
+                "storm",
+                policy_storm_run as fn(&'static str, bool) -> PolicyRun,
+            ),
+            ("day_in_the_life", policy_day_run),
+        ] {
+            let a = run(policy, smoke);
+            let b = run(policy, smoke);
+            let replay_identical = a.report.to_json() == b.report.to_json()
+                && decisions_json(&a.decisions) == decisions_json(&b.decisions);
+            let (migrations, failed, failed_unretried) = decision_stats(&a.decisions);
+            cells.push(PolicyCell {
+                policy,
+                workload,
+                migrations,
+                failed,
+                failed_unretried,
+                freeze_ns_total: freeze_total_ns(&a.report),
+                imbalance: load_imbalance(&a.busy_ns),
+                end_secs: a.end_secs,
+                events: a.events,
+                replay_identical,
+            });
+        }
+    }
+    cells
+}
+
+/// Render the `"policy_ablation"` member of `BENCH_SIM.json` (the key and
+/// its object, indented two spaces, no trailing comma). The
+/// `policy_ablation` binary splices this into the existing document.
+pub fn render_policy_ablation(cells: &[PolicyCell], smoke: bool) -> String {
+    let mut o = String::new();
+    o.push_str("  \"policy_ablation\": {\n");
+    o.push_str(&format!(
+        "    \"mode\": {},\n",
+        json::quote(if smoke { "smoke" } else { "full" })
+    ));
+    for (wi, workload) in ["storm", "day_in_the_life"].iter().enumerate() {
+        if wi > 0 {
+            o.push_str(",\n");
+        }
+        o.push_str(&format!("    {}: {{", json::quote(workload)));
+        let mut first = true;
+        for c in cells.iter().filter(|c| c.workload == *workload) {
+            if !first {
+                o.push(',');
+            }
+            first = false;
+            o.push_str(&format!(
+                "\n      {}: {{\"migrations\": {}, \"failed\": {}, \"failed_unretried\": {}, \"freeze_ns_total\": {}, \"imbalance\": {:.4}, \"end_secs\": {:.2}, \"events\": {}, \"replay_identical\": {}}}",
+                json::quote(c.policy),
+                c.migrations,
+                c.failed,
+                c.failed_unretried,
+                c.freeze_ns_total,
+                c.imbalance,
+                c.end_secs,
+                c.events,
+                c.replay_identical,
+            ));
+        }
+        o.push_str("\n    }");
+    }
+    o.push_str("\n  }");
     o
 }

@@ -3,43 +3,32 @@
 //! "All of our systems assume the presence of a network-wide 'global'
 //! scheduler that embodies decision-making policies for sensibly
 //! scheduling multiple parallel jobs" and initiates migrations by
-//! signalling the daemons (§2.0). The GS here consumes monitor events,
-//! applies a policy, picks destinations, and issues migration commands to
-//! whichever system adapter it drives.
+//! signalling the daemons (§2.0). The GS here is pure mechanism: it
+//! consumes monitor events, dispatches them to a pluggable
+//! [`SchedulingPolicy`], executes the returned [`Placement`]s, and keeps
+//! the retry/blacklist and decision-log bookkeeping.
 //!
 //! Construct one with [`Gs::builder`]: register one or more
-//! [`MigrationTarget`]s, pick a [`Policy`], and `spawn()`. The returned
-//! [`Gs`] handle exposes the [decision log](Gs::decisions) and the
+//! [`MigrationTarget`]s, pick a policy (a `Box<dyn SchedulingPolicy>`
+//! from constructors like [`crate::owner_reclaim`] or
+//! [`crate::rebalance`]), and `spawn()`. The returned [`Gs`] handle
+//! exposes the [decision log](Gs::decisions) and the
 //! [metrics registry](Gs::metrics) the scheduler records into.
+//!
+//! A policy whose [`SchedulingPolicy::decentralized`] hook returns a
+//! config ([`crate::decentralized_gossip`]) spawns per-host local
+//! schedulers instead of the central loop.
 
 use crate::monitor::{Monitor, MonitorEvent, MonitorHandle};
+use crate::policy::{
+    owner_reclaim, ClusterView, Placement, SchedulingPolicy, ViewState, MAX_REDECISIONS,
+};
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
-use simcore::{sim_trace, Mailbox, Metrics, SimCtx, SimDuration};
+use simcore::{sim_trace, Mailbox, Metrics, SimCtx};
 use std::collections::HashSet;
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
-
-/// Scheduling policy.
-#[derive(Debug, Clone)]
-pub enum Policy {
-    /// Vacate a host the moment its owner becomes active; return nothing
-    /// automatically when the owner leaves.
-    OwnerReclaim,
-    /// Additionally move work off hosts whose external load exceeds the
-    /// threshold.
-    LoadThreshold {
-        /// External load above which a host is evacuated one unit at a time.
-        threshold: f64,
-    },
-    /// Owner reclamation plus a periodic rebalance sweep: every `period`
-    /// the GS moves one unit from the most-loaded to the least-loaded host
-    /// when their effective loads differ by more than 1 unit.
-    Rebalance {
-        /// Sampling period.
-        period: SimDuration,
-    },
-}
 
 /// A record of one decision, for tests and reports.
 #[derive(Debug, Clone)]
@@ -85,23 +74,16 @@ impl Decision {
 
 /// The running GS handle.
 pub struct Gs {
-    decisions: Arc<Mutex<Vec<Decision>>>,
-    metrics: Metrics,
-    monitor: MonitorHandle,
+    pub(crate) decisions: Arc<Mutex<Vec<Decision>>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) monitor: MonitorHandle,
 }
-
-/// Time the GS spends per placement decision.
-const DECISION_COST: SimDuration = SimDuration::from_millis(2);
-
-/// How many destinations the GS tries per unit before declaring it stuck.
-/// A failed destination is blacklisted for the unit's remaining attempts.
-const MAX_REDECISIONS: usize = 3;
 
 /// Configures a global scheduler before it spawns; see [`Gs::builder`].
 pub struct GsBuilder<'a> {
     cluster: &'a Arc<Cluster>,
     targets: Vec<Arc<dyn MigrationTarget>>,
-    policy: Policy,
+    policy: Box<dyn SchedulingPolicy>,
 }
 
 impl GsBuilder<'_> {
@@ -114,13 +96,15 @@ impl GsBuilder<'_> {
         self
     }
 
-    /// Set the scheduling policy (default: [`Policy::OwnerReclaim`]).
-    pub fn policy(mut self, policy: Policy) -> Self {
+    /// Set the scheduling policy (default: [`crate::owner_reclaim`]).
+    pub fn policy(mut self, policy: Box<dyn SchedulingPolicy>) -> Self {
         self.policy = policy;
         self
     }
 
-    /// Install the monitor and spawn the GS actor.
+    /// Install the monitor and spawn the scheduler — the central GS
+    /// actor, or one local scheduler per host when the policy is
+    /// [decentralized](SchedulingPolicy::decentralized).
     ///
     /// # Panics
     ///
@@ -130,16 +114,19 @@ impl GsBuilder<'_> {
         let GsBuilder {
             cluster,
             targets,
-            policy,
+            mut policy,
         } = self;
         assert!(
             !targets.is_empty(),
             "GsBuilder::spawn: register at least one migration target"
         );
+        if let Some(cfg) = policy.decentralized() {
+            return crate::local::spawn_decentralized(cluster, targets, cfg);
+        }
         let mb: Mailbox<MonitorEvent> = Mailbox::new();
         let mut monitor = Monitor::builder(cluster);
-        if let Policy::Rebalance { period } = &policy {
-            monitor = monitor.ticks(*period);
+        if let Some(period) = policy.tick_period() {
+            monitor = monitor.ticks(period);
         }
         let monitor = monitor.install(&mb);
         let decisions = Arc::new(Mutex::new(Vec::new()));
@@ -165,38 +152,27 @@ impl GsBuilder<'_> {
                 match &ev {
                     MonitorEvent::OwnerActive(h) => {
                         owner_active.insert(*h);
-                        evacuate_all(
-                            &ctx,
-                            &cluster2,
-                            &targets,
-                            *h,
-                            &owner_active,
-                            &ev,
-                            &dec,
-                            None,
-                        );
                     }
                     MonitorEvent::OwnerAway(h) => {
                         owner_active.remove(h);
                     }
-                    MonitorEvent::LoadChanged(h, load) => {
-                        if let Policy::LoadThreshold { threshold } = &policy {
-                            if load.0 > *threshold {
-                                evacuate_all(
-                                    &ctx,
-                                    &cluster2,
-                                    &targets,
-                                    *h,
-                                    &owner_active,
-                                    &ev,
-                                    &dec,
-                                    Some(1),
-                                );
-                            }
-                        }
+                    _ => {}
+                }
+                // One ViewState spans the whole event: it carries which
+                // units landed (or got stuck) and the per-unit blacklist
+                // across successive decide calls. Each call gets a fresh
+                // view, so destination scores reflect migrations that
+                // already happened this event.
+                let state = ViewState::new();
+                loop {
+                    let view = ClusterView::new(&ctx, &cluster2, &targets, &owner_active, &state);
+                    let placements = policy.decide(&view, &ev);
+                    drop(view);
+                    if placements.is_empty() {
+                        break;
                     }
-                    MonitorEvent::Tick => {
-                        rebalance_once(&ctx, &cluster2, &targets, &owner_active, &ev, &dec);
+                    for p in placements {
+                        execute(&ctx, &targets, &state, &ev, &dec, p);
                     }
                 }
             }
@@ -215,7 +191,7 @@ impl Gs {
         GsBuilder {
             cluster,
             targets: Vec::new(),
-            policy: Policy::OwnerReclaim,
+            policy: owner_reclaim(),
         }
     }
 
@@ -235,228 +211,95 @@ impl Gs {
     }
 }
 
-/// Units resident on a host across *all* managed applications.
-fn units_everywhere(targets: &[Arc<dyn MigrationTarget>], host: HostId) -> usize {
-    targets.iter().map(|t| t.units_on(host).len()).sum()
-}
-
-/// Pick a destination for one unit: the eligible host with the lowest
-/// effective load — external competing processes plus resident parallel
-/// work units across every managed job. Crashed hosts and hosts that
-/// already failed this unit's migration (`blacklist`) are ineligible.
-/// Ties break toward the lower host id.
-#[allow(clippy::too_many_arguments)]
-fn pick_destination(
-    cluster: &Arc<Cluster>,
-    targets: &[Arc<dyn MigrationTarget>],
-    target: &dyn MigrationTarget,
-    unit: pvm_rt::Tid,
-    src: HostId,
-    owner_active: &HashSet<HostId>,
-    blacklist: &HashSet<HostId>,
-    now: simcore::SimTime,
-    metrics: &Metrics,
-) -> Option<HostId> {
-    let mut best: Option<(f64, HostId)> = None;
-    for host in cluster.hosts() {
-        let h = host.id;
-        if blacklist.contains(&h) {
-            metrics.counter_add("gs.blacklist.hits", 1);
-            continue;
-        }
-        if h == src || owner_active.contains(&h) || !host.is_up() || !target.can_migrate(unit, h) {
-            continue;
-        }
-        let units = units_everywhere(targets, h);
-        // Effective load plus swap pressure: an overcommitted host slows
-        // every VP on it (§1.0), so weigh it accordingly.
-        let score = host.spec.load.load_at(now) + units as f64 + host.memory_overcommit() * 2.0;
-        let better = match &best {
-            None => true,
-            Some((bs, bh)) => score < *bs || (score == *bs && h.0 < bh.0),
-        };
-        if better {
-            best = Some((score, h));
-        }
-    }
-    best.map(|(_, h)| h)
-}
-
-/// Evacuate a host across every managed application. Migrations are
-/// synchronous — each unit physically lands (or fails) before the next
-/// decision is made, so `units_on` is always current.
-#[allow(clippy::too_many_arguments)]
-fn evacuate_all(
+/// Execute one placement: drive the migration, record the decision, and
+/// feed the verdict back into the per-event state. Tracked placements
+/// that fail get their destination blacklisted and count toward the
+/// unit's [`MAX_REDECISIONS`] budget — the next `decide` call re-places
+/// them; untracked ones are done either way.
+fn execute(
     ctx: &SimCtx,
-    cluster: &Arc<Cluster>,
     targets: &[Arc<dyn MigrationTarget>],
-    src: HostId,
-    owner_active: &HashSet<HostId>,
+    state: &ViewState,
     event: &MonitorEvent,
     decisions: &Arc<Mutex<Vec<Decision>>>,
-    limit: Option<usize>,
+    p: Placement,
 ) {
-    for t in targets {
-        evacuate(
+    let metrics = ctx.metrics();
+    let target = &targets[p.target];
+    let t0 = state.take_charge_started();
+    if p.tracked {
+        sim_trace!(
             ctx,
-            cluster,
-            targets,
-            &**t,
-            src,
-            owner_active,
-            event,
-            decisions,
-            limit,
+            "gs.migrate",
+            "{} {} {} -> {}",
+            target.kind(),
+            p.unit,
+            p.src,
+            p.dst
+        );
+    } else {
+        // An untracked placement is opportunistic: record the verdict but
+        // don't retry — the next tick re-evaluates from scratch.
+        sim_trace!(
+            ctx,
+            "gs.rebalance",
+            "{} {} {} -> {}",
+            target.kind(),
+            p.unit,
+            p.src,
+            p.dst
         );
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn evacuate(
-    ctx: &SimCtx,
-    cluster: &Arc<Cluster>,
-    targets: &[Arc<dyn MigrationTarget>],
-    target: &dyn MigrationTarget,
-    src: HostId,
-    owner_active: &HashSet<HostId>,
-    event: &MonitorEvent,
-    decisions: &Arc<Mutex<Vec<Decision>>>,
-    limit: Option<usize>,
-) {
-    let metrics = ctx.metrics();
-    let units = target.units_on(src);
-    let n = limit.unwrap_or(units.len());
-    'units: for unit in units.into_iter().take(n) {
-        // Failure feedback loop: a destination that fails this unit's
-        // migration is blacklisted and the GS re-decides, up to
-        // MAX_REDECISIONS attempts.
-        let mut blacklist: HashSet<HostId> = HashSet::new();
-        for attempt in 0..MAX_REDECISIONS {
-            if attempt > 0 {
-                metrics.counter_add("gs.redecisions", 1);
-            }
-            let decision_started = ctx.metrics_enabled().then(|| ctx.now());
-            ctx.advance(DECISION_COST);
-            let Some(dst) = pick_destination(
-                cluster,
-                targets,
-                target,
-                unit,
-                src,
-                owner_active,
-                &blacklist,
-                ctx.now(),
-                &metrics,
-            ) else {
-                break;
-            };
-            sim_trace!(ctx, "gs.migrate", "{} {unit} {src} -> {dst}", target.kind());
-            let outcome = target.migrate(ctx, unit, dst);
-            if let Some(t0) = decision_started {
-                // Decision latency: placement cost plus the migration
-                // system's own answer time.
-                metrics.histogram_record("gs.decision_ns", ctx.now().since(t0));
-            }
-            let completed = outcome.is_completed();
-            let unit_gone = matches!(
-                outcome.error(),
-                Some(pvm_rt::PvmError::NoSuchTask(t)) if *t == unit
-            );
-            if let Some(err) = outcome.error() {
-                sim_trace!(
-                    ctx,
-                    "gs.migrate.failed",
-                    "{} {unit} {src} -> {dst}: {err}",
-                    target.kind()
-                );
-            }
-            decisions.lock().push(Decision {
-                at: ctx.now(),
-                event: event.clone(),
-                unit,
-                dst,
-                outcome,
-            });
-            if completed {
-                continue 'units;
-            }
-            if unit_gone {
-                // The unit exited between the monitor event and the order;
-                // nothing left to place.
-                continue 'units;
-            }
-            blacklist.insert(dst);
-        }
-        sim_trace!(ctx, "gs.stuck", "{unit} on {src}: no eligible destination");
-    }
-}
-
-/// One rebalance sweep: if the most-loaded eligible host exceeds the
-/// least-loaded by more than one unit of effective load, move one unit.
-fn rebalance_once(
-    ctx: &SimCtx,
-    cluster: &Arc<Cluster>,
-    targets: &[Arc<dyn MigrationTarget>],
-    owner_active: &HashSet<HostId>,
-    event: &MonitorEvent,
-    decisions: &Arc<Mutex<Vec<Decision>>>,
-) {
-    let metrics = ctx.metrics();
-    ctx.advance(DECISION_COST);
-    let now = ctx.now();
-    let score =
-        |h: HostId| cluster.host(h).spec.load.load_at(now) + units_everywhere(targets, h) as f64;
-    let mut hottest: Option<(f64, HostId)> = None;
-    for host in cluster.hosts() {
-        let h = host.id;
-        if units_everywhere(targets, h) == 0 {
-            continue; // nothing to move from here
-        }
-        let s = score(h);
-        if hottest.is_none_or(|(bs, _)| s > bs) {
-            hottest = Some((s, h));
+    let outcome = target.migrate(ctx, p.unit, p.dst);
+    if p.tracked {
+        if let Some(t0) = t0 {
+            // Decision latency: placement cost plus the migration
+            // system's own answer time.
+            metrics.histogram_record("gs.decision_ns", ctx.now().since(t0));
         }
     }
-    let Some((hot_score, hot)) = hottest else {
+    let completed = outcome.is_completed();
+    let unit_gone = matches!(
+        outcome.error(),
+        Some(pvm_rt::PvmError::NoSuchTask(t)) if *t == p.unit
+    );
+    if let Some(err) = outcome.error() {
+        sim_trace!(
+            ctx,
+            "gs.migrate.failed",
+            "{} {} {} -> {}: {err}",
+            target.kind(),
+            p.unit,
+            p.src,
+            p.dst
+        );
+    }
+    decisions.lock().push(Decision {
+        at: ctx.now(),
+        event: event.clone(),
+        unit: p.unit,
+        dst: p.dst,
+        outcome,
+    });
+    if completed || unit_gone || !p.tracked {
+        // Landed, exited between the monitor event and the order, or
+        // opportunistic: either way, no further placements this event.
+        state.mark_handled(p.target, p.unit);
         return;
-    };
-    // Find the unit + target that can actually move.
-    for t in targets {
-        if let Some(&unit) = t.units_on(hot).first() {
-            if let Some(dst) = pick_destination(
-                cluster,
-                targets,
-                &**t,
-                unit,
-                hot,
-                owner_active,
-                &Default::default(),
-                now,
-                &metrics,
-            ) {
-                if hot_score - score(dst) > 1.0 {
-                    sim_trace!(ctx, "gs.rebalance", "{} {unit} {hot} -> {dst}", t.kind());
-                    // A rebalance is opportunistic: record the verdict but
-                    // don't retry — the next tick re-evaluates from scratch.
-                    let outcome = t.migrate(ctx, unit, dst);
-                    if let Some(err) = outcome.error() {
-                        sim_trace!(
-                            ctx,
-                            "gs.migrate.failed",
-                            "{} {unit} {hot} -> {dst}: {err}",
-                            t.kind()
-                        );
-                    }
-                    decisions.lock().push(Decision {
-                        at: ctx.now(),
-                        event: event.clone(),
-                        unit,
-                        dst,
-                        outcome,
-                    });
-                }
-                return;
-            }
-        }
+    }
+    // Failure feedback loop: blacklist the destination and let the policy
+    // re-decide, up to MAX_REDECISIONS attempts per unit.
+    state.blacklist(p.unit, p.dst);
+    if state.bump_attempts(p.unit) >= MAX_REDECISIONS {
+        sim_trace!(
+            ctx,
+            "gs.stuck",
+            "{} on {}: no eligible destination",
+            p.unit,
+            p.src
+        );
+        state.mark_handled(p.target, p.unit);
+    } else {
+        metrics.counter_add("gs.redecisions", 1);
     }
 }

@@ -2,17 +2,26 @@
 //!
 //! The decision-making layer above the three migration systems (§2.0):
 //! a worknet monitor turns owner-activity and load traces into events, and
-//! the GS applies a policy (owner reclamation, load thresholds) to decide
-//! which work unit moves where — then drives MPVM (process migration),
-//! UPVM (ULP migration), or an ADM application (data withdrawal) through a
-//! common adapter interface.
+//! a pluggable [`SchedulingPolicy`] decides which work unit moves where —
+//! then the GS drives MPVM (process migration), UPVM (ULP migration), or
+//! an ADM application (data withdrawal) through a common adapter
+//! interface. Five policies ship in-tree ([`owner_reclaim`],
+//! [`load_threshold`], [`rebalance`], [`destination_swap`],
+//! [`decentralized_gossip`]); new ones implement the trait without
+//! touching scheduler internals.
 
 #![warn(missing_docs)]
 
 mod gs;
+mod local;
 mod monitor;
+mod policy;
 mod target;
 
-pub use gs::{Decision, Gs, GsBuilder, Policy};
+pub use gs::{Decision, Gs, GsBuilder};
 pub use monitor::{Load, Monitor, MonitorBuilder, MonitorEvent, MonitorHandle, SENSE_DELAY};
+pub use policy::{
+    decentralized_gossip, destination_swap, load_threshold, owner_reclaim, rebalance, ClusterView,
+    GossipConfig, Placement, SchedulingPolicy, ViewState, DECISION_COST, MAX_REDECISIONS,
+};
 pub use target::{AdmTarget, MigrationTarget, MpvmTarget, UpvmTarget};

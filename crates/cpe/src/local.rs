@@ -1,0 +1,336 @@
+//! Decentralized scheduling: one local-scheduler actor per host, no
+//! central GS in the decision loop.
+//!
+//! MOSIX-style load balancing replaces the network-wide scheduler with
+//! per-host daemons. Each daemon watches only its own host (the monitor
+//! routes host `h`'s events to daemon `h`), gossips its [`LoadVector`]
+//! to one peer per round — rounds staggered across hosts so the worknet
+//! never sees a gossip burst — merges the vectors it hears (newest
+//! observation wins), and decides locally: evacuate everything when the
+//! owner returns, shed one unit to the best known host when the local
+//! score exceeds the cluster minimum by more than the configured
+//! threshold. Vectors ride the shared Ethernet at daemon efficiency, so
+//! gossip traffic contends with application data like any other message.
+//!
+//! Spawned by [`crate::GsBuilder::spawn`] when the policy's
+//! [`decentralized`](crate::SchedulingPolicy::decentralized) hook
+//! returns a [`GossipConfig`]; the returned [`Gs`] handle is the same —
+//! decisions from every daemon land in one shared log.
+
+use crate::gs::{Decision, Gs};
+use crate::monitor::{Monitor, MonitorEvent};
+use crate::policy::{GossipConfig, DECISION_COST, MAX_REDECISIONS};
+use crate::target::MigrationTarget;
+use parking_lot::Mutex;
+use pvm_rt::Tid;
+use simcore::{sim_trace, Mailbox, SimCtx, SimTime};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use worknet::{Cluster, HostId, LoadVector};
+
+/// Wire up the decentralized mode: per-host monitors, per-host gossip
+/// mailboxes, and one [`LocalScheduler`] actor per host.
+pub(crate) fn spawn_decentralized(
+    cluster: &Arc<Cluster>,
+    targets: Vec<Arc<dyn MigrationTarget>>,
+    cfg: GossipConfig,
+) -> Gs {
+    let n = cluster.hosts().len();
+    let event_mbs: Vec<Mailbox<MonitorEvent>> = (0..n).map(|_| Mailbox::new()).collect();
+    let gossip_mbs: Vec<Mailbox<LoadVector>> = (0..n).map(|_| Mailbox::new()).collect();
+    let monitor = Monitor::builder(cluster).install_per_host(&event_mbs);
+    let decisions: Arc<Mutex<Vec<Decision>>> = Arc::new(Mutex::new(Vec::new()));
+    // Shut down when the last application finishes: close every daemon's
+    // mailboxes so all local schedulers drain out of their round loops.
+    let remaining = Arc::new(AtomicUsize::new(targets.len()));
+    for t in &targets {
+        let event_mbs = event_mbs.clone();
+        let gossip_mbs = gossip_mbs.clone();
+        let remaining = Arc::clone(&remaining);
+        let monitor = monitor.clone();
+        t.on_drain(Box::new(move |ctx| {
+            if remaining.fetch_sub(1, AtomicOrdering::SeqCst) == 1 {
+                monitor.shutdown();
+                for mb in &event_mbs {
+                    mb.close(ctx);
+                }
+                for mb in &gossip_mbs {
+                    mb.close(ctx);
+                }
+            }
+        }));
+    }
+    for h in 0..n {
+        let ls = LocalScheduler {
+            host: HostId(h),
+            cluster: Arc::clone(cluster),
+            targets: targets.clone(),
+            cfg,
+            events: event_mbs[h].clone(),
+            gossip_in: gossip_mbs[h].clone(),
+            peers: gossip_mbs.clone(),
+            decisions: Arc::clone(&decisions),
+        };
+        cluster
+            .sim
+            .spawn(format!("local-scheduler-{h}"), move |ctx| ls.run(&ctx));
+    }
+    Gs {
+        decisions,
+        metrics: cluster.metrics(),
+        monitor,
+    }
+}
+
+/// One host's scheduling daemon.
+struct LocalScheduler {
+    host: HostId,
+    cluster: Arc<Cluster>,
+    targets: Vec<Arc<dyn MigrationTarget>>,
+    cfg: GossipConfig,
+    events: Mailbox<MonitorEvent>,
+    gossip_in: Mailbox<LoadVector>,
+    /// Every host's gossip mailbox, indexed by host id (including ours).
+    peers: Vec<Mailbox<LoadVector>>,
+    decisions: Arc<Mutex<Vec<Decision>>>,
+}
+
+impl LocalScheduler {
+    fn run(&self, ctx: &SimCtx) {
+        let n = self.peers.len();
+        let h = self.host.0;
+        let mut view = LoadVector::new();
+        let mut owner_active = false;
+        // Round-robin gossip partner, starting just past ourselves.
+        let mut next_peer = (h + 1) % n;
+        // Stagger first rounds across hosts so daemons never gossip in
+        // lockstep; afterwards every daemon runs one round per period.
+        let mut next_round =
+            SimTime::ZERO + self.cfg.period + self.cfg.period * (h as u64 + 1) / (n as u64 + 1);
+        loop {
+            let wait = next_round.saturating_since(ctx.now());
+            match self.events.recv_deadline(ctx, wait) {
+                Some(ev) => {
+                    sim_trace!(ctx, "ls.event", "{}: {ev:?}", self.host);
+                    match ev {
+                        MonitorEvent::OwnerActive(_) => {
+                            owner_active = true;
+                            self.evacuate_all(ctx, &mut view);
+                        }
+                        MonitorEvent::OwnerAway(_) => owner_active = false,
+                        // Load changes fold into the next round's score
+                        // refresh; ticks are the central monitor's tool.
+                        MonitorEvent::LoadChanged(..) | MonitorEvent::Tick => {}
+                    }
+                }
+                None => {
+                    if self.events.is_closed() {
+                        break;
+                    }
+                    self.gossip_round(ctx, &mut view, &mut next_peer, owner_active);
+                    next_round += self.cfg.period;
+                }
+            }
+        }
+    }
+
+    /// The local destination score — same formula the central view uses,
+    /// so the two modes rank hosts identically given the same knowledge.
+    fn score(&self, ctx: &SimCtx, h: HostId) -> f64 {
+        let host = self.cluster.host(h);
+        let units: usize = self.targets.iter().map(|t| t.units_on(h).len()).sum();
+        host.spec.load.load_at(ctx.now()) + units as f64 + host.memory_overcommit() * 2.0
+    }
+
+    /// One gossip round: merge everything heard, refresh our own entry,
+    /// ship the vector to the next peer, then decide locally.
+    fn gossip_round(
+        &self,
+        ctx: &SimCtx,
+        view: &mut LoadVector,
+        next_peer: &mut usize,
+        owner_active: bool,
+    ) {
+        let n = self.peers.len();
+        while let Some(v) = self.gossip_in.try_recv() {
+            view.merge(&v);
+        }
+        let my_score = self.score(ctx, self.host);
+        view.update(self.host, my_score, owner_active, ctx.now());
+        ctx.metrics().counter_add("ls.gossip.rounds", 1);
+        if n > 1 {
+            if *next_peer == self.host.0 {
+                *next_peer = (*next_peer + 1) % n;
+            }
+            let peer = self.peers[*next_peer].clone();
+            *next_peer = (*next_peer + 1) % n;
+            let vector = view.clone();
+            let bytes = vector.wire_bytes();
+            self.cluster.ether.send_async(
+                ctx,
+                bytes,
+                self.cluster.calib.daemon_efficiency,
+                Box::new(move |w| peer.send_from_world(w, vector)),
+            );
+        }
+        if owner_active {
+            self.evacuate_all(ctx, view);
+        } else {
+            self.balance_once(ctx, view, my_score);
+        }
+    }
+
+    /// The best destination this daemon knows about: lowest remembered
+    /// score, ties toward the lower host id (BTreeMap order), skipping
+    /// ourselves, owner-active and crashed hosts, blacklisted
+    /// destinations, and hosts the unit cannot land on.
+    fn best_known(
+        &self,
+        view: &LoadVector,
+        target: &dyn MigrationTarget,
+        unit: Tid,
+        blacklist: &HashSet<HostId>,
+    ) -> Option<(f64, HostId)> {
+        let mut best: Option<(f64, HostId)> = None;
+        for (peer, entry) in view.entries() {
+            if peer == self.host
+                || entry.owner_active
+                || blacklist.contains(&peer)
+                || !self.cluster.host(peer).is_up()
+                || !target.can_migrate(unit, peer)
+            {
+                continue;
+            }
+            if best.is_none_or(|(bs, _)| entry.score < bs) {
+                best = Some((entry.score, peer));
+            }
+        }
+        best
+    }
+
+    /// After a unit lands on `dst`, our remembered score for it is one
+    /// unit stale: bump it so the next pick this round doesn't herd
+    /// everything onto the same host.
+    fn note_arrival(&self, ctx: &SimCtx, view: &mut LoadVector, dst: HostId) {
+        let bumped = view.get(dst).map(|e| (e.score + 1.0, e.owner_active));
+        if let Some((score, active)) = bumped {
+            view.update(dst, score, active, ctx.now());
+        }
+    }
+
+    /// Owner reclamation, decided locally: every unit on this host moves
+    /// to the best known destination, with the same per-unit retry and
+    /// blacklist budget the central GS applies.
+    fn evacuate_all(&self, ctx: &SimCtx, view: &mut LoadVector) {
+        let metrics = ctx.metrics();
+        for ti in 0..self.targets.len() {
+            let target = Arc::clone(&self.targets[ti]);
+            'units: for unit in target.units_on(self.host) {
+                let mut blacklist: HashSet<HostId> = HashSet::new();
+                for attempt in 0..MAX_REDECISIONS {
+                    if attempt > 0 {
+                        metrics.counter_add("ls.redecisions", 1);
+                    }
+                    ctx.advance(DECISION_COST);
+                    let Some((_, dst)) = self.best_known(view, &*target, unit, &blacklist) else {
+                        break;
+                    };
+                    sim_trace!(
+                        ctx,
+                        "ls.migrate",
+                        "{} {unit} {} -> {dst}",
+                        target.kind(),
+                        self.host
+                    );
+                    let outcome = target.migrate(ctx, unit, dst);
+                    let completed = outcome.is_completed();
+                    let unit_gone = matches!(
+                        outcome.error(),
+                        Some(pvm_rt::PvmError::NoSuchTask(t)) if *t == unit
+                    );
+                    if let Some(err) = outcome.error() {
+                        sim_trace!(
+                            ctx,
+                            "ls.migrate.failed",
+                            "{} {unit} {} -> {dst}: {err}",
+                            target.kind(),
+                            self.host
+                        );
+                    }
+                    self.decisions.lock().push(Decision {
+                        at: ctx.now(),
+                        event: MonitorEvent::OwnerActive(self.host),
+                        unit,
+                        dst,
+                        outcome,
+                    });
+                    if completed {
+                        self.note_arrival(ctx, view, dst);
+                        continue 'units;
+                    }
+                    if unit_gone {
+                        continue 'units;
+                    }
+                    blacklist.insert(dst);
+                }
+                sim_trace!(
+                    ctx,
+                    "ls.stuck",
+                    "{unit} on {}: no eligible destination",
+                    self.host
+                );
+            }
+        }
+    }
+
+    /// The load-balancing half: when our score exceeds the best known
+    /// host's by more than the threshold, shed one unit to it.
+    /// Opportunistic — a failure is recorded, never retried; the next
+    /// round re-evaluates with fresher gossip.
+    fn balance_once(&self, ctx: &SimCtx, view: &mut LoadVector, my_score: f64) {
+        ctx.advance(DECISION_COST);
+        let none = HashSet::new();
+        for ti in 0..self.targets.len() {
+            let target = Arc::clone(&self.targets[ti]);
+            let Some(&unit) = target.units_on(self.host).first() else {
+                continue;
+            };
+            let Some((best_score, dst)) = self.best_known(view, &*target, unit, &none) else {
+                return;
+            };
+            if my_score - best_score <= self.cfg.threshold {
+                return;
+            }
+            sim_trace!(
+                ctx,
+                "ls.balance",
+                "{} {unit} {} -> {dst}",
+                target.kind(),
+                self.host
+            );
+            let outcome = target.migrate(ctx, unit, dst);
+            if let Some(err) = outcome.error() {
+                sim_trace!(
+                    ctx,
+                    "ls.migrate.failed",
+                    "{} {unit} {} -> {dst}: {err}",
+                    target.kind(),
+                    self.host
+                );
+            }
+            let completed = outcome.is_completed();
+            self.decisions.lock().push(Decision {
+                at: ctx.now(),
+                event: MonitorEvent::Tick,
+                unit,
+                dst,
+                outcome,
+            });
+            if completed {
+                self.note_arrival(ctx, view, dst);
+            }
+            return;
+        }
+    }
+}

@@ -108,6 +108,34 @@ impl MonitorBuilder<'_> {
     /// Install the configured event sources into `out`. Call once, before
     /// the simulation runs.
     pub fn install(self, out: &Mailbox<MonitorEvent>) -> MonitorHandle {
+        let single = out.clone();
+        self.install_routed(move |_| single.clone(), vec![out.clone()])
+    }
+
+    /// Install the configured event sources with per-host routing: host
+    /// `h`'s owner/load transitions (and fault-plane reclaims) go to
+    /// `outs[h]`, and ticks — where configured — go to every mailbox. This
+    /// is the decentralized gossip mode's monitor: each host senses only
+    /// itself.
+    ///
+    /// # Panics
+    ///
+    /// If `outs` does not provide one mailbox per cluster host.
+    pub fn install_per_host(self, outs: &[Mailbox<MonitorEvent>]) -> MonitorHandle {
+        assert_eq!(
+            outs.len(),
+            self.cluster.hosts().len(),
+            "install_per_host: one mailbox per host"
+        );
+        let by_host = outs.to_vec();
+        self.install_routed(move |h: HostId| by_host[h.0].clone(), outs.to_vec())
+    }
+
+    fn install_routed(
+        self,
+        route: impl Fn(HostId) -> Mailbox<MonitorEvent>,
+        tick_outs: Vec<Mailbox<MonitorEvent>>,
+    ) -> MonitorHandle {
         let cluster = self.cluster;
         let metrics = cluster.metrics();
         let stop = Arc::new(AtomicBool::new(false));
@@ -116,7 +144,7 @@ impl MonitorBuilder<'_> {
             for host in cluster.hosts() {
                 let h = host.id;
                 for &(at, active) in host.spec.owner.transitions() {
-                    let out = out.clone();
+                    let out = route(h);
                     let m = m.clone();
                     let ev = if active {
                         MonitorEvent::OwnerActive(h)
@@ -130,7 +158,7 @@ impl MonitorBuilder<'_> {
                     });
                 }
                 for &(at, load) in host.spec.load.change_points() {
-                    let out = out.clone();
+                    let out = route(h);
                     let m = m.clone();
                     let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
                     w.schedule_in(delay, move |w| {
@@ -143,7 +171,7 @@ impl MonitorBuilder<'_> {
             // the monitor, exactly like a trace transition — except they
             // are one-way: the owner never goes away again.
             for (after, h) in cluster.fault().owner_reclaims() {
-                let out = out.clone();
+                let out = route(h);
                 let m = m.clone();
                 w.schedule_in(after + SENSE_DELAY, move |w| {
                     m.counter_add("cpe.monitor.events", 1);
@@ -152,7 +180,7 @@ impl MonitorBuilder<'_> {
             }
         });
         if let Some(period) = self.tick_period {
-            install_tick_chain(cluster, out, period, Arc::clone(&stop));
+            install_tick_chain(cluster, tick_outs, period, Arc::clone(&stop));
         }
         MonitorHandle { stop, metrics }
     }
@@ -186,28 +214,30 @@ impl MonitorHandle {
     }
 }
 
-/// The self-renewing tick event behind [`MonitorBuilder::ticks`].
+/// The self-renewing tick event behind [`MonitorBuilder::ticks`]. One
+/// chain serves every registered mailbox, delivering in index order.
 fn install_tick_chain(
     cluster: &Arc<Cluster>,
-    out: &Mailbox<MonitorEvent>,
+    outs: Vec<Mailbox<MonitorEvent>>,
     period: SimDuration,
     stop: Arc<AtomicBool>,
 ) {
     fn tick(
         w: &mut simcore::World,
-        out: Mailbox<MonitorEvent>,
+        outs: Vec<Mailbox<MonitorEvent>>,
         period: SimDuration,
         stop: Arc<AtomicBool>,
     ) {
         if stop.load(AtomicOrdering::SeqCst) {
             return;
         }
-        out.send_from_world(w, MonitorEvent::Tick);
-        w.schedule_in(period, move |w| tick(w, out, period, stop));
+        for out in &outs {
+            out.send_from_world(w, MonitorEvent::Tick);
+        }
+        w.schedule_in(period, move |w| tick(w, outs, period, stop));
     }
-    let out = out.clone();
     cluster.sim.with_world(move |w| {
-        w.schedule_in(period, move |w| tick(w, out, period, stop));
+        w.schedule_in(period, move |w| tick(w, outs, period, stop));
     });
 }
 

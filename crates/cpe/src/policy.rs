@@ -1,0 +1,618 @@
+//! Pluggable scheduling policies — the open half of the GS redesign.
+//!
+//! [`SchedulingPolicy`] is the object-safe decision interface the global
+//! scheduler drives: the GS turns each monitor event into a sequence of
+//! [`decide`](SchedulingPolicy::decide) calls over a fresh [`ClusterView`],
+//! executes the returned [`Placement`]s synchronously, and keeps asking
+//! until the policy returns nothing. Blacklisting, retry bookkeeping and
+//! the decision log stay in the GS; everything policy-shaped lives behind
+//! the trait, so a new strategy never touches scheduler internals.
+//!
+//! Five policies ship in-tree, each behind a constructor returning a boxed
+//! trait object: [`owner_reclaim`], [`load_threshold`], [`rebalance`],
+//! [`destination_swap`] (Avin et al.'s pairing strategy) and
+//! [`decentralized_gossip`] (a MOSIX-style mode with no central GS in the
+//! decision loop at all — see [`GossipConfig`]).
+
+use crate::monitor::{Load, MonitorEvent};
+use crate::target::MigrationTarget;
+use parking_lot::Mutex;
+use pvm_rt::Tid;
+use simcore::{sim_trace, SimCtx, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+use worknet::{Cluster, HostId};
+
+/// Time the GS spends per placement decision.
+pub const DECISION_COST: SimDuration = SimDuration::from_millis(2);
+
+/// How many destinations are tried per unit before it is declared stuck.
+/// A failed destination is blacklisted for the unit's remaining attempts.
+pub const MAX_REDECISIONS: usize = 3;
+
+/// One migration order returned by [`SchedulingPolicy::decide`].
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Index into [`ClusterView::targets`] naming the system to drive.
+    pub target: usize,
+    /// Unit ordered to move.
+    pub unit: Tid,
+    /// Host the unit moves off.
+    pub src: HostId,
+    /// Destination chosen.
+    pub dst: HostId,
+    /// Tracked placements are evacuations: a failure blacklists the
+    /// destination and the GS re-decides (up to [`MAX_REDECISIONS`]), and
+    /// the decision latency lands in the `gs.decision_ns` histogram.
+    /// Untracked placements are opportunistic: the verdict is recorded but
+    /// never retried — the next tick re-evaluates from scratch.
+    pub tracked: bool,
+}
+
+impl Placement {
+    /// A tracked evacuation placement (failures are retried elsewhere).
+    pub fn evacuation(target: usize, unit: Tid, src: HostId, dst: HostId) -> Self {
+        Placement {
+            target,
+            unit,
+            src,
+            dst,
+            tracked: true,
+        }
+    }
+
+    /// An opportunistic placement (failures are recorded, never retried).
+    pub fn opportunistic(target: usize, unit: Tid, src: HostId, dst: HostId) -> Self {
+        Placement {
+            target,
+            unit,
+            src,
+            dst,
+            tracked: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ViewStateInner {
+    handled: HashSet<Tid>,
+    handled_per_target: HashMap<usize, usize>,
+    blacklist: HashMap<Tid, HashSet<HostId>>,
+    attempts: HashMap<Tid, usize>,
+    charge_started: Option<SimTime>,
+}
+
+/// Per-event decision state the GS threads through successive
+/// [`SchedulingPolicy::decide`] calls: which units were already placed (or
+/// declared stuck), which destinations failed which unit, and when the
+/// current decision charge started. Interior-mutable because policies see
+/// it behind a shared [`ClusterView`].
+#[derive(Default)]
+pub struct ViewState {
+    inner: Mutex<ViewStateInner>,
+}
+
+impl ViewState {
+    /// Fresh state for one monitor event.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Has this unit been placed, lost, or declared stuck this event?
+    pub fn is_handled(&self, unit: Tid) -> bool {
+        self.inner.lock().handled.contains(&unit)
+    }
+
+    /// Units handled this event, across all targets.
+    pub fn handled_count(&self) -> usize {
+        self.inner.lock().handled.len()
+    }
+
+    /// Units of target `target` handled this event.
+    pub fn handled_on(&self, target: usize) -> usize {
+        self.inner
+            .lock()
+            .handled_per_target
+            .get(&target)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Mark a unit handled: no further placements for it this event.
+    pub fn mark_handled(&self, target: usize, unit: Tid) {
+        let mut st = self.inner.lock();
+        if st.handled.insert(unit) {
+            *st.handled_per_target.entry(target).or_insert(0) += 1;
+        }
+    }
+
+    /// Blacklist `dst` for `unit` (a migration there failed).
+    pub fn blacklist(&self, unit: Tid, dst: HostId) {
+        self.inner
+            .lock()
+            .blacklist
+            .entry(unit)
+            .or_default()
+            .insert(dst);
+    }
+
+    /// Has `dst` been blacklisted for `unit`?
+    pub fn is_blacklisted(&self, unit: Tid, dst: HostId) -> bool {
+        self.inner
+            .lock()
+            .blacklist
+            .get(&unit)
+            .is_some_and(|s| s.contains(&dst))
+    }
+
+    /// Count one more failed attempt for `unit`; returns the new total.
+    pub fn bump_attempts(&self, unit: Tid) -> usize {
+        let mut st = self.inner.lock();
+        let n = st.attempts.entry(unit).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// When the current decision's cost charge started (metrics runs only);
+    /// taking it clears the mark.
+    pub fn take_charge_started(&self) -> Option<SimTime> {
+        self.inner.lock().charge_started.take()
+    }
+}
+
+/// The lazily built destination ranking: a min-heap of `(score, host)`.
+type ScoreHeap = BinaryHeap<Reverse<(Load, HostId)>>;
+
+/// What a policy sees: the cluster, the managed targets, owner activity,
+/// and the per-event [`ViewState`] — plus a shared load-keyed destination
+/// heap so `gs.decision_ns` stays flat as the host count grows.
+///
+/// A fresh view is constructed for every `decide` call, so destination
+/// scores always reflect migrations that already landed this event.
+pub struct ClusterView<'a> {
+    ctx: &'a SimCtx,
+    cluster: &'a Arc<Cluster>,
+    targets: &'a [Arc<dyn MigrationTarget>],
+    owner_active: &'a HashSet<HostId>,
+    state: &'a ViewState,
+    // Lazily built min-heap of (score, host), invalidated whenever the
+    // decision clock advances (scores are a function of `now`).
+    heap: Mutex<Option<ScoreHeap>>,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Assemble a view. The GS builds one per `decide` call; tests may
+    /// build their own inside any simulation actor.
+    pub fn new(
+        ctx: &'a SimCtx,
+        cluster: &'a Arc<Cluster>,
+        targets: &'a [Arc<dyn MigrationTarget>],
+        owner_active: &'a HashSet<HostId>,
+        state: &'a ViewState,
+    ) -> Self {
+        ClusterView {
+            ctx,
+            cluster,
+            targets,
+            owner_active,
+            state,
+            heap: Mutex::new(None),
+        }
+    }
+
+    /// The deciding actor's simulation context.
+    pub fn ctx(&self) -> &SimCtx {
+        self.ctx
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The cluster under management.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        self.cluster
+    }
+
+    /// The managed migration targets, in registration order.
+    pub fn targets(&self) -> &[Arc<dyn MigrationTarget>] {
+        self.targets
+    }
+
+    /// The per-event decision state.
+    pub fn state(&self) -> &ViewState {
+        self.state
+    }
+
+    /// Is this host's owner currently at the keyboard?
+    pub fn owner_active(&self, h: HostId) -> bool {
+        self.owner_active.contains(&h)
+    }
+
+    /// Units of target `target` on `host` not yet handled this event.
+    pub fn pending_units(&self, target: usize, host: HostId) -> Vec<Tid> {
+        self.targets[target]
+            .units_on(host)
+            .into_iter()
+            .filter(|u| !self.state.is_handled(*u))
+            .collect()
+    }
+
+    /// Units resident on `host` across all managed applications.
+    pub fn units_everywhere(&self, host: HostId) -> usize {
+        self.targets.iter().map(|t| t.units_on(host).len()).sum()
+    }
+
+    /// External (non-PVM) load on `host` right now.
+    pub fn external_load(&self, host: HostId) -> f64 {
+        self.cluster.host(host).spec.load.load_at(self.now())
+    }
+
+    /// The destination score: external load plus resident parallel work
+    /// units plus swap pressure — an overcommitted host slows every VP on
+    /// it (§1.0), so weigh it accordingly.
+    pub fn score(&self, host: HostId) -> f64 {
+        let h = self.cluster.host(host);
+        self.external_load(host) + self.units_everywhere(host) as f64 + h.memory_overcommit() * 2.0
+    }
+
+    /// Advance the decision clock by [`DECISION_COST`]. Policies call this
+    /// once per candidate unit they consider (evacuations) or once per
+    /// sweep (periodic policies); the GS uses the charge start to record
+    /// `gs.decision_ns` for tracked placements.
+    pub fn charge_decision(&self) {
+        if self.ctx.metrics_enabled() {
+            self.inner_set_charge(Some(self.ctx.now()));
+        }
+        self.ctx.advance(DECISION_COST);
+        // Scores are time-dependent: drop the cached heap.
+        *self.heap.lock() = None;
+    }
+
+    fn inner_set_charge(&self, at: Option<SimTime>) {
+        self.state.inner.lock().charge_started = at;
+    }
+
+    fn build_heap(&self) -> BinaryHeap<Reverse<(Load, HostId)>> {
+        let now = self.now();
+        self.cluster
+            .hosts()
+            .iter()
+            .map(|host| {
+                let h = host.id;
+                let score = host.spec.load.load_at(now)
+                    + self.units_everywhere(h) as f64
+                    + host.memory_overcommit() * 2.0;
+                Reverse((Load(score), h))
+            })
+            .collect()
+    }
+
+    /// Every host ranked by destination score, ascending (coldest first);
+    /// ties rank the lower host id first. Shares the destination heap.
+    pub fn hosts_by_score(&self) -> Vec<(f64, HostId)> {
+        let mut guard = self.heap.lock();
+        let heap = guard.get_or_insert_with(|| self.build_heap());
+        heap.clone()
+            .into_sorted_vec()
+            .into_iter()
+            .rev()
+            .map(|Reverse((Load(s), h))| (s, h))
+            .collect()
+    }
+
+    /// The eligible host with the lowest destination score for `unit` of
+    /// target `target`, popping the shared load-keyed heap: never the
+    /// source, an owner-active or crashed host, a blacklisted destination,
+    /// or a host the unit cannot migrate to. Ties break toward the lower
+    /// host id.
+    pub fn best_destination(&self, target: usize, unit: Tid, src: HostId) -> Option<HostId> {
+        let metrics = self.ctx.metrics();
+        let t = &self.targets[target];
+        let mut guard = self.heap.lock();
+        let heap = guard.get_or_insert_with(|| self.build_heap());
+        let mut scratch = heap.clone();
+        while let Some(Reverse((_, h))) = scratch.pop() {
+            if self.state.is_blacklisted(unit, h) {
+                metrics.counter_add("gs.blacklist.hits", 1);
+                continue;
+            }
+            if h == src
+                || self.owner_active.contains(&h)
+                || !self.cluster.host(h).is_up()
+                || !t.can_migrate(unit, h)
+            {
+                continue;
+            }
+            return Some(h);
+        }
+        None
+    }
+
+    /// Declare a unit stuck: trace it and mark it handled, so later units
+    /// on the same host still get their chance this event.
+    pub fn mark_stuck(&self, target: usize, unit: Tid, src: HostId) {
+        sim_trace!(
+            self.ctx,
+            "gs.stuck",
+            "{unit} on {src}: no eligible destination"
+        );
+        self.state.mark_handled(target, unit);
+    }
+}
+
+/// Configuration of the decentralized gossip mode; see
+/// [`decentralized_gossip`].
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// Gossip round period per host (rounds are staggered across hosts).
+    pub period: SimDuration,
+    /// Score gap over the best known host that triggers a local move.
+    pub threshold: f64,
+}
+
+/// A scheduling policy the GS can drive. Object-safe: the builder takes a
+/// `Box<dyn SchedulingPolicy>`.
+pub trait SchedulingPolicy: Send {
+    /// Stable short name, used in traces and bench reports.
+    fn name(&self) -> &'static str;
+
+    /// Inspect the cluster through `view` and answer `event` with the next
+    /// batch of placements. The GS executes each placement synchronously —
+    /// every unit lands (or fails) before the next decision — then calls
+    /// `decide` again with the same event and a fresh view until the
+    /// policy returns an empty vector. Units already handled this event
+    /// (placed, lost, or stuck) are absent from
+    /// [`ClusterView::pending_units`]; a unit with no usable destination
+    /// should be reported via [`ClusterView::mark_stuck`].
+    fn decide(&mut self, view: &ClusterView, event: &MonitorEvent) -> Vec<Placement>;
+
+    /// Ask the monitor for a periodic [`MonitorEvent::Tick`] every
+    /// returned period (rebalance-style policies).
+    fn tick_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// When `Some`, [`crate::GsBuilder::spawn`] installs per-host monitors
+    /// and one local-scheduler actor per host instead of the central GS
+    /// loop; [`decide`](SchedulingPolicy::decide) is never called.
+    fn decentralized(&self) -> Option<GossipConfig> {
+        None
+    }
+}
+
+/// The shared evacuation step: find the next pending unit on `src` (in
+/// target registration order), charge the decision cost, and either place
+/// it or mark it stuck and move on. Returns at most one placement per call
+/// so destination scores are re-derived after every landing.
+///
+/// `per_target` caps how many units of each target are handled for this
+/// event (the load-threshold policy peels one unit at a time).
+fn next_evacuation(view: &ClusterView, src: HostId, per_target: Option<usize>) -> Vec<Placement> {
+    for ti in 0..view.targets().len() {
+        for unit in view.pending_units(ti, src) {
+            if per_target.is_some_and(|n| view.state().handled_on(ti) >= n) {
+                break;
+            }
+            view.charge_decision();
+            match view.best_destination(ti, unit, src) {
+                Some(dst) => return vec![Placement::evacuation(ti, unit, src, dst)],
+                None => view.mark_stuck(ti, unit, src),
+            }
+        }
+    }
+    Vec::new()
+}
+
+struct OwnerReclaim;
+
+impl SchedulingPolicy for OwnerReclaim {
+    fn name(&self) -> &'static str {
+        "owner_reclaim"
+    }
+    fn decide(&mut self, view: &ClusterView, event: &MonitorEvent) -> Vec<Placement> {
+        match event {
+            MonitorEvent::OwnerActive(h) => next_evacuation(view, *h, None),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Vacate a host the moment its owner becomes active (§1.0); return
+/// nothing automatically when the owner leaves.
+pub fn owner_reclaim() -> Box<dyn SchedulingPolicy> {
+    Box::new(OwnerReclaim)
+}
+
+struct LoadThreshold {
+    threshold: f64,
+}
+
+impl SchedulingPolicy for LoadThreshold {
+    fn name(&self) -> &'static str {
+        "load_threshold"
+    }
+    fn decide(&mut self, view: &ClusterView, event: &MonitorEvent) -> Vec<Placement> {
+        match event {
+            MonitorEvent::OwnerActive(h) => next_evacuation(view, *h, None),
+            MonitorEvent::LoadChanged(h, load) if load.0 > self.threshold => {
+                next_evacuation(view, *h, Some(1))
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Owner reclamation plus load thresholds: when a host's external load
+/// rises above `threshold`, one unit per managed job is peeled off it.
+pub fn load_threshold(threshold: f64) -> Box<dyn SchedulingPolicy> {
+    Box::new(LoadThreshold { threshold })
+}
+
+struct Rebalance {
+    period: SimDuration,
+}
+
+impl SchedulingPolicy for Rebalance {
+    fn name(&self) -> &'static str {
+        "rebalance"
+    }
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.period)
+    }
+    fn decide(&mut self, view: &ClusterView, event: &MonitorEvent) -> Vec<Placement> {
+        match event {
+            MonitorEvent::OwnerActive(h) => next_evacuation(view, *h, None),
+            MonitorEvent::Tick => {
+                if view.state().handled_count() > 0 {
+                    return Vec::new(); // one sweep per tick
+                }
+                view.charge_decision();
+                // Hotness ignores swap pressure: the gap test compares
+                // runnable work, exactly like the pre-trait sweep did.
+                let score = |h: HostId| view.external_load(h) + view.units_everywhere(h) as f64;
+                let mut hottest: Option<(f64, HostId)> = None;
+                for host in view.cluster().hosts() {
+                    let h = host.id;
+                    if view.units_everywhere(h) == 0 {
+                        continue; // nothing to move from here
+                    }
+                    let s = score(h);
+                    if hottest.is_none_or(|(bs, _)| s > bs) {
+                        hottest = Some((s, h));
+                    }
+                }
+                let Some((hot_score, hot)) = hottest else {
+                    return Vec::new();
+                };
+                for ti in 0..view.targets().len() {
+                    if let Some(&unit) = view.targets()[ti].units_on(hot).first() {
+                        if let Some(dst) = view.best_destination(ti, unit, hot) {
+                            if hot_score - score(dst) > 1.0 {
+                                return vec![Placement::opportunistic(ti, unit, hot, dst)];
+                            }
+                        }
+                        return Vec::new();
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Owner reclamation plus a periodic rebalance sweep: every `period` the
+/// GS moves one unit from the most-loaded host to the least-loaded when
+/// their effective loads differ by more than one unit.
+pub fn rebalance(period: SimDuration) -> Box<dyn SchedulingPolicy> {
+    Box::new(Rebalance { period })
+}
+
+struct DestinationSwap {
+    period: SimDuration,
+}
+
+impl SchedulingPolicy for DestinationSwap {
+    fn name(&self) -> &'static str {
+        "destination_swap"
+    }
+    fn tick_period(&self) -> Option<SimDuration> {
+        Some(self.period)
+    }
+    fn decide(&mut self, view: &ClusterView, event: &MonitorEvent) -> Vec<Placement> {
+        match event {
+            MonitorEvent::OwnerActive(h) => next_evacuation(view, *h, None),
+            MonitorEvent::Tick => {
+                if view.state().handled_count() > 0 {
+                    return Vec::new(); // one pairing round per tick
+                }
+                view.charge_decision();
+                // Rank every live, unowned host by destination score, then
+                // pair extremes — hottest with coldest, second-hottest with
+                // second-coldest — moving one unit within each pair. The
+                // pairing is what keeps destinations disjoint: a greedy
+                // all-to-coldest sweep herds every unit onto one host.
+                let ranked: Vec<(f64, HostId)> = view
+                    .hosts_by_score()
+                    .into_iter()
+                    .filter(|&(_, h)| view.cluster().host(h).is_up() && !view.owner_active(h))
+                    .collect();
+                if ranked.len() < 2 {
+                    return Vec::new();
+                }
+                let mut placements = Vec::new();
+                let (mut i, mut j) = (0, ranked.len() - 1);
+                while i < j {
+                    let (cold_score, cold) = ranked[i];
+                    let (hot_score, hot) = ranked[j];
+                    if hot_score - cold_score <= 1.0 {
+                        break;
+                    }
+                    let mut placed = false;
+                    'find: for ti in 0..view.targets().len() {
+                        for unit in view.pending_units(ti, hot) {
+                            if !view.state().is_blacklisted(unit, cold)
+                                && view.targets()[ti].can_migrate(unit, cold)
+                            {
+                                placements.push(Placement::opportunistic(ti, unit, hot, cold));
+                                placed = true;
+                                break 'find;
+                            }
+                        }
+                    }
+                    if placed {
+                        i += 1;
+                    }
+                    j -= 1;
+                }
+                placements
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Destination-swap pairing (after Avin et al., "Simple Destination-Swap
+/// Strategies for Adaptive VM Migration"): every `period` the hosts are
+/// ranked by load and paired hottest-with-coldest; one unit moves within
+/// each pair whose score gap exceeds one unit. All placements of a round
+/// are pairwise disjoint — no two share a source, destination, or unit.
+pub fn destination_swap(period: SimDuration) -> Box<dyn SchedulingPolicy> {
+    Box::new(DestinationSwap { period })
+}
+
+struct DecentralizedGossip {
+    cfg: GossipConfig,
+}
+
+impl SchedulingPolicy for DecentralizedGossip {
+    fn name(&self) -> &'static str {
+        "decentralized_gossip"
+    }
+    fn decide(&mut self, _view: &ClusterView, _event: &MonitorEvent) -> Vec<Placement> {
+        // Never consulted: the builder spawns per-host local schedulers.
+        Vec::new()
+    }
+    fn decentralized(&self) -> Option<GossipConfig> {
+        Some(self.cfg)
+    }
+}
+
+/// The MOSIX-style decentralized mode: no central GS in the decision loop.
+/// Each host runs a local-scheduler actor that gossips its load vector
+/// over the worknet every `period` (staggered across hosts), merges the
+/// vectors it hears (newest observation wins), and decides locally —
+/// evacuating when its own owner returns and shedding one unit to the
+/// best known host when its score exceeds the cluster minimum by more
+/// than one unit.
+pub fn decentralized_gossip(period: SimDuration) -> Box<dyn SchedulingPolicy> {
+    Box::new(DecentralizedGossip {
+        cfg: GossipConfig {
+            period,
+            threshold: 1.0,
+        },
+    })
+}

@@ -1,0 +1,226 @@
+//! Property tests for the scheduling-policy invariants the GS relies on:
+//! blacklisted destinations are never returned, the load-threshold policy
+//! never reacts to a calm host, and destination-swap rounds are pairwise
+//! disjoint.
+
+use cpe::{
+    destination_swap, load_threshold, owner_reclaim, rebalance, ClusterView, MigrationTarget,
+    MonitorEvent, Placement, SchedulingPolicy, ViewState,
+};
+use parking_lot::Mutex as PlMutex;
+use proptest::prelude::*;
+use pvm_rt::{MigrationOutcome, Tid};
+use simcore::{SimCtx, SimDuration};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace};
+
+/// A migration target over an in-memory unit→host map: migrations land
+/// instantly and always succeed, so the tests probe pure decision logic.
+struct FakeTarget {
+    units: PlMutex<HashMap<Tid, HostId>>,
+}
+
+impl FakeTarget {
+    fn new(placed: &[(u32, usize)]) -> Arc<Self> {
+        let units = placed
+            .iter()
+            .map(|&(i, h)| (Tid::new(HostId(h), i), HostId(h)))
+            .collect();
+        Arc::new(FakeTarget {
+            units: PlMutex::new(units),
+        })
+    }
+}
+
+impl MigrationTarget for FakeTarget {
+    fn kind(&self) -> &'static str {
+        "fake"
+    }
+    fn units_on(&self, host: HostId) -> Vec<Tid> {
+        let mut v: Vec<Tid> = self
+            .units
+            .lock()
+            .iter()
+            .filter(|(_, h)| **h == host)
+            .map(|(t, _)| *t)
+            .collect();
+        v.sort();
+        v
+    }
+    fn can_migrate(&self, _unit: Tid, _dst: HostId) -> bool {
+        true
+    }
+    fn migrate(&self, _ctx: &SimCtx, unit: Tid, dst: HostId) -> MigrationOutcome {
+        self.units.lock().insert(unit, dst);
+        MigrationOutcome::Completed { new_tid: unit }
+    }
+    fn on_drain(&self, _f: Box<dyn FnOnce(&SimCtx) + Send>) {}
+}
+
+/// Build a quiet cluster with the given per-host external loads.
+fn cluster_with_loads(loads: &[f64]) -> Arc<Cluster> {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    for (i, &l) in loads.iter().enumerate() {
+        let mut spec = HostSpec::hp720(format!("h{i}"));
+        if l > 0.0 {
+            spec = spec.with_load(LoadTrace::constant(l));
+        }
+        b.host(spec);
+    }
+    Arc::new(b.build())
+}
+
+/// Drive `policy` through the GS's decide/execute loop for one event
+/// inside a sim actor, applying every placement to the fake target, and
+/// hand each placement batch to `check` before it is applied.
+fn drive_policy(
+    loads: Vec<f64>,
+    placed: Vec<(u32, usize)>,
+    blacklisted: Vec<((u32, usize), usize)>,
+    mut policy: Box<dyn SchedulingPolicy>,
+    event: MonitorEvent,
+    check: impl Fn(&ViewState, &[Placement]) -> Vec<String> + Send + 'static,
+) -> Vec<String> {
+    let cluster = cluster_with_loads(&loads);
+    let target = FakeTarget::new(&placed);
+    let violations = Arc::new(Mutex::new(Vec::new()));
+    let v2 = Arc::clone(&violations);
+    let c2 = Arc::clone(&cluster);
+    cluster.sim.spawn("driver", move |ctx| {
+        let targets: Vec<Arc<dyn MigrationTarget>> = vec![target.clone()];
+        let owner_active = Default::default();
+        let state = ViewState::new();
+        for ((i, h), dst) in blacklisted {
+            state.blacklist(Tid::new(HostId(h), i), HostId(dst));
+        }
+        // The GS dispatch loop: fresh view per decide, placements applied
+        // synchronously, until the policy runs dry.
+        for _round in 0..64 {
+            let view = ClusterView::new(&ctx, &c2, &targets, &owner_active, &state);
+            let placements = policy.decide(&view, &event);
+            drop(view);
+            v2.lock().unwrap().extend(check(&state, &placements));
+            if placements.is_empty() {
+                break;
+            }
+            for p in placements {
+                let outcome = targets[p.target].migrate(&ctx, p.unit, p.dst);
+                assert!(outcome.is_completed());
+                state.mark_handled(p.target, p.unit);
+            }
+        }
+    });
+    cluster.sim.run().unwrap();
+    let out = violations.lock().unwrap().clone();
+    out
+}
+
+/// (unit index, source host) pairs over `nhosts` hosts.
+fn placed_units(nhosts: usize) -> impl Strategy<Value = Vec<(u32, usize)>> {
+    prop::collection::vec((0u32..64, 0..nhosts), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No policy ever returns a placement whose destination is
+    /// blacklisted for that unit in the current view state.
+    #[test]
+    fn no_policy_returns_blacklisted_destination(
+        loads in prop::collection::vec(0.0f64..4.0, 3..6),
+        placed in placed_units(3),
+        bl_hosts in prop::collection::vec(0usize..6, 0..8),
+        which in 0usize..4,
+    ) {
+        let nhosts = loads.len();
+        // Blacklist a few (unit, dst) pairs drawn from the placed units.
+        let blacklisted: Vec<((u32, usize), usize)> = placed
+            .iter()
+            .zip(bl_hosts.iter())
+            .map(|(&u, &d)| (u, d % nhosts))
+            .collect();
+        let policy = match which {
+            0 => owner_reclaim(),
+            1 => load_threshold(0.5),
+            2 => rebalance(SimDuration::from_secs(5)),
+            _ => destination_swap(SimDuration::from_secs(5)),
+        };
+        let event = match which {
+            2 | 3 => MonitorEvent::Tick,
+            _ => MonitorEvent::OwnerActive(HostId(0)),
+        };
+        let violations = drive_policy(
+            loads,
+            placed,
+            blacklisted,
+            policy,
+            event,
+            |state, placements| {
+                placements
+                    .iter()
+                    .filter(|p| state.is_blacklisted(p.unit, p.dst))
+                    .map(|p| format!("{} placed on blacklisted {}", p.unit, p.dst))
+                    .collect()
+            },
+        );
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// The load-threshold policy never evacuates a host whose reported
+    /// load is at or below the threshold.
+    #[test]
+    fn load_threshold_ignores_calm_hosts(
+        loads in prop::collection::vec(0.0f64..3.0, 2..5),
+        placed in placed_units(2),
+        reported in 0.0f64..1.5,
+    ) {
+        let src = HostId(0);
+        let event = MonitorEvent::LoadChanged(src, cpe::Load(reported));
+        let violations = drive_policy(
+            loads,
+            placed,
+            Vec::new(),
+            load_threshold(1.5),
+            event,
+            move |_state, placements| {
+                placements
+                    .iter()
+                    .map(|p| format!("calm host {} evacuated unit {}", p.src, p.unit))
+                    .collect()
+            },
+        );
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    /// Every destination-swap round is pairwise disjoint: no two
+    /// placements of one batch share a source, a destination, or a unit.
+    #[test]
+    fn destination_swap_rounds_are_pairwise_disjoint(
+        loads in prop::collection::vec(0.0f64..4.0, 3..7),
+        placed in placed_units(3),
+    ) {
+        let violations = drive_policy(
+            loads,
+            placed,
+            Vec::new(),
+            destination_swap(SimDuration::from_secs(5)),
+            MonitorEvent::Tick,
+            |_state, placements| {
+                let mut out = Vec::new();
+                for (i, a) in placements.iter().enumerate() {
+                    for b in &placements[i + 1..] {
+                        if a.src == b.src || a.dst == b.dst || a.unit == b.unit {
+                            out.push(format!(
+                                "overlapping pair: {} {}->{} vs {} {}->{}",
+                                a.unit, a.src, a.dst, b.unit, b.src, b.dst
+                            ));
+                        }
+                    }
+                }
+                out
+            },
+        );
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+}

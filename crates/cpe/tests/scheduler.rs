@@ -1,6 +1,9 @@
 //! End-to-end tests: the global scheduler driving all three systems.
 
-use cpe::{AdmTarget, Gs, MigrationTarget, MpvmTarget, Policy, UpvmTarget};
+use cpe::{
+    decentralized_gossip, destination_swap, load_threshold, owner_reclaim, rebalance, AdmTarget,
+    Gs, MigrationTarget, MpvmTarget, UpvmTarget,
+};
 use mpvm::Mpvm;
 use pvm_rt::{Pvm, TaskApi};
 use simcore::SimTime;
@@ -38,7 +41,7 @@ fn owner_reclaim_evacuates_mpvm_tasks() {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
 
@@ -75,7 +78,7 @@ fn load_threshold_moves_one_unit_off_hot_host() {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .policy(load_threshold(1.5))
         .spawn();
     cluster.sim.run().unwrap();
 
@@ -111,7 +114,7 @@ fn owner_reclaim_evacuates_ulps_individually() {
     sys.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
 
@@ -151,7 +154,7 @@ fn adm_target_delivers_withdraw_event_to_worker() {
 
     let gs = Gs::builder(&cluster)
         .target(Arc::clone(&target) as Arc<dyn MigrationTarget>)
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(withdrew.load(Ordering::SeqCst), 1);
@@ -180,7 +183,7 @@ fn destination_never_has_active_owner() {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(home.load(Ordering::SeqCst), 1);
@@ -207,7 +210,7 @@ fn gs_reports_stuck_when_no_destination_exists() {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
     assert_eq!(home.load(Ordering::SeqCst), 0, "task stays put");
@@ -242,7 +245,7 @@ fn multi_job_evacuation_spreads_both_jobs() {
         mpvm.seal();
         targets.push(Arc::new(MpvmTarget(mpvm)));
     }
-    let mut builder = Gs::builder(&cluster).policy(Policy::OwnerReclaim);
+    let mut builder = Gs::builder(&cluster).policy(owner_reclaim());
     for t in targets {
         builder = builder.target(t);
     }
@@ -281,9 +284,7 @@ fn rebalance_policy_moves_work_off_crowded_host() {
     sys.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
-        .policy(Policy::Rebalance {
-            period: SimDuration::from_secs(3),
-        })
+        .policy(rebalance(SimDuration::from_secs(3)))
         .spawn();
     cluster.sim.run().unwrap();
     let homes = homes.lock().unwrap().clone();
@@ -331,7 +332,7 @@ fn stress_random_worknet_all_tasks_complete_deterministically() {
         mpvm.seal();
         let gs = Gs::builder(&cluster)
             .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-            .policy(Policy::OwnerReclaim)
+            .policy(owner_reclaim())
             .spawn();
         let end = cluster.sim.run().expect("stress run failed");
         let mut h = homes.lock().unwrap().clone();
@@ -345,4 +346,89 @@ fn stress_random_worknet_all_tasks_complete_deterministically() {
     // A different seed gives a different (still successful) story.
     let c = run(999);
     assert_eq!(c.1.len(), 6);
+}
+
+#[test]
+fn destination_swap_pairs_hot_hosts_with_cold() {
+    use simcore::SimDuration;
+    // Units skewed onto hosts 0 and 1 of four. Each swap round pairs the
+    // hottest host with the coldest (and second-hottest with
+    // second-coldest), moving one unit within each pair — so *both* idle
+    // hosts receive work, where a greedy all-to-coldest sweep would herd
+    // everything onto one.
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.quiet_hp720s(4);
+    let pvm = Pvm::new(Arc::new(b.build()));
+    let cluster = Arc::clone(&pvm.cluster);
+    let sys = upvm::Upvm::new(Arc::clone(&pvm));
+
+    let homes = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..7 {
+        let homes = Arc::clone(&homes);
+        let start = if i < 4 { HostId(0) } else { HostId(1) };
+        sys.spawn_ulp(start, format!("u{i}"), 1_000_000, move |u| {
+            u.set_state_bytes(100_000);
+            for _ in 0..60 {
+                u.compute(45.0e6 / 4.0); // 15 s of work in slices
+            }
+            homes.lock().unwrap().push(u.host_id().0);
+        })
+        .unwrap();
+    }
+    sys.seal();
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
+        .policy(destination_swap(SimDuration::from_secs(3)))
+        .spawn();
+    cluster.sim.run().unwrap();
+    let homes = homes.lock().unwrap().clone();
+    assert!(
+        homes.contains(&2) && homes.contains(&3),
+        "both idle hosts receive work: {homes:?}"
+    );
+    assert!(gs.decisions().len() >= 2);
+}
+
+#[test]
+fn decentralized_gossip_schedules_without_central_gs() {
+    use simcore::SimDuration;
+    // Same shape as the owner-reclaim test, but no central GS: per-host
+    // daemons gossip load vectors and decide locally. Before the owner
+    // returns the threshold half sheds one worker to the idle host; the
+    // reclaim at t=8s evacuates the rest — always to idle host2, never to
+    // busy host1. The whole run must replay bit-identically.
+    fn run() -> (f64, Vec<usize>, usize) {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.host(HostSpec::hp720("claimed").with_owner(OwnerTrace::reclaim_at(t(8))));
+        b.host(HostSpec::hp720("busy").with_load(LoadTrace::constant(2.0)));
+        b.host(HostSpec::hp720("idle"));
+        let mpvm = Mpvm::new(Pvm::new(Arc::new(b.build())));
+        let cluster = Arc::clone(&mpvm.pvm().cluster);
+
+        let homes = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let homes = Arc::clone(&homes);
+            mpvm.spawn_app(HostId(0), format!("w{i}"), move |task| {
+                task.set_state_bytes(400_000);
+                for _ in 0..100 {
+                    task.compute(4.5e6); // 10 s total in slices
+                }
+                homes.lock().unwrap().push(task.host_id().0);
+            });
+        }
+        mpvm.seal();
+        let gs = Gs::builder(&cluster)
+            .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+            .policy(decentralized_gossip(SimDuration::from_secs(1)))
+            .spawn();
+        let end = cluster.sim.run().unwrap();
+        let mut h = homes.lock().unwrap().clone();
+        h.sort();
+        (end.as_secs_f64(), h, gs.decisions().len())
+    }
+    let a = run();
+    assert_eq!(a.1, vec![2, 2], "all work ends on the idle host: {:?}", a.1);
+    assert!(a.2 >= 2, "both moves appear in the shared decision log");
+    let b = run();
+    assert_eq!(a, b, "bit-identical replay");
 }

@@ -70,6 +70,13 @@ impl<T: Send + 'static> Mailbox<T> {
         self.shared.lock().queue.pop_front()
     }
 
+    /// Has [`close`](Mailbox::close) been called? Lets a receiver polling
+    /// with [`recv_deadline`](Mailbox::recv_deadline) tell a timeout from
+    /// shutdown — both return `None`.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
     /// Deliver a message now (from actor context) and wake the receiver.
     ///
     /// Sends to a closed mailbox are dropped (and traced): with host-crash

@@ -285,6 +285,10 @@ impl Ulp {
         let pvm = Arc::clone(self.sys.pvm());
         let calib = Arc::clone(&pvm.cluster.calib);
         sim_trace!(ctx, "upvm.event", "{} {old_host} -> {dst}", self.tid);
+        // The ULP stops computing here and resumes on the target: that
+        // whole window is its freeze time (the UPVM analogue of
+        // `mpvm.freeze_ns`; cheap ULP state keeps it small, §2.2).
+        let freeze_start = ctx.now();
 
         // Source-side work happens inside the UPVM library, holding the
         // process.
@@ -405,6 +409,10 @@ impl Ulp {
             ctx.block("ulp awaiting accept", false);
         }
         sim_trace!(ctx, "upvm.resumed", "{} on {dst}", self.tid);
+        if ctx.metrics_enabled() {
+            ctx.metrics()
+                .histogram_record("upvm.freeze_ns", ctx.now().since(freeze_start));
+        }
         self.sys.outcomes().post(
             ctx,
             self.tid,

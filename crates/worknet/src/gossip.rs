@@ -1,0 +1,143 @@
+//! The load-vector gossip wire model: what a per-host load view looks like
+//! and what it costs to ship one over the worknet.
+//!
+//! MOSIX-style decentralized scheduling replaces the central monitor with
+//! per-host daemons that exchange load vectors — each host's current view
+//! of every host it has heard about. The vector itself lives here, next to
+//! the network it travels on; the decision logic that consumes it belongs
+//! to the scheduling layer (cpe).
+
+use crate::HostId;
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// Message tag gossip datagrams travel under — daemon-to-daemon control
+/// traffic, in the negative system-tag namespace like PVM's own protocol
+/// tags.
+pub const GOSSIP_TAG: i32 = -301;
+
+/// Fixed per-datagram framing cost: tag, sender, entry count, checksum.
+pub const GOSSIP_HEADER_BYTES: usize = 16;
+
+/// Per-entry wire cost: host id, score, owner flag plus padding, and the
+/// observation timestamp.
+pub const GOSSIP_ENTRY_BYTES: usize = 24;
+
+/// One host's knowledge of one (possibly remote) host's load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadEntry {
+    /// Effective-load score as the observed host computed it.
+    pub score: f64,
+    /// Was the observed host's owner at the keyboard?
+    pub owner_active: bool,
+    /// When the observed host stamped this entry.
+    pub at: SimTime,
+}
+
+/// A per-host load view: every entry this host has heard about, newest
+/// observation winning. Keys live in a `BTreeMap` so iteration order — and
+/// therefore every decision derived from the view — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadVector {
+    entries: BTreeMap<HostId, LoadEntry>,
+}
+
+impl LoadVector {
+    /// An empty view (a freshly booted daemon knows nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a fresh observation of `host` (normally the caller itself).
+    pub fn update(&mut self, host: HostId, score: f64, owner_active: bool, at: SimTime) {
+        self.entries.insert(
+            host,
+            LoadEntry {
+                score,
+                owner_active,
+                at,
+            },
+        );
+    }
+
+    /// This view's entry for `host`, if it has heard of it.
+    pub fn get(&self, host: HostId) -> Option<&LoadEntry> {
+        self.entries.get(&host)
+    }
+
+    /// All entries, ascending by host id.
+    pub fn entries(&self) -> impl Iterator<Item = (HostId, &LoadEntry)> {
+        self.entries.iter().map(|(h, e)| (*h, e))
+    }
+
+    /// Number of hosts this view has heard about.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fold a received vector into this one: for every host, the entry
+    /// with the newer observation timestamp wins; on a tie the local entry
+    /// is kept (the merge must be idempotent and order-insensitive for
+    /// replay identity).
+    pub fn merge(&mut self, other: &LoadVector) {
+        for (h, e) in &other.entries {
+            match self.entries.get(h) {
+                Some(cur) if cur.at >= e.at => {}
+                _ => {
+                    self.entries.insert(*h, *e);
+                }
+            }
+        }
+    }
+
+    /// What this vector costs on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        GOSSIP_HEADER_BYTES + self.entries.len() * GOSSIP_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_newest_observation() {
+        let mut a = LoadVector::new();
+        a.update(HostId(0), 1.0, false, SimTime(10));
+        a.update(HostId(1), 2.0, false, SimTime(20));
+        let mut b = LoadVector::new();
+        b.update(HostId(0), 9.0, true, SimTime(5)); // stale: must lose
+        b.update(HostId(1), 3.0, true, SimTime(30)); // newer: must win
+        b.update(HostId(2), 4.0, false, SimTime(1)); // unknown: adopted
+        a.merge(&b);
+        assert_eq!(a.get(HostId(0)).unwrap().score, 1.0);
+        assert_eq!(a.get(HostId(1)).unwrap().score, 3.0);
+        assert!(a.get(HostId(1)).unwrap().owner_active);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn merge_tie_keeps_local_entry() {
+        let mut a = LoadVector::new();
+        a.update(HostId(0), 1.0, false, SimTime(10));
+        let mut b = LoadVector::new();
+        b.update(HostId(0), 2.0, true, SimTime(10));
+        a.merge(&b);
+        assert_eq!(a.get(HostId(0)).unwrap().score, 1.0);
+    }
+
+    #[test]
+    fn wire_cost_scales_with_entries() {
+        let mut v = LoadVector::new();
+        assert_eq!(v.wire_bytes(), GOSSIP_HEADER_BYTES);
+        v.update(HostId(0), 0.0, false, SimTime(0));
+        v.update(HostId(1), 0.0, false, SimTime(0));
+        assert_eq!(v.wire_bytes(), GOSSIP_HEADER_BYTES + 2 * GOSSIP_ENTRY_BYTES);
+        assert!(!v.is_empty());
+    }
+}

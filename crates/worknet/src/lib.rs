@@ -12,6 +12,7 @@
 mod calib;
 mod cluster;
 pub mod fault;
+mod gossip;
 mod host;
 mod load;
 mod net;
@@ -20,6 +21,7 @@ mod tcp;
 pub use calib::Calib;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use fault::{DaemonVerdict, Fault, FaultEvent, FaultPlane, FaultSchedule, Severed};
+pub use gossip::{LoadEntry, LoadVector, GOSSIP_ENTRY_BYTES, GOSSIP_HEADER_BYTES, GOSSIP_TAG};
 pub use host::{Arch, ComputeOutcome, Host, HostId, HostSpec};
 pub use load::{LoadTrace, OwnerTrace};
 pub use net::{Ethernet, OnComplete, PendingTransfer, TransferId};

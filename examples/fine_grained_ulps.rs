@@ -8,7 +8,7 @@
 //! cargo run --release --example fine_grained_ulps
 //! ```
 
-use adaptive_pvm::cpe::{Gs, Policy, UpvmTarget};
+use adaptive_pvm::cpe::{load_threshold, Gs, UpvmTarget};
 use adaptive_pvm::pvm::{Pvm, TaskApi};
 use adaptive_pvm::simcore::SimTime;
 use adaptive_pvm::upvm::Upvm;
@@ -54,7 +54,7 @@ fn main() {
 
     let gs = Gs::builder(&cluster)
         .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
-        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .policy(load_threshold(1.5))
         .spawn();
 
     let end = cluster.sim.run().expect("simulation failed");

@@ -9,7 +9,7 @@
 //! cargo run --release --example owner_reclaim
 //! ```
 
-use adaptive_pvm::cpe::{Gs, MpvmTarget, Policy};
+use adaptive_pvm::cpe::{owner_reclaim, Gs, MpvmTarget};
 use adaptive_pvm::mpvm::Mpvm;
 use adaptive_pvm::opt::config::OptConfig;
 use adaptive_pvm::opt::data::TrainingSet;
@@ -67,7 +67,7 @@ fn main() {
     // The CPE global scheduler with the owner-reclamation policy.
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
 
     let end = cluster.sim.run().expect("simulation failed");

@@ -25,13 +25,15 @@ pub use worknet;
 /// [`MsgBuf`](pvm_rt::MsgBuf), [`Tid`](pvm_rt::Tid)), the three migration
 /// systems ([`Mpvm`](mpvm::Mpvm), [`Upvm`](upvm::Upvm), plus ADM's event
 /// types from [`adm`]), the global scheduler
-/// ([`Gs`](cpe::Gs), [`Policy`](cpe::Policy), [`Monitor`](cpe::Monitor),
-/// the `*Target` adapters) and observability
+/// ([`Gs`](cpe::Gs), [`SchedulingPolicy`](cpe::SchedulingPolicy) and its
+/// in-tree constructors, [`Monitor`](cpe::Monitor), the `*Target`
+/// adapters) and observability
 /// ([`Metrics`](simcore::Metrics), [`MetricsReport`](simcore::MetricsReport)).
 pub mod prelude {
     pub use cpe::{
-        AdmTarget, Gs, MigrationTarget, Monitor, MonitorEvent, MonitorHandle, MpvmTarget, Policy,
-        UpvmTarget,
+        decentralized_gossip, destination_swap, load_threshold, owner_reclaim, rebalance,
+        AdmTarget, Gs, MigrationTarget, Monitor, MonitorEvent, MonitorHandle, MpvmTarget,
+        SchedulingPolicy, UpvmTarget,
     };
     pub use mpvm::Mpvm;
     pub use pvm_rt::{MigrationOutcome, MsgBuf, Pvm, PvmError, TaskApi, Tid};

@@ -3,7 +3,7 @@
 //! MPVM abort/rollback, GS blacklist re-decision — and the application
 //! comes out numerically unscathed and bit-for-bit reproducible.
 
-use adaptive_pvm::cpe::{Decision, Gs, MpvmTarget, Policy};
+use adaptive_pvm::cpe::{owner_reclaim, Decision, Gs, MpvmTarget};
 use adaptive_pvm::mpvm::Mpvm;
 use adaptive_pvm::opt::config::OptConfig;
 use adaptive_pvm::opt::data::TrainingSet;
@@ -87,7 +87,7 @@ fn faulted_opt_run_with_pool(
 
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let trace = cluster

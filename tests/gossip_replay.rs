@@ -1,0 +1,74 @@
+//! Replay-identity acceptance test for the decentralized gossip mode: a
+//! metrics-on run with per-host local schedulers must be bit-for-bit
+//! reproducible — identical metrics JSON and identical decision-log
+//! ordering — including across different carrier-thread pool sizes, the
+//! simulator's only wall-clock-only tuning knob.
+
+use adaptive_pvm::cpe::{decentralized_gossip, Gs, MpvmTarget};
+use adaptive_pvm::mpvm::Mpvm;
+use adaptive_pvm::pvm::{Pvm, TaskApi};
+use adaptive_pvm::simcore::{SimDuration, SimTime};
+use adaptive_pvm::worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+use std::sync::Arc;
+
+fn t(s: u64) -> SimTime {
+    SimTime(s * 1_000_000_000)
+}
+
+/// Four hosts with an owner session and a load burst; five sliced MPVM
+/// workers skewed onto the first two hosts, scheduled by gossip daemons.
+/// Returns (metrics JSON, decision log lines, virtual end time).
+fn gossip_run(carrier_cap: Option<usize>) -> (String, Vec<String>, f64) {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(
+        HostSpec::hp720("h0").with_owner(OwnerTrace::events(vec![(t(6), true), (t(12), false)])),
+    );
+    b.host(HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(t(3), 2.5), (t(14), 0.0)])));
+    b.host(HostSpec::hp720("h2"));
+    b.host(HostSpec::hp720("h3"));
+    let cluster = Arc::new(b.with_metrics().build());
+    if let Some(cap) = carrier_cap {
+        cluster.sim.set_max_idle_carriers(cap);
+    }
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    for i in 0..5 {
+        mpvm.spawn_app(HostId(i % 2), format!("w{i}"), |task| {
+            task.set_state_bytes(300_000);
+            for _ in 0..100 {
+                task.compute(4.5e6); // 10 s total in slices
+            }
+        });
+    }
+    mpvm.seal();
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(decentralized_gossip(SimDuration::from_secs(1)))
+        .spawn();
+    let end = cluster.sim.run().unwrap();
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    let decisions = gs.decisions().iter().map(|d| d.to_json()).collect();
+    (report.to_json(), decisions, end.as_secs_f64())
+}
+
+#[test]
+fn gossip_mode_replays_byte_identical() {
+    let (m1, d1, w1) = gossip_run(None);
+    let (m2, d2, w2) = gossip_run(None);
+    assert!(
+        !d1.is_empty(),
+        "the scenario must exercise gossip decisions"
+    );
+    assert_eq!(w1, w2, "virtual end time must replay exactly");
+    assert_eq!(d1, d2, "decision log must replay in identical order");
+    assert_eq!(m1, m2, "metrics JSON must replay byte-identical");
+    assert!(m1.contains("ls.gossip.rounds"), "daemons gossiped: {m1}");
+}
+
+#[test]
+fn gossip_replay_is_identical_across_carrier_pool_sizes() {
+    let (m1, d1, w1) = gossip_run(Some(2));
+    let (m2, d2, w2) = gossip_run(None);
+    assert_eq!(w1, w2, "virtual end time must not depend on the pool");
+    assert_eq!(d1, d2, "decision ordering must not depend on the pool");
+    assert_eq!(m1, m2, "metrics must not depend on the pool");
+}

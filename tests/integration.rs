@@ -1,7 +1,7 @@
 //! Whole-stack integration tests: worknet + PVM + migration systems +
 //! global scheduler + the Opt application, together.
 
-use adaptive_pvm::cpe::{Gs, MpvmTarget, Policy, UpvmTarget};
+use adaptive_pvm::cpe::{load_threshold, owner_reclaim, Gs, MpvmTarget, UpvmTarget};
 use adaptive_pvm::mpvm::Mpvm;
 use adaptive_pvm::opt::config::OptConfig;
 use adaptive_pvm::opt::data::TrainingSet;
@@ -64,7 +64,7 @@ fn gs_driven_mpvm_run(reclaim: bool) -> (adaptive_pvm::opt::TrainResult, usize, 
 
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     let end = cluster.sim.run().expect("simulation failed");
     let r = result.lock().unwrap().take().unwrap();
@@ -107,7 +107,7 @@ fn upvm_under_load_threshold_policy_completes() {
     sys.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(UpvmTarget(Arc::clone(&sys))))
-        .policy(Policy::LoadThreshold { threshold: 1.5 })
+        .policy(load_threshold(1.5))
         .spawn();
     cluster.sim.run().unwrap();
     let done = done.lock().unwrap().clone();
@@ -155,7 +155,7 @@ fn heterogeneous_cluster_mpvm_stuck_but_adm_moves() {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     cluster.sim.run().unwrap();
     assert!(gs.decisions().is_empty(), "{w} had nowhere to go");
@@ -198,7 +198,7 @@ fn metrics_instrumented_run() -> adaptive_pvm::simcore::MetricsReport {
     mpvm.seal();
     let gs = Gs::builder(&cluster)
         .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
-        .policy(Policy::OwnerReclaim)
+        .policy(owner_reclaim())
         .spawn();
     let end = cluster.sim.run().unwrap();
     let report = cluster.metrics_report(end.since(SimTime::ZERO));
