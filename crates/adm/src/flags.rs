@@ -1,0 +1,337 @@
+//! Run-length-encoded processed flags for data-parallel ADM applications.
+//!
+//! The ADM prototype ships every exemplar with a processed-this-iteration
+//! flag (§4.3.1). A naive `Vec<bool>` store costs O(n) per bookkeeping
+//! step: resetting the flags at an iteration boundary touches every item,
+//! and finding the next chunk of unprocessed work rescans the whole
+//! vector. In practice the flags are *runs*: processing walks the store
+//! front-to-back, so at any instant the store is a processed prefix
+//! followed by an unprocessed tail, occasionally interleaved where a
+//! redistribution round appended fragments mid-iteration. [`RunFlags`]
+//! stores exactly those runs, making the three hot operations cheap:
+//!
+//! * [`fill`](RunFlags::fill) (iteration boundary) — O(1);
+//! * [`claim_first_clear`](RunFlags::claim_first_clear) (next chunk) —
+//!   O(runs touched), amortized O(1) per claimed item;
+//! * [`split_off`](RunFlags::split_off) / [`append`](RunFlags::append)
+//!   (redistribution fragments) — O(runs), not O(items).
+//!
+//! The encoding is an implementation detail: the wire format still sends
+//! one flag word per exemplar (see `opt::adm_opt`), so nothing changes
+//! on the network or in the checksums.
+
+use std::ops::Range;
+
+/// A sequence of booleans stored as maximal runs of equal values.
+///
+/// Invariant: no zero-length runs, and adjacent runs carry different
+/// values (the representation is canonical, so `==` is structural).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunFlags {
+    runs: Vec<(bool, usize)>,
+    len: usize,
+}
+
+impl RunFlags {
+    /// An empty flag sequence.
+    pub fn new() -> Self {
+        RunFlags::default()
+    }
+
+    /// `n` flags, all set to `value`.
+    pub fn with_len(n: usize, value: bool) -> Self {
+        RunFlags {
+            runs: if n > 0 { vec![(value, n)] } else { Vec::new() },
+            len: n,
+        }
+    }
+
+    /// Build from an explicit boolean slice (wire deserialization).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut f = RunFlags::new();
+        for &b in bools {
+            f.push(b);
+        }
+        f
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no flags are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs in the encoding (diagnostic: the whole point is
+    /// that this stays tiny while `len` grows).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Set every flag to `value` — the O(1) iteration-boundary reset.
+    pub fn fill(&mut self, value: bool) {
+        self.runs.clear();
+        if self.len > 0 {
+            self.runs.push((value, self.len));
+        }
+    }
+
+    /// Append one flag.
+    pub fn push(&mut self, value: bool) {
+        match self.runs.last_mut() {
+            Some((v, n)) if *v == value => *n += 1,
+            _ => self.runs.push((value, 1)),
+        }
+        self.len += 1;
+    }
+
+    /// The flag at position `i`. O(runs); meant for tests and spot
+    /// checks, not bulk iteration — use [`iter`](RunFlags::iter) there.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "flag index {i} out of range {}", self.len);
+        let mut pos = 0;
+        for &(v, n) in &self.runs {
+            if i < pos + n {
+                return v;
+            }
+            pos += n;
+        }
+        unreachable!("run lengths sum to len");
+    }
+
+    /// How many flags equal `value`.
+    pub fn count(&self, value: bool) -> usize {
+        self.runs
+            .iter()
+            .filter(|&&(v, _)| v == value)
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// All flags in order, expanded from the runs.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(v, n)| std::iter::repeat_n(v, n))
+    }
+
+    /// Split the sequence at `at`, returning the tail (`at..len`) and
+    /// keeping the head. Mirrors `Vec::split_off` for the item store.
+    pub fn split_off(&mut self, at: usize) -> RunFlags {
+        assert!(at <= self.len, "split at {at} beyond len {}", self.len);
+        let tail_len = self.len - at;
+        let mut pos = 0;
+        let mut i = 0;
+        let mut tail_runs = Vec::new();
+        while i < self.runs.len() {
+            let (v, n) = self.runs[i];
+            if pos + n <= at {
+                pos += n;
+                i += 1;
+                continue;
+            }
+            let keep = at - pos;
+            if keep > 0 {
+                tail_runs.push((v, n - keep));
+                self.runs[i].1 = keep;
+                i += 1;
+            }
+            tail_runs.extend(self.runs.drain(i..));
+            break;
+        }
+        self.len = at;
+        RunFlags {
+            runs: tail_runs,
+            len: tail_len,
+        }
+    }
+
+    /// Concatenate `other` onto the end, merging the boundary run.
+    pub fn append(&mut self, mut other: RunFlags) {
+        if other.is_empty() {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == other.runs[0].0 {
+                last.1 += other.runs[0].1;
+                other.runs.remove(0);
+            }
+        }
+        self.runs.extend(other.runs);
+        self.len += other.len;
+    }
+
+    /// Claim up to `k` *clear* (false) flags, scanning from the front:
+    /// each claimed flag flips to true, and the claimed positions are
+    /// returned as ascending, disjoint ranges. This is the "next chunk
+    /// of unprocessed exemplars" operation — the caller processes the
+    /// returned ranges in order, which is exactly the ascending-index
+    /// order of the old per-item scan.
+    pub fn claim_first_clear(&mut self, k: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut remaining = k;
+        let mut pos = 0;
+        let mut i = 0;
+        while i < self.runs.len() && remaining > 0 {
+            let (v, n) = self.runs[i];
+            if v {
+                pos += n;
+                i += 1;
+                continue;
+            }
+            let take = remaining.min(n);
+            out.push(pos..pos + take);
+            remaining -= take;
+            if take == n {
+                self.runs[i].0 = true;
+            } else {
+                self.runs[i] = (true, take);
+                self.runs.insert(i + 1, (false, n - take));
+            }
+            pos += take;
+            i += 1;
+        }
+        self.normalize();
+        out
+    }
+
+    /// Restore the canonical form: merge adjacent equal-valued runs.
+    fn normalize(&mut self) {
+        let mut w = 0;
+        for r in 0..self.runs.len() {
+            if w > 0 && self.runs[w - 1].0 == self.runs[r].0 {
+                self.runs[w - 1].1 += self.runs[r].1;
+            } else {
+                self.runs[w] = self.runs[r];
+                w += 1;
+            }
+        }
+        self.runs.truncate(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fill_and_claim_walk_front_to_back() {
+        let mut f = RunFlags::with_len(10, false);
+        assert_eq!(f.count(false), 10);
+        let r = f.claim_first_clear(4);
+        assert_eq!(r, vec![0..4]);
+        let r = f.claim_first_clear(4);
+        assert_eq!(r, vec![4..8]);
+        let r = f.claim_first_clear(4);
+        assert_eq!(r, vec![8..10]);
+        assert!(f.claim_first_clear(4).is_empty());
+        assert_eq!(f.count(true), 10);
+        assert_eq!(f.run_count(), 1);
+        f.fill(false);
+        assert_eq!(f.count(false), 10);
+        assert_eq!(f.run_count(), 1);
+    }
+
+    #[test]
+    fn claim_spans_interleaved_runs() {
+        // processed, unprocessed, processed, unprocessed — a store that
+        // just received a mid-iteration fragment.
+        let mut f = RunFlags::from_bools(&[true, false, false, true, false, false, false]);
+        let r = f.claim_first_clear(4);
+        assert_eq!(r, vec![1..3, 4..6]);
+        assert_eq!(f.count(false), 1);
+        assert!(!f.get(6));
+    }
+
+    #[test]
+    fn split_and_append_roundtrip() {
+        let mut f = RunFlags::from_bools(&[true, true, false, false, true]);
+        let tail = f.split_off(3);
+        assert_eq!(f, RunFlags::from_bools(&[true, true, false]));
+        assert_eq!(tail, RunFlags::from_bools(&[false, true]));
+        f.append(tail);
+        assert_eq!(f, RunFlags::from_bools(&[true, true, false, false, true]));
+        assert_eq!(f.run_count(), 3);
+    }
+
+    /// A step of the store's life: what the ADM slave does to its flags.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Fill(bool),
+        Push(bool),
+        Claim(usize),
+        SplitTail(usize),
+        AppendBools(Vec<bool>),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<bool>().prop_map(Op::Fill),
+            any::<bool>().prop_map(Op::Push),
+            (0usize..20).prop_map(Op::Claim),
+            (0usize..40).prop_map(Op::SplitTail),
+            proptest::collection::vec(any::<bool>(), 0..8).prop_map(Op::AppendBools),
+        ]
+    }
+
+    proptest! {
+        /// RunFlags behaves exactly like a Vec<bool> model under the
+        /// slave's full operation mix, and claims always return the
+        /// ascending positions the old per-item scan would have.
+        #[test]
+        fn matches_vec_bool_model(ops in proptest::collection::vec(op_strategy(), 0..48)) {
+            let mut f = RunFlags::new();
+            let mut model: Vec<bool> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Fill(v) => {
+                        f.fill(v);
+                        model.iter_mut().for_each(|b| *b = v);
+                    }
+                    Op::Push(v) => {
+                        f.push(v);
+                        model.push(v);
+                    }
+                    Op::Claim(k) => {
+                        let ranges = f.claim_first_clear(k);
+                        let expect: Vec<usize> = (0..model.len())
+                            .filter(|&i| !model[i])
+                            .take(k)
+                            .collect();
+                        let got: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+                        prop_assert_eq!(&got, &expect);
+                        for i in got {
+                            model[i] = true;
+                        }
+                    }
+                    Op::SplitTail(at) => {
+                        let at = if model.is_empty() { 0 } else { at % (model.len() + 1) };
+                        let tail = f.split_off(at);
+                        let mtail = model.split_off(at);
+                        prop_assert_eq!(
+                            tail.iter().collect::<Vec<_>>(),
+                            mtail.clone()
+                        );
+                        f.append(tail);
+                        model.extend(mtail);
+                    }
+                    Op::AppendBools(bs) => {
+                        f.append(RunFlags::from_bools(&bs));
+                        model.extend(bs);
+                    }
+                }
+                prop_assert_eq!(f.len(), model.len());
+                prop_assert_eq!(f.count(false), model.iter().filter(|b| !**b).count());
+            }
+            prop_assert_eq!(f.iter().collect::<Vec<_>>(), model);
+            // Canonical encoding: rebuilding from the expanded bools
+            // yields the same runs.
+            let rebuilt = RunFlags::from_bools(&f.iter().collect::<Vec<_>>());
+            prop_assert_eq!(f, rebuilt);
+        }
+    }
+}

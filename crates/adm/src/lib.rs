@@ -13,10 +13,12 @@
 
 mod consensus;
 mod events;
+mod flags;
 mod fsm;
 mod repart;
 
 pub use consensus::{master_consensus, worker_consensus, TAG_ADM_CHECKIN, TAG_ADM_GO};
 pub use events::{inject_event, AdmEvent, EventBox};
+pub use flags::RunFlags;
 pub use fsm::{AdmState, Arc, Fsm, InvalidTransition};
 pub use repart::{ideal_counts, plan_redistribution, Plan, Transfer};

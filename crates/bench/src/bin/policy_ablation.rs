@@ -17,51 +17,7 @@
 //! * every cell replays byte-identically.
 
 use bench_tables::simbench::{measure_policy_ablation, render_policy_ablation, POLICIES};
-
-/// Remove an existing `"policy_ablation"` member (key, brace-matched
-/// object, and one neighbouring comma) from a `BENCH_SIM.json` document.
-fn strip_section(doc: &str) -> String {
-    let Some(key) = doc.find("\"policy_ablation\"") else {
-        return doc.to_string();
-    };
-    let open = key + doc[key..].find('{').expect("section must open a brace");
-    let mut depth = 0i32;
-    let mut close = 0;
-    for (i, ch) in doc[open..].char_indices() {
-        match ch {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    close = open + i + 1;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    assert!(close > open, "unbalanced policy_ablation section");
-    let (mut start, mut end) = (key, close);
-    if doc[..key].trim_end().ends_with(',') {
-        start = doc[..key].rfind(',').unwrap();
-    } else if let Some(i) = doc[close..].find(',') {
-        if doc[close..close + i].trim().is_empty() {
-            end = close + i + 1;
-        }
-    }
-    format!(
-        "{}{}",
-        doc[..start].trim_end_matches([' ', '\n']),
-        &doc[end..]
-    )
-}
-
-/// Splice `section` in as the last member of the top-level object.
-fn merge_section(doc: &str, section: &str) -> String {
-    let doc = strip_section(doc);
-    let tail = doc.rfind("\n}").expect("BENCH_SIM.json must be an object");
-    format!("{},\n{}{}", &doc[..tail], section, &doc[tail..])
-}
+use bench_tables::splice::merge_section;
 
 fn main() {
     let mut smoke = false;
@@ -135,7 +91,7 @@ fn main() {
 
     let section = render_policy_ablation(&cells, smoke);
     let doc = match std::fs::read_to_string(&out) {
-        Ok(doc) => merge_section(&doc, &section),
+        Ok(doc) => merge_section(&doc, "policy_ablation", &section),
         // No simbench document yet: write a minimal valid one.
         Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
     };

@@ -1,0 +1,111 @@
+//! Run the scheduler scalability sweep and merge its section into
+//! `BENCH_SIM.json`.
+//!
+//! Usage: `sched_scale [--smoke] [--out PATH]`
+//!
+//! Sweeps a synthetic cluster through the sizes in
+//! [`bench_tables::scale::SIZES`] under storm-style churn (every host
+//! reports a load transition each wave, coalesced by the monitor into one
+//! `LoadBatch` per wave) with a fixed set of hot hosts, so the decision
+//! workload is constant and any per-decision cost growth is scheduler
+//! overhead. The CI gates are asserted in-process:
+//!
+//! * the decision count is identical at every size (the workload really
+//!   is constant);
+//! * mean simulated decision latency (`gs.decision_ns`) at the largest
+//!   size is ≤ 2× its smallest-size value;
+//! * real nanoseconds per `policy.decide` call (noise-floored) at the
+//!   largest size is ≤ 2× the smallest-size value — the O(log n) index at
+//!   work;
+//! * every size replays byte-identically (decision log + metrics JSON),
+//!   including with the carrier pool capped at 2 idle threads.
+
+use bench_tables::scale::{floored_wall, measure_sched_scale, render_sched_scale};
+use bench_tables::splice::merge_section;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let cells = measure_sched_scale(smoke);
+
+    println!(
+        "{:>6} {:>10} {:>16} {:>19} {:>13} {:>10} {:>10}  replay",
+        "hosts",
+        "decisions",
+        "decision_ns_mean",
+        "wall_per_decide_ns",
+        "decide_calls",
+        "events",
+        "wall_s"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>10} {:>16.0} {:>19.0} {:>13} {:>10} {:>10.4}  {}",
+            c.hosts,
+            c.decisions,
+            c.decision_ns_mean,
+            c.wall_per_decide_ns,
+            c.decide_calls,
+            c.events,
+            c.wall_secs,
+            if c.replay_identical { "ok" } else { "DIVERGED" }
+        );
+    }
+
+    // The CI gates, asserted here so the job fails without parsing JSON.
+    let first = cells.first().expect("at least one size");
+    let last = cells.last().expect("at least one size");
+    for c in &cells {
+        assert!(
+            c.replay_identical,
+            "{} hosts: decisions/metrics diverged across replays or carrier-pool sizes",
+            c.hosts
+        );
+        assert_eq!(
+            c.decisions, first.decisions,
+            "{} hosts: decision count changed with cluster size — the workload is not constant",
+            c.hosts
+        );
+        assert!(c.decisions > 0, "{} hosts: no decisions taken", c.hosts);
+    }
+    let virt_ratio = last.decision_ns_mean / first.decision_ns_mean.max(1.0);
+    assert!(
+        virt_ratio <= 2.0,
+        "mean gs.decision_ns grew {virt_ratio:.2}x from {} to {} hosts (limit 2x)",
+        first.hosts,
+        last.hosts
+    );
+    let wall_ratio = floored_wall(last) / floored_wall(first);
+    assert!(
+        wall_ratio <= 2.0,
+        "wall ns/decide grew {wall_ratio:.2}x from {} to {} hosts (limit 2x): \
+         {:.0} ns vs {:.0} ns",
+        first.hosts,
+        last.hosts,
+        last.wall_per_decide_ns,
+        first.wall_per_decide_ns
+    );
+    println!(
+        "gates: {} decisions at every size; decision_ns ratio {:.3}; \
+         wall/decide ratio {:.3} (floor-adjusted); all replays identical",
+        first.decisions, virt_ratio, wall_ratio
+    );
+
+    let section = render_sched_scale(&cells, smoke);
+    let doc = match std::fs::read_to_string(&out) {
+        Ok(doc) => merge_section(&doc, "sched_scale", &section),
+        // No simbench document yet: write a minimal valid one.
+        Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
+    };
+    std::fs::write(&out, &doc).expect("write BENCH_SIM.json");
+    println!("wrote {out}");
+}

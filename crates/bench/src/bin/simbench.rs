@@ -7,9 +7,9 @@
 //! the repo root when run via `cargo run`).
 
 use bench_tables::simbench::{
-    baseline_events_per_sec, measure_day_in_the_life, measure_figure1, measure_migration_storm,
-    measure_msg_plane_mcast, measure_msg_plane_ulp, render_report, run_metrics_check,
-    WorkloadMeasure,
+    baseline_events_per_sec, measure_adm_repart, measure_day_in_the_life, measure_figure1,
+    measure_migration_storm, measure_msg_plane_mcast, measure_msg_plane_ulp, render_report,
+    run_metrics_check, WorkloadMeasure,
 };
 
 fn main() {
@@ -37,6 +37,7 @@ fn main() {
         ("day_in_the_life", measure_day_in_the_life),
         ("msg_plane_mcast", measure_msg_plane_mcast),
         ("msg_plane_ulp", measure_msg_plane_ulp),
+        ("adm_repart", measure_adm_repart),
     ] {
         println!("running {id}...");
         let m = f(smoke);

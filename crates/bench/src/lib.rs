@@ -12,7 +12,9 @@
 
 pub mod experiments;
 pub mod json;
+pub mod scale;
 pub mod simbench;
+pub mod splice;
 
 use simcore::TraceEvent;
 use std::path::PathBuf;

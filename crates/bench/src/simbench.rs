@@ -451,6 +451,61 @@ pub fn measure_msg_plane_ulp(smoke: bool) -> WorkloadMeasure {
     })
 }
 
+/// Measure the ADM repartition workload: an ADMopt run sized so the
+/// processed-flag bookkeeping — not the gradient arithmetic — dominates
+/// the wall clock (small-dim exemplars, tens of thousands of them), driven
+/// through repeated withdraw/rejoin cycles so the flag store is reset,
+/// fragmented, and reassembled over and over. Virtual time is unchanged by
+/// the flag representation (the wire format and chunk order are pinned);
+/// the win shows up in `wall_secs` / events-per-second.
+pub fn measure_adm_repart(smoke: bool) -> WorkloadMeasure {
+    use opt_app::{run_adm_opt_sched, AdmAction, AdmSchedule};
+    best_of(|| {
+        let (bytes, iters) = if smoke {
+            (4_080_000, 8)
+        } else {
+            (10_200_000, 20)
+        };
+        let mut cfg = OptConfig::paper(bytes, iters).with_adm_overhead();
+        // Small-dim exemplars: ~68 bytes each, so the set is large in
+        // count while the per-exemplar gradient math stays tiny.
+        cfg.dim = 16;
+        cfg.ncats = 4;
+        cfg.nslaves = 3;
+        cfg.nhosts = 3;
+        let w = |at_secs: f64, slave: usize, action: AdmAction| AdmSchedule {
+            at_secs,
+            slave,
+            action,
+        };
+        let sched = if smoke {
+            vec![
+                w(0.2, 1, AdmAction::Withdraw),
+                w(0.5, 1, AdmAction::Rejoin),
+                w(0.8, 2, AdmAction::Withdraw),
+                w(1.1, 2, AdmAction::Rejoin),
+            ]
+        } else {
+            vec![
+                w(0.5, 1, AdmAction::Withdraw),
+                w(1.5, 1, AdmAction::Rejoin),
+                w(2.5, 2, AdmAction::Withdraw),
+                w(3.5, 2, AdmAction::Rejoin),
+                w(4.5, 1, AdmAction::Withdraw),
+                w(5.5, 1, AdmAction::Rejoin),
+            ]
+        };
+        let start = Instant::now();
+        let run = run_adm_opt_sched(Calib::hp720_ethernet(), &cfg, &sched);
+        WorkloadMeasure {
+            id: "adm_repart".into(),
+            events: run.events,
+            wall_secs: start.elapsed().as_secs_f64(),
+            sim_secs: run.wall,
+        }
+    })
+}
+
 /// One engine's numbers from a migration-storm run.
 #[derive(Debug, Clone, Default)]
 pub struct StormRun {
@@ -628,6 +683,20 @@ pub const BASELINE_MSG_PLANE_EVENTS_PER_SEC: &[(&str, f64, f64)] = &[
 /// [`BASELINE_MSG_PLANE`]: `(full-mode bytes, smoke-mode bytes)`.
 pub const BASELINE_DAY_COPIED_BYTES: (u64, u64) = (8_665_740, 12_998_540);
 
+/// The per-item flagged exemplar store the run-length-encoded
+/// `adm::RunFlags` store replaced: `Vec<(Exemplar, bool)>` with an O(n)
+/// flag reset at every iteration boundary and a full O(n) rescan per
+/// processing chunk. Measured on this repo's reference machine (same
+/// engine as [`CURRENT_ENGINE`]) immediately before the rewrite; the
+/// rewrite leaves events and sim-seconds identical, so the ratio is pure
+/// bookkeeping overhead removed.
+pub const BASELINE_ADM_STORE: &str =
+    "per-item processed flags (Vec<(Exemplar, bool)>: O(n) reset, O(n) rescan per chunk)";
+
+/// Events/sec of the `adm_repart` workload under [`BASELINE_ADM_STORE`].
+/// `(workload id, full-mode events/sec, smoke-mode events/sec)`.
+pub const BASELINE_ADM_EVENTS_PER_SEC: &[(&str, f64, f64)] = &[("adm_repart", 14_149.0, 32_930.0)];
+
 /// Baseline events/sec recorded for a workload in the given mode: the
 /// pre-overhaul engine for the engine workloads, the deep-copy message
 /// plane for the `msg_plane` workloads.
@@ -635,6 +704,7 @@ pub fn baseline_events_per_sec(id: &str, smoke: bool) -> Option<f64> {
     BASELINE_EVENTS_PER_SEC
         .iter()
         .chain(BASELINE_MSG_PLANE_EVENTS_PER_SEC)
+        .chain(BASELINE_ADM_EVENTS_PER_SEC)
         .find(|(w, _, _)| *w == id)
         .map(|(_, full, sm)| if smoke { *sm } else { *full })
         .filter(|b| *b > 0.0)
@@ -703,6 +773,23 @@ pub fn render_report(
             BASELINE_DAY_COPIED_BYTES.0
         }
     ));
+    o.push_str("  \"baseline_adm_store\": {\n");
+    o.push_str(&format!(
+        "    \"store\": {},\n",
+        json::quote(BASELINE_ADM_STORE)
+    ));
+    o.push_str("    \"events_per_sec\": {");
+    for (i, (id, full, sm)) in BASELINE_ADM_EVENTS_PER_SEC.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n      {}: {}",
+            json::quote(id),
+            if smoke { sm } else { full }
+        ));
+    }
+    o.push_str("\n    }\n  },\n");
     if let Some(s) = storm {
         o.push_str("  \"baseline_migration_storm\": {\n");
         o.push_str(&format!(

@@ -1,0 +1,85 @@
+//! Splicing named sections into an existing `BENCH_SIM.json` document.
+//!
+//! The simbench binary writes the base document; satellite binaries
+//! (`policy_ablation`, `sched_scale`) each own one top-level member and
+//! must update it without disturbing the sections the other binaries
+//! wrote. These helpers do that with brace matching rather than a full
+//! JSON parse — the documents are machine-written, so the only structure
+//! that matters is the one member being replaced.
+
+/// Remove an existing `"<key>"` member (key, brace-matched object, and
+/// one neighbouring comma) from a `BENCH_SIM.json` document. Returns the
+/// document unchanged when the key is absent.
+pub fn strip_section(doc: &str, key: &str) -> String {
+    let needle = format!("\"{key}\"");
+    let Some(key_at) = doc.find(&needle) else {
+        return doc.to_string();
+    };
+    let open = key_at + doc[key_at..].find('{').expect("section must open a brace");
+    let mut depth = 0i32;
+    let mut close = 0;
+    for (i, ch) in doc[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + i + 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(close > open, "unbalanced {key} section");
+    let (mut start, mut end) = (key_at, close);
+    if doc[..key_at].trim_end().ends_with(',') {
+        start = doc[..key_at].rfind(',').unwrap();
+    } else if let Some(i) = doc[close..].find(',') {
+        if doc[close..close + i].trim().is_empty() {
+            end = close + i + 1;
+        }
+    }
+    format!(
+        "{}{}",
+        doc[..start].trim_end_matches([' ', '\n']),
+        &doc[end..]
+    )
+}
+
+/// Splice `section` (a complete `"key": {...}` member, no trailing comma)
+/// in as the last member of the top-level object, replacing any existing
+/// `key` member.
+pub fn merge_section(doc: &str, key: &str, section: &str) -> String {
+    let doc = strip_section(doc, key);
+    let tail = doc.rfind("\n}").expect("BENCH_SIM.json must be an object");
+    format!("{},\n{}{}", &doc[..tail], section, &doc[tail..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "{\n  \"schema\": \"simbench-v1\",\n  \"a\": {\n    \"x\": 1\n  }\n}\n";
+
+    #[test]
+    fn merge_appends_new_section() {
+        let merged = merge_section(DOC, "b", "  \"b\": {\n    \"y\": {\"z\": 2}\n  }");
+        assert!(merged.contains("\"a\""));
+        assert!(merged.contains("\"z\": 2"));
+        // Idempotent: merging again replaces, not duplicates.
+        let again = merge_section(&merged, "b", "  \"b\": {\n    \"y\": {\"z\": 3}\n  }");
+        assert_eq!(again.matches("\"b\"").count(), 1);
+        assert!(again.contains("\"z\": 3"));
+        assert!(!again.contains("\"z\": 2"));
+    }
+
+    #[test]
+    fn strip_removes_only_named_section() {
+        let merged = merge_section(DOC, "b", "  \"b\": {\n    \"y\": 2\n  }");
+        let stripped = strip_section(&merged, "a");
+        assert!(!stripped.contains("\"x\": 1"));
+        assert!(stripped.contains("\"y\": 2"));
+        assert_eq!(strip_section(DOC, "missing"), DOC);
+    }
+}

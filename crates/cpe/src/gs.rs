@@ -19,14 +19,16 @@
 //! config ([`crate::decentralized_gossip`]) spawns per-host local
 //! schedulers instead of the central loop.
 
-use crate::monitor::{Monitor, MonitorEvent, MonitorHandle};
+use crate::index::LoadIndex;
+use crate::monitor::{Load, Monitor, MonitorEvent, MonitorHandle};
 use crate::policy::{
-    owner_reclaim, ClusterView, Placement, SchedulingPolicy, ViewState, MAX_REDECISIONS,
+    owner_reclaim, seed_index, ClusterView, Placement, SchedulingPolicy, ViewState, MAX_REDECISIONS,
 };
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
 use simcore::{sim_trace, Mailbox, Metrics, SimCtx};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
 
@@ -53,6 +55,13 @@ impl Decision {
             MonitorEvent::OwnerActive(h) => format!("owner_active:{}", h.0),
             MonitorEvent::OwnerAway(h) => format!("owner_away:{}", h.0),
             MonitorEvent::LoadChanged(h, l) => format!("load_changed:{}:{}", h.0, l),
+            MonitorEvent::LoadBatch(batch) => {
+                let deltas: Vec<String> = batch
+                    .iter()
+                    .map(|(h, l)| format!("{}:{}", h.0, l))
+                    .collect();
+                format!("load_batch:{}", deltas.join(","))
+            }
             MonitorEvent::Tick => "tick".to_string(),
         };
         let outcome = match &self.outcome {
@@ -77,6 +86,13 @@ pub struct Gs {
     pub(crate) decisions: Arc<Mutex<Vec<Decision>>>,
     pub(crate) metrics: Metrics,
     pub(crate) monitor: MonitorHandle,
+    /// Real (wall-clock) nanoseconds spent inside `policy.decide`, and
+    /// the number of decide calls. Plain atomics, deliberately *outside*
+    /// the metrics registry: wall time is nondeterministic and must never
+    /// leak into replay-identical reports. The `sched_scale` bench reads
+    /// these to prove per-decision cost stays flat as the cluster grows.
+    pub(crate) decide_wall_ns: Arc<AtomicU64>,
+    pub(crate) decide_calls: Arc<AtomicU64>,
 }
 
 /// Configures a global scheduler before it spawns; see [`Gs::builder`].
@@ -145,9 +161,51 @@ impl GsBuilder<'_> {
         }
         let cluster2 = Arc::clone(cluster);
         let dec = Arc::clone(&decisions);
+        let decide_wall_ns = Arc::new(AtomicU64::new(0));
+        let decide_calls = Arc::new(AtomicU64::new(0));
+        let wall = Arc::clone(&decide_wall_ns);
+        let calls = Arc::clone(&decide_calls);
         cluster.sim.spawn("global-scheduler", move |ctx| {
             let mut owner_active: HashSet<HostId> = HashSet::new();
-            while let Some(ev) = mb.recv(&ctx) {
+            // The persistent destination index: seeded once from ground
+            // truth, then kept current by monitor load deltas and
+            // post-migration residency refreshes. Every view of this run
+            // borrows it — no per-decision rebuild, no cloning.
+            let index = Mutex::new(LoadIndex::new(cluster2.hosts().len()));
+            seed_index(&mut index.lock(), ctx.now(), &cluster2, &targets);
+            // A non-load event popped while draining load reports; it is
+            // handled on the next iteration, after the folded batch.
+            let mut pending: Option<MonitorEvent> = None;
+            while let Some(ev) = pending.take().or_else(|| mb.recv(&ctx)) {
+                // Drain the mailbox of queued load reports before
+                // deciding: N stale reports fold — newest observation per
+                // host wins, as in a gossip merge — into one batch and
+                // cost one decide pass, not N.
+                let ev = if is_load_report(&ev) {
+                    let mut folded: BTreeMap<HostId, Load> = BTreeMap::new();
+                    absorb_load_report(ev, &mut folded);
+                    while let Some(next) = mb.try_recv() {
+                        if is_load_report(&next) {
+                            absorb_load_report(next, &mut folded);
+                        } else {
+                            pending = Some(next);
+                            break;
+                        }
+                    }
+                    let mut ix = index.lock();
+                    for (&h, &l) in &folded {
+                        ix.set_external(h, l.0);
+                    }
+                    drop(ix);
+                    if folded.len() == 1 {
+                        let (&h, &l) = folded.iter().next().unwrap();
+                        MonitorEvent::LoadChanged(h, l)
+                    } else {
+                        MonitorEvent::LoadBatch(folded.into_iter().collect())
+                    }
+                } else {
+                    ev
+                };
                 sim_trace!(ctx, "gs.event", "{ev:?}");
                 match &ev {
                     MonitorEvent::OwnerActive(h) => {
@@ -161,18 +219,36 @@ impl GsBuilder<'_> {
                 // One ViewState spans the whole event: it carries which
                 // units landed (or got stuck) and the per-unit blacklist
                 // across successive decide calls. Each call gets a fresh
-                // view, so destination scores reflect migrations that
-                // already happened this event.
+                // view over the shared index, so destination scores
+                // reflect migrations that already happened this event.
                 let state = ViewState::new();
                 loop {
-                    let view = ClusterView::new(&ctx, &cluster2, &targets, &owner_active, &state);
+                    let view = ClusterView::with_index(
+                        &ctx,
+                        &cluster2,
+                        &targets,
+                        &owner_active,
+                        &state,
+                        &index,
+                    );
+                    let t0 = std::time::Instant::now();
                     let placements = policy.decide(&view, &ev);
+                    wall.fetch_add(t0.elapsed().as_nanos() as u64, AtomicOrdering::Relaxed);
+                    calls.fetch_add(1, AtomicOrdering::Relaxed);
                     drop(view);
                     if placements.is_empty() {
                         break;
                     }
                     for p in placements {
+                        let (src, dst) = (p.src, p.dst);
                         execute(&ctx, &targets, &state, &ev, &dec, p);
+                        // A migration (even a failed one) may have moved
+                        // residency: refresh both endpoints in place.
+                        let mut ix = index.lock();
+                        for h in [src, dst] {
+                            let units: usize = targets.iter().map(|t| t.units_on(h).len()).sum();
+                            ix.set_residency(h, units, cluster2.host(h).memory_overcommit());
+                        }
                     }
                 }
             }
@@ -181,7 +257,34 @@ impl GsBuilder<'_> {
             decisions,
             metrics: cluster.metrics(),
             monitor,
+            decide_wall_ns,
+            decide_calls,
         }
+    }
+}
+
+/// Is this event a load report the drain loop may fold?
+fn is_load_report(ev: &MonitorEvent) -> bool {
+    matches!(
+        ev,
+        MonitorEvent::LoadChanged(..) | MonitorEvent::LoadBatch(_)
+    )
+}
+
+/// Fold one load report into the per-host newest-wins map. Later calls
+/// overwrite earlier ones, so queue order decides freshness — exactly the
+/// order the monitor delivered the observations in.
+fn absorb_load_report(ev: MonitorEvent, folded: &mut BTreeMap<HostId, Load>) {
+    match ev {
+        MonitorEvent::LoadChanged(h, l) => {
+            folded.insert(h, l);
+        }
+        MonitorEvent::LoadBatch(batch) => {
+            for (h, l) in batch {
+                folded.insert(h, l);
+            }
+        }
+        _ => unreachable!("absorb_load_report: not a load report"),
     }
 }
 
@@ -198,6 +301,18 @@ impl Gs {
     /// Decisions taken so far (or over the whole run, after it ends).
     pub fn decisions(&self) -> Vec<Decision> {
         self.decisions.lock().clone()
+    }
+
+    /// Wall-clock cost of the policy's decide calls so far: `(total
+    /// nanoseconds, calls)`. Measured with a real clock around each
+    /// `decide` — this is host CPU time, not simulated time, so it never
+    /// appears in metrics reports; the decentralized mode (no central
+    /// decide loop) reports zeros.
+    pub fn decide_wall(&self) -> (u64, u64) {
+        (
+            self.decide_wall_ns.load(AtomicOrdering::Relaxed),
+            self.decide_calls.load(AtomicOrdering::Relaxed),
+        )
     }
 
     /// The metrics registry the GS (and the whole cluster) records into.
@@ -284,7 +399,7 @@ fn execute(
     if completed || unit_gone || !p.tracked {
         // Landed, exited between the monitor event and the order, or
         // opportunistic: either way, no further placements this event.
-        state.mark_handled(p.target, p.unit);
+        state.mark_handled(p.target, p.src, p.unit);
         return;
     }
     // Failure feedback loop: blacklist the destination and let the policy
@@ -298,7 +413,7 @@ fn execute(
             p.unit,
             p.src
         );
-        state.mark_handled(p.target, p.unit);
+        state.mark_handled(p.target, p.src, p.unit);
     } else {
         metrics.counter_add("gs.redecisions", 1);
     }

@@ -1,0 +1,300 @@
+//! The incremental load index: a persistent, load-keyed ranking of hosts
+//! with O(log n) in-place updates.
+//!
+//! The pre-index `ClusterView` lazily rebuilt — then cloned — a full
+//! `BinaryHeap` of every host on each `best_destination`/`hosts_by_score`
+//! call, so per-decision cost grew superlinearly with cluster size. The
+//! index here is built once (by the GS when it spawns, or by a standalone
+//! view) and then maintained in place: a load delta or a landed migration
+//! touches one `BTreeSet` entry, and every ranking query walks the set in
+//! ascending `(score, host)` order with zero per-call cloning — exactly
+//! the pop order of the old min-heap, so decisions are unchanged.
+//!
+//! Two layers:
+//!
+//! * [`ScoreIndex`] — the bare ordered structure: one score per host, an
+//!   ascending iterator, nothing else. The decentralized
+//!   [`LocalScheduler`](crate::decentralized_gossip) keys one of these by
+//!   gossip scores for its local min-score test.
+//! * [`LoadIndex`] — the GS's view: per-host score *components* (reported
+//!   external load, resident units, memory overcommit) combined with the
+//!   same formula as [`ClusterView::score`](crate::ClusterView::score),
+//!   re-ranked through an inner [`ScoreIndex`] on every component change.
+
+use crate::monitor::Load;
+use std::collections::BTreeSet;
+use worknet::HostId;
+
+/// An ordered index of per-host scores: `set` is O(log n), and
+/// [`ascending`](ScoreIndex::ascending) walks hosts coldest-first with
+/// ties toward the lower host id — the exact pop order of a min-heap of
+/// `(score, host)`.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreIndex {
+    by_host: Vec<Option<Load>>,
+    ordered: BTreeSet<(Load, HostId)>,
+}
+
+impl ScoreIndex {
+    /// An empty index over hosts `0..n` (no host has a score yet).
+    pub fn new(n: usize) -> Self {
+        ScoreIndex {
+            by_host: vec![None; n],
+            ordered: BTreeSet::new(),
+        }
+    }
+
+    /// Hosts the index was sized for.
+    pub fn capacity(&self) -> usize {
+        self.by_host.len()
+    }
+
+    /// Hosts currently ranked.
+    pub fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// True when no host has a score.
+    pub fn is_empty(&self) -> bool {
+        self.ordered.is_empty()
+    }
+
+    /// Set (or update) `h`'s score: one remove + one insert, O(log n).
+    pub fn set(&mut self, h: HostId, score: f64) {
+        let slot = &mut self.by_host[h.0];
+        if let Some(old) = slot.take() {
+            self.ordered.remove(&(old, h));
+        }
+        *slot = Some(Load(score));
+        self.ordered.insert((Load(score), h));
+    }
+
+    /// Drop `h` from the ranking entirely.
+    pub fn remove(&mut self, h: HostId) {
+        if let Some(old) = self.by_host[h.0].take() {
+            self.ordered.remove(&(old, h));
+        }
+    }
+
+    /// `h`'s current score, if ranked.
+    pub fn get(&self, h: HostId) -> Option<f64> {
+        self.by_host.get(h.0).copied().flatten().map(|l| l.0)
+    }
+
+    /// All ranked hosts, ascending by `(score, host id)` — coldest first,
+    /// ties toward the lower id. Zero-copy: this borrows the set.
+    pub fn ascending(&self) -> impl Iterator<Item = (f64, HostId)> + '_ {
+        self.ordered.iter().map(|&(Load(s), h)| (s, h))
+    }
+}
+
+/// One host's score components as the GS tracks them.
+#[derive(Debug, Clone, Copy, Default)]
+struct HostParts {
+    /// External load as last reported by the monitor (`LoadChanged` /
+    /// `LoadBatch`), not read live from the trace: the index ranks hosts
+    /// by what the scheduler has *sensed*, which is exactly the
+    /// information a real CPE daemon would have.
+    external: f64,
+    /// Resident migratable units across all managed targets.
+    units: usize,
+    /// Memory overcommit ratio (swap pressure).
+    overcommit: f64,
+}
+
+/// The combined destination score — identical to
+/// [`ClusterView::score`](crate::ClusterView::score): external load plus
+/// resident parallel work units plus double-weighted swap pressure.
+fn combine(p: &HostParts) -> f64 {
+    p.external + p.units as f64 + p.overcommit * 2.0
+}
+
+/// The GS's persistent destination index: per-host score components kept
+/// current by load deltas and landed migrations, ranked through an inner
+/// [`ScoreIndex`].
+#[derive(Debug, Clone)]
+pub struct LoadIndex {
+    parts: Vec<HostParts>,
+    index: ScoreIndex,
+}
+
+impl LoadIndex {
+    /// An all-zero index over hosts `0..n` (every host ranked at score 0).
+    pub fn new(n: usize) -> Self {
+        let mut index = ScoreIndex::new(n);
+        for h in 0..n {
+            index.set(HostId(h), 0.0);
+        }
+        LoadIndex {
+            parts: vec![HostParts::default(); n],
+            index,
+        }
+    }
+
+    /// Hosts tracked.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True for a zero-host cluster.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Record a sensed external-load delta for `h` (a `LoadChanged`
+    /// report, or one entry of a `LoadBatch`).
+    pub fn set_external(&mut self, h: HostId, load: f64) {
+        self.parts[h.0].external = load;
+        self.index.set(h, combine(&self.parts[h.0]));
+    }
+
+    /// Refresh `h`'s residency components (unit count and overcommit)
+    /// after a migration landed on or departed it.
+    pub fn set_residency(&mut self, h: HostId, units: usize, overcommit: f64) {
+        self.parts[h.0].units = units;
+        self.parts[h.0].overcommit = overcommit;
+        self.index.set(h, combine(&self.parts[h.0]));
+    }
+
+    /// `h`'s external load as last reported.
+    pub fn external(&self, h: HostId) -> f64 {
+        self.parts[h.0].external
+    }
+
+    /// `h`'s residency components as currently indexed: `(units,
+    /// overcommit)`. Views compare this against ground truth to catch
+    /// spawns/exits that happened outside the scheduler's hands.
+    pub fn residency(&self, h: HostId) -> (usize, f64) {
+        (self.parts[h.0].units, self.parts[h.0].overcommit)
+    }
+
+    /// `h`'s combined destination score.
+    pub fn score(&self, h: HostId) -> f64 {
+        combine(&self.parts[h.0])
+    }
+
+    /// All hosts ascending by `(score, host id)` — the destination scan
+    /// order. Zero-copy.
+    pub fn ascending(&self) -> impl Iterator<Item = (f64, HostId)> + '_ {
+        self.index.ascending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn score_index_orders_and_updates() {
+        let mut ix = ScoreIndex::new(3);
+        assert!(ix.is_empty());
+        ix.set(HostId(2), 1.0);
+        ix.set(HostId(0), 1.0);
+        ix.set(HostId(1), 0.5);
+        assert_eq!(ix.len(), 3);
+        assert_eq!(ix.capacity(), 3);
+        let order: Vec<HostId> = ix.ascending().map(|(_, h)| h).collect();
+        // Ties (hosts 0 and 2 at 1.0) break toward the lower id.
+        assert_eq!(order, vec![HostId(1), HostId(0), HostId(2)]);
+        ix.set(HostId(1), 9.0);
+        assert_eq!(ix.ascending().next().unwrap().1, HostId(0));
+        assert_eq!(ix.get(HostId(1)), Some(9.0));
+        ix.remove(HostId(1));
+        assert_eq!(ix.get(HostId(1)), None);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn load_index_combines_components() {
+        let mut ix = LoadIndex::new(2);
+        ix.set_external(HostId(0), 1.5);
+        ix.set_residency(HostId(0), 2, 0.25);
+        assert_eq!(ix.external(HostId(0)), 1.5);
+        assert_eq!(ix.score(HostId(0)), 1.5 + 2.0 + 0.5);
+        assert_eq!(ix.score(HostId(1)), 0.0);
+        let order: Vec<HostId> = ix.ascending().map(|(_, h)| h).collect();
+        assert_eq!(order, vec![HostId(1), HostId(0)]);
+        assert_eq!(ix.len(), 2);
+        assert!(!ix.is_empty());
+    }
+
+    /// One step of the interleaving the GS drives the index through.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// A `MonitorEvent::LoadChanged` report.
+        LoadChanged(usize, f64),
+        /// A `MonitorEvent::LoadBatch` of coalesced reports (newest-wins
+        /// per host: later entries in the batch overwrite earlier ones).
+        LoadBatch(Vec<(usize, f64)>),
+        /// A landed migration's residency refresh.
+        Residency(usize, usize, f64),
+        /// `charge_decision`: advances the decision clock. The index is
+        /// time-independent, so this must be a no-op on the ranking.
+        ChargeDecision,
+    }
+
+    const N: usize = 8;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        let host = 0..N;
+        let load = 0.0f64..4.0;
+        prop_oneof![
+            (host.clone(), load).prop_map(|(h, l)| Op::LoadChanged(h, l)),
+            proptest::collection::vec((0..N, 0.0f64..4.0), 1..6).prop_map(Op::LoadBatch),
+            (host, 0usize..5, 0.0f64..1.0).prop_map(|(h, u, o)| Op::Residency(h, u, o)),
+            Just(Op::ChargeDecision),
+        ]
+    }
+
+    proptest! {
+        /// The satellite property: after an arbitrary interleaving of
+        /// `LoadChanged` / `LoadBatch` / residency refreshes /
+        /// `charge_decision`, the incrementally maintained index ranks
+        /// hosts exactly like a from-scratch rebuild (the old heap) over
+        /// the same final components.
+        #[test]
+        fn incremental_index_equals_fresh_rebuild(
+            ops in proptest::collection::vec(op_strategy(), 0..64)
+        ) {
+            let mut ix = LoadIndex::new(N);
+            let mut model: Vec<(f64, usize, f64)> = vec![(0.0, 0, 0.0); N];
+            for op in &ops {
+                match op {
+                    Op::LoadChanged(h, l) => {
+                        ix.set_external(HostId(*h), *l);
+                        model[*h].0 = *l;
+                    }
+                    Op::LoadBatch(batch) => {
+                        for &(h, l) in batch {
+                            ix.set_external(HostId(h), l);
+                            model[h].0 = l;
+                        }
+                    }
+                    Op::Residency(h, u, o) => {
+                        ix.set_residency(HostId(*h), *u, *o);
+                        model[*h].1 = *u;
+                        model[*h].2 = *o;
+                    }
+                    Op::ChargeDecision => {
+                        // Time advances; scores are report-derived, not
+                        // time-derived, so nothing changes.
+                    }
+                }
+            }
+            // From-scratch rebuild: the old ScoreHeap, popped to a vec.
+            let mut rebuilt: Vec<(Load, HostId)> = model
+                .iter()
+                .enumerate()
+                .map(|(h, &(l, u, o))| (Load(l + u as f64 + o * 2.0), HostId(h)))
+                .collect();
+            rebuilt.sort();
+            let incremental: Vec<(Load, HostId)> =
+                ix.ascending().map(|(s, h)| (Load(s), h)).collect();
+            prop_assert_eq!(incremental, rebuilt);
+            for (h, m) in model.iter().enumerate() {
+                prop_assert_eq!(ix.external(HostId(h)), m.0);
+            }
+        }
+    }
+}

@@ -13,12 +13,14 @@
 #![warn(missing_docs)]
 
 mod gs;
+mod index;
 mod local;
 mod monitor;
 mod policy;
 mod target;
 
 pub use gs::{Decision, Gs, GsBuilder};
+pub use index::{LoadIndex, ScoreIndex};
 pub use monitor::{Load, Monitor, MonitorBuilder, MonitorEvent, MonitorHandle, SENSE_DELAY};
 pub use policy::{
     decentralized_gossip, destination_swap, load_threshold, owner_reclaim, rebalance, ClusterView,

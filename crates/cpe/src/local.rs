@@ -18,14 +18,15 @@
 //! decisions from every daemon land in one shared log.
 
 use crate::gs::{Decision, Gs};
+use crate::index::ScoreIndex;
 use crate::monitor::{Monitor, MonitorEvent};
 use crate::policy::{GossipConfig, DECISION_COST, MAX_REDECISIONS};
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
 use pvm_rt::Tid;
-use simcore::{sim_trace, Mailbox, SimCtx, SimTime};
+use simcore::{sim_trace, Mailbox, SimCtx};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use worknet::{Cluster, HostId, LoadVector};
 
@@ -39,7 +40,14 @@ pub(crate) fn spawn_decentralized(
     let n = cluster.hosts().len();
     let event_mbs: Vec<Mailbox<MonitorEvent>> = (0..n).map(|_| Mailbox::new()).collect();
     let gossip_mbs: Vec<Mailbox<LoadVector>> = (0..n).map(|_| Mailbox::new()).collect();
-    let monitor = Monitor::builder(cluster).install_per_host(&event_mbs);
+    // Gossip rounds ride the monitor's staggered tick chain: one
+    // self-renewing kernel event walks all hosts, firing host `h` at
+    // `period·(r+1) + period·(h+1)/(n+1)` — the same offsets each daemon
+    // used to compute with its own recv-deadline timer, at one pending
+    // event total instead of one per host per round.
+    let monitor = Monitor::builder(cluster)
+        .staggered_ticks(cfg.period)
+        .install_per_host(&event_mbs);
     let decisions: Arc<Mutex<Vec<Decision>>> = Arc::new(Mutex::new(Vec::new()));
     // Shut down when the last application finishes: close every daemon's
     // mailboxes so all local schedulers drain out of their round loops.
@@ -80,6 +88,9 @@ pub(crate) fn spawn_decentralized(
         decisions,
         metrics: cluster.metrics(),
         monitor,
+        // No central decide loop to time in this mode.
+        decide_wall_ns: Arc::new(AtomicU64::new(0)),
+        decide_calls: Arc::new(AtomicU64::new(0)),
     }
 }
 
@@ -101,35 +112,36 @@ impl LocalScheduler {
         let n = self.peers.len();
         let h = self.host.0;
         let mut view = LoadVector::new();
+        // The known-score index mirroring `view`: every entry adopted into
+        // the vector is re-ranked here, so the local min-score test walks
+        // hosts coldest-first in O(log n) updates instead of scanning the
+        // whole vector — the same structure the central GS uses.
+        let mut known = ScoreIndex::new(n);
         let mut owner_active = false;
         // Round-robin gossip partner, starting just past ourselves.
         let mut next_peer = (h + 1) % n;
-        // Stagger first rounds across hosts so daemons never gossip in
-        // lockstep; afterwards every daemon runs one round per period.
-        let mut next_round =
-            SimTime::ZERO + self.cfg.period + self.cfg.period * (h as u64 + 1) / (n as u64 + 1);
-        loop {
-            let wait = next_round.saturating_since(ctx.now());
-            match self.events.recv_deadline(ctx, wait) {
-                Some(ev) => {
-                    sim_trace!(ctx, "ls.event", "{}: {ev:?}", self.host);
-                    match ev {
-                        MonitorEvent::OwnerActive(_) => {
-                            owner_active = true;
-                            self.evacuate_all(ctx, &mut view);
-                        }
-                        MonitorEvent::OwnerAway(_) => owner_active = false,
-                        // Load changes fold into the next round's score
-                        // refresh; ticks are the central monitor's tool.
-                        MonitorEvent::LoadChanged(..) | MonitorEvent::Tick => {}
-                    }
+        // Rounds arrive as staggered monitor ticks (one shared chain, one
+        // pending kernel event across all daemons); the mailbox queues a
+        // tick that lands while we are busy migrating, so no round is
+        // ever lost to a long decision.
+        while let Some(ev) = self.events.recv(ctx) {
+            sim_trace!(ctx, "ls.event", "{}: {ev:?}", self.host);
+            match ev {
+                MonitorEvent::OwnerActive(_) => {
+                    owner_active = true;
+                    self.evacuate_all(ctx, &mut view, &mut known);
                 }
-                None => {
-                    if self.events.is_closed() {
-                        break;
+                MonitorEvent::OwnerAway(_) => owner_active = false,
+                // Load changes fold into the next round's score refresh;
+                // batches never reach per-host monitors.
+                MonitorEvent::LoadChanged(..) | MonitorEvent::LoadBatch(_) => {}
+                MonitorEvent::Tick => {
+                    // A tick drained from an already-closed mailbox is a
+                    // round that raced the shutdown: skip it, exactly as
+                    // the old per-daemon timer never fired past close.
+                    if !self.events.is_closed() {
+                        self.gossip_round(ctx, &mut view, &mut known, &mut next_peer, owner_active);
                     }
-                    self.gossip_round(ctx, &mut view, &mut next_peer, owner_active);
-                    next_round += self.cfg.period;
                 }
             }
         }
@@ -149,15 +161,18 @@ impl LocalScheduler {
         &self,
         ctx: &SimCtx,
         view: &mut LoadVector,
+        known: &mut ScoreIndex,
         next_peer: &mut usize,
         owner_active: bool,
     ) {
         let n = self.peers.len();
         while let Some(v) = self.gossip_in.try_recv() {
-            view.merge(&v);
+            // Only adopted (newer) entries re-rank the index.
+            view.merge_with(&v, |h, e| known.set(h, e.score));
         }
         let my_score = self.score(ctx, self.host);
         view.update(self.host, my_score, owner_active, ctx.now());
+        known.set(self.host, my_score);
         ctx.metrics().counter_add("ls.gossip.rounds", 1);
         if n > 1 {
             if *next_peer == self.host.0 {
@@ -175,54 +190,60 @@ impl LocalScheduler {
             );
         }
         if owner_active {
-            self.evacuate_all(ctx, view);
+            self.evacuate_all(ctx, view, known);
         } else {
-            self.balance_once(ctx, view, my_score);
+            self.balance_once(ctx, view, known, my_score);
         }
     }
 
-    /// The best destination this daemon knows about: lowest remembered
-    /// score, ties toward the lower host id (BTreeMap order), skipping
-    /// ourselves, owner-active and crashed hosts, blacklisted
+    /// The best destination this daemon knows about: the first eligible
+    /// host walking the known-score index coldest-first (ties toward the
+    /// lower host id — the order a full scan with strict `<` would pick),
+    /// skipping ourselves, owner-active and crashed hosts, blacklisted
     /// destinations, and hosts the unit cannot land on.
     fn best_known(
         &self,
         view: &LoadVector,
+        known: &ScoreIndex,
         target: &dyn MigrationTarget,
         unit: Tid,
         blacklist: &HashSet<HostId>,
     ) -> Option<(f64, HostId)> {
-        let mut best: Option<(f64, HostId)> = None;
-        for (peer, entry) in view.entries() {
+        for (score, peer) in known.ascending() {
             if peer == self.host
-                || entry.owner_active
+                || view.get(peer).is_some_and(|e| e.owner_active)
                 || blacklist.contains(&peer)
                 || !self.cluster.host(peer).is_up()
                 || !target.can_migrate(unit, peer)
             {
                 continue;
             }
-            if best.is_none_or(|(bs, _)| entry.score < bs) {
-                best = Some((entry.score, peer));
-            }
+            return Some((score, peer));
         }
-        best
+        None
     }
 
     /// After a unit lands on `dst`, our remembered score for it is one
     /// unit stale: bump it so the next pick this round doesn't herd
     /// everything onto the same host.
-    fn note_arrival(&self, ctx: &SimCtx, view: &mut LoadVector, dst: HostId) {
+    fn note_arrival(
+        &self,
+        ctx: &SimCtx,
+        view: &mut LoadVector,
+        known: &mut ScoreIndex,
+        dst: HostId,
+    ) {
         let bumped = view.get(dst).map(|e| (e.score + 1.0, e.owner_active));
         if let Some((score, active)) = bumped {
             view.update(dst, score, active, ctx.now());
+            known.set(dst, score);
         }
     }
 
     /// Owner reclamation, decided locally: every unit on this host moves
     /// to the best known destination, with the same per-unit retry and
     /// blacklist budget the central GS applies.
-    fn evacuate_all(&self, ctx: &SimCtx, view: &mut LoadVector) {
+    fn evacuate_all(&self, ctx: &SimCtx, view: &mut LoadVector, known: &mut ScoreIndex) {
         let metrics = ctx.metrics();
         for ti in 0..self.targets.len() {
             let target = Arc::clone(&self.targets[ti]);
@@ -233,7 +254,8 @@ impl LocalScheduler {
                         metrics.counter_add("ls.redecisions", 1);
                     }
                     ctx.advance(DECISION_COST);
-                    let Some((_, dst)) = self.best_known(view, &*target, unit, &blacklist) else {
+                    let Some((_, dst)) = self.best_known(view, known, &*target, unit, &blacklist)
+                    else {
                         break;
                     };
                     sim_trace!(
@@ -266,7 +288,7 @@ impl LocalScheduler {
                         outcome,
                     });
                     if completed {
-                        self.note_arrival(ctx, view, dst);
+                        self.note_arrival(ctx, view, known, dst);
                         continue 'units;
                     }
                     if unit_gone {
@@ -288,7 +310,13 @@ impl LocalScheduler {
     /// host's by more than the threshold, shed one unit to it.
     /// Opportunistic — a failure is recorded, never retried; the next
     /// round re-evaluates with fresher gossip.
-    fn balance_once(&self, ctx: &SimCtx, view: &mut LoadVector, my_score: f64) {
+    fn balance_once(
+        &self,
+        ctx: &SimCtx,
+        view: &mut LoadVector,
+        known: &mut ScoreIndex,
+        my_score: f64,
+    ) {
         ctx.advance(DECISION_COST);
         let none = HashSet::new();
         for ti in 0..self.targets.len() {
@@ -296,7 +324,8 @@ impl LocalScheduler {
             let Some(&unit) = target.units_on(self.host).first() else {
                 continue;
             };
-            let Some((best_score, dst)) = self.best_known(view, &*target, unit, &none) else {
+            let Some((best_score, dst)) = self.best_known(view, known, &*target, unit, &none)
+            else {
                 return;
             };
             if my_score - best_score <= self.cfg.threshold {
@@ -328,7 +357,7 @@ impl LocalScheduler {
                 outcome,
             });
             if completed {
-                self.note_arrival(ctx, view, dst);
+                self.note_arrival(ctx, view, known, dst);
             }
             return;
         }

@@ -13,6 +13,7 @@
 
 use simcore::{Mailbox, Metrics, SimDuration};
 use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
@@ -67,6 +68,14 @@ pub enum MonitorEvent {
     OwnerAway(HostId),
     /// External load changed to this value.
     LoadChanged(HostId, Load),
+    /// A batch of coalesced load reports, one `(host, new load)` delta per
+    /// affected host, ascending by host id. Newest observation wins —
+    /// within one batch each host appears once; when the GS folds queued
+    /// batches together, later entries overwrite earlier ones, mirroring
+    /// the `worknet::gossip` merge convention. The monitor emits one batch
+    /// per *instant* at which two or more hosts transition together
+    /// (single-host instants stay [`MonitorEvent::LoadChanged`]).
+    LoadBatch(Vec<(HostId, Load)>),
     /// Periodic sampling tick (rebalance policies).
     Tick,
 }
@@ -85,6 +94,7 @@ impl Monitor {
         MonitorBuilder {
             cluster,
             tick_period: None,
+            staggered: false,
         }
     }
 }
@@ -93,6 +103,7 @@ impl Monitor {
 pub struct MonitorBuilder<'a> {
     cluster: &'a Arc<Cluster>,
     tick_period: Option<SimDuration>,
+    staggered: bool,
 }
 
 impl MonitorBuilder<'_> {
@@ -102,21 +113,42 @@ impl MonitorBuilder<'_> {
     /// event would keep the simulation alive forever.
     pub fn ticks(mut self, period: SimDuration) -> Self {
         self.tick_period = Some(period);
+        self.staggered = false;
+        self
+    }
+
+    /// Like [`ticks`](MonitorBuilder::ticks), but staggered: host `h`'s
+    /// tick fires at `period + period·(h+1)/(n+1)` into each period, so
+    /// the per-host consumers never act in lockstep. Only meaningful with
+    /// [`install_per_host`](MonitorBuilder::install_per_host) (the gossip
+    /// mode's round driver); with a single mailbox it degenerates to a
+    /// slightly phase-shifted [`ticks`](MonitorBuilder::ticks). One
+    /// self-renewing kernel event serves every host — the event heap
+    /// carries one pending tick total, not one per host per round.
+    pub fn staggered_ticks(mut self, period: SimDuration) -> Self {
+        self.tick_period = Some(period);
+        self.staggered = true;
         self
     }
 
     /// Install the configured event sources into `out`. Call once, before
     /// the simulation runs.
+    ///
+    /// Same-instant load transitions across hosts are coalesced into a
+    /// single [`MonitorEvent::LoadBatch`] kernel event (deltas ascending
+    /// by host id); instants where only one host transitions stay
+    /// [`MonitorEvent::LoadChanged`]. `cpe.monitor.events` still counts
+    /// individual *reports*; `cpe.monitor.batches` counts the coalesced
+    /// deliveries.
     pub fn install(self, out: &Mailbox<MonitorEvent>) -> MonitorHandle {
-        let single = out.clone();
-        self.install_routed(move |_| single.clone(), vec![out.clone()])
+        self.install_routed(Routing::Single(out.clone()))
     }
 
     /// Install the configured event sources with per-host routing: host
     /// `h`'s owner/load transitions (and fault-plane reclaims) go to
     /// `outs[h]`, and ticks — where configured — go to every mailbox. This
     /// is the decentralized gossip mode's monitor: each host senses only
-    /// itself.
+    /// itself, so load reports are never cross-host batched.
     ///
     /// # Panics
     ///
@@ -127,19 +159,18 @@ impl MonitorBuilder<'_> {
             self.cluster.hosts().len(),
             "install_per_host: one mailbox per host"
         );
-        let by_host = outs.to_vec();
-        self.install_routed(move |h: HostId| by_host[h.0].clone(), outs.to_vec())
+        self.install_routed(Routing::PerHost(outs.to_vec()))
     }
 
-    fn install_routed(
-        self,
-        route: impl Fn(HostId) -> Mailbox<MonitorEvent>,
-        tick_outs: Vec<Mailbox<MonitorEvent>>,
-    ) -> MonitorHandle {
+    fn install_routed(self, routing: Routing) -> MonitorHandle {
         let cluster = self.cluster;
         let metrics = cluster.metrics();
         let stop = Arc::new(AtomicBool::new(false));
         let m = metrics.clone();
+        let route = |h: HostId| match &routing {
+            Routing::Single(out) => out.clone(),
+            Routing::PerHost(outs) => outs[h.0].clone(),
+        };
         cluster.sim.with_world(|w| {
             for host in cluster.hosts() {
                 let h = host.id;
@@ -157,14 +188,59 @@ impl MonitorBuilder<'_> {
                         out.send_from_world(w, ev)
                     });
                 }
-                for &(at, load) in host.spec.load.change_points() {
-                    let out = route(h);
-                    let m = m.clone();
-                    let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
-                    w.schedule_in(delay, move |w| {
-                        m.counter_add("cpe.monitor.events", 1);
-                        out.send_from_world(w, MonitorEvent::LoadChanged(h, Load(load)))
-                    });
+            }
+            // Load reports. With a single consumer, group the change
+            // points of *all* hosts by delivery instant: N hosts stepping
+            // together (storm-style churn) cost one kernel event and one
+            // mailbox delivery, not N. Per-host routing keeps one event
+            // per transition — a single host cannot transition twice at
+            // the same instant, so there is nothing to coalesce.
+            match &routing {
+                Routing::Single(out) => {
+                    let mut by_instant: BTreeMap<SimDuration, Vec<(HostId, Load)>> =
+                        BTreeMap::new();
+                    for host in cluster.hosts() {
+                        for &(at, load) in host.spec.load.change_points() {
+                            let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                            by_instant
+                                .entry(delay)
+                                .or_default()
+                                .push((host.id, Load(load)));
+                        }
+                    }
+                    for (delay, mut batch) in by_instant {
+                        // Hosts were visited in id order, so each batch is
+                        // already ascending; the sort is belt-and-braces
+                        // for deterministic wire order.
+                        batch.sort_by_key(|&(h, _)| h);
+                        let out = out.clone();
+                        let m = m.clone();
+                        w.schedule_in(delay, move |w| {
+                            m.counter_add("cpe.monitor.events", batch.len() as u64);
+                            let ev = if batch.len() == 1 {
+                                let (h, l) = batch[0];
+                                MonitorEvent::LoadChanged(h, l)
+                            } else {
+                                m.counter_add("cpe.monitor.batches", 1);
+                                MonitorEvent::LoadBatch(batch)
+                            };
+                            out.send_from_world(w, ev)
+                        });
+                    }
+                }
+                Routing::PerHost(_) => {
+                    for host in cluster.hosts() {
+                        let h = host.id;
+                        for &(at, load) in host.spec.load.change_points() {
+                            let out = route(h);
+                            let m = m.clone();
+                            let delay = at.since(simcore::SimTime::ZERO) + SENSE_DELAY;
+                            w.schedule_in(delay, move |w| {
+                                m.counter_add("cpe.monitor.events", 1);
+                                out.send_from_world(w, MonitorEvent::LoadChanged(h, Load(load)))
+                            });
+                        }
+                    }
                 }
             }
             // Owner reclaims injected through the fault schedule look, to
@@ -180,10 +256,26 @@ impl MonitorBuilder<'_> {
             }
         });
         if let Some(period) = self.tick_period {
-            install_tick_chain(cluster, tick_outs, period, Arc::clone(&stop));
+            let outs = match routing {
+                Routing::Single(out) => vec![out],
+                Routing::PerHost(outs) => outs,
+            };
+            if self.staggered {
+                install_staggered_tick_chain(cluster, outs, period, Arc::clone(&stop));
+            } else {
+                install_tick_chain(cluster, outs, period, Arc::clone(&stop));
+            }
         }
         MonitorHandle { stop, metrics }
     }
+}
+
+/// Where an installed monitor delivers events.
+enum Routing {
+    /// A central GS: every host's events land in one mailbox.
+    Single(Mailbox<MonitorEvent>),
+    /// Decentralized: host `h`'s events land in `outs[h]`.
+    PerHost(Vec<Mailbox<MonitorEvent>>),
 }
 
 /// Handle to an installed monitor. Cloneable; every clone controls the
@@ -238,6 +330,54 @@ fn install_tick_chain(
     }
     cluster.sim.with_world(move |w| {
         w.schedule_in(period, move |w| tick(w, outs, period, stop));
+    });
+}
+
+/// The self-renewing *staggered* tick event behind
+/// [`MonitorBuilder::staggered_ticks`]. Host `h` of `n` is ticked at
+/// `period·(r+1) + period·(h+1)/(n+1)` for round `r` — the same offsets
+/// the decentralized scheduler used to compute with one private timer per
+/// host, but driven by a single kernel event that walks the mailboxes in
+/// host order and wraps to the next round, so the event heap carries one
+/// pending tick total instead of `n`.
+fn install_staggered_tick_chain(
+    cluster: &Arc<Cluster>,
+    outs: Vec<Mailbox<MonitorEvent>>,
+    period: SimDuration,
+    stop: Arc<AtomicBool>,
+) {
+    /// Delivery time for `(round, host)` with `n` consumers.
+    fn fire_at(period: SimDuration, round: u64, host: usize, n: usize) -> SimDuration {
+        period * (round + 1) + period * (host as u64 + 1) / (n as u64 + 1)
+    }
+    fn tick(
+        w: &mut simcore::World,
+        outs: Vec<Mailbox<MonitorEvent>>,
+        period: SimDuration,
+        stop: Arc<AtomicBool>,
+        round: u64,
+        host: usize,
+    ) {
+        if stop.load(AtomicOrdering::SeqCst) {
+            return;
+        }
+        outs[host].send_from_world(w, MonitorEvent::Tick);
+        let (next_round, next_host) = if host + 1 < outs.len() {
+            (round, host + 1)
+        } else {
+            (round + 1, 0)
+        };
+        let now = fire_at(period, round, host, outs.len());
+        let delay = fire_at(period, next_round, next_host, outs.len()).saturating_sub(now);
+        w.schedule_in(delay, move |w| {
+            tick(w, outs, period, stop, next_round, next_host)
+        });
+    }
+    let n = outs.len();
+    cluster.sim.with_world(move |w| {
+        w.schedule_in(fire_at(period, 0, 0, n), move |w| {
+            tick(w, outs, period, stop, 0, 0)
+        });
     });
 }
 
@@ -331,5 +471,160 @@ mod tests {
         assert!(Load(1.0) < Load(2.0));
         assert_eq!(Load::from(3.5), Load(3.5));
         assert_eq!(Load(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn same_instant_reports_coalesce_into_one_batch() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        // Hosts 0 and 2 step together at t=5s; host 1 steps alone at t=7s.
+        b.host(
+            HostSpec::hp720("h0").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 2.0)])),
+        );
+        b.host(
+            HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(SimTime(7_000_000_000), 1.0)])),
+        );
+        b.host(
+            HostSpec::hp720("h2").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 3.0)])),
+        );
+        let cluster = Arc::new(b.build());
+        cluster.metrics().set_enabled(true);
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        let _handle = Monitor::builder(&cluster).install(&mb);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let mb2 = mb;
+        cluster.sim.spawn("gs", move |ctx| {
+            for _ in 0..2 {
+                s.lock().unwrap().push(mb2.recv(&ctx).unwrap());
+            }
+        });
+        cluster.sim.run().unwrap();
+        let seen = seen.lock().unwrap();
+        // The simultaneous pair arrives as one batch, ascending by host id;
+        // the lone transition stays a plain LoadChanged.
+        assert_eq!(
+            seen[0],
+            MonitorEvent::LoadBatch(vec![(HostId(0), Load(2.0)), (HostId(2), Load(3.0))])
+        );
+        assert_eq!(seen[1], MonitorEvent::LoadChanged(HostId(1), Load(1.0)));
+        // Three reports, one of which was a real (≥2-host) batch.
+        assert_eq!(cluster.metrics().counter("cpe.monitor.events"), 3);
+        assert_eq!(cluster.metrics().counter("cpe.monitor.batches"), 1);
+    }
+
+    #[test]
+    fn per_host_routing_never_batches() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.host(
+            HostSpec::hp720("h0").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 2.0)])),
+        );
+        b.host(
+            HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 3.0)])),
+        );
+        let cluster = Arc::new(b.build());
+        cluster.metrics().set_enabled(true);
+        let mbs: Vec<Mailbox<MonitorEvent>> = vec![Mailbox::new(), Mailbox::new()];
+        let _handle = Monitor::builder(&cluster).install_per_host(&mbs);
+        for (h, mb) in mbs.into_iter().enumerate() {
+            let load = if h == 0 { 2.0 } else { 3.0 };
+            cluster.sim.spawn("local", move |ctx| {
+                assert_eq!(
+                    mb.recv(&ctx),
+                    Some(MonitorEvent::LoadChanged(HostId(h), Load(load)))
+                );
+            });
+        }
+        cluster.sim.run().unwrap();
+        assert_eq!(cluster.metrics().counter("cpe.monitor.batches"), 0);
+    }
+
+    #[test]
+    fn staggered_ticks_walk_hosts_in_offset_order() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(3);
+        let cluster = Arc::new(b.build());
+        let mbs: Vec<Mailbox<MonitorEvent>> = (0..3).map(|_| Mailbox::new()).collect();
+        let period = SimDuration::from_secs(4);
+        let handle = Monitor::builder(&cluster)
+            .staggered_ticks(period)
+            .install_per_host(&mbs);
+        let times = Arc::new(Mutex::new(Vec::new()));
+        for (h, mb) in mbs.into_iter().enumerate() {
+            let t = Arc::clone(&times);
+            let h2 = handle.clone();
+            cluster.sim.spawn("local", move |ctx| {
+                for round in 0..2 {
+                    assert_eq!(mb.recv(&ctx), Some(MonitorEvent::Tick));
+                    t.lock().unwrap().push((h, round, ctx.now()));
+                }
+                if h == 2 {
+                    h2.shutdown();
+                }
+            });
+        }
+        cluster.sim.run().unwrap();
+        let mut times = times.lock().unwrap().clone();
+        times.sort_by_key(|&(_, _, at)| at);
+        // period·(r+1) + period·(h+1)/(n+1): hosts 0,1,2 at 5s, 6s, 7s
+        // into round 0 (period 4s, n=3), then again one period later.
+        let expect = [
+            (0, 0, SimTime(5_000_000_000)),
+            (1, 0, SimTime(6_000_000_000)),
+            (2, 0, SimTime(7_000_000_000)),
+            (0, 1, SimTime(9_000_000_000)),
+            (1, 1, SimTime(10_000_000_000)),
+            (2, 1, SimTime(11_000_000_000)),
+        ];
+        assert_eq!(times.as_slice(), &expect);
+    }
+
+    /// Regression (batched reports × shutdown): `shutdown` stops only the
+    /// self-renewing tick. A shutdown racing an in-flight batched load
+    /// report must neither drop that report nor leave a pending tick
+    /// event keeping the simulation alive.
+    #[test]
+    fn shutdown_racing_batched_reports_drops_nothing_and_drains() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        // A two-host batch *after* the consumer has already shut the
+        // monitor down (shutdown happens on the first tick at 1s; the
+        // batch lands at 5.05s).
+        b.host(
+            HostSpec::hp720("h0").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 2.0)])),
+        );
+        b.host(
+            HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(SimTime(5_000_000_000), 3.0)])),
+        );
+        let cluster = Arc::new(b.build());
+        cluster.metrics().set_enabled(true);
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        let handle = Monitor::builder(&cluster)
+            .ticks(SimDuration::from_secs(1))
+            .install(&mb);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let h2 = handle;
+        let mb2 = mb;
+        cluster.sim.spawn("gs", move |ctx| {
+            // First event is the 1s tick; shut down immediately, racing
+            // the pre-scheduled batch still in flight.
+            assert_eq!(mb2.recv(&ctx), Some(MonitorEvent::Tick));
+            h2.shutdown();
+            // The batched report must still arrive intact.
+            let ev = mb2.recv(&ctx).unwrap();
+            s.lock().unwrap().push(ev);
+        });
+        // If shutdown leaked the pending tick event, run() would either
+        // spin forever or report unprocessed work; a clean return is the
+        // no-leak half of the property.
+        cluster.sim.run().unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.as_slice(),
+            &[MonitorEvent::LoadBatch(vec![
+                (HostId(0), Load(2.0)),
+                (HostId(1), Load(3.0)),
+            ])]
+        );
+        assert_eq!(cluster.metrics().counter("cpe.monitor.events"), 2);
     }
 }

@@ -14,13 +14,13 @@
 //! [`decentralized_gossip`] (a MOSIX-style mode with no central GS in the
 //! decision loop at all — see [`GossipConfig`]).
 
-use crate::monitor::{Load, MonitorEvent};
+use crate::index::LoadIndex;
+use crate::monitor::MonitorEvent;
 use crate::target::MigrationTarget;
 use parking_lot::Mutex;
 use pvm_rt::Tid;
 use simcore::{sim_trace, SimCtx, SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use worknet::{Cluster, HostId};
 
@@ -77,7 +77,7 @@ impl Placement {
 #[derive(Default)]
 struct ViewStateInner {
     handled: HashSet<Tid>,
-    handled_per_target: HashMap<usize, usize>,
+    handled_per_src: HashMap<(usize, HostId), usize>,
     blacklist: HashMap<Tid, HashSet<HostId>>,
     attempts: HashMap<Tid, usize>,
     charge_started: Option<SimTime>,
@@ -109,21 +109,24 @@ impl ViewState {
         self.inner.lock().handled.len()
     }
 
-    /// Units of target `target` handled this event.
-    pub fn handled_on(&self, target: usize) -> usize {
+    /// Units of target `target` handled off `src` this event. Counting is
+    /// per `(target, source)` so one batched event covering several hot
+    /// hosts peels the same number of units per host as the equivalent
+    /// sequence of single-host events would.
+    pub fn handled_on(&self, target: usize, src: HostId) -> usize {
         self.inner
             .lock()
-            .handled_per_target
-            .get(&target)
+            .handled_per_src
+            .get(&(target, src))
             .copied()
             .unwrap_or(0)
     }
 
     /// Mark a unit handled: no further placements for it this event.
-    pub fn mark_handled(&self, target: usize, unit: Tid) {
+    pub fn mark_handled(&self, target: usize, src: HostId, unit: Tid) {
         let mut st = self.inner.lock();
         if st.handled.insert(unit) {
-            *st.handled_per_target.entry(target).or_insert(0) += 1;
+            *st.handled_per_src.entry((target, src)).or_insert(0) += 1;
         }
     }
 
@@ -161,12 +164,23 @@ impl ViewState {
     }
 }
 
-/// The lazily built destination ranking: a min-heap of `(score, host)`.
-type ScoreHeap = BinaryHeap<Reverse<(Load, HostId)>>;
+/// Where a view's destination ranking lives.
+enum IndexSource<'a> {
+    /// The GS's persistent index, shared across every view of the run and
+    /// updated in place by load deltas — the O(log n) path.
+    Borrowed(&'a Mutex<LoadIndex>),
+    /// A self-contained index snapshotted from ground truth when the view
+    /// was built (standalone views: tests, ad-hoc actors). Externals are
+    /// re-read from the traces whenever the decision clock advances, so a
+    /// standalone view behaves exactly like the old rebuild-per-call heap.
+    Owned(Mutex<LoadIndex>),
+}
 
 /// What a policy sees: the cluster, the managed targets, owner activity,
-/// and the per-event [`ViewState`] — plus a shared load-keyed destination
-/// heap so `gs.decision_ns` stays flat as the host count grows.
+/// and the per-event [`ViewState`] — plus the load-keyed destination
+/// index ([`LoadIndex`]) so `gs.decision_ns` stays flat as the host count
+/// grows: ranking queries walk the persistent index instead of rebuilding
+/// and cloning a heap of every host per call.
 ///
 /// A fresh view is constructed for every `decide` call, so destination
 /// scores always reflect migrations that already landed this event.
@@ -176,14 +190,15 @@ pub struct ClusterView<'a> {
     targets: &'a [Arc<dyn MigrationTarget>],
     owner_active: &'a HashSet<HostId>,
     state: &'a ViewState,
-    // Lazily built min-heap of (score, host), invalidated whenever the
-    // decision clock advances (scores are a function of `now`).
-    heap: Mutex<Option<ScoreHeap>>,
+    index: IndexSource<'a>,
 }
 
 impl<'a> ClusterView<'a> {
-    /// Assemble a view. The GS builds one per `decide` call; tests may
-    /// build their own inside any simulation actor.
+    /// Assemble a standalone view: the destination index is built from
+    /// ground truth (trace loads at `now`, live residency) when the view
+    /// is constructed. The GS instead shares its persistent index via
+    /// [`ClusterView::with_index`]; tests may build their own view inside
+    /// any simulation actor.
     pub fn new(
         ctx: &'a SimCtx,
         cluster: &'a Arc<Cluster>,
@@ -191,13 +206,38 @@ impl<'a> ClusterView<'a> {
         owner_active: &'a HashSet<HostId>,
         state: &'a ViewState,
     ) -> Self {
+        let mut ix = LoadIndex::new(cluster.hosts().len());
+        seed_index(&mut ix, ctx.now(), cluster, targets);
         ClusterView {
             ctx,
             cluster,
             targets,
             owner_active,
             state,
-            heap: Mutex::new(None),
+            index: IndexSource::Owned(Mutex::new(ix)),
+        }
+    }
+
+    /// Assemble a view over a shared persistent index (the GS path). The
+    /// caller owns keeping the index's external loads current (it applies
+    /// every monitor load delta before deciding); residency drift from
+    /// spawns and exits is caught by the view itself, which verifies each
+    /// candidate against ground truth before trusting its rank.
+    pub fn with_index(
+        ctx: &'a SimCtx,
+        cluster: &'a Arc<Cluster>,
+        targets: &'a [Arc<dyn MigrationTarget>],
+        owner_active: &'a HashSet<HostId>,
+        state: &'a ViewState,
+        index: &'a Mutex<LoadIndex>,
+    ) -> Self {
+        ClusterView {
+            ctx,
+            cluster,
+            targets,
+            owner_active,
+            state,
+            index: IndexSource::Borrowed(index),
         }
     }
 
@@ -245,17 +285,24 @@ impl<'a> ClusterView<'a> {
         self.targets.iter().map(|t| t.units_on(host).len()).sum()
     }
 
-    /// External (non-PVM) load on `host` right now.
+    /// External (non-PVM) load on `host` as the scheduler knows it: the
+    /// last monitor report when the view shares the GS's persistent index,
+    /// the trace value at view-build time for a standalone view. Either
+    /// way this is what a real CPE daemon would know — sensed load, not an
+    /// oracle read.
     pub fn external_load(&self, host: HostId) -> f64 {
-        self.cluster.host(host).spec.load.load_at(self.now())
+        self.index(|ix| ix.external(host))
     }
 
     /// The destination score: external load plus resident parallel work
     /// units plus swap pressure — an overcommitted host slows every VP on
-    /// it (§1.0), so weigh it accordingly.
+    /// it (§1.0), so weigh it accordingly. Residency is verified against
+    /// ground truth before answering.
     pub fn score(&self, host: HostId) -> f64 {
-        let h = self.cluster.host(host);
-        self.external_load(host) + self.units_everywhere(host) as f64 + h.memory_overcommit() * 2.0
+        self.index(|ix| {
+            self.verify_residency(ix, host);
+            ix.score(host)
+        })
     }
 
     /// Advance the decision clock by [`DECISION_COST`]. Policies call this
@@ -267,68 +314,111 @@ impl<'a> ClusterView<'a> {
             self.inner_set_charge(Some(self.ctx.now()));
         }
         self.ctx.advance(DECISION_COST);
-        // Scores are time-dependent: drop the cached heap.
-        *self.heap.lock() = None;
+        // Report-derived scores don't move with the clock, so the shared
+        // index stays valid across the charge. Only a standalone view —
+        // whose externals were snapshotted from the traces — re-reads
+        // them, preserving the old heap's rebuild-after-charge behavior.
+        if let IndexSource::Owned(m) = &self.index {
+            let now = self.ctx.now();
+            let mut ix = m.lock();
+            for host in self.cluster.hosts() {
+                ix.set_external(host.id, host.spec.load.load_at(now));
+            }
+        }
     }
 
     fn inner_set_charge(&self, at: Option<SimTime>) {
         self.state.inner.lock().charge_started = at;
     }
 
-    fn build_heap(&self) -> BinaryHeap<Reverse<(Load, HostId)>> {
-        let now = self.now();
-        self.cluster
-            .hosts()
-            .iter()
-            .map(|host| {
-                let h = host.id;
-                let score = host.spec.load.load_at(now)
-                    + self.units_everywhere(h) as f64
-                    + host.memory_overcommit() * 2.0;
-                Reverse((Load(score), h))
-            })
-            .collect()
+    /// Run `f` against the destination index, shared or owned.
+    fn index<R>(&self, f: impl FnOnce(&mut LoadIndex) -> R) -> R {
+        match &self.index {
+            IndexSource::Borrowed(m) => f(&mut m.lock()),
+            IndexSource::Owned(m) => f(&mut m.lock()),
+        }
+    }
+
+    /// Re-derive `h`'s residency from ground truth and fix the index if a
+    /// spawn or exit moved it since the last refresh. Returns true when a
+    /// correction was applied (the host's rank may have changed).
+    fn verify_residency(&self, ix: &mut LoadIndex, h: HostId) -> bool {
+        let units: usize = self.targets.iter().map(|t| t.units_on(h).len()).sum();
+        let overcommit = self.cluster.host(h).memory_overcommit();
+        if ix.residency(h) != (units, overcommit) {
+            ix.set_residency(h, units, overcommit);
+            return true;
+        }
+        false
     }
 
     /// Every host ranked by destination score, ascending (coldest first);
-    /// ties rank the lower host id first. Shares the destination heap.
+    /// ties rank the lower host id first. Residency is refreshed for every
+    /// host first — the periodic sweep policies that call this are O(n)
+    /// per tick by nature.
     pub fn hosts_by_score(&self) -> Vec<(f64, HostId)> {
-        let mut guard = self.heap.lock();
-        let heap = guard.get_or_insert_with(|| self.build_heap());
-        heap.clone()
-            .into_sorted_vec()
-            .into_iter()
-            .rev()
-            .map(|Reverse((Load(s), h))| (s, h))
-            .collect()
+        self.index(|ix| {
+            for host in self.cluster.hosts() {
+                self.verify_residency(ix, host.id);
+            }
+            ix.ascending().collect()
+        })
     }
 
     /// The eligible host with the lowest destination score for `unit` of
-    /// target `target`, popping the shared load-keyed heap: never the
-    /// source, an owner-active or crashed host, a blacklisted destination,
-    /// or a host the unit cannot migrate to. Ties break toward the lower
-    /// host id.
+    /// target `target`, walking the load-keyed index coldest-first: never
+    /// the source, an owner-active or crashed host, a blacklisted
+    /// destination, or a host the unit cannot migrate to. Ties break
+    /// toward the lower host id.
+    ///
+    /// Each candidate's residency is verified before it is trusted; a
+    /// stale entry (a unit spawned or exited behind the scheduler's back)
+    /// is corrected in place and the walk restarts — corrections are rare
+    /// and O(log n), so the typical call touches only the first one or
+    /// two ranked hosts.
     pub fn best_destination(&self, target: usize, unit: Tid, src: HostId) -> Option<HostId> {
         let metrics = self.ctx.metrics();
         let t = &self.targets[target];
-        let mut guard = self.heap.lock();
-        let heap = guard.get_or_insert_with(|| self.build_heap());
-        let mut scratch = heap.clone();
-        while let Some(Reverse((_, h))) = scratch.pop() {
-            if self.state.is_blacklisted(unit, h) {
-                metrics.counter_add("gs.blacklist.hits", 1);
-                continue;
+        // Blacklist hits are counted once per host per call, even when a
+        // stale-entry correction restarts the walk.
+        let mut counted: HashSet<HostId> = HashSet::new();
+        self.index(|ix| loop {
+            let mut stale: Option<HostId> = None;
+            let mut found: Option<HostId> = None;
+            for (_, h) in ix.ascending() {
+                if ix.residency(h)
+                    != (
+                        self.targets.iter().map(|t| t.units_on(h).len()).sum(),
+                        self.cluster.host(h).memory_overcommit(),
+                    )
+                {
+                    stale = Some(h);
+                    break;
+                }
+                if self.state.is_blacklisted(unit, h) {
+                    if counted.insert(h) {
+                        metrics.counter_add("gs.blacklist.hits", 1);
+                    }
+                    continue;
+                }
+                if h == src
+                    || self.owner_active.contains(&h)
+                    || !self.cluster.host(h).is_up()
+                    || !t.can_migrate(unit, h)
+                {
+                    continue;
+                }
+                found = Some(h);
+                break;
             }
-            if h == src
-                || self.owner_active.contains(&h)
-                || !self.cluster.host(h).is_up()
-                || !t.can_migrate(unit, h)
-            {
-                continue;
+            match (found, stale) {
+                (Some(h), _) => return Some(h),
+                (None, Some(h)) => {
+                    self.verify_residency(ix, h);
+                }
+                (None, None) => return None,
             }
-            return Some(h);
-        }
-        None
+        })
     }
 
     /// Declare a unit stuck: trace it and mark it handled, so later units
@@ -339,7 +429,22 @@ impl<'a> ClusterView<'a> {
             "gs.stuck",
             "{unit} on {src}: no eligible destination"
         );
-        self.state.mark_handled(target, unit);
+        self.state.mark_handled(target, src, unit);
+    }
+}
+
+/// Fill `ix` from ground truth: trace loads at `now`, live residency.
+pub(crate) fn seed_index(
+    ix: &mut LoadIndex,
+    now: SimTime,
+    cluster: &Arc<Cluster>,
+    targets: &[Arc<dyn MigrationTarget>],
+) {
+    for host in cluster.hosts() {
+        let h = host.id;
+        ix.set_external(h, host.spec.load.load_at(now));
+        let units: usize = targets.iter().map(|t| t.units_on(h).len()).sum();
+        ix.set_residency(h, units, host.memory_overcommit());
     }
 }
 
@@ -388,12 +493,13 @@ pub trait SchedulingPolicy: Send {
 /// it or mark it stuck and move on. Returns at most one placement per call
 /// so destination scores are re-derived after every landing.
 ///
-/// `per_target` caps how many units of each target are handled for this
-/// event (the load-threshold policy peels one unit at a time).
+/// `per_target` caps how many units of each target are handled *off this
+/// source* for this event (the load-threshold policy peels one unit at a
+/// time; with a batched event the cap applies per hot host).
 fn next_evacuation(view: &ClusterView, src: HostId, per_target: Option<usize>) -> Vec<Placement> {
     for ti in 0..view.targets().len() {
         for unit in view.pending_units(ti, src) {
-            if per_target.is_some_and(|n| view.state().handled_on(ti) >= n) {
+            if per_target.is_some_and(|n| view.state().handled_on(ti, src) >= n) {
                 break;
             }
             view.charge_decision();
@@ -439,6 +545,21 @@ impl SchedulingPolicy for LoadThreshold {
             MonitorEvent::OwnerActive(h) => next_evacuation(view, *h, None),
             MonitorEvent::LoadChanged(h, load) if load.0 > self.threshold => {
                 next_evacuation(view, *h, Some(1))
+            }
+            // A batch is N single-host reports coalesced: peel one unit
+            // per target off each hot host, in batch (host id) order —
+            // the per-source handled counts make this converge exactly
+            // like the equivalent sequence of LoadChanged events.
+            MonitorEvent::LoadBatch(batch) => {
+                for &(h, load) in batch {
+                    if load.0 > self.threshold {
+                        let p = next_evacuation(view, h, Some(1));
+                        if !p.is_empty() {
+                            return p;
+                        }
+                    }
+                }
+                Vec::new()
             }
             _ => Vec::new(),
         }

@@ -107,7 +107,7 @@ fn drive_policy(
             for p in placements {
                 let outcome = targets[p.target].migrate(&ctx, p.unit, p.dst);
                 assert!(outcome.is_completed());
-                state.mark_handled(p.target, p.unit);
+                state.mark_handled(p.target, p.src, p.unit);
             }
         }
     });

@@ -17,7 +17,7 @@ use crate::data::Exemplar;
 use crate::ms::{parse_partial, partial_msg, TAG_DONE, TAG_NET, TAG_PARTIAL};
 use crate::net::{flops_per_exemplar, flops_per_update, CgState, Gradient, Net};
 use crate::seq::TrainResult;
-use adm::{plan_redistribution, AdmEvent, EventBox, Plan};
+use adm::{plan_redistribution, AdmEvent, EventBox, Plan, RunFlags};
 use pvm_rt::{Message, MsgBuf, PvmTask, TaskApi, Tid};
 use simcore::sim_trace;
 use std::sync::Arc;
@@ -113,40 +113,41 @@ fn parse_plan(m: &Message) -> (i32, usize, Vec<adm::Transfer>) {
     (round, withdrawing, transfers)
 }
 
-fn exemplars_msg(dim: usize, batch: &[(Exemplar, bool)]) -> MsgBuf {
-    let mut features = Vec::with_capacity(batch.len() * dim);
-    let mut cats = Vec::with_capacity(batch.len());
-    let mut flags = Vec::with_capacity(batch.len());
-    for (e, processed) in batch {
+/// Serialize a fragment. The wire format is unchanged from the original
+/// per-item store — `[n, dim]`, features, categories, then one flag word
+/// per exemplar — so the run-length encoding never leaks onto the
+/// network.
+fn exemplars_msg(dim: usize, items: &[Exemplar], flags: &RunFlags) -> MsgBuf {
+    assert_eq!(items.len(), flags.len());
+    let mut features = Vec::with_capacity(items.len() * dim);
+    let mut cats = Vec::with_capacity(items.len());
+    for e in items {
         features.extend_from_slice(&e.features);
         cats.push(e.category as u32);
-        flags.push(u32::from(*processed));
     }
+    let flag_words: Vec<u32> = flags.iter().map(u32::from).collect();
     MsgBuf::new()
-        .pk_uint(&[batch.len() as u32, dim as u32])
+        .pk_uint(&[items.len() as u32, dim as u32])
         .pk_float(&features)
         .pk_uint(&cats)
-        .pk_uint(&flags)
+        .pk_uint(&flag_words)
 }
 
-fn parse_exemplars(m: &Message) -> Vec<(Exemplar, bool)> {
+fn parse_exemplars(m: &Message) -> (Vec<Exemplar>, RunFlags) {
     let mut r = m.reader();
     let hdr = r.upk_uint().expect("exemplars: header");
     let (n, dim) = (hdr[0] as usize, hdr[1] as usize);
     let features = r.upk_float().expect("exemplars: features");
     let cats = r.upk_uint().expect("exemplars: categories");
-    let flags = r.upk_uint().expect("exemplars: flags");
-    (0..n)
-        .map(|i| {
-            (
-                Exemplar {
-                    features: features[i * dim..(i + 1) * dim].to_vec(),
-                    category: cats[i] as usize,
-                },
-                flags[i] != 0,
-            )
+    let flag_words = r.upk_uint().expect("exemplars: flags");
+    let items = (0..n)
+        .map(|i| Exemplar {
+            features: features[i * dim..(i + 1) * dim].to_vec(),
+            category: cats[i] as usize,
         })
-        .collect()
+        .collect();
+    let bools: Vec<bool> = flag_words.iter().map(|&w| w != 0).collect();
+    (items, RunFlags::from_bools(&bools))
 }
 
 /// Idle slave → master: I can take work again (rejoin).
@@ -312,11 +313,61 @@ pub fn adm_master(
 /// compute (resetting flags so the shipped exemplars are processed by
 /// their receivers), and finish our own round. Returns true if training
 /// ended before the master processed our request.
-/// A flagged exemplar store: (exemplar, processed-this-iteration).
-type FlaggedData = Vec<(Exemplar, bool)>;
+/// The slave's exemplar store: items plus run-length-encoded
+/// processed-this-iteration flags. Replaces the old `Vec<(Exemplar,
+/// bool)>`, whose per-item flags cost O(n) per reset and a full O(n)
+/// rescan per chunk; here a reset is O(1) and a chunk claim is O(runs)
+/// (see `adm::RunFlags`). Processing still walks claimed items in
+/// ascending index order, so iteration arithmetic, checksums, and wire
+/// bytes are identical to the per-item store.
+struct FlaggedStore {
+    items: Vec<Exemplar>,
+    flags: RunFlags,
+}
+
+impl FlaggedStore {
+    fn new(part: Vec<Exemplar>) -> Self {
+        let flags = RunFlags::with_len(part.len(), false);
+        FlaggedStore { items: part, flags }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iteration boundary: nothing is processed yet. O(1).
+    fn reset_flags(&mut self) {
+        self.flags.fill(false);
+    }
+
+    /// Take the tail `at..` as an outgoing fragment (order deliberately
+    /// not preserved across redistribution, §4.3).
+    fn split_off(&mut self, at: usize) -> (Vec<Exemplar>, RunFlags) {
+        (self.items.split_off(at), self.flags.split_off(at))
+    }
+
+    /// Append a received fragment, flags intact.
+    fn extend(&mut self, items: Vec<Exemplar>, flags: RunFlags) {
+        assert_eq!(items.len(), flags.len());
+        self.items.extend(items);
+        self.flags.append(flags);
+    }
+
+    /// Claim the next `k` unprocessed exemplars (marking them processed)
+    /// and return their positions as ascending ranges — the same order
+    /// the old per-item scan produced.
+    fn claim_unprocessed(&mut self, k: usize) -> Vec<std::ops::Range<usize>> {
+        self.flags.claim_first_clear(k)
+    }
+}
+
 /// Plan-execution callbacks shared by the slave's states.
-type SendTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedData, &[adm::Transfer]);
-type RecvTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedData, &[adm::Transfer]) -> usize;
+type SendTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedStore, &[adm::Transfer]);
+type RecvTransfers<'a> = &'a dyn Fn(&Arc<PvmTask>, &mut FlaggedStore, &[adm::Transfer]) -> usize;
 
 #[allow(clippy::too_many_arguments)]
 fn withdraw_rounds(
@@ -324,7 +375,7 @@ fn withdraw_rounds(
     _cfg: &OptConfig,
     master: Tid,
     rank: usize,
-    data: &mut FlaggedData,
+    data: &mut FlaggedStore,
     send_transfers: SendTransfers<'_>,
     recv_transfers: RecvTransfers<'_>,
 ) -> bool {
@@ -335,9 +386,7 @@ fn withdraw_rounds(
                 // A new iteration started before our withdrawal completed;
                 // we will not compute it, so everything we hold is
                 // unprocessed for this iteration.
-                for d in data.iter_mut() {
-                    d.1 = false;
-                }
+                data.reset_flags();
             }
             TAG_PLAN => {
                 let (round, withdrawing, transfers) = parse_plan(&m);
@@ -369,33 +418,37 @@ pub fn adm_slave(
 ) {
     use AdmOptState::*;
     let mut fsm = adm::Fsm::new(Compute, admopt_arcs());
-    let mut data: Vec<(Exemplar, bool)> = part.into_iter().map(|e| (e, false)).collect();
+    let mut data = FlaggedStore::new(part);
     let mut net = Net::new(cfg.dim, cfg.ncats, cfg.seed);
     let mut withdrawn = false;
 
     // Execute this slave's outgoing transfers of a plan. Fragments are
     // taken from the tail — order is deliberately not preserved.
     let send_transfers =
-        |task: &Arc<PvmTask>, data: &mut Vec<(Exemplar, bool)>, transfers: &[adm::Transfer]| {
+        |task: &Arc<PvmTask>, data: &mut FlaggedStore, transfers: &[adm::Transfer]| {
             for t in transfers.iter().filter(|t| t.from == rank) {
                 let at = data
                     .len()
                     .checked_sub(t.items)
                     .expect("plan overdraws data");
-                let batch: Vec<(Exemplar, bool)> = data.split_off(at);
-                task.send(slaves[t.to], TAG_EXEMPLARS, exemplars_msg(cfg.dim, &batch));
+                let (items, flags) = data.split_off(at);
+                task.send(
+                    slaves[t.to],
+                    TAG_EXEMPLARS,
+                    exemplars_msg(cfg.dim, &items, &flags),
+                );
             }
         };
     // Receive this slave's incoming fragments.
     let recv_transfers =
-        |task: &Arc<PvmTask>, data: &mut Vec<(Exemplar, bool)>, transfers: &[adm::Transfer]| {
+        |task: &Arc<PvmTask>, data: &mut FlaggedStore, transfers: &[adm::Transfer]| {
             let mut received = 0usize;
             for t in transfers.iter().filter(|t| t.to == rank) {
                 let m = task.recv(Some(slaves[t.from]), Some(TAG_EXEMPLARS));
-                let batch = parse_exemplars(&m);
-                assert_eq!(batch.len(), t.items, "fragment size mismatch");
-                received += batch.len();
-                data.extend(batch);
+                let (items, flags) = parse_exemplars(&m);
+                assert_eq!(items.len(), t.items, "fragment size mismatch");
+                received += items.len();
+                data.extend(items, flags);
             }
             received
         };
@@ -471,17 +524,23 @@ pub fn adm_slave(
                 adm::worker_consensus(task.as_ref(), master, round);
                 let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
                 let mut scratch = net.scratch();
-                let fresh: Vec<usize> = (0..data.len()).filter(|&i| !data[i].1).collect();
-                if !fresh.is_empty() {
-                    for idxs in fresh.chunks(cfg.chunk) {
-                        let mut flops = 0.0;
-                        for &i in idxs {
-                            net.accumulate_with(&data[i].0, &mut g, &mut scratch);
-                            data[i].1 = true;
+                let mut processed_any = false;
+                loop {
+                    let claimed = data.claim_unprocessed(cfg.chunk);
+                    if claimed.is_empty() {
+                        break;
+                    }
+                    processed_any = true;
+                    let mut flops = 0.0;
+                    for range in claimed {
+                        for e in &data.items[range] {
+                            net.accumulate_with(e, &mut g, &mut scratch);
                             flops += flops_per_exemplar(cfg.dim, cfg.ncats);
                         }
-                        task.compute(flops * cfg.compute_factor);
                     }
+                    task.compute(flops * cfg.compute_factor);
+                }
+                if processed_any {
                     task.send(master, TAG_PARTIAL, partial_msg(&g));
                 }
                 if data.is_empty() && withdrawn {
@@ -497,9 +556,7 @@ pub fn adm_slave(
             TAG_NET => {
                 let w = m.reader().upk_float().expect("net weights");
                 net.set_weights(&w);
-                for d in data.iter_mut() {
-                    d.1 = false; // new iteration: nothing processed yet
-                }
+                data.reset_flags(); // new iteration: nothing processed yet
                 let mut g = Gradient::zeros(cfg.dim, cfg.ncats);
                 let mut scratch = net.scratch();
                 loop {
@@ -553,20 +610,19 @@ pub fn adm_slave(
                         // below by the unprocessed scan.
                     }
                     // Process the next chunk of unprocessed exemplars. The
-                    // processed-flag bookkeeping (scan + mark) is part of
-                    // ADM's inner-loop overhead (§4.3.1).
-                    let todo: Vec<usize> = (0..data.len())
-                        .filter(|&i| !data[i].1)
-                        .take(cfg.chunk)
-                        .collect();
-                    if todo.is_empty() {
+                    // processed-flag bookkeeping (§4.3.1) claims runs off
+                    // the RLE flags — O(runs touched), not an O(n) rescan
+                    // of the whole store per chunk.
+                    let claimed = data.claim_unprocessed(cfg.chunk);
+                    if claimed.is_empty() {
                         break;
                     }
                     let mut flops = 0.0;
-                    for &i in &todo {
-                        net.accumulate_with(&data[i].0, &mut g, &mut scratch);
-                        data[i].1 = true;
-                        flops += flops_per_exemplar(cfg.dim, cfg.ncats);
+                    for range in claimed {
+                        for e in &data.items[range] {
+                            net.accumulate_with(e, &mut g, &mut scratch);
+                            flops += flops_per_exemplar(cfg.dim, cfg.ncats);
+                        }
                     }
                     task.compute(flops * cfg.compute_factor);
                 }
@@ -610,28 +666,64 @@ mod tests {
 
     #[test]
     fn exemplars_message_roundtrip_preserves_flags() {
-        let batch = vec![
-            (
-                Exemplar {
-                    features: vec![1.0, 2.0],
-                    category: 1,
-                },
-                true,
-            ),
-            (
-                Exemplar {
-                    features: vec![3.0, 4.0],
-                    category: 0,
-                },
-                false,
-            ),
+        let items = vec![
+            Exemplar {
+                features: vec![1.0, 2.0],
+                category: 1,
+            },
+            Exemplar {
+                features: vec![3.0, 4.0],
+                category: 0,
+            },
         ];
+        let flags = RunFlags::from_bools(&[true, false]);
         let m = Message::new(
             Tid::new(HostId(0), 1),
             TAG_EXEMPLARS,
-            exemplars_msg(2, &batch),
+            exemplars_msg(2, &items, &flags),
         );
-        assert_eq!(parse_exemplars(&m), batch);
+        assert_eq!(parse_exemplars(&m), (items, flags));
+    }
+
+    #[test]
+    fn exemplars_wire_format_matches_per_item_store() {
+        // The run-length encoding must not leak onto the wire: the
+        // message is still [n, dim] + features + categories + one u32
+        // flag word per exemplar, byte-for-byte what the old
+        // Vec<(Exemplar, bool)> store produced.
+        let items = vec![
+            Exemplar {
+                features: vec![0.5, -1.5],
+                category: 2,
+            },
+            Exemplar {
+                features: vec![2.5, 3.5],
+                category: 0,
+            },
+            Exemplar {
+                features: vec![4.5, 5.5],
+                category: 1,
+            },
+        ];
+        let flags = RunFlags::from_bools(&[false, true, true]);
+        let new_msg = exemplars_msg(2, &items, &flags);
+        // The old serializer, inlined.
+        let mut features = Vec::new();
+        let mut cats = Vec::new();
+        let mut words = Vec::new();
+        for (e, processed) in items.iter().zip([false, true, true]) {
+            features.extend_from_slice(&e.features);
+            cats.push(e.category as u32);
+            words.push(u32::from(processed));
+        }
+        let old_msg = MsgBuf::new()
+            .pk_uint(&[3, 2])
+            .pk_float(&features)
+            .pk_uint(&cats)
+            .pk_uint(&words);
+        let a = Message::new(Tid::new(HostId(0), 1), TAG_EXEMPLARS, new_msg);
+        let b = Message::new(Tid::new(HostId(0), 1), TAG_EXEMPLARS, old_msg);
+        assert_eq!(parse_exemplars(&a), parse_exemplars(&b));
     }
 
     #[test]

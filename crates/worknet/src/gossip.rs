@@ -85,11 +85,21 @@ impl LoadVector {
     /// is kept (the merge must be idempotent and order-insensitive for
     /// replay identity).
     pub fn merge(&mut self, other: &LoadVector) {
+        self.merge_with(other, |_, _| {});
+    }
+
+    /// [`merge`](LoadVector::merge), reporting each adopted entry through
+    /// `changed` (ascending by host id). Consumers that keep a derived
+    /// structure — the decentralized scheduler's score index — use this to
+    /// mirror exactly the entries the merge accepted, instead of
+    /// re-scanning the whole view.
+    pub fn merge_with<F: FnMut(HostId, &LoadEntry)>(&mut self, other: &LoadVector, mut changed: F) {
         for (h, e) in &other.entries {
             match self.entries.get(h) {
                 Some(cur) if cur.at >= e.at => {}
                 _ => {
                     self.entries.insert(*h, *e);
+                    changed(*h, e);
                 }
             }
         }
@@ -129,6 +139,19 @@ mod tests {
         b.update(HostId(0), 2.0, true, SimTime(10));
         a.merge(&b);
         assert_eq!(a.get(HostId(0)).unwrap().score, 1.0);
+    }
+
+    #[test]
+    fn merge_with_reports_only_adopted_entries() {
+        let mut a = LoadVector::new();
+        a.update(HostId(0), 1.0, false, SimTime(10));
+        let mut b = LoadVector::new();
+        b.update(HostId(0), 9.0, true, SimTime(5)); // stale: not reported
+        b.update(HostId(1), 3.0, true, SimTime(30)); // adopted
+        b.update(HostId(2), 4.0, false, SimTime(1)); // adopted
+        let mut heard = Vec::new();
+        a.merge_with(&b, |h, e| heard.push((h, e.score)));
+        assert_eq!(heard, vec![(HostId(1), 3.0), (HostId(2), 4.0)]);
     }
 
     #[test]
