@@ -9,6 +9,11 @@
 //! success rate and the job's completion time quantify the price of the
 //! recovery machinery as the fault rate climbs.
 //!
+//! Two extra cells split the hosts across two bridged Ethernet segments
+//! and aim faults at the gateway link instead: cable-pull severs (cut
+//! streams resume chunk-level over the same severed-TCP path) and a
+//! bandwidth degrade that turns the backbone into the bottleneck.
+//!
 //! Each run is bit-for-bit reproducible from the schedule seed.
 
 use bench_tables::{Reproduction, Row};
@@ -20,7 +25,7 @@ use opt_app::ms;
 use pvm_rt::{Pvm, Tid};
 use simcore::SimDuration;
 use std::sync::{mpsc, Arc, Mutex};
-use worknet::{Calib, Cluster, Fault, FaultSchedule, HostId, HostSpec};
+use worknet::{Calib, Cluster, Fault, FaultSchedule, HostId, HostSpec, LinkCalib, SegmentId};
 
 /// Protocol tags whose loss the migration protocol recovers from by
 /// timeout + abort + retry. (Dropping `TAG_RESTART` would orphan a gated
@@ -98,15 +103,56 @@ struct Obs {
     /// GS decisions whose outcome was Failed (all retries exhausted).
     gs_failed: usize,
     gs_total: usize,
+    /// State-transfer streams cut mid-flight and resumed chunk-level.
+    severed: usize,
     checksum: u64,
 }
 
+/// Link faults aimed at the cross-segment evacuations the reclaim waves
+/// force: severs cut in-flight gateway streams (the severed-TCP resume
+/// path recovers them), a degrade throttles the backbone for the rest of
+/// the run.
+fn link_faults(sever: bool) -> FaultSchedule {
+    let (a, b) = (SegmentId(0), SegmentId(1));
+    let mut sched = reclaim_waves();
+    if sever {
+        // A storm of cable pulls after the 5 s and 10 s reclaims, while
+        // state streams through the gateway link toward the far segment.
+        // Only a transfer occupying the link bus at that instant is cut,
+        // so the pulls are dense enough to land on several chunk hops.
+        for i in 0..40 {
+            for base in [5.05, 10.05] {
+                sched = sched.at(
+                    SimDuration::from_secs_f64(base + 0.05 * i as f64),
+                    Fault::LinkSever { a, b },
+                );
+            }
+        }
+    } else {
+        // 100 Mb/s backbone down to 2 Mb/s: the link becomes the
+        // bottleneck (slower than the segments it joins) for every
+        // cross-segment evacuation after 4.5 s.
+        sched = sched.at(
+            SimDuration::from_secs_f64(4.5),
+            Fault::LinkDegrade { a, b, factor: 0.02 },
+        );
+    }
+    sched
+}
+
 /// One GS-driven MPVM Opt run (master + 2 slaves, all starting on h0)
-/// under the given fault schedule.
-fn run(faults: FaultSchedule) -> Obs {
+/// under the given fault schedule. `segmented` splits the four hosts into
+/// two bridged Ethernet segments instead of one shared wire.
+fn run(faults: FaultSchedule, segmented: bool) -> Obs {
     let mut b = Cluster::builder(Calib::hp720_ethernet());
-    for i in 0..4 {
-        b = b.with_host(HostSpec::hp720(format!("h{i}")));
+    if segmented {
+        b.segment("near", vec![HostSpec::hp720("h0"), HostSpec::hp720("h1")]);
+        b.segment("far", vec![HostSpec::hp720("h2"), HostSpec::hp720("h3")]);
+        b.link(SegmentId(0), SegmentId(1), LinkCalib::fddi_backbone());
+    } else {
+        for i in 0..4 {
+            b = b.with_host(HostSpec::hp720(format!("h{i}")));
+        }
     }
     let cluster = Arc::new(b.with_faults(faults).build());
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
@@ -160,6 +206,7 @@ fn run(faults: FaultSchedule) -> Obs {
             .filter(|d| !d.outcome.is_completed())
             .count(),
         gs_total: decisions.len(),
+        severed: count("mpvm.transfer.severed"),
         checksum,
     }
 }
@@ -183,12 +230,19 @@ fn main() {
     let mut success_rows = Vec::new();
     let mut wall_rows = Vec::new();
     let mut quiet_checksum = None;
+    // (schedule, split into two bridged segments?, label)
+    let mut cells: Vec<(FaultSchedule, bool, &str)> = Vec::new();
     for (rate, label) in rates {
         let sched = match rate {
             Some(r) => with_drops(seed, r),
             None => reclaim_waves(),
         };
-        let obs = run(sched);
+        cells.push((sched, false, label));
+    }
+    cells.push((link_faults(true), true, "two segments, link severs"));
+    cells.push((link_faults(false), true, "two segments, backbone at 2 Mb/s"));
+    for (sched, segmented, label) in cells {
+        let obs = run(sched, segmented);
         let attempts = obs.aborted + obs.resumed;
         let success = if attempts == 0 {
             1.0
@@ -196,14 +250,19 @@ fn main() {
             obs.resumed as f64 / attempts as f64
         };
         println!(
-            "{:<28} {:>9} {:>9} {:>9.0}% {:>7}/{:<2} {:>10.2}s",
+            "{:<28} {:>9} {:>9} {:>9.0}% {:>7}/{:<2} {:>10.2}s{}",
             label,
             attempts,
             obs.aborted,
             success * 100.0,
             obs.gs_failed,
             obs.gs_total,
-            obs.wall
+            obs.wall,
+            if obs.severed > 0 {
+                format!("  ({} streams cut+resumed)", obs.severed)
+            } else {
+                String::new()
+            }
         );
         // Whatever the protocol went through, the training result is the
         // quiet run's, bit for bit.

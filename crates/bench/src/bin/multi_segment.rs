@@ -1,0 +1,120 @@
+//! Run the routed-worknet sweep and merge its section into
+//! `BENCH_SIM.json`.
+//!
+//! Usage: `multi_segment [--smoke] [--out PATH]`
+//!
+//! Measures the two claims of the multi-segment topology (see
+//! [`bench_tables::multi_seg`]) and asserts the CI gates in-process:
+//!
+//! * store-and-forward cost is charged per hop — each measured routed
+//!   transfer matches the analytic sum of its path's hop costs and the
+//!   1-hop/2-hop/3-hop ladder is strictly monotonic;
+//! * with destinations tied on load, the scheduler prefers intra-segment
+//!   targets — a clear majority of storm-churn migrations stay inside the
+//!   source segment at every size;
+//! * every size replays byte-identically (decision log + metrics JSON),
+//!   including with the carrier pool capped at 2 idle threads — the
+//!   replay-identity guarantee extends to routed clusters.
+
+use bench_tables::multi_seg::{
+    measure_multi_segment, measure_store_forward, render_multi_segment, HOP_COST_TOLERANCE,
+};
+use bench_tables::splice::merge_section;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let ladder = measure_store_forward(300_000);
+    println!("store-and-forward ladder (300 kB, quiet chain):");
+    println!("{:>6} {:>12} {:>12}", "hops", "measured_s", "analytic_s");
+    for h in &ladder {
+        println!(
+            "{:>6} {:>12.6} {:>12.6}",
+            h.hops, h.measured_s, h.analytic_s
+        );
+    }
+    for (a, b) in ladder.iter().zip(ladder.iter().skip(1)) {
+        assert!(
+            b.measured_s > a.measured_s,
+            "{}-hop route not slower than {}-hop",
+            b.hops,
+            a.hops
+        );
+    }
+    for h in &ladder {
+        let rel = (h.measured_s - h.analytic_s).abs() / h.analytic_s;
+        assert!(
+            rel < HOP_COST_TOLERANCE,
+            "{}-hop route measured {:.6}s vs analytic {:.6}s",
+            h.hops,
+            h.measured_s,
+            h.analytic_s
+        );
+    }
+
+    let cells = measure_multi_segment(smoke);
+    println!(
+        "\n{:>9} {:>6} {:>10} {:>6} {:>15} {:>10} {:>9}  replay",
+        "segments", "hosts", "decisions", "intra", "intra_fraction", "events", "sim_s"
+    );
+    for c in &cells {
+        println!(
+            "{:>9} {:>6} {:>10} {:>6} {:>15.3} {:>10} {:>9.2}  {}",
+            c.segments,
+            c.hosts,
+            c.decisions,
+            c.intra,
+            c.intra_fraction(),
+            c.events,
+            c.sim_secs,
+            if c.replay_identical { "ok" } else { "DIVERGED" }
+        );
+    }
+
+    for c in &cells {
+        assert!(
+            c.replay_identical,
+            "{} segments: decisions/metrics diverged across replays or carrier-pool sizes",
+            c.segments
+        );
+        assert!(
+            c.decisions > 0,
+            "{} segments: no decisions taken",
+            c.segments
+        );
+        assert!(
+            c.intra_fraction() > 0.5,
+            "{} segments: only {:.0}% of migrations stayed intra-segment — \
+             the segment-distance tie-break is not applied",
+            c.segments,
+            c.intra_fraction() * 100.0
+        );
+    }
+    println!(
+        "gates: per-hop ladder monotonic and matches path sums; intra-segment \
+         fractions {}; all replays identical",
+        cells
+            .iter()
+            .map(|c| format!("{:.2}", c.intra_fraction()))
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+
+    let section = render_multi_segment(&ladder, &cells, smoke);
+    let doc = match std::fs::read_to_string(&out) {
+        Ok(doc) => merge_section(&doc, "multi_segment", &section),
+        // No simbench document yet: write a minimal valid one.
+        Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
+    };
+    std::fs::write(&out, &doc).expect("write BENCH_SIM.json");
+    println!("wrote {out}");
+}

@@ -6,7 +6,7 @@ use opt_app::{
 };
 use pvm_rt::TaskApi;
 use simcore::{Sim, TraceEvent};
-use worknet::{Calib, Ethernet, HostId, TcpConn};
+use worknet::{Calib, HostId, TcpConn, Topology};
 
 fn calib() -> Calib {
     // The paper's tables measured MPVM's frozen stop-and-copy transfer;
@@ -42,12 +42,12 @@ fn mpvm_migration_at(data_bytes: usize) -> (f64, f64, f64) {
     // otherwise idle segment (measured, not analytic).
     let half = data_bytes / 2;
     let raw = {
-        let c = calib();
+        let c = std::sync::Arc::new(calib());
         let sim = Sim::new();
-        let eth = Ethernet::new(&c);
-        let c2 = std::sync::Arc::new(c);
+        let net = Topology::single(&c);
+        let c2 = std::sync::Arc::clone(&c);
         sim.spawn("raw-tcp", move |ctx| {
-            let conn = TcpConn::connect(&ctx, &eth, &c2);
+            let conn = TcpConn::connect(&ctx, &net, &c2, HostId(0), HostId(1));
             conn.send_blocking(&ctx, half);
         });
         sim.run().unwrap().as_secs_f64()

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod multi_seg;
 pub mod scale;
 pub mod simbench;
 pub mod splice;

@@ -23,7 +23,7 @@
 
 use crate::monitor::Load;
 use std::collections::BTreeSet;
-use worknet::HostId;
+use worknet::{HostId, SegmentId};
 
 /// An ordered index of per-host scores: `set` is O(log n), and
 /// [`ascending`](ScoreIndex::ascending) walks hosts coldest-first with
@@ -116,10 +116,12 @@ fn combine(p: &HostParts) -> f64 {
 pub struct LoadIndex {
     parts: Vec<HostParts>,
     index: ScoreIndex,
+    segments: Vec<SegmentId>,
 }
 
 impl LoadIndex {
-    /// An all-zero index over hosts `0..n` (every host ranked at score 0).
+    /// An all-zero index over hosts `0..n` (every host ranked at score 0,
+    /// every host on the default segment until seeded from the topology).
     pub fn new(n: usize) -> Self {
         let mut index = ScoreIndex::new(n);
         for h in 0..n {
@@ -128,7 +130,19 @@ impl LoadIndex {
         LoadIndex {
             parts: vec![HostParts::default(); n],
             index,
+            segments: vec![SegmentId(0); n],
         }
+    }
+
+    /// Record which topology segment `h` sits on (seeded once per view;
+    /// segments don't move at runtime).
+    pub fn set_segment(&mut self, h: HostId, seg: SegmentId) {
+        self.segments[h.0] = seg;
+    }
+
+    /// The topology segment `h` sits on.
+    pub fn segment_of(&self, h: HostId) -> SegmentId {
+        self.segments[h.0]
     }
 
     /// Hosts tracked.

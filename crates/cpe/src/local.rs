@@ -171,7 +171,13 @@ impl LocalScheduler {
             view.merge_with(&v, |h, e| known.set(h, e.score));
         }
         let my_score = self.score(ctx, self.host);
-        view.update(self.host, my_score, owner_active, ctx.now());
+        view.update_in(
+            self.host,
+            self.cluster.net().segment_of(self.host),
+            my_score,
+            owner_active,
+            ctx.now(),
+        );
         known.set(self.host, my_score);
         ctx.metrics().counter_add("ls.gossip.rounds", 1);
         if n > 1 {
@@ -179,11 +185,14 @@ impl LocalScheduler {
                 *next_peer = (*next_peer + 1) % n;
             }
             let peer = self.peers[*next_peer].clone();
+            let peer_host = HostId(*next_peer);
             *next_peer = (*next_peer + 1) % n;
             let vector = view.clone();
             let bytes = vector.wire_bytes();
-            self.cluster.ether.send_async(
+            self.cluster.net().send_async(
                 ctx,
+                self.host,
+                peer_host,
                 bytes,
                 self.cluster.calib.daemon_efficiency,
                 Box::new(move |w| peer.send_from_world(w, vector)),

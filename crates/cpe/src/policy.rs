@@ -305,6 +305,15 @@ impl<'a> ClusterView<'a> {
         })
     }
 
+    /// Segment hops between two hosts on the routed worknet: 0 when they
+    /// share a segment, else the number of inter-segment links a migration
+    /// between them would cross. Policies use this to break score ties
+    /// toward intra-segment moves — a cross-gateway migration pays
+    /// store-and-forward on every hop.
+    pub fn segment_distance(&self, a: HostId, b: HostId) -> usize {
+        self.cluster.net().segment_distance(a, b)
+    }
+
     /// Advance the decision clock by [`DECISION_COST`]. Policies call this
     /// once per candidate unit they consider (evacuations) or once per
     /// sweep (periodic policies); the GS uses the charge start to record
@@ -368,8 +377,11 @@ impl<'a> ClusterView<'a> {
     /// The eligible host with the lowest destination score for `unit` of
     /// target `target`, walking the load-keyed index coldest-first: never
     /// the source, an owner-active or crashed host, a blacklisted
-    /// destination, or a host the unit cannot migrate to. Ties break
-    /// toward the lower host id.
+    /// destination, or a host the unit cannot migrate to. Among hosts tied
+    /// at the lowest eligible score, a host strictly fewer segment hops
+    /// from `src` wins — inter-segment moves pay store-and-forward, so an
+    /// equally cold neighbour beats an equally cold host across a gateway.
+    /// Remaining ties break toward the lower host id.
     ///
     /// Each candidate's residency is verified before it is trusted; a
     /// stale entry (a unit spawned or exited behind the scheduler's back)
@@ -384,8 +396,18 @@ impl<'a> ClusterView<'a> {
         let mut counted: HashSet<HostId> = HashSet::new();
         self.index(|ix| loop {
             let mut stale: Option<HostId> = None;
-            let mut found: Option<HostId> = None;
-            for (_, h) in ix.ascending() {
+            let mut found: Option<(usize, HostId)> = None;
+            let mut found_score = 0.0;
+            for (s, h) in ix.ascending() {
+                if let Some((best_d, _)) = found {
+                    // A hotter host can never displace the best so far,
+                    // and an intra-segment hit can't be improved on — so
+                    // on a single segment the first eligible host still
+                    // wins outright, exactly the pre-topology walk.
+                    if s > found_score || best_d == 0 {
+                        break;
+                    }
+                }
                 if ix.residency(h)
                     != (
                         self.targets.iter().map(|t| t.units_on(h).len()).sum(),
@@ -408,11 +430,19 @@ impl<'a> ClusterView<'a> {
                 {
                     continue;
                 }
-                found = Some(h);
-                break;
+                let d = self.cluster.net().segment_distance(src, h);
+                match found {
+                    // Later tied hosts only win by being strictly closer,
+                    // keeping the lower-id tie-break within a distance.
+                    Some((best_d, _)) if d >= best_d => {}
+                    _ => {
+                        found = Some((d, h));
+                        found_score = s;
+                    }
+                }
             }
             match (found, stale) {
-                (Some(h), _) => return Some(h),
+                (Some((_, h)), _) => return Some(h),
                 (None, Some(h)) => {
                     self.verify_residency(ix, h);
                 }
@@ -433,7 +463,8 @@ impl<'a> ClusterView<'a> {
     }
 }
 
-/// Fill `ix` from ground truth: trace loads at `now`, live residency.
+/// Fill `ix` from ground truth: trace loads at `now`, live residency,
+/// topology segments.
 pub(crate) fn seed_index(
     ix: &mut LoadIndex,
     now: SimTime,
@@ -445,6 +476,7 @@ pub(crate) fn seed_index(
         ix.set_external(h, host.spec.load.load_at(now));
         let units: usize = targets.iter().map(|t| t.units_on(h).len()).sum();
         ix.set_residency(h, units, host.memory_overcommit());
+        ix.set_segment(h, cluster.net().segment_of(h));
     }
 }
 
@@ -656,7 +688,7 @@ impl SchedulingPolicy for DestinationSwap {
                 // second-coldest — moving one unit within each pair. The
                 // pairing is what keeps destinations disjoint: a greedy
                 // all-to-coldest sweep herds every unit onto one host.
-                let ranked: Vec<(f64, HostId)> = view
+                let mut ranked: Vec<(f64, HostId)> = view
                     .hosts_by_score()
                     .into_iter()
                     .filter(|&(_, h)| view.cluster().host(h).is_up() && !view.owner_active(h))
@@ -667,8 +699,26 @@ impl SchedulingPolicy for DestinationSwap {
                 let mut placements = Vec::new();
                 let (mut i, mut j) = (0, ranked.len() - 1);
                 while i < j {
-                    let (cold_score, cold) = ranked[i];
                     let (hot_score, hot) = ranked[j];
+                    // Among destinations tied at the cold end, prefer the
+                    // one fewest segment hops from this pair's hot host —
+                    // swap it into position i so the pairing stays
+                    // disjoint. On a single segment every distance is 0
+                    // and the scan never swaps.
+                    let mut pick = i;
+                    let mut pick_d = view.segment_distance(hot, ranked[i].1);
+                    for (k, &(cand_score, cand)) in ranked.iter().enumerate().take(j).skip(i + 1) {
+                        if cand_score != ranked[i].0 || pick_d == 0 {
+                            break;
+                        }
+                        let d = view.segment_distance(hot, cand);
+                        if d < pick_d {
+                            pick = k;
+                            pick_d = d;
+                        }
+                    }
+                    ranked.swap(i, pick);
+                    let (cold_score, cold) = ranked[i];
                     if hot_score - cold_score <= 1.0 {
                         break;
                     }

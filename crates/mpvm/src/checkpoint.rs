@@ -131,7 +131,7 @@ pub fn run_condor(
     b.host(HostSpec::hp720("spare"));
     let cluster = Arc::new(b.build());
     let calib = Arc::clone(&cluster.calib);
-    let eth = cluster.ether.clone();
+    let net = cluster.net().clone();
     let stats = Arc::new(Mutex::new(None));
 
     let s2 = Arc::clone(&stats);
@@ -165,7 +165,7 @@ pub fn run_condor(
                         ctx.advance(SimDuration::from_secs_f64(
                             cfg.state_bytes as f64 * calib.state_copy_s_per_byte,
                         ));
-                        let conn = TcpConn::connect(&ctx, &eth, &calib);
+                        let conn = TcpConn::connect(&ctx, &net, &calib, HostId(0), HostId(1));
                         conn.send_blocking(&ctx, cfg.state_bytes);
                         ckpt_overhead += ctx.now().since(t0).as_secs_f64();
                         log.checkpoint(done);
@@ -192,7 +192,7 @@ pub fn run_condor(
                     replayed |= replay;
                     host = &h1;
                     // Fetch the checkpoint image + process start.
-                    let conn = TcpConn::connect(&ctx, &eth, &calib);
+                    let conn = TcpConn::connect(&ctx, &net, &calib, HostId(0), HostId(1));
                     conn.send_blocking(&ctx, cfg.state_bytes);
                     host.fork_exec(&ctx);
                     done -= lost; // re-execute from the checkpoint
@@ -231,7 +231,7 @@ pub fn run_migrate_current(
     b.host(HostSpec::hp720("spare"));
     let cluster = Arc::new(b.build());
     let calib = Arc::clone(&cluster.calib);
-    let eth = cluster.ether.clone();
+    let net = cluster.net().clone();
     let out = Arc::new(Mutex::new((0.0, 0.0)));
 
     let o2 = Arc::clone(&out);
@@ -252,7 +252,7 @@ pub fn run_migrate_current(
                     ctx.advance(SimDuration::from_secs_f64(
                         state_bytes as f64 * calib.state_copy_s_per_byte,
                     ));
-                    let conn = TcpConn::connect(&ctx, &eth, &calib);
+                    let conn = TcpConn::connect(&ctx, &net, &calib, HostId(0), HostId(1));
                     conn.send_blocking(&ctx, state_bytes);
                     vacate = ctx.now().since(t0).as_secs_f64();
                     host = &h1;
@@ -269,7 +269,7 @@ pub fn run_migrate_current(
         ctx.post_signal(worker, Box::new(Reclaim));
     });
     cluster.sim.run().expect("mpvm comparator failed");
-    let _ = eth;
+    let _ = net;
     let r = *out.lock();
     r
 }

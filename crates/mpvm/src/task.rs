@@ -236,7 +236,7 @@ impl MigTask {
             self.abort_attempt(ctx, old, &flushed, None);
             return Err(PvmError::HostDown(dst));
         }
-        let conn = TcpConn::connect(ctx, &pvm.cluster.ether, &calib);
+        let conn = TcpConn::connect(ctx, pvm.cluster.net(), &calib, src_host, dst);
         let src_h = Arc::clone(pvm.cluster.host(src_host));
         let dst_h = Arc::clone(pvm.cluster.host(dst));
         if let Err(sev) = conn.send_blocking_severable(ctx, bytes, &src_h, &dst_h) {
@@ -482,7 +482,7 @@ impl MigTask {
             ctx,
             pvm,
             calib: &calib,
-            conn: TcpConn::connect(ctx, &pvm.cluster.ether, &calib),
+            conn: TcpConn::connect(ctx, pvm.cluster.net(), &calib, self.inner.host_id(), dst),
             old,
             dmn,
             src_h: Arc::clone(pvm.cluster.host(self.inner.host_id())),
@@ -746,7 +746,13 @@ impl ChunkStream<'_> {
                     // the sever is NOT re-sent — the whole point of
                     // chunk-level resume. Only the interrupted chunk goes
                     // again.
-                    self.conn = TcpConn::connect(self.ctx, &self.pvm.cluster.ether, self.calib);
+                    self.conn = TcpConn::connect(
+                        self.ctx,
+                        self.pvm.cluster.net(),
+                        self.calib,
+                        self.src_h.id,
+                        self.dst_h.id,
+                    );
                     self.task.try_send(
                         self.dmn,
                         proto::TAG_STATE_RESUME,

@@ -70,6 +70,7 @@ pub fn deliver_daemon(
     ctx: &SimCtx,
     pvm: &Arc<Pvm>,
     src_host: HostId,
+    dst_host: HostId,
     mb: Mailbox<Message>,
     msg: Message,
 ) {
@@ -94,7 +95,7 @@ pub fn deliver_daemon(
     let post = calib.memcpy_cost(bytes) + calib.context_switch + calib.daemon_per_fragment * nfrag;
     let mut slot = Some(msg);
     for i in 0..copies {
-        let eth = pvm.cluster.ether.clone();
+        let net = pvm.cluster.net().clone();
         let mb = mb.clone();
         // The last (usually only) copy moves the message; a fault-injected
         // duplicate shares the body through an O(1) clone.
@@ -105,8 +106,12 @@ pub fn deliver_daemon(
         };
         ctx.schedule(pre, move |w| {
             let mb = mb.clone();
-            eth.start_transfer(
+            // `pre` already covers the first hop's wire latency; the
+            // routed transfer charges latency only on forwarding hops.
+            net.start_transfer_routed(
                 w,
+                src_host,
+                dst_host,
                 bytes as f64,
                 eff,
                 Box::new(move |w| {
@@ -133,14 +138,16 @@ pub fn deliver_direct(
     charge_send_side(ctx, pvm, src_host, &msg);
     let calib = &pvm.cluster.calib;
     let eff = calib.tcp_efficiency;
-    let eth = &pvm.cluster.ether;
+    let net = pvm.cluster.net();
     if bytes > DIRECT_BLOCKING_THRESHOLD {
-        eth.transfer_blocking(ctx, bytes, eff);
+        net.transfer_blocking(ctx, src_host, dst_host, bytes, eff);
         let recv_copy = calib.memcpy_cost(bytes);
         ctx.schedule(recv_copy, move |w| mb.send_from_world(w, msg));
     } else {
-        eth.send_async(
+        net.send_async(
             ctx,
+            src_host,
+            dst_host,
             bytes,
             eff,
             Box::new(move |w| mb.send_from_world(w, msg)),

@@ -209,7 +209,9 @@ impl PvmTask {
             route::deliver_local(&self.ctx, &self.pvm, src_host, mb, msg);
         } else {
             match self.route() {
-                RouteMode::Daemon => route::deliver_daemon(&self.ctx, &self.pvm, src_host, mb, msg),
+                RouteMode::Daemon => {
+                    route::deliver_daemon(&self.ctx, &self.pvm, src_host, dst_host, mb, msg)
+                }
                 RouteMode::Direct => {
                     route::deliver_direct(&self.ctx, &self.pvm, src_host, dst_host, mb, msg)
                 }

@@ -170,7 +170,7 @@ impl Ulp {
         let sched = self.sys.sched(my_host).clone();
         sched.acquire(&self.ctx, self.id);
         let pvm = self.sys.pvm();
-        let (_, mb) = pvm
+        let (dst_host, mb) = pvm
             .lookup(to)
             .unwrap_or_else(|| panic!("ULP send to dead or unknown tid {to}"));
         if self.sys.is_local_ulp(to, my_host) {
@@ -189,7 +189,7 @@ impl Ulp {
             // Remote: extra UPVM routing header → marginally slower than
             // plain PVM (§4.2.1).
             self.ctx.advance(pvm.cluster.calib.upvm_remote_header);
-            route::deliver_daemon(&self.ctx, pvm, my_host, mb, msg);
+            route::deliver_daemon(&self.ctx, pvm, my_host, dst_host, mb, msg);
         }
         sched.release(&self.ctx, self.id);
     }
@@ -326,13 +326,13 @@ impl Ulp {
             })
             .collect();
         for &c in &others {
-            let (_, mb) = pvm.lookup(c).expect("container gone");
+            let (c_host, mb) = pvm.lookup(c).expect("container gone");
             let msg = Message::new(
                 self.tid,
                 proto::TAG_ULP_FLUSH,
                 proto::flush_msg(self.tid, dst),
             );
-            route::deliver_daemon(ctx, &pvm, old_host, mb, msg);
+            route::deliver_daemon(ctx, &pvm, old_host, c_host, mb, msg);
         }
         sim_trace!(ctx, "upvm.flush.sent", "{} containers", others.len());
         for _ in 0..others.len() {
@@ -372,7 +372,7 @@ impl Ulp {
                 let src_h = Arc::clone(pvm.cluster.host(old_host));
                 let dst_h = Arc::clone(pvm.cluster.host(dst));
                 pvm.cluster
-                    .ether
+                    .net()
                     .transfer_blocking_severable(
                         ctx,
                         bytes,
@@ -465,13 +465,13 @@ impl Ulp {
                     }
                     sim_trace!(ctx, "upvm.transfer.severed", "chunk {pc}; resuming");
                     let dst_container = self.sys.container_tid(dst);
-                    let (_, mb) = pvm.lookup(dst_container).ok_or(PvmError::HostDown(dst))?;
+                    let (c_host, mb) = pvm.lookup(dst_container).ok_or(PvmError::HostDown(dst))?;
                     let msg = Message::new(
                         self.tid,
                         proto::TAG_ULP_RESUME,
                         proto::resume_msg(self.id, pc as u32),
                     );
-                    route::deliver_daemon(ctx, pvm, old_host, mb, msg);
+                    route::deliver_daemon(ctx, pvm, old_host, c_host, mb, msg);
                     if self
                         .recv_proto_deadline(proto::TAG_ULP_RESUME_ACK, ULP_ACK_TIMEOUT)
                         .is_none()
@@ -482,7 +482,7 @@ impl Ulp {
                     // interrupted chunk goes over the wire again.
                     resumed += pc as u64;
                     sent += 1;
-                    handle = pvm.cluster.ether.start_severable(
+                    handle = pvm.cluster.net().start_severable(
                         ctx,
                         plan.chunk_len(pc),
                         calib.daemon_efficiency,
@@ -496,7 +496,7 @@ impl Ulp {
                 sent += 1;
                 inflight = Some((
                     c,
-                    pvm.cluster.ether.start_severable(
+                    pvm.cluster.net().start_severable(
                         ctx,
                         plan.chunk_len(c),
                         calib.daemon_efficiency,

@@ -1,10 +1,19 @@
-//! Cluster assembly: hosts + shared Ethernet + the simulation they live in,
-//! plus installation of the fault schedule.
+//! Cluster assembly: hosts + routed worknet + the simulation they live
+//! in, plus installation of the fault schedule.
+//!
+//! A cluster's network is a [`Topology`]: one or more named segments
+//! (each the paper's shared processor-sharing Ethernet) joined by
+//! calibrated links. The flat builder calls ([`ClusterBuilder::host`],
+//! [`ClusterBuilder::quiet_hp720s`]) put every host on one default
+//! segment, which replays byte-identically to the old single-`Ethernet`
+//! cluster; [`ClusterBuilder::segment`] / [`ClusterBuilder::link`] build
+//! the multi-segment shape.
 
 use crate::calib::Calib;
 use crate::fault::{Fault, FaultPlane, FaultSchedule};
 use crate::host::{Host, HostId, HostSpec};
 use crate::net::Ethernet;
+use crate::topology::{LinkCalib, LinkInfo, SegmentId, SegmentInfo, Topology};
 use simcore::{Metrics, MetricsReport, Sim, SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -14,8 +23,8 @@ pub struct Cluster {
     pub sim: Sim,
     /// Cost-model constants in effect.
     pub calib: Arc<Calib>,
-    /// The shared Ethernet segment.
-    pub ether: Ethernet,
+    /// The routed worknet (behind [`Cluster::net`]).
+    net: Topology,
     hosts: Vec<Arc<Host>>,
     fault: Arc<FaultPlane>,
 }
@@ -26,9 +35,18 @@ impl Cluster {
         ClusterBuilder {
             calib,
             specs: Vec::new(),
+            segments: Vec::new(),
+            links: Vec::new(),
             faults: FaultSchedule::new(),
             metrics_enabled: false,
         }
+    }
+
+    /// The routed worknet every transfer goes through. For a flat-built
+    /// cluster this is a one-segment topology over the familiar shared
+    /// Ethernet.
+    pub fn net(&self) -> &Topology {
+        &self.net
     }
 
     /// The simulation's metrics registry (same as `self.sim.metrics()`).
@@ -59,7 +77,7 @@ impl Cluster {
                     h.spec.owner.occupied_until(end).as_secs_f64(),
                 );
             }
-            m.gauge_set("net.wire.bytes_total", self.ether.total_wire_bytes());
+            m.gauge_set("net.wire.bytes_total", self.net.total_wire_bytes());
         }
         m.report()
     }
@@ -136,16 +154,76 @@ impl Cluster {
 pub struct ClusterBuilder {
     calib: Calib,
     specs: Vec<HostSpec>,
+    /// Declared segments: name + indices into `specs`.
+    segments: Vec<(String, Vec<usize>)>,
+    /// Declared inter-segment links.
+    links: Vec<(SegmentId, SegmentId, LinkCalib)>,
     faults: FaultSchedule,
     metrics_enabled: bool,
 }
 
 impl ClusterBuilder {
-    /// Add a host; returns the id it will have.
+    /// Add a host to the first segment (created as `"ether"` if no
+    /// segment was declared yet — the flat single-segment style); returns
+    /// the id it will have.
     pub fn host(&mut self, spec: HostSpec) -> HostId {
+        if self.segments.is_empty() {
+            self.segments.push(("ether".into(), Vec::new()));
+        }
         let id = HostId(self.specs.len());
         self.specs.push(spec);
+        self.segments[0].1.push(id.0);
         id
+    }
+
+    /// Declare a named segment holding `specs` hosts. The first host of a
+    /// segment is its gateway — the endpoint of every link touching it.
+    /// Returns the segment id and the host ids, in order.
+    pub fn segment(
+        &mut self,
+        name: impl Into<String>,
+        specs: Vec<HostSpec>,
+    ) -> (SegmentId, Vec<HostId>) {
+        let sid = SegmentId(self.segments.len());
+        self.segments.push((name.into(), Vec::new()));
+        let ids = specs
+            .into_iter()
+            .map(|spec| {
+                let id = HostId(self.specs.len());
+                self.specs.push(spec);
+                self.segments[sid.0].1.push(id.0);
+                id
+            })
+            .collect();
+        (sid, ids)
+    }
+
+    /// Declare a link joining two already-declared segments, with its own
+    /// bandwidth/latency calibration. Routing is shortest-path by link
+    /// count over these.
+    pub fn link(&mut self, a: SegmentId, b: SegmentId, calib: LinkCalib) {
+        assert_ne!(a, b, "a link must join two different segments");
+        assert!(
+            a.0 < self.segments.len() && b.0 < self.segments.len(),
+            "link {a}-{b} references an undeclared segment"
+        );
+        self.links.push((a, b, calib));
+    }
+
+    /// Fluent [`segment`](Self::segment): `n` quiet HP 9000/720s named
+    /// `{name}-0..n` on a new segment.
+    pub fn with_segment(mut self, name: &str, n: usize) -> Self {
+        let specs = (0..n)
+            .map(|i| HostSpec::hp720(format!("{name}-{i}")))
+            .collect();
+        self.segment(name, specs);
+        self
+    }
+
+    /// Fluent [`link`](Self::link).
+    pub fn with_link(mut self, a: SegmentId, b: SegmentId, calib: LinkCalib) -> Self {
+        self.link(a, b, calib);
+        self
     }
 
     /// Add `n` quiet HP 9000/720s named `hp720-0..n`.
@@ -185,27 +263,55 @@ impl ClusterBuilder {
         self
     }
 
-    /// Finish: create the simulation, Ethernet, and host objects, and
-    /// install the fault schedule as kernel events.
+    /// Finish: create the simulation, the routed topology, and the host
+    /// objects, and install the fault schedule as kernel events.
     pub fn build(self) -> Cluster {
         let calib = Arc::new(self.calib);
         let sim = Sim::new();
         sim.set_metrics_enabled(self.metrics_enabled);
         let metrics = sim.metrics();
-        let ether = Ethernet::new_instrumented(&calib, metrics.clone());
         let hosts: Vec<Arc<Host>> = self
             .specs
             .into_iter()
             .enumerate()
             .map(|(i, spec)| Arc::new(Host::new(HostId(i), spec, Arc::clone(&calib))))
             .collect();
+        let mut segments = self.segments;
+        if segments.is_empty() {
+            // A zero-host cluster still gets its default segment.
+            segments.push(("ether".into(), Vec::new()));
+        }
+        let mut seg_of = vec![SegmentId(0); hosts.len()];
+        for (si, (_, members)) in segments.iter().enumerate() {
+            for &hi in members {
+                seg_of[hi] = SegmentId(si);
+            }
+        }
+        let seg_infos: Vec<SegmentInfo> = segments
+            .into_iter()
+            .map(|(name, members)| SegmentInfo {
+                name,
+                bus: Ethernet::new_instrumented(&calib, metrics.clone()),
+                hosts: members.into_iter().map(HostId).collect(),
+            })
+            .collect();
+        let link_infos: Vec<LinkInfo> = self
+            .links
+            .into_iter()
+            .map(|(a, b, lc)| LinkInfo {
+                a,
+                b,
+                bus: Ethernet::with_capacity(lc.bps, lc.latency, metrics.clone()),
+            })
+            .collect();
+        let net = Topology::assemble(seg_infos, link_infos, seg_of, hosts.clone());
         let fault = Arc::new(FaultPlane::default());
         for ev in self.faults.events() {
             match ev.fault {
                 Fault::HostCrash { host } => {
                     assert!(host.0 < hosts.len(), "crash fault targets unknown {host}");
                     let h = Arc::clone(&hosts[host.0]);
-                    let eth = ether.clone();
+                    let eth = net.clone();
                     let plane = Arc::clone(&fault);
                     let at = ev.at;
                     let m = metrics.clone();
@@ -240,7 +346,7 @@ impl ClusterBuilder {
                 }
                 Fault::SeverTcp { host } => {
                     assert!(host.0 < hosts.len(), "sever fault targets unknown {host}");
-                    let eth = ether.clone();
+                    let eth = net.clone();
                     let plane = Arc::clone(&fault);
                     let at = ev.at;
                     let m = metrics.clone();
@@ -276,12 +382,58 @@ impl ClusterBuilder {
                         });
                     });
                 }
+                Fault::LinkSever { a, b } => {
+                    let bus = net
+                        .link_between(a, b)
+                        .unwrap_or_else(|| panic!("link sever targets missing link {a}-{b}"))
+                        .clone();
+                    let plane = Arc::clone(&fault);
+                    let at = ev.at;
+                    let m = metrics.clone();
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            let ages = bus.sever_all(w);
+                            for age in &ages {
+                                m.histogram_record("worknet.link.severed_ns", *age);
+                            }
+                            let now = w.now();
+                            m.counter_add("fault.injected.link_sever", 1);
+                            plane.record(
+                                now,
+                                format!("link sever {a}-{b} ({} transfers cut)", ages.len()),
+                            );
+                            w.trace_event_with(None, "fault.link_sever", || {
+                                format!("{a}-{b}, {} transfers cut", ages.len())
+                            });
+                        });
+                    });
+                }
+                Fault::LinkDegrade { a, b, factor } => {
+                    let bus = net
+                        .link_between(a, b)
+                        .unwrap_or_else(|| panic!("link degrade targets missing link {a}-{b}"))
+                        .clone();
+                    let plane = Arc::clone(&fault);
+                    let at = ev.at;
+                    let m = metrics.clone();
+                    sim.with_world(|w| {
+                        w.schedule_in(at, move |w| {
+                            bus.scale_bandwidth(w, factor);
+                            let now = w.now();
+                            m.counter_add("fault.injected.link_degrade", 1);
+                            plane.record(now, format!("link degrade {a}-{b} x{factor}"));
+                            w.trace_event_with(None, "fault.link_degrade", || {
+                                format!("{a}-{b} x{factor}")
+                            });
+                        });
+                    });
+                }
             }
         }
         Cluster {
             sim,
             calib,
-            ether,
+            net,
             hosts,
             fault,
         }
@@ -370,7 +522,7 @@ mod tests {
             .build();
         let src = cluster.host(HostId(0)).clone();
         let dst = cluster.host(HostId(1)).clone();
-        let eth = cluster.ether.clone();
+        let eth = cluster.net().clone();
         let bytes = cluster.calib.ether_bps as usize * 10; // ~10 s solo
         cluster.sim.spawn("sender", move |ctx| {
             let r = eth.transfer_blocking_severable(&ctx, bytes, 1.0, &src, &dst);
@@ -382,6 +534,99 @@ mod tests {
             );
         });
         cluster.sim.run().unwrap();
+    }
+
+    #[test]
+    fn segment_builder_maps_hosts_and_gateways() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        let (a, a_hosts) = b.segment("lab-a", vec![HostSpec::hp720("a0"), HostSpec::hp720("a1")]);
+        let (c, c_hosts) = b.segment("lab-b", vec![HostSpec::hp720("b0"), HostSpec::hp720("b1")]);
+        b.link(a, c, crate::LinkCalib::fddi_backbone());
+        let cluster = b.build();
+        assert_eq!(cluster.len(), 4);
+        assert_eq!(a_hosts, vec![HostId(0), HostId(1)]);
+        assert_eq!(c_hosts, vec![HostId(2), HostId(3)]);
+        let net = cluster.net();
+        assert_eq!(net.segment_count(), 2);
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.segment_of(HostId(1)), a);
+        assert_eq!(net.segment_of(HostId(2)), c);
+        assert_eq!(net.gateway(a), HostId(0));
+        assert_eq!(net.gateway(c), HostId(2));
+        assert_eq!(net.segment_distance(HostId(1), HostId(3)), 1);
+        assert_eq!(net.segment_name(a), "lab-a");
+    }
+
+    #[test]
+    fn link_sever_cuts_cross_segment_stream_and_records_histogram() {
+        use crate::fault::{Fault, FaultSchedule};
+        use simcore::SimDuration;
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        let (a, _) = b.segment("a", vec![HostSpec::hp720("a0")]);
+        let (c, _) = b.segment("b", vec![HostSpec::hp720("b0")]);
+        b.link(a, c, crate::LinkCalib::bridged_ether());
+        b.fault_schedule(
+            FaultSchedule::new().at(SimDuration::from_secs(2), Fault::LinkSever { a, b: c }),
+        );
+        let cluster = b.with_metrics().build();
+        let src = cluster.host(HostId(0)).clone();
+        let dst = cluster.host(HostId(1)).clone();
+        let net = cluster.net().clone();
+        let bytes = cluster.calib.ether_bps as usize * 10; // ~10 s solo
+        cluster.sim.spawn("sender", move |ctx| {
+            let r = net.transfer_blocking_severable(&ctx, bytes, 1.0, &src, &dst);
+            assert!(r.is_err(), "link sever should cut the stream");
+            let t = ctx.now().as_secs_f64();
+            assert!(
+                (t - 2.0).abs() < 0.01,
+                "unblocked at {t}, expected sever time"
+            );
+        });
+        let end = cluster.sim.run().unwrap();
+        let report = cluster.metrics_report(end.since(SimTime::ZERO));
+        assert_eq!(
+            report.counters.get("fault.injected.link_sever").copied(),
+            Some(1)
+        );
+        let hist = report
+            .histograms
+            .get("worknet.link.severed_ns")
+            .expect("severed histogram");
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn link_degrade_slows_cross_segment_transfer() {
+        use crate::fault::{Fault, FaultSchedule};
+        use simcore::SimDuration;
+        let lc = crate::LinkCalib::fddi_backbone();
+        let build = |factor: Option<f64>| {
+            let mut b = Cluster::builder(Calib::hp720_ethernet());
+            let (a, _) = b.segment("a", vec![HostSpec::hp720("a0")]);
+            let (c, _) = b.segment("b", vec![HostSpec::hp720("b0")]);
+            b.link(a, c, lc);
+            if let Some(f) = factor {
+                b.fault_schedule(FaultSchedule::new().at(
+                    SimDuration::from_millis(1),
+                    Fault::LinkDegrade { a, b: c, factor: f },
+                ));
+            }
+            b.build()
+        };
+        let run = |cluster: Cluster| {
+            let net = cluster.net().clone();
+            let bytes = lc.bps as usize; // 1 s at full link rate
+            cluster.sim.spawn("sender", move |ctx| {
+                net.transfer_blocking(&ctx, HostId(0), HostId(1), bytes, 1.0);
+            });
+            cluster.sim.run().unwrap().as_secs_f64()
+        };
+        let healthy = run(build(None));
+        let degraded = run(build(Some(0.5)));
+        assert!(
+            degraded > healthy * 1.8,
+            "half-rate link should roughly double the time: {healthy} vs {degraded}"
+        );
     }
 }
 

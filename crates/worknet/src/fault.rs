@@ -76,6 +76,30 @@ pub enum Fault {
         /// The host whose link momentarily drops.
         host: HostId,
     },
+    /// Momentarily cut the inter-segment link between segments `a` and
+    /// `b`: every transfer in flight on that link bus is severed (through
+    /// the same severed-TCP resume path [`Fault::SeverTcp`] exercises),
+    /// each one's in-flight age recorded in the `worknet.link.severed_ns`
+    /// histogram. The link itself stays routable — it was a cable pull,
+    /// not a topology change.
+    LinkSever {
+        /// One end of the link.
+        a: crate::SegmentId,
+        /// The other end.
+        b: crate::SegmentId,
+    },
+    /// Multiply the capacity of the link between segments `a` and `b` by
+    /// `factor` (below one: congestion or renegotiated line rate; above
+    /// one: recovery). In-flight transfers keep their delivered bytes and
+    /// finish at the new rate.
+    LinkDegrade {
+        /// One end of the link.
+        a: crate::SegmentId,
+        /// The other end.
+        b: crate::SegmentId,
+        /// Capacity multiplier, must be positive.
+        factor: f64,
+    },
 }
 
 /// A fault and when to inject it.

@@ -7,7 +7,7 @@
 //! the network it travels on; the decision logic that consumes it belongs
 //! to the scheduling layer (cpe).
 
-use crate::HostId;
+use crate::{HostId, SegmentId};
 use simcore::SimTime;
 use std::collections::BTreeMap;
 
@@ -19,7 +19,9 @@ pub const GOSSIP_TAG: i32 = -301;
 /// Fixed per-datagram framing cost: tag, sender, entry count, checksum.
 pub const GOSSIP_HEADER_BYTES: usize = 16;
 
-/// Per-entry wire cost: host id, score, owner flag plus padding, and the
+/// Per-entry wire cost: host id, score, owner flag, segment id (packed
+/// into what used to be padding next to the owner flag, so the entry size
+/// — and every replayed wire-byte metric — is unchanged), and the
 /// observation timestamp.
 pub const GOSSIP_ENTRY_BYTES: usize = 24;
 
@@ -30,6 +32,9 @@ pub struct LoadEntry {
     pub score: f64,
     /// Was the observed host's owner at the keyboard?
     pub owner_active: bool,
+    /// The topology segment the observed host sits on, so a receiving
+    /// scheduler can weigh inter-segment moves without a routing lookup.
+    pub segment: SegmentId,
     /// When the observed host stamped this entry.
     pub at: SimTime,
 }
@@ -48,13 +53,27 @@ impl LoadVector {
         Self::default()
     }
 
-    /// Record a fresh observation of `host` (normally the caller itself).
+    /// Record a fresh observation of `host` (normally the caller itself),
+    /// assuming the default segment — single-segment clusters and tests.
     pub fn update(&mut self, host: HostId, score: f64, owner_active: bool, at: SimTime) {
+        self.update_in(host, SegmentId(0), score, owner_active, at);
+    }
+
+    /// Record a fresh observation of `host` on `segment`.
+    pub fn update_in(
+        &mut self,
+        host: HostId,
+        segment: SegmentId,
+        score: f64,
+        owner_active: bool,
+        at: SimTime,
+    ) {
         self.entries.insert(
             host,
             LoadEntry {
                 score,
                 owner_active,
+                segment,
                 at,
             },
         );
@@ -152,6 +171,20 @@ mod tests {
         let mut heard = Vec::new();
         a.merge_with(&b, |h, e| heard.push((h, e.score)));
         assert_eq!(heard, vec![(HostId(1), 3.0), (HostId(2), 4.0)]);
+    }
+
+    #[test]
+    fn segment_rides_the_merge() {
+        let mut a = LoadVector::new();
+        a.update_in(HostId(3), SegmentId(2), 1.0, false, SimTime(10));
+        let mut b = LoadVector::new();
+        b.update(HostId(0), 0.5, false, SimTime(1)); // default segment
+        b.merge(&a);
+        assert_eq!(b.get(HostId(3)).unwrap().segment, SegmentId(2));
+        assert_eq!(b.get(HostId(0)).unwrap().segment, SegmentId(0));
+        // Carrying the segment must not change the wire size: it packs
+        // into the entry's former padding.
+        assert_eq!(b.wire_bytes(), GOSSIP_HEADER_BYTES + 2 * GOSSIP_ENTRY_BYTES);
     }
 
     #[test]

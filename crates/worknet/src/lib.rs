@@ -1,8 +1,9 @@
 //! # worknet — shared-workstation-network model
 //!
 //! The substrate the paper's systems run on: workstations with calibrated
-//! CPU/memory/OS costs and time-varying external load, a shared 10 Mb/s
-//! Ethernet with processor-sharing contention, TCP connections, and owner
+//! CPU/memory/OS costs and time-varying external load, a routed worknet of
+//! shared 10 Mb/s Ethernet segments with processor-sharing contention and
+//! store-and-forward inter-segment links, TCP connections, and owner
 //! activity traces. All constants are fitted to the paper's published
 //! measurements (see [`Calib`]) so the reproduced tables keep the paper's
 //! shape.
@@ -17,6 +18,7 @@ mod host;
 mod load;
 mod net;
 mod tcp;
+mod topology;
 
 pub use calib::Calib;
 pub use cluster::{Cluster, ClusterBuilder};
@@ -26,3 +28,4 @@ pub use host::{Arch, ComputeOutcome, Host, HostId, HostSpec};
 pub use load::{LoadTrace, OwnerTrace};
 pub use net::{Ethernet, OnComplete, PendingTransfer, TransferId};
 pub use tcp::{ChunkPlan, TcpConn};
+pub use topology::{LinkCalib, PathHop, SegmentId, Topology};

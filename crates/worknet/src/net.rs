@@ -41,6 +41,8 @@ struct Active {
     endpoints: Option<(HostId, HostId)>,
     /// Runs instead of `done` if the transfer is severed.
     on_abort: Option<OnComplete>,
+    /// When the transfer registered with the bus (for sever histograms).
+    started: simcore::SimTime,
 }
 
 struct BusState {
@@ -76,10 +78,10 @@ impl BusState {
 /// or [`poll`](Self::poll) later — the overlap the pipelined migration
 /// paths are built on.
 pub struct PendingTransfer {
-    done: Arc<AtomicBool>,
-    severed: Arc<AtomicBool>,
-    src: Arc<crate::Host>,
-    dst: Arc<crate::Host>,
+    pub(crate) done: Arc<AtomicBool>,
+    pub(crate) severed: Arc<AtomicBool>,
+    pub(crate) src: Arc<crate::Host>,
+    pub(crate) dst: Arc<crate::Host>,
 }
 
 impl PendingTransfer {
@@ -141,18 +143,31 @@ impl Ethernet {
     /// (what [`Cluster::build`](crate::Cluster::builder) uses, wiring the
     /// simulation's own registry in).
     pub fn new_instrumented(calib: &Calib, metrics: Metrics) -> Self {
+        Self::with_capacity(calib.ether_bps, calib.wire_latency, metrics)
+    }
+
+    /// Build a bus with explicit capacity and latency — inter-segment
+    /// links in a routed [`Topology`](crate::Topology) are the same
+    /// processor-sharing medium as a segment, just calibrated differently.
+    pub fn with_capacity(wire_bps: f64, latency: SimDuration, metrics: Metrics) -> Self {
+        assert!(wire_bps > 0.0, "bus capacity must be positive");
         Ethernet {
             state: Arc::new(Mutex::new(BusState {
-                wire_bps: calib.ether_bps,
+                wire_bps,
                 active: Vec::new(),
                 last_update: simcore::SimTime::ZERO,
                 pending_event: None,
                 next_id: 0,
                 total_wire_bytes: 0.0,
             })),
-            latency: calib.wire_latency,
+            latency,
             metrics,
         }
+    }
+
+    /// Current capacity in bytes per second (after any degradations).
+    pub fn wire_bps(&self) -> f64 {
+        self.state.lock().wire_bps
     }
 
     /// Number of transfers currently occupying the segment.
@@ -212,6 +227,7 @@ impl Ethernet {
                 done: Some(done),
                 endpoints,
                 on_abort,
+                started: w.now(),
             });
         }
         self.reschedule(w);
@@ -245,6 +261,50 @@ impl Ethernet {
         }
         self.reschedule(w);
         n
+    }
+
+    /// Sever *every* in-flight transfer on this bus (a link-level cable
+    /// pull: a [`Fault::LinkSever`](crate::Fault::LinkSever)). Abort
+    /// callbacks run in place of completions — the same severed-TCP resume
+    /// path a host crash triggers. Returns how long each severed transfer
+    /// had been in flight, for the `worknet.link.severed_ns` histogram.
+    pub fn sever_all(&self, w: &mut World) -> Vec<SimDuration> {
+        let (aborted, ages): (Vec<OnComplete>, Vec<SimDuration>) = {
+            let mut b = self.state.lock();
+            b.update(w.now());
+            let now = w.now();
+            let mut cbs = Vec::new();
+            let mut ages = Vec::new();
+            for mut a in b.active.drain(..) {
+                ages.push(now.saturating_since(a.started));
+                if let Some(f) = a.on_abort.take() {
+                    cbs.push(f);
+                }
+                a.done = None;
+            }
+            (cbs, ages)
+        };
+        for f in aborted {
+            f(w);
+        }
+        self.reschedule(w);
+        ages
+    }
+
+    /// Multiply the bus capacity by `factor` (a link degradation, or its
+    /// recovery with a factor above one). In-flight transfers keep their
+    /// delivered bytes and finish at the new rate.
+    pub fn scale_bandwidth(&self, w: &mut World, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "bandwidth factor must be positive and finite"
+        );
+        {
+            let mut b = self.state.lock();
+            b.update(w.now());
+            b.wire_bps *= factor;
+        }
+        self.reschedule(w);
     }
 
     fn reschedule(&self, w: &mut World) {

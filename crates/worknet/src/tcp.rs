@@ -1,12 +1,16 @@
-//! A point-to-point TCP connection over the shared Ethernet.
+//! A point-to-point TCP connection over the routed worknet.
 //!
 //! MPVM transfers migrating-process state over a dedicated TCP connection
 //! between the old process and the skeleton (§2.1 stage 3). The model
 //! charges a fixed connection setup, then per-send syscall + occupancy of
-//! the shared segment at TCP bulk efficiency.
+//! every bus along the route between the endpoints at TCP bulk
+//! efficiency — one hop on the shared segment for an intra-segment
+//! connection, store-and-forward through gateways across segments.
 
 use crate::calib::Calib;
-use crate::net::{Ethernet, PendingTransfer};
+use crate::host::HostId;
+use crate::net::PendingTransfer;
+use crate::topology::Topology;
 use simcore::{SimCtx, SimDuration};
 use std::sync::Arc;
 
@@ -55,20 +59,31 @@ impl ChunkPlan {
     }
 }
 
-/// An established TCP connection (direction-agnostic; the simulator charges
-/// costs to whichever actor calls send).
+/// An established TCP connection between two named hosts (direction-
+/// agnostic; the simulator charges costs to whichever actor calls send).
 pub struct TcpConn {
-    eth: Ethernet,
+    net: Topology,
     calib: Arc<Calib>,
+    src: HostId,
+    dst: HostId,
 }
 
 impl TcpConn {
-    /// Establish a connection, charging the handshake to the caller.
-    pub fn connect(ctx: &SimCtx, eth: &Ethernet, calib: &Arc<Calib>) -> Self {
+    /// Establish a connection between `src` and `dst` over the routed
+    /// worknet, charging the handshake to the caller.
+    pub fn connect(
+        ctx: &SimCtx,
+        net: &Topology,
+        calib: &Arc<Calib>,
+        src: HostId,
+        dst: HostId,
+    ) -> Self {
         ctx.advance(calib.tcp_setup);
         TcpConn {
-            eth: eth.clone(),
+            net: net.clone(),
             calib: Arc::clone(calib),
+            src,
+            dst,
         }
     }
 
@@ -77,8 +92,8 @@ impl TcpConn {
     pub fn send_blocking(&self, ctx: &SimCtx, bytes: usize) {
         ctx.advance(self.calib.syscall);
         let started = ctx.metrics().enabled().then(|| ctx.now());
-        self.eth
-            .transfer_blocking(ctx, bytes, self.calib.tcp_efficiency);
+        self.net
+            .transfer_blocking(ctx, self.src, self.dst, bytes, self.calib.tcp_efficiency);
         if let Some(t0) = started {
             ctx.metrics()
                 .histogram_record("tcp.transfer_ns", ctx.now().since(t0));
@@ -99,7 +114,7 @@ impl TcpConn {
         ctx.advance(self.calib.syscall);
         let started = ctx.metrics().enabled().then(|| ctx.now());
         let r =
-            self.eth
+            self.net
                 .transfer_blocking_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst);
         if let Some(t0) = started {
             // Severed attempts cost real time too: record them under their
@@ -127,7 +142,7 @@ impl TcpConn {
         dst: &Arc<crate::Host>,
     ) -> PendingTransfer {
         ctx.advance(self.calib.syscall);
-        self.eth
+        self.net
             .start_severable(ctx, bytes, self.calib.tcp_efficiency, src, dst)
     }
 
@@ -149,11 +164,11 @@ mod tests {
     fn blocking_send_matches_raw_time_on_quiet_net() {
         let calib = Arc::new(Calib::hp720_ethernet());
         let sim = Sim::new();
-        let eth = Ethernet::new(&calib);
+        let net = Topology::single(&calib);
         let c2 = Arc::clone(&calib);
         sim.spawn("s", move |ctx| {
             let t0 = ctx.now();
-            let conn = TcpConn::connect(&ctx, &eth, &c2);
+            let conn = TcpConn::connect(&ctx, &net, &c2, HostId(0), HostId(1));
             conn.send_blocking(&ctx, 300_000);
             let measured = ctx.now().since(t0);
             let analytic = TcpConn::raw_transfer_time(&c2, 300_000) + c2.syscall;

@@ -1,0 +1,748 @@
+//! The routed worknet: named segments joined by calibrated links.
+//!
+//! The paper's cluster is one shared 10 Mb/s Ethernet; a production-scale
+//! deployment is a *cluster of clusters* — several segments, each still
+//! the processor-sharing medium of [`Ethernet`], joined by inter-segment
+//! links with their own bandwidth and latency. [`Topology`] is the handle
+//! the rest of the system talks to instead of a bare bus:
+//!
+//! * **Segments** keep today's contention model: every host on a segment
+//!   shares that segment's capacity. A flat [`ClusterBuilder`] maps to a
+//!   one-segment topology, so every single-segment scenario is
+//!   byte-identical to the old direct-`Ethernet` code path — same events,
+//!   same latencies, same metric names.
+//! * **Links** join two segments through their *gateway hosts* (the first
+//!   host of each segment). A link is its own processor-sharing bus
+//!   ([`Ethernet::with_capacity`]) calibrated by [`LinkCalib`].
+//! * **Routing** is store-and-forward: a cross-segment transfer occupies
+//!   the source segment up to its gateway, then each link bus along the
+//!   route, then the destination segment — sequentially, paying each
+//!   hop's latency and occupancy. Routes are shortest-path by link count
+//!   (BFS, deterministic tie-break toward the lower link index) and
+//!   cached per segment pair.
+//!
+//! Severable transfers re-check the next hop's receiving host after every
+//! latency window and abort through the same severed-TCP resume path a
+//! host crash uses, so chunked migrations recover per hop.
+//!
+//! [`ClusterBuilder`]: crate::ClusterBuilder
+
+use crate::calib::Calib;
+use crate::host::{Host, HostId};
+use crate::net::{Ethernet, OnComplete, PendingTransfer};
+use parking_lot::Mutex;
+use simcore::{Metrics, SimCtx, SimDuration, World};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Identifies a segment of the topology, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub usize);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Calibration of one inter-segment link: capacity in bytes per second
+/// and one-way latency. A link is the same processor-sharing medium as a
+/// segment, just sized differently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCalib {
+    /// Link capacity, bytes per second.
+    pub bps: f64,
+    /// One-way latency per hop.
+    pub latency: SimDuration,
+}
+
+impl LinkCalib {
+    /// A link with explicit capacity (bytes/s) and one-way latency.
+    pub fn new(bps: f64, latency: SimDuration) -> Self {
+        assert!(bps > 0.0, "link capacity must be positive");
+        LinkCalib { bps, latency }
+    }
+
+    /// A period FDDI campus backbone: 100 Mb/s, 1 ms one-way.
+    pub fn fddi_backbone() -> Self {
+        LinkCalib::new(100.0e6 / 8.0, SimDuration::from_millis(1))
+    }
+
+    /// A bridged Ethernet uplink: same 10 Mb/s as a segment but with the
+    /// extra store-and-forward latency of the bridge (1.5 ms one-way).
+    pub fn bridged_ether() -> Self {
+        LinkCalib::new(10.0e6 / 8.0, SimDuration::from_micros(1500))
+    }
+}
+
+/// One named segment of the topology.
+pub(crate) struct SegmentInfo {
+    pub(crate) name: String,
+    pub(crate) bus: Ethernet,
+    pub(crate) hosts: Vec<HostId>,
+}
+
+/// One inter-segment link.
+pub(crate) struct LinkInfo {
+    pub(crate) a: SegmentId,
+    pub(crate) b: SegmentId,
+    pub(crate) bus: Ethernet,
+}
+
+/// One store-and-forward hop of a routed path, as reported by
+/// [`Topology::path`]: the hop endpoints plus the carrying bus's current
+/// capacity and latency (enough to predict the hop's cost analytically).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathHop {
+    /// Sending host of this hop.
+    pub src: HostId,
+    /// Receiving host of this hop.
+    pub dst: HostId,
+    /// Capacity of the bus carrying this hop, bytes per second.
+    pub bps: f64,
+    /// One-way latency of the bus carrying this hop.
+    pub latency: SimDuration,
+}
+
+/// An internal hop: which bus carries it and between which hosts.
+struct Hop {
+    bus: Ethernet,
+    src: HostId,
+    dst: HostId,
+}
+
+struct TopoInner {
+    segments: Vec<SegmentInfo>,
+    links: Vec<LinkInfo>,
+    /// Adjacency: per segment, `(neighbor segment, link index)` in link
+    /// declaration order — the BFS tie-break.
+    adj: Vec<Vec<(usize, usize)>>,
+    /// Host id → segment (empty for a host-less [`Topology::single`]).
+    seg_of: Vec<SegmentId>,
+    /// Host handles, for per-hop liveness checks on severable streams
+    /// (empty for a host-less [`Topology::single`]).
+    hosts: Vec<Arc<Host>>,
+    /// Shortest routes by segment pair, as link-index sequences.
+    routes: Mutex<RouteCache>,
+}
+
+/// Cached shortest routes, keyed by `(src segment, dst segment)`.
+type RouteCache = HashMap<(usize, usize), Arc<Vec<usize>>>;
+
+/// The routed worknet handle every layer above the cluster talks to.
+///
+/// Cloning is cheap and refers to the same topology.
+#[derive(Clone)]
+pub struct Topology {
+    inner: Arc<TopoInner>,
+}
+
+impl Topology {
+    /// A one-segment topology over a bare bus, without hosts — the drop-in
+    /// replacement for standalone `Ethernet::new` uses (calibration
+    /// probes, lower-bound measurements). All host ids map to the single
+    /// segment.
+    pub fn single(calib: &Calib) -> Self {
+        Self::single_instrumented(calib, Metrics::disabled())
+    }
+
+    /// [`Topology::single`] with wire-byte counters reporting to
+    /// `metrics`.
+    pub fn single_instrumented(calib: &Calib, metrics: Metrics) -> Self {
+        Self::assemble(
+            vec![SegmentInfo {
+                name: "ether".into(),
+                bus: Ethernet::new_instrumented(calib, metrics),
+                hosts: Vec::new(),
+            }],
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    /// Assemble from built parts (what `ClusterBuilder::build` does).
+    pub(crate) fn assemble(
+        segments: Vec<SegmentInfo>,
+        links: Vec<LinkInfo>,
+        seg_of: Vec<SegmentId>,
+        hosts: Vec<Arc<Host>>,
+    ) -> Self {
+        let mut adj = vec![Vec::new(); segments.len()];
+        for (i, l) in links.iter().enumerate() {
+            adj[l.a.0].push((l.b.0, i));
+            adj[l.b.0].push((l.a.0, i));
+        }
+        Topology {
+            inner: Arc::new(TopoInner {
+                segments,
+                links,
+                adj,
+                seg_of,
+                hosts,
+                routes: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.inner.segments.len()
+    }
+
+    /// Number of inter-segment links.
+    pub fn link_count(&self) -> usize {
+        self.inner.links.len()
+    }
+
+    /// The segment's declared name.
+    pub fn segment_name(&self, s: SegmentId) -> &str {
+        &self.inner.segments[s.0].name
+    }
+
+    /// Hosts attached to a segment, in declaration order. The first is
+    /// the segment's gateway.
+    pub fn segment_hosts(&self, s: SegmentId) -> &[HostId] {
+        &self.inner.segments[s.0].hosts
+    }
+
+    /// The segment a host sits on. Hosts unknown to the topology (a
+    /// host-less [`Topology::single`]) map to segment 0.
+    pub fn segment_of(&self, h: HostId) -> SegmentId {
+        self.inner.seg_of.get(h.0).copied().unwrap_or(SegmentId(0))
+    }
+
+    /// The segment's gateway host — the endpoint of every link touching
+    /// the segment.
+    pub fn gateway(&self, s: SegmentId) -> HostId {
+        *self.inner.segments[s.0]
+            .hosts
+            .first()
+            .unwrap_or_else(|| panic!("segment {s} has no hosts, so no gateway"))
+    }
+
+    /// The shared bus of one segment.
+    pub fn segment_bus(&self, s: SegmentId) -> &Ethernet {
+        &self.inner.segments[s.0].bus
+    }
+
+    /// The bus of the link joining segments `a` and `b` directly, if one
+    /// was declared (either orientation).
+    pub fn link_between(&self, a: SegmentId, b: SegmentId) -> Option<&Ethernet> {
+        self.inner
+            .links
+            .iter()
+            .find(|l| (l.a, l.b) == (a, b) || (l.a, l.b) == (b, a))
+            .map(|l| &l.bus)
+    }
+
+    /// Distance between two hosts in link hops: 0 when they share a
+    /// segment, otherwise the length of the shortest link route between
+    /// their segments. This is what scheduling policies use to prefer
+    /// intra-segment destinations at equal load.
+    pub fn segment_distance(&self, a: HostId, b: HostId) -> usize {
+        let (sa, sb) = (self.segment_of(a), self.segment_of(b));
+        if sa == sb {
+            0
+        } else {
+            self.route(sa, sb).len()
+        }
+    }
+
+    /// Sum of wire latencies of the single segment — kept for callers
+    /// that need the intra-segment message latency without a route.
+    pub fn segment_latency(&self, s: SegmentId) -> SimDuration {
+        self.inner.segments[s.0].bus.latency
+    }
+
+    /// Total wire bytes ever offered to any bus of the topology (each
+    /// store-and-forward hop retransmits, so a routed transfer counts
+    /// once per hop — that *is* the offered wire load).
+    pub fn total_wire_bytes(&self) -> f64 {
+        let seg: f64 = self
+            .inner
+            .segments
+            .iter()
+            .map(|s| s.bus.total_wire_bytes())
+            .sum();
+        let lnk: f64 = self
+            .inner
+            .links
+            .iter()
+            .map(|l| l.bus.total_wire_bytes())
+            .sum();
+        seg + lnk
+    }
+
+    /// Sever every in-flight transfer with `host` as an endpoint, on every
+    /// bus (segments first, then links, in declaration order). Returns how
+    /// many transfers were severed.
+    pub fn sever_host(&self, w: &mut World, host: HostId) -> usize {
+        let mut n = 0;
+        for s in &self.inner.segments {
+            n += s.bus.sever_host(w, host);
+        }
+        for l in &self.inner.links {
+            n += l.bus.sever_host(w, host);
+        }
+        n
+    }
+
+    /// The shortest link route between two segments (BFS by link count;
+    /// ties break toward the lower link index), cached. Panics when the
+    /// segments are disconnected — a topology configuration error.
+    fn route(&self, from: SegmentId, to: SegmentId) -> Arc<Vec<usize>> {
+        if let Some(r) = self.inner.routes.lock().get(&(from.0, to.0)) {
+            return Arc::clone(r);
+        }
+        let n = self.inner.segments.len();
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[from.0] = true;
+        let mut queue = VecDeque::from([from.0]);
+        'bfs: while let Some(s) = queue.pop_front() {
+            for &(nb, li) in &self.inner.adj[s] {
+                if !visited[nb] {
+                    visited[nb] = true;
+                    prev[nb] = Some((s, li));
+                    if nb == to.0 {
+                        break 'bfs;
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert!(
+            visited[to.0],
+            "no route between {from} and {to}: the topology is disconnected"
+        );
+        let mut path = Vec::new();
+        let mut cur = to.0;
+        while cur != from.0 {
+            let (p, li) = prev[cur].expect("BFS parent chain broken");
+            path.push(li);
+            cur = p;
+        }
+        path.reverse();
+        let arc = Arc::new(path);
+        self.inner
+            .routes
+            .lock()
+            .insert((from.0, to.0), Arc::clone(&arc));
+        arc
+    }
+
+    /// The store-and-forward hop sequence a transfer from `src` to `dst`
+    /// takes, with each hop's current capacity and latency — the analytic
+    /// view of [`Topology::transfer_blocking`]'s cost (latency plus
+    /// uncontended occupancy, summed per hop).
+    pub fn path(&self, src: HostId, dst: HostId) -> Vec<PathHop> {
+        self.hops(src, dst)
+            .iter()
+            .map(|h| PathHop {
+                src: h.src,
+                dst: h.dst,
+                bps: h.bus.wire_bps(),
+                latency: h.bus.latency,
+            })
+            .collect()
+    }
+
+    /// Resolve the hop chain: source segment up to its gateway, each
+    /// route link gateway-to-gateway, destination segment down to `dst`.
+    /// Degenerate hops (the sender *is* the gateway) are skipped.
+    fn hops(&self, src: HostId, dst: HostId) -> Vec<Hop> {
+        let (ss, ds) = (self.segment_of(src), self.segment_of(dst));
+        if ss == ds {
+            return vec![Hop {
+                bus: self.inner.segments[ss.0].bus.clone(),
+                src,
+                dst,
+            }];
+        }
+        let route = self.route(ss, ds);
+        let mut hops = Vec::with_capacity(route.len() + 2);
+        let mut cur = src;
+        let mut cur_seg = ss;
+        for &li in route.iter() {
+            let link = &self.inner.links[li];
+            let far = if link.a == cur_seg { link.b } else { link.a };
+            debug_assert!(
+                link.a == cur_seg || link.b == cur_seg,
+                "route skipped a segment"
+            );
+            let gw_near = self.gateway(cur_seg);
+            let gw_far = self.gateway(far);
+            if cur != gw_near {
+                hops.push(Hop {
+                    bus: self.inner.segments[cur_seg.0].bus.clone(),
+                    src: cur,
+                    dst: gw_near,
+                });
+            }
+            hops.push(Hop {
+                bus: link.bus.clone(),
+                src: gw_near,
+                dst: gw_far,
+            });
+            cur = gw_far;
+            cur_seg = far;
+        }
+        if cur != dst {
+            hops.push(Hop {
+                bus: self.inner.segments[ds.0].bus.clone(),
+                src: cur,
+                dst,
+            });
+        }
+        hops
+    }
+
+    /// Build the hop chain as one deferred action: each hop (optionally
+    /// skipping the first hop's latency) waits its bus latency, occupies
+    /// its bus, and on landing launches the next; the final landing runs
+    /// `done`. Single-hop chains reproduce the old direct-`Ethernet` event
+    /// sequence exactly — untagged, one `schedule_in`, one transfer.
+    fn chain(
+        &self,
+        src: HostId,
+        dst: HostId,
+        payload_bytes: f64,
+        efficiency: f64,
+        done: OnComplete,
+        first_latency: bool,
+    ) -> OnComplete {
+        let hops = self.hops(src, dst);
+        // Multi-hop transfers are endpoint-tagged (per-link byte counters,
+        // severable by host); a single hop stays untagged like the old
+        // `Ethernet::start_transfer` path it replaces.
+        let tag = hops.len() > 1;
+        let mut act = done;
+        for (i, hop) in hops.into_iter().enumerate().rev() {
+            let bus = hop.bus;
+            let lat = bus.latency;
+            let endpoints = tag.then_some((hop.src, hop.dst));
+            let landed = act;
+            let start = move |w: &mut World| {
+                bus.start_transfer_between(w, payload_bytes, efficiency, endpoints, landed, None);
+            };
+            act = if i == 0 && !first_latency {
+                Box::new(start)
+            } else {
+                Box::new(move |w: &mut World| {
+                    w.schedule_in(lat, start);
+                })
+            };
+        }
+        act
+    }
+
+    /// Begin a routed transfer *without* the first hop's latency — the
+    /// daemon routing path charges its own per-message wire latency before
+    /// handing the payload to the net. Later hops still pay their own
+    /// latency (store-and-forward). Requires world access.
+    pub fn start_transfer_routed(
+        &self,
+        w: &mut World,
+        src: HostId,
+        dst: HostId,
+        payload_bytes: f64,
+        efficiency: f64,
+        done: OnComplete,
+    ) {
+        self.chain(src, dst, payload_bytes, efficiency, done, false)(w);
+    }
+
+    /// Fire-and-forget routed delivery: `done` runs when the last byte
+    /// lands at `dst`, after every hop's latency and occupancy. The sender
+    /// is not blocked.
+    pub fn send_async(
+        &self,
+        ctx: &SimCtx,
+        src: HostId,
+        dst: HostId,
+        payload_bytes: usize,
+        efficiency: f64,
+        done: OnComplete,
+    ) {
+        let act = self.chain(src, dst, payload_bytes as f64, efficiency, done, true);
+        ctx.with_world(move |w| act(w));
+    }
+
+    /// Routed transfer blocking the calling actor until the last byte
+    /// lands at `dst` (a blocking `write` of a large state). Costs the sum
+    /// of every hop's latency plus occupancy.
+    pub fn transfer_blocking(
+        &self,
+        ctx: &SimCtx,
+        src: HostId,
+        dst: HostId,
+        payload_bytes: usize,
+        efficiency: f64,
+    ) {
+        let done = Arc::new(AtomicBool::new(false));
+        let me = ctx.id();
+        let done2 = Arc::clone(&done);
+        let act = self.chain(
+            src,
+            dst,
+            payload_bytes as f64,
+            efficiency,
+            Box::new(move |w| {
+                done2.store(true, Ordering::SeqCst);
+                w.wake_actor(me);
+            }),
+            true,
+        );
+        ctx.with_world(move |w| act(w));
+        while !done.load(Ordering::SeqCst) {
+            ctx.block("ethernet transfer", false);
+        }
+    }
+
+    /// A blocking routed transfer that faults can sever — per hop: if the
+    /// receiving host of the next hop is down when the hop would start, or
+    /// a crash/link-sever cuts an in-flight hop, the caller unblocks with
+    /// `Err(Severed)`.
+    pub fn transfer_blocking_severable(
+        &self,
+        ctx: &SimCtx,
+        payload_bytes: usize,
+        efficiency: f64,
+        src: &Arc<Host>,
+        dst: &Arc<Host>,
+    ) -> Result<(), crate::fault::Severed> {
+        self.start_severable(ctx, payload_bytes, efficiency, src, dst)
+            .wait(ctx)
+    }
+
+    /// Start a severable routed transfer without blocking: the caller
+    /// keeps working (packing the next chunk, draining acks) and waits on
+    /// or polls the returned handle — the overlap primitive of the
+    /// pipelined migration paths, now per hop.
+    pub fn start_severable(
+        &self,
+        ctx: &SimCtx,
+        payload_bytes: usize,
+        efficiency: f64,
+        src: &Arc<Host>,
+        dst: &Arc<Host>,
+    ) -> PendingTransfer {
+        let pt = PendingTransfer {
+            done: Arc::new(AtomicBool::new(false)),
+            severed: Arc::new(AtomicBool::new(false)),
+            src: Arc::clone(src),
+            dst: Arc::clone(dst),
+        };
+        if !dst.is_up() || !src.is_up() {
+            pt.severed.store(true, Ordering::SeqCst);
+            return pt;
+        }
+        let me = ctx.id();
+        let hops = self.hops(src.id, dst.id);
+        let n = hops.len();
+        // Built back to front: `landed` is what runs when hop `i`'s bytes
+        // arrive — the next hop's launch, or final completion.
+        let done2 = Arc::clone(&pt.done);
+        let mut landed: OnComplete = Box::new(move |w| {
+            done2.store(true, Ordering::SeqCst);
+            w.wake_actor(me);
+        });
+        for (i, hop) in hops.into_iter().enumerate().rev() {
+            let bus = hop.bus;
+            let lat = bus.latency;
+            let endpoints = (hop.src, hop.dst);
+            // Liveness re-check after the latency window: the gateway for
+            // an intermediate hop, the true destination for the last.
+            let check: Arc<Host> = if i + 1 == n {
+                Arc::clone(dst)
+            } else {
+                Arc::clone(&self.inner.hosts[hop.dst.0])
+            };
+            let sev = Arc::clone(&pt.severed);
+            let sev_abort = Arc::clone(&pt.severed);
+            let next = landed;
+            let start = move |w: &mut World| {
+                if !check.is_up() {
+                    sev.store(true, Ordering::SeqCst);
+                    w.wake_actor(me);
+                    return;
+                }
+                bus.start_transfer_between(
+                    w,
+                    payload_bytes as f64,
+                    efficiency,
+                    Some(endpoints),
+                    next,
+                    Some(Box::new(move |w| {
+                        sev_abort.store(true, Ordering::SeqCst);
+                        w.wake_actor(me);
+                    })),
+                );
+            };
+            landed = Box::new(move |w: &mut World| {
+                w.schedule_in(lat, start);
+            });
+        }
+        ctx.with_world(move |w| landed(w));
+        pt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostSpec;
+    use simcore::Sim;
+
+    fn calib() -> Calib {
+        Calib::hp720_ethernet()
+    }
+
+    /// A 3-segment chain a/b/c with 2 hosts each: 0,1 | 2,3 | 4,5.
+    fn chain3() -> Topology {
+        let c = calib();
+        let cal = Arc::new(calib());
+        let m = Metrics::disabled();
+        let mk_hosts = |ids: [usize; 2]| {
+            ids.iter()
+                .map(|&i| {
+                    Arc::new(Host::new(
+                        HostId(i),
+                        HostSpec::hp720(format!("h{i}")),
+                        Arc::clone(&cal),
+                    ))
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut hosts = Vec::new();
+        hosts.extend(mk_hosts([0, 1]));
+        hosts.extend(mk_hosts([2, 3]));
+        hosts.extend(mk_hosts([4, 5]));
+        let seg = |name: &str, ids: [usize; 2]| SegmentInfo {
+            name: name.into(),
+            bus: Ethernet::new_instrumented(&c, m.clone()),
+            hosts: ids.map(HostId).to_vec(),
+        };
+        let link = |a: usize, b: usize| LinkInfo {
+            a: SegmentId(a),
+            b: SegmentId(b),
+            bus: Ethernet::with_capacity(
+                LinkCalib::fddi_backbone().bps,
+                LinkCalib::fddi_backbone().latency,
+                m.clone(),
+            ),
+        };
+        Topology::assemble(
+            vec![seg("a", [0, 1]), seg("b", [2, 3]), seg("c", [4, 5])],
+            vec![link(0, 1), link(1, 2)],
+            [0, 0, 1, 1, 2, 2].map(SegmentId).to_vec(),
+            hosts,
+        )
+    }
+
+    #[test]
+    fn segment_distance_counts_link_hops() {
+        let t = chain3();
+        assert_eq!(t.segment_distance(HostId(0), HostId(1)), 0);
+        assert_eq!(t.segment_distance(HostId(1), HostId(3)), 1);
+        assert_eq!(t.segment_distance(HostId(1), HostId(5)), 2);
+        assert_eq!(t.segment_of(HostId(4)), SegmentId(2));
+        assert_eq!(t.gateway(SegmentId(1)), HostId(2));
+        assert_eq!(t.segment_name(SegmentId(2)), "c");
+        assert!(t.link_between(SegmentId(0), SegmentId(1)).is_some());
+        assert!(t.link_between(SegmentId(0), SegmentId(2)).is_none());
+    }
+
+    #[test]
+    fn path_walks_gateways_store_and_forward() {
+        let t = chain3();
+        // h1 (seg a) → h5 (seg c): a-bus to gw0, link to gw2, b-bus... no:
+        // link0 to gateway of b (h2), link1 to gateway of c (h4), c-bus to h5.
+        let p = t.path(HostId(1), HostId(5));
+        let pairs: Vec<(HostId, HostId)> = p.iter().map(|h| (h.src, h.dst)).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (HostId(1), HostId(0)), // to own gateway on segment a
+                (HostId(0), HostId(2)), // link a-b
+                (HostId(2), HostId(4)), // link b-c
+                (HostId(4), HostId(5)), // segment c to destination
+            ]
+        );
+        // Gateways sending themselves skip the degenerate first hop.
+        assert_eq!(t.path(HostId(0), HostId(2)).len(), 1);
+        // Intra-segment is one hop on the segment bus.
+        assert_eq!(t.path(HostId(4), HostId(5)).len(), 1);
+    }
+
+    #[test]
+    fn routed_blocking_transfer_pays_each_hop() {
+        let t = chain3();
+        let bytes = 250_000usize;
+        let expect: f64 = t
+            .path(HostId(1), HostId(5))
+            .iter()
+            .map(|h| h.latency.as_secs_f64() + bytes as f64 / h.bps)
+            .sum();
+        let sim = Sim::new();
+        let t2 = t;
+        sim.spawn("s", move |ctx| {
+            let t0 = ctx.now();
+            t2.transfer_blocking(&ctx, HostId(1), HostId(5), bytes, 1.0);
+            let dt = ctx.now().since(t0).as_secs_f64();
+            assert!((dt - expect).abs() < 1e-6, "dt {dt}, expected {expect}");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn severed_gateway_aborts_routed_stream() {
+        let t = chain3();
+        let sim = Sim::new();
+        let src = Arc::clone(&t.inner.hosts[1]);
+        let dst = Arc::clone(&t.inner.hosts[5]);
+        let t2 = t.clone();
+        // Crash the b-segment gateway while the first hop is in flight.
+        let gw = Arc::clone(&t.inner.hosts[2]);
+        sim.spawn("crash", move |ctx| {
+            ctx.advance(SimDuration::from_millis(200));
+            gw.mark_down();
+            let t3 = t2;
+            ctx.with_world(move |w| {
+                t3.sever_host(w, HostId(2));
+            });
+        });
+        let t2 = t;
+        sim.spawn("xfer", move |ctx| {
+            let r = t2.transfer_blocking_severable(&ctx, 2_000_000, 1.0, &src, &dst);
+            assert!(r.is_err(), "stream should sever at the dead gateway");
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn single_topology_matches_bare_ethernet_timing() {
+        let c = calib();
+        let bytes = c.ether_bps as usize;
+        let end_eth = {
+            let sim = Sim::new();
+            let eth = Ethernet::new(&c);
+            sim.spawn("s", move |ctx| {
+                eth.transfer_blocking(&ctx, bytes, 1.0);
+            });
+            sim.run().unwrap()
+        };
+        let end_topo = {
+            let sim = Sim::new();
+            let t = Topology::single(&c);
+            sim.spawn("s", move |ctx| {
+                t.transfer_blocking(&ctx, HostId(0), HostId(1), bytes, 1.0);
+            });
+            sim.run().unwrap()
+        };
+        assert_eq!(end_eth, end_topo);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the routed multi-segment topology.
+
+use proptest::prelude::*;
+use simcore::{Sim, SimDuration};
+use std::sync::{Arc, Mutex};
+use worknet::{Calib, Cluster, Ethernet, HostId, HostSpec, LinkCalib, SegmentId, Topology};
+
+/// Build a chain of `segments` segments with `per_seg` hosts each, every
+/// neighbouring pair joined by a link of `link_bps`/`link_latency_us`.
+fn chain(segments: usize, per_seg: usize, link_bps: f64, link_latency_us: u64) -> Topology {
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    let mut sids = Vec::new();
+    for s in 0..segments {
+        let specs = (0..per_seg)
+            .map(|i| HostSpec::hp720(format!("s{s}h{i}")))
+            .collect();
+        let (sid, _) = b.segment(format!("seg{s}"), specs);
+        sids.push(sid);
+    }
+    for w in sids.windows(2) {
+        b.link(
+            w[0],
+            w[1],
+            LinkCalib::new(link_bps, SimDuration::from_micros(link_latency_us)),
+        );
+    }
+    b.build().net().clone()
+}
+
+/// Time a blocking routed transfer on an otherwise quiet net.
+fn timed_transfer(net: &Topology, src: HostId, dst: HostId, bytes: usize) -> f64 {
+    let sim = Sim::new();
+    sim.set_trace_enabled(false);
+    let net = net.clone();
+    let out = Arc::new(Mutex::new(0.0));
+    let out2 = Arc::clone(&out);
+    sim.spawn("t", move |ctx| {
+        let t0 = ctx.now();
+        net.transfer_blocking(&ctx, src, dst, bytes, 1.0);
+        *out2.lock().unwrap() = ctx.now().since(t0).as_secs_f64();
+    });
+    sim.run().unwrap();
+    let r = *out.lock().unwrap();
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On a quiet net, a routed blocking transfer costs exactly the sum of
+    /// its path's per-hop costs: each hop's latency plus its occupancy at
+    /// that hop's bandwidth — store-and-forward, charged per hop.
+    #[test]
+    fn routed_cost_is_sum_of_hop_costs(
+        segments in 1usize..5,
+        per_seg in 1usize..4,
+        bytes in 1usize..2_000_000,
+        link_mbps in 1u32..200,
+        link_latency_us in 1u64..5_000,
+        src_pick in 0usize..20,
+        dst_pick in 0usize..20,
+    ) {
+        let net = chain(segments, per_seg, link_mbps as f64 * 1.0e6 / 8.0, link_latency_us);
+        let n = segments * per_seg;
+        if n < 2 {
+            return Ok(()); // need two distinct endpoints
+        }
+        let src = HostId(src_pick % n);
+        let dst = HostId((src.0 + 1 + dst_pick % (n - 1)) % n);
+        let analytic: f64 = net
+            .path(src, dst)
+            .iter()
+            .map(|h| h.latency.as_secs_f64() + bytes as f64 / h.bps)
+            .sum();
+        let measured = timed_transfer(&net, src, dst, bytes);
+        prop_assert!(
+            (measured - analytic).abs() <= 1e-9 * analytic.max(1.0),
+            "{src}->{dst} over {} hops: measured {measured}, analytic {analytic}",
+            net.path(src, dst).len()
+        );
+    }
+
+    /// A one-segment topology is event-for-event the old shared Ethernet:
+    /// the same transfer set completes at exactly the same times.
+    #[test]
+    fn single_segment_is_the_old_ethernet(
+        specs in prop::collection::vec(
+            ((0u64..1_000_000_000), (1u32..1_000_000)),
+            1..6,
+        )
+    ) {
+        let calib = Calib::hp720_ethernet();
+
+        let run_ether = {
+            let sim = Sim::new();
+            sim.set_trace_enabled(false);
+            let eth = Ethernet::new(&calib);
+            let ends = Arc::new(Mutex::new(Vec::new()));
+            for (i, &(start_ns, bytes)) in specs.iter().enumerate() {
+                let eth = eth.clone();
+                let ends = Arc::clone(&ends);
+                sim.spawn(format!("tx{i}"), move |ctx| {
+                    ctx.advance(SimDuration::from_nanos(start_ns));
+                    eth.transfer_blocking(&ctx, bytes as usize, 1.0);
+                    ends.lock().unwrap().push((i, ctx.now()));
+                });
+            }
+            sim.run().unwrap();
+            let mut v = ends.lock().unwrap().clone();
+            v.sort();
+            v
+        };
+
+        let run_topo = {
+            let sim = Sim::new();
+            sim.set_trace_enabled(false);
+            let net = Topology::single(&calib);
+            let ends = Arc::new(Mutex::new(Vec::new()));
+            for (i, &(start_ns, bytes)) in specs.iter().enumerate() {
+                let net = net.clone();
+                let ends = Arc::clone(&ends);
+                sim.spawn(format!("tx{i}"), move |ctx| {
+                    ctx.advance(SimDuration::from_nanos(start_ns));
+                    net.transfer_blocking(&ctx, HostId(0), HostId(1), bytes as usize, 1.0);
+                    ends.lock().unwrap().push((i, ctx.now()));
+                });
+            }
+            sim.run().unwrap();
+            let mut v = ends.lock().unwrap().clone();
+            v.sort();
+            v
+        };
+
+        prop_assert_eq!(run_ether, run_topo);
+    }
+
+    /// Segment distance is a metric on the chain: zero iff same segment,
+    /// symmetric, and exactly the segment-index gap on a chain topology.
+    #[test]
+    fn chain_distance_is_index_gap(
+        segments in 1usize..6,
+        per_seg in 1usize..4,
+        a_pick in 0usize..24,
+        b_pick in 0usize..24,
+    ) {
+        let net = chain(segments, per_seg, 1.0e7 / 8.0, 100);
+        let n = segments * per_seg;
+        let a = HostId(a_pick % n);
+        let b = HostId(b_pick % n);
+        let (sa, sb) = (net.segment_of(a), net.segment_of(b));
+        prop_assert_eq!(sa, SegmentId(a.0 / per_seg));
+        let d = net.segment_distance(a, b);
+        prop_assert_eq!(d, net.segment_distance(b, a), "symmetry");
+        prop_assert_eq!(d, sa.0.abs_diff(sb.0), "chain distance is the index gap");
+        prop_assert_eq!(d == 0, sa == sb);
+    }
+}

@@ -1,5 +1,6 @@
-//! Quickstart: build a two-workstation cluster, run a pair of PVM tasks,
-//! then transparently migrate one with MPVM.
+//! Quickstart: build a routed two-segment cluster, run a pair of PVM
+//! tasks, then transparently migrate one with MPVM — across the gateway
+//! link, store-and-forward.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -9,12 +10,14 @@ use adaptive_pvm::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    // 1. A calibrated worknet: two HP 9000/720s on 10 Mb/s Ethernet.
-    let cluster = Arc::new(
-        Cluster::builder(Calib::hp720_ethernet())
-            .with_hosts(2)
-            .build(),
-    );
+    // 1. A calibrated worknet: two Ethernet segments of one HP 9000/720
+    //    each, bridged by a 100 Mb/s backbone link. A flat
+    //    `.with_hosts(2)` would put both on one shared segment instead.
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    let (lab, _) = b.segment("lab", vec![HostSpec::hp720("lab-0")]);
+    let (annex, _) = b.segment("annex", vec![HostSpec::hp720("annex-0")]);
+    b.link(lab, annex, LinkCalib::fddi_backbone());
+    let cluster = Arc::new(b.build());
 
     // 2. PVM on top, with MPVM's migration daemons.
     let pvm = Pvm::new(Arc::clone(&cluster));
@@ -58,10 +61,17 @@ fn main() {
     mpvm.seal();
 
     // 4. A minimal "global scheduler": order the migration at t = 3 s.
+    //    Host 1 sits on the other segment, so the state streams through
+    //    the gateway link hop by hop.
     let m3 = Arc::clone(&mpvm);
+    let net = cluster.net().clone();
     cluster.sim.spawn("gs", move |ctx| {
         ctx.advance(SimDuration::from_secs(3));
-        println!("[{}] GS: migrate the worker to host1", ctx.now());
+        println!(
+            "[{}] GS: migrate the worker to host1 ({} segment hops away)",
+            ctx.now(),
+            net.segment_distance(HostId(0), HostId(1))
+        );
         m3.inject_migration(&ctx, worker, HostId(1));
     });
 

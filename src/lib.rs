@@ -20,7 +20,9 @@ pub use worknet;
 ///
 /// covers building a cluster ([`Cluster`](worknet::Cluster),
 /// [`Calib`](worknet::Calib), [`HostSpec`](worknet::HostSpec),
-/// [`HostId`](worknet::HostId)), running tasks on it
+/// [`HostId`](worknet::HostId)) or a routed multi-segment worknet
+/// ([`Topology`](worknet::Topology), [`SegmentId`](worknet::SegmentId),
+/// [`LinkCalib`](worknet::LinkCalib)), running tasks on it
 /// ([`Pvm`](pvm_rt::Pvm), [`TaskApi`](pvm_rt::TaskApi),
 /// [`MsgBuf`](pvm_rt::MsgBuf), [`Tid`](pvm_rt::Tid)), the three migration
 /// systems ([`Mpvm`](mpvm::Mpvm), [`Upvm`](upvm::Upvm), plus ADM's event
@@ -39,5 +41,7 @@ pub mod prelude {
     pub use pvm_rt::{MigrationOutcome, MsgBuf, Pvm, PvmError, TaskApi, Tid};
     pub use simcore::{Metrics, MetricsReport, SimDuration, SimTime};
     pub use upvm::Upvm;
-    pub use worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+    pub use worknet::{
+        Calib, Cluster, HostId, HostSpec, LinkCalib, LoadTrace, OwnerTrace, SegmentId, Topology,
+    };
 }

@@ -8,7 +8,9 @@ use adaptive_pvm::cpe::{decentralized_gossip, Gs, MpvmTarget};
 use adaptive_pvm::mpvm::Mpvm;
 use adaptive_pvm::pvm::{Pvm, TaskApi};
 use adaptive_pvm::simcore::{SimDuration, SimTime};
-use adaptive_pvm::worknet::{Calib, Cluster, HostId, HostSpec, LoadTrace, OwnerTrace};
+use adaptive_pvm::worknet::{
+    Calib, Cluster, HostId, HostSpec, LinkCalib, LoadTrace, OwnerTrace, SegmentId,
+};
 use std::sync::Arc;
 
 fn t(s: u64) -> SimTime {
@@ -17,15 +19,26 @@ fn t(s: u64) -> SimTime {
 
 /// Four hosts with an owner session and a load burst; five sliced MPVM
 /// workers skewed onto the first two hosts, scheduled by gossip daemons.
+/// `segmented` splits the hosts 2+2 across two bridged Ethernet segments
+/// (gossip datagrams then route through the gateway link).
 /// Returns (metrics JSON, decision log lines, virtual end time).
-fn gossip_run(carrier_cap: Option<usize>) -> (String, Vec<String>, f64) {
+fn gossip_run_on(carrier_cap: Option<usize>, segmented: bool) -> (String, Vec<String>, f64) {
     let mut b = Cluster::builder(Calib::hp720_ethernet());
-    b.host(
-        HostSpec::hp720("h0").with_owner(OwnerTrace::events(vec![(t(6), true), (t(12), false)])),
-    );
-    b.host(HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(t(3), 2.5), (t(14), 0.0)])));
-    b.host(HostSpec::hp720("h2"));
-    b.host(HostSpec::hp720("h3"));
+    let h0 =
+        HostSpec::hp720("h0").with_owner(OwnerTrace::events(vec![(t(6), true), (t(12), false)]));
+    let h1 = HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(t(3), 2.5), (t(14), 0.0)]));
+    let h2 = HostSpec::hp720("h2");
+    let h3 = HostSpec::hp720("h3");
+    if segmented {
+        b.segment("near", vec![h0, h1]);
+        b.segment("far", vec![h2, h3]);
+        b.link(SegmentId(0), SegmentId(1), LinkCalib::bridged_ether());
+    } else {
+        b.host(h0);
+        b.host(h1);
+        b.host(h2);
+        b.host(h3);
+    }
     let cluster = Arc::new(b.with_metrics().build());
     if let Some(cap) = carrier_cap {
         cluster.sim.set_max_idle_carriers(cap);
@@ -50,6 +63,10 @@ fn gossip_run(carrier_cap: Option<usize>) -> (String, Vec<String>, f64) {
     (report.to_json(), decisions, end.as_secs_f64())
 }
 
+fn gossip_run(carrier_cap: Option<usize>) -> (String, Vec<String>, f64) {
+    gossip_run_on(carrier_cap, false)
+}
+
 #[test]
 fn gossip_mode_replays_byte_identical() {
     let (m1, d1, w1) = gossip_run(None);
@@ -68,6 +85,29 @@ fn gossip_mode_replays_byte_identical() {
 fn gossip_replay_is_identical_across_carrier_pool_sizes() {
     let (m1, d1, w1) = gossip_run(Some(2));
     let (m2, d2, w2) = gossip_run(None);
+    assert_eq!(w1, w2, "virtual end time must not depend on the pool");
+    assert_eq!(d1, d2, "decision ordering must not depend on the pool");
+    assert_eq!(m1, m2, "metrics must not depend on the pool");
+}
+
+#[test]
+fn gossip_mode_replays_byte_identical_on_two_segments() {
+    let (m1, d1, w1) = gossip_run_on(None, true);
+    let (m2, d2, w2) = gossip_run_on(None, true);
+    assert!(
+        !d1.is_empty(),
+        "the segmented scenario must exercise gossip decisions"
+    );
+    assert_eq!(w1, w2, "virtual end time must replay exactly");
+    assert_eq!(d1, d2, "decision log must replay in identical order");
+    assert_eq!(m1, m2, "metrics JSON must replay byte-identical");
+    assert!(m1.contains("ls.gossip.rounds"), "daemons gossiped: {m1}");
+}
+
+#[test]
+fn segmented_gossip_replay_is_identical_across_carrier_pool_sizes() {
+    let (m1, d1, w1) = gossip_run_on(Some(2), true);
+    let (m2, d2, w2) = gossip_run_on(None, true);
     assert_eq!(w1, w2, "virtual end time must not depend on the pool");
     assert_eq!(d1, d2, "decision ordering must not depend on the pool");
     assert_eq!(m1, m2, "metrics must not depend on the pool");
