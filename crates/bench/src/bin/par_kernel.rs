@@ -1,0 +1,122 @@
+//! Run the sharded-kernel sweep and merge its section into
+//! `BENCH_SIM.json`.
+//!
+//! Usage: `par_kernel [--smoke] [--out PATH]`
+//!
+//! Sweeps the 8-segment gossip-ring storm over 1/2/4/8 shards (see
+//! [`bench_tables::par_kernel`]) and asserts the CI gates in-process:
+//!
+//! * every shard count replays byte-identically (merged metrics JSON +
+//!   per-segment decision logs);
+//! * decision logs, events processed, ring handoffs and gossip deliveries
+//!   are invariant across shard counts — partitioning only moves wall
+//!   clock, never virtual time;
+//! * the 1-shard kernel reproduces the plain sequential kernel byte for
+//!   byte on figure-1, day-in-the-life, the severed migration storm and
+//!   the two-segment gossip scenario;
+//! * ≥ 1.5× events/sec at 4 shards vs 1 — enforced when the host has at
+//!   least 4 CPUs, recorded (with the CPU count) either way.
+
+use bench_tables::par_kernel::{
+    check_one_shard_identity, measure_par_kernel, render_par_kernel, SPEEDUP_GATE,
+};
+use bench_tables::splice::merge_section;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("1-shard vs sequential identity:");
+    let identity = check_one_shard_identity(smoke);
+    for (name, ok) in [
+        ("figure1", identity.figure1),
+        ("day_in_the_life", identity.day_in_the_life),
+        ("migration_storm", identity.migration_storm),
+        ("two_segment_gossip", identity.two_segment_gossip),
+    ] {
+        println!("  {name:<20} {}", if ok { "identical" } else { "DIVERGED" });
+    }
+    assert!(
+        identity.all(),
+        "1-shard runs diverged from the sequential kernel"
+    );
+
+    let cells = measure_par_kernel(smoke);
+    let base = cells.iter().find(|c| c.shards == 1).unwrap().clone();
+    println!(
+        "\n{:>6} {:>10} {:>9} {:>12} {:>9} {:>12} {:>8}  replay  vs-1-shard",
+        "shards", "events", "handoffs", "gossip_msgs", "wall_s", "events/sec", "speedup"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>10} {:>9} {:>12} {:>9.3} {:>12.0} {:>7.2}x  {:<6}  {}",
+            c.shards,
+            c.events,
+            c.handoffs,
+            c.gossip_msgs,
+            c.wall_secs,
+            c.events_per_sec(),
+            c.events_per_sec() / base.events_per_sec(),
+            if c.replay_identical { "ok" } else { "DIVERGED" },
+            if c.matches_one_shard {
+                "ok"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+
+    for c in &cells {
+        assert!(
+            c.replay_identical,
+            "{} shards: metrics/decisions diverged across replays",
+            c.shards
+        );
+        assert!(
+            c.matches_one_shard,
+            "{} shards: virtual-time observables diverged from the 1-shard run",
+            c.shards
+        );
+        assert!(
+            c.decisions > 0,
+            "{} shards: the storm produced no scheduler decisions",
+            c.shards
+        );
+    }
+
+    let four = cells.iter().find(|c| c.shards == 4).unwrap();
+    let speedup = four.events_per_sec() / base.events_per_sec();
+    if host_cpus >= 4 {
+        assert!(
+            speedup >= SPEEDUP_GATE,
+            "4 shards reached only {speedup:.2}x events/sec vs 1 shard \
+             (gate: {SPEEDUP_GATE}x, host cpus: {host_cpus})"
+        );
+        println!(
+            "\ngate: {speedup:.2}x events/sec at 4 shards (>= {SPEEDUP_GATE}x) on {host_cpus} cpus"
+        );
+    } else {
+        println!(
+            "\nspeedup gate skipped: {host_cpus} host cpu(s) cannot run 4 shards in \
+             parallel (measured {speedup:.2}x, recorded in the report)"
+        );
+    }
+
+    let section = render_par_kernel(&cells, &identity, smoke, host_cpus);
+    let doc = match std::fs::read_to_string(&out) {
+        Ok(doc) => merge_section(&doc, "par_kernel", &section),
+        // No simbench document yet: write a minimal valid one.
+        Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
+    };
+    std::fs::write(&out, &doc).expect("write BENCH_SIM.json");
+    println!("wrote {out}");
+}

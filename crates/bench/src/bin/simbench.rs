@@ -1,13 +1,19 @@
 //! Measure simulator-engine throughput and write `BENCH_SIM.json`.
 //!
-//! Usage: `simbench [--smoke] [--out PATH]`
+//! Usage: `simbench [--smoke] [--out PATH] [--shards N] [--max-idle-carriers N]`
 //!
 //! `--smoke` runs the reduced workloads (CI-sized); `--out` overrides the
 //! output path (default: `BENCH_SIM.json` in the current directory, i.e.
-//! the repo root when run via `cargo run`).
+//! the repo root when run via `cargo run`). `--shards N` drives the
+//! figure-1 and day-in-the-life workloads through the sharded kernel
+//! (cluster pinned to shard 0 — the parallel sweep is the `par_kernel`
+//! binary's job); `--max-idle-carriers N` caps each sim's idle
+//! carrier-thread pool. Both knobs are wall-clock-only: virtual-time
+//! results are unchanged, which the replay assertion inside each
+//! measurement enforces.
 
 use bench_tables::simbench::{
-    baseline_events_per_sec, measure_adm_repart, measure_day_in_the_life, measure_figure1,
+    baseline_events_per_sec, measure_adm_repart, measure_day_in_the_life_on, measure_figure1_on,
     measure_migration_storm, measure_msg_plane_mcast, measure_msg_plane_ulp, render_report,
     run_metrics_check, WorkloadMeasure,
 };
@@ -15,29 +21,56 @@ use bench_tables::simbench::{
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_SIM.json");
+    let mut shards = 0usize;
+    let mut max_idle_carriers: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = args.next().expect("--out requires a path"),
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards requires a count")
+                    .parse()
+                    .expect("--shards requires an integer");
+            }
+            "--max-idle-carriers" => {
+                max_idle_carriers = Some(
+                    args.next()
+                        .expect("--max-idle-carriers requires a count")
+                        .parse()
+                        .expect("--max-idle-carriers requires an integer"),
+                );
+            }
             other => {
-                eprintln!("unknown argument {other:?}; usage: simbench [--smoke] [--out PATH]");
+                eprintln!(
+                    "unknown argument {other:?}; usage: simbench [--smoke] [--out PATH] \
+                     [--shards N] [--max-idle-carriers N]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     println!(
-        "simbench ({} workloads)\n",
-        if smoke { "smoke" } else { "full" }
+        "simbench ({} workloads{})\n",
+        if smoke { "smoke" } else { "full" },
+        if shards > 0 {
+            format!(", {shards} shard(s)")
+        } else {
+            String::new()
+        }
     );
+    let figure1 = move |smoke| measure_figure1_on(smoke, shards, max_idle_carriers);
+    let day = move |smoke| measure_day_in_the_life_on(smoke, shards, max_idle_carriers);
     let mut measures = Vec::new();
     for (id, f) in [
-        ("figure1", measure_figure1 as fn(bool) -> _),
-        ("day_in_the_life", measure_day_in_the_life),
-        ("msg_plane_mcast", measure_msg_plane_mcast),
-        ("msg_plane_ulp", measure_msg_plane_ulp),
-        ("adm_repart", measure_adm_repart),
+        ("figure1", &figure1 as &dyn Fn(bool) -> WorkloadMeasure),
+        ("day_in_the_life", &day),
+        ("msg_plane_mcast", &measure_msg_plane_mcast),
+        ("msg_plane_ulp", &measure_msg_plane_ulp),
+        ("adm_repart", &measure_adm_repart),
     ] {
         println!("running {id}...");
         let m = f(smoke);

@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod json;
 pub mod multi_seg;
+pub mod par_kernel;
 pub mod scale;
 pub mod simbench;
 pub mod splice;

@@ -1,0 +1,483 @@
+//! par_kernel — the sharded conservative-parallel kernel under load.
+//!
+//! The tentpole scenario is an 8-segment worknet storm, `par_storm`: eight
+//! single-segment clusters (4 hosts each), every one running a
+//! load-threshold evacuation storm with its own per-segment global
+//! scheduler, plus one gossip daemon per segment exchanging reports with
+//! both ring neighbours over [`simcore::ShardLink`]s (250 ms WAN latency —
+//! the lookahead bound). The whole thing runs at 1, 2, 4 and 8 shards with
+//! segments mapped to shards in contiguous blocks.
+//!
+//! Gates, asserted in-process by the `par_kernel` binary:
+//!
+//! * **Per-count replay identity.** Every shard count runs twice; merged
+//!   metrics JSON (per-shard reports merged in shard order, then the shard
+//!   registry) and every per-segment decision log must be byte-identical.
+//! * **Cross-count invariance.** Per-segment decision logs, total events
+//!   processed, cross-shard handoffs and gossip deliveries must not depend
+//!   on the shard count — partitioning is a wall-clock-only knob.
+//! * **1-shard ≡ sequential.** Four scenarios (figure-1, day-in-the-life,
+//!   migration storm, two-segment gossip) run once on the plain kernel and
+//!   once through a 1-shard [`simcore::ShardedSim`]; traces, metrics JSON
+//!   and decision logs must be byte-identical.
+//! * **Speedup.** ≥ [`SPEEDUP_GATE`]× events/sec at 4 shards vs 1 — only
+//!   enforced when the host has ≥ 4 CPUs (a parallel kernel cannot beat
+//!   itself on serial hardware; the measured ratio and the host CPU count
+//!   are recorded either way).
+
+use crate::simbench::{figure1_scenario, storm_run, storm_sizing, DayConfig};
+use cpe::MpvmTarget;
+use mpvm::Mpvm;
+use opt_app::{run_mpvm_opt, run_mpvm_opt_sharded};
+use pvm_rt::{Pvm, TaskApi};
+use simcore::{Mailbox, MetricsReport, ShardedSim, SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use worknet::{Calib, Cluster, HostId, HostSpec, LinkCalib, LoadTrace, SegmentId};
+
+/// Segments in the parallel storm (one single-segment cluster each).
+pub const PAR_SEGMENTS: usize = 8;
+
+/// Hosts per segment.
+pub const PAR_HOSTS_PER_SEGMENT: usize = 4;
+
+/// Shard counts the sweep measures.
+pub const SHARD_COUNTS: &[usize] = &[1, 2, 4, 8];
+
+/// Gossip period and ring-link latency: the lookahead bound of every
+/// cross-shard edge, so a shard may run a full gossip period ahead of its
+/// neighbours between synchronizations.
+pub const GOSSIP_PERIOD: SimDuration = SimDuration::from_millis(250);
+
+/// Required events/sec ratio, 4 shards vs 1, on hosts with ≥ 4 CPUs.
+pub const SPEEDUP_GATE: f64 = 1.5;
+
+/// Which shard a segment lives on: contiguous blocks of
+/// `PAR_SEGMENTS / shards` segments.
+pub fn shard_of(segment: usize, shards: usize) -> usize {
+    segment * shards / PAR_SEGMENTS
+}
+
+/// Gossip rounds per daemon.
+fn gossip_rounds(smoke: bool) -> u64 {
+    if smoke {
+        24
+    } else {
+        60
+    }
+}
+
+/// The observables of one `par_storm` run.
+pub struct ParRun {
+    /// Per-segment GS decision logs as deterministic JSON lines.
+    pub decisions: Vec<Vec<String>>,
+    /// Merged deterministic metrics JSON: per-shard reports merged in
+    /// shard-index order, then the shard-observability registry.
+    pub metrics_json: String,
+    /// Total simulator heap entries processed, summed over shards.
+    pub events: u64,
+    /// `sim.shard.handoffs` — envelopes sent over ring links.
+    pub handoffs: u64,
+    /// Gossip reports delivered across all daemons (must be
+    /// `2 × rounds × PAR_SEGMENTS`).
+    pub gossip_msgs: u64,
+    /// Host wall-clock seconds.
+    pub wall_secs: f64,
+    /// Virtual seconds covered (max across shards).
+    pub sim_secs: f64,
+}
+
+/// Run the 8-segment storm at the given shard count. Each segment is an
+/// independent cluster (its own hosts, MPVM system, and named per-segment
+/// GS) pinned to `shard_of(segment, shards)`; segments interact only via
+/// the gossip ring's [`simcore::ShardLink`]s, so every virtual-time
+/// observable is a pure function of the scenario, not of the partitioning.
+pub fn par_storm(shards: usize, smoke: bool, max_idle_carriers: Option<usize>) -> ParRun {
+    assert!(
+        shards >= 1 && PAR_SEGMENTS.is_multiple_of(shards),
+        "shard count must divide {PAR_SEGMENTS}"
+    );
+    // Sized so the 1-shard wall clock sits well above timer noise even in
+    // smoke mode — the speedup gate compares wall clocks.
+    let (nworkers, slices) = if smoke { (8, 1000) } else { (12, 2500) };
+    let rounds = gossip_rounds(smoke);
+    let t = |s: u64| SimTime(s * 1_000_000_000);
+
+    let ss = ShardedSim::new(shards);
+    if let Some(cap) = max_idle_carriers {
+        (0..shards).for_each(|i| ss.sim(i).set_max_idle_carriers(cap));
+    }
+    let start = Instant::now();
+
+    let mut schedulers = Vec::new();
+    for seg in 0..PAR_SEGMENTS {
+        let mut b =
+            Cluster::builder(Calib::hp720_ethernet()).on_sim(ss.sim(shard_of(seg, shards)).clone());
+        for h in 0..PAR_HOSTS_PER_SEGMENT {
+            let mut spec = HostSpec::hp720(format!("p{seg}h{h}"));
+            if h == 1 {
+                // The hot host: a stepped external-load plateau above the
+                // 1.5 threshold, so the per-segment GS keeps evacuating.
+                spec = spec.with_load(LoadTrace::steps(vec![
+                    (t(4), 2.5),
+                    (t(30), 2.1),
+                    (t(55), 2.4),
+                    (t(80), 0.0),
+                ]));
+            }
+            b.host(spec);
+        }
+        let cluster = Arc::new(b.with_metrics().build());
+        let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+        for i in 0..nworkers {
+            mpvm.spawn_app(HostId(i % 2), format!("p{seg}w{i}"), move |task| {
+                task.set_state_bytes(300_000);
+                for _ in 0..slices {
+                    task.compute(4.5e6);
+                }
+            });
+        }
+        mpvm.seal();
+        let gs = cpe::Gs::builder(&cluster)
+            .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+            .policy(cpe::load_threshold(1.5))
+            .name(format!("gs-seg{seg}"))
+            .spawn();
+        schedulers.push(gs);
+    }
+
+    // The gossip ring: one daemon per segment, one link per direction per
+    // adjacency. Messages land in the neighbour's mailbox `GOSSIP_PERIOD`
+    // after the send; each daemon expects exactly 2 × rounds deliveries.
+    let gossip_msgs = Arc::new(AtomicU64::new(0));
+    let mailboxes: Vec<Mailbox<(u32, u32)>> = (0..PAR_SEGMENTS).map(|_| Mailbox::new()).collect();
+    for seg in 0..PAR_SEGMENTS {
+        let right = (seg + 1) % PAR_SEGMENTS;
+        let left = (seg + PAR_SEGMENTS - 1) % PAR_SEGMENTS;
+        let here = shard_of(seg, shards);
+        let to_right = ss.link(here, shard_of(right, shards), GOSSIP_PERIOD);
+        let to_left = ss.link(here, shard_of(left, shards), GOSSIP_PERIOD);
+        let mb = mailboxes[seg].clone();
+        let mb_right = mailboxes[right].clone();
+        let mb_left = mailboxes[left].clone();
+        let delivered = Arc::clone(&gossip_msgs);
+        ss.sim(here).spawn(format!("gossipd{seg}"), move |ctx| {
+            let mut got = 0u64;
+            for round in 0..rounds {
+                ctx.advance(GOSSIP_PERIOD);
+                let report = (seg as u32, round as u32);
+                let m = mb_right.clone();
+                to_right.send(ctx.now(), move |w| m.send_from_world(w, report));
+                let m = mb_left.clone();
+                to_left.send(ctx.now(), move |w| m.send_from_world(w, report));
+                while mb.try_recv().is_some() {
+                    got += 1;
+                }
+            }
+            // The last rounds' reports are still in flight; block for them.
+            while got < 2 * rounds {
+                mb.recv(&ctx).expect("gossip ring closed early");
+                got += 1;
+            }
+            delivered.fetch_add(got, Ordering::Relaxed);
+        });
+    }
+
+    let end = ss.run().expect("par_storm failed");
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut merged: Option<MetricsReport> = None;
+    for i in 0..shards {
+        let r = ss.sim(i).metrics().report();
+        match merged.as_mut() {
+            Some(m) => m.merge(&r),
+            None => merged = Some(r),
+        }
+    }
+    let mut merged = merged.expect("at least one shard");
+    merged.merge(&ss.metrics().report());
+    ParRun {
+        decisions: schedulers
+            .iter()
+            .map(|gs| gs.decisions().iter().map(|d| d.to_json()).collect())
+            .collect(),
+        metrics_json: merged.to_json(),
+        events: ss.events_processed(),
+        handoffs: merged
+            .counters
+            .get("sim.shard.handoffs")
+            .copied()
+            .unwrap_or(0),
+        gossip_msgs: gossip_msgs.load(Ordering::Relaxed),
+        wall_secs: wall,
+        sim_secs: end.as_secs_f64(),
+    }
+}
+
+/// One measured shard count of the sweep.
+#[derive(Debug, Clone)]
+pub struct ParCell {
+    /// Shards the storm ran on.
+    pub shards: usize,
+    /// Total heap entries processed.
+    pub events: u64,
+    /// Cross-/same-shard ring envelopes sent.
+    pub handoffs: u64,
+    /// Gossip reports delivered.
+    pub gossip_msgs: u64,
+    /// Total GS decisions across all segments.
+    pub decisions: usize,
+    /// Best wall-clock of the two runs at this count.
+    pub wall_secs: f64,
+    /// Virtual seconds covered.
+    pub sim_secs: f64,
+    /// Two same-count runs produced byte-identical merged metrics JSON and
+    /// decision logs.
+    pub replay_identical: bool,
+    /// Decision logs, events, handoffs, deliveries and virtual end time all
+    /// match the 1-shard run.
+    pub matches_one_shard: bool,
+}
+
+impl ParCell {
+    /// Heap entries per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Run the sweep: every [`SHARD_COUNTS`] entry twice (replay identity),
+/// comparing each count's virtual-time observables against the 1-shard run.
+pub fn measure_par_kernel(smoke: bool) -> Vec<ParCell> {
+    let mut cells: Vec<ParCell> = Vec::new();
+    let mut one_shard: Option<ParRun> = None;
+    for &shards in SHARD_COUNTS {
+        let a = par_storm(shards, smoke, None);
+        let b = par_storm(shards, smoke, None);
+        let replay_identical = a.metrics_json == b.metrics_json
+            && a.decisions == b.decisions
+            && a.sim_secs == b.sim_secs;
+        let wall_secs = a.wall_secs.min(b.wall_secs);
+        let matches_one_shard = match &one_shard {
+            None => true,
+            Some(base) => {
+                a.decisions == base.decisions
+                    && a.events == base.events
+                    && a.handoffs == base.handoffs
+                    && a.gossip_msgs == base.gossip_msgs
+                    && a.sim_secs == base.sim_secs
+            }
+        };
+        cells.push(ParCell {
+            shards,
+            events: a.events,
+            handoffs: a.handoffs,
+            gossip_msgs: a.gossip_msgs,
+            decisions: a.decisions.iter().map(Vec::len).sum(),
+            wall_secs,
+            sim_secs: a.sim_secs,
+            replay_identical,
+            matches_one_shard,
+        });
+        if one_shard.is_none() {
+            one_shard = Some(a);
+        }
+    }
+    cells
+}
+
+/// Verdicts of the 1-shard ≡ sequential byte-identity gate, one scenario
+/// per field.
+#[derive(Debug, Clone)]
+pub struct IdentityChecks {
+    /// figure-1 (MPVM migration protocol): trace, events and end time.
+    pub figure1: bool,
+    /// day-in-the-life: metrics JSON, decision log, events and end time.
+    pub day_in_the_life: bool,
+    /// severed migration storm: metrics JSON and events.
+    pub migration_storm: bool,
+    /// two-segment decentralized gossip: metrics JSON and decision log.
+    pub two_segment_gossip: bool,
+}
+
+impl IdentityChecks {
+    /// All four scenarios identical.
+    pub fn all(&self) -> bool {
+        self.figure1 && self.day_in_the_life && self.migration_storm && self.two_segment_gossip
+    }
+}
+
+/// Two-segment decentralized-gossip run (the `gossip_replay` acceptance
+/// scenario), optionally through a 1-shard kernel. Returns (metrics JSON,
+/// decision log, virtual end secs).
+fn gossip_two_seg(one_shard: bool) -> (String, Vec<String>, f64) {
+    let t = |s: u64| SimTime(s * 1_000_000_000);
+    let sharded = one_shard.then(|| ShardedSim::new(1));
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.segment(
+        "near",
+        vec![
+            HostSpec::hp720("h0").with_owner(worknet::OwnerTrace::events(vec![
+                (t(6), true),
+                (t(12), false),
+            ])),
+            HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(t(3), 2.5), (t(14), 0.0)])),
+        ],
+    );
+    b.segment("far", vec![HostSpec::hp720("h2"), HostSpec::hp720("h3")]);
+    b.link(SegmentId(0), SegmentId(1), LinkCalib::bridged_ether());
+    let b = match &sharded {
+        Some(ss) => b.on_sim(ss.sim(0).clone()),
+        None => b,
+    };
+    let cluster = Arc::new(b.with_metrics().build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    for i in 0..5 {
+        mpvm.spawn_app(HostId(i % 2), format!("w{i}"), |task| {
+            task.set_state_bytes(300_000);
+            for _ in 0..100 {
+                task.compute(4.5e6);
+            }
+        });
+    }
+    mpvm.seal();
+    let gs = cpe::Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(cpe::decentralized_gossip(SimDuration::from_secs(1)))
+        .spawn();
+    let end = match &sharded {
+        Some(ss) => ss.run().expect("two-segment gossip (sharded) failed"),
+        None => cluster.sim.run().expect("two-segment gossip failed"),
+    };
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    let decisions = gs.decisions().iter().map(|d| d.to_json()).collect();
+    (report.to_json(), decisions, end.as_secs_f64())
+}
+
+/// Run each gate scenario once sequentially and once through a 1-shard
+/// [`ShardedSim`], comparing every deterministic observable byte for byte.
+pub fn check_one_shard_identity(smoke: bool) -> IdentityChecks {
+    let figure1 = {
+        let (cfg, plan) = figure1_scenario(smoke);
+        let seq = run_mpvm_opt(Calib::hp720_ethernet(), &cfg, &plan);
+        let ss = ShardedSim::new(1);
+        let par = run_mpvm_opt_sharded(&ss, Calib::hp720_ethernet(), &cfg, &plan);
+        let lines = |r: &opt_app::RunStats| -> Vec<String> {
+            r.trace.iter().map(|e| e.to_string()).collect()
+        };
+        seq.wall == par.wall
+            && seq.events == par.events
+            && seq.result.losses == par.result.losses
+            && lines(&seq) == lines(&par)
+    };
+
+    let day_in_the_life = {
+        let mut cfg = if smoke {
+            let mut c = DayConfig::smoke(true, 1994);
+            c.iters = 120; // stretch past the first owner session
+            c
+        } else {
+            DayConfig::full(true, 1994)
+        };
+        cfg.metrics = true;
+        let seq = crate::simbench::day_in_the_life(&cfg);
+        cfg.shards = 1;
+        let par = crate::simbench::day_in_the_life(&cfg);
+        let json = |r: &crate::simbench::DayRun| r.metrics.as_ref().expect("metrics on").to_json();
+        let log = |r: &crate::simbench::DayRun| -> Vec<String> {
+            r.gs_decisions.iter().map(|d| d.to_json()).collect()
+        };
+        seq.events == par.events
+            && seq.sim_end_secs == par.sim_end_secs
+            && json(&seq) == json(&par)
+            && log(&seq) == log(&par)
+    };
+
+    let migration_storm = {
+        let (nworkers, state_bytes) = storm_sizing(smoke);
+        let (run_a, json_a) = storm_run(Calib::hp720_ethernet(), nworkers, state_bytes, true, 0);
+        let (run_b, json_b) = storm_run(Calib::hp720_ethernet(), nworkers, state_bytes, true, 1);
+        run_a.events == run_b.events && run_a.sim_secs == run_b.sim_secs && json_a == json_b
+    };
+
+    let two_segment_gossip = {
+        let (m_a, d_a, w_a) = gossip_two_seg(false);
+        let (m_b, d_b, w_b) = gossip_two_seg(true);
+        !d_a.is_empty() && m_a == m_b && d_a == d_b && w_a == w_b
+    };
+
+    IdentityChecks {
+        figure1,
+        day_in_the_life,
+        migration_storm,
+        two_segment_gossip,
+    }
+}
+
+/// Render the `"par_kernel"` member of `BENCH_SIM.json` (the key and its
+/// object, indented two spaces, no trailing comma). The `par_kernel`
+/// binary splices this into the existing document.
+pub fn render_par_kernel(
+    cells: &[ParCell],
+    identity: &IdentityChecks,
+    smoke: bool,
+    host_cpus: usize,
+) -> String {
+    use crate::json;
+    let base = cells
+        .iter()
+        .find(|c| c.shards == 1)
+        .expect("sweep includes 1 shard");
+    let mut o = String::new();
+    o.push_str("  \"par_kernel\": {\n");
+    o.push_str(&format!(
+        "    \"mode\": {},\n",
+        json::quote(if smoke { "smoke" } else { "full" })
+    ));
+    o.push_str(&format!(
+        "    \"segments\": {PAR_SEGMENTS},\n    \"hosts_per_segment\": {PAR_HOSTS_PER_SEGMENT},\n"
+    ));
+    o.push_str(&format!(
+        "    \"lookahead_ms\": {},\n    \"host_cpus\": {host_cpus},\n",
+        GOSSIP_PERIOD.as_nanos() / 1_000_000
+    ));
+    o.push_str("    \"identity_vs_sequential\": {");
+    for (i, (k, v)) in [
+        ("figure1", identity.figure1),
+        ("day_in_the_life", identity.day_in_the_life),
+        ("migration_storm", identity.migration_storm),
+        ("two_segment_gossip", identity.two_segment_gossip),
+    ]
+    .iter()
+    .enumerate()
+    {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!("\n      {}: {}", json::quote(k), v));
+    }
+    o.push_str("\n    },\n");
+    o.push_str("    \"shards\": {");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n      {}: {{\"events\": {}, \"handoffs\": {}, \"gossip_msgs\": {}, \"decisions\": {}, \"wall_secs\": {:.4}, \"sim_secs\": {:.2}, \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.3}, \"replay_identical\": {}, \"matches_one_shard\": {}}}",
+            json::quote(&c.shards.to_string()),
+            c.events,
+            c.handoffs,
+            c.gossip_msgs,
+            c.decisions,
+            c.wall_secs,
+            c.sim_secs,
+            c.events_per_sec(),
+            c.events_per_sec() / base.events_per_sec(),
+            c.replay_identical,
+            c.matches_one_shard,
+        ));
+    }
+    o.push_str("\n    }\n  }");
+    o
+}

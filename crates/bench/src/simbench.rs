@@ -71,6 +71,14 @@ pub struct DayConfig {
     pub metrics: bool,
     /// Scheduling policy driving the GS (a [`POLICIES`] name).
     pub policy: &'static str,
+    /// Shard count to drive the run through [`simcore::ShardedSim`];
+    /// `0` (the default) runs the plain sequential kernel. The scenario is
+    /// one cluster, so it always lives on shard 0 — extra shards idle.
+    /// `shards == 1` must replay the sequential run byte-identically.
+    pub shards: usize,
+    /// Cap on idle carrier threads ([`simcore::Sim::set_max_idle_carriers`]);
+    /// `None` keeps the kernel default. Wall-clock-only.
+    pub max_idle_carriers: Option<usize>,
 }
 
 impl DayConfig {
@@ -85,6 +93,8 @@ impl DayConfig {
             shared,
             metrics: false,
             policy: "owner_reclaim",
+            shards: 0,
+            max_idle_carriers: None,
         }
     }
 
@@ -99,6 +109,8 @@ impl DayConfig {
             shared,
             metrics: false,
             policy: "owner_reclaim",
+            shards: 0,
+            max_idle_carriers: None,
         }
     }
 }
@@ -151,7 +163,22 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
         b.with_host(spec)
     });
     let b = if cfg.metrics { b.with_metrics() } else { b };
+    // `shards > 0` reroutes the run through the sharded kernel: the whole
+    // cluster is pinned to shard 0 (one cluster = one sim), so this is the
+    // 1-shard replay-identity path plus an idle-shard smoke test, not a
+    // parallel speedup path (see the `par_kernel` bench for that).
+    let sharded = (cfg.shards > 0).then(|| simcore::ShardedSim::new(cfg.shards));
+    let b = match &sharded {
+        Some(ss) => b.on_sim(ss.sim(0).clone()),
+        None => b,
+    };
     let cluster = Arc::new(b.build());
+    if let Some(cap) = cfg.max_idle_carriers {
+        match &sharded {
+            Some(ss) => (0..ss.shards()).for_each(|i| ss.sim(i).set_max_idle_carriers(cap)),
+            None => cluster.sim.set_max_idle_carriers(cap),
+        }
+    }
     let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
 
     let mut opt_cfg = OptConfig::paper(cfg.data_bytes, cfg.iters);
@@ -196,7 +223,10 @@ pub fn day_in_the_life(cfg: &DayConfig) -> DayRun {
     // The simulation runs on past the job's completion (pre-installed
     // monitor trace events fire through the full horizon); the job's own
     // end time is what we report.
-    let sim_end = cluster.sim.run().expect("day-in-the-life failed");
+    let sim_end = match &sharded {
+        Some(ss) => ss.run().expect("day-in-the-life (sharded) failed"),
+        None => cluster.sim.run().expect("day-in-the-life failed"),
+    };
     let end = *job_end.lock();
     let decisions: Vec<String> = gs
         .decisions()
@@ -301,26 +331,52 @@ fn best_of(measure: impl Fn() -> WorkloadMeasure) -> WorkloadMeasure {
     best
 }
 
+/// The figure-1 workload's [`OptConfig`] and migration plan.
+pub(crate) fn figure1_scenario(smoke: bool) -> (OptConfig, Vec<MigrationPlan>) {
+    let (bytes, iters) = if smoke {
+        (1_000_000, 8)
+    } else {
+        (4_200_000, 20)
+    };
+    let mut cfg = OptConfig::paper(bytes, iters);
+    cfg.chunk = 64;
+    (
+        cfg,
+        vec![MigrationPlan {
+            at_secs: 5.0,
+            slave: 1,
+            dst: HostId(0),
+        }],
+    )
+}
+
 /// Measure the figure-1 workload (MPVM migration protocol run).
 pub fn measure_figure1(smoke: bool) -> WorkloadMeasure {
+    measure_figure1_on(smoke, 0, None)
+}
+
+/// [`measure_figure1`] with kernel tuning: `shards > 0` drives the run
+/// through [`simcore::ShardedSim`] (cluster on shard 0). The sequential
+/// runner builds its own private sim, so a carrier-pool cap also routes
+/// through the 1-shard kernel — which the `par_kernel` identity gates pin
+/// byte-for-byte to the sequential run.
+pub fn measure_figure1_on(
+    smoke: bool,
+    shards: usize,
+    max_idle_carriers: Option<usize>,
+) -> WorkloadMeasure {
     best_of(|| {
-        let (bytes, iters) = if smoke {
-            (1_000_000, 8)
-        } else {
-            (4_200_000, 20)
-        };
-        let mut cfg = OptConfig::paper(bytes, iters);
-        cfg.chunk = 64;
+        let (cfg, plan) = figure1_scenario(smoke);
         let start = Instant::now();
-        let run = run_mpvm_opt(
-            Calib::hp720_ethernet(),
-            &cfg,
-            &[MigrationPlan {
-                at_secs: 5.0,
-                slave: 1,
-                dst: HostId(0),
-            }],
-        );
+        let run = if shards > 0 || max_idle_carriers.is_some() {
+            let ss = simcore::ShardedSim::new(shards.max(1));
+            if let Some(cap) = max_idle_carriers {
+                (0..ss.shards()).for_each(|i| ss.sim(i).set_max_idle_carriers(cap));
+            }
+            opt_app::run_mpvm_opt_sharded(&ss, Calib::hp720_ethernet(), &cfg, &plan)
+        } else {
+            run_mpvm_opt(Calib::hp720_ethernet(), &cfg, &plan)
+        };
         let wall = start.elapsed().as_secs_f64();
         WorkloadMeasure {
             id: "figure1".into(),
@@ -333,12 +389,24 @@ pub fn measure_figure1(smoke: bool) -> WorkloadMeasure {
 
 /// Measure the day-in-the-life workload (shared cluster variant).
 pub fn measure_day_in_the_life(smoke: bool) -> WorkloadMeasure {
+    measure_day_in_the_life_on(smoke, 0, None)
+}
+
+/// [`measure_day_in_the_life`] with kernel tuning (see
+/// [`DayConfig::shards`] / [`DayConfig::max_idle_carriers`]).
+pub fn measure_day_in_the_life_on(
+    smoke: bool,
+    shards: usize,
+    max_idle_carriers: Option<usize>,
+) -> WorkloadMeasure {
     best_of(|| {
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             DayConfig::smoke(true, 1994)
         } else {
             DayConfig::full(true, 1994)
         };
+        cfg.shards = shards;
+        cfg.max_idle_carriers = max_idle_carriers;
         let start = Instant::now();
         let run = day_in_the_life(&cfg);
         let wall = start.elapsed().as_secs_f64();
@@ -563,10 +631,23 @@ impl MigrationStorm {
 /// migratable state are evacuated concurrently (worker `i`: host `i` →
 /// host `nworkers + i`) at t = 2 s on a quiet `2 × nworkers`-host cluster.
 /// With `sever`, the link of worker 0's destination is cut at t = 4 s —
-/// mid-way through every stream.
-fn storm_run(calib: Calib, nworkers: usize, state_bytes: usize, sever: bool) -> (StormRun, String) {
+/// mid-way through every stream. `shards > 0` drives the run through a
+/// [`simcore::ShardedSim`] with the cluster on shard 0 (the 1-shard
+/// identity gate pairs `shards == 0` with `shards == 1`).
+pub(crate) fn storm_run(
+    calib: Calib,
+    nworkers: usize,
+    state_bytes: usize,
+    sever: bool,
+    shards: usize,
+) -> (StormRun, String) {
+    let sharded = (shards > 0).then(|| simcore::ShardedSim::new(shards));
     let mut b = Cluster::builder(calib);
     b.quiet_hp720s(2 * nworkers);
+    let b = match &sharded {
+        Some(ss) => b.on_sim(ss.sim(0).clone()),
+        None => b,
+    };
     let mut b = b.with_metrics();
     if sever {
         b = b.with_faults(FaultSchedule::new().at(
@@ -594,7 +675,10 @@ fn storm_run(calib: Calib, nworkers: usize, state_bytes: usize, sever: bool) -> 
             m2.inject_migration(&ctx, t, HostId(nworkers + i));
         }
     });
-    let end = cluster.sim.run().expect("migration storm failed");
+    let end = match &sharded {
+        Some(ss) => ss.run().expect("migration storm (sharded) failed"),
+        None => cluster.sim.run().expect("migration storm failed"),
+    };
     let wall = start.elapsed().as_secs_f64();
     let report = cluster.metrics_report(end.since(simcore::SimTime::ZERO));
     let spans = report.spans_with_prefix("migrate:");
@@ -621,21 +705,27 @@ fn storm_run(calib: Calib, nworkers: usize, state_bytes: usize, sever: bool) -> 
     (run, report.to_json())
 }
 
-/// Run the migration-storm scenario under both migration engines, quiet and
-/// severed, and check the chunked severed run replays byte-identically.
-pub fn measure_migration_storm(smoke: bool) -> MigrationStorm {
-    let (nworkers, state_bytes) = if smoke {
+/// Worker count and per-worker state bytes for the migration storm.
+pub(crate) fn storm_sizing(smoke: bool) -> (usize, usize) {
+    if smoke {
         (4, 2_000_000)
     } else {
         (6, 4_200_000)
-    };
+    }
+}
+
+/// Run the migration-storm scenario under both migration engines, quiet and
+/// severed, and check the chunked severed run replays byte-identically.
+pub fn measure_migration_storm(smoke: bool) -> MigrationStorm {
+    let (nworkers, state_bytes) = storm_sizing(smoke);
     let chunked_calib = Calib::hp720_ethernet();
     let mono_calib = Calib::hp720_ethernet().monolithic_migration();
-    let (chunked, _) = storm_run(chunked_calib.clone(), nworkers, state_bytes, false);
-    let (monolithic, _) = storm_run(mono_calib.clone(), nworkers, state_bytes, false);
-    let (chunked_severed, json_a) = storm_run(chunked_calib.clone(), nworkers, state_bytes, true);
-    let (_, json_b) = storm_run(chunked_calib, nworkers, state_bytes, true);
-    let (monolithic_severed, _) = storm_run(mono_calib, nworkers, state_bytes, true);
+    let (chunked, _) = storm_run(chunked_calib.clone(), nworkers, state_bytes, false, 0);
+    let (monolithic, _) = storm_run(mono_calib.clone(), nworkers, state_bytes, false, 0);
+    let (chunked_severed, json_a) =
+        storm_run(chunked_calib.clone(), nworkers, state_bytes, true, 0);
+    let (_, json_b) = storm_run(chunked_calib, nworkers, state_bytes, true, 0);
+    let (monolithic_severed, _) = storm_run(mono_calib, nworkers, state_bytes, true, 0);
     MigrationStorm {
         chunked,
         monolithic,

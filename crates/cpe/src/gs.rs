@@ -100,6 +100,7 @@ pub struct GsBuilder<'a> {
     cluster: &'a Arc<Cluster>,
     targets: Vec<Arc<dyn MigrationTarget>>,
     policy: Box<dyn SchedulingPolicy>,
+    name: String,
 }
 
 impl GsBuilder<'_> {
@@ -118,6 +119,17 @@ impl GsBuilder<'_> {
         self
     }
 
+    /// Name the scheduler actor (default `"global-scheduler"`). Required
+    /// when several per-segment schedulers share one simulation — e.g. a
+    /// sharded run collapsed to one shard, where every segment's GS lands
+    /// in the same world and actor names must stay unique. The GS always
+    /// runs on its cluster's sim, so in a sharded run it is pinned to the
+    /// shard that cluster was built on.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     /// Install the monitor and spawn the scheduler — the central GS
     /// actor, or one local scheduler per host when the policy is
     /// [decentralized](SchedulingPolicy::decentralized).
@@ -131,6 +143,7 @@ impl GsBuilder<'_> {
             cluster,
             targets,
             mut policy,
+            name,
         } = self;
         assert!(
             !targets.is_empty(),
@@ -165,7 +178,7 @@ impl GsBuilder<'_> {
         let decide_calls = Arc::new(AtomicU64::new(0));
         let wall = Arc::clone(&decide_wall_ns);
         let calls = Arc::clone(&decide_calls);
-        cluster.sim.spawn("global-scheduler", move |ctx| {
+        cluster.sim.spawn(name, move |ctx| {
             let mut owner_active: HashSet<HostId> = HashSet::new();
             // The persistent destination index: seeded once from ground
             // truth, then kept current by monitor load deltas and
@@ -295,6 +308,7 @@ impl Gs {
             cluster,
             targets: Vec::new(),
             policy: owner_reclaim(),
+            name: "global-scheduler".into(),
         }
     }
 

@@ -507,6 +507,21 @@ impl MigTask {
                 stream.stream(&round, Some(&mut tracker))?;
                 stream.stats.rounds += 1;
                 let pending = tracker.pending_count();
+                if ctx.metrics_enabled() {
+                    // Residue left dirty after this round, in bytes. A
+                    // histogram (not a gauge) so the per-round decay curve
+                    // of the pre-copy loop survives into the report; bytes
+                    // ride in the duration slot, as worknet does for sizes.
+                    let residue: u64 = tracker
+                        .pending_chunks()
+                        .iter()
+                        .map(|&i| plan.chunk_len(i) as u64)
+                        .sum();
+                    ctx.metrics().histogram_record(
+                        "mpvm.precopy.residue_bytes",
+                        SimDuration::from_nanos(residue),
+                    );
+                }
                 sim_trace!(
                     ctx,
                     "mpvm.precopy.round",

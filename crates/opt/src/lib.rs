@@ -29,5 +29,7 @@ pub use adm_runner::{
     run_adm_opt, run_adm_opt_on, run_adm_opt_sched, AdmAction, AdmSchedule, Withdrawal,
 };
 pub use config::{OptConfig, ADM_COMPUTE_OVERHEAD};
-pub use runners::{run_mpvm_opt, run_pvm_opt, run_upvm_opt, MigrationPlan, RunStats};
+pub use runners::{
+    run_mpvm_opt, run_mpvm_opt_sharded, run_pvm_opt, run_upvm_opt, MigrationPlan, RunStats,
+};
 pub use seq::{run_sequential, TrainResult};

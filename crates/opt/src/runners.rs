@@ -8,7 +8,7 @@ use crate::seq::TrainResult;
 use mpvm::Mpvm;
 use parking_lot::Mutex;
 use pvm_rt::{Pvm, Tid};
-use simcore::{SimDuration, TraceEvent};
+use simcore::{ShardedSim, SimDuration, TraceEvent};
 use std::sync::mpsc;
 use std::sync::Arc;
 use upvm::Upvm;
@@ -94,7 +94,54 @@ pub fn run_pvm_opt(calib: Calib, cfg: &OptConfig) -> RunStats {
 /// Run PVM_opt under MPVM, with optional scheduled migrations.
 pub fn run_mpvm_opt(calib: Calib, cfg: &OptConfig, migrations: &[MigrationPlan]) -> RunStats {
     let cluster = build_cluster(calib, cfg.nhosts);
-    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    let result = setup_mpvm_opt(&cluster, cfg, migrations);
+    let end = cluster.sim.run().expect("mpvm_opt simulation failed");
+    RunStats {
+        wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
+        result: {
+            let r = result.lock().take();
+            r.expect("master produced no result")
+        },
+        trace: cluster.sim.take_trace(),
+    }
+}
+
+/// Run PVM_opt under MPVM on shard 0 of an externally created sharded
+/// kernel, driving the whole thing through [`ShardedSim::run`]. With one
+/// shard this must reproduce [`run_mpvm_opt`] byte for byte — the bench
+/// suite's figure-1 replay-identity gate is built on exactly this pairing.
+pub fn run_mpvm_opt_sharded(
+    shards: &ShardedSim,
+    calib: Calib,
+    cfg: &OptConfig,
+    migrations: &[MigrationPlan],
+) -> RunStats {
+    let mut b = Cluster::builder(calib).on_sim(shards.sim(0).clone());
+    b.quiet_hp720s(cfg.nhosts);
+    let cluster = Arc::new(b.build());
+    let result = setup_mpvm_opt(&cluster, cfg, migrations);
+    let end = shards.run().expect("mpvm_opt sharded simulation failed");
+    RunStats {
+        wall: end.as_secs_f64(),
+        events: cluster.sim.events_processed(),
+        result: {
+            let r = result.lock().take();
+            r.expect("master produced no result")
+        },
+        trace: cluster.sim.take_trace(),
+    }
+}
+
+/// Wire the PVM_opt-under-MPVM scenario onto an already-built cluster:
+/// slaves, master, seal, and the scripted-GS actor. Shared by the
+/// sequential and sharded runners so the two can't drift apart.
+fn setup_mpvm_opt(
+    cluster: &Arc<Cluster>,
+    cfg: &OptConfig,
+    migrations: &[MigrationPlan],
+) -> Arc<Mutex<Option<TrainResult>>> {
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(cluster)));
     let set = TrainingSet::synthetic(cfg.data_bytes, cfg.dim, cfg.ncats, cfg.seed);
     let parts = set.partitions(cfg.nslaves);
 
@@ -140,16 +187,7 @@ pub fn run_mpvm_opt(calib: Calib, cfg: &OptConfig, migrations: &[MigrationPlan])
         });
     }
 
-    let end = cluster.sim.run().expect("mpvm_opt simulation failed");
-    RunStats {
-        wall: end.as_secs_f64(),
-        events: cluster.sim.events_processed(),
-        result: {
-            let r = result.lock().take();
-            r.expect("master produced no result")
-        },
-        trace: cluster.sim.take_trace(),
-    }
+    result
 }
 
 /// Run SPMD_opt under UPVM: one master ULP + `nslaves` slave ULPs,

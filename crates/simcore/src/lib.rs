@@ -21,12 +21,16 @@
 //!   paper's figures.
 //! * [`Metrics`] — virtual-time counters/gauges/histograms and migration
 //!   spans; deterministic, near-free when disabled (the default).
+//! * [`ShardedSim`] / [`ShardLink`] — conservative-parallel execution of
+//!   several member simulations, synchronized only at cross-shard sends
+//!   whose link latency is the lookahead bound.
 
 #![warn(missing_docs)]
 
 mod error;
 mod mailbox;
 mod metrics;
+mod shard;
 mod sim;
 mod time;
 mod trace;
@@ -35,6 +39,7 @@ mod world;
 pub use error::{ActorReport, SimError};
 pub use mailbox::{Interrupted, Mailbox};
 pub use metrics::{Histogram, Metrics, MetricsReport, Span, SpanRecord};
+pub use shard::{ShardLink, ShardedSim};
 pub use sim::{AdvanceOutcome, Sim, SimCtx};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSliceExt};

@@ -380,6 +380,24 @@ pub struct MetricsReport {
 }
 
 impl MetricsReport {
+    /// Merge another report into this one: counters add, histograms merge
+    /// bucket-wise, gauges add (disjoint names — the common case for
+    /// per-shard registries — are simply unioned), and spans append in
+    /// merge-call order. Merging per-shard reports in shard-index order
+    /// therefore yields a deterministic combined report.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
     /// Spans whose name starts with `prefix`, in completion order.
     pub fn spans_with_prefix(&self, prefix: &str) -> Vec<&SpanRecord> {
         self.spans

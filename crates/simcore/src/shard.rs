@@ -1,0 +1,744 @@
+//! Conservative-parallel execution of multiple simulations ("shards").
+//!
+//! A [`ShardedSim`] owns N member [`Sim`]s, each a complete sequential
+//! virtual-time kernel (its own world, event heap, carrier pool, and
+//! metrics registry). Shards interact only through [`ShardLink`]s —
+//! directional channels with a fixed positive latency, the classic
+//! *lookahead* of conservative parallel discrete-event simulation: a send
+//! made at virtual time `t` cannot affect the receiving shard before
+//! `t + latency`, so the receiver may safely run ahead of the sender by up
+//! to that much.
+//!
+//! # The published-clock protocol
+//!
+//! Each shard `i` maintains a *published clock* `P[i]`: a lower bound on
+//! the virtual time of any future send it can make. While a shard runs,
+//! `P[i]` stays frozen at the value it had when the run window opened
+//! (the shard's earliest pending instant); when the shard pauses, its
+//! controller republishes `P[i] = min(next pending instant, earliest
+//! possible envelope arrival)` and the bound is recomputed as a monotone
+//! fixpoint across all idle shards. A shard may process events strictly
+//! below `limit[i] = min over in-links (P[from] + latency)`.
+//!
+//! Because the topology of links is static and every latency is strictly
+//! positive, the shard with the globally minimal published clock can
+//! always process its next event (`P + latency > P` for every in-link), so
+//! the protocol is deadlock-free without CMB null messages: the shared
+//! published-clock vector plays the role null messages play on distributed
+//! memory, at the cost of one mutex instead of O(links) message traffic.
+//!
+//! # Determinism
+//!
+//! Cross-shard envelopes carry a `(arrival, link id, per-link sequence)`
+//! key and are folded into the receiving heap only when their arrival
+//! instant is the next instant that shard processes (see
+//! `World::dispatch`). Both the key and the flush instant are pure
+//! functions of virtual time, so the event interleaving — and therefore
+//! metrics and decision logs — is independent of wall-clock scheduling
+//! *and* of the shard count: a 1-shard `ShardedSim` replays byte-identical
+//! to the plain sequential `Sim`.
+
+use crate::error::SimError;
+use crate::metrics::{Metrics, MetricsReport};
+use crate::sim::{Sim, StepOutcome};
+use crate::time::{SimDuration, SimTime};
+use crate::world::{KernelEvent, World};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A directional cross-shard edge registered via [`ShardedSim::link`].
+#[derive(Clone, Copy)]
+struct Edge {
+    from: usize,
+    to: usize,
+    latency: SimDuration,
+}
+
+/// Per-shard scheduling state as seen by the controllers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShardState {
+    /// Inside a run window (or not yet evaluated); `published` is frozen.
+    Running,
+    /// Paused with fresh `next`/`live` values on record.
+    Idle,
+}
+
+/// Cross-shard coordination state, guarded by one mutex. Controllers never
+/// acquire a world lock while holding this lock (senders do the reverse),
+/// so the two lock classes can never form a cycle.
+struct SyncState {
+    /// `P[i]`: lower bound on shard `i`'s future send times.
+    published: Vec<SimTime>,
+    /// Earliest pending instant per shard; meaningful while `Idle`.
+    next: Vec<Option<SimTime>>,
+    /// Live-actor count per shard; meaningful while `Idle`.
+    live: Vec<usize>,
+    state: Vec<ShardState>,
+    /// Bumped on every cross-shard envelope push — lets a controller detect
+    /// that its world snapshot went stale before it commits to waiting.
+    epoch: u64,
+    /// All shards quiescent; controllers exit.
+    done: bool,
+    /// A shard failed (panic or global deadlock); everything unwinds.
+    abort: bool,
+}
+
+/// An envelope parked in a shard's pending queue until its controller
+/// drains it into the world inbox.
+struct Pending {
+    at: SimTime,
+    link: u32,
+    seq: u64,
+    f: KernelEvent,
+}
+
+/// Wall-clock observability (nondeterministic by nature): kept out of the
+/// deterministic registry so replay comparisons never see it.
+struct WallStats {
+    stalls: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+    idle_ns: Vec<AtomicU64>,
+}
+
+struct Inner {
+    sims: Vec<Sim>,
+    edges: Mutex<Vec<Edge>>,
+    /// Per-shard inbound envelope staging (leaf mutexes: nothing else is
+    /// ever acquired while one is held).
+    pending: Vec<Mutex<Vec<Pending>>>,
+    sync: Mutex<SyncState>,
+    cv: Condvar,
+    /// Deterministic shard observability: `sim.shard.handoffs`,
+    /// `sim.shard.lookahead_ns`, per-shard event gauges.
+    metrics: Metrics,
+    stats: WallStats,
+    error: Mutex<Option<SimError>>,
+    started: AtomicU64,
+}
+
+/// A set of simulations advanced in parallel under conservative
+/// (lookahead-bounded) synchronization. See the module docs.
+///
+/// Build hosts and actors on the member sims ([`ShardedSim::sim`]),
+/// register every cross-shard communication path as a [`ShardLink`], then
+/// [`ShardedSim::run`].
+pub struct ShardedSim {
+    inner: Arc<Inner>,
+}
+
+/// A directional, fixed-latency channel from one shard to another — the
+/// only legal way for shards to affect each other. The latency is the
+/// lookahead bound and must be strictly positive for cross-shard links
+/// (it is how far the receiver may run ahead of the sender).
+///
+/// A link must only be used by actors (or kernel events) of its source
+/// shard: the per-link envelope sequence is deterministic precisely
+/// because the sending shard executes serially.
+pub struct ShardLink {
+    inner: Arc<Inner>,
+    id: u32,
+    from: usize,
+    to: usize,
+    latency: SimDuration,
+    seq: AtomicU64,
+}
+
+fn bump(t: SimTime, d: SimDuration) -> SimTime {
+    SimTime(t.0.saturating_add(d.0))
+}
+
+impl ShardedSim {
+    /// Create `n` bounded member simulations (n ≥ 1).
+    pub fn new(n: usize) -> ShardedSim {
+        assert!(n >= 1, "ShardedSim needs at least one shard");
+        let sims: Vec<Sim> = (0..n).map(|_| Sim::new()).collect();
+        for sim in &sims {
+            sim.set_bounded();
+        }
+        ShardedSim {
+            inner: Arc::new(Inner {
+                sims,
+                edges: Mutex::new(Vec::new()),
+                pending: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+                sync: Mutex::new(SyncState {
+                    published: vec![SimTime::ZERO; n],
+                    next: vec![None; n],
+                    live: vec![0; n],
+                    // `Running` until each controller's first evaluation, so
+                    // no shard can be mistaken for quiescent before it has
+                    // published real values.
+                    state: vec![ShardState::Running; n],
+                    epoch: 0,
+                    done: false,
+                    abort: false,
+                }),
+                cv: Condvar::new(),
+                metrics: Metrics::new(true),
+                stats: WallStats {
+                    stalls: AtomicU64::new(0),
+                    busy_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                    idle_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                },
+                error: Mutex::new(None),
+                started: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.inner.sims.len()
+    }
+
+    /// The member simulation of shard `i`. Hand clones of this to cluster
+    /// builders / spawners; everything built on it executes on shard `i`.
+    pub fn sim(&self, i: usize) -> &Sim {
+        &self.inner.sims[i]
+    }
+
+    /// Register a directional link from shard `from` to shard `to` with the
+    /// given latency (the lookahead bound — must be positive when the link
+    /// crosses shards). Same-shard links are permitted so a scenario keeps
+    /// identical virtual-time behavior at every shard count.
+    pub fn link(&self, from: usize, to: usize, latency: SimDuration) -> ShardLink {
+        let n = self.inner.sims.len();
+        assert!(from < n && to < n, "link endpoints out of range");
+        assert!(
+            from == to || latency > SimDuration::ZERO,
+            "cross-shard links need strictly positive latency (the lookahead bound)"
+        );
+        let mut edges = self.inner.edges.lock();
+        let id = edges.len() as u32;
+        edges.push(Edge { from, to, latency });
+        ShardLink {
+            inner: Arc::clone(&self.inner),
+            id,
+            from,
+            to,
+            latency,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The deterministic shard-observability registry
+    /// (`sim.shard.handoffs`, `sim.shard.lookahead_ns`, per-shard event
+    /// gauges). Values depend only on virtual-time behavior, so they are
+    /// safe to include in replay comparisons.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.metrics.clone()
+    }
+
+    /// Wall-clock shard statistics (`sim.shard.stalls`, per-shard busy/idle
+    /// gauges) as a report rendered with the usual deterministic
+    /// `MetricsReport::to_json` layout. The *values* are wall-time derived
+    /// and vary run to run — never include them in replay comparisons.
+    pub fn stats_report(&self) -> MetricsReport {
+        let m = Metrics::new(true);
+        m.counter_add(
+            "sim.shard.stalls",
+            self.inner.stats.stalls.load(Ordering::Relaxed),
+        );
+        for i in 0..self.shards() {
+            let busy = self.inner.stats.busy_ns[i].load(Ordering::Relaxed);
+            let idle = self.inner.stats.idle_ns[i].load(Ordering::Relaxed);
+            m.gauge_set_with(|| format!("sim.shard.{i}.busy_s"), busy as f64 / 1e9);
+            m.gauge_set_with(|| format!("sim.shard.{i}.idle_s"), idle as f64 / 1e9);
+        }
+        m.report()
+    }
+
+    /// Total heap entries processed across all shards. A cross-shard
+    /// envelope counts once (in its receiver), so this total is invariant
+    /// across shard counts for the same scenario.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.sims.iter().map(|s| s.events_processed()).sum()
+    }
+
+    /// Run all shards to quiescence. Returns the final virtual time (the
+    /// max across shards), or the first failure (actor panic or global
+    /// deadlock). All carrier threads are joined on return.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        assert_eq!(
+            self.inner.started.swap(1, Ordering::SeqCst),
+            0,
+            "ShardedSim::run may only be called once"
+        );
+        let n = self.inner.sims.len();
+        let edges: Vec<Edge> = self.inner.edges.lock().clone();
+        std::thread::scope(|scope| {
+            for i in 0..n {
+                let inner = &self.inner;
+                let edges = &edges;
+                scope.spawn(move || controller(inner, edges, i));
+            }
+        });
+        for (i, sim) in self.inner.sims.iter().enumerate() {
+            self.inner.metrics.gauge_set_with(
+                || format!("sim.shard.{i}.events"),
+                sim.events_processed() as f64,
+            );
+            sim.shutdown_pool();
+        }
+        if let Some(e) = self.inner.error.lock().take() {
+            return Err(e);
+        }
+        Ok(self
+            .inner
+            .sims
+            .iter()
+            .map(|s| s.now())
+            .max()
+            .unwrap_or(SimTime::ZERO))
+    }
+}
+
+impl ShardLink {
+    /// The lookahead bound of this link.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Source shard index.
+    pub fn from_shard(&self) -> usize {
+        self.from
+    }
+
+    /// Destination shard index.
+    pub fn to_shard(&self) -> usize {
+        self.to
+    }
+
+    /// Send an envelope from actor context: `f` runs in the destination
+    /// shard's world at `now + latency`. `now` must be the sending shard's
+    /// current virtual time. Do **not** call this from inside a
+    /// `with_world` closure or kernel event — use
+    /// [`ShardLink::send_from_world`] there.
+    pub fn send(&self, now: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
+        let at = bump(now, self.latency);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.record(at, now);
+        if self.from == self.to {
+            // Same-shard envelope: deposit directly so the current run
+            // window sees it (its own limit never excludes it).
+            self.inner.sims[self.to].push_envelope(at, self.id, seq, f);
+            return;
+        }
+        self.stage(Pending {
+            at,
+            link: self.id,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Send an envelope from inside a kernel event or `with_world` closure
+    /// of the *source* shard. Behaves exactly like [`ShardLink::send`].
+    pub fn send_from_world(&self, w: &mut World, f: impl FnOnce(&mut World) + Send + 'static) {
+        let now = w.now();
+        let at = bump(now, self.latency);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.record(at, now);
+        if self.from == self.to {
+            // `w` *is* the destination world; no second lock.
+            w.push_envelope(at, self.id, seq, Box::new(f));
+            return;
+        }
+        self.stage(Pending {
+            at,
+            link: self.id,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Queue a cross-shard envelope and wake the controllers. Only leaf
+    /// locks are taken, so this is safe under any world lock.
+    fn stage(&self, p: Pending) {
+        self.inner.pending[self.to].lock().push(p);
+        let mut s = self.inner.sync.lock();
+        s.epoch += 1;
+        self.inner.cv.notify_all();
+        drop(s);
+    }
+
+    fn record(&self, _at: SimTime, _now: SimTime) {
+        self.inner.metrics.counter_add("sim.shard.handoffs", 1);
+        self.inner
+            .metrics
+            .histogram_record("sim.shard.lookahead_ns", self.latency);
+    }
+}
+
+/// Lower bound on envelope arrivals into shard `i`: `min(P[from] +
+/// latency)` over its non-self in-edges. Self-edges never constrain —
+/// their envelopes are immediately visible locally.
+fn in_bound(i: usize, edges: &[Edge], published: &[SimTime]) -> SimTime {
+    edges
+        .iter()
+        .filter(|e| e.to == i && e.from != i)
+        .map(|e| bump(published[e.from], e.latency))
+        .min()
+        .unwrap_or(SimTime(u64::MAX))
+}
+
+/// Recompute the published clocks of idle shards: the fixpoint of
+/// `P[i] = min(next[i], in_bound(i))` with running shards' frozen clocks
+/// as fixed anchors. Solved as a shortest-path relaxation (anchors:
+/// `next[i]` for idle shards, frozen `P` for running ones; edge weights:
+/// link latencies) rather than chaotic iteration — a quiescent link cycle
+/// (all `next = None`) has fixpoint +∞, which relaxation reaches
+/// immediately instead of ratcheting one latency per round. Returns
+/// whether anything changed.
+fn fixpoint(s: &mut SyncState, edges: &[Edge]) -> bool {
+    let n = s.published.len();
+    let mut dist: Vec<SimTime> = (0..n)
+        .map(|i| match s.state[i] {
+            ShardState::Running => s.published[i],
+            ShardState::Idle => s.next[i].unwrap_or(SimTime(u64::MAX)),
+        })
+        .collect();
+    // Bellman-Ford over the static link graph: at most n rounds since all
+    // latencies are positive (no negative cycles by construction).
+    for _ in 0..n {
+        let mut relaxed = false;
+        for e in edges {
+            if e.from == e.to || s.state[e.to] != ShardState::Idle {
+                continue;
+            }
+            let cand = bump(dist[e.from], e.latency);
+            if cand < dist[e.to] {
+                dist[e.to] = cand;
+                relaxed = true;
+            }
+        }
+        if !relaxed {
+            break;
+        }
+    }
+    let mut changed = false;
+    for (i, &d) in dist.iter().enumerate() {
+        if s.state[i] == ShardState::Idle && d > s.published[i] {
+            s.published[i] = d;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Move staged envelopes into shard `i`'s world inbox. Key order, not
+/// arrival order, decides processing, so drain timing is irrelevant to
+/// determinism.
+fn drain_pending(inner: &Inner, i: usize) {
+    let staged: Vec<Pending> = std::mem::take(&mut *inner.pending[i].lock());
+    if staged.is_empty() {
+        return;
+    }
+    inner.sims[i].with_world(|w| {
+        for p in staged {
+            w.push_envelope(p.at, p.link, p.seq, p.f);
+        }
+    });
+}
+
+/// Shard `i`'s controller thread: alternate run windows (bounded by the
+/// neighbors' published clocks) with synchronization rounds.
+fn controller(inner: &Inner, edges: &[Edge], i: usize) {
+    let sim = &inner.sims[i];
+    'windows: loop {
+        // ---- synchronization round ---------------------------------
+        let limit = 'sync: loop {
+            // Phase A (no sync lock): snapshot the world. The epoch check
+            // below detects envelopes staged after this snapshot.
+            let e0 = {
+                let s = inner.sync.lock();
+                if s.abort {
+                    drop(s);
+                    return fail(inner, i);
+                }
+                if s.done {
+                    return;
+                }
+                s.epoch
+            };
+            drain_pending(inner, i);
+            let t_next = sim.next_pending_time();
+            let live = sim.live_actor_count();
+
+            // Phase B (sync lock, no world locks): publish and evaluate.
+            let mut s = inner.sync.lock();
+            if s.abort {
+                drop(s);
+                return fail(inner, i);
+            }
+            if s.done {
+                return;
+            }
+            if s.epoch != e0 {
+                continue 'sync; // snapshot went stale; redo the drain
+            }
+            s.state[i] = ShardState::Idle;
+            s.next[i] = t_next;
+            s.live[i] = live;
+            let changed = fixpoint(&mut s, edges);
+            let bound = in_bound(i, edges, &s.published);
+            if let Some(t) = t_next {
+                if t < bound {
+                    s.state[i] = ShardState::Running;
+                    // Freeze the published clock for the window: every
+                    // event processed (hence every send made) is ≥ t.
+                    if t > s.published[i] {
+                        s.published[i] = t;
+                    }
+                    if changed {
+                        inner.cv.notify_all();
+                    }
+                    break 'sync bound;
+                }
+            }
+            // Blocked. Quiescent everywhere? A staged-but-undrained
+            // envelope (its receiver was notified but has not re-evaluated
+            // yet, so its recorded `next` is stale) must block the check.
+            if s.state.iter().all(|&st| st == ShardState::Idle)
+                && s.next.iter().all(|t| t.is_none())
+                && inner.pending.iter().all(|p| p.lock().is_empty())
+            {
+                let live_total: usize = s.live.iter().sum();
+                s.done = true;
+                if live_total > 0 {
+                    s.abort = true;
+                }
+                inner.cv.notify_all();
+                drop(s);
+                if live_total > 0 {
+                    report_deadlock(inner);
+                    return fail(inner, i);
+                }
+                return;
+            }
+            if changed {
+                inner.cv.notify_all();
+            }
+            if t_next.is_some() {
+                inner.stats.stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            let idle_from = Instant::now();
+            inner.cv.wait(&mut s);
+            inner.stats.idle_ns[i]
+                .fetch_add(idle_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // Loop back to Phase A: re-drain with a fresh epoch.
+        };
+
+        // ---- run window --------------------------------------------
+        let busy_from = Instant::now();
+        let outcome = sim.resume_until(limit);
+        inner.stats.busy_ns[i].fetch_add(busy_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match outcome {
+            StepOutcome::Paused => {
+                // Republish in the next sync round (the frozen published
+                // clock stays a valid lower bound meanwhile).
+                continue 'windows;
+            }
+            StepOutcome::Aborted => {
+                let first = {
+                    let mut s = inner.sync.lock();
+                    let first = !s.abort;
+                    s.abort = true;
+                    inner.cv.notify_all();
+                    first
+                };
+                if let Some(e) = sim.failure() {
+                    let mut err = inner.error.lock();
+                    if err.is_none() {
+                        *err = Some(e);
+                    }
+                }
+                if first {
+                    for other in &inner.sims {
+                        other.abort();
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Propagated-abort exit: make sure this shard's world unwinds too.
+fn fail(inner: &Inner, i: usize) {
+    inner.sims[i].abort();
+}
+
+/// All shards idle, no events pending, live actors remain: a global
+/// deadlock. Runs on the detecting controller with no locks held (every
+/// shard is quiescent).
+fn report_deadlock(inner: &Inner) {
+    let mut blocked = Vec::new();
+    let mut at = SimTime::ZERO;
+    for sim in &inner.sims {
+        blocked.extend(sim.blocked_report());
+        at = at.max(sim.now());
+    }
+    let mut err = inner.error.lock();
+    if err.is_none() {
+        *err = Some(SimError::Deadlock { at, blocked });
+    }
+    drop(err);
+    for sim in &inner.sims {
+        sim.abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mailbox;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn single_shard_runs_to_completion() {
+        let ss = ShardedSim::new(1);
+        ss.sim(0).spawn("ticker", |ctx| {
+            for _ in 0..3 {
+                ctx.advance(SimDuration::from_secs(1));
+            }
+        });
+        assert_eq!(ss.run().unwrap(), SimTime(3_000_000_000));
+        assert_eq!(ss.events_processed(), 4); // first wake + 3 timers
+    }
+
+    #[test]
+    fn empty_shards_quiesce() {
+        let ss = ShardedSim::new(4);
+        ss.sim(2).spawn("only", |ctx| {
+            ctx.advance(SimDuration::from_secs(5));
+        });
+        assert_eq!(ss.run().unwrap(), SimTime(5_000_000_000));
+    }
+
+    #[test]
+    fn cross_shard_envelope_arrives_after_latency() {
+        let ss = ShardedSim::new(2);
+        let mb: Mailbox<u64> = Mailbox::new();
+        let mb2 = mb.clone();
+        ss.sim(1).spawn("rx", move |ctx| {
+            let v = mb2.recv(&ctx).unwrap();
+            assert_eq!(v, 7);
+            assert_eq!(ctx.now(), SimTime(3_000_000_000 + 50_000_000));
+        });
+        let link = ss.link(0, 1, SimDuration::from_millis(50));
+        ss.sim(0).spawn("tx", move |ctx| {
+            ctx.advance(SimDuration::from_secs(3));
+            let mb = mb.clone();
+            link.send(ctx.now(), move |w| mb.send_from_world(w, 7));
+        });
+        ss.run().unwrap();
+        assert_eq!(ss.metrics().report().counters["sim.shard.handoffs"], 1);
+    }
+
+    #[test]
+    fn two_shard_ping_pong_is_deterministic() {
+        fn once() -> (SimTime, Vec<(u64, u64)>) {
+            let log = Arc::new(StdMutex::new(Vec::new()));
+            let ss = ShardedSim::new(2);
+            let a2b = Arc::new(ss.link(0, 1, SimDuration::from_millis(5)));
+            let b2a = Arc::new(ss.link(1, 0, SimDuration::from_millis(5)));
+            let mba: Mailbox<u64> = Mailbox::new();
+            let mbb: Mailbox<u64> = Mailbox::new();
+            {
+                let (mba, mbb, log) = (mba.clone(), mbb.clone(), Arc::clone(&log));
+                ss.sim(0).spawn("a", move |ctx| {
+                    let mut v = 0u64;
+                    for _ in 0..10 {
+                        let mbb = mbb.clone();
+                        a2b.send(ctx.now(), move |w| mbb.send_from_world(w, v + 1));
+                        v = mba.recv(&ctx).unwrap();
+                        log.lock().unwrap().push((v, ctx.now().as_nanos()));
+                    }
+                });
+            }
+            {
+                let log = Arc::clone(&log);
+                ss.sim(1).spawn("b", move |ctx| {
+                    for _ in 0..10 {
+                        let v = mbb.recv(&ctx).unwrap();
+                        log.lock().unwrap().push((100 + v, ctx.now().as_nanos()));
+                        let mba = mba.clone();
+                        b2a.send(ctx.now(), move |w| mba.send_from_world(w, v + 1));
+                    }
+                });
+            }
+            let end = ss.run().unwrap();
+            let entries = log.lock().unwrap().clone();
+            (end, entries)
+        }
+        let (e1, l1) = once();
+        let (e2, l2) = once();
+        assert_eq!(e1, e2);
+        assert_eq!(l1, l2);
+        assert_eq!(l1.len(), 20);
+    }
+
+    #[test]
+    fn panic_in_one_shard_aborts_all() {
+        let ss = ShardedSim::new(2);
+        ss.sim(0).spawn("bystander", |ctx| {
+            ctx.block("forever", false);
+        });
+        ss.sim(1).spawn("bad", |ctx| {
+            ctx.advance(SimDuration::from_secs(1));
+            panic!("shard boom");
+        });
+        match ss.run() {
+            Err(SimError::ActorPanicked { actor, message }) => {
+                assert_eq!(actor, "bad");
+                assert!(message.contains("shard boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_deadlock_is_reported_across_shards() {
+        let ss = ShardedSim::new(2);
+        ss.sim(0).spawn("stuck0", |ctx| {
+            ctx.block("waiting on shard 1", false);
+        });
+        ss.sim(1).spawn("stuck1", |ctx| {
+            ctx.block("waiting on shard 0", false);
+        });
+        match ss.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_shard_link_matches_cross_shard_timing() {
+        // The same two-actor program, once within one shard and once across
+        // two, must produce identical virtual end times.
+        fn run(shards: usize, to: usize) -> SimTime {
+            let ss = ShardedSim::new(shards);
+            let link = ss.link(0, to, SimDuration::from_millis(10));
+            let mb: Mailbox<u32> = Mailbox::new();
+            let mb2 = mb.clone();
+            ss.sim(to).spawn("rx", move |ctx| {
+                for _ in 0..5 {
+                    mb2.recv(&ctx).unwrap();
+                }
+            });
+            ss.sim(0).spawn("tx", move |ctx| {
+                for k in 0..5u32 {
+                    ctx.advance(SimDuration::from_millis(100));
+                    let mb = mb.clone();
+                    link.send(ctx.now(), move |w| mb.send_from_world(w, k));
+                }
+            });
+            ss.run().unwrap()
+        }
+        assert_eq!(run(1, 0), run(2, 1));
+    }
+}

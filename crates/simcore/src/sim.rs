@@ -26,7 +26,7 @@
 //! unaffected by the pool size because carriers only ever run one actor at
 //! a time under the token discipline.
 
-use crate::error::SimError;
+use crate::error::{ActorReport, SimError};
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
@@ -103,6 +103,27 @@ impl Default for Sim {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Clones are handles to the same simulation (the shared state is
+/// reference-counted) — used to hand one shard's `Sim` to several
+/// cluster builders and to the shard controller at once.
+impl Clone for Sim {
+    fn clone(&self) -> Sim {
+        Sim {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Outcome of one bounded [`Sim::resume_until`] window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// The shard drained everything below the bound and paused.
+    Paused,
+    /// The simulation aborted (actor panic, or an abort propagated from
+    /// another shard).
+    Aborted,
 }
 
 /// The outcome of an interruptible [`SimCtx::advance_interruptible`] call.
@@ -186,6 +207,10 @@ impl Sim {
         {
             let mut g = self.shared.world.lock();
             assert!(g.running.is_none(), "Sim::run: simulation already running");
+            assert!(
+                !g.bounded,
+                "Sim::run on a shard member; drive it through ShardedSim::run"
+            );
             if !g.finished && !g.aborted {
                 dispatch_and_notify(&self.shared, &mut g, None);
             }
@@ -193,22 +218,7 @@ impl Sim {
                 self.shared.run_cv.wait(&mut g);
             }
         }
-        // Shut the carrier pool down: idle carriers get an Exit, busy ones
-        // (still unwinding from an abort) see `shutting_down` when their job
-        // returns and exit instead of re-pooling.
-        let (idle, handles) = {
-            let mut p = self.shared.pool.lock();
-            p.shutting_down = true;
-            (std::mem::take(&mut p.idle), std::mem::take(&mut p.handles))
-        };
-        for tx in idle {
-            let _ = tx.send(Job::Exit);
-        }
-        for h in handles {
-            let _ = h.join();
-        }
-        // Allow spawning again after the run (fresh carriers).
-        self.shared.pool.lock().shutting_down = false;
+        self.shutdown_pool();
         let g = self.shared.world.lock();
         if let Some((actor, message)) = g.panic_info.clone() {
             return Err(SimError::ActorPanicked { actor, message });
@@ -239,6 +249,117 @@ impl Sim {
     /// pre-run setup (installing kernel events such as load-trace changes).
     pub fn with_world<R>(&self, f: impl FnOnce(&mut World) -> R) -> R {
         f(&mut self.shared.world.lock())
+    }
+
+    // ---- shard-controller interface (crate-internal) -------------------
+    //
+    // `ShardedSim` drives member simulations through these instead of
+    // `Sim::run`: the world is put in bounded mode once, then repeatedly
+    // resumed up to a virtual-time limit derived from neighbor clocks.
+
+    /// Switch the world to bounded dispatch. Must be called before the
+    /// first `resume_until`, while nothing is running.
+    pub(crate) fn set_bounded(&self) {
+        let mut g = self.shared.world.lock();
+        debug_assert!(g.running.is_none());
+        g.bounded = true;
+        g.paused = true;
+    }
+
+    /// Resume bounded execution until every pending entry below `limit`
+    /// (exclusive) has been processed, then pause again. Blocks the calling
+    /// controller thread while actors run.
+    pub(crate) fn resume_until(&self, limit: SimTime) -> StepOutcome {
+        let mut g = self.shared.world.lock();
+        debug_assert!(g.bounded, "resume_until on an unbounded simulation");
+        if g.aborted {
+            return StepOutcome::Aborted;
+        }
+        g.limit = limit;
+        g.paused = false;
+        if g.running.is_none() {
+            dispatch_and_notify(&self.shared, &mut g, None);
+        }
+        while !g.paused && !g.aborted {
+            self.shared.run_cv.wait(&mut g);
+        }
+        if g.aborted {
+            StepOutcome::Aborted
+        } else {
+            StepOutcome::Paused
+        }
+    }
+
+    /// Earliest pending virtual instant (heap or envelope inbox). Only
+    /// meaningful while the shard is paused.
+    pub(crate) fn next_pending_time(&self) -> Option<SimTime> {
+        self.shared.world.lock().next_pending_time()
+    }
+
+    /// Deposit a cross-shard envelope (see `World::push_envelope`).
+    pub(crate) fn push_envelope(
+        &self,
+        at: SimTime,
+        link: u32,
+        seq: u64,
+        f: impl FnOnce(&mut World) + Send + 'static,
+    ) {
+        self.shared
+            .world
+            .lock()
+            .push_envelope(at, link, seq, Box::new(f));
+    }
+
+    /// Abort the simulation (propagating a failure from another shard):
+    /// parked carriers unwind, `resume_until` returns `Aborted`.
+    pub(crate) fn abort(&self) {
+        let mut g = self.shared.world.lock();
+        if !g.aborted {
+            abort_all(&self.shared, &mut g);
+        }
+    }
+
+    /// Number of live actors (spawned, not yet exited).
+    pub(crate) fn live_actor_count(&self) -> usize {
+        self.shared.world.lock().live_actors
+    }
+
+    /// Reports for actors that can never run again without external input —
+    /// the per-shard half of a global deadlock report.
+    pub(crate) fn blocked_report(&self) -> Vec<ActorReport> {
+        self.shared.world.lock().deadlock_report()
+    }
+
+    /// The failure recorded by an aborted run, if any. A propagated abort
+    /// (no local panic, no local deadlock) returns `None`.
+    pub(crate) fn failure(&self) -> Option<SimError> {
+        let g = self.shared.world.lock();
+        if let Some((actor, message)) = g.panic_info.clone() {
+            return Some(SimError::ActorPanicked { actor, message });
+        }
+        g.deadlock
+            .clone()
+            .map(|blocked| SimError::Deadlock { at: g.now, blocked })
+    }
+
+    /// Shut the carrier pool down: idle carriers get an Exit, busy ones
+    /// (still unwinding from an abort) see `shutting_down` when their job
+    /// returns and exit instead of re-pooling. Leaves the pool ready for
+    /// fresh spawns afterwards.
+    pub(crate) fn shutdown_pool(&self) {
+        let (idle, handles) = {
+            let mut p = self.shared.pool.lock();
+            p.shutting_down = true;
+            (std::mem::take(&mut p.idle), std::mem::take(&mut p.handles))
+        };
+        for tx in idle {
+            let _ = tx.send(Job::Exit);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Allow spawning again after the run (fresh carriers).
+        self.shared.pool.lock().shutting_down = false;
     }
 }
 
@@ -611,6 +732,11 @@ fn dispatch_and_notify(shared: &SimShared, g: &mut World, yielder: Option<ActorI
         Dispatch::Deadlock(report) => {
             g.deadlock = Some(report);
             abort_all(shared, g);
+        }
+        // Bounded (sharded) mode: the world has already set `paused`; wake
+        // the shard controller waiting in `resume_until`.
+        Dispatch::Paused => {
+            shared.run_cv.notify_all();
         }
     }
 }

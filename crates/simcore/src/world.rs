@@ -22,7 +22,7 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
 use parking_lot::Condvar;
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Identifies an actor for the lifetime of a simulation.
@@ -139,7 +139,19 @@ pub(crate) enum Dispatch {
     Finished,
     /// Live actors remain but nothing can make progress.
     Deadlock(Vec<ActorReport>),
+    /// Bounded mode only: the next pending entry (if any) is at or past
+    /// `World::limit`, so the shard must stop and wait for its controller
+    /// to raise the bound. Never produced in unbounded (sequential) mode.
+    Paused,
 }
+
+/// Key ordering cross-shard envelopes in the inbox: `(arrival time,
+/// shard-link id, per-link sequence)`. The link id — not the source shard —
+/// is the tie-breaker so that same-instant envelopes from two different
+/// links order identically at every shard count (at 1 shard all senders
+/// share a shard index, which would collide). The per-link sequence is
+/// deterministic because each sending shard executes serially.
+pub(crate) type EnvelopeKey = (SimTime, u32, u64);
 
 /// Shared simulation state. Public methods on `World` are the API available
 /// to kernel-event closures.
@@ -155,6 +167,22 @@ pub struct World {
     /// Binary min-heap of slab indices ordered by `(at, seq)`.
     heap: Vec<u32>,
     next_seq: u64,
+    /// Cross-shard envelopes not yet folded into the heap, ordered by
+    /// [`EnvelopeKey`]. Entries are flushed into the heap lazily, exactly
+    /// when their arrival instant is the next instant to process, so heap
+    /// sequence numbers — and therefore same-time ordering against local
+    /// events — are independent of *when* (in wall time) an envelope landed.
+    pub(crate) inbox: BTreeMap<EnvelopeKey, KernelEvent>,
+    /// Bounded mode: dispatch pauses instead of processing entries at or
+    /// past `limit`, and reports `Paused` (never `Finished`/`Deadlock`)
+    /// when the queue runs dry. Set once by the shard controller before
+    /// the simulation starts.
+    pub(crate) bounded: bool,
+    /// Exclusive virtual-time bound for bounded dispatch.
+    pub(crate) limit: SimTime,
+    /// Set when bounded dispatch returned `Paused`; cleared by the
+    /// controller when it resumes the shard.
+    pub(crate) paused: bool,
     pub(crate) finished: bool,
     pub(crate) aborted: bool,
     pub(crate) deadlock: Option<Vec<ActorReport>>,
@@ -175,6 +203,10 @@ impl World {
             free: Vec::new(),
             heap: Vec::new(),
             next_seq: 0,
+            inbox: BTreeMap::new(),
+            bounded: false,
+            limit: SimTime(u64::MAX),
+            paused: false,
             finished: false,
             aborted: false,
             deadlock: None,
@@ -481,7 +513,7 @@ impl World {
         });
     }
 
-    fn deadlock_report(&self) -> Vec<ActorReport> {
+    pub(crate) fn deadlock_report(&self) -> Vec<ActorReport> {
         self.actors
             .iter()
             .filter_map(|a| match &a.state {
@@ -498,11 +530,67 @@ impl World {
             .collect()
     }
 
+    /// Earliest pending instant across the heap and the envelope inbox, or
+    /// `None` when both are empty. In sharded runs the controller reads
+    /// this (only while the shard is paused) as the shard's `t_next`.
+    pub(crate) fn next_pending_time(&self) -> Option<SimTime> {
+        let h = self.heap.first().map(|&i| self.nodes[i as usize].at);
+        let i = self.inbox.keys().next().map(|k| k.0);
+        match (h, i) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (h, i) => h.or(i),
+        }
+    }
+
+    /// Deposit a cross-shard envelope: a kernel event that fires at `at`,
+    /// ordered against other envelopes by `(at, link, seq)`. The entry
+    /// stays in the inbox until dispatch reaches its instant.
+    pub(crate) fn push_envelope(&mut self, at: SimTime, link: u32, seq: u64, f: KernelEvent) {
+        debug_assert!(at >= self.now, "envelope arrival in the shard's past");
+        let prev = self.inbox.insert((at, link, seq), f);
+        debug_assert!(prev.is_none(), "duplicate envelope key");
+    }
+
     /// Drain due events until an actor becomes runnable, the simulation
-    /// finishes, or a deadlock is detected. Caller must have `running == None`.
+    /// finishes, a deadlock is detected, or (bounded mode) the virtual-time
+    /// bound is reached. Caller must have `running == None`.
+    ///
+    /// Envelope flush rule: inbox entries are folded into the heap only
+    /// when their arrival instant is the minimum pending instant, and then
+    /// *all* entries at exactly that instant are folded at once, in key
+    /// order. Flushing any earlier would hand envelopes heap sequence
+    /// numbers before same-time local events exist; flushing by the racy
+    /// `limit` would make ordering depend on controller timing. This rule
+    /// makes the interleaving a pure function of virtual time.
     pub(crate) fn dispatch(&mut self) -> Dispatch {
         debug_assert!(self.running.is_none());
         loop {
+            if let Some(&(at, _, _)) = self.inbox.keys().next() {
+                let heap_min = self.heap.first().map(|&i| self.nodes[i as usize].at);
+                if heap_min.is_none_or(|h| at <= h) {
+                    if self.bounded && at >= self.limit {
+                        self.paused = true;
+                        return Dispatch::Paused;
+                    }
+                    while let Some(e) = self.inbox.first_entry() {
+                        if e.key().0 != at {
+                            break;
+                        }
+                        let (_, f) = e.remove_entry();
+                        self.insert_node(at, NodeKind::Event { f: Some(f) });
+                    }
+                    continue;
+                }
+            }
+            if self.bounded {
+                match self.heap.first().map(|&i| self.nodes[i as usize].at) {
+                    Some(at) if at < self.limit => {}
+                    _ => {
+                        self.paused = true;
+                        return Dispatch::Paused;
+                    }
+                }
+            }
             let Some((at, kind)) = self.pop_node() else {
                 return if self.live_actors == 0 {
                     Dispatch::Finished

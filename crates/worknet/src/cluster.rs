@@ -39,6 +39,7 @@ impl Cluster {
             links: Vec::new(),
             faults: FaultSchedule::new(),
             metrics_enabled: false,
+            sim: None,
         }
     }
 
@@ -160,6 +161,9 @@ pub struct ClusterBuilder {
     links: Vec<(SegmentId, SegmentId, LinkCalib)>,
     faults: FaultSchedule,
     metrics_enabled: bool,
+    /// Build on an externally supplied simulation instead of a fresh one
+    /// (sharded runs hand each cluster its shard's `Sim`).
+    sim: Option<Sim>,
 }
 
 impl ClusterBuilder {
@@ -263,12 +267,37 @@ impl ClusterBuilder {
         self
     }
 
+    /// Build the cluster on an externally supplied simulation instead of a
+    /// fresh one. Everything the cluster spawns executes on that `Sim` — this
+    /// is how a cluster is pinned to one shard of a
+    /// [`ShardedSim`](simcore::ShardedSim). Several clusters may share one
+    /// sim; [`with_metrics`](Self::with_metrics) then enables the shared
+    /// registry (it is never disabled here, so an earlier cluster's choice
+    /// is not undone).
+    pub fn on_sim(mut self, sim: Sim) -> Self {
+        self.sim = Some(sim);
+        self
+    }
+
     /// Finish: create the simulation, the routed topology, and the host
     /// objects, and install the fault schedule as kernel events.
     pub fn build(self) -> Cluster {
         let calib = Arc::new(self.calib);
-        let sim = Sim::new();
-        sim.set_metrics_enabled(self.metrics_enabled);
+        let sim = match self.sim {
+            Some(sim) => {
+                // Shared sims: only ever *enable* metrics, so co-tenants
+                // can't silently switch another cluster's registry off.
+                if self.metrics_enabled {
+                    sim.set_metrics_enabled(true);
+                }
+                sim
+            }
+            None => {
+                let sim = Sim::new();
+                sim.set_metrics_enabled(self.metrics_enabled);
+                sim
+            }
+        };
         let metrics = sim.metrics();
         let hosts: Vec<Arc<Host>> = self
             .specs

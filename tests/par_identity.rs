@@ -1,0 +1,262 @@
+//! Property tests for the sharded kernel's correctness gate: a 1-shard
+//! [`ShardedSim`](adaptive_pvm::simcore::ShardedSim) must be byte-identical
+//! to the plain sequential kernel — same metrics JSON, same decision-log
+//! ordering, same virtual end time — across randomly drawn workloads, and
+//! cross-shard envelopes must drain in `(arrival, link, seq)` order no
+//! matter how the sending shards interleave in wall time.
+
+use adaptive_pvm::cpe::{decentralized_gossip, load_threshold, Gs, MpvmTarget};
+use adaptive_pvm::mpvm::Mpvm;
+use adaptive_pvm::pvm::{Pvm, TaskApi};
+use adaptive_pvm::simcore::{ShardedSim, SimDuration, SimTime};
+use adaptive_pvm::worknet::{
+    Calib, Cluster, HostId, HostSpec, LinkCalib, LoadTrace, OwnerTrace, SegmentId,
+};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+fn t(s: u64) -> SimTime {
+    SimTime(s * 1_000_000_000)
+}
+
+/// Workload knobs a property case draws; small ranges keep each case to a
+/// fraction of a second of wall clock while still varying the event
+/// interleaving that the shard controller must reproduce.
+#[derive(Debug, Clone)]
+struct Knobs {
+    workers: usize,
+    slices: usize,
+    state_bytes: usize,
+}
+
+fn knobs() -> impl Strategy<Value = Knobs> {
+    ((2usize..6), (20usize..60), (1usize..5)).prop_map(|(workers, slices, kb)| Knobs {
+        workers,
+        slices,
+        state_bytes: kb * 100_000,
+    })
+}
+
+/// The two-segment gossip scenario from `tests/gossip_replay.rs`, with the
+/// worker mix drawn by proptest. `one_shard` routes the whole cluster
+/// through a 1-shard `ShardedSim` instead of the sequential kernel; both
+/// paths must be indistinguishable byte for byte.
+fn gossip_two_seg(one_shard: bool, k: &Knobs) -> (String, Vec<String>, f64) {
+    let sharded = one_shard.then(|| ShardedSim::new(1));
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.segment(
+        "near",
+        vec![
+            HostSpec::hp720("h0")
+                .with_owner(OwnerTrace::events(vec![(t(6), true), (t(12), false)])),
+            HostSpec::hp720("h1").with_load(LoadTrace::steps(vec![(t(3), 2.5), (t(14), 0.0)])),
+        ],
+    );
+    b.segment("far", vec![HostSpec::hp720("h2"), HostSpec::hp720("h3")]);
+    b.link(SegmentId(0), SegmentId(1), LinkCalib::bridged_ether());
+    let b = b.with_metrics();
+    let b = match &sharded {
+        Some(ss) => b.on_sim(ss.sim(0).clone()),
+        None => b,
+    };
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    for i in 0..k.workers {
+        let (slices, bytes) = (k.slices, k.state_bytes);
+        mpvm.spawn_app(HostId(i % 2), format!("w{i}"), move |task| {
+            task.set_state_bytes(bytes);
+            for _ in 0..slices {
+                task.compute(4.5e6);
+            }
+        });
+    }
+    mpvm.seal();
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(decentralized_gossip(SimDuration::from_secs(1)))
+        .spawn();
+    let end = match &sharded {
+        Some(ss) => ss.run().unwrap(),
+        None => cluster.sim.run().unwrap(),
+    };
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    let decisions = gs.decisions().iter().map(|d| d.to_json()).collect();
+    (report.to_json(), decisions, end.as_secs_f64())
+}
+
+/// A migration-storm-like workload: one hot host drives the threshold
+/// policy into repeated MPVM migrations while the load burst lasts.
+fn storm_like(one_shard: bool, k: &Knobs) -> (String, Vec<String>, f64) {
+    let sharded = one_shard.then(|| ShardedSim::new(1));
+    let mut b = Cluster::builder(Calib::hp720_ethernet());
+    b.host(HostSpec::hp720("p0"));
+    b.host(HostSpec::hp720("p1").with_load(LoadTrace::steps(vec![
+        (t(4), 2.5),
+        (t(30), 2.1),
+        (t(55), 0.0),
+    ])));
+    b.host(HostSpec::hp720("p2"));
+    b.host(HostSpec::hp720("p3"));
+    let b = b.with_metrics();
+    let b = match &sharded {
+        Some(ss) => b.on_sim(ss.sim(0).clone()),
+        None => b,
+    };
+    let cluster = Arc::new(b.build());
+    let mpvm = Mpvm::new(Pvm::new(Arc::clone(&cluster)));
+    for i in 0..k.workers {
+        let (slices, bytes) = (k.slices, k.state_bytes);
+        mpvm.spawn_app(HostId(i % 2), format!("w{i}"), move |task| {
+            task.set_state_bytes(bytes);
+            for _ in 0..slices {
+                task.compute(4.5e6);
+            }
+        });
+    }
+    mpvm.seal();
+    let gs = Gs::builder(&cluster)
+        .target(Arc::new(MpvmTarget(Arc::clone(&mpvm))))
+        .policy(load_threshold(1.5))
+        .spawn();
+    let end = match &sharded {
+        Some(ss) => ss.run().unwrap(),
+        None => cluster.sim.run().unwrap(),
+    };
+    let report = cluster.metrics_report(end.since(SimTime::ZERO));
+    let decisions = gs.decisions().iter().map(|d| d.to_json()).collect();
+    (report.to_json(), decisions, end.as_secs_f64())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// 1-shard byte-identity vs the sequential kernel on the two-segment
+    /// gossip scenario, across random worker mixes.
+    #[test]
+    fn one_shard_matches_sequential_gossip(k in knobs()) {
+        let (m_seq, d_seq, w_seq) = gossip_two_seg(false, &k);
+        let (m_one, d_one, w_one) = gossip_two_seg(true, &k);
+        prop_assert_eq!(w_seq, w_one, "virtual end time diverged");
+        prop_assert_eq!(d_seq, d_one, "decision log diverged");
+        prop_assert_eq!(m_seq, m_one, "metrics JSON diverged");
+    }
+
+    /// 1-shard byte-identity vs the sequential kernel on the
+    /// migration-storm-like workload, across random worker mixes.
+    #[test]
+    fn one_shard_matches_sequential_storm(k in knobs()) {
+        let (m_seq, d_seq, w_seq) = storm_like(false, &k);
+        let (m_one, d_one, w_one) = storm_like(true, &k);
+        prop_assert_eq!(w_seq, w_one, "virtual end time diverged");
+        prop_assert_eq!(d_seq, d_one, "decision log diverged");
+        prop_assert_eq!(m_seq, m_one, "metrics JSON diverged");
+    }
+
+    /// Envelopes from two sender shards into one receiver drain in
+    /// `(arrival instant, link id, per-link seq)` order regardless of the
+    /// wall-clock interleaving of the senders, and the observed order is a
+    /// pure function of the program.
+    #[test]
+    fn cross_shard_mailbox_is_ordered(
+        delays_a in prop::collection::vec(1u64..30_000_000, 1..10),
+        delays_b in prop::collection::vec(1u64..30_000_000, 1..10),
+        lat_a in 1_000_000u64..20_000_000,
+        lat_b in 1_000_000u64..20_000_000,
+    ) {
+        let run1 = mailbox_run(&delays_a, &delays_b, lat_a, lat_b);
+        let run2 = mailbox_run(&delays_a, &delays_b, lat_a, lat_b);
+        prop_assert_eq!(&run1, &run2, "envelope drain order did not replay");
+
+        // Expected order: every message sorted by its arrival instant,
+        // then by link creation order (link a has the lower id), then by
+        // per-link send sequence.
+        let mut expected = Vec::new();
+        for (link_tag, delays, lat) in [(0u8, &delays_a, lat_a), (1u8, &delays_b, lat_b)] {
+            let mut now = 0u64;
+            for (seq, d) in delays.iter().enumerate() {
+                now += d;
+                expected.push((now + lat, link_tag, seq as u32));
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(run1, expected, "drain order is not (arrival, link, seq)");
+    }
+}
+
+/// Two sender shards each run a delay program and fire one envelope per
+/// step at shard 0; the envelope logs `(arrival ns, link tag, seq)` as the
+/// receiving world executes it.
+fn mailbox_run(delays_a: &[u64], delays_b: &[u64], lat_a: u64, lat_b: u64) -> Vec<(u64, u8, u32)> {
+    let ss = ShardedSim::new(3);
+    let link_a = ss.link(1, 0, SimDuration::from_nanos(lat_a));
+    let link_b = ss.link(2, 0, SimDuration::from_nanos(lat_b));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for (shard, link, delays) in [
+        (1, link_a, delays_a.to_vec()),
+        (2, link_b, delays_b.to_vec()),
+    ] {
+        let log = Arc::clone(&log);
+        let tag = (shard - 1) as u8;
+        ss.sim(shard).spawn(format!("sender{shard}"), move |ctx| {
+            for (seq, d) in delays.into_iter().enumerate() {
+                ctx.advance(SimDuration::from_nanos(d));
+                let log = Arc::clone(&log);
+                link.send(ctx.now(), move |w| {
+                    log.lock().unwrap().push((w.now().0, tag, seq as u32));
+                });
+            }
+        });
+    }
+    ss.run().expect("mailbox program must not deadlock");
+    Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+}
+
+/// Same-instant collisions resolved by link id, then per-link seq: two
+/// links with equal latency fire at identical virtual times (including two
+/// back-to-back sends with no advance between them, which share `now`).
+#[test]
+fn mailbox_ties_break_by_link_then_seq() {
+    let ss = ShardedSim::new(3);
+    let lat = SimDuration::from_millis(5);
+    let link_a = ss.link(1, 0, lat);
+    let link_b = ss.link(2, 0, lat);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for (shard, link) in [(1usize, link_a), (2, link_b)] {
+        let log = Arc::clone(&log);
+        let tag = (shard - 1) as u8;
+        ss.sim(shard).spawn(format!("sender{shard}"), move |ctx| {
+            ctx.advance(SimDuration::from_millis(10));
+            // Two sends at the same instant: seq must order them.
+            for seq in 0u32..2 {
+                let log = Arc::clone(&log);
+                link.send(ctx.now(), move |w| {
+                    log.lock().unwrap().push((w.now().0, tag, seq));
+                });
+            }
+        });
+    }
+    ss.run().unwrap();
+    let got = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+    let at = 15_000_000u64; // 10 ms send + 5 ms latency
+    assert_eq!(
+        got,
+        vec![(at, 0, 0), (at, 0, 1), (at, 1, 0), (at, 1, 1)],
+        "colliding envelopes must drain by (link, seq)"
+    );
+}
+
+/// The reference-parameter runs must actually exercise the schedulers, so
+/// the byte-identity above compares non-trivial decision logs.
+#[test]
+fn reference_scenarios_produce_decisions() {
+    let k = Knobs {
+        workers: 5,
+        slices: 100,
+        state_bytes: 300_000,
+    };
+    let (m, d, _) = gossip_two_seg(true, &k);
+    assert!(!d.is_empty(), "gossip scenario made no decisions");
+    assert!(m.contains("ls.gossip.rounds"), "daemons gossiped: {m}");
+    let (_, d, _) = storm_like(true, &k);
+    assert!(!d.is_empty(), "storm scenario made no decisions");
+}
