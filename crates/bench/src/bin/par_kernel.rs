@@ -1,7 +1,7 @@
 //! Run the sharded-kernel sweep and merge its section into
 //! `BENCH_SIM.json`.
 //!
-//! Usage: `par_kernel [--smoke] [--out PATH]`
+//! Usage: `par_kernel [--smoke] [--speedup-warn] [--out PATH]`
 //!
 //! Sweeps the 8-segment gossip-ring storm over 1/2/4/8 shards (see
 //! [`bench_tables::par_kernel`]) and asserts the CI gates in-process:
@@ -16,6 +16,9 @@
 //!   the two-segment gossip scenario;
 //! * ≥ 1.5× events/sec at 4 shards vs 1 — enforced when the host has at
 //!   least 4 CPUs, recorded (with the CPU count) either way.
+//!   `--speedup-warn` downgrades a miss to a warning while still
+//!   recording the measured ratio: shared CI runners report 4 vCPUs but
+//!   are too noisy for a hard wall-clock assertion.
 
 use bench_tables::par_kernel::{
     check_one_shard_identity, measure_par_kernel, render_par_kernel, SPEEDUP_GATE,
@@ -24,11 +27,13 @@ use bench_tables::splice::merge_section;
 
 fn main() {
     let mut smoke = false;
+    let mut speedup_warn = false;
     let mut out = String::from("BENCH_SIM.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--speedup-warn" => speedup_warn = true,
             "--out" => out = args.next().expect("--out needs a path"),
             other => panic!("unknown argument {other:?}"),
         }
@@ -95,7 +100,13 @@ fn main() {
 
     let four = cells.iter().find(|c| c.shards == 4).unwrap();
     let speedup = four.events_per_sec() / base.events_per_sec();
-    if host_cpus >= 4 {
+    if host_cpus >= 4 && speedup < SPEEDUP_GATE && speedup_warn {
+        println!(
+            "\nWARNING: 4 shards reached only {speedup:.2}x events/sec vs 1 shard \
+             (gate: {SPEEDUP_GATE}x, host cpus: {host_cpus}); --speedup-warn set, \
+             recording the ratio instead of failing"
+        );
+    } else if host_cpus >= 4 {
         assert!(
             speedup >= SPEEDUP_GATE,
             "4 shards reached only {speedup:.2}x events/sec vs 1 shard \

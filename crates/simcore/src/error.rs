@@ -33,6 +33,19 @@ pub enum SimError {
         /// Best-effort panic message.
         message: String,
     },
+    /// A cross-shard envelope arrived in its receiving shard's past — the
+    /// conservative-parallel protocol (or a caller passing a stale `now`
+    /// to `ShardLink::send`) promised an arrival the receiver had already
+    /// run beyond. Processing it would silently break replay determinism,
+    /// so the run aborts instead.
+    CausalityViolation {
+        /// The receiving shard's virtual time when the envelope landed.
+        at: SimTime,
+        /// The envelope's arrival instant (earlier than `at`).
+        arrival: SimTime,
+        /// Id of the `ShardLink` the envelope crossed.
+        link: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +60,13 @@ impl fmt::Display for SimError {
             }
             SimError::ActorPanicked { actor, message } => {
                 write!(f, "actor `{actor}` panicked: {message}")
+            }
+            SimError::CausalityViolation { at, arrival, link } => {
+                write!(
+                    f,
+                    "causality violation: envelope on link {link} arrives at t={arrival}, \
+                     but the receiving shard already reached t={at}"
+                )
             }
         }
     }
@@ -71,6 +91,20 @@ mod tests {
         assert!(s.contains("deadlock at t=2.000000s"), "{s}");
         assert!(s.contains("worker0"), "{s}");
         assert!(s.contains("parked: recv"), "{s}");
+    }
+
+    #[test]
+    fn causality_display_names_link_and_times() {
+        let e = SimError::CausalityViolation {
+            at: SimTime(2_000_000_000),
+            arrival: SimTime(1_000_000_000),
+            link: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("causality violation"), "{s}");
+        assert!(s.contains("link 3"), "{s}");
+        assert!(s.contains("t=1.000000s"), "{s}");
+        assert!(s.contains("t=2.000000s"), "{s}");
     }
 
     #[test]

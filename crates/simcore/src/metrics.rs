@@ -381,16 +381,18 @@ pub struct MetricsReport {
 
 impl MetricsReport {
     /// Merge another report into this one: counters add, histograms merge
-    /// bucket-wise, gauges add (disjoint names — the common case for
-    /// per-shard registries — are simply unioned), and spans append in
-    /// merge-call order. Merging per-shard reports in shard-index order
-    /// therefore yields a deterministic combined report.
+    /// bucket-wise, gauges keep last-value semantics (disjoint names — the
+    /// common case for per-shard registries — union; a colliding name
+    /// takes the incoming report's value, never a sum, since a gauge is a
+    /// level, not a total), and spans append in merge-call order. Merging
+    /// per-shard reports in shard-index order therefore yields a
+    /// deterministic combined report.
     pub fn merge(&mut self, other: &MetricsReport) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, v) in &other.gauges {
-            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+            self.gauges.insert(k.clone(), *v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -646,6 +648,24 @@ mod tests {
         assert!(alpha < zeta, "counters must be name-sorted");
         assert!(a.contains("\"schema\": \"metrics-v1\""));
         assert!(a.contains("\"stages\": [[\"x\", 10]]"));
+    }
+
+    #[test]
+    fn report_merge_gauges_take_last_value_not_sum() {
+        let a = Metrics::new(true);
+        a.counter_add("events", 2);
+        a.gauge_set("net.wire.bytes_total", 10.0);
+        a.gauge_set("only.in.a", 1.0);
+        let b = Metrics::new(true);
+        b.counter_add("events", 3);
+        b.gauge_set("net.wire.bytes_total", 7.0);
+        let mut r = a.report();
+        r.merge(&b.report());
+        // Counters accumulate; a colliding gauge is a level, not a total —
+        // the incoming report's value wins, it is never doubled.
+        assert_eq!(r.counters["events"], 5);
+        assert_eq!(r.gauges["net.wire.bytes_total"], 7.0);
+        assert_eq!(r.gauges["only.in.a"], 1.0);
     }
 
     #[test]

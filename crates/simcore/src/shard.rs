@@ -16,9 +16,19 @@
 //! `P[i]` stays frozen at the value it had when the run window opened
 //! (the shard's earliest pending instant); when the shard pauses, its
 //! controller republishes `P[i] = min(next pending instant, earliest
-//! possible envelope arrival)` and the bound is recomputed as a monotone
-//! fixpoint across all idle shards. A shard may process events strictly
-//! below `limit[i] = min over in-links (P[from] + latency)`.
+//! staged envelope arrival, earliest possible future arrival)` and the
+//! bound is recomputed as a monotone fixpoint across all idle shards. A
+//! shard may process events strictly below `limit[i] = min over in-links
+//! (P[from] + latency)`.
+//!
+//! The *staged envelope arrival* term is load-bearing: an envelope sits in
+//! the receiver's pending queue (updating `staged_min` under the sync
+//! lock) until the receiver's controller drains it, and during that window
+//! the receiver's recorded `next` does not know about it. Anchoring the
+//! fixpoint at `staged_min` keeps `P[receiver]` from ratcheting past the
+//! staged arrival once the sender republishes a higher clock — without it
+//! a downstream shard could compute a limit past the arrival of sends the
+//! envelope will trigger, a causality violation.
 //!
 //! Because the topology of links is static and every latency is strictly
 //! positive, the shard with the globally minimal published clock can
@@ -75,6 +85,12 @@ struct SyncState {
     next: Vec<Option<SimTime>>,
     /// Live-actor count per shard; meaningful while `Idle`.
     live: Vec<usize>,
+    /// Earliest staged-but-undrained envelope arrival per shard. Set in
+    /// `ShardLink::stage` together with the epoch bump, cleared by the
+    /// receiving controller's next committed sync round (whose drain has
+    /// consumed everything the epoch covers). Anchors `fixpoint` so a
+    /// published clock never ratchets past a staged arrival.
+    staged_min: Vec<Option<SimTime>>,
     state: Vec<ShardState>,
     /// Bumped on every cross-shard envelope push — lets a controller detect
     /// that its world snapshot went stale before it commits to waiting.
@@ -166,6 +182,7 @@ impl ShardedSim {
                     published: vec![SimTime::ZERO; n],
                     next: vec![None; n],
                     live: vec![0; n],
+                    staged_min: vec![None; n],
                     // `Running` until each controller's first evaluation, so
                     // no shard can be mistaken for quiescent before it has
                     // published real values.
@@ -321,8 +338,12 @@ impl ShardLink {
         self.record(at, now);
         if self.from == self.to {
             // Same-shard envelope: deposit directly so the current run
-            // window sees it (its own limit never excludes it).
-            self.inner.sims[self.to].push_envelope(at, self.id, seq, f);
+            // window sees it (its own limit never excludes it). A stale
+            // `now` (past-time arrival) aborts the shard with a
+            // `CausalityViolation`; the calling actor unwinds at its next
+            // yield and the controller surfaces the error, so the `Err` is
+            // not handled here.
+            let _ = self.inner.sims[self.to].push_envelope(at, self.id, seq, f);
             return;
         }
         self.stage(Pending {
@@ -341,8 +362,11 @@ impl ShardLink {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         self.record(at, now);
         if self.from == self.to {
-            // `w` *is* the destination world; no second lock.
-            w.push_envelope(at, self.id, seq, Box::new(f));
+            // `w` *is* the destination world; no second lock. On a
+            // past-time arrival the world flags itself aborted and
+            // dispatch stops at its next iteration, so the `Err` needs no
+            // handling here.
+            let _ = w.push_envelope(at, self.id, seq, Box::new(f));
             return;
         }
         self.stage(Pending {
@@ -354,11 +378,17 @@ impl ShardLink {
     }
 
     /// Queue a cross-shard envelope and wake the controllers. Only leaf
-    /// locks are taken, so this is safe under any world lock.
+    /// locks are taken, so this is safe under any world lock. Recording
+    /// `staged_min` here (under the sync lock, before the sender's
+    /// controller can republish a higher clock) is what keeps the fixpoint
+    /// from ratcheting the receiver's clock past the staged arrival.
     fn stage(&self, p: Pending) {
+        let at = p.at;
         self.inner.pending[self.to].lock().push(p);
         let mut s = self.inner.sync.lock();
         s.epoch += 1;
+        let slot = &mut s.staged_min[self.to];
+        *slot = Some(slot.map_or(at, |t| t.min(at)));
         self.inner.cv.notify_all();
         drop(s);
     }
@@ -384,19 +414,25 @@ fn in_bound(i: usize, edges: &[Edge], published: &[SimTime]) -> SimTime {
 }
 
 /// Recompute the published clocks of idle shards: the fixpoint of
-/// `P[i] = min(next[i], in_bound(i))` with running shards' frozen clocks
-/// as fixed anchors. Solved as a shortest-path relaxation (anchors:
-/// `next[i]` for idle shards, frozen `P` for running ones; edge weights:
-/// link latencies) rather than chaotic iteration — a quiescent link cycle
-/// (all `next = None`) has fixpoint +∞, which relaxation reaches
-/// immediately instead of ratcheting one latency per round. Returns
-/// whether anything changed.
+/// `P[i] = min(next[i], staged_min[i], in_bound(i))` with running shards'
+/// frozen clocks as fixed anchors. Solved as a shortest-path relaxation
+/// (anchors: `min(next[i], staged_min[i])` for idle shards, frozen `P`
+/// for running ones; edge weights: link latencies) rather than chaotic
+/// iteration — a quiescent link cycle (all `next = None`) has fixpoint
+/// +∞, which relaxation reaches immediately instead of ratcheting one
+/// latency per round. The `staged_min` term covers envelopes a shard has
+/// been handed but has not yet drained: its recorded `next` is stale
+/// below the staged arrival, and without the anchor the monotone ratchet
+/// would publish a clock past it. Returns whether anything changed.
 fn fixpoint(s: &mut SyncState, edges: &[Edge]) -> bool {
     let n = s.published.len();
     let mut dist: Vec<SimTime> = (0..n)
         .map(|i| match s.state[i] {
             ShardState::Running => s.published[i],
-            ShardState::Idle => s.next[i].unwrap_or(SimTime(u64::MAX)),
+            ShardState::Idle => {
+                let next = s.next[i].unwrap_or(SimTime(u64::MAX));
+                s.staged_min[i].map_or(next, |t| next.min(t))
+            }
         })
         .collect();
     // Bellman-Ford over the static link graph: at most n rounds since all
@@ -429,17 +465,20 @@ fn fixpoint(s: &mut SyncState, edges: &[Edge]) -> bool {
 
 /// Move staged envelopes into shard `i`'s world inbox. Key order, not
 /// arrival order, decides processing, so drain timing is irrelevant to
-/// determinism.
-fn drain_pending(inner: &Inner, i: usize) {
+/// determinism. An envelope arriving in the shard's past is a causality
+/// violation (a protocol bug, or a sender that lied about `now`): the
+/// error is returned so the controller can abort the whole run loudly.
+fn drain_pending(inner: &Inner, i: usize) -> Result<(), SimError> {
     let staged: Vec<Pending> = std::mem::take(&mut *inner.pending[i].lock());
     if staged.is_empty() {
-        return;
+        return Ok(());
     }
     inner.sims[i].with_world(|w| {
         for p in staged {
-            w.push_envelope(p.at, p.link, p.seq, p.f);
+            w.push_envelope(p.at, p.link, p.seq, p.f)?;
         }
-    });
+        Ok(())
+    })
 }
 
 /// Shard `i`'s controller thread: alternate run windows (bounded by the
@@ -462,7 +501,9 @@ fn controller(inner: &Inner, edges: &[Edge], i: usize) {
                 }
                 s.epoch
             };
-            drain_pending(inner, i);
+            if let Err(e) = drain_pending(inner, i) {
+                return abort_run(inner, Some(e));
+            }
             let t_next = sim.next_pending_time();
             let live = sim.live_actor_count();
 
@@ -481,6 +522,12 @@ fn controller(inner: &Inner, edges: &[Edge], i: usize) {
             s.state[i] = ShardState::Idle;
             s.next[i] = t_next;
             s.live[i] = live;
+            // The drain above consumed every envelope the unchanged epoch
+            // covers, and `t_next` now accounts for them; an envelope
+            // pushed after the drain has not bumped the epoch yet either
+            // (its `staged_min` update arrives with the bump), so nothing
+            // is lost by clearing.
+            s.staged_min[i] = None;
             let changed = fixpoint(&mut s, edges);
             let bound = in_bound(i, edges, &s.published);
             if let Some(t) = t_next {
@@ -499,9 +546,14 @@ fn controller(inner: &Inner, edges: &[Edge], i: usize) {
             }
             // Blocked. Quiescent everywhere? A staged-but-undrained
             // envelope (its receiver was notified but has not re-evaluated
-            // yet, so its recorded `next` is stale) must block the check.
+            // yet, so its recorded `next` is stale) must block the check —
+            // `staged_min` covers staged-and-bumped envelopes even when the
+            // receiver already moved them out of `pending` without having
+            // committed a fresh `next`, and the `pending` scan covers
+            // pushes whose epoch bump has not landed yet.
             if s.state.iter().all(|&st| st == ShardState::Idle)
                 && s.next.iter().all(|t| t.is_none())
+                && s.staged_min.iter().all(|t| t.is_none())
                 && inner.pending.iter().all(|p| p.lock().is_empty())
             {
                 let live_total: usize = s.live.iter().sum();
@@ -541,25 +593,7 @@ fn controller(inner: &Inner, edges: &[Edge], i: usize) {
                 continue 'windows;
             }
             StepOutcome::Aborted => {
-                let first = {
-                    let mut s = inner.sync.lock();
-                    let first = !s.abort;
-                    s.abort = true;
-                    inner.cv.notify_all();
-                    first
-                };
-                if let Some(e) = sim.failure() {
-                    let mut err = inner.error.lock();
-                    if err.is_none() {
-                        *err = Some(e);
-                    }
-                }
-                if first {
-                    for other in &inner.sims {
-                        other.abort();
-                    }
-                }
-                return;
+                return abort_run(inner, sim.failure());
             }
         }
     }
@@ -568,6 +602,29 @@ fn controller(inner: &Inner, edges: &[Edge], i: usize) {
 /// Propagated-abort exit: make sure this shard's world unwinds too.
 fn fail(inner: &Inner, i: usize) {
     inner.sims[i].abort();
+}
+
+/// First-failure abort: flag the global abort, wake every controller,
+/// record `err` (first failure wins), and unwind every member world.
+fn abort_run(inner: &Inner, err: Option<SimError>) {
+    let first = {
+        let mut s = inner.sync.lock();
+        let first = !s.abort;
+        s.abort = true;
+        inner.cv.notify_all();
+        first
+    };
+    if let Some(e) = err {
+        let mut slot = inner.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+    if first {
+        for sim in &inner.sims {
+            sim.abort();
+        }
+    }
 }
 
 /// All shards idle, no events pending, live actors remain: a global
@@ -678,6 +735,69 @@ mod tests {
         assert_eq!(e1, e2);
         assert_eq!(l1, l2);
         assert_eq!(l1.len(), 20);
+    }
+
+    #[test]
+    fn fixpoint_anchors_on_staged_arrivals() {
+        // Chain 0 -> 1 -> 2, 10 ms lookahead per hop. Shard 1 looks empty
+        // (next = None) but holds a staged-undrained envelope arriving at
+        // 5 ms; without the staged anchor the relaxation would publish
+        // P[1] = next[0] + 10 ms = 1.01 s and P[2] = 1.02 s — letting
+        // shard 2 run far past the sends the 5 ms envelope will trigger.
+        let ms = |v: u64| SimTime(v * 1_000_000);
+        let edges = [
+            Edge {
+                from: 0,
+                to: 1,
+                latency: SimDuration::from_millis(10),
+            },
+            Edge {
+                from: 1,
+                to: 2,
+                latency: SimDuration::from_millis(10),
+            },
+        ];
+        let mut s = SyncState {
+            published: vec![SimTime::ZERO; 3],
+            next: vec![Some(ms(1000)), None, None],
+            live: vec![1, 0, 0],
+            staged_min: vec![None, Some(ms(5)), None],
+            state: vec![ShardState::Idle; 3],
+            epoch: 0,
+            done: false,
+            abort: false,
+        };
+        assert!(fixpoint(&mut s, &edges));
+        assert_eq!(s.published[1], ms(5));
+        assert_eq!(s.published[2], ms(15));
+        assert_eq!(s.published[0], ms(1000));
+    }
+
+    #[test]
+    fn stale_send_is_a_loud_causality_error() {
+        // `tx` lies about `now`: at virtual 5 s it claims a send happened
+        // at t = 0, promising a 1 ms arrival the receiver (ticking ahead
+        // under the lookahead bound) has long passed. The run must fail
+        // with a CausalityViolation, not silently reorder the replay.
+        let ss = ShardedSim::new(2);
+        let fwd = ss.link(0, 1, SimDuration::from_millis(1));
+        let _back = ss.link(1, 0, SimDuration::from_millis(1));
+        ss.sim(1).spawn("rx", |ctx| {
+            for _ in 0..10 {
+                ctx.advance(SimDuration::from_secs(1));
+            }
+        });
+        ss.sim(0).spawn("tx", move |ctx| {
+            ctx.advance(SimDuration::from_secs(5));
+            fwd.send(SimTime::ZERO, |_| {});
+        });
+        match ss.run() {
+            Err(SimError::CausalityViolation { at, arrival, .. }) => {
+                assert_eq!(arrival, SimTime(1_000_000));
+                assert!(at > arrival);
+            }
+            other => panic!("expected causality violation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -223,6 +223,9 @@ impl Sim {
         if let Some((actor, message)) = g.panic_info.clone() {
             return Err(SimError::ActorPanicked { actor, message });
         }
+        if let Some(v) = g.violation.clone() {
+            return Err(v);
+        }
         if let Some(blocked) = g.deadlock.clone() {
             return Err(SimError::Deadlock { at: g.now, blocked });
         }
@@ -296,27 +299,32 @@ impl Sim {
         self.shared.world.lock().next_pending_time()
     }
 
-    /// Deposit a cross-shard envelope (see `World::push_envelope`).
+    /// Deposit a cross-shard envelope (see `World::push_envelope`). A
+    /// past-time arrival is a causality violation: the world is aborted
+    /// (with everyone notified) and the error returned.
     pub(crate) fn push_envelope(
         &self,
         at: SimTime,
         link: u32,
         seq: u64,
         f: impl FnOnce(&mut World) + Send + 'static,
-    ) {
-        self.shared
-            .world
-            .lock()
-            .push_envelope(at, link, seq, Box::new(f));
+    ) -> Result<(), SimError> {
+        let mut g = self.shared.world.lock();
+        let r = g.push_envelope(at, link, seq, Box::new(f));
+        if r.is_err() {
+            abort_all(&self.shared, &mut g);
+        }
+        r
     }
 
     /// Abort the simulation (propagating a failure from another shard):
     /// parked carriers unwind, `resume_until` returns `Aborted`.
+    /// Idempotent — re-aborting only re-notifies, which keeps it safe for
+    /// callers that cannot know whether the world already flagged itself
+    /// (e.g. after a causality violation recorded under the world lock).
     pub(crate) fn abort(&self) {
         let mut g = self.shared.world.lock();
-        if !g.aborted {
-            abort_all(&self.shared, &mut g);
-        }
+        abort_all(&self.shared, &mut g);
     }
 
     /// Number of live actors (spawned, not yet exited).
@@ -336,6 +344,9 @@ impl Sim {
         let g = self.shared.world.lock();
         if let Some((actor, message)) = g.panic_info.clone() {
             return Some(SimError::ActorPanicked { actor, message });
+        }
+        if let Some(v) = g.violation.clone() {
+            return Some(v);
         }
         g.deadlock
             .clone()
@@ -706,10 +717,7 @@ where
 /// Mark the simulation aborted and wake every parked carrier (each on its own
 /// parker) plus `Sim::run`, so all of them observe the abort and unwind.
 fn abort_all(shared: &SimShared, g: &mut World) {
-    g.aborted = true;
-    for slot in &g.actors {
-        slot.parker.notify_all();
-    }
+    g.mark_aborted();
     shared.run_cv.notify_all();
 }
 

@@ -17,7 +17,7 @@
 //! superseded entry the same way, so the heap only ever contains live
 //! entries and node allocations are recycled through a free list.
 
-use crate::error::ActorReport;
+use crate::error::{ActorReport, SimError};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
 use parking_lot::Condvar;
@@ -187,6 +187,9 @@ pub struct World {
     pub(crate) aborted: bool,
     pub(crate) deadlock: Option<Vec<ActorReport>>,
     pub(crate) panic_info: Option<(String, String)>,
+    /// A cross-shard envelope landed in this shard's past (see
+    /// `push_envelope`). Recorded once; the run aborts and surfaces it.
+    pub(crate) violation: Option<SimError>,
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) trace_enabled: bool,
     pub(crate) events_processed: u64,
@@ -211,6 +214,7 @@ impl World {
             aborted: false,
             deadlock: None,
             panic_info: None,
+            violation: None,
             trace: Vec::new(),
             trace_enabled: true,
             events_processed: 0,
@@ -513,6 +517,17 @@ impl World {
         });
     }
 
+    /// Flag the world aborted and wake every parked carrier (each on its
+    /// own parker). Callers that can reach the `SimShared` condvar must
+    /// also notify `run_cv` (see `sim::abort_all`); world-internal callers
+    /// rely on dispatch returning `Paused` to trigger that notification.
+    pub(crate) fn mark_aborted(&mut self) {
+        self.aborted = true;
+        for slot in &self.actors {
+            slot.parker.notify_all();
+        }
+    }
+
     pub(crate) fn deadlock_report(&self) -> Vec<ActorReport> {
         self.actors
             .iter()
@@ -545,10 +560,35 @@ impl World {
     /// Deposit a cross-shard envelope: a kernel event that fires at `at`,
     /// ordered against other envelopes by `(at, link, seq)`. The entry
     /// stays in the inbox until dispatch reaches its instant.
-    pub(crate) fn push_envelope(&mut self, at: SimTime, link: u32, seq: u64, f: KernelEvent) {
-        debug_assert!(at >= self.now, "envelope arrival in the shard's past");
+    ///
+    /// An arrival in this shard's past is a causality violation — a
+    /// protocol bug or a caller handing `ShardLink::send` a stale `now`.
+    /// Processing it would silently reorder the replay, so it is a real
+    /// runtime error (not just a debug assert): the world is marked
+    /// aborted, the violation recorded for `Sim::failure`, and the
+    /// envelope dropped.
+    pub(crate) fn push_envelope(
+        &mut self,
+        at: SimTime,
+        link: u32,
+        seq: u64,
+        f: KernelEvent,
+    ) -> Result<(), SimError> {
+        if at < self.now {
+            let err = SimError::CausalityViolation {
+                at: self.now,
+                arrival: at,
+                link,
+            };
+            if self.violation.is_none() {
+                self.violation = Some(err.clone());
+            }
+            self.mark_aborted();
+            return Err(err);
+        }
         let prev = self.inbox.insert((at, link, seq), f);
         debug_assert!(prev.is_none(), "duplicate envelope key");
+        Ok(())
     }
 
     /// Drain due events until an actor becomes runnable, the simulation
@@ -565,6 +605,15 @@ impl World {
     pub(crate) fn dispatch(&mut self) -> Dispatch {
         debug_assert!(self.running.is_none());
         loop {
+            // Stop dispatching the moment the world is aborted — in
+            // particular when a kernel event just recorded a causality
+            // violation via `push_envelope` (it cannot signal anyone
+            // itself; the waiters in `resume_until`/`Sim::run` and parked
+            // carriers all re-check `aborted` once notified).
+            if self.aborted {
+                self.paused = true;
+                return Dispatch::Paused;
+            }
             if let Some(&(at, _, _)) = self.inbox.keys().next() {
                 let heap_min = self.heap.first().map(|&i| self.nodes[i as usize].at);
                 if heap_min.is_none_or(|h| at <= h) {
