@@ -1,0 +1,169 @@
+//! Replay the trace-driven cluster day and merge its section into
+//! `BENCH_SIM.json`.
+//!
+//! Usage: `cluster_day [--smoke] [--perf-warn] [--out PATH]`
+//!
+//! Runs the 8-segment, 1024-host diurnal day (see
+//! [`bench_tables::cluster_day`]) over 1/2/4 shards plus a
+//! capped-carrier run, the pre-pooling baseline mode, and a 4096-host
+//! flatness cell, and asserts the CI gates in-process:
+//!
+//! * every shard count replays byte-identically, and decisions, merged
+//!   metrics JSON and virtual end time are invariant across shard
+//!   counts and across the capped carrier pool;
+//! * the baseline cost mode (per-event `format!` metric names, fresh
+//!   mailboxes and actor slots, vector-materializing residency counts)
+//!   reproduces the pooled mode's observables byte for byte;
+//! * pooled mode replays ≥ 1.5× the baseline's trace events/sec;
+//! * per-event wall cost grows ≤ 1.25× from 1024 to 4096 hosts;
+//! * pooled mode clears the events/sec floor.
+//!
+//! `--perf-warn` downgrades the three wall-clock gates to warnings
+//! (identity gates stay hard): shared CI runners are too noisy for
+//! hard timing assertions in every environment.
+
+use bench_tables::cluster_day::{
+    measure_cluster_day, render_cluster_day, EVENTS_PER_SEC_FLOOR, FLATNESS_GATE, POOLING_GATE,
+};
+use bench_tables::splice::merge_section;
+
+fn main() {
+    let mut smoke = false;
+    let mut perf_warn = false;
+    let mut out = String::from("BENCH_SIM.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--perf-warn" => perf_warn = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let m = measure_cluster_day(smoke);
+
+    println!(
+        "{:>6} {:>12} {:>13} {:>11} {:>10} {:>9} {:>12}  replay  vs-1-shard",
+        "shards", "trace_evts", "kernel_evts", "migrations", "decisions", "wall_s", "events/sec"
+    );
+    for c in &m.cells {
+        println!(
+            "{:>6} {:>12} {:>13} {:>11} {:>10} {:>9.3} {:>12.0}  {:<6}  {}",
+            c.shards,
+            c.trace_events,
+            c.kernel_events,
+            c.migrations,
+            c.decisions,
+            c.wall_secs,
+            c.events_per_sec(),
+            if c.replay_identical { "ok" } else { "DIVERGED" },
+            if c.matches_one_shard {
+                "ok"
+            } else {
+                "DIVERGED"
+            },
+        );
+    }
+    println!(
+        "\ncapped carrier pool: {}",
+        if m.capped_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "baseline mode:       {} ({:.0} events/sec vs {:.0} pooled, ratio {:.2}x)",
+        if m.baseline_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        m.baseline_events_per_sec,
+        m.cells[0].events_per_sec(),
+        m.pooling_ratio
+    );
+    println!(
+        "flatness:            {} -> {} hosts, {:.0} -> {:.0} ns/event ({:.2}x{})",
+        m.hosts_small,
+        m.hosts_large,
+        m.per_event_small * 1e9,
+        m.per_event_large * 1e9,
+        m.flatness,
+        if m.flatness_measurable {
+            ""
+        } else {
+            ", below noise floor"
+        }
+    );
+
+    // Identity gates: always hard.
+    for c in &m.cells {
+        assert!(
+            c.replay_identical,
+            "{} shards: metrics/decisions diverged across replays",
+            c.shards
+        );
+        assert!(
+            c.matches_one_shard,
+            "{} shards: observables diverged from the 1-shard run",
+            c.shards
+        );
+        assert!(
+            c.decisions > 0 && c.migrations > 0,
+            "{} shards: the day produced no scheduling work",
+            c.shards
+        );
+    }
+    assert!(
+        m.capped_identical,
+        "capped carrier pool diverged from the uncapped run"
+    );
+    assert!(
+        m.baseline_identical,
+        "baseline cost mode diverged from pooled mode"
+    );
+
+    // Perf gates: hard unless --perf-warn.
+    let perf_gate = |ok: bool, msg: String| {
+        if ok {
+            println!("gate: {msg}");
+        } else if perf_warn {
+            println!("WARNING (--perf-warn): {msg}");
+        } else {
+            panic!("{msg}");
+        }
+    };
+    perf_gate(
+        m.pooling_ratio >= POOLING_GATE,
+        format!(
+            "pooling/interning ratio {:.2}x (gate {POOLING_GATE}x, host cpus {host_cpus})",
+            m.pooling_ratio
+        ),
+    );
+    perf_gate(
+        !m.flatness_measurable || m.flatness <= FLATNESS_GATE,
+        format!(
+            "per-event cost ratio {:.2}x at {} vs {} hosts (gate {FLATNESS_GATE}x)",
+            m.flatness, m.hosts_large, m.hosts_small
+        ),
+    );
+    perf_gate(
+        m.cells[0].events_per_sec() >= EVENTS_PER_SEC_FLOOR,
+        format!(
+            "pooled replay {:.0} trace events/sec (floor {EVENTS_PER_SEC_FLOOR:.0})",
+            m.cells[0].events_per_sec()
+        ),
+    );
+
+    let section = render_cluster_day(&m, smoke, host_cpus);
+    let merged = match std::fs::read_to_string(&out) {
+        Ok(doc) => merge_section(&doc, "cluster_day", &section),
+        // No simbench document yet: write a minimal valid one.
+        Err(_) => format!("{{\n  \"schema\": \"simbench-v1\",\n{section}\n}}\n"),
+    };
+    std::fs::write(&out, merged).expect("write BENCH_SIM.json");
+    println!("\nwrote \"cluster_day\" section to {out}");
+}

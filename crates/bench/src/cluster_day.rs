@@ -1,0 +1,780 @@
+//! cluster_day — a trace-driven cluster day at four-digit host counts.
+//!
+//! The workload engine (`crates/workload`) synthesizes a diurnal
+//! arrival trace — 100k+ VP arrivals/departures over a 24 h horizon,
+//! Pareto lifetimes, per-class skew — and this module replays it against
+//! real scheduling machinery: one worknet cluster + global scheduler per
+//! host class (segment), a [`cpe::LoadFeed`] delivering epoch-batched
+//! load deltas into each GS, owner-reclaim faults injected mid-day
+//! through the fault plane, and the whole thing partitioned across
+//! [`simcore::ShardedSim`] shards by segment.
+//!
+//! Two cost modes replay the *identical* virtual-time scenario:
+//!
+//! * **baseline** — the pre-pooling hot path: every arrival formats its
+//!   metric names (`format!` + by-name registry lookup), every sampled
+//!   VP gets a fresh [`simcore::Mailbox`] and a fresh actor slot, and
+//!   residency counts materialize full unit vectors;
+//! * **pooled** — interned metric ids ([`simcore::CounterId`] & co.),
+//!   a [`simcore::MailboxPool`] recycling VP mailboxes, actor-slot
+//!   recycling ([`simcore::Sim::set_actor_recycling`]), and O(1)
+//!   indexed residency counts.
+//!
+//! Decisions, metrics and virtual end time must be byte-identical across
+//! the two modes *and* across 1/2/4 shards; the mode toggle may only
+//! move wall clock. Gates (asserted by the `cluster_day` binary):
+//!
+//! * **Replay identity.** Each shard count runs twice; merged metrics
+//!   JSON and per-segment decision logs must be byte-identical.
+//! * **Cross-shard identity.** Decisions, metrics JSON, trace events
+//!   and virtual end time must not depend on the shard count.
+//! * **Capped carrier pool.** A run with `set_max_idle_carriers(2)`
+//!   must replay identically to the uncapped run.
+//! * **Baseline ≡ pooled.** Same observables across the cost modes.
+//! * **Pooling ratio.** Pooled mode must replay ≥ [`POOLING_GATE`]×
+//!   the baseline's trace events/sec.
+//! * **Flat scaling.** Per-event wall cost at 4096 hosts must stay
+//!   within [`FLATNESS_GATE`]× of the 1024-host cost.
+
+use cpe::{Load, LoadFeed, MigrationTarget};
+use parking_lot::Mutex;
+use pvm_rt::{MigrationOutcome, PvmError, Tid};
+use simcore::{
+    CounterId, GaugeId, HistogramId, Mailbox, MailboxPool, Metrics, MetricsReport, ShardedSim,
+    SimCtx, SimDuration, SimTime,
+};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use workload::{GeneratorConfig, TraceEventKind, VpId};
+use worknet::{Calib, Cluster, Fault, FaultSchedule, HostId, HostSpec};
+
+/// Host classes (→ segments → clusters) the day is spread over.
+pub const CD_SEGMENTS: usize = 8;
+
+/// Shard counts the identity sweep runs at.
+pub const CD_SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Replay epoch: the driver batches trace events, monitor deltas and the
+/// cross-segment pulse into one wakeup per epoch (the generator's own
+/// 15-minute diurnal buckets). Also the ring-link latency, i.e. the
+/// conservative lookahead bound between shards.
+pub const EPOCH: SimDuration = SimDuration::from_secs(15 * 60);
+
+/// Epochs in the 24 h horizon.
+pub const EPOCHS: usize = 96;
+
+/// Every `VP_SAMPLE`-th arrival is materialized as a real actor with a
+/// mailbox that lives until the VP departs — the churn that exercises
+/// slot and mailbox recycling.
+pub const VP_SAMPLE: u64 = 64;
+
+/// Required pooled/baseline trace-events-per-second ratio.
+pub const POOLING_GATE: f64 = 1.5;
+
+/// Max allowed per-event wall-cost growth from 1024 to 4096 hosts.
+pub const FLATNESS_GATE: f64 = 1.25;
+
+/// Below this wall clock (either cell), the flatness ratio is timer
+/// noise, not signal, and the gate is recorded but not enforced.
+pub const FLATNESS_WALL_FLOOR: f64 = 0.050;
+
+/// Minimum trace events per wall second in pooled mode.
+pub const EVENTS_PER_SEC_FLOOR: f64 = 10_000.0;
+
+/// Which shard a segment lives on: contiguous blocks, like the
+/// `par_kernel` sweep.
+pub fn cd_shard_of(segment: usize, segments: usize, shards: usize) -> usize {
+    segment * shards / segments
+}
+
+/// One cluster-day scenario, fully specified.
+#[derive(Debug, Clone, Copy)]
+pub struct CdConfig {
+    /// Trace seed (same seed → byte-identical trace and replay).
+    pub seed: u64,
+    /// Host classes / segments / clusters / schedulers.
+    pub segments: usize,
+    /// Hosts per segment; total hosts = `segments * hosts_per_segment`.
+    pub hosts_per_segment: usize,
+    /// Total VP arrivals (trace events = 2 × arrivals).
+    pub arrivals: usize,
+    /// Shards to partition the segments across.
+    pub shards: usize,
+    /// Pooled (interned ids, mailbox pool, slot recycling) or baseline
+    /// (per-event `format!`, fresh mailboxes, growing slot table).
+    pub pooled: bool,
+    /// Cap on idle carrier threads per shard, when set.
+    pub max_idle_carriers: Option<usize>,
+}
+
+impl CdConfig {
+    /// The standard scenario at a given host count: 8 segments, pooled,
+    /// 1 shard, full-size trace unless `smoke`.
+    pub fn sized(smoke: bool, hosts_per_segment: usize) -> CdConfig {
+        CdConfig {
+            seed: 1994,
+            segments: CD_SEGMENTS,
+            hosts_per_segment,
+            arrivals: if smoke { 20_000 } else { 60_000 },
+            shards: 1,
+            pooled: true,
+            max_idle_carriers: None,
+        }
+    }
+}
+
+/// The observables of one replay.
+pub struct CdRun {
+    /// Per-segment GS decision logs as deterministic JSON lines.
+    pub decisions: Vec<Vec<String>>,
+    /// Merged deterministic metrics JSON: per-shard registries merged in
+    /// shard order. Every gauge name is per-host (unique) and counters
+    /// and histograms merge commutatively, so this is invariant under
+    /// the partitioning.
+    pub metrics_json: String,
+    /// Trace events replayed (arrivals + departures).
+    pub trace_events: u64,
+    /// Simulator heap entries processed, summed over shards.
+    pub kernel_events: u64,
+    /// Migrations the schedulers completed (`workload.seg*.migrations`).
+    pub migrations: u64,
+    /// Epoch pulses delivered over the segment ring.
+    pub pulses: u64,
+    /// Wall seconds inside `ShardedSim::run` (setup excluded).
+    pub wall_secs: f64,
+    /// Virtual seconds covered.
+    pub sim_secs: f64,
+}
+
+impl CdRun {
+    /// Trace events replayed per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.trace_events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Interned per-segment metric ids (pooled mode).
+struct SegMetricIds {
+    arrivals: CounterId,
+    departs: CounterId,
+    migrations: CounterId,
+    lifetime: HistogramId,
+    /// Per-host resident-count gauges, indexed by host.
+    resident: Vec<GaugeId>,
+}
+
+/// Mutable workload state of one segment.
+struct SegState {
+    /// Resident VP ids per host, ascending.
+    residents: Vec<BTreeSet<u64>>,
+    /// VP → current host index.
+    vp_host: HashMap<u64, usize>,
+    /// VP → utilization it contributes to its host's sensed load.
+    vp_util: HashMap<u64, f64>,
+    /// Per-host utilization sums (the sensed external load).
+    util: Vec<f64>,
+    /// Hosts whose load changed since the last drain, ascending.
+    dirty: BTreeSet<usize>,
+}
+
+/// Callback run once when a segment's replay finishes draining.
+type DrainHook = Box<dyn FnOnce(&SimCtx) + Send>;
+
+/// The migration target of one segment: a bookkeeping-only system whose
+/// "processes" are the trace's VPs. Arrivals and departures come from
+/// the replay driver; migrations come from the GS and move the VP's
+/// load contribution between hosts at event-delivery cost (like
+/// [`cpe::AdmTarget`], the lossless event queue stands in for the
+/// transfer itself — the wire-level protocols have their own benches).
+pub struct WorkloadTarget {
+    seg: usize,
+    metrics: Metrics,
+    state: Mutex<SegState>,
+    /// Interned ids in pooled mode; `None` routes every record through
+    /// the by-name string API with freshly formatted names.
+    ids: Option<SegMetricIds>,
+    drain_hooks: Mutex<Vec<DrainHook>>,
+}
+
+/// `VpId` → `Tid`: 18 low bits become the task index, the rest the host
+/// field, so ids stay unique (and ordered) for billions of VPs without a
+/// lookup table.
+fn vp_tid(vp: u64) -> Tid {
+    Tid::new(HostId((vp >> 18) as usize), (vp & ((1 << 18) - 1)) as u32)
+}
+
+/// `Tid` → `VpId` (inverse of [`vp_tid`]).
+fn tid_vp(t: Tid) -> u64 {
+    ((t.host().0 as u64) << 18) | t.index() as u64
+}
+
+impl WorkloadTarget {
+    /// A target for `seg` with `hosts` hosts, recording into `metrics`.
+    /// `pooled` interns every metric name up front.
+    pub fn new(seg: usize, hosts: usize, metrics: Metrics, pooled: bool) -> Arc<WorkloadTarget> {
+        let ids = pooled.then(|| SegMetricIds {
+            arrivals: metrics.intern_counter(format!("workload.seg{seg}.arrivals")),
+            departs: metrics.intern_counter(format!("workload.seg{seg}.departs")),
+            migrations: metrics.intern_counter(format!("workload.seg{seg}.migrations")),
+            lifetime: metrics.intern_histogram(format!("workload.seg{seg}.lifetime_ns")),
+            resident: (0..hosts)
+                .map(|h| metrics.intern_gauge(format!("workload.c{seg}h{h}.resident")))
+                .collect(),
+        });
+        Arc::new(WorkloadTarget {
+            seg,
+            metrics,
+            state: Mutex::new(SegState {
+                residents: vec![BTreeSet::new(); hosts],
+                vp_host: HashMap::new(),
+                vp_util: HashMap::new(),
+                util: vec![0.0; hosts],
+                dirty: BTreeSet::new(),
+            }),
+            ids,
+            drain_hooks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Record the resident-count gauge for `host` (current value `n`).
+    fn gauge_resident(&self, host: usize, n: usize) {
+        match &self.ids {
+            Some(ids) => self.metrics.gauge_set_id(ids.resident[host], n as f64),
+            None => self.metrics.gauge_set(
+                &format!("workload.c{}h{}.resident", self.seg, host),
+                n as f64,
+            ),
+        }
+    }
+
+    /// A VP arrives on `host`, contributing `util` load for `lifetime`.
+    pub fn arrive(&self, vp: VpId, host: HostId, util: f64, lifetime: SimDuration) {
+        let mut s = self.state.lock();
+        let h = host.0;
+        s.residents[h].insert(vp.0);
+        s.vp_host.insert(vp.0, h);
+        s.vp_util.insert(vp.0, util);
+        s.util[h] += util;
+        s.dirty.insert(h);
+        let n = s.residents[h].len();
+        drop(s);
+        match &self.ids {
+            Some(ids) => {
+                self.metrics.counter_add_id(ids.arrivals, 1);
+                self.metrics.histogram_record_id(ids.lifetime, lifetime);
+            }
+            None => {
+                self.metrics
+                    .counter_add(&format!("workload.seg{}.arrivals", self.seg), 1);
+                self.metrics
+                    .histogram_record(&format!("workload.seg{}.lifetime_ns", self.seg), lifetime);
+            }
+        }
+        self.gauge_resident(h, n);
+    }
+
+    /// The VP departs from wherever it currently resides. O(log n): one
+    /// map lookup plus one set removal — no host rescans.
+    pub fn depart(&self, vp: VpId) {
+        let mut s = self.state.lock();
+        let h = s.vp_host.remove(&vp.0).expect("departing VP is resident");
+        let util = s.vp_util.remove(&vp.0).expect("departing VP has a load");
+        s.residents[h].remove(&vp.0);
+        s.util[h] -= util;
+        s.dirty.insert(h);
+        let n = s.residents[h].len();
+        drop(s);
+        match &self.ids {
+            Some(ids) => self.metrics.counter_add_id(ids.departs, 1),
+            None => self
+                .metrics
+                .counter_add(&format!("workload.seg{}.departs", self.seg), 1),
+        }
+        self.gauge_resident(h, n);
+    }
+
+    /// Hosts touched since the last call, with their current sensed
+    /// load, in ascending host order.
+    pub fn drain_dirty(&self) -> Vec<(HostId, f64)> {
+        let mut s = self.state.lock();
+        let dirty = std::mem::take(&mut s.dirty);
+        dirty.into_iter().map(|h| (HostId(h), s.util[h])).collect()
+    }
+
+    /// Run the registered drain hooks (the application finished).
+    pub fn drain(&self, ctx: &SimCtx) {
+        for f in std::mem::take(&mut *self.drain_hooks.lock()) {
+            f(ctx);
+        }
+    }
+}
+
+impl MigrationTarget for WorkloadTarget {
+    fn kind(&self) -> &'static str {
+        "workload"
+    }
+    fn units_on(&self, host: HostId) -> Vec<Tid> {
+        self.state.lock().residents[host.0]
+            .iter()
+            .map(|&vp| vp_tid(vp))
+            .collect()
+    }
+    fn units_count(&self, host: HostId) -> usize {
+        if self.ids.is_some() {
+            // Pooled: the per-host set length, allocation-free.
+            self.state.lock().residents[host.0].len()
+        } else {
+            // Baseline: the pre-pooling cost — materialize the vector.
+            self.units_on(host).len()
+        }
+    }
+    fn can_migrate(&self, unit: Tid, _dst: HostId) -> bool {
+        self.state.lock().vp_host.contains_key(&tid_vp(unit))
+    }
+    fn migrate(&self, ctx: &SimCtx, unit: Tid, dst: HostId) -> MigrationOutcome {
+        let vp = tid_vp(unit);
+        let mut s = self.state.lock();
+        let Some(&src) = s.vp_host.get(&vp) else {
+            return MigrationOutcome::Failed {
+                error: PvmError::NoSuchTask(unit),
+            };
+        };
+        let util = s.vp_util[&vp];
+        s.residents[src].remove(&vp);
+        s.residents[dst.0].insert(vp);
+        s.vp_host.insert(vp, dst.0);
+        s.util[src] -= util;
+        s.util[dst.0] += util;
+        s.dirty.insert(src);
+        s.dirty.insert(dst.0);
+        let (n_src, n_dst) = (s.residents[src].len(), s.residents[dst.0].len());
+        drop(s);
+        match &self.ids {
+            Some(ids) => self.metrics.counter_add_id(ids.migrations, 1),
+            None => self
+                .metrics
+                .counter_add(&format!("workload.seg{}.migrations", self.seg), 1),
+        }
+        self.gauge_resident(src, n_src);
+        self.gauge_resident(dst.0, n_dst);
+        let _ = ctx;
+        MigrationOutcome::Completed { new_tid: unit }
+    }
+    fn on_drain(&self, f: Box<dyn FnOnce(&SimCtx) + Send>) {
+        self.drain_hooks.lock().push(f);
+    }
+}
+
+/// Replay the cluster day described by `cfg` and return its observables.
+///
+/// Per segment: a quiet single-segment cluster (hosts `c{seg}h{n}`) with
+/// an owner-reclaim fault at hour 8 on its entry host, a load-threshold
+/// GS, a [`WorkloadTarget`], and one epoch-batched replay driver. Half
+/// of all arrivals land on the entry host (host 0) — the hotspot the
+/// threshold policy keeps shedding — and the rest round-robin across the
+/// remaining hosts. Drivers pulse an epoch token around the segment ring
+/// over [`simcore::ShardLink`]s (latency = [`EPOCH`], the lookahead).
+pub fn cluster_day_run(cfg: &CdConfig) -> CdRun {
+    assert!(
+        cfg.shards >= 1 && cfg.segments.is_multiple_of(cfg.shards),
+        "shard count must divide the segment count"
+    );
+    assert!(
+        cfg.hosts_per_segment >= 2,
+        "need an entry host plus at least one destination per segment"
+    );
+    let trace = workload::generate(&GeneratorConfig::cluster_day(
+        cfg.seed,
+        cfg.segments as u16,
+        cfg.arrivals,
+    ));
+    let trace_events = trace.len() as u64;
+    // Partition by class; per-class order stays canonical.
+    let mut per_seg: Vec<Vec<workload::TraceEvent>> = vec![Vec::new(); cfg.segments];
+    for e in &trace {
+        per_seg[e.host_class.0 as usize].push(*e);
+    }
+
+    let ss = ShardedSim::new(cfg.shards);
+    for i in 0..cfg.shards {
+        let sim = ss.sim(i);
+        sim.set_trace_enabled(false);
+        if cfg.pooled {
+            sim.set_actor_recycling(true);
+        }
+        if let Some(cap) = cfg.max_idle_carriers {
+            sim.set_max_idle_carriers(cap);
+        }
+    }
+
+    let pulses_total = Arc::new(AtomicU64::new(0));
+    let mut schedulers = Vec::new();
+    let mut targets: Vec<Arc<WorkloadTarget>> = Vec::new();
+    let mut clusters = Vec::new();
+    for (seg, events) in per_seg.into_iter().enumerate() {
+        let here = cd_shard_of(seg, cfg.segments, cfg.shards);
+        let mut b = Cluster::builder(Calib::hp720_ethernet()).on_sim(ss.sim(here).clone());
+        for h in 0..cfg.hosts_per_segment {
+            b.host(HostSpec::hp720(format!("c{seg}h{h}")));
+        }
+        // The fault plane's mid-day event: the entry host's owner comes
+        // back at hour 8; the monitor replays it as OwnerActive and the
+        // policy evacuates every VP resident there.
+        b.fault_schedule(FaultSchedule::new().at(
+            SimDuration::from_secs(8 * 3600),
+            Fault::OwnerReclaim { host: HostId(0) },
+        ));
+        let cluster = Arc::new(b.with_metrics().build());
+        let target = WorkloadTarget::new(seg, cfg.hosts_per_segment, cluster.metrics(), cfg.pooled);
+        let gs = cpe::Gs::builder(&cluster)
+            .target(Arc::clone(&target) as Arc<dyn MigrationTarget>)
+            .policy(cpe::load_threshold(1.5))
+            .name(format!("gs-seg{seg}"))
+            .spawn();
+        targets.push(Arc::clone(&target));
+        clusters.push(Arc::clone(&cluster));
+        schedulers.push((gs, events));
+    }
+
+    // Ring mailboxes + links, then the drivers (one per segment).
+    let ring: Vec<Mailbox<u32>> = (0..cfg.segments).map(|_| Mailbox::new()).collect();
+    for seg in 0..cfg.segments {
+        let (gs, events) = &schedulers[seg];
+        let right = (seg + 1) % cfg.segments;
+        let here = cd_shard_of(seg, cfg.segments, cfg.shards);
+        let to_right = ss.link(here, cd_shard_of(right, cfg.segments, cfg.shards), EPOCH);
+        let my_mb = ring[seg].clone();
+        let right_mb = ring[right].clone();
+        let target = Arc::clone(&targets[seg]);
+        let feed_mb = gs.feed().expect("central scheduler").clone();
+        let metrics = clusters[seg].metrics();
+        let pool: Option<Arc<MailboxPool<()>>> = cfg.pooled.then(|| Arc::new(MailboxPool::new()));
+        let pulses = Arc::clone(&pulses_total);
+        let events = events.clone();
+        let spread = cfg.hosts_per_segment - 1;
+        ss.sim(here).spawn(format!("driver{seg}"), move |ctx| {
+            let mut feed = LoadFeed::new(feed_mb, metrics);
+            let mut sampled: HashMap<u64, Mailbox<()>> = HashMap::new();
+            let mut cursor = 0usize;
+            let mut next = 0usize;
+            let mut got = 0u64;
+            for epoch in 1..=EPOCHS {
+                let end = SimTime(EPOCH.0 * epoch as u64);
+                ctx.advance(SimDuration(end.0 - ctx.now().0));
+                let last = epoch == EPOCHS;
+                while next < events.len()
+                    && (events[next].at.0 < end.0 || (last && events[next].at.0 <= end.0))
+                {
+                    let e = events[next];
+                    next += 1;
+                    match e.kind {
+                        TraceEventKind::Arrive { work, lifetime } => {
+                            // Hotspot placement: even VPs pile onto the
+                            // entry host, odd ones spread round-robin.
+                            let host = if e.vp_id.0 % 2 == 0 {
+                                HostId(0)
+                            } else {
+                                cursor = (cursor + 1) % spread;
+                                HostId(1 + cursor)
+                            };
+                            let util = work.as_secs_f64() / lifetime.as_secs_f64();
+                            target.arrive(e.vp_id, host, util, lifetime);
+                            if e.vp_id.0.is_multiple_of(VP_SAMPLE) {
+                                let mb = match &pool {
+                                    Some(p) => p.acquire(),
+                                    None => Mailbox::new(),
+                                };
+                                sampled.insert(e.vp_id.0, mb.clone());
+                                let pool = pool.clone();
+                                ctx.spawn(format!("{}", e.vp_id), move |vctx| {
+                                    let _ = mb.recv(&vctx);
+                                    if let Some(p) = pool {
+                                        p.release(mb);
+                                    }
+                                });
+                            }
+                        }
+                        TraceEventKind::Depart => {
+                            target.depart(e.vp_id);
+                            if let Some(mb) = sampled.remove(&e.vp_id.0) {
+                                mb.send(&ctx, ());
+                            }
+                        }
+                    }
+                }
+                for (h, load) in target.drain_dirty() {
+                    feed.report(h, Load(load));
+                }
+                feed.flush(&ctx);
+                let m = right_mb.clone();
+                let token = epoch as u32;
+                to_right.send(ctx.now(), move |w| m.send_from_world(w, token));
+                while my_mb.try_recv().is_some() {
+                    got += 1;
+                }
+            }
+            assert!(sampled.is_empty(), "every sampled VP departed in-horizon");
+            // The last epochs' pulses are still in flight; block for them.
+            while got < EPOCHS as u64 {
+                my_mb.recv(&ctx).expect("pulse ring closed early");
+                got += 1;
+            }
+            pulses.fetch_add(got, Ordering::Relaxed);
+            target.drain(&ctx);
+        });
+    }
+
+    let start = Instant::now();
+    let end = ss.run().expect("cluster_day failed");
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut merged: Option<MetricsReport> = None;
+    for i in 0..cfg.shards {
+        let r = ss.sim(i).metrics().report();
+        match merged.as_mut() {
+            Some(m) => m.merge(&r),
+            None => merged = Some(r),
+        }
+    }
+    let merged = merged.expect("at least one shard");
+    let migrations = merged
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("workload.seg") && k.ends_with(".migrations"))
+        .map(|(_, v)| *v)
+        .sum();
+    CdRun {
+        decisions: schedulers
+            .iter()
+            .map(|(gs, _)| gs.decisions().iter().map(|d| d.to_json()).collect())
+            .collect(),
+        metrics_json: merged.to_json(),
+        trace_events,
+        kernel_events: ss.events_processed(),
+        migrations,
+        pulses: pulses_total.load(Ordering::Relaxed),
+        wall_secs: wall,
+        sim_secs: end.as_secs_f64(),
+    }
+}
+
+/// One measured cell of the shard sweep.
+#[derive(Debug, Clone)]
+pub struct CdCell {
+    /// Shards the day ran on.
+    pub shards: usize,
+    /// Trace events replayed.
+    pub trace_events: u64,
+    /// Kernel heap entries processed.
+    pub kernel_events: u64,
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Total GS decisions across segments.
+    pub decisions: usize,
+    /// Best wall clock of the two runs.
+    pub wall_secs: f64,
+    /// Virtual seconds covered.
+    pub sim_secs: f64,
+    /// Both same-count runs byte-identical.
+    pub replay_identical: bool,
+    /// Observables match the 1-shard run byte for byte.
+    pub matches_one_shard: bool,
+}
+
+impl CdCell {
+    /// Trace events per wall second (best run).
+    pub fn events_per_sec(&self) -> f64 {
+        self.trace_events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// The full measurement: shard sweep + capped-pool run + baseline mode +
+/// the 4096-host flatness cell.
+pub struct CdMeasurement {
+    /// One cell per [`CD_SHARD_COUNTS`] entry (pooled, 1024 hosts).
+    pub cells: Vec<CdCell>,
+    /// Capped carrier pool (2 idle carriers, 4 shards) replayed
+    /// identically to the uncapped 4-shard run.
+    pub capped_identical: bool,
+    /// Baseline mode produced byte-identical decisions + metrics.
+    pub baseline_identical: bool,
+    /// Baseline trace events/sec (1 shard, best of two runs).
+    pub baseline_events_per_sec: f64,
+    /// Pooled/baseline events-per-sec ratio.
+    pub pooling_ratio: f64,
+    /// Per-event wall cost at 1024 hosts (pooled, 1 shard), seconds.
+    pub per_event_small: f64,
+    /// Per-event wall cost at 4096 hosts (pooled, 1 shard), seconds.
+    pub per_event_large: f64,
+    /// Host counts of the flatness pair.
+    pub hosts_small: usize,
+    /// See [`CdMeasurement::hosts_small`].
+    pub hosts_large: usize,
+    /// `per_event_large / per_event_small`.
+    pub flatness: f64,
+    /// Both flatness cells cleared [`FLATNESS_WALL_FLOOR`].
+    pub flatness_measurable: bool,
+}
+
+/// Hosts per segment of the standard (small) scenario.
+pub const CD_HOSTS_PER_SEGMENT: usize = 128;
+
+/// Hosts per segment of the large flatness cell (4× the standard).
+pub const CD_HOSTS_PER_SEGMENT_LARGE: usize = 512;
+
+/// Run the whole measurement. Every perf number is the best of two runs;
+/// every identity bit compares full observable sets byte for byte.
+pub fn measure_cluster_day(smoke: bool) -> CdMeasurement {
+    let base_cfg = CdConfig::sized(smoke, CD_HOSTS_PER_SEGMENT);
+    let mut cells: Vec<CdCell> = Vec::new();
+    let mut one_shard: Option<CdRun> = None;
+    for &shards in CD_SHARD_COUNTS {
+        let cfg = CdConfig { shards, ..base_cfg };
+        let a = cluster_day_run(&cfg);
+        let b = cluster_day_run(&cfg);
+        let replay_identical = a.metrics_json == b.metrics_json
+            && a.decisions == b.decisions
+            && a.sim_secs == b.sim_secs;
+        let mut wall_secs = a.wall_secs.min(b.wall_secs);
+        if shards == 1 {
+            // The 1-shard wall feeds the pooling ratio and the flatness
+            // pair; a third timing run tightens it against scheduler
+            // noise (the ratio gate compares two ~tens-of-ms walls).
+            wall_secs = wall_secs.min(cluster_day_run(&cfg).wall_secs);
+        }
+        let matches_one_shard = match &one_shard {
+            None => true,
+            Some(base) => {
+                a.decisions == base.decisions
+                    && a.metrics_json == base.metrics_json
+                    && a.trace_events == base.trace_events
+                    && a.sim_secs == base.sim_secs
+            }
+        };
+        cells.push(CdCell {
+            shards,
+            trace_events: a.trace_events,
+            kernel_events: a.kernel_events,
+            migrations: a.migrations,
+            decisions: a.decisions.iter().map(Vec::len).sum(),
+            wall_secs,
+            sim_secs: a.sim_secs,
+            replay_identical,
+            matches_one_shard,
+        });
+        if one_shard.is_none() {
+            one_shard = Some(a);
+        }
+    }
+    let one_shard = one_shard.expect("sweep includes 1 shard");
+
+    let capped = cluster_day_run(&CdConfig {
+        shards: *CD_SHARD_COUNTS.last().unwrap(),
+        max_idle_carriers: Some(2),
+        ..base_cfg
+    });
+    let capped_identical = capped.metrics_json == one_shard.metrics_json
+        && capped.decisions == one_shard.decisions
+        && capped.sim_secs == one_shard.sim_secs;
+
+    let baseline_cfg = CdConfig {
+        pooled: false,
+        ..base_cfg
+    };
+    let base_a = cluster_day_run(&baseline_cfg);
+    let base_b = cluster_day_run(&baseline_cfg);
+    let base_c = cluster_day_run(&baseline_cfg);
+    let baseline_identical = base_a.metrics_json == one_shard.metrics_json
+        && base_a.decisions == one_shard.decisions
+        && base_a.sim_secs == one_shard.sim_secs;
+    let baseline_wall = base_a.wall_secs.min(base_b.wall_secs).min(base_c.wall_secs);
+    let baseline_eps = base_a.trace_events as f64 / baseline_wall.max(1e-9);
+    let pooled_eps = cells[0].events_per_sec();
+
+    let large_cfg = CdConfig::sized(smoke, CD_HOSTS_PER_SEGMENT_LARGE);
+    let large_a = cluster_day_run(&large_cfg);
+    let large_b = cluster_day_run(&large_cfg);
+    let small_wall = cells[0].wall_secs;
+    let large_wall = large_a.wall_secs.min(large_b.wall_secs);
+    let per_event_small = small_wall / cells[0].trace_events as f64;
+    let per_event_large = large_wall / large_a.trace_events as f64;
+
+    CdMeasurement {
+        cells,
+        capped_identical,
+        baseline_identical,
+        baseline_events_per_sec: baseline_eps,
+        pooling_ratio: pooled_eps / baseline_eps.max(1e-9),
+        per_event_small,
+        per_event_large,
+        hosts_small: base_cfg.segments * base_cfg.hosts_per_segment,
+        hosts_large: large_cfg.segments * large_cfg.hosts_per_segment,
+        flatness: per_event_large / per_event_small.max(1e-12),
+        flatness_measurable: small_wall >= FLATNESS_WALL_FLOOR && large_wall >= FLATNESS_WALL_FLOOR,
+    }
+}
+
+/// Render the `"cluster_day"` member of `BENCH_SIM.json` (key + object,
+/// two-space indent, no trailing comma) for
+/// [`crate::splice::merge_section`].
+pub fn render_cluster_day(m: &CdMeasurement, smoke: bool, host_cpus: usize) -> String {
+    use crate::json;
+    let base = &m.cells[0];
+    let mut o = String::new();
+    o.push_str("  \"cluster_day\": {\n");
+    o.push_str(&format!(
+        "    \"mode\": {},\n",
+        json::quote(if smoke { "smoke" } else { "full" })
+    ));
+    o.push_str(&format!(
+        "    \"segments\": {CD_SEGMENTS},\n    \"hosts\": {},\n    \"trace_events\": {},\n",
+        m.hosts_small, base.trace_events
+    ));
+    o.push_str(&format!(
+        "    \"epoch_s\": {},\n    \"vp_sample\": {VP_SAMPLE},\n    \"host_cpus\": {host_cpus},\n",
+        EPOCH.as_nanos() / 1_000_000_000
+    ));
+    o.push_str("    \"shards\": {");
+    for (i, c) in m.cells.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!(
+            "\n      {}: {{\"trace_events\": {}, \"kernel_events\": {}, \"migrations\": {}, \"decisions\": {}, \"wall_secs\": {:.4}, \"sim_secs\": {:.2}, \"events_per_sec\": {:.0}, \"replay_identical\": {}, \"matches_one_shard\": {}}}",
+            json::quote(&c.shards.to_string()),
+            c.trace_events,
+            c.kernel_events,
+            c.migrations,
+            c.decisions,
+            c.wall_secs,
+            c.sim_secs,
+            c.events_per_sec(),
+            c.replay_identical,
+            c.matches_one_shard,
+        ));
+    }
+    o.push_str("\n    },\n");
+    o.push_str(&format!(
+        "    \"capped_pool_identical\": {},\n    \"baseline_identical\": {},\n",
+        m.capped_identical, m.baseline_identical
+    ));
+    o.push_str(&format!(
+        "    \"baseline_events_per_sec\": {:.0},\n    \"pooled_events_per_sec\": {:.0},\n    \"pooling_ratio\": {:.3},\n",
+        m.baseline_events_per_sec,
+        base.events_per_sec(),
+        m.pooling_ratio
+    ));
+    o.push_str(&format!(
+        "    \"flatness\": {{\"hosts_small\": {}, \"hosts_large\": {}, \"per_event_ns_small\": {:.0}, \"per_event_ns_large\": {:.0}, \"ratio\": {:.3}, \"measurable\": {}}}\n",
+        m.hosts_small,
+        m.hosts_large,
+        m.per_event_small * 1e9,
+        m.per_event_large * 1e9,
+        m.flatness,
+        m.flatness_measurable
+    ));
+    o.push_str("  }");
+    o
+}

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_day;
 pub mod experiments;
 pub mod json;
 pub mod multi_seg;

@@ -1,0 +1,73 @@
+//! Replay-identity properties of the trace-driven cluster day.
+//!
+//! Small configurations of the same scenario the `cluster_day` binary
+//! gates at scale: decisions, merged metrics JSON and virtual end time
+//! must be a pure function of the trace — not of the shard count, the
+//! carrier-pool cap, or the pooled/baseline cost mode.
+
+use bench_tables::cluster_day::{cluster_day_run, CdConfig, CdRun};
+use proptest::prelude::*;
+
+/// A tiny day: 4 segments × 8 hosts, a few hundred VPs.
+fn tiny(seed: u64, shards: usize, pooled: bool, max_idle_carriers: Option<usize>) -> CdConfig {
+    CdConfig {
+        seed,
+        segments: 4,
+        hosts_per_segment: 8,
+        arrivals: 600,
+        shards,
+        pooled,
+        max_idle_carriers,
+    }
+}
+
+fn observables(r: &CdRun) -> (Vec<Vec<String>>, String, f64) {
+    (r.decisions.clone(), r.metrics_json.clone(), r.sim_secs)
+}
+
+#[test]
+fn tiny_day_does_real_scheduling_work() {
+    let r = cluster_day_run(&tiny(7, 1, true, None));
+    assert_eq!(r.trace_events, 1200);
+    assert!(
+        r.migrations > 0,
+        "owner reclaim at hour 8 forces migrations"
+    );
+    assert!(r.decisions.iter().map(Vec::len).sum::<usize>() > 0);
+    // One pulse per epoch per segment made it around the ring.
+    assert_eq!(r.pulses, 96 * 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sharding is a wall-clock-only knob: 1, 2 and 4 shards replay the
+    /// same day byte-for-byte.
+    #[test]
+    fn replay_is_identical_across_shard_counts(seed in 0u64..1000) {
+        let base = observables(&cluster_day_run(&tiny(seed, 1, true, None)));
+        for shards in [2usize, 4] {
+            let r = observables(&cluster_day_run(&tiny(seed, shards, true, None)));
+            prop_assert_eq!(&r, &base, "diverged at {} shards", shards);
+        }
+    }
+
+    /// Capping the carrier pool reuses OS threads aggressively but must
+    /// not move any virtual-time observable.
+    #[test]
+    fn replay_is_identical_with_capped_carrier_pool(seed in 0u64..1000) {
+        let free = observables(&cluster_day_run(&tiny(seed, 2, true, None)));
+        let capped = observables(&cluster_day_run(&tiny(seed, 2, true, Some(1))));
+        prop_assert_eq!(&capped, &free);
+    }
+
+    /// The pooled hot path (interned metric ids, mailbox pool, actor
+    /// slot recycling, O(1) residency counts) is cost-only: the
+    /// baseline mode replays the identical day.
+    #[test]
+    fn pooled_and_baseline_modes_are_observably_identical(seed in 0u64..1000) {
+        let pooled = observables(&cluster_day_run(&tiny(seed, 1, true, None)));
+        let baseline = observables(&cluster_day_run(&tiny(seed, 1, false, None)));
+        prop_assert_eq!(&baseline, &pooled);
+    }
+}

@@ -93,6 +93,9 @@ pub struct Gs {
     /// these to prove per-decision cost stays flat as the cluster grows.
     pub(crate) decide_wall_ns: Arc<AtomicU64>,
     pub(crate) decide_calls: Arc<AtomicU64>,
+    /// The central scheduler's event mailbox; `None` in decentralized
+    /// mode, which has no central loop to feed.
+    pub(crate) feed: Option<Mailbox<MonitorEvent>>,
 }
 
 /// Configures a global scheduler before it spawns; see [`Gs::builder`].
@@ -172,6 +175,7 @@ impl GsBuilder<'_> {
                 }
             }));
         }
+        let feed = mb.clone();
         let cluster2 = Arc::clone(cluster);
         let dec = Arc::clone(&decisions);
         let decide_wall_ns = Arc::new(AtomicU64::new(0));
@@ -259,7 +263,7 @@ impl GsBuilder<'_> {
                         // residency: refresh both endpoints in place.
                         let mut ix = index.lock();
                         for h in [src, dst] {
-                            let units: usize = targets.iter().map(|t| t.units_on(h).len()).sum();
+                            let units: usize = targets.iter().map(|t| t.units_count(h)).sum();
                             ix.set_residency(h, units, cluster2.host(h).memory_overcommit());
                         }
                     }
@@ -272,6 +276,7 @@ impl GsBuilder<'_> {
             monitor,
             decide_wall_ns,
             decide_calls,
+            feed: Some(feed),
         }
     }
 }
@@ -337,6 +342,13 @@ impl Gs {
     /// The monitor feeding this scheduler.
     pub fn monitor(&self) -> &MonitorHandle {
         &self.monitor
+    }
+
+    /// The central scheduler's event mailbox, for driving it from sources
+    /// other than the installed monitor — e.g. a [`crate::LoadFeed`]
+    /// replaying a trace-driven workload. `None` in decentralized mode.
+    pub fn feed(&self) -> Option<&Mailbox<MonitorEvent>> {
+        self.feed.as_ref()
     }
 }
 

@@ -21,7 +21,9 @@ mod target;
 
 pub use gs::{Decision, Gs, GsBuilder};
 pub use index::{LoadIndex, ScoreIndex};
-pub use monitor::{Load, Monitor, MonitorBuilder, MonitorEvent, MonitorHandle, SENSE_DELAY};
+pub use monitor::{
+    Load, LoadFeed, Monitor, MonitorBuilder, MonitorEvent, MonitorHandle, SENSE_DELAY,
+};
 pub use policy::{
     decentralized_gossip, destination_swap, load_threshold, owner_reclaim, rebalance, ClusterView,
     GossipConfig, Placement, SchedulingPolicy, ViewState, DECISION_COST, MAX_REDECISIONS,

@@ -91,6 +91,7 @@ pub(crate) fn spawn_decentralized(
         // No central decide loop to time in this mode.
         decide_wall_ns: Arc::new(AtomicU64::new(0)),
         decide_calls: Arc::new(AtomicU64::new(0)),
+        feed: None,
     }
 }
 

@@ -270,6 +270,69 @@ impl MonitorBuilder<'_> {
     }
 }
 
+/// A dynamic, batched load-report source for the central scheduler.
+///
+/// The trace-driven monitor pre-schedules every load transition at install
+/// time; workloads whose load is *computed as the run unfolds* (the
+/// cluster-day replay driver) cannot. `LoadFeed` is the dynamic
+/// counterpart: callers buffer per-host deltas with [`LoadFeed::report`] —
+/// newest observation wins, no event or allocation per report — and
+/// [`LoadFeed::flush`] delivers everything accumulated since the last
+/// flush as *one* coalesced event (deltas ascending by host id, exactly
+/// the [`MonitorEvent::LoadBatch`] wire convention), so a thousand
+/// arrivals in one scheduling epoch cost the GS one wakeup, not a
+/// thousand. Counter conventions match the install-time monitor:
+/// `cpe.monitor.events` counts individual host reports,
+/// `cpe.monitor.batches` counts coalesced multi-host deliveries.
+pub struct LoadFeed {
+    out: Mailbox<MonitorEvent>,
+    metrics: Metrics,
+    pending: BTreeMap<HostId, Load>,
+}
+
+impl LoadFeed {
+    /// A feed delivering into `out` (typically [`crate::Gs::feed`]),
+    /// recording into `metrics`.
+    pub fn new(out: Mailbox<MonitorEvent>, metrics: Metrics) -> LoadFeed {
+        LoadFeed {
+            out,
+            metrics,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Buffer one observation. Later reports for the same host overwrite
+    /// earlier ones (newest wins), mirroring the GS's own fold rule.
+    pub fn report(&mut self, host: HostId, load: Load) {
+        self.pending.insert(host, load);
+    }
+
+    /// Number of hosts with a buffered delta.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Deliver all buffered deltas as one event; no-op when empty.
+    pub fn flush(&mut self, ctx: &simcore::SimCtx) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.metrics
+            .counter_add("cpe.monitor.events", self.pending.len() as u64);
+        let ev = if self.pending.len() == 1 {
+            let (&h, &l) = self.pending.iter().next().unwrap();
+            self.pending.clear();
+            MonitorEvent::LoadChanged(h, l)
+        } else {
+            self.metrics.counter_add("cpe.monitor.batches", 1);
+            let batch: Vec<(HostId, Load)> =
+                std::mem::take(&mut self.pending).into_iter().collect();
+            MonitorEvent::LoadBatch(batch)
+        };
+        self.out.send(ctx, ev);
+    }
+}
+
 /// Where an installed monitor delivers events.
 enum Routing {
     /// A central GS: every host's events land in one mailbox.
@@ -508,6 +571,51 @@ mod tests {
         );
         assert_eq!(seen[1], MonitorEvent::LoadChanged(HostId(1), Load(1.0)));
         // Three reports, one of which was a real (≥2-host) batch.
+        assert_eq!(cluster.metrics().counter("cpe.monitor.events"), 3);
+        assert_eq!(cluster.metrics().counter("cpe.monitor.batches"), 1);
+    }
+
+    #[test]
+    fn load_feed_flushes_coalesced_batches() {
+        let mut b = Cluster::builder(Calib::hp720_ethernet());
+        b.quiet_hp720s(3);
+        let cluster = Arc::new(b.build());
+        cluster.metrics().set_enabled(true);
+        let mb: Mailbox<MonitorEvent> = Mailbox::new();
+        let out = mb.clone();
+        let metrics = cluster.metrics();
+        cluster.sim.spawn("driver", move |ctx| {
+            let mut feed = LoadFeed::new(out.clone(), metrics);
+            // Empty flush is a no-op — no event, no counters.
+            feed.flush(&ctx);
+            // Out-of-order reports plus a same-host overwrite: the flush
+            // must deliver one ascending batch with the newest values.
+            feed.report(HostId(2), Load(3.0));
+            feed.report(HostId(0), Load(1.0));
+            feed.report(HostId(2), Load(4.0));
+            assert_eq!(feed.pending(), 2);
+            feed.flush(&ctx);
+            assert_eq!(feed.pending(), 0);
+            // A single buffered host stays a plain LoadChanged.
+            feed.report(HostId(1), Load(2.0));
+            feed.flush(&ctx);
+            out.close(&ctx);
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        cluster.sim.spawn("gs", move |ctx| {
+            while let Some(ev) = mb.recv(&ctx) {
+                s.lock().unwrap().push(ev);
+            }
+        });
+        cluster.sim.run().unwrap();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                MonitorEvent::LoadBatch(vec![(HostId(0), Load(1.0)), (HostId(2), Load(4.0))]),
+                MonitorEvent::LoadChanged(HostId(1), Load(2.0)),
+            ]
+        );
         assert_eq!(cluster.metrics().counter("cpe.monitor.events"), 3);
         assert_eq!(cluster.metrics().counter("cpe.monitor.batches"), 1);
     }

@@ -282,7 +282,7 @@ impl<'a> ClusterView<'a> {
 
     /// Units resident on `host` across all managed applications.
     pub fn units_everywhere(&self, host: HostId) -> usize {
-        self.targets.iter().map(|t| t.units_on(host).len()).sum()
+        self.targets.iter().map(|t| t.units_count(host)).sum()
     }
 
     /// External (non-PVM) load on `host` as the scheduler knows it: the
@@ -352,7 +352,7 @@ impl<'a> ClusterView<'a> {
     /// spawn or exit moved it since the last refresh. Returns true when a
     /// correction was applied (the host's rank may have changed).
     fn verify_residency(&self, ix: &mut LoadIndex, h: HostId) -> bool {
-        let units: usize = self.targets.iter().map(|t| t.units_on(h).len()).sum();
+        let units: usize = self.targets.iter().map(|t| t.units_count(h)).sum();
         let overcommit = self.cluster.host(h).memory_overcommit();
         if ix.residency(h) != (units, overcommit) {
             ix.set_residency(h, units, overcommit);
@@ -410,7 +410,7 @@ impl<'a> ClusterView<'a> {
                 }
                 if ix.residency(h)
                     != (
-                        self.targets.iter().map(|t| t.units_on(h).len()).sum(),
+                        self.targets.iter().map(|t| t.units_count(h)).sum(),
                         self.cluster.host(h).memory_overcommit(),
                     )
                 {
@@ -474,7 +474,7 @@ pub(crate) fn seed_index(
     for host in cluster.hosts() {
         let h = host.id;
         ix.set_external(h, host.spec.load.load_at(now));
-        let units: usize = targets.iter().map(|t| t.units_on(h).len()).sum();
+        let units: usize = targets.iter().map(|t| t.units_count(h)).sum();
         ix.set_residency(h, units, host.memory_overcommit());
         ix.set_segment(h, cluster.net().segment_of(h));
     }

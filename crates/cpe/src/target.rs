@@ -21,6 +21,13 @@ pub trait MigrationTarget: Send + Sync {
     fn kind(&self) -> &'static str;
     /// Movable work units (tids) currently on `host`.
     fn units_on(&self, host: HostId) -> Vec<Tid>;
+    /// Number of movable units on `host`. The scheduler's residency checks
+    /// call this far more often than they need the tids themselves, so
+    /// implementations should override the default (which materializes the
+    /// full `units_on` vector) with an allocation-free count.
+    fn units_count(&self, host: HostId) -> usize {
+        self.units_on(host).len()
+    }
     /// Can this unit move to `dst`?
     fn can_migrate(&self, unit: Tid, dst: HostId) -> bool;
     /// Order the unit off its host (to `dst` where that is meaningful) and
@@ -44,6 +51,9 @@ impl MigrationTarget for MpvmTarget {
             .into_iter()
             .filter(|t| self.0.pvm().host_of(*t) == Some(host))
             .collect()
+    }
+    fn units_count(&self, host: HostId) -> usize {
+        self.0.apps_on(host)
     }
     fn can_migrate(&self, unit: Tid, dst: HostId) -> bool {
         self.0.migration_compatible(unit, dst)
@@ -70,6 +80,9 @@ impl MigrationTarget for UpvmTarget {
             .filter(|(_, h, _)| *h == host)
             .map(|(t, _, _)| t)
             .collect()
+    }
+    fn units_count(&self, host: HostId) -> usize {
+        self.0.ulps_on(host)
     }
     fn can_migrate(&self, _unit: Tid, dst: HostId) -> bool {
         // ULPs share MPVM's compatibility constraint; host classes are
@@ -130,6 +143,13 @@ impl MigrationTarget for AdmTarget {
             .filter(|(_, h)| *h == host)
             .map(|(t, _)| *t)
             .collect()
+    }
+    fn units_count(&self, host: HostId) -> usize {
+        self.workers
+            .lock()
+            .iter()
+            .filter(|(_, h)| *h == host)
+            .count()
     }
     fn can_migrate(&self, _unit: Tid, _dst: HostId) -> bool {
         // Data moves anywhere — ADM's heterogeneity strength (§3.3.3).

@@ -293,6 +293,87 @@ pub const MAX_PRECOPY_ROUNDS: usize = 8;
 /// frozen copy it replaces.
 pub const PRECOPY_MIN_CHUNKS: usize = 3;
 
+/// Absolute ceiling on pre-copy rounds under the adaptive policy: even a
+/// copy that keeps converging fast stops here. Twice the fixed budget —
+/// extension rounds are only granted while each one at least halves the
+/// dirty set, so the extra wire time is bounded by one round's worth.
+pub const PRECOPY_HARD_ROUND_CAP: usize = 2 * MAX_PRECOPY_ROUNDS;
+
+/// A round that shrinks the dirty set to at most this fraction of the
+/// previous round's is "converging fast": the estimator grants such a copy
+/// rounds beyond [`MAX_PRECOPY_ROUNDS`] (up to the hard cap), because one
+/// or two more rounds will collapse the residue to the tail and shrink the
+/// freeze window far more than the extra live-copy time costs.
+pub const PRECOPY_EXTEND_RATIO: f64 = 0.5;
+
+/// Observational convergence policy for the pre-copy loop.
+///
+/// The fixed policy froze after [`MAX_PRECOPY_ROUNDS`] rounds or when the
+/// dirty set reached [`PRECOPY_DIRTY_TAIL_CHUNKS`], whatever the observed
+/// dirty behavior. This estimator watches the per-round residue instead
+/// and picks the round count from it:
+///
+/// * **Converged** — residue at or below the tail: freeze (same rule as
+///   before).
+/// * **Stalled** — a round that failed to shrink the dirty set at all. The
+///   dirty cursor model is deterministic, so a non-shrinking round means
+///   the VP dirties at least as fast as the wire drains and every further
+///   round would re-ship the same steady-state set. Freeze *now*: the tail
+///   is byte-for-byte what the fixed policy would have shipped after
+///   burning the remaining round budget on the wire.
+/// * **Converging slowly** — still shrinking at the fixed budget, but not
+///   fast: freeze at the budget, like the fixed policy.
+/// * **Converging fast** — at least halving per round at the budget: keep
+///   copying up to [`PRECOPY_HARD_ROUND_CAP`]; the frozen tail comes out
+///   no larger (usually much smaller) than the fixed policy's.
+///
+/// Under this rule the frozen residue is never larger than the fixed
+/// policy's for the same dirty sequence — the property
+/// `adaptive_tail_never_exceeds_fixed_policy` proves it over arbitrary
+/// decay curves, and the `mpvm.precopy.residue_bytes` histogram gates it
+/// end-to-end.
+#[derive(Debug, Default)]
+pub struct PrecopyEstimator {
+    rounds: usize,
+    prev_pending: Option<usize>,
+    /// Last observed shrink ratio (pending / previous pending); `None`
+    /// until two rounds have been observed.
+    last_ratio: Option<f64>,
+}
+
+impl PrecopyEstimator {
+    /// Fresh estimator; one per migration attempt.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the dirty residue left after a pre-copy round. Returns
+    /// `true` when the loop should freeze and ship the tail.
+    pub fn observe(&mut self, pending_chunks: usize) -> bool {
+        self.rounds += 1;
+        let prev = self.prev_pending.replace(pending_chunks);
+        if pending_chunks <= PRECOPY_DIRTY_TAIL_CHUNKS {
+            return true; // converged to the bounded tail
+        }
+        if let Some(prev) = prev {
+            if pending_chunks >= prev {
+                return true; // stalled: steady state, rounds can't shrink it
+            }
+            self.last_ratio = Some(pending_chunks as f64 / prev as f64);
+        }
+        if self.rounds >= PRECOPY_HARD_ROUND_CAP {
+            return true;
+        }
+        self.rounds >= MAX_PRECOPY_ROUNDS
+            && !self.last_ratio.is_some_and(|r| r <= PRECOPY_EXTEND_RATIO)
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ChunkState {
     NeverSent,
@@ -578,6 +659,133 @@ mod precopy_tests {
         assert_eq!(a.bytes(), b.bytes());
         assert_ne!(a.bytes(), c.bytes());
         assert_eq!(a.bytes().len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod estimator_tests {
+    use super::*;
+
+    /// The fixed policy this estimator replaced, over the same observed
+    /// sequence: freeze at the tail or at the round budget.
+    fn fixed_policy_tail(seq: &[usize]) -> usize {
+        for (k, &p) in seq.iter().enumerate() {
+            if p <= PRECOPY_DIRTY_TAIL_CHUNKS || k + 1 >= MAX_PRECOPY_ROUNDS {
+                return p;
+            }
+        }
+        *seq.last().unwrap()
+    }
+
+    /// Run the estimator over the sequence; returns (rounds, frozen tail).
+    fn adaptive(seq: &[usize]) -> (usize, usize) {
+        let mut est = PrecopyEstimator::new();
+        for &p in seq {
+            if est.observe(p) {
+                return (est.rounds(), p);
+            }
+        }
+        panic!("estimator never froze over {seq:?}");
+    }
+
+    /// The deterministic dirty-cursor model's residue family: geometric
+    /// decay (or growth) toward a steady state. The cursor dirties a
+    /// deterministic chunk count per round, so a round that fails to
+    /// shrink the set means the steady state is *reached* — the sequence
+    /// is clamped there, matching the model the estimator's stall rule
+    /// relies on.
+    fn decay_seq(p0: usize, ratio: f64, steady: usize, len: usize) -> Vec<usize> {
+        let mut seq: Vec<usize> = (0..len)
+            .map(|k| ((p0 as f64 * ratio.powi(k as i32)).ceil() as usize).max(steady))
+            .collect();
+        for k in 1..seq.len() {
+            if seq[k] >= seq[k - 1] {
+                let v = seq[k];
+                seq[k..].fill(v);
+                break;
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn converged_copy_freezes_at_the_tail_like_before() {
+        // 64, 32, 16, 8, 4, 2 — reaches the tail inside the budget; the
+        // adaptive policy must behave exactly like the fixed one.
+        let seq = decay_seq(64, 0.5, 0, 20);
+        let (rounds, tail) = adaptive(&seq);
+        assert_eq!(tail, 2);
+        assert_eq!(rounds, 6);
+        assert_eq!(tail, fixed_policy_tail(&seq));
+    }
+
+    #[test]
+    fn stalled_copy_freezes_early_with_the_same_tail() {
+        // Steady state from round 2: the wire never outruns the dirtying.
+        // The fixed policy burned all 8 rounds re-shipping the same 50
+        // chunks; the estimator freezes after round 2 with the same tail.
+        let seq = decay_seq(50, 1.0, 50, 20);
+        let (rounds, tail) = adaptive(&seq);
+        assert_eq!(rounds, 2, "stall detected on the first non-shrink");
+        assert_eq!(tail, 50);
+        assert_eq!(tail, fixed_policy_tail(&seq));
+    }
+
+    #[test]
+    fn diverging_copy_freezes_before_it_grows() {
+        // A hypothetical runaway (each round dirties more than the last):
+        // freeze on the first non-shrinking round rather than chase it.
+        let seq = vec![10, 15, 23, 34, 51, 76, 114, 171];
+        let (rounds, tail) = adaptive(&seq);
+        assert_eq!(rounds, 2);
+        assert!(tail < fixed_policy_tail(&seq));
+    }
+
+    #[test]
+    fn fast_converging_copy_earns_extension_rounds() {
+        // Halving from 1000: at the fixed budget (round 8) the residue is
+        // still ~8 chunks; the fixed policy shipped those frozen. Halving
+        // qualifies for extension, so the adaptive policy keeps copying
+        // live until the tail is reached.
+        let seq = decay_seq(1000, 0.5, 0, 20);
+        let (rounds, tail) = adaptive(&seq);
+        assert!(rounds > MAX_PRECOPY_ROUNDS);
+        assert!(rounds <= PRECOPY_HARD_ROUND_CAP);
+        assert!(tail <= PRECOPY_DIRTY_TAIL_CHUNKS);
+        assert!(tail < fixed_policy_tail(&seq));
+    }
+
+    #[test]
+    fn slowly_converging_copy_still_stops_at_the_budget() {
+        // Shrinking 10% per round: progress, but extension would spend
+        // many live rounds for little tail reduction — stop at the budget
+        // exactly like the fixed policy.
+        let seq = decay_seq(1000, 0.9, 0, 30);
+        let (rounds, tail) = adaptive(&seq);
+        assert_eq!(rounds, MAX_PRECOPY_ROUNDS);
+        assert_eq!(tail, fixed_policy_tail(&seq));
+    }
+
+    proptest::proptest! {
+        /// The regression gate: over the whole decay family the dirty-
+        /// cursor model produces, the adaptive policy never freezes a
+        /// larger residue than the fixed policy did, and never exceeds the
+        /// hard round cap.
+        #[test]
+        fn adaptive_tail_never_exceeds_fixed_policy(
+            p0 in 1usize..5000,
+            ratio in 0.0f64..1.5,
+            steady in 0usize..200,
+        ) {
+            let seq = decay_seq(p0, ratio, steady, PRECOPY_HARD_ROUND_CAP + 4);
+            let (rounds, tail) = adaptive(&seq);
+            proptest::prop_assert!(rounds <= PRECOPY_HARD_ROUND_CAP);
+            proptest::prop_assert!(
+                tail <= fixed_policy_tail(&seq),
+                "adaptive tail {} > fixed tail {} over {:?}",
+                tail, fixed_policy_tail(&seq), seq
+            );
+        }
     }
 }
 

@@ -126,6 +126,16 @@ impl Mpvm {
         self.apps.lock().iter().map(|a| a.current).collect()
     }
 
+    /// Number of app tasks currently resident on `host`. Allocation-free
+    /// residency probe for the scheduler's verification hot path.
+    pub fn apps_on(&self, host: HostId) -> usize {
+        self.apps
+            .lock()
+            .iter()
+            .filter(|a| self.pvm.host_of(a.current) == Some(host))
+            .count()
+    }
+
     /// Agent tids of every app task except the one currently identified by
     /// `me` (the flush/restart broadcast set: "all other processes").
     pub fn peer_agents(&self, me: Tid) -> Vec<Tid> {

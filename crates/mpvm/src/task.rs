@@ -8,9 +8,7 @@
 //! while inside the library, which is uninterruptible (the re-entrancy
 //! restriction of §2.1).
 
-use crate::checkpoint::{
-    DirtyTracker, MAX_PRECOPY_ROUNDS, PRECOPY_DIRTY_TAIL_CHUNKS, PRECOPY_MIN_CHUNKS,
-};
+use crate::checkpoint::{DirtyTracker, PrecopyEstimator, PRECOPY_MIN_CHUNKS};
 use crate::proto::{self, MigrateOrder};
 use crate::shared::MigShared;
 use crate::system::Mpvm;
@@ -498,6 +496,7 @@ impl MigTask {
         };
 
         if live {
+            let mut est = PrecopyEstimator::new();
             loop {
                 let round: Vec<usize> = if stream.stats.rounds == 0 {
                     (0..n).collect()
@@ -529,9 +528,7 @@ impl MigTask {
                     stream.stats.rounds,
                     round.len()
                 );
-                if pending <= PRECOPY_DIRTY_TAIL_CHUNKS
-                    || stream.stats.rounds as usize >= MAX_PRECOPY_ROUNDS
-                {
+                if est.observe(pending) {
                     break;
                 }
             }

@@ -37,8 +37,10 @@ mod trace;
 mod world;
 
 pub use error::{ActorReport, SimError};
-pub use mailbox::{Interrupted, Mailbox};
-pub use metrics::{Histogram, Metrics, MetricsReport, Span, SpanRecord};
+pub use mailbox::{Interrupted, Mailbox, MailboxPool};
+pub use metrics::{
+    CounterId, GaugeId, Histogram, HistogramId, Metrics, MetricsReport, Span, SpanRecord,
+};
 pub use shard::{ShardLink, ShardedSim};
 pub use sim::{AdvanceOutcome, Sim, SimCtx};
 pub use time::{SimDuration, SimTime};

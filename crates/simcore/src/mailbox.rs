@@ -220,6 +220,73 @@ impl<T: Send + 'static> Mailbox<T> {
     }
 }
 
+/// A recycling pool of [`Mailbox`]es for churn-heavy workloads.
+///
+/// Spawning one short-lived process per arrival allocates a mailbox
+/// (queue, lock, shared handle) that dies with the process; at hundreds of
+/// thousands of arrivals the allocator churn is pure overhead. A pool
+/// [`release`](MailboxPool::release)s the mailbox at teardown and hands
+/// the same storage back on the next [`acquire`](MailboxPool::acquire):
+/// arrival cost stays flat no matter how many processes have come and gone
+/// before.
+///
+/// Recycling is safe only for a mailbox nobody else still references, so
+/// `acquire` skips (and permanently drops) released mailboxes with other
+/// live handles — a clone captured by an in-flight kernel event keeps its
+/// mailbox alive and merely costs the pool one slot. Resetting drops any
+/// messages still queued, exactly like process teardown discarding
+/// undelivered mail.
+pub struct MailboxPool<T> {
+    free: Mutex<Vec<Mailbox<T>>>,
+}
+
+impl<T: Send + 'static> Default for MailboxPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> MailboxPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        MailboxPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Released mailboxes currently waiting for reuse.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Hand out a fresh-looking mailbox, reusing released storage when a
+    /// uniquely held one is available.
+    pub fn acquire(&self) -> Mailbox<T> {
+        let mut free = self.free.lock();
+        while let Some(mb) = free.pop() {
+            if Arc::strong_count(&mb.shared) > 1 {
+                // Someone still holds a handle: recycling would alias two
+                // logical mailboxes. Forget this slot and try the next.
+                continue;
+            }
+            let mut st = mb.shared.lock();
+            st.queue.clear();
+            st.waiter = None;
+            st.closed = false;
+            drop(st);
+            return mb;
+        }
+        Mailbox::new()
+    }
+
+    /// Return a mailbox to the pool. The caller must be done with it —
+    /// its remaining clones should be dropped (or known dead); whatever is
+    /// still queued is discarded at the next reuse.
+    pub fn release(&self, mb: Mailbox<T>) {
+        self.free.lock().push(mb);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +482,54 @@ mod tests {
             assert_eq!(Arc::strong_count(&buf), 1);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn pool_recycles_unique_mailboxes() {
+        let pool: MailboxPool<u32> = MailboxPool::new();
+        let a = pool.acquire();
+        let a_shared = Arc::as_ptr(&a.shared);
+        pool.release(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.acquire();
+        // Same storage came back, fully reset.
+        assert_eq!(Arc::as_ptr(&b.shared), a_shared);
+        assert!(b.is_empty());
+        assert!(!b.is_closed());
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_reset_clears_queue_and_closed_flag() {
+        let sim = Sim::new();
+        let pool: Arc<MailboxPool<u32>> = Arc::new(MailboxPool::new());
+        let p = Arc::clone(&pool);
+        sim.spawn("churn", move |ctx| {
+            let mb = p.acquire();
+            mb.send(&ctx, 42);
+            mb.close(&ctx);
+            p.release(mb);
+            let mb2 = p.acquire();
+            // Recycled: the stale message and the closed flag are gone.
+            assert_eq!(mb2.try_recv(), None);
+            mb2.send(&ctx, 7);
+            assert_eq!(mb2.recv(&ctx), Some(7));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn pool_skips_mailboxes_with_live_handles() {
+        let pool: MailboxPool<u32> = MailboxPool::new();
+        let a = pool.acquire();
+        let keep_alive = a.clone();
+        let a_shared = Arc::as_ptr(&a.shared);
+        pool.release(a);
+        let b = pool.acquire();
+        // The aliased slot was dropped from the pool, not handed out.
+        assert_ne!(Arc::as_ptr(&b.shared), a_shared);
+        assert_eq!(pool.idle(), 0);
+        drop(keep_alive);
     }
 
     #[test]

@@ -216,7 +216,28 @@ struct MetricsState {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
     spans: Vec<SpanRecord>,
+    // Interned slots: name formatted once at intern time, then updated by
+    // index — the arrival-path instruments record through these with no
+    // per-call allocation or key comparison. `None` marks a slot that was
+    // interned but never recorded, which stays out of reports (exactly
+    // like a name the string API never touched).
+    interned_counters: Vec<(String, Option<u64>)>,
+    interned_gauges: Vec<(String, Option<f64>)>,
+    interned_histograms: Vec<(String, Histogram)>,
 }
+
+/// Handle to an interned counter name; see [`Metrics::intern_counter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to an interned gauge name; see [`Metrics::intern_gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to an interned histogram name; see
+/// [`Metrics::intern_histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
 
 struct MetricsInner {
     enabled: AtomicBool,
@@ -268,18 +289,19 @@ impl Metrics {
         self.inner.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Add `delta` to a counter.
+    /// Add `delta` to a counter. Repeat calls for an existing name take
+    /// the in-place fast path — the name is only copied the first time it
+    /// is seen.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if !self.enabled() {
             return;
         }
-        *self
-            .inner
-            .state
-            .lock()
-            .counters
-            .entry(name.to_string())
-            .or_insert(0) += delta;
+        let mut st = self.inner.state.lock();
+        if let Some(v) = st.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            st.counters.insert(name.to_string(), delta);
+        }
     }
 
     /// Add `delta` to a counter whose name is built lazily — the closure
@@ -291,16 +313,18 @@ impl Metrics {
         *self.inner.state.lock().counters.entry(name()).or_insert(0) += delta;
     }
 
-    /// Set a gauge to `value` (last write wins).
+    /// Set a gauge to `value` (last write wins). Existing names update in
+    /// place without re-allocating the key.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if !self.enabled() {
             return;
         }
-        self.inner
-            .state
-            .lock()
-            .gauges
-            .insert(name.to_string(), value);
+        let mut st = self.inner.state.lock();
+        if let Some(v) = st.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            st.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Set a gauge whose name is built lazily.
@@ -311,17 +335,78 @@ impl Metrics {
         self.inner.state.lock().gauges.insert(name(), value);
     }
 
-    /// Record a duration observation into a named histogram.
+    /// Record a duration observation into a named histogram. Existing
+    /// names record in place without re-allocating the key.
     pub fn histogram_record(&self, name: &str, d: SimDuration) {
         if !self.enabled() {
             return;
         }
-        self.inner
-            .state
-            .lock()
-            .histograms
-            .entry(name.to_string())
-            .or_default()
+        let mut st = self.inner.state.lock();
+        if let Some(h) = st.histograms.get_mut(name) {
+            h.record(d);
+        } else {
+            let mut h = Histogram::new();
+            h.record(d);
+            st.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Intern a counter name, formatting it exactly once. The returned
+    /// [`CounterId`] records by slot index — no allocation, hashing, or
+    /// key comparison per call — which is what keeps per-arrival
+    /// instrumentation off the workload replay hot path. Interned slots
+    /// fold into [`Metrics::report`] under their name exactly as if the
+    /// string API had been used (same name in both APIs accumulates into
+    /// one entry).
+    pub fn intern_counter(&self, name: impl Into<String>) -> CounterId {
+        let mut st = self.inner.state.lock();
+        st.interned_counters.push((name.into(), None));
+        CounterId(st.interned_counters.len() - 1)
+    }
+
+    /// Add `delta` to an interned counter.
+    #[inline]
+    pub fn counter_add_id(&self, id: CounterId, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let slot = &mut self.inner.state.lock().interned_counters[id.0].1;
+        *slot = Some(slot.unwrap_or(0) + delta);
+    }
+
+    /// Intern a gauge name; the [`GaugeId`] analog of
+    /// [`Metrics::intern_counter`].
+    pub fn intern_gauge(&self, name: impl Into<String>) -> GaugeId {
+        let mut st = self.inner.state.lock();
+        st.interned_gauges.push((name.into(), None));
+        GaugeId(st.interned_gauges.len() - 1)
+    }
+
+    /// Set an interned gauge (last write wins).
+    #[inline]
+    pub fn gauge_set_id(&self, id: GaugeId, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.state.lock().interned_gauges[id.0].1 = Some(value);
+    }
+
+    /// Intern a histogram name; the [`HistogramId`] analog of
+    /// [`Metrics::intern_counter`].
+    pub fn intern_histogram(&self, name: impl Into<String>) -> HistogramId {
+        let mut st = self.inner.state.lock();
+        st.interned_histograms.push((name.into(), Histogram::new()));
+        HistogramId(st.interned_histograms.len() - 1)
+    }
+
+    /// Record into an interned histogram.
+    #[inline]
+    pub fn histogram_record_id(&self, id: HistogramId, d: SimDuration) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.state.lock().interned_histograms[id.0]
+            .1
             .record(d);
     }
 
@@ -343,25 +428,49 @@ impl Metrics {
     }
 
     /// Snapshot everything recorded so far into an immutable report.
+    /// Interned slots that were ever recorded fold in under their names
+    /// (counters add, gauges take the later slot's value, histograms
+    /// merge), so the report is independent of which API recorded what.
     pub fn report(&self) -> MetricsReport {
         let s = self.inner.state.lock();
+        let mut counters = s.counters.clone();
+        for (name, v) in &s.interned_counters {
+            if let Some(v) = v {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        let mut gauges = s.gauges.clone();
+        for (name, v) in &s.interned_gauges {
+            if let Some(v) = v {
+                gauges.insert(name.clone(), *v);
+            }
+        }
+        let mut histograms = s.histograms.clone();
+        for (name, h) in &s.interned_histograms {
+            if h.count() > 0 {
+                histograms.entry(name.clone()).or_default().merge(h);
+            }
+        }
         MetricsReport {
-            counters: s.counters.clone(),
-            gauges: s.gauges.clone(),
-            histograms: s.histograms.clone(),
+            counters,
+            gauges,
+            histograms,
             spans: s.spans.clone(),
         }
     }
 
-    /// Current value of a counter (0 if never touched).
+    /// Current value of a counter (0 if never touched), summed across the
+    /// string-keyed entry and any interned slots of the same name.
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner
-            .state
-            .lock()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        let s = self.inner.state.lock();
+        let direct = s.counters.get(name).copied().unwrap_or(0);
+        let interned: u64 = s
+            .interned_counters
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| *v)
+            .sum();
+        direct + interned
     }
 }
 
@@ -666,6 +775,45 @@ mod tests {
         assert_eq!(r.counters["events"], 5);
         assert_eq!(r.gauges["net.wire.bytes_total"], 7.0);
         assert_eq!(r.gauges["only.in.a"], 1.0);
+    }
+
+    #[test]
+    fn interned_slots_fold_into_reports_like_string_names() {
+        let m = Metrics::new(true);
+        let c = m.intern_counter("arrivals");
+        let g = m.intern_gauge("resident");
+        let h = m.intern_histogram("wait_ns");
+        let never = m.intern_counter("untouched");
+        m.counter_add_id(c, 2);
+        m.counter_add("arrivals", 3); // same name via the string API
+        m.gauge_set("resident", 1.0);
+        m.gauge_set_id(g, 7.0); // interned slot folds after: last write wins
+        m.histogram_record_id(h, SimDuration::from_nanos(100));
+        m.histogram_record("wait_ns", SimDuration::from_nanos(100));
+        let _ = never;
+        let r = m.report();
+        assert_eq!(r.counters["arrivals"], 5);
+        assert_eq!(m.counter("arrivals"), 5);
+        assert_eq!(r.gauges["resident"], 7.0);
+        assert_eq!(r.histograms["wait_ns"].count(), 2);
+        // Interned-but-never-recorded slots stay out of the report.
+        assert!(!r.counters.contains_key("untouched"));
+        // The report renders identically to one built purely via strings.
+        let pure = Metrics::new(true);
+        pure.counter_add("arrivals", 5);
+        pure.gauge_set("resident", 7.0);
+        pure.histogram_record("wait_ns", SimDuration::from_nanos(100));
+        pure.histogram_record("wait_ns", SimDuration::from_nanos(100));
+        assert_eq!(r.to_json(), pure.report().to_json());
+    }
+
+    #[test]
+    fn disabled_registry_ignores_interned_records() {
+        let m = Metrics::disabled();
+        let c = m.intern_counter("c");
+        m.counter_add_id(c, 9);
+        assert_eq!(m.counter("c"), 0);
+        assert!(m.report().counters.is_empty());
     }
 
     #[test]

@@ -190,6 +190,21 @@ impl Sim {
         self.shared.pool.lock().max_idle = cap;
     }
 
+    /// Enable actor-slot recycling (off by default): exited actors' slots
+    /// are reused by later spawns instead of growing the slot vector
+    /// forever. Pair with [`Sim::set_max_idle_carriers`] and a
+    /// [`crate::MailboxPool`] so a churn-heavy workload's memory tracks
+    /// peak concurrency, not total spawns. See
+    /// [`World::set_actor_recycling`] for the aliasing caveats.
+    pub fn set_actor_recycling(&self, on: bool) {
+        self.shared.world.lock().set_actor_recycling(on);
+    }
+
+    /// Total actor slots ever allocated (see [`World::actor_slots`]).
+    pub fn actor_slots(&self) -> usize {
+        self.shared.world.lock().actor_slots()
+    }
+
     /// Spawn an actor. Its body starts executing (at the current virtual
     /// time) once the simulation runs and the token reaches it.
     pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ActorId
@@ -830,6 +845,46 @@ mod tests {
             ("slow", 100_000_000),
         ];
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn recycled_slots_carry_full_actor_lifecycle() {
+        // Sequential churn through real spawns: each short-lived actor
+        // advances, exits, and (with recycling on) hands its slot to the
+        // next. Slot storage must track peak concurrency, and virtual time
+        // must match the recycling-off run exactly.
+        let run = |recycle: bool| {
+            let sim = Sim::new();
+            sim.set_actor_recycling(recycle);
+            sim.set_max_idle_carriers(2);
+            let done = Arc::new(AtomicU64::new(0));
+            let d2 = Arc::clone(&done);
+            sim.spawn("driver", move |ctx| {
+                for i in 0..50u64 {
+                    let done = Arc::clone(&d2);
+                    let child = ctx.spawn(format!("vp{i}"), move |cctx| {
+                        cctx.advance(SimDuration::from_millis(3));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                    // Waking a child that already exited must be a no-op
+                    // even after its slot is recycled.
+                    ctx.advance(SimDuration::from_millis(5));
+                    ctx.with_world(|w| w.wake_actor(child));
+                }
+            });
+            let end = sim.run().unwrap();
+            (end, done.load(Ordering::Relaxed), sim.actor_slots())
+        };
+        let (end_off, done_off, slots_off) = run(false);
+        let (end_on, done_on, slots_on) = run(true);
+        assert_eq!(done_off, 50);
+        assert_eq!(done_on, 50);
+        assert_eq!(end_on, end_off, "recycling must not perturb virtual time");
+        assert_eq!(slots_off, 51, "driver + one slot per child");
+        assert!(
+            slots_on <= 3,
+            "churn reuses slots (got {slots_on}, expected <= driver + 2)"
+        );
     }
 
     #[test]

@@ -26,19 +26,36 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Identifies an actor for the lifetime of a simulation.
+///
+/// Packs the actor's slot index with a generation counter (like [`EventId`]).
+/// By default slots are never reused, so the generation is always zero and an
+/// id is just its index. When slot recycling is enabled
+/// ([`World::set_actor_recycling`]) an exited actor's slot may be handed to a
+/// later spawn with a bumped generation; a stale id then no longer matches
+/// the occupant, and [`World::wake_actor`] / [`World::post_signal`] /
+/// [`World::has_signal`] treat it as referring to an exited actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ActorId(pub(crate) usize);
+pub struct ActorId(pub(crate) u64);
 
 impl ActorId {
-    /// The slot index of this actor (stable, never reused).
+    pub(crate) fn new(index: usize, gen: u32) -> ActorId {
+        ActorId(((gen as u64) << 32) | index as u64)
+    }
+
+    /// The slot index of this actor. Stable for the actor's lifetime; reused
+    /// by later spawns only when slot recycling is enabled.
     pub fn index(self) -> usize {
-        self.0
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    pub(crate) fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
 impl std::fmt::Display for ActorId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "actor#{}", self.0)
+        write!(f, "actor#{}", self.index())
     }
 }
 
@@ -98,6 +115,9 @@ pub(crate) enum ActorState {
 pub(crate) struct ActorSlot {
     pub name: String,
     pub state: ActorState,
+    /// Bumped each time the slot is recycled for a new actor; the occupant's
+    /// id carries the matching generation. Always zero when recycling is off.
+    pub gen: u32,
     /// The slab node of this actor's pending wake entry, if one is queued.
     /// At most one wake entry per actor is ever live; superseding it (wake,
     /// interrupt) removes the old node from the heap.
@@ -158,6 +178,16 @@ pub(crate) type EnvelopeKey = (SimTime, u32, u64);
 pub struct World {
     pub(crate) now: SimTime,
     pub(crate) actors: Vec<ActorSlot>,
+    /// Slot indices of exited actors available for reuse. Only populated
+    /// when `recycle_actors` is on.
+    free_actors: Vec<u32>,
+    /// Opt-in: reuse exited actors' slots for later spawns. Off by default
+    /// because recycling makes slot indices — and therefore `actor#N`
+    /// display names — non-unique across a run, which would perturb golden
+    /// trace output. High-churn workloads (cluster-day replay) enable it so
+    /// slot storage stays proportional to peak concurrency, not total
+    /// spawns.
+    recycle_actors: bool,
     pub(crate) running: Option<ActorId>,
     pub(crate) live_actors: usize,
     /// Slab of pending-entry nodes (see module docs).
@@ -200,6 +230,8 @@ impl World {
         World {
             now: SimTime::ZERO,
             actors: Vec::new(),
+            free_actors: Vec::new(),
+            recycle_actors: false,
             running: None,
             live_actors: 0,
             nodes: Vec::new(),
@@ -350,18 +382,51 @@ impl World {
 
     // ---- scheduling API -----------------------------------------------
 
+    /// Enable or disable actor-slot recycling for subsequent spawns (see the
+    /// field docs on the `recycle_actors` flag). Takes effect for actors that
+    /// exit after the call; already-exited slots are never reclaimed
+    /// retroactively.
+    pub fn set_actor_recycling(&mut self, on: bool) {
+        self.recycle_actors = on;
+    }
+
+    /// Total actor slots ever allocated (live + exited). With recycling on,
+    /// this tracks peak concurrency rather than total spawns — the
+    /// cluster-day bench gates on it staying bounded under churn.
+    pub fn actor_slots(&self) -> usize {
+        self.actors.len()
+    }
+
     /// Create a new actor slot (with its own parker condvar) and queue its
-    /// first wake at the current time.
+    /// first wake at the current time. With recycling on, an exited slot is
+    /// reused (generation bumped) instead of growing the slot vector.
     pub(crate) fn add_actor(&mut self, name: String) -> ActorId {
-        let id = ActorId(self.actors.len());
-        self.actors.push(ActorSlot {
-            name,
-            state: ActorState::NotStarted,
-            pending_wake: None,
-            wake_reason: None,
-            signals: VecDeque::new(),
-            parker: Arc::new(Condvar::new()),
-        });
+        let id = if let Some(idx) = if self.recycle_actors {
+            self.free_actors.pop()
+        } else {
+            None
+        } {
+            let slot = &mut self.actors[idx as usize];
+            debug_assert!(matches!(slot.state, ActorState::Exited));
+            debug_assert!(slot.pending_wake.is_none() && slot.signals.is_empty());
+            slot.name = name;
+            slot.state = ActorState::NotStarted;
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.wake_reason = None;
+            ActorId::new(idx as usize, slot.gen)
+        } else {
+            let id = ActorId::new(self.actors.len(), 0);
+            self.actors.push(ActorSlot {
+                name,
+                state: ActorState::NotStarted,
+                gen: 0,
+                pending_wake: None,
+                wake_reason: None,
+                signals: VecDeque::new(),
+                parker: Arc::new(Condvar::new()),
+            });
+            id
+        };
         self.live_actors += 1;
         let now = self.now;
         self.queue_wake(id, now);
@@ -369,24 +434,35 @@ impl World {
     }
 
     /// Transition an actor to `Exited`: drop its signals and remove any
-    /// still-queued wake entry so nothing stale survives in the heap.
+    /// still-queued wake entry so nothing stale survives in the heap. With
+    /// recycling on, the slot joins the free list for a later spawn.
     pub(crate) fn mark_exited(&mut self, actor: ActorId) {
-        let slot = &mut self.actors[actor.0];
+        let slot = &mut self.actors[actor.index()];
         slot.state = ActorState::Exited;
         slot.signals.clear();
         if let Some(idx) = slot.pending_wake.take() {
             self.remove_node(idx);
         }
         self.live_actors -= 1;
+        if self.recycle_actors {
+            self.free_actors.push(actor.index() as u32);
+        }
+    }
+
+    /// The slot occupied by `actor`, or `None` if the id is stale (its slot
+    /// was recycled for a newer actor). Non-stale ids always resolve.
+    fn slot_mut(&mut self, actor: ActorId) -> Option<&mut ActorSlot> {
+        let slot = &mut self.actors[actor.index()];
+        (slot.gen == actor.gen()).then_some(slot)
     }
 
     /// Queue (or re-queue) the actor's single wake entry at `at`.
     pub(crate) fn queue_wake(&mut self, actor: ActorId, at: SimTime) {
-        if let Some(old) = self.actors[actor.0].pending_wake.take() {
+        if let Some(old) = self.actors[actor.index()].pending_wake.take() {
             self.remove_node(old);
         }
         let idx = self.insert_node(at, NodeKind::Wake { actor });
-        self.actors[actor.0].pending_wake = Some(idx);
+        self.actors[actor.index()].pending_wake = Some(idx);
     }
 
     /// Schedule a kernel event `after` from now. Returns a handle that can be
@@ -426,7 +502,9 @@ impl World {
     /// call is a no-op.
     pub fn wake_actor(&mut self, actor: ActorId) -> bool {
         let now = self.now;
-        let slot = &mut self.actors[actor.0];
+        let Some(slot) = self.slot_mut(actor) else {
+            return false; // stale id: the actor exited and its slot moved on
+        };
         match slot.state {
             ActorState::Parked { .. } => {
                 slot.state = ActorState::Ready;
@@ -444,7 +522,9 @@ impl World {
     /// the actor next checks for signals or enters an interruptible wait.
     pub fn post_signal(&mut self, actor: ActorId, sig: Signal) {
         let now = self.now;
-        let slot = &mut self.actors[actor.0];
+        let Some(slot) = self.slot_mut(actor) else {
+            return; // stale id: same treatment as a signal to an exited actor
+        };
         if matches!(slot.state, ActorState::Exited) {
             return;
         }
@@ -466,9 +546,11 @@ impl World {
         }
     }
 
-    /// True if the actor has at least one queued signal.
+    /// True if the actor has at least one queued signal. Stale ids (recycled
+    /// slots) report `false`.
     pub fn has_signal(&self, actor: ActorId) -> bool {
-        !self.actors[actor.0].signals.is_empty()
+        let slot = &self.actors[actor.index()];
+        slot.gen == actor.gen() && !slot.signals.is_empty()
     }
 
     /// Number of live (spawned, not yet exited) actors.
@@ -476,9 +558,10 @@ impl World {
         self.live_actors
     }
 
-    /// The name given to an actor at spawn time.
+    /// The name given to an actor at spawn time. With recycling on, a stale
+    /// id reports the slot's *current* occupant's name.
     pub fn actor_name(&self, actor: ActorId) -> &str {
-        &self.actors[actor.0].name
+        &self.actors[actor.index()].name
     }
 
     /// Record a trace event (used by protocol code to reproduce the paper's
@@ -507,7 +590,7 @@ impl World {
     }
 
     fn push_trace(&mut self, actor: Option<ActorId>, tag: &str, detail: String) {
-        let actor_name = actor.map(|a| self.actors[a.0].name.clone());
+        let actor_name = actor.map(|a| self.actors[a.index()].name.clone());
         self.trace.push(TraceEvent {
             at: self.now,
             actor,
@@ -652,7 +735,7 @@ impl World {
                 NodeKind::Wake { actor } => {
                     self.now = at;
                     self.events_processed += 1;
-                    let slot = &mut self.actors[actor.0];
+                    let slot = &mut self.actors[actor.index()];
                     debug_assert!(
                         !matches!(slot.state, ActorState::Exited),
                         "wake entry for exited actor survived"
@@ -688,13 +771,14 @@ mod tests {
                 reason: "test".into(),
                 interruptible: false,
             },
+            gen: 0,
             pending_wake: None,
             wake_reason: None,
             signals: VecDeque::new(),
             parker: Arc::new(Condvar::new()),
         });
         w.live_actors = 1;
-        (w, ActorId(0))
+        (w, ActorId::new(0, 0))
     }
 
     #[test]
@@ -750,6 +834,59 @@ mod tests {
         }
         // Same-time events fire in scheduling order.
         assert_eq!(*log.lock().unwrap(), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn recycling_off_keeps_slots_unique() {
+        let mut w = World::new();
+        let a = w.add_actor("a".into());
+        w.mark_exited(a);
+        let b = w.add_actor("b".into());
+        assert_ne!(a.index(), b.index(), "slots never reused by default");
+        assert_eq!(w.actor_slots(), 2);
+    }
+
+    #[test]
+    fn recycling_reuses_slots_with_bumped_generation() {
+        let mut w = World::new();
+        w.set_actor_recycling(true);
+        let a = w.add_actor("a".into());
+        w.mark_exited(a);
+        let b = w.add_actor("b".into());
+        assert_eq!(a.index(), b.index(), "exited slot reused");
+        assert_ne!(a, b, "generation distinguishes occupants");
+        assert_eq!(w.actor_slots(), 1, "slot vector did not grow");
+        assert_eq!(w.actor_name(b), "b");
+    }
+
+    #[test]
+    fn slot_count_tracks_peak_concurrency_under_churn() {
+        let mut w = World::new();
+        w.set_actor_recycling(true);
+        for i in 0..1000 {
+            let a = w.add_actor(format!("vp{i}"));
+            w.mark_exited(a);
+        }
+        assert_eq!(w.actor_slots(), 1, "sequential churn reuses one slot");
+    }
+
+    #[test]
+    fn stale_ids_are_noops_after_recycle() {
+        let mut w = World::new();
+        w.set_actor_recycling(true);
+        let a = w.add_actor("a".into());
+        w.mark_exited(a);
+        let b = w.add_actor("b".into());
+        // Park the new occupant so a live wake would succeed.
+        w.actors[b.index()].state = ActorState::Parked {
+            reason: "test".into(),
+            interruptible: true,
+        };
+        assert!(!w.wake_actor(a), "stale wake is a no-op");
+        w.post_signal(a, Box::new(()));
+        assert!(!w.has_signal(a), "stale signal dropped");
+        assert!(!w.has_signal(b), "stale signal did not leak to occupant");
+        assert!(w.wake_actor(b), "current occupant still wakeable");
     }
 
     #[test]

@@ -218,6 +218,16 @@ impl Upvm {
             .collect()
     }
 
+    /// Number of live ULPs currently resident on `host`. Allocation-free
+    /// residency probe for the scheduler's verification hot path.
+    pub fn ulps_on(&self, host: HostId) -> usize {
+        self.ulps
+            .lock()
+            .iter()
+            .filter(|s| s.alive && s.host == host)
+            .count()
+    }
+
     /// Route a message's destination: is this tid a ULP co-located with
     /// `host` right now (hand-off eligible)?
     pub(crate) fn is_local_ulp(&self, tid: Tid, host: HostId) -> bool {
